@@ -1,0 +1,162 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   1. chunk cap C vs failure rate and overhead — the stash is the paper's
+//      key trick: too small a C without a stash fails constantly, a stash
+//      absorbs the balls-in-bins variance at tiny overhead;
+//   2. stash size S vs failure rate at fixed C;
+//   3. compression window W vs failure rate;
+//   4. thresholding noise sigma vs utility (reports surviving) and epsilon —
+//      the shuffler's privacy/utility dial;
+//   5. secret-share threshold t vs values recoverable at the analyzer.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/table.h"
+#include "src/analysis/esa_sim.h"
+#include "src/dp/threshold_dp.h"
+#include "src/shuffle/stash_shuffle.h"
+#include "src/workload/zipf.h"
+
+namespace prochlo {
+namespace {
+
+struct EnclaveFixture {
+  SecureRandom rng{ToBytes("ablation")};
+  IntelRootAuthority intel{rng};
+  IntelRootAuthority::Platform platform{intel.ProvisionPlatform(rng)};
+  Enclave enclave{EnclaveConfig{}, platform, rng};
+};
+
+std::vector<Bytes> MakeItems(size_t n) {
+  std::vector<Bytes> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Bytes item(16, 0);
+    for (int b = 0; b < 8; ++b) {
+      item[b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+double FailureRate(EnclaveFixture& fx, const StashShuffleParams& params,
+                   const std::vector<Bytes>& input, int trials) {
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    StashShuffler::Options options;
+    options.params = params;
+    StashShuffler shuffler(fx.enclave, std::move(options));
+    if (!shuffler.Shuffle(input, fx.rng).ok()) {
+      ++failures;
+    }
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+void ChunkCapAblation() {
+  std::printf("--- Ablation 1: chunk cap C (N=10K, B=32, S=K*B=640, W=4) ---\n\n");
+  EnclaveFixture fx;
+  auto input = MakeItems(10'000);
+  const size_t b = 32;
+  double lambda = 10'000.0 / (b * b);  // D/B ~ 9.8
+  TablePrinter table({"C", "C vs D/B", "Failure rate", "Overhead", "log2(eps)"});
+  for (size_t c : {10u, 12u, 14u, 17u, 20u, 25u, 30u}) {
+    StashShuffleParams params{b, c, 4, 20 * b};
+    table.AddRow({std::to_string(c), FormatDouble(c / lambda, 2) + "x",
+                  FormatDouble(FailureRate(fx, params, input, 10), 2),
+                  FormatDouble(StashOverheadFactor(10'000, params), 2) + "x",
+                  FormatDouble(EstimateLog2Epsilon(10'000, params), 1)});
+  }
+  table.Print();
+  std::printf("\n(C near D/B fails or overflows the stash constantly; C ~ D/B + 5*sqrt(D/B)\n"
+              "— the paper's setting — succeeds with small overhead.)\n\n");
+}
+
+void StashSizeAblation() {
+  std::printf("--- Ablation 2: stash size S (N=10K, B=32, C=14, W=4) ---\n\n");
+  EnclaveFixture fx;
+  auto input = MakeItems(10'000);
+  TablePrinter table({"S", "K=S/B", "Failure rate", "Overhead"});
+  for (size_t k : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    StashShuffleParams params{32, 14, 4, k * 32};
+    table.AddRow({std::to_string(k * 32), std::to_string(k),
+                  FormatDouble(FailureRate(fx, params, input, 10), 2),
+                  FormatDouble(StashOverheadFactor(10'000, params), 2) + "x"});
+  }
+  table.Print();
+  std::printf("\n(Without a meaningful stash the algorithm cannot absorb distribution\n"
+              "variance; a stash of a few items per bucket makes failures rare at <1%%\n"
+              "extra overhead — the Stash Shuffle's core idea.)\n\n");
+}
+
+void WindowAblation() {
+  std::printf("--- Ablation 3: compression window W (N=10K, B=32, C=14, S=640) ---\n\n");
+  EnclaveFixture fx;
+  auto input = MakeItems(10'000);
+  TablePrinter table({"W", "Failure rate"});
+  for (size_t w : {1u, 2u, 4u, 8u}) {
+    StashShuffleParams params{32, 14, w, 640};
+    table.AddRow({std::to_string(w), FormatDouble(FailureRate(fx, params, input, 10), 2)});
+  }
+  table.Print();
+  std::printf("\n(W=1 cannot absorb the elasticity of real-item counts per intermediate\n"
+              "bucket; the paper's W=4 drives queue failures to ~zero.)\n\n");
+}
+
+void ThresholdNoiseAblation() {
+  std::printf("--- Ablation 4: thresholding noise sigma vs utility and epsilon ---\n\n");
+  ZipfSampler zipf(50'000, 1.1);
+  Rng rng(5);
+  std::vector<SimReport> reports;
+  for (int i = 0; i < 1'000'000; ++i) {
+    uint64_t rank = zipf.Sample(rng);
+    reports.push_back({rank, rank});
+  }
+  TablePrinter table({"sigma", "epsilon (delta=1e-6)", "Values recovered (t=20)",
+                      "Reports surviving"});
+  for (double sigma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    ShufflerConfig config;
+    config.threshold_mode = ThresholdMode::kRandomized;
+    config.policy = ThresholdPolicy{20, 10, sigma};
+    Rng noise(7);
+    auto sim = SimulateShuffle(reports, config, noise);
+    table.AddRow({FormatDouble(sigma, 1),
+                  FormatDouble(AnalyzeThresholdPolicy(config.policy, 1e-6).epsilon, 2),
+                  std::to_string(CountRecoverableValues(sim.histogram, 20)),
+                  std::to_string(sim.stats.forwarded)});
+  }
+  table.Print();
+  std::printf("\n(More noise buys smaller epsilon at almost no utility cost — the paper's\n"
+              "sigma=2 sits at (2.25, 1e-6) with recovery within a whisker of noiseless.)\n\n");
+}
+
+void SecretShareThresholdAblation() {
+  std::printf("--- Ablation 5: secret-share threshold t vs recoverable values ---\n\n");
+  ZipfSampler zipf(50'000, 1.1);
+  Rng rng(6);
+  std::map<uint64_t, uint64_t> histogram;
+  for (int i = 0; i < 1'000'000; ++i) {
+    histogram[zipf.Sample(rng)]++;
+  }
+  TablePrinter table({"t", "Values recoverable"});
+  for (uint64_t t : {1ull, 5ull, 10ull, 20ull, 50ull, 100ull}) {
+    table.AddRow({std::to_string(t), std::to_string(CountRecoverableValues(histogram, t))});
+  }
+  table.Print();
+  std::printf("\n(t trades tail coverage for secrecy: values reported by fewer than t\n"
+              "clients stay cryptographically locked even from the analyzer.)\n");
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  std::printf("=== Ablations: Stash Shuffle and thresholding design choices ===\n\n");
+  prochlo::ChunkCapAblation();
+  prochlo::StashSizeAblation();
+  prochlo::WindowAblation();
+  prochlo::ThresholdNoiseAblation();
+  prochlo::SecretShareThresholdAblation();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Crypto microbenchmarks (google-benchmark): the primitive costs that drive
+// the pipeline tables, plus the §5.2 claim that secret-share encoding costs
+// the client "less than 50 µs per encoding" (with OpenSSL; our from-scratch
+// field arithmetic is the constant to compare against).
+#include <benchmark/benchmark.h>
+
+#include "src/core/report.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/hash_to_curve.h"
+#include "src/crypto/secret_share.h"
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+namespace {
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_AesGcmSeal_318B(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench"));
+  AesGcm aead(rng.RandomBytes(16));
+  Bytes plaintext(318, 0x55);
+  GcmNonce nonce = rng.RandomNonce();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Seal(nonce, plaintext, {}));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 318);
+}
+BENCHMARK(BM_AesGcmSeal_318B);
+
+void BM_P256_ScalarMult(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec"));
+  const P256& curve = P256::Get();
+  U256 k = rng.RandomScalar(curve.order());
+  EcPoint p = curve.generator();
+  for (auto _ : state) {
+    p = curve.ScalarMult(p, k);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_P256_ScalarMult);
+
+void BM_HybridSeal_64B(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-hybrid"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  Bytes payload(64, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HybridSeal(recipient.public_key, payload, "ctx", rng));
+  }
+}
+BENCHMARK(BM_HybridSeal_64B);
+
+void BM_HybridOpen_64B(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-hybrid-open"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  HybridBox box = HybridSeal(recipient.public_key, Bytes(64, 0x11), "ctx", rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HybridOpen(recipient, box, "ctx"));
+  }
+}
+BENCHMARK(BM_HybridOpen_64B);
+
+// The §5.2 claim: "at a minimal computational cost to clients (less than
+// 50 µs per encoding)" with OpenSSL on the paper's Xeon.
+void BM_SecretShareEncode(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ss"));
+  SecretSharer sharer(20);
+  Bytes message = ToBytes("a-vocab-word");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharer.Encode(message, rng));
+  }
+}
+BENCHMARK(BM_SecretShareEncode);
+
+void BM_SecretShareRecover20(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ss-rec"));
+  SecretSharer sharer(20);
+  Bytes message = ToBytes("a-vocab-word");
+  std::vector<SecretShare> shares;
+  Bytes ciphertext;
+  for (int i = 0; i < 20; ++i) {
+    auto enc = sharer.Encode(message, rng);
+    ciphertext = enc.ciphertext;
+    shares.push_back(enc.share);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharer.Recover(ciphertext, shares));
+  }
+}
+BENCHMARK(BM_SecretShareRecover20);
+
+void BM_HashToCurve(benchmark::State& state) {
+  std::string input = "crowd-id-value";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashToCurve(input));
+  }
+}
+BENCHMARK(BM_HashToCurve);
+
+void BM_ElGamalEncrypt(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  EcPoint mu = HashToCurve(std::string("crowd"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalEncrypt(recipient.public_key, mu, rng));
+  }
+}
+BENCHMARK(BM_ElGamalEncrypt);
+
+void BM_ElGamalBlind(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg-blind"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng);
+  U256 alpha = rng.RandomScalar(P256::Get().order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalBlind(ct, alpha));
+  }
+}
+BENCHMARK(BM_ElGamalBlind);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ecdsa"));
+  KeyPair signer = KeyPair::Generate(rng);
+  Bytes message = ToBytes("quote payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaSign(signer.private_key, message));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EncodeFullReport(benchmark::State& state) {
+  // One complete client report: pad, inner box, outer box (the per-client
+  // cost in Table 3's Encoder column).
+  SecureRandom rng(ToBytes("bench-report"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  CrowdPart crowd;
+  crowd.plain_hash = 1234;
+  auto padded = PadPayload(Bytes(60, 0x22), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SealReport(crowd, *padded, shuffler.public_key, analyzer.public_key, rng));
+  }
+}
+BENCHMARK(BM_EncodeFullReport);
+
+}  // namespace
+}  // namespace prochlo
+
+BENCHMARK_MAIN();

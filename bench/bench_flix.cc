@@ -1,0 +1,108 @@
+// Regenerates Table 5 (paper §5.5): Flix — collaborative-filtering RMSE with
+// and without PROCHLO collection, across dataset sizes.
+//
+// No-privacy model: item-item covariance built from every four-tuple of every
+// user's ratings.  PROCHLO model: per-user tuples are capped at 500, 10% of
+// movie identifiers are randomized (2.2-DP for the rated-movie set), and each
+// tuple must clear the randomized crowd threshold on *both* of its
+// (movie, rating) halves (threshold 20; 5 for sparse configurations, applying
+// the paper's own footnote adaptation — at 10x-scaled user counts the 17770-
+// movie row is as sparse as the paper's 200-movie row).
+//
+// The paper's result is the *gap*: RMSE with PROCHLO is within a few parts
+// per thousand of the no-privacy RMSE.  Users are scaled ~10x down from the
+// Netflix-sized config (set PROCHLO_FLIX_FULL=1 for the full 480K/17770 row).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/table.h"
+#include "src/analysis/covariance.h"
+#include "src/workload/flix.h"
+
+namespace prochlo {
+namespace {
+
+struct Scenario {
+  uint32_t num_movies;
+  uint32_t num_users;
+  double threshold;
+  const char* paper_no_privacy;
+  const char* paper_prochlo;
+};
+
+void Run() {
+  std::printf("=== Table 5: Flix collaborative-filtering RMSE (lower is better) ===\n\n");
+
+  bool full = std::getenv("PROCHLO_FLIX_FULL") != nullptr;
+  const Scenario scenarios[] = {
+      {200, full ? 90'000u : 9'000u, 5, "0.9579", "0.9595"},
+      {2'000, full ? 353'000u : 35'000u, 20, "0.9414", "0.9420"},
+      {17'770, full ? 480'000u : 48'000u, full ? 20 : 5, "0.9222", "0.9242"},
+  };
+
+  TablePrinter table({"#Movies", "#Users", "#Tuples", "RMSE no-priv", "RMSE PROCHLO", "Gap",
+                      "[paper no-priv]", "[paper PROCHLO]"});
+  for (const auto& scenario : scenarios) {
+    FlixConfig config;
+    config.num_movies = scenario.num_movies;
+    config.num_users = scenario.num_users;
+    config.mean_ratings_per_user = scenario.num_movies >= 2'000 ? 35 : 20;
+    FlixWorkload workload(config);
+    Rng rng(31 + scenario.num_movies);
+    FlixDataset dataset = workload.Generate(rng);
+
+    FlixEncodingConfig encoding;
+    encoding.tuple_cap = 500;
+    encoding.movie_randomization = 0.10;
+    encoding.num_movies = scenario.num_movies;
+
+    FlixEncodingConfig no_privacy_encoding;
+    no_privacy_encoding.tuple_cap = static_cast<size_t>(-1);
+    no_privacy_encoding.movie_randomization = 0;
+    no_privacy_encoding.num_movies = scenario.num_movies;
+
+    // Collect tuples under both regimes.
+    std::vector<FourTuple> exact_tuples;
+    std::vector<FourTuple> private_tuples;
+    Rng client_rng(77);
+    for (const auto& user_ratings : dataset.train_by_user) {
+      auto exact = EncodeUserRatings(user_ratings, no_privacy_encoding, client_rng);
+      exact_tuples.insert(exact_tuples.end(), exact.begin(), exact.end());
+      auto coded = EncodeUserRatings(user_ratings, encoding, client_rng);
+      private_tuples.insert(private_tuples.end(), coded.begin(), coded.end());
+    }
+    Rng noise_rng(78);
+    private_tuples =
+        ThresholdTuples(std::move(private_tuples), scenario.threshold, 10, 2, noise_rng);
+
+    CovarianceModel exact_model(scenario.num_movies);
+    exact_model.AddTuples(exact_tuples);
+    exact_model.Finalize();
+    CovarianceModel private_model(scenario.num_movies);
+    private_model.AddTuples(private_tuples);
+    private_model.Finalize();
+
+    double exact_rmse = exact_model.Rmse(dataset.test, dataset.train_by_user);
+    double private_rmse = private_model.Rmse(dataset.test, dataset.train_by_user);
+
+    table.AddRow({std::to_string(scenario.num_movies), FormatCount(scenario.num_users),
+                  FormatCount(private_tuples.size()), FormatDouble(exact_rmse, 4),
+                  FormatDouble(private_rmse, 4), FormatDouble(private_rmse - exact_rmse, 4),
+                  scenario.paper_no_privacy, scenario.paper_prochlo});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (the paper's result): PROCHLO collection — capped sampling, 10%%\n"
+      "movie randomization, two-crowd thresholding — costs only a few parts-per-thousand\n"
+      "of RMSE vs the no-privacy model on every dataset size (paper: +0.0016/+0.0006/\n"
+      "+0.0020).  Absolute RMSE differs because the ratings are synthetic (DESIGN.md).\n");
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  prochlo::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Regenerates Table 4 (paper §5.3): Perms — number of Web pages recovered
+// per permission feature using (a) a naive threshold of 100 on
+// ⟨page, feature⟩ tuples and (b) a noisy crowd threshold (sigma = 4) per
+// user action, giving (1.2, 1e-7)-DP.  Each action bitmap bit is flipped
+// with probability 1e-4 for plausible deniability, as in the paper.
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "bench/table.h"
+#include "src/dp/threshold_dp.h"
+#include "src/workload/perms.h"
+
+namespace prochlo {
+namespace {
+
+void Run() {
+  uint64_t num_events = 20'000'000;
+  if (const char* env = std::getenv("PROCHLO_PERMS_EVENTS")) {
+    num_events = std::strtoull(env, nullptr, 10);
+  }
+
+  std::printf("=== Table 4: Perms — pages recovered per feature/action (%luM events) ===\n\n",
+              num_events / 1'000'000);
+
+  PermsConfig config;
+  PermsWorkload perms(config);
+  Rng rng(11);
+  auto events = perms.SampleDataset(num_events, rng);
+
+  // Encoder-side plausible deniability: flip each action bit w.p. 1e-4.
+  constexpr double kBitFlip = 1e-4;
+  for (auto& event : events) {
+    for (int a = 0; a < kNumPermActions; ++a) {
+      if (rng.NextBool(kBitFlip)) {
+        event.action_bitmap ^= static_cast<uint8_t>(1u << a);
+      }
+    }
+  }
+
+  constexpr double kThreshold = 100;
+  constexpr double kDropMean = 10;
+  constexpr double kDropSigma = 4;
+
+  // Counts per (page, feature) and per (page, feature, action).
+  auto pf_key = [](uint32_t page, uint8_t feature) {
+    return (static_cast<uint64_t>(page) << 8) | feature;
+  };
+  std::unordered_map<uint64_t, uint64_t> pf_counts;
+  std::unordered_map<uint64_t, uint64_t> pfa_counts;
+  for (const auto& event : events) {
+    pf_counts[pf_key(event.page, event.feature)]++;
+    for (int a = 0; a < kNumPermActions; ++a) {
+      if (event.action_bitmap & (1u << a)) {
+        pfa_counts[(pf_key(event.page, event.feature) << 3) | static_cast<uint64_t>(a)]++;
+      }
+    }
+  }
+
+  // Naive thresholding on (page, feature).
+  std::array<uint64_t, kNumPermFeatures> naive = {0, 0, 0};
+  for (const auto& [key, count] : pf_counts) {
+    if (static_cast<double>(count) >= kThreshold) {
+      naive[key & 0xff]++;
+    }
+  }
+
+  // Noisy crowd thresholding per (page, feature, action).
+  Rng noise_rng(12);
+  std::array<std::array<uint64_t, kNumPermActions>, kNumPermFeatures> recovered = {};
+  for (const auto& [key, count] : pfa_counts) {
+    uint8_t action = key & 0x7;
+    uint8_t feature = (key >> 3) & 0xff;
+    int64_t d = noise_rng.NextRoundedTruncatedGaussian(kDropMean, kDropSigma);
+    if (static_cast<double>(count) - static_cast<double>(d) >= kThreshold) {
+      recovered[feature][action]++;
+    }
+  }
+
+  // Paper's Table 4 for reference.
+  const uint64_t paper[5][kNumPermFeatures] = {
+      {6'610, 12'200, 620},  // naive
+      {5'850, 8'870, 440},   // granted
+      {5'780, 8'930, 430},   // denied
+      {5'860, 9'465, 440},   // dismissed
+      {5'850, 11'020, 530},  // ignored
+  };
+
+  TablePrinter table({"", "Geolocation", "Notification", "Audio", "[paper Geo]", "[paper Notif]",
+                      "[paper Audio]"});
+  table.AddRow({"Naive Thresh.", std::to_string(naive[0]), std::to_string(naive[1]),
+                std::to_string(naive[2]), std::to_string(paper[0][0]),
+                std::to_string(paper[0][1]), std::to_string(paper[0][2])});
+  for (int a = 0; a < kNumPermActions; ++a) {
+    table.AddRow({kPermActionNames[a], std::to_string(recovered[0][a]),
+                  std::to_string(recovered[1][a]), std::to_string(recovered[2][a]),
+                  std::to_string(paper[a + 1][0]), std::to_string(paper[a + 1][1]),
+                  std::to_string(paper[a + 1][2])});
+  }
+  table.Print();
+
+  ThresholdPrivacy privacy = AnalyzeThresholdPolicy({kThreshold, kDropMean, kDropSigma}, 1e-7);
+  std::printf(
+      "\nPrivacy: noisy threshold sigma=4 => (%.2f, 1e-7)-DP (paper: (1.2, 1e-7)); bitmap\n"
+      "bit-flips at 1e-4 add plausible deniability for user actions.  Shape checks:\n"
+      "Notification >> Geolocation >> Audio in every row; per-action rows land below the\n"
+      "naive row (splitting by action thins each crowd); all rows are in the thousands\n"
+      "for the two big features.  (RAPPOR on this task recovered only a few dozen pages\n"
+      "in total, per §5.3 — orders of magnitude below every PROCHLO row.)\n",
+      privacy.epsilon);
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  prochlo::Run();
+  return 0;
+}

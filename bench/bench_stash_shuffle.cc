@@ -1,0 +1,94 @@
+// Regenerates Table 2 (paper §5.1): Stash Shuffle execution — per-phase and
+// total time plus peak private SGX memory — across input sizes.
+//
+// The paper measures 10M-200M 318-byte records on real SGX hardware with
+// OpenSSL (738 s to 4.1 h single-threaded).  This reproduction runs the same
+// algorithm on the simulated enclave with from-scratch crypto at scaled-down
+// N (set PROCHLO_STASH_MAX_N to raise the cap) and reports measured times,
+// the exact paper-matching item counts, and the per-item extrapolation.
+// The *shape* to check: Distribution dominates (public-key + AEAD work),
+// Compression is a small fraction, and private memory stays tens of MB.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/table.h"
+#include "src/core/report.h"
+#include "src/shuffle/stash_shuffle.h"
+
+namespace prochlo {
+namespace {
+
+void Run() {
+  std::printf("=== Table 2: Stash Shuffle execution (scaled; 64B data + 8B crowd ID) ===\n\n");
+
+  uint64_t max_n = 100'000;
+  if (const char* env = std::getenv("PROCHLO_STASH_MAX_N")) {
+    max_n = std::strtoull(env, nullptr, 10);
+  }
+
+  SecureRandom rng(ToBytes("bench-stash"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+
+  // Doubly-encrypted records, as in the paper's measurement: the shuffle
+  // strips the outer layer on entry.
+  KeyPair shuffler_keys = KeyPair::Generate(rng);
+  KeyPair analyzer_keys = KeyPair::Generate(rng);
+
+  TablePrinter table({"N", "Distribution", "Compression", "Total", "SGX Mem", "Overhead",
+                      "us/item"});
+  for (uint64_t n : {10'000ull, 50'000ull, 100'000ull, 200'000ull}) {
+    if (n > max_n) {
+      break;
+    }
+    std::vector<Bytes> reports;
+    reports.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      CrowdPart crowd;
+      crowd.plain_hash = i % 997;
+      Bytes payload(60, static_cast<uint8_t>(i));
+      auto padded = PadPayload(payload, 64);
+      reports.push_back(SealReport(crowd, *padded, shuffler_keys.public_key,
+                                   analyzer_keys.public_key, rng));
+    }
+
+    Enclave enclave(EnclaveConfig{}, platform, rng);
+    StashShuffler::Options options;
+    options.open_outer = [&](const Bytes& record) -> std::optional<Bytes> {
+      auto view = OpenReport(shuffler_keys, record);
+      if (!view.has_value()) {
+        return std::nullopt;
+      }
+      return view->Serialize();
+    };
+    StashShuffler shuffler(enclave, std::move(options));
+    auto result = ShuffleWithRetries(shuffler, reports, rng, 5);
+    if (!result.ok()) {
+      table.AddRow({FormatCount(n), "FAILED: " + result.error().message});
+      continue;
+    }
+    const auto& m = shuffler.metrics();
+    double total = m.distribution_seconds + m.compression_seconds;
+    table.AddRow({FormatCount(n), FormatDouble(m.distribution_seconds, 1) + " s",
+                  FormatDouble(m.compression_seconds, 1) + " s", FormatDouble(total, 1) + " s",
+                  FormatDouble(static_cast<double>(m.peak_private_bytes) / (1024.0 * 1024.0), 1) +
+                      " MB",
+                  FormatDouble(m.OverheadFactor(n), 2) + "x",
+                  FormatDouble(1e6 * total / static_cast<double>(n), 1)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (real SGX + OpenSSL, single-threaded): 10M -> 713+26 s, 22 MB; 50M -> 1.0 h,\n"
+      "52 MB; 100M -> 2.1 h, 78 MB; 200M -> 4.1 h, 69 MB.  Shape checks: Distribution\n"
+      "dominates (it pays the public-key outer-layer ECDH), Compression is only symmetric\n"
+      "crypto, memory is far below the 92 MB budget, and time scales linearly in N.\n");
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  prochlo::Run();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Regenerates Figure 5 (paper §5.2): unique words recovered from samples of
+// 10K..10M Vocab words under each arrangement:
+//
+//   Ground truth      — distinct words in the sample, no privacy;
+//   NoCrowd           — secret-share recovery at t=20, no crowd thresholding
+//                       (no DP; slightly better utility);
+//   *-Crowd           — crowd thresholding with the paper's randomized policy
+//                       (T=20, D=10, sigma=2 => (2.25, 1e-6)-DP); identical
+//                       utility for Crowd / Secret-Crowd / Blinded-Crowd,
+//                       which differ only in attack-model protection;
+//   Partition         — RAPPOR with reports partitioned by a few-bit word
+//                       hash (4..256 partitions across the decades, §2.2);
+//   RAPPOR            — plain local-DP baseline at epsilon = 2.
+//
+// ESA lines run through the crypto-free simulator (utility-equivalent to
+// the real pipeline; proven in tests/integration_test.cc).  RAPPOR lines
+// run the actual encoder/decoder.  The corpus is Zipf(1.10) over 100K words,
+// calibrated so the ground-truth line tracks the paper's.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/table.h"
+#include "src/analysis/esa_sim.h"
+#include "src/dp/mechanisms.h"
+#include "src/dp/rappor.h"
+#include "src/workload/vocab.h"
+
+namespace prochlo {
+namespace {
+
+// Inverse normal CDF by bisection (plenty for a z-threshold).
+double InverseNormalCdf(double p) {
+  double lo = -10;
+  double hi = 10;
+  for (int i = 0; i < 100; ++i) {
+    double mid = 0.5 * (lo + hi);
+    (NormalCdf(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+uint64_t RunRappor(const std::vector<uint64_t>& sample, uint64_t vocabulary_size,
+                   uint32_t num_partitions, Rng& rng) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  std::vector<RapporDecoder> decoders;
+  decoders.reserve(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    decoders.emplace_back(params);
+  }
+  RapporEncoder encoder(params);
+
+  auto partition_of = [&](uint64_t rank) {
+    return static_cast<uint32_t>((rank * 0x9e3779b97f4a7c15ULL >> 32) % num_partitions);
+  };
+
+  uint64_t client_id = 0;
+  for (uint64_t rank : sample) {
+    decoders[partition_of(rank)].Accumulate(
+        encoder.Encode(VocabWorkload::WordName(rank), client_id++, rng));
+  }
+
+  // Bonferroni-corrected detection threshold over the whole dictionary.
+  double z = InverseNormalCdf(1.0 - 0.05 / static_cast<double>(vocabulary_size));
+
+  // Test each dictionary word in its own partition.
+  std::vector<std::vector<std::string>> candidates(num_partitions);
+  for (uint64_t rank = 0; rank < vocabulary_size; ++rank) {
+    candidates[partition_of(rank)].push_back(VocabWorkload::WordName(rank));
+  }
+  uint64_t recovered = 0;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    recovered += decoders[p].DecodeCandidates(candidates[p], z).size();
+  }
+  return recovered;
+}
+
+void Run() {
+  uint64_t max_n = 10'000'000;
+  if (const char* env = std::getenv("PROCHLO_VOCAB_MAX_N")) {
+    max_n = std::strtoull(env, nullptr, 10);
+  }
+
+  std::printf("=== Figure 5: unique Vocab words recovered (Zipf corpus, 100K-word dict) ===\n\n");
+
+  VocabConfig config;
+  config.vocabulary_size = 100'000;
+  config.zipf_exponent = 1.10;
+  VocabWorkload vocab(config);
+
+  constexpr uint64_t kThreshold = 20;  // both crowd threshold T and share t
+
+  TablePrinter table({"Sample", "GroundTruth", "NoCrowd", "*-Crowd", "Partition", "RAPPOR",
+                      "[paper GT]", "[paper *-C]", "[paper RAPPOR]"});
+  struct PaperRow {
+    uint64_t gt, star, rappor;
+  };
+  const std::map<uint64_t, PaperRow> paper = {{10'000, {4062, 32, 2}},
+                                              {100'000, {18665, 371, 15}},
+                                              {1'000'000, {57500, 3730, 122}},
+                                              {10'000'000, {91260, 21972, 240}}};
+
+  uint32_t partitions = 4;
+  for (uint64_t n : {10'000ull, 100'000ull, 1'000'000ull, 10'000'000ull}) {
+    if (n > max_n) {
+      break;
+    }
+    Rng rng(2024 + n);
+    auto sample = vocab.SampleCorpus(n, rng);
+
+    uint64_t ground_truth = VocabWorkload::CountUnique(sample);
+
+    // Plain histogram once; the ESA lines derive from it.
+    std::vector<SimReport> reports;
+    reports.reserve(sample.size());
+    for (uint64_t rank : sample) {
+      reports.push_back({rank, rank});  // crowd ID = hash of the word
+    }
+
+    // NoCrowd: no thresholding; recovery gated only by t=20 shares.
+    ShufflerConfig none;
+    none.threshold_mode = ThresholdMode::kNone;
+    Rng noise1(1);
+    auto no_crowd = SimulateShuffle(reports, none, noise1);
+    uint64_t no_crowd_recovered = CountRecoverableValues(no_crowd.histogram, kThreshold);
+
+    // *-Crowd: the paper's randomized thresholding.
+    ShufflerConfig randomized;
+    randomized.threshold_mode = ThresholdMode::kRandomized;
+    randomized.policy = ThresholdPolicy{20, 10, 2};
+    Rng noise2(2);
+    auto crowd = SimulateShuffle(reports, randomized, noise2);
+    uint64_t crowd_recovered = CountRecoverableValues(crowd.histogram, kThreshold);
+
+    Rng rappor_rng(3);
+    uint64_t rappor_recovered = RunRappor(sample, config.vocabulary_size, 1, rappor_rng);
+    Rng partition_rng(4);
+    uint64_t partition_recovered =
+        RunRappor(sample, config.vocabulary_size, partitions, partition_rng);
+
+    auto paper_row = paper.at(n);
+    table.AddRow({FormatCount(n), std::to_string(ground_truth),
+                  std::to_string(no_crowd_recovered), std::to_string(crowd_recovered),
+                  std::to_string(partition_recovered), std::to_string(rappor_recovered),
+                  std::to_string(paper_row.gt), std::to_string(paper_row.star),
+                  std::to_string(paper_row.rappor)});
+    partitions *= 4;  // 4, 16, 64, 256 across the decades (paper: 4..256)
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks vs the paper: *-Crowd recovers a large fraction of NoCrowd (noisy\n"
+      "thresholding costs little); both dwarf RAPPOR (<5%% of PROCHLO's utility); the\n"
+      "Partition variant improves RAPPOR only by a small factor (1.1-3.5x in the paper);\n"
+      "and every line grows with the sample size.  (*-Crowd covers Crowd, Secret-Crowd\n"
+      "and Blinded-Crowd, whose utility is identical; DP: (2.25, 1e-6) per §3.5.)\n");
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  prochlo::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Minimal fixed-width table printer shared by the paper-table benches.
+#ifndef PROCHLO_BENCH_TABLE_H_
+#define PROCHLO_BENCH_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace prochlo {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(widths_[i] + 2, '-');
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row);
+    }
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatCount(uint64_t n) {
+  if (n >= 1'000'000 && n % 1'000'000 == 0) {
+    return std::to_string(n / 1'000'000) + "M";
+  }
+  if (n >= 1'000 && n % 1'000 == 0) {
+    return std::to_string(n / 1'000) + "K";
+  }
+  return std::to_string(n);
+}
+
+inline std::string FormatDouble(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_BENCH_TABLE_H_

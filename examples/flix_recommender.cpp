@@ -1,0 +1,78 @@
+// The §5.5 Flix use case as an application: build a movie recommender from
+// ANONYMOUS FOUR-TUPLES instead of a linkable ratings database.
+//
+// Each client fragments its ratings into (movie_i, r_i, movie_j, r_j) pairs
+// (a capped random subset, with 10% of movie ids randomized), and tuples
+// must clear the crowd threshold on both halves.  The analyzer assembles the
+// item-item covariance sufficient statistics and serves predictions — the
+// Netflix-deanonymization attack surface (per-user rating vectors) never
+// exists.
+//
+//   build/examples/flix_recommender
+#include <cstdio>
+
+#include "src/analysis/covariance.h"
+#include "src/workload/flix.h"
+
+int main() {
+  using namespace prochlo;
+  Rng rng(2026);
+
+  // A small synthetic population.
+  FlixConfig config;
+  config.num_users = 4'000;
+  config.num_movies = 120;
+  config.mean_ratings_per_user = 18;
+  FlixWorkload workload(config);
+  FlixDataset dataset = workload.Generate(rng);
+  std::printf("Synth dataset: %lu train ratings, %zu test ratings, %u movies\n",
+              static_cast<unsigned long>(dataset.TrainSize()), dataset.test.size(),
+              config.num_movies);
+
+  // Client-side encoding (what would ride the ESA pipeline).
+  FlixEncodingConfig encoding;
+  encoding.tuple_cap = 300;
+  encoding.movie_randomization = 0.10;
+  encoding.num_movies = config.num_movies;
+  std::vector<FourTuple> tuples;
+  Rng client_rng(3);
+  for (const auto& user_ratings : dataset.train_by_user) {
+    auto coded = EncodeUserRatings(user_ratings, encoding, client_rng);
+    tuples.insert(tuples.end(), coded.begin(), coded.end());
+  }
+  std::printf("Collected %zu anonymous four-tuples (capped, 10%% movie-randomized)\n",
+              tuples.size());
+
+  // Shuffler-side thresholding on both (movie, rating) halves.
+  Rng noise_rng(4);
+  tuples = ThresholdTuples(std::move(tuples), /*threshold=*/20, /*drop_mean=*/10,
+                           /*drop_sigma=*/2, noise_rng);
+  std::printf("After two-crowd thresholding: %zu tuples\n", tuples.size());
+
+  // Analyzer: covariance model + predictions.
+  CovarianceModel model(config.num_movies);
+  model.AddTuples(tuples);
+  model.Finalize();
+  double rmse = model.Rmse(dataset.test, dataset.train_by_user);
+  std::printf("Held-out RMSE of the anonymous-collection model: %.4f\n", rmse);
+
+  // Recommend: for one test user, rank unseen movies by predicted rating.
+  const auto& user_ratings = dataset.train_by_user[0];
+  std::printf("\nUser 0 rated %zu movies; top recommendations among unseen ones:\n",
+              user_ratings.size());
+  std::vector<std::pair<double, uint32_t>> scored;
+  for (uint32_t m = 0; m < config.num_movies; ++m) {
+    bool seen = false;
+    for (const auto& r : user_ratings) {
+      seen |= (r.movie == m);
+    }
+    if (!seen) {
+      scored.emplace_back(model.Predict(user_ratings, m), m);
+    }
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  for (int i = 0; i < 5 && i < static_cast<int>(scored.size()); ++i) {
+    std::printf("  movie%-4u predicted %.2f stars\n", scored[i].second, scored[i].first);
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "src/analysis/covariance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace prochlo {
+
+CovarianceModel::CovarianceModel(uint32_t num_movies)
+    : num_movies_(num_movies), item_count_(num_movies, 0), item_sum_(num_movies, 0) {}
+
+void CovarianceModel::AddTuple(const FourTuple& tuple) {
+  if (tuple.movie_i >= num_movies_ || tuple.movie_j >= num_movies_) {
+    return;
+  }
+  if (tuple.movie_i == tuple.movie_j) {
+    // Diagonal: first moments.
+    item_count_[tuple.movie_i]++;
+    item_sum_[tuple.movie_i] += tuple.rating_i;
+    return;
+  }
+  auto& stats = pairs_[PairKey(std::min(tuple.movie_i, tuple.movie_j),
+                               std::max(tuple.movie_i, tuple.movie_j))];
+  stats.count++;
+  stats.product += static_cast<double>(tuple.rating_i) * tuple.rating_j;
+}
+
+void CovarianceModel::AddTuples(const std::vector<FourTuple>& tuples) {
+  for (const auto& t : tuples) {
+    AddTuple(t);
+  }
+}
+
+void CovarianceModel::Finalize() {
+  uint64_t total_count = 0;
+  double total_sum = 0;
+  for (uint32_t m = 0; m < num_movies_; ++m) {
+    total_count += item_count_[m];
+    total_sum += item_sum_[m];
+  }
+  if (total_count > 0) {
+    global_mean_ = total_sum / static_cast<double>(total_count);
+  }
+  finalized_ = true;
+}
+
+double CovarianceModel::ItemMean(uint32_t movie) const {
+  if (movie >= num_movies_ || item_count_[movie] < 3) {
+    return global_mean_;
+  }
+  return item_sum_[movie] / static_cast<double>(item_count_[movie]);
+}
+
+double CovarianceModel::Covariance(uint32_t i, uint32_t j) const {
+  auto it = pairs_.find(PairKey(std::min(i, j), std::max(i, j)));
+  if (it == pairs_.end() || it->second.count == 0) {
+    return 0;
+  }
+  double mean_product = it->second.product / static_cast<double>(it->second.count);
+  return mean_product - ItemMean(i) * ItemMean(j);
+}
+
+uint64_t CovarianceModel::PairCount(uint32_t i, uint32_t j) const {
+  auto it = pairs_.find(PairKey(std::min(i, j), std::max(i, j)));
+  return it == pairs_.end() ? 0 : it->second.count;
+}
+
+double CovarianceModel::Predict(const std::vector<Rating>& user_ratings, uint32_t movie) const {
+  double baseline = ItemMean(movie);
+  double numerator = 0;
+  double denominator = 0;
+  for (const auto& rating : user_ratings) {
+    if (rating.movie == movie) {
+      continue;
+    }
+    auto it = pairs_.find(PairKey(std::min(rating.movie, movie), std::max(rating.movie, movie)));
+    if (it == pairs_.end() || it->second.count < 2) {
+      continue;
+    }
+    // Shrunk similarity: covariance damped by support (fewer co-ratings,
+    // less trust) — standard neighborhood-model practice.
+    double support = static_cast<double>(it->second.count);
+    double cov = it->second.product / support - ItemMean(rating.movie) * baseline;
+    double weight = cov * (support / (support + 20.0));
+    numerator += weight * (static_cast<double>(rating.stars) - ItemMean(rating.movie));
+    denominator += std::abs(weight);
+  }
+  double prediction = baseline;
+  if (denominator > 1e-9) {
+    prediction += numerator / denominator;
+  }
+  return std::clamp(prediction, 1.0, 5.0);
+}
+
+double CovarianceModel::Rmse(const std::vector<Rating>& test,
+                             const std::vector<std::vector<Rating>>& train_by_user) const {
+  if (test.empty()) {
+    return 0;
+  }
+  double total_squared_error = 0;
+  for (const auto& rating : test) {
+    double prediction = Predict(train_by_user[rating.user], rating.movie);
+    double error = prediction - static_cast<double>(rating.stars);
+    total_squared_error += error * error;
+  }
+  return std::sqrt(total_squared_error / static_cast<double>(test.size()));
+}
+
+std::vector<FourTuple> EncodeUserRatings(const std::vector<Rating>& user_ratings,
+                                         const FlixEncodingConfig& config, Rng& rng) {
+  // Diagonal tuples (first moments) plus all i<j pairs.
+  std::vector<FourTuple> tuples;
+  for (const auto& r : user_ratings) {
+    tuples.push_back(FourTuple{r.movie, r.stars, r.movie, r.stars});
+  }
+  for (size_t a = 0; a < user_ratings.size(); ++a) {
+    for (size_t b = a + 1; b < user_ratings.size(); ++b) {
+      const Rating& ra = user_ratings[a];
+      const Rating& rb = user_ratings[b];
+      if (ra.movie <= rb.movie) {
+        tuples.push_back(FourTuple{ra.movie, ra.stars, rb.movie, rb.stars});
+      } else {
+        tuples.push_back(FourTuple{rb.movie, rb.stars, ra.movie, ra.stars});
+      }
+    }
+  }
+
+  // Cap the number of tuples sent per user.
+  if (tuples.size() > config.tuple_cap) {
+    rng.Shuffle(tuples);
+    tuples.resize(config.tuple_cap);
+  }
+
+  // Randomize a fraction of movie identifiers (plausible deniability for the
+  // rated-movie set; 10% gives 2.2-DP per the paper).
+  if (config.movie_randomization > 0 && config.num_movies > 1) {
+    for (auto& t : tuples) {
+      if (rng.NextBool(config.movie_randomization)) {
+        t.movie_i = static_cast<uint32_t>(rng.NextBelow(config.num_movies));
+      }
+      if (rng.NextBool(config.movie_randomization)) {
+        t.movie_j = static_cast<uint32_t>(rng.NextBelow(config.num_movies));
+      }
+      if (t.movie_i > t.movie_j) {
+        std::swap(t.movie_i, t.movie_j);
+        std::swap(t.rating_i, t.rating_j);
+      }
+    }
+  }
+  return tuples;
+}
+
+std::vector<FourTuple> ThresholdTuples(std::vector<FourTuple> tuples, double threshold,
+                                       double drop_mean, double drop_sigma, Rng& noise_rng) {
+  // Crowd IDs are the (movie, rating) halves; count every half-occurrence.
+  auto half_key = [](uint32_t movie, uint8_t rating) {
+    return (static_cast<uint64_t>(movie) << 8) | rating;
+  };
+  std::unordered_map<uint64_t, int64_t> counts;
+  for (const auto& t : tuples) {
+    counts[half_key(t.movie_i, t.rating_i)]++;
+    counts[half_key(t.movie_j, t.rating_j)]++;
+  }
+  // Randomized thresholding per crowd.
+  std::unordered_map<uint64_t, bool> survives;
+  survives.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    int64_t d = noise_rng.NextRoundedTruncatedGaussian(drop_mean, drop_sigma);
+    survives[key] = static_cast<double>(count - d) >= threshold;
+  }
+  std::vector<FourTuple> kept;
+  kept.reserve(tuples.size());
+  for (const auto& t : tuples) {
+    if (survives[half_key(t.movie_i, t.rating_i)] && survives[half_key(t.movie_j, t.rating_j)]) {
+      kept.push_back(t);
+    }
+  }
+  return kept;
+}
+
+}  // namespace prochlo

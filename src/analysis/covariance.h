@@ -1,0 +1,95 @@
+// Item-item collaborative filtering from anonymous four-tuples (paper §5.5).
+//
+// The key observation: many collaborative-filtering methods need only the
+// item-by-item sufficient statistics
+//     S_ij = |U(i) ∩ U(j)|            (co-rating counts)
+//     A_ij = Σ_{u∈U(i)∩U(j)} r_ui·r_uj (co-rating products)
+// which decompose as sums over per-user (i, r_ui, j, r_uj) four-tuples —
+// exactly what an ESA pipeline can collect anonymously.  (A_ij / S_ij)
+// approximates the covariance matrix; prediction de-noises it into an
+// item-item similarity regression on each user's known ratings.
+//
+// The model also tracks per-item first moments (from the diagonal tuples
+// i == j) for item means and the global mean.
+#ifndef PROCHLO_SRC_ANALYSIS_COVARIANCE_H_
+#define PROCHLO_SRC_ANALYSIS_COVARIANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/flix.h"
+
+namespace prochlo {
+
+// One anonymous report: a pair of (movie, rating) with i <= j.  Diagonal
+// tuples (i == j, r_i == r_j) carry the first moments.
+struct FourTuple {
+  uint32_t movie_i = 0;
+  uint8_t rating_i = 0;
+  uint32_t movie_j = 0;
+  uint8_t rating_j = 0;
+};
+
+class CovarianceModel {
+ public:
+  explicit CovarianceModel(uint32_t num_movies);
+
+  void AddTuple(const FourTuple& tuple);
+  void AddTuples(const std::vector<FourTuple>& tuples);
+
+  // Computes means and normalizers; call once after all AddTuple calls.
+  void Finalize();
+
+  // Predicted rating of `movie` for a user with the given known ratings.
+  double Predict(const std::vector<Rating>& user_ratings, uint32_t movie) const;
+
+  // RMSE over a test set, using each test user's training ratings.
+  double Rmse(const std::vector<Rating>& test,
+              const std::vector<std::vector<Rating>>& train_by_user) const;
+
+  double global_mean() const { return global_mean_; }
+  double ItemMean(uint32_t movie) const;
+  // Covariance estimate A_ij/S_ij - mean_i*mean_j (0 if unobserved).
+  double Covariance(uint32_t i, uint32_t j) const;
+  uint64_t PairCount(uint32_t i, uint32_t j) const;
+
+ private:
+  struct PairStats {
+    uint64_t count = 0;   // S_ij
+    double product = 0;   // A_ij
+  };
+  static uint64_t PairKey(uint32_t i, uint32_t j) {
+    return (static_cast<uint64_t>(i) << 32) | j;
+  }
+
+  uint32_t num_movies_;
+  std::unordered_map<uint64_t, PairStats> pairs_;
+  std::vector<uint64_t> item_count_;
+  std::vector<double> item_sum_;
+  double global_mean_ = 3.6;
+  bool finalized_ = false;
+};
+
+// Client-side Flix encoding (§5.5): all pairwise four-tuples of a user's
+// ratings (i <= j, including the diagonal), a capped random subset, with a
+// fraction of movie identifiers replaced at random (2.2-DP for the rated-
+// movie *set* at 10%).
+struct FlixEncodingConfig {
+  size_t tuple_cap = 500;
+  double movie_randomization = 0.10;
+  uint32_t num_movies = 0;  // domain for randomized replacements
+};
+
+std::vector<FourTuple> EncodeUserRatings(const std::vector<Rating>& user_ratings,
+                                         const FlixEncodingConfig& config, Rng& rng);
+
+// Thresholding semantics over four-tuples (§5.5: each tuple carries two
+// crowd IDs, one per (movie, rating) half; both must clear the threshold).
+std::vector<FourTuple> ThresholdTuples(std::vector<FourTuple> tuples, double threshold,
+                                       double drop_mean, double drop_sigma, Rng& noise_rng);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_ANALYSIS_COVARIANCE_H_

@@ -1,0 +1,56 @@
+#include "src/analysis/esa_sim.h"
+
+#include <unordered_map>
+
+namespace prochlo {
+
+SimShuffleResult SimulateShuffle(const std::vector<SimReport>& reports,
+                                 const ShufflerConfig& config, Rng& noise_rng) {
+  SimShuffleResult result;
+  result.stats.received = reports.size();
+
+  // Group values by crowd.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> crowds;
+  for (const auto& report : reports) {
+    crowds[report.crowd].push_back(report.value);
+  }
+  result.stats.crowds_seen = crowds.size();
+
+  for (auto& [crowd, values] : crowds) {
+    size_t count = values.size();
+    if (config.threshold_mode == ThresholdMode::kRandomized) {
+      size_t d = static_cast<size_t>(noise_rng.NextRoundedTruncatedGaussian(
+          config.policy.drop_mean, config.policy.drop_sigma));
+      d = std::min(d, count);
+      result.stats.dropped_noise += d;
+      count -= d;
+    }
+    bool keep = true;
+    if (config.threshold_mode != ThresholdMode::kNone) {
+      keep = static_cast<double>(count) >= config.policy.threshold;
+    }
+    if (!keep) {
+      result.stats.dropped_threshold += count;
+      continue;
+    }
+    result.stats.crowds_forwarded++;
+    result.stats.forwarded += count;
+    for (size_t k = 0; k < count; ++k) {
+      result.histogram[values[k]]++;
+    }
+  }
+  return result;
+}
+
+uint64_t CountRecoverableValues(const std::map<uint64_t, uint64_t>& histogram,
+                                uint64_t threshold) {
+  uint64_t recovered = 0;
+  for (const auto& [value, count] : histogram) {
+    if (count >= threshold) {
+      ++recovered;
+    }
+  }
+  return recovered;
+}
+
+}  // namespace prochlo

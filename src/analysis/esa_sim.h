@@ -1,0 +1,46 @@
+// Crypto-free ESA semantics for large-scale *utility* experiments.
+//
+// The utility of an ESA pipeline — which values reach the analyzer, at what
+// counts — depends only on the crowd-ID histogram and the thresholding
+// policy, not on the encryption (tested end-to-end at small N against the
+// real pipeline in tests/integration_test.cc).  This simulator applies
+// exactly the Shuffler's thresholding semantics to plain (crowd, value)
+// pairs, which lets the Figure 5 experiment run at the paper's 10M-report
+// scale on one machine.
+#ifndef PROCHLO_SRC_ANALYSIS_ESA_SIM_H_
+#define PROCHLO_SRC_ANALYSIS_ESA_SIM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/shuffler.h"
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+struct SimReport {
+  uint64_t crowd = 0;
+  uint64_t value = 0;
+};
+
+struct SimShuffleResult {
+  // Surviving value histogram at the analyzer.
+  std::map<uint64_t, uint64_t> histogram;
+  ShufflerStats stats;
+};
+
+// Applies the Shuffler's thresholding (none / naive / randomized) to the
+// reports, mirroring Shuffler::ThresholdAndStrip.
+SimShuffleResult SimulateShuffle(const std::vector<SimReport>& reports,
+                                 const ShufflerConfig& config, Rng& noise_rng);
+
+// Secret-share recovery semantics (§4.2): a value is recoverable iff at
+// least `threshold` of its reports survived.  Returns the number of distinct
+// recovered values.
+uint64_t CountRecoverableValues(const std::map<uint64_t, uint64_t>& histogram,
+                                uint64_t threshold);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_ANALYSIS_ESA_SIM_H_

@@ -1,0 +1,161 @@
+#include "src/analysis/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace prochlo {
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, uint64_t seed) : layer_sizes_(std::move(layer_sizes)) {
+  assert(layer_sizes_.size() >= 2);
+  Rng rng(seed);
+  layers_.reserve(layer_sizes_.size() - 1);
+  for (size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = layer_sizes_[l];
+    layer.out = layer_sizes_[l + 1];
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0f);
+    // He initialization.
+    float scale = std::sqrt(2.0f / static_cast<float>(layer.in));
+    for (auto& w : layer.weights) {
+      w = static_cast<float>(rng.NextGaussian()) * scale;
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<std::vector<float>> Mlp::ForwardActivations(std::span<const float> features) const {
+  std::vector<std::vector<float>> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.emplace_back(features.begin(), features.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const auto& input = activations.back();
+    std::vector<float> output(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      float acc = layer.bias[o];
+      const float* row = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) {
+        acc += row[i] * input[i];
+      }
+      // ReLU on hidden layers, identity (logits) on the last.
+      output[o] = (l + 1 < layers_.size()) ? std::max(0.0f, acc) : acc;
+    }
+    activations.push_back(std::move(output));
+  }
+  return activations;
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> features) const {
+  return ForwardActivations(features).back();
+}
+
+uint32_t Mlp::PredictClass(std::span<const float> features) const {
+  std::vector<float> logits = Forward(features);
+  return static_cast<uint32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double Mlp::TrainStep(std::span<const float> features, uint32_t label, float learning_rate) {
+  auto activations = ForwardActivations(features);
+  std::vector<float>& logits = activations.back();
+
+  // Softmax + cross-entropy gradient: p - onehot(label).
+  float max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0;
+  for (float z : logits) {
+    sum += std::exp(static_cast<double>(z - max_logit));
+  }
+  std::vector<float> gradient(logits.size());
+  double loss = 0;
+  for (size_t o = 0; o < logits.size(); ++o) {
+    double p = std::exp(static_cast<double>(logits[o] - max_logit)) / sum;
+    gradient[o] = static_cast<float>(p);
+    if (o == label) {
+      gradient[o] -= 1.0f;
+      loss = -std::log(std::max(p, 1e-12));
+    }
+  }
+
+  // Backprop with immediate SGD updates.
+  for (size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const auto& input = activations[l];
+    std::vector<float> input_gradient(layer.in, 0.0f);
+    for (size_t o = 0; o < layer.out; ++o) {
+      float g = gradient[o];
+      if (g == 0.0f) {
+        continue;
+      }
+      float* row = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) {
+        input_gradient[i] += row[i] * g;
+        row[i] -= learning_rate * g * input[i];
+      }
+      layer.bias[o] -= learning_rate * g;
+    }
+    if (l > 0) {
+      // Through the ReLU of the previous layer.
+      const auto& previous_output = activations[l];
+      for (size_t i = 0; i < layer.in; ++i) {
+        if (previous_output[i] <= 0.0f) {
+          input_gradient[i] = 0.0f;
+        }
+      }
+      gradient = std::move(input_gradient);
+    }
+  }
+  return loss;
+}
+
+MlpSequenceModel::MlpSequenceModel(uint32_t num_videos, uint32_t context_length, size_t hidden,
+                                   uint64_t seed)
+    : num_videos_(num_videos),
+      context_length_(context_length),
+      mlp_({static_cast<size_t>(num_videos) * context_length, hidden, num_videos}, seed) {}
+
+std::vector<float> MlpSequenceModel::Featurize(std::span<const uint32_t> context) const {
+  // Position-wise one-hot blocks; missing leading context stays zero.
+  std::vector<float> features(static_cast<size_t>(num_videos_) * context_length_, 0.0f);
+  size_t take = std::min<size_t>(context.size(), context_length_);
+  for (size_t p = 0; p < take; ++p) {
+    uint32_t video = context[context.size() - take + p];
+    size_t slot = context_length_ - take + p;
+    if (video < num_videos_) {
+      features[slot * num_videos_ + video] = 1.0f;
+    }
+  }
+  return features;
+}
+
+void MlpSequenceModel::TrainTuple(std::span<const uint32_t> tuple, float learning_rate) {
+  if (tuple.size() < 2) {
+    return;
+  }
+  auto context = tuple.subspan(0, tuple.size() - 1);
+  mlp_.TrainStep(Featurize(context), tuple.back(), learning_rate);
+}
+
+uint32_t MlpSequenceModel::PredictNext(std::span<const uint32_t> context) const {
+  return mlp_.PredictClass(Featurize(context));
+}
+
+double MlpSequenceModel::EvaluateTopOne(
+    const std::vector<std::vector<uint32_t>>& test_histories) const {
+  uint64_t total = 0;
+  uint64_t correct = 0;
+  for (const auto& history : test_histories) {
+    for (size_t i = 1; i < history.size(); ++i) {
+      size_t start = i >= context_length_ ? i - context_length_ : 0;
+      auto context = std::span<const uint32_t>(history.data() + start, i - start);
+      if (PredictNext(context) == history[i]) {
+        ++correct;
+      }
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace prochlo

@@ -1,0 +1,74 @@
+// A small from-scratch multi-layer perceptron (SGD, ReLU, softmax cross-
+// entropy) — the deep-learning substrate for the Suggest use case (paper
+// §5.4 trains "a multi-layer, fully-connected neural network that predicts
+// videos that users may want to view next, given their recent view
+// history").
+//
+// The paper's model runs on a GPU cluster over 500K videos; this substrate
+// reproduces the experiment's *shape* at small domains (see DESIGN.md):
+// context videos enter as averaged learned embeddings, and the output is a
+// softmax over the video vocabulary.
+#ifndef PROCHLO_SRC_ANALYSIS_MLP_H_
+#define PROCHLO_SRC_ANALYSIS_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+class Mlp {
+ public:
+  // layer_sizes = {input, hidden..., output}.
+  Mlp(std::vector<size_t> layer_sizes, uint64_t seed);
+
+  // One SGD step on (features, label); returns the cross-entropy loss.
+  double TrainStep(std::span<const float> features, uint32_t label, float learning_rate);
+
+  // Class logits for the input.
+  std::vector<float> Forward(std::span<const float> features) const;
+
+  uint32_t PredictClass(std::span<const float> features) const;
+
+  size_t input_size() const { return layer_sizes_.front(); }
+  size_t output_size() const { return layer_sizes_.back(); }
+
+ private:
+  struct Layer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<float> weights;  // out x in, row-major
+    std::vector<float> bias;
+  };
+
+  // Forward pass keeping activations for backprop.
+  std::vector<std::vector<float>> ForwardActivations(std::span<const float> features) const;
+
+  std::vector<size_t> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+// Sequence-prediction wrapper: embeds context videos (learned embedding
+// table folded into the first layer by multi-hot input) and predicts the
+// next video id.
+class MlpSequenceModel {
+ public:
+  MlpSequenceModel(uint32_t num_videos, uint32_t context_length, size_t hidden, uint64_t seed);
+
+  void TrainTuple(std::span<const uint32_t> tuple, float learning_rate);
+  uint32_t PredictNext(std::span<const uint32_t> context) const;
+  double EvaluateTopOne(const std::vector<std::vector<uint32_t>>& test_histories) const;
+
+ private:
+  std::vector<float> Featurize(std::span<const uint32_t> context) const;
+
+  uint32_t num_videos_;
+  uint32_t context_length_;
+  Mlp mlp_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_ANALYSIS_MLP_H_

@@ -1,0 +1,92 @@
+#include "src/analysis/sequence.h"
+
+#include <algorithm>
+
+namespace prochlo {
+
+NGramModel::NGramModel(uint32_t order) : order_(order) {}
+
+uint64_t NGramModel::ContextKey(std::span<const uint32_t> context) {
+  uint64_t h = 0x100000001b3ULL + context.size();
+  for (uint32_t item : context) {
+    h ^= item + 0x9e3779b97f4a7c15ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void NGramModel::AddTuple(std::span<const uint32_t> tuple) {
+  if (tuple.empty()) {
+    return;
+  }
+  uint32_t target = tuple.back();
+  global_counts_[target]++;
+  // Count every suffix context (for backoff): e.g. for (a, b, c) both
+  // (a,b)->c and (b)->c.
+  for (size_t len = 1; len < tuple.size(); ++len) {
+    auto context = tuple.subspan(tuple.size() - 1 - len, len);
+    context_counts_[ContextKey(context)][target]++;
+  }
+}
+
+void NGramModel::AddHistorySlidingWindows(const std::vector<uint32_t>& history) {
+  for (size_t end = 1; end < history.size(); ++end) {
+    size_t start = end >= order_ - 1 ? end - (order_ - 1) : 0;
+    AddTuple(std::span<const uint32_t>(history.data() + start, end - start + 1));
+  }
+}
+
+std::optional<uint32_t> NGramModel::PredictNext(std::span<const uint32_t> context) const {
+  // Back off from the longest usable context to the shortest.
+  size_t max_len = std::min<size_t>(context.size(), order_ - 1);
+  for (size_t len = max_len; len >= 1; --len) {
+    auto it = context_counts_.find(ContextKey(context.subspan(context.size() - len, len)));
+    if (it == context_counts_.end()) {
+      continue;
+    }
+    uint32_t best = 0;
+    uint32_t best_count = 0;
+    for (const auto& [next, count] : it->second) {
+      if (count > best_count || (count == best_count && next < best)) {
+        best = next;
+        best_count = count;
+      }
+    }
+    if (best_count > 0) {
+      return best;
+    }
+  }
+  // Global popularity fallback.
+  if (global_counts_.empty()) {
+    return std::nullopt;
+  }
+  uint32_t best = 0;
+  uint64_t best_count = 0;
+  for (const auto& [item, count] : global_counts_) {
+    if (count > best_count || (count == best_count && item < best)) {
+      best = item;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double NGramModel::EvaluateTopOne(
+    const std::vector<std::vector<uint32_t>>& test_histories) const {
+  uint64_t total = 0;
+  uint64_t correct = 0;
+  for (const auto& history : test_histories) {
+    for (size_t i = 1; i < history.size(); ++i) {
+      size_t start = i >= order_ - 1 ? i - (order_ - 1) : 0;
+      auto context = std::span<const uint32_t>(history.data() + start, i - start);
+      auto prediction = PredictNext(context);
+      if (prediction.has_value() && *prediction == history[i]) {
+        ++correct;
+      }
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace prochlo

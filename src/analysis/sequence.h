@@ -1,0 +1,58 @@
+// Next-view sequence prediction from anonymous m-tuples (paper §5.4).
+//
+// The paper trains a neural sequence model; the prediction signal it
+// exploits is the conditional distribution P(next | recent context), which a
+// count-based n-gram model with backoff captures directly (src/analysis/mlp
+// provides the neural variant for small domains).  What §5.4 measures is
+// the *gap* between
+//   * a model trained on full longitudinal histories (sliding windows), and
+//   * a model trained only on disjoint m-tuples that passed through the
+//     shuffler (no cross-tuple association possible),
+// reproduced here as top-1 next-view accuracy.
+#ifndef PROCHLO_SRC_ANALYSIS_SEQUENCE_H_
+#define PROCHLO_SRC_ANALYSIS_SEQUENCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace prochlo {
+
+class NGramModel {
+ public:
+  // `order` = tuple length m: the model conditions on up to m-1 previous
+  // items.
+  explicit NGramModel(uint32_t order);
+
+  // Adds one training tuple: the last element is the prediction target for
+  // the preceding context (all suffix sub-contexts are counted for backoff).
+  void AddTuple(std::span<const uint32_t> tuple);
+
+  // Trains on every sliding window of a full history (the no-privacy model).
+  void AddHistorySlidingWindows(const std::vector<uint32_t>& history);
+
+  // Argmax of P(next | context), backing off to shorter contexts and
+  // finally to global popularity; nullopt only if the model is empty.
+  std::optional<uint32_t> PredictNext(std::span<const uint32_t> context) const;
+
+  // Top-1 accuracy over test histories: predict position i from positions
+  // [i-order+1, i) for every i >= 1.
+  double EvaluateTopOne(const std::vector<std::vector<uint32_t>>& test_histories) const;
+
+  uint64_t num_contexts() const { return context_counts_.size(); }
+
+ private:
+  // Packed context key: polynomial hash of (length, items).
+  static uint64_t ContextKey(std::span<const uint32_t> context);
+
+  uint32_t order_;
+  // context key -> (next -> count)
+  std::unordered_map<uint64_t, std::unordered_map<uint32_t, uint32_t>> context_counts_;
+  std::unordered_map<uint32_t, uint64_t> global_counts_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_ANALYSIS_SEQUENCE_H_

@@ -1,0 +1,60 @@
+// Shuffler-side batching (paper §3.3): "shufflers forward stripped data
+// infrequently, in batches", collecting for a lengthy interval (an epoch,
+// e.g. one day) *and* until the batch is large enough for items to get lost
+// in the crowd.
+//
+// The collector is deliberately clock-free: callers advance epochs
+// explicitly (a real deployment ticks it from a timer), keeping tests and
+// simulations deterministic.
+#ifndef PROCHLO_SRC_CORE_BATCH_H_
+#define PROCHLO_SRC_CORE_BATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+class BatchCollector {
+ public:
+  // A batch is releasable once at least `min_epochs` epochs elapsed AND at
+  // least `min_batch_size` reports accumulated.
+  BatchCollector(size_t min_batch_size, uint64_t min_epochs)
+      : min_batch_size_(min_batch_size), min_epochs_(min_epochs) {}
+
+  void Add(Bytes report) { pending_.push_back(std::move(report)); }
+
+  // Marks the end of an epoch (e.g. a day).
+  void AdvanceEpoch() { ++epochs_elapsed_; }
+
+  bool Ready() const {
+    return epochs_elapsed_ >= min_epochs_ && pending_.size() >= min_batch_size_;
+  }
+
+  // Takes the accumulated batch if releasable; resets the epoch counter so
+  // the next batch again waits a full interval.
+  std::optional<std::vector<Bytes>> TakeBatch() {
+    if (!Ready()) {
+      return std::nullopt;
+    }
+    epochs_elapsed_ = 0;
+    std::vector<Bytes> batch = std::move(pending_);
+    pending_.clear();
+    return batch;
+  }
+
+  size_t pending_count() const { return pending_.size(); }
+  uint64_t epochs_elapsed() const { return epochs_elapsed_; }
+
+ private:
+  size_t min_batch_size_;
+  uint64_t min_epochs_;
+  uint64_t epochs_elapsed_ = 0;
+  std::vector<Bytes> pending_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_BATCH_H_

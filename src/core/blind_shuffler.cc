@@ -1,0 +1,120 @@
+#include "src/core/blind_shuffler.h"
+
+#include <atomic>
+#include <map>
+#include <optional>
+
+namespace prochlo {
+
+BlindShuffler1::BlindShuffler1(SecureRandom& rng)
+    : keys_(KeyPair::Generate(rng)), alpha_(rng.RandomScalar(P256::Get().order())) {}
+
+Result<std::vector<BlindedItem>> BlindShuffler1::Process(const std::vector<Bytes>& reports,
+                                                         SecureRandom& rng, ThreadPool* pool) {
+  stats_.received += reports.size();
+  std::vector<std::optional<BlindedItem>> slots(reports.size());
+
+  auto handle_one = [&](size_t i) {
+    auto view = OpenReport(keys_, reports[i]);
+    if (!view.has_value() || view->crowd.mode != CrowdIdMode::kBlinded ||
+        !view->crowd.blinded_ct.has_value()) {
+      return;  // malformed or wrong pipeline mode
+    }
+    BlindedItem item;
+    item.blinded_crowd = ElGamalBlind(*view->crowd.blinded_ct, alpha_);
+    item.inner_box = std::move(view->inner_box);
+    slots[i] = std::move(item);
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(reports.size(), handle_one);
+  } else {
+    for (size_t i = 0; i < reports.size(); ++i) {
+      handle_one(i);
+    }
+  }
+
+  std::vector<BlindedItem> items;
+  items.reserve(reports.size());
+  for (auto& slot : slots) {
+    if (slot.has_value()) {
+      items.push_back(std::move(*slot));
+    } else {
+      stats_.malformed++;
+    }
+  }
+  rng.ShuffleVector(items);
+  stats_.forwarded += items.size();
+  return items;
+}
+
+BlindShuffler2::BlindShuffler2(SecureRandom& rng, ShufflerConfig config)
+    : keys_(KeyPair::Generate(rng)), config_(config) {}
+
+Result<std::vector<Bytes>> BlindShuffler2::Process(std::vector<BlindedItem> items,
+                                                   SecureRandom& rng, Rng& noise_rng,
+                                                   ThreadPool* pool) {
+  stats_.received += items.size();
+
+  // Decrypt every blinded crowd ID to µ^α (parallelizable: pure ECC).
+  std::vector<Bytes> blinded_keys(items.size());
+  auto decrypt_one = [&](size_t i) {
+    EcPoint blinded = ElGamalDecrypt(keys_.private_key, items[i].blinded_crowd);
+    blinded_keys[i] = P256::Get().Encode(blinded);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(items.size(), decrypt_one);
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      decrypt_one(i);
+    }
+  }
+
+  // Group by blinded ID (equality is preserved by blinding) and threshold.
+  std::map<Bytes, std::vector<size_t>> crowds;
+  for (size_t i = 0; i < items.size(); ++i) {
+    crowds[blinded_keys[i]].push_back(i);
+  }
+  stats_.crowds_seen += crowds.size();
+
+  std::vector<Bytes> survivors;
+  survivors.reserve(items.size());
+  for (auto& [key, indices] : crowds) {
+    size_t count = indices.size();
+    if (config_.threshold_mode == ThresholdMode::kRandomized) {
+      size_t d = static_cast<size_t>(noise_rng.NextRoundedTruncatedGaussian(
+          config_.policy.drop_mean, config_.policy.drop_sigma));
+      d = std::min(d, count);
+      stats_.dropped_noise += d;
+      count -= d;
+    }
+    bool keep = true;
+    if (config_.threshold_mode != ThresholdMode::kNone) {
+      keep = static_cast<double>(count) >= config_.policy.threshold;
+    }
+    if (!keep) {
+      stats_.dropped_threshold += count;
+      continue;
+    }
+    stats_.crowds_forwarded++;
+    for (size_t k = 0; k < count; ++k) {
+      survivors.push_back(std::move(items[indices[k]].inner_box));
+    }
+  }
+
+  rng.ShuffleVector(survivors);
+  stats_.forwarded += survivors.size();
+  return survivors;
+}
+
+Result<std::vector<Bytes>> BlindShufflerPair::ProcessBatch(const std::vector<Bytes>& reports,
+                                                           SecureRandom& rng, Rng& noise_rng,
+                                                           ThreadPool* pool) {
+  auto stage1 = shuffler1_.Process(reports, rng, pool);
+  if (!stage1.ok()) {
+    return stage1.error();
+  }
+  return shuffler2_.Process(std::move(stage1).value(), rng, noise_rng, pool);
+}
+
+}  // namespace prochlo

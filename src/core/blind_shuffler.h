@@ -1,0 +1,95 @@
+// The split, two-party shuffler for blinded crowd IDs (paper §4.3).
+//
+// Two non-colluding parties jointly threshold on crowd IDs neither can see:
+//
+//   Shuffler 1 — holds the report outer-layer key and a per-epoch secret
+//   α ∈ Z_p.  It strips the outer layer, blinds each report's El Gamal
+//   crowd-ID ciphertext (gʳ, hʳ·µ) → (gʳᵅ, (hʳ·µ)ᵅ), shuffles, and forwards.
+//   It never sees crowd IDs (they are encrypted to Shuffler 2), and cannot
+//   dictionary-attack them (no Shuffler 2 private key).
+//
+//   Shuffler 2 — holds the El Gamal key x (h = g^x).  It decrypts each
+//   blinded ciphertext to µᵅ = H(crowd ID)ᵅ, a *blinded* ID that preserves
+//   equality, then counts, applies randomized thresholding, shuffles, and
+//   forwards the surviving inner boxes to the analyzer.  It cannot
+//   dictionary-attack either (no α).
+#ifndef PROCHLO_SRC_CORE_BLIND_SHUFFLER_H_
+#define PROCHLO_SRC_CORE_BLIND_SHUFFLER_H_
+
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/shuffler.h"
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+
+// A report between the two shufflers: blinded crowd-ID ciphertext plus the
+// analyzer-bound inner box.
+struct BlindedItem {
+  ElGamalCiphertext blinded_crowd;
+  Bytes inner_box;
+};
+
+class BlindShuffler1 {
+ public:
+  // Generates the outer-layer key pair and the blinding secret α.
+  explicit BlindShuffler1(SecureRandom& rng);
+
+  const EcPoint& public_key() const { return keys_.public_key; }
+
+  // Opens, blinds, and shuffles a batch.  Reports with plain-hash crowd
+  // parts are rejected as malformed in this pipeline.
+  Result<std::vector<BlindedItem>> Process(const std::vector<Bytes>& reports, SecureRandom& rng,
+                                           ThreadPool* pool = nullptr);
+
+  const ShufflerStats& stats() const { return stats_; }
+
+ private:
+  KeyPair keys_;
+  U256 alpha_;
+  ShufflerStats stats_;
+};
+
+class BlindShuffler2 {
+ public:
+  BlindShuffler2(SecureRandom& rng, ShufflerConfig config);
+
+  // The El Gamal public key clients encrypt crowd IDs to.
+  const EcPoint& elgamal_public_key() const { return keys_.public_key; }
+
+  // Decrypts blinded IDs, thresholds on them, shuffles, and strips.
+  Result<std::vector<Bytes>> Process(std::vector<BlindedItem> items, SecureRandom& rng,
+                                     Rng& noise_rng, ThreadPool* pool = nullptr);
+
+  const ShufflerStats& stats() const { return stats_; }
+
+ private:
+  KeyPair keys_;
+  ShufflerConfig config_;
+  ShufflerStats stats_;
+};
+
+// Convenience wiring of the two stages.
+class BlindShufflerPair {
+ public:
+  BlindShufflerPair(SecureRandom& rng, ShufflerConfig config)
+      : shuffler1_(rng), shuffler2_(rng, config) {}
+
+  const EcPoint& shuffler1_public() const { return shuffler1_.public_key(); }
+  const EcPoint& shuffler2_elgamal_public() const { return shuffler2_.elgamal_public_key(); }
+
+  Result<std::vector<Bytes>> ProcessBatch(const std::vector<Bytes>& reports, SecureRandom& rng,
+                                          Rng& noise_rng, ThreadPool* pool = nullptr);
+
+  const ShufflerStats& stats1() const { return shuffler1_.stats(); }
+  const ShufflerStats& stats2() const { return shuffler2_.stats(); }
+
+ private:
+  BlindShuffler1 shuffler1_;
+  BlindShuffler2 shuffler2_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_BLIND_SHUFFLER_H_

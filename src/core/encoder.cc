@@ -1,0 +1,80 @@
+#include "src/core/encoder.h"
+
+#include "src/crypto/hash_to_curve.h"
+
+namespace prochlo {
+
+Encoder::Encoder(EncoderConfig config) : config_(std::move(config)) {
+  if (config_.secret_share_threshold.has_value()) {
+    sharer_.emplace(*config_.secret_share_threshold);
+  }
+}
+
+Result<CrowdPart> Encoder::MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng) {
+  CrowdPart part;
+  part.mode = config_.crowd_mode;
+  if (config_.crowd_mode == CrowdIdMode::kPlainHash) {
+    part.plain_hash = CrowdIdHash(crowd_id);
+    return part;
+  }
+  if (!config_.shuffler2_public.has_value()) {
+    return Error{"blinded crowd IDs require shuffler2_public"};
+  }
+  // µ = H(crowd ID) encrypted to Shuffler 2 (§4.3).
+  EcPoint mu = HashToCurve(crowd_id);
+  part.blinded_ct = ElGamalEncrypt(*config_.shuffler2_public, mu, rng);
+  return part;
+}
+
+Result<Bytes> Encoder::EncodeReport(const std::string& crowd_id, ByteSpan payload,
+                                    SecureRandom& rng) {
+  auto padded = PadPayload(payload, config_.payload_size);
+  if (!padded.has_value()) {
+    return Error{"payload exceeds the pipeline's fixed payload size"};
+  }
+  auto crowd = MakeCrowdPart(crowd_id, rng);
+  if (!crowd.ok()) {
+    return crowd.error();
+  }
+  return SealReport(crowd.value(), *padded, config_.shuffler_public, config_.analyzer_public,
+                    rng);
+}
+
+Result<Bytes> Encoder::EncodeValue(const std::string& value, SecureRandom& rng) {
+  return EncodeValue(value, value, rng);
+}
+
+Result<Bytes> Encoder::EncodeValue(const std::string& value, const std::string& crowd_id,
+                                   SecureRandom& rng) {
+  if (sharer_.has_value()) {
+    SecretShareEncoding encoding = sharer_->Encode(ToBytes(value), rng);
+    return EncodeReport(crowd_id, encoding.Serialize(), rng);
+  }
+  return EncodeReport(crowd_id, ToBytes(value), rng);
+}
+
+Result<Bytes> Encoder::EncodeEnumValue(uint64_t value, uint64_t domain_size, double epsilon,
+                                       Rng& response_rng, SecureRandom& rng) {
+  if (value >= domain_size) {
+    return Error{"enum value outside its declared domain"};
+  }
+  RandomizedResponse response(domain_size, epsilon);
+  uint64_t reported = response.Randomize(value, response_rng);
+  std::string encoded = "enum:" + std::to_string(reported);
+  return EncodeValue(encoded, encoded, rng);
+}
+
+Result<EcPoint> VerifyShufflerAttestation(const AttestationQuote& quote,
+                                          const Measurement& expected,
+                                          const EcPoint& intel_root) {
+  if (!VerifyQuote(quote, expected, intel_root)) {
+    return Error{"attestation verification failed"};
+  }
+  auto key = P256::Get().Decode(quote.report_data);
+  if (!key.has_value()) {
+    return Error{"quote report data is not a valid public key"};
+  }
+  return *key;
+}
+
+}  // namespace prochlo

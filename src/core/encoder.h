@@ -1,0 +1,85 @@
+// The ESA Encoder (paper §3.2): runs on the client, transforms monitored
+// data for privacy, and seals it in nested encryption for the shuffler and
+// analyzer named by the embedded public keys.
+//
+// Supported encodings, composable per pipeline:
+//   * plain value reporting (payload = the value);
+//   * secret-share encoding (§4.2): payload = deterministic ciphertext + one
+//     Shamir share of the message-derived key, so the analyzer only unlocks
+//     values reported by at least t distinct clients;
+//   * blinded crowd IDs (§4.3): crowd ID sent as El Gamal ciphertext to
+//     Shuffler 2's key instead of a hash;
+//   * randomized response / bit flipping are applied by callers before
+//     encoding (see src/dp and the Perms workload).
+//
+// Clients verify the shuffler's SGX attestation before trusting its key
+// (VerifyShufflerAttestation).
+#ifndef PROCHLO_SRC_CORE_ENCODER_H_
+#define PROCHLO_SRC_CORE_ENCODER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/report.h"
+#include "src/crypto/secret_share.h"
+#include "src/dp/randomized_response.h"
+#include "src/sgx/attestation.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct EncoderConfig {
+  EcPoint shuffler_public;
+  EcPoint analyzer_public;
+  // Present in blinded mode: Shuffler 2's El Gamal key (§4.3).
+  std::optional<EcPoint> shuffler2_public;
+
+  CrowdIdMode crowd_mode = CrowdIdMode::kPlainHash;
+  // All payloads are padded to this size; reports in one pipeline are
+  // indistinguishable by length.  Must fit the largest encoding.
+  size_t payload_size = 64;
+  // When set, values are secret-share encoded with this threshold t.
+  std::optional<uint32_t> secret_share_threshold;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderConfig config);
+
+  // Encodes one report carrying `payload` tagged with `crowd_id`.
+  Result<Bytes> EncodeReport(const std::string& crowd_id, ByteSpan payload, SecureRandom& rng);
+
+  // Convenience for string-valued monitoring: the crowd ID defaults to the
+  // value itself (the Vocab §5.2 arrangement: crowd ID = hash of the word),
+  // and secret-share encoding is applied if configured.
+  Result<Bytes> EncodeValue(const std::string& value, SecureRandom& rng);
+  Result<Bytes> EncodeValue(const std::string& value, const std::string& crowd_id,
+                            SecureRandom& rng);
+
+  // Local-DP reporting for small enumerated domains (paper §3.5: "users may
+  // simply probabilistically report random values instead of true ones — a
+  // textbook form of randomized response"): applies ε-LDP k-ary randomized
+  // response to `value` in [0, domain_size) before encoding.  The reported
+  // (possibly flipped) value doubles as the crowd ID.
+  Result<Bytes> EncodeEnumValue(uint64_t value, uint64_t domain_size, double epsilon,
+                                Rng& response_rng, SecureRandom& rng);
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  Result<CrowdPart> MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng);
+
+  EncoderConfig config_;
+  std::optional<SecretSharer> sharer_;
+};
+
+// Client-side trust establishment (paper §4.1.1): verifies that `quote`
+// attests measurement `expected` under `intel_root` and returns the
+// shuffler public key it binds.
+Result<EcPoint> VerifyShufflerAttestation(const AttestationQuote& quote,
+                                          const Measurement& expected,
+                                          const EcPoint& intel_root);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_ENCODER_H_

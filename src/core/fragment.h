@@ -1,0 +1,65 @@
+// Data fragmentation helpers (paper §3.2, §5.4, §5.5): break a user's
+// correlated data into small, separately-shuffled pieces so that no single
+// anonymous report is both identifying and damaging.
+//
+//   * Pairwise fragments — the movie-ratings example: the set
+//     {(m0,r0),(m1,r1),(m2,r2)} is reported as its pairwise combinations.
+//   * Disjoint m-tuples — the Suggest example: a view history is cut into
+//     short consecutive, non-overlapping tuples.
+//   * Capped sampling — Flix sends only a bounded random subset of
+//     four-tuples per user.
+#ifndef PROCHLO_SRC_CORE_FRAGMENT_H_
+#define PROCHLO_SRC_CORE_FRAGMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+// All unordered pairs {items[i], items[j]}, i < j.
+template <typename T>
+std::vector<std::pair<T, T>> PairwiseFragments(const std::vector<T>& items) {
+  std::vector<std::pair<T, T>> pairs;
+  if (items.size() >= 2) {
+    pairs.reserve(items.size() * (items.size() - 1) / 2);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      pairs.emplace_back(items[i], items[j]);
+    }
+  }
+  return pairs;
+}
+
+// Consecutive disjoint windows of `m` items (trailing remainder dropped):
+// the §5.4 encoding where only anonymous, disassociated m-tuples of a
+// longitudinal history ever leave the client.
+template <typename T>
+std::vector<std::vector<T>> DisjointTuples(const std::vector<T>& sequence, size_t m) {
+  std::vector<std::vector<T>> tuples;
+  if (m == 0) {
+    return tuples;
+  }
+  for (size_t start = 0; start + m <= sequence.size(); start += m) {
+    tuples.emplace_back(sequence.begin() + start, sequence.begin() + start + m);
+  }
+  return tuples;
+}
+
+// A uniformly random subset of at most `cap` elements (§5.5: "only a random
+// set of four-tuples is sent by each user, capped in cardinality").
+template <typename T>
+std::vector<T> SampleCapped(std::vector<T> items, size_t cap, Rng& rng) {
+  if (items.size() <= cap) {
+    return items;
+  }
+  rng.Shuffle(items);
+  items.resize(cap);
+  return items;
+}
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_FRAGMENT_H_

@@ -1,0 +1,77 @@
+// End-to-end ESA pipeline wiring (paper Figure 1): encoders at clients, one
+// shuffler (or a blinded two-shuffler pair), and an analyzer, with the
+// attestation-based trust establishment of §4.1.1.
+//
+// This is the highest-level public API: construct a Pipeline with a
+// PipelineConfig, feed client values, and collect the analyzer-side
+// histogram.  The benches and examples drive experiments through it.
+#ifndef PROCHLO_SRC_CORE_PIPELINE_H_
+#define PROCHLO_SRC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/core/blind_shuffler.h"
+#include "src/core/encoder.h"
+#include "src/core/shuffler.h"
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+
+struct PipelineConfig {
+  // Single shuffler (plain-hash crowd IDs) or the §4.3 two-shuffler split.
+  bool use_blinded_crowd_ids = false;
+  ShufflerConfig shuffler;
+  // Secret-share encoding threshold; typically equal to the crowd threshold
+  // (§5.2 sets both to 20).
+  std::optional<uint32_t> secret_share_threshold;
+  size_t payload_size = 64;
+  // Worker threads for the crypto-heavy stages (0 = sequential).
+  size_t num_threads = 0;
+  // Deterministic seed for all pipeline randomness.
+  std::string seed = "prochlo-pipeline";
+};
+
+struct PipelineResult {
+  std::map<std::string, uint64_t> histogram;  // value -> count at analyzer
+  uint64_t locked_groups = 0;                 // secret-share groups not recovered
+  ShufflerStats shuffler_stats;   // single-shuffler mode, or stage 2 in blinded mode
+  ShufflerStats shuffler1_stats;  // blinded mode only
+  AnalyzerStats analyzer_stats;
+  // Wall-clock split, seconds (Table 3's columns).
+  double encode_shuffle1_seconds = 0;
+  double shuffle2_seconds = 0;
+  double analyze_seconds = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  // An encoder configured with this pipeline's keys (clients would each own
+  // one; they are stateless and shareable).
+  Encoder MakeEncoder() const;
+
+  // Runs the full pipeline over (crowd_id, value) client inputs.
+  // With secret-share encoding configured, the value is share-encoded.
+  Result<PipelineResult> Run(const std::vector<std::pair<std::string, std::string>>& inputs);
+
+  // Convenience: crowd ID = value (the Vocab arrangement).
+  Result<PipelineResult> RunValues(const std::vector<std::string>& values);
+
+ private:
+  PipelineConfig config_;
+  SecureRandom rng_;
+  Rng noise_rng_;
+  std::unique_ptr<ThreadPool> pool_;  // null when sequential
+  std::optional<Shuffler> shuffler_;
+  std::optional<BlindShufflerPair> blind_pair_;
+  Analyzer analyzer_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_PIPELINE_H_

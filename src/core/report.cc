@@ -1,0 +1,136 @@
+#include "src/core/report.h"
+
+#include <cstring>
+
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+
+uint64_t CrowdIdHash(const std::string& crowd_id) {
+  Sha256Digest digest = Sha256::TaggedHash("prochlo-crowd-id", ToBytes(crowd_id));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return out;
+}
+
+Bytes CrowdPart::Serialize() const {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(mode));
+  if (mode == CrowdIdMode::kPlainHash) {
+    w.PutU64(plain_hash);
+  } else {
+    w.PutBytes(blinded_ct->Serialize());
+  }
+  return w.Take();
+}
+
+std::optional<CrowdPart> CrowdPart::Deserialize(Reader& reader) {
+  uint8_t mode_byte = 0;
+  if (!reader.GetU8(&mode_byte)) {
+    return std::nullopt;
+  }
+  CrowdPart part;
+  if (mode_byte == static_cast<uint8_t>(CrowdIdMode::kPlainHash)) {
+    part.mode = CrowdIdMode::kPlainHash;
+    if (!reader.GetU64(&part.plain_hash)) {
+      return std::nullopt;
+    }
+  } else if (mode_byte == static_cast<uint8_t>(CrowdIdMode::kBlinded)) {
+    part.mode = CrowdIdMode::kBlinded;
+    Bytes ct_bytes;
+    if (!reader.GetBytes(2 * kEcPointEncodedSize, &ct_bytes)) {
+      return std::nullopt;
+    }
+    auto ct = ElGamalCiphertext::Deserialize(ct_bytes);
+    if (!ct.has_value()) {
+      return std::nullopt;
+    }
+    part.blinded_ct = *ct;
+  } else {
+    return std::nullopt;
+  }
+  return part;
+}
+
+Bytes ShufflerView::Serialize() const {
+  Writer w;
+  w.PutBytes(crowd.Serialize());
+  w.PutBytes(inner_box);  // rest of buffer
+  return w.Take();
+}
+
+std::optional<ShufflerView> ShufflerView::Deserialize(ByteSpan data) {
+  Reader reader(data);
+  ShufflerView view;
+  auto crowd = CrowdPart::Deserialize(reader);
+  if (!crowd.has_value()) {
+    return std::nullopt;
+  }
+  view.crowd = *crowd;
+  if (!reader.GetBytes(reader.remaining(), &view.inner_box)) {
+    return std::nullopt;
+  }
+  return view;
+}
+
+std::optional<Bytes> PadPayload(ByteSpan payload, size_t target_size) {
+  if (payload.size() + 4 > target_size) {
+    return std::nullopt;
+  }
+  Writer w;
+  w.PutLengthPrefixed(payload);
+  Bytes out = w.Take();
+  out.resize(target_size, 0);
+  return out;
+}
+
+std::optional<Bytes> UnpadPayload(ByteSpan padded) {
+  Reader reader(padded);
+  Bytes out;
+  if (!reader.GetLengthPrefixed(&out)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+Bytes SealReport(const CrowdPart& crowd, ByteSpan padded_payload,
+                 const EcPoint& shuffler_public, const EcPoint& analyzer_public,
+                 SecureRandom& rng) {
+  HybridBox inner = HybridSeal(analyzer_public, padded_payload, kAnalyzerLayerContext, rng);
+  ShufflerView view;
+  view.crowd = crowd;
+  view.inner_box = inner.Serialize();
+  Bytes shuffler_plaintext = view.Serialize();
+  HybridBox outer = HybridSeal(shuffler_public, shuffler_plaintext, kShufflerLayerContext, rng);
+  return outer.Serialize();
+}
+
+std::optional<ShufflerView> OpenReport(const KeyPair& shuffler_keys, ByteSpan report) {
+  auto outer = HybridBox::Deserialize(report);
+  if (!outer.has_value()) {
+    return std::nullopt;
+  }
+  auto plaintext = HybridOpen(shuffler_keys, *outer, kShufflerLayerContext);
+  if (!plaintext.has_value()) {
+    return std::nullopt;
+  }
+  return ShufflerView::Deserialize(*plaintext);
+}
+
+std::optional<Bytes> OpenInnerBox(const KeyPair& analyzer_keys, ByteSpan inner_box) {
+  auto box = HybridBox::Deserialize(inner_box);
+  if (!box.has_value()) {
+    return std::nullopt;
+  }
+  return HybridOpen(analyzer_keys, *box, kAnalyzerLayerContext);
+}
+
+size_t ReportWireSize(size_t padded_payload_size, CrowdIdMode mode) {
+  size_t crowd_bytes = 1 + (mode == CrowdIdMode::kPlainHash ? 8 : 2 * kEcPointEncodedSize);
+  size_t inner = HybridBox::SerializedSize(padded_payload_size);
+  return HybridBox::SerializedSize(crowd_bytes + inner);
+}
+
+}  // namespace prochlo

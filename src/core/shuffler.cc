@@ -1,0 +1,162 @@
+#include "src/core/shuffler.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/shuffle/oblivious_threshold.h"
+#include "src/shuffle/stash_shuffle.h"
+
+namespace prochlo {
+
+Shuffler::Shuffler(KeyPair keys, ShufflerConfig config)
+    : keys_(std::move(keys)), config_(config) {}
+
+Shuffler::Shuffler(Enclave& enclave, ShufflerConfig config)
+    : keys_(enclave.keys()), config_(config), enclave_(&enclave) {}
+
+std::vector<Bytes> Shuffler::ThresholdAndStrip(std::vector<ShufflerView> views,
+                                               Rng& noise_rng) {
+  // Group report indices by crowd hash.  (Inside the SGX deployment this is
+  // the §4.1.5 private-memory counting pass: one counter per distinct
+  // crowd ID, then a filtering pass; domains of up to ~20M fit.)
+  std::unordered_map<uint64_t, std::vector<size_t>> crowds;
+  for (size_t i = 0; i < views.size(); ++i) {
+    crowds[views[i].crowd.plain_hash].push_back(i);
+  }
+  stats_.crowds_seen += crowds.size();
+
+  std::vector<Bytes> survivors;
+  survivors.reserve(views.size());
+  for (auto& [crowd_hash, indices] : crowds) {
+    size_t count = indices.size();
+    if (config_.threshold_mode == ThresholdMode::kRandomized) {
+      // Drop d ~ ⌊N(D, σ²)⌉ items (truncated at 0) before thresholding
+      // (paper §3.5); which items are dropped is immaterial post-shuffle, so
+      // drop from the tail.
+      size_t d = static_cast<size_t>(
+          noise_rng.NextRoundedTruncatedGaussian(config_.policy.drop_mean,
+                                                 config_.policy.drop_sigma));
+      d = std::min(d, count);
+      stats_.dropped_noise += d;
+      count -= d;
+    }
+    bool keep = true;
+    if (config_.threshold_mode != ThresholdMode::kNone) {
+      keep = static_cast<double>(count) >= config_.policy.threshold;
+    }
+    if (!keep) {
+      stats_.dropped_threshold += count;
+      continue;
+    }
+    stats_.crowds_forwarded++;
+    for (size_t k = 0; k < count; ++k) {
+      survivors.push_back(std::move(views[indices[k]].inner_box));
+    }
+  }
+  return survivors;
+}
+
+Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& reports,
+                                                  SecureRandom& rng, Rng& noise_rng) {
+  if (reports.size() < config_.min_batch_size) {
+    return Error{"batch below the minimum cardinality; keep batching"};
+  }
+  stats_.received += reports.size();
+
+  std::vector<ShufflerView> views;
+  views.reserve(reports.size());
+
+  if (config_.use_stash_shuffle) {
+    if (enclave_ == nullptr) {
+      return Error{"stash shuffle requires an enclave-hosted shuffler"};
+    }
+    // Oblivious path: the Stash Shuffle strips the outer layer as records
+    // enter the enclave and emits shuffled ShufflerView plaintexts; the
+    // thresholding passes below then see no meaningful order.
+    StashShuffler::Options options;
+    options.open_outer = [this](const Bytes& record) -> std::optional<Bytes> {
+      auto view = OpenReport(keys_, record);
+      if (!view.has_value()) {
+        return std::nullopt;
+      }
+      return view->Serialize();
+    };
+    StashShuffler stash(*enclave_, std::move(options));
+    auto shuffled = ShuffleWithRetries(stash, reports, rng, /*max_attempts=*/5);
+    if (!shuffled.ok()) {
+      return shuffled.error();
+    }
+    for (const auto& raw : shuffled.value()) {
+      auto view = ShufflerView::Deserialize(raw);
+      if (!view.has_value()) {
+        stats_.malformed++;
+        continue;
+      }
+      views.push_back(std::move(*view));
+    }
+  } else {
+    for (const auto& report : reports) {
+      auto view = OpenReport(keys_, report);
+      if (!view.has_value()) {
+        stats_.malformed++;
+        continue;
+      }
+      views.push_back(std::move(*view));
+    }
+    // Trusted-deployment shuffle: plain Fisher-Yates over the opened views.
+    rng.ShuffleVector(views);
+  }
+
+  std::vector<Bytes> survivors;
+  if (config_.use_enclave_thresholding && enclave_ != nullptr) {
+    // In-enclave thresholding (§4.1.5).  Decide the routine up front from
+    // the crowd-ID domain cardinality: one counter per distinct value when
+    // the table fits private memory, the oblivious sort-based routine
+    // otherwise.
+    std::unordered_set<uint64_t> distinct;
+    distinct.reserve(views.size());
+    for (const auto& view : views) {
+      distinct.insert(view.crowd.plain_hash);
+    }
+    constexpr size_t kCounterSlot = 24;
+    size_t available = enclave_->memory().budget() - enclave_->memory().used();
+    bool counters_fit = distinct.size() * kCounterSlot <= available / 2;
+
+    std::vector<CrowdRecord> records;
+    records.reserve(views.size());
+    for (auto& view : views) {
+      records.push_back(CrowdRecord{view.crowd.plain_hash, std::move(view.inner_box)});
+    }
+    ThresholdPolicy policy = config_.policy;
+    if (config_.threshold_mode == ThresholdMode::kNone) {
+      policy = ThresholdPolicy{0, 0, 0};
+    } else if (config_.threshold_mode == ThresholdMode::kNaive) {
+      policy.drop_mean = 0;
+      policy.drop_sigma = 0;
+    }
+
+    Result<std::vector<CrowdRecord>> thresholded = std::vector<CrowdRecord>{};
+    if (counters_fit) {
+      CountingThresholder counting(*enclave_);
+      thresholded = counting.Threshold(std::move(records), policy, noise_rng);
+    } else {
+      SortingThresholder sorting(*enclave_);
+      thresholded = sorting.Threshold(std::move(records), policy, noise_rng);
+    }
+    if (!thresholded.ok()) {
+      return thresholded.error();
+    }
+    stats_.dropped_threshold += views.size() - thresholded.value().size();
+    for (auto& record : thresholded.value()) {
+      survivors.push_back(std::move(record.payload));
+    }
+  } else {
+    survivors = ThresholdAndStrip(std::move(views), noise_rng);
+  }
+  // Re-shuffle after thresholding so grouping order does not leak.
+  rng.ShuffleVector(survivors);
+  stats_.forwarded += survivors.size();
+  return survivors;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,91 @@
+// The ESA Shuffler (paper §3.3): anonymization, shuffling, thresholding, and
+// batching between untrusted clients and the analyzer.
+//
+// Pipeline per batch:
+//   1. batching  — refuse to process fewer than `min_batch_size` reports
+//                  (reports must get lost in a crowd);
+//   2. anonymize — strip the outer encryption layer (and with it all
+//                  metadata: arrival order is discarded below);
+//   3. threshold — group by crowd ID and apply naive or randomized
+//                  thresholding (drop d ~ ⌊N(D,σ²)⌉ per crowd, then require
+//                  count ≥ T), establishing DP for the crowd-ID multiset;
+//   4. shuffle   — re-order the survivors: either a plain in-memory
+//                  Fisher-Yates (trusted-third-party deployment) or the
+//                  oblivious Stash Shuffle inside the SGX enclave
+//                  (§4.1; hosted-by-the-analyzer deployment).
+//
+// Blinded crowd IDs are handled by the two-party split shuffler in
+// blind_shuffler.h.
+#ifndef PROCHLO_SRC_CORE_SHUFFLER_H_
+#define PROCHLO_SRC_CORE_SHUFFLER_H_
+
+#include <cstdint>
+
+#include "src/core/report.h"
+#include "src/dp/threshold_dp.h"
+#include "src/sgx/enclave.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+enum class ThresholdMode {
+  kNone,        // forward everything (the §5.2 NoCrowd arrangement)
+  kNaive,       // count >= T (k-anonymity-style; no DP)
+  kRandomized,  // drop noise then count >= T (DP for the crowd-ID multiset)
+};
+
+struct ShufflerConfig {
+  ThresholdMode threshold_mode = ThresholdMode::kRandomized;
+  ThresholdPolicy policy;      // T, D, sigma (paper §5: T=20, D=10, sigma=2)
+  size_t min_batch_size = 0;   // 0 = no batching constraint
+  bool use_stash_shuffle = false;  // requires an enclave
+  // Enclave-hosted deployments threshold inside the enclave (§4.1.5):
+  // counting thresholder for small crowd domains, with automatic fallback to
+  // the sort-based routine when the counter table would not fit.
+  bool use_enclave_thresholding = false;
+};
+
+struct ShufflerStats {
+  uint64_t received = 0;
+  uint64_t malformed = 0;
+  uint64_t dropped_noise = 0;      // randomized pre-threshold drops
+  uint64_t dropped_threshold = 0;  // below-T crowds
+  uint64_t forwarded = 0;
+  uint64_t crowds_seen = 0;
+  uint64_t crowds_forwarded = 0;
+};
+
+class Shuffler {
+ public:
+  // Trusted-third-party deployment: bare keys, in-memory shuffle.
+  Shuffler(KeyPair keys, ShufflerConfig config);
+  // SGX deployment: keys come from the enclave; the shuffle may route
+  // through the Stash Shuffle with metered private memory.
+  Shuffler(Enclave& enclave, ShufflerConfig config);
+
+  const EcPoint& public_key() const { return keys_.public_key; }
+
+  // Processes one batch of client reports and returns the shuffled,
+  // thresholded inner boxes for the analyzer.  `rng` drives cryptographic
+  // and permutation randomness; `noise_rng` drives thresholding noise
+  // (separate so experiments can be reproducible).
+  Result<std::vector<Bytes>> ProcessBatch(const std::vector<Bytes>& reports, SecureRandom& rng,
+                                          Rng& noise_rng);
+
+  const ShufflerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ShufflerStats{}; }
+
+ private:
+  // Shared thresholding logic over opened views, keyed by plain crowd hash.
+  std::vector<Bytes> ThresholdAndStrip(std::vector<ShufflerView> views, Rng& noise_rng);
+
+  KeyPair keys_;
+  ShufflerConfig config_;
+  Enclave* enclave_ = nullptr;  // borrowed; may be null
+  ShufflerStats stats_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CORE_SHUFFLER_H_

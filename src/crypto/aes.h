@@ -1,0 +1,44 @@
+// AES-128/AES-256 block cipher (FIPS 197), encryption direction only.
+//
+// PROCHLO only needs the forward direction: AES-GCM (src/crypto/gcm.h) builds
+// both seal and open from AES-CTR plus GHASH.  The implementation is a plain
+// S-box version — portable and auditable rather than fast; the benchmarks
+// account for it in their cost model.
+#ifndef PROCHLO_SRC_CRYPTO_AES_H_
+#define PROCHLO_SRC_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+constexpr size_t kAesBlockSize = 16;
+constexpr size_t kAes128KeySize = 16;
+constexpr size_t kAes256KeySize = 32;
+
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+// Expanded-key AES context.  Key size selects AES-128 (16 bytes) or AES-256
+// (32 bytes); other sizes are rejected by assertion.
+class Aes {
+ public:
+  explicit Aes(ByteSpan key);
+
+  // Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kAesBlockSize]) const;
+
+  AesBlock EncryptBlock(const AesBlock& in) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  // Maximum round keys: AES-256 has 14 rounds -> 15 round keys of 16 bytes.
+  uint32_t round_keys_[60];
+  int rounds_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_AES_H_

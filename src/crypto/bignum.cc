@@ -1,0 +1,286 @@
+#include "src/crypto/bignum.h"
+
+#include <cassert>
+
+namespace prochlo {
+
+U256 U256::FromBytes(ByteSpan be32) {
+  assert(be32.size() <= 32);
+  U256 out;
+  // Right-align shorter inputs, matching big-endian integer semantics.
+  size_t pad = 32 - be32.size();
+  for (size_t i = 0; i < be32.size(); ++i) {
+    size_t byte_index = 31 - (pad + i);  // position from the little end
+    out.limbs[byte_index / 8] |= static_cast<uint64_t>(be32[i]) << (8 * (byte_index % 8));
+  }
+  return out;
+}
+
+std::array<uint8_t, 32> U256::ToBytes() const {
+  std::array<uint8_t, 32> out;
+  for (int i = 0; i < 32; ++i) {
+    int byte_index = 31 - i;
+    out[i] = static_cast<uint8_t>(limbs[byte_index / 8] >> (8 * (byte_index % 8)));
+  }
+  return out;
+}
+
+U256 U256::FromHex(const std::string& hex) {
+  assert(hex.size() <= 64);
+  std::string padded = std::string(64 - hex.size(), '0') + hex;
+  Bytes raw = HexDecode(padded);
+  assert(raw.size() == 32);
+  return FromBytes(raw);
+}
+
+std::string U256::ToHex() const {
+  auto bytes = ToBytes();
+  return HexEncode(ByteSpan(bytes.data(), bytes.size()));
+}
+
+int U256::BitLength() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (limbs[limb] != 0) {
+      return 64 * limb + (64 - __builtin_clzll(limbs[limb]));
+    }
+  }
+  return 0;
+}
+
+std::strong_ordering U256::operator<=>(const U256& other) const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs[i] != other.limbs[i]) {
+      return limbs[i] < other.limbs[i] ? std::strong_ordering::less : std::strong_ordering::greater;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+uint64_t AddWithCarry(const U256& a, const U256& b, U256* out) {
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    __uint128_t sum = static_cast<__uint128_t>(a.limbs[i]) + b.limbs[i] + carry;
+    out->limbs[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    __uint128_t diff = static_cast<__uint128_t>(a.limbs[i]) - b.limbs[i] - borrow;
+    out->limbs[i] = static_cast<uint64_t>(diff);
+    borrow = static_cast<uint64_t>((diff >> 64) & 1);
+  }
+  return borrow;
+}
+
+std::array<uint64_t, 8> MulWide(const U256& a, const U256& b) {
+  std::array<uint64_t, 8> out = {0};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      __uint128_t acc =
+          static_cast<__uint128_t>(a.limbs[i]) * b.limbs[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+U256 ShiftRight1(const U256& a) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    out.limbs[i] = a.limbs[i] >> 1;
+    if (i < 3) {
+      out.limbs[i] |= a.limbs[i + 1] << 63;
+    }
+  }
+  return out;
+}
+
+namespace {
+// -m^{-1} mod 2^64 by Newton iteration on the low limb.
+uint64_t NegInverse64(uint64_t m) {
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {  // 2^(2^6) = 2^64 bits of precision
+    inv *= 2 - m * inv;
+  }
+  return ~inv + 1;  // -inv mod 2^64
+}
+}  // namespace
+
+ModField::ModField(const U256& modulus) : modulus_(modulus) {
+  assert(modulus.IsOdd());
+  n0_inv_ = NegInverse64(modulus.limbs[0]);
+
+  // R^2 mod m by starting from 1 and doubling 512 times.
+  U256 acc = U256::One();
+  // Normalize 1 into [0, m) — trivially true for m > 1.
+  for (int i = 0; i < 512; ++i) {
+    U256 doubled;
+    uint64_t carry = AddWithCarry(acc, acc, &doubled);
+    U256 reduced;
+    uint64_t borrow = SubWithBorrow(doubled, modulus_, &reduced);
+    // Keep the reduced value if doubling overflowed or doubled >= m.
+    acc = (carry != 0 || borrow == 0) ? reduced : doubled;
+  }
+  r2_ = acc;
+}
+
+U256 ModField::Add(const U256& a, const U256& b) const {
+  U256 sum;
+  uint64_t carry = AddWithCarry(a, b, &sum);
+  U256 reduced;
+  uint64_t borrow = SubWithBorrow(sum, modulus_, &reduced);
+  return (carry != 0 || borrow == 0) ? reduced : sum;
+}
+
+U256 ModField::Sub(const U256& a, const U256& b) const {
+  U256 diff;
+  uint64_t borrow = SubWithBorrow(a, b, &diff);
+  if (borrow != 0) {
+    U256 wrapped;
+    AddWithCarry(diff, modulus_, &wrapped);
+    return wrapped;
+  }
+  return diff;
+}
+
+U256 ModField::Neg(const U256& a) const {
+  if (a.IsZero()) {
+    return a;
+  }
+  U256 out;
+  SubWithBorrow(modulus_, a, &out);
+  return out;
+}
+
+U256 ModField::MontMul(const U256& a, const U256& b) const {
+  // CIOS Montgomery multiplication with 4 limbs.
+  uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      __uint128_t acc = static_cast<__uint128_t>(a.limbs[i]) * b.limbs[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    __uint128_t acc = static_cast<__uint128_t>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(acc);
+    t[5] = static_cast<uint64_t>(acc >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * modulus; t >>= 64
+    uint64_t m = t[0] * n0_inv_;
+    carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      __uint128_t acc2 = static_cast<__uint128_t>(m) * modulus_.limbs[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(acc2);
+      carry = static_cast<uint64_t>(acc2 >> 64);
+    }
+    __uint128_t acc3 = static_cast<__uint128_t>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(acc3);
+    t[5] += static_cast<uint64_t>(acc3 >> 64);
+
+    // Shift down one limb.
+    for (int j = 0; j < 5; ++j) {
+      t[j] = t[j + 1];
+    }
+    t[5] = 0;
+  }
+
+  U256 result{{t[0], t[1], t[2], t[3]}};
+  if (t[4] != 0 || result >= modulus_) {
+    U256 reduced;
+    SubWithBorrow(result, modulus_, &reduced);
+    return reduced;
+  }
+  return result;
+}
+
+U256 ModField::Mul(const U256& a, const U256& b) const {
+  return FromMont(MontMul(ToMont(a), ToMont(b)));
+}
+
+U256 ModField::Exp(const U256& base, const U256& exponent) const {
+  U256 result = ToMont(U256::One());
+  U256 acc = ToMont(Reduce(base));
+  int bits = exponent.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = MontMul(result, result);
+    if (exponent.Bit(i)) {
+      result = MontMul(result, acc);
+    }
+  }
+  return FromMont(result);
+}
+
+U256 ModField::Inv(const U256& a) const {
+  // a^(m-2) mod m for prime m.
+  U256 exp;
+  SubWithBorrow(modulus_, U256::FromU64(2), &exp);
+  return Exp(a, exp);
+}
+
+bool ModField::Sqrt(const U256& a, U256* root) const {
+  // Only the p ≡ 3 (mod 4) case is implemented (true for the P-256 prime);
+  // other moduli would need Tonelli-Shanks.
+  if ((modulus_.limbs[0] & 3) != 3) {
+    return false;
+  }
+  U256 exp;
+  AddWithCarry(modulus_, U256::One(), &exp);
+  exp = ShiftRight1(ShiftRight1(exp));
+  U256 candidate = Exp(a, exp);
+  if (Mul(candidate, candidate) != Reduce(a)) {
+    return false;
+  }
+  *root = candidate;
+  return true;
+}
+
+U256 ModField::Reduce(const U256& a) const {
+  if (a < modulus_) {
+    return a;
+  }
+  U256 reduced;
+  SubWithBorrow(a, modulus_, &reduced);
+  // One subtraction suffices only if a < 2m; fall back to Montgomery for the
+  // general case.
+  if (reduced < modulus_) {
+    return reduced;
+  }
+  std::array<uint64_t, 8> wide = {a.limbs[0], a.limbs[1], a.limbs[2], a.limbs[3], 0, 0, 0, 0};
+  return ReduceWide(wide);
+}
+
+U256 ModField::ReduceWide(const std::array<uint64_t, 8>& wide) const {
+  // Split into hi * 2^256 + lo and use Montgomery identities:
+  //   value mod m = MontMul(lo, R2)·R^{-1}... simpler: iterate binary.
+  // We use: result = FromMont(ToMont(hi) * ToMont(R mod m)) + lo reduction.
+  // For clarity (init-time / non-hot path), do simple shift-add reduction.
+  U256 result = U256::Zero();
+  for (int bit = 511; bit >= 0; --bit) {
+    // result = result * 2 mod m
+    U256 doubled;
+    uint64_t carry = AddWithCarry(result, result, &doubled);
+    U256 reduced;
+    uint64_t borrow = SubWithBorrow(doubled, modulus_, &reduced);
+    result = (carry != 0 || borrow == 0) ? reduced : doubled;
+    // add current bit
+    if ((wide[bit / 64] >> (bit % 64)) & 1) {
+      U256 plus_one;
+      carry = AddWithCarry(result, U256::One(), &plus_one);
+      U256 reduced2;
+      borrow = SubWithBorrow(plus_one, modulus_, &reduced2);
+      result = (carry != 0 || borrow == 0) ? reduced2 : plus_one;
+    }
+  }
+  return result;
+}
+
+}  // namespace prochlo

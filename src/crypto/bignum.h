@@ -1,0 +1,97 @@
+// Fixed-width 256-bit integers and modular arithmetic.
+//
+// This is the arithmetic substrate for the NIST P-256 curve (src/crypto/p256)
+// and for the prime-field Shamir secret sharing of §4.2.  `ModField`
+// implements Montgomery multiplication for any odd 256-bit modulus.
+//
+// NOTE: not constant-time.  The paper's deployment uses a vetted crypto
+// library; this from-scratch version reproduces functionality and cost shape
+// for the systems experiments (see DESIGN.md substitutions).
+#ifndef PROCHLO_SRC_CRYPTO_BIGNUM_H_
+#define PROCHLO_SRC_CRYPTO_BIGNUM_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// Unsigned 256-bit integer, little-endian 64-bit limbs.
+struct U256 {
+  std::array<uint64_t, 4> limbs = {0, 0, 0, 0};
+
+  static U256 Zero() { return U256{}; }
+  static U256 One() { return U256{{1, 0, 0, 0}}; }
+  static U256 FromU64(uint64_t v) { return U256{{v, 0, 0, 0}}; }
+
+  // Big-endian 32-byte conversion (the standard wire form for P-256).
+  static U256 FromBytes(ByteSpan be32);
+  std::array<uint8_t, 32> ToBytes() const;
+
+  // Big-endian hex (no 0x prefix); accepts up to 64 hex digits.
+  static U256 FromHex(const std::string& hex);
+  std::string ToHex() const;
+
+  bool IsZero() const { return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0; }
+  bool IsOdd() const { return (limbs[0] & 1) != 0; }
+  bool Bit(int i) const { return ((limbs[i / 64] >> (i % 64)) & 1) != 0; }
+  // Index of highest set bit, or -1 for zero.
+  int BitLength() const;
+
+  bool operator==(const U256&) const = default;
+  std::strong_ordering operator<=>(const U256& other) const;
+};
+
+// a + b, returning the carry-out.
+uint64_t AddWithCarry(const U256& a, const U256& b, U256* out);
+// a - b, returning the borrow-out.
+uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out);
+// Full 256x256 -> 512-bit product (little-endian 8 limbs).
+std::array<uint64_t, 8> MulWide(const U256& a, const U256& b);
+// Logical right shift by one bit.
+U256 ShiftRight1(const U256& a);
+
+// Modular arithmetic for an odd 256-bit modulus, Montgomery-based.
+// All public entry points take and return values in the *normal* domain.
+class ModField {
+ public:
+  explicit ModField(const U256& modulus);
+
+  const U256& modulus() const { return modulus_; }
+
+  U256 Add(const U256& a, const U256& b) const;
+  U256 Sub(const U256& a, const U256& b) const;
+  U256 Neg(const U256& a) const;
+  U256 Mul(const U256& a, const U256& b) const;
+  U256 Sqr(const U256& a) const { return Mul(a, a); }
+  U256 Exp(const U256& base, const U256& exponent) const;
+  // Inverse via Fermat (modulus must be prime).
+  U256 Inv(const U256& a) const;
+  // Square root for primes p ≡ 3 (mod 4); returns false if `a` is a
+  // non-residue.
+  bool Sqrt(const U256& a, U256* root) const;
+
+  // Reduces an arbitrary 256-bit value into [0, modulus).
+  U256 Reduce(const U256& a) const;
+  // Reduces a 512-bit value (little-endian limbs) modulo the modulus.
+  U256 ReduceWide(const std::array<uint64_t, 8>& wide) const;
+
+  // Montgomery-domain primitives, exposed for hot loops (the P-256 point
+  // arithmetic keeps coordinates in the Montgomery domain throughout a scalar
+  // multiplication and converts only at the edges).
+  U256 MontMul(const U256& a, const U256& b) const;
+  U256 ToMont(const U256& a) const { return MontMul(a, r2_); }
+  U256 FromMont(const U256& a) const { return MontMul(a, U256::One()); }
+
+ private:
+  U256 modulus_;
+  uint64_t n0_inv_;  // -modulus^{-1} mod 2^64
+  U256 r2_;          // R^2 mod modulus, R = 2^256
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_BIGNUM_H_

@@ -1,0 +1,89 @@
+#include "src/crypto/ecdsa.h"
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+
+Bytes EcdsaSignature::Serialize() const {
+  Bytes out;
+  auto r_bytes = r.ToBytes();
+  auto s_bytes = s.ToBytes();
+  out.insert(out.end(), r_bytes.begin(), r_bytes.end());
+  out.insert(out.end(), s_bytes.begin(), s_bytes.end());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::Deserialize(ByteSpan data) {
+  if (data.size() != 64) {
+    return std::nullopt;
+  }
+  EcdsaSignature sig;
+  sig.r = U256::FromBytes(data.subspan(0, 32));
+  sig.s = U256::FromBytes(data.subspan(32, 32));
+  return sig;
+}
+
+namespace {
+// Deterministic per-message nonce: HMAC(priv, digest || counter) reduced mod
+// n, rejection-sampled.  A simplification of RFC 6979 with the same security
+// intent (never reuse k, never leak bias).
+U256 DeterministicNonce(const U256& private_key, const Sha256Digest& digest, const U256& order) {
+  auto key_bytes = private_key.ToBytes();
+  uint8_t counter = 0;
+  for (;;) {
+    Bytes msg(digest.begin(), digest.end());
+    msg.push_back(counter++);
+    Sha256Digest candidate_bytes = HmacSha256(ByteSpan(key_bytes.data(), key_bytes.size()), msg);
+    U256 candidate = U256::FromBytes(ByteSpan(candidate_bytes.data(), candidate_bytes.size()));
+    if (!candidate.IsZero() && candidate < order) {
+      return candidate;
+    }
+  }
+}
+}  // namespace
+
+EcdsaSignature EcdsaSign(const U256& private_key, ByteSpan message) {
+  const P256& curve = P256::Get();
+  const ModField& fn = curve.scalar_field();
+  Sha256Digest digest = Sha256::Hash(message);
+  U256 e = fn.Reduce(U256::FromBytes(ByteSpan(digest.data(), digest.size())));
+
+  for (uint8_t attempt = 0;; ++attempt) {
+    Sha256Digest tweaked = digest;
+    tweaked[0] ^= attempt;  // retry path for pathological r/s == 0
+    U256 k = DeterministicNonce(private_key, tweaked, curve.order());
+    EcPoint kg = curve.BaseMult(k);
+    U256 r = fn.Reduce(kg.x);
+    if (r.IsZero()) {
+      continue;
+    }
+    // s = k^-1 (e + r * priv)
+    U256 s = fn.Mul(fn.Inv(k), fn.Add(e, fn.Mul(r, private_key)));
+    if (s.IsZero()) {
+      continue;
+    }
+    return EcdsaSignature{r, s};
+  }
+}
+
+bool EcdsaVerify(const EcPoint& public_key, ByteSpan message, const EcdsaSignature& signature) {
+  const P256& curve = P256::Get();
+  const ModField& fn = curve.scalar_field();
+  if (signature.r.IsZero() || signature.s.IsZero() || signature.r >= curve.order() ||
+      signature.s >= curve.order() || public_key.infinity || !curve.IsOnCurve(public_key)) {
+    return false;
+  }
+  Sha256Digest digest = Sha256::Hash(message);
+  U256 e = fn.Reduce(U256::FromBytes(ByteSpan(digest.data(), digest.size())));
+  U256 w = fn.Inv(signature.s);
+  U256 u1 = fn.Mul(e, w);
+  U256 u2 = fn.Mul(signature.r, w);
+  EcPoint point = curve.Add(curve.BaseMult(u1), curve.ScalarMult(public_key, u2));
+  if (point.infinity) {
+    return false;
+  }
+  return fn.Reduce(point.x) == signature.r;
+}
+
+}  // namespace prochlo

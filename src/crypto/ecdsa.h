@@ -1,0 +1,33 @@
+// ECDSA over P-256 with SHA-256 and deterministic nonces (RFC 6979 flavour).
+//
+// Used to sign and verify the simulated SGX attestation quotes: the fake
+// "Intel" root signs provisioning certificates, and enclaves sign quotes
+// asserting "an enclave with measurement X published public key PK" (paper
+// §4.1.1).
+#ifndef PROCHLO_SRC_CRYPTO_ECDSA_H_
+#define PROCHLO_SRC_CRYPTO_ECDSA_H_
+
+#include <optional>
+
+#include "src/crypto/keys.h"
+#include "src/crypto/p256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  Bytes Serialize() const;  // r || s, 64 bytes
+  static std::optional<EcdsaSignature> Deserialize(ByteSpan data);
+};
+
+// Signs SHA-256(message) with a deterministic HMAC-derived nonce.
+EcdsaSignature EcdsaSign(const U256& private_key, ByteSpan message);
+
+bool EcdsaVerify(const EcPoint& public_key, ByteSpan message, const EcdsaSignature& signature);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_ECDSA_H_

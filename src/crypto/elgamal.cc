@@ -1,0 +1,55 @@
+#include "src/crypto/elgamal.h"
+
+namespace prochlo {
+
+Bytes ElGamalCiphertext::Serialize() const {
+  const P256& curve = P256::Get();
+  Bytes out = curve.Encode(c1);
+  Bytes c2_bytes = curve.Encode(c2);
+  out.insert(out.end(), c2_bytes.begin(), c2_bytes.end());
+  return out;
+}
+
+std::optional<ElGamalCiphertext> ElGamalCiphertext::Deserialize(ByteSpan data) {
+  const P256& curve = P256::Get();
+  if (data.size() != 2 * kEcPointEncodedSize) {
+    return std::nullopt;
+  }
+  auto c1 = curve.Decode(data.subspan(0, kEcPointEncodedSize));
+  auto c2 = curve.Decode(data.subspan(kEcPointEncodedSize, kEcPointEncodedSize));
+  if (!c1.has_value() || !c2.has_value()) {
+    return std::nullopt;
+  }
+  return ElGamalCiphertext{*c1, *c2};
+}
+
+ElGamalCiphertext ElGamalEncrypt(const EcPoint& recipient_public, const EcPoint& message,
+                                 SecureRandom& rng) {
+  const P256& curve = P256::Get();
+  U256 r = rng.RandomScalar(curve.order());
+  EcPoint c1 = curve.BaseMult(r);
+  EcPoint c2 = curve.Add(curve.ScalarMult(recipient_public, r), message);
+  return ElGamalCiphertext{c1, c2};
+}
+
+ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext, const U256& alpha) {
+  const P256& curve = P256::Get();
+  return ElGamalCiphertext{curve.ScalarMult(ciphertext.c1, alpha),
+                           curve.ScalarMult(ciphertext.c2, alpha)};
+}
+
+ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
+                                     const EcPoint& recipient_public, SecureRandom& rng) {
+  const P256& curve = P256::Get();
+  U256 s = rng.RandomScalar(curve.order());
+  return ElGamalCiphertext{curve.Add(ciphertext.c1, curve.BaseMult(s)),
+                           curve.Add(ciphertext.c2, curve.ScalarMult(recipient_public, s))};
+}
+
+EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphertext) {
+  const P256& curve = P256::Get();
+  EcPoint shared = curve.ScalarMult(ciphertext.c1, private_key);
+  return curve.Add(ciphertext.c2, curve.Negate(shared));
+}
+
+}  // namespace prochlo

@@ -1,0 +1,54 @@
+// EC-El-Gamal encryption with multiplicative (here: scalar) blinding, the
+// cryptographic core of PROCHLO's split-shuffler private thresholding
+// (paper §4.3).
+//
+// Protocol roles:
+//   * Encoder: hashes the crowd ID to µ = H(crowd ID) and El Gamal-encrypts
+//     it to Shuffler 2's public key h = xG as (rG, rH + µ) — additive
+//     notation for the paper's (g^r, h^r · µ).
+//   * Shuffler 1: blinds the ciphertext with its secret α: (αrG, α(rH + µ)),
+//     then shuffles and forwards.
+//   * Shuffler 2: decrypts with x to recover αµ = α·H(crowd ID) — a *blinded*
+//     crowd ID that preserves equality, enabling counting and thresholding
+//     without learning the ID, and without either shuffler alone being able
+//     to mount a dictionary attack.
+#ifndef PROCHLO_SRC_CRYPTO_ELGAMAL_H_
+#define PROCHLO_SRC_CRYPTO_ELGAMAL_H_
+
+#include <optional>
+
+#include "src/crypto/keys.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// An El Gamal ciphertext (c1, c2) = (rG, rH + M).
+struct ElGamalCiphertext {
+  EcPoint c1;
+  EcPoint c2;
+
+  Bytes Serialize() const;  // 130 bytes: both points uncompressed
+  static std::optional<ElGamalCiphertext> Deserialize(ByteSpan data);
+};
+
+// Encrypts group element `message` to `recipient_public`.
+ElGamalCiphertext ElGamalEncrypt(const EcPoint& recipient_public, const EcPoint& message,
+                                 SecureRandom& rng);
+
+// Multiplies both components by `alpha`:  Dec(Blind(ct, α)) = α·M.
+// Blinding commutes with decryption and preserves equality of plaintexts.
+ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext, const U256& alpha);
+
+// Re-randomizes a ciphertext without changing the plaintext (adds an
+// encryption of the identity), hiding the link between input and output.
+ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
+                                     const EcPoint& recipient_public, SecureRandom& rng);
+
+// Decrypts to the (possibly blinded) message point: c2 - x·c1.
+EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphertext);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_ELGAMAL_H_

@@ -1,0 +1,183 @@
+#include "src/crypto/gcm.h"
+
+#include <cstring>
+
+namespace prochlo {
+
+namespace {
+// Reduction constants for 4-bit-window GHASH (Shoup's method); entries are
+// the low 16 bits of x^(i) * R mod P, shifted into place during folding.
+constexpr uint64_t kLast4[16] = {0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+                                 0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void StoreBe64(uint64_t v, uint8_t* p) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+}  // namespace
+
+AesGcm::AesGcm(ByteSpan key) : aes_(key) {
+  // H = AES_K(0^128).
+  uint8_t h_block[16] = {0};
+  aes_.EncryptBlock(h_block);
+  uint64_t vh = LoadBe64(h_block);
+  uint64_t vl = LoadBe64(h_block + 8);
+
+  table_hi_[8] = vh;
+  table_lo_[8] = vl;
+  for (int i = 4; i > 0; i >>= 1) {
+    uint32_t t = static_cast<uint32_t>(vl & 1) * 0xe1000000u;
+    vl = (vh << 63) | (vl >> 1);
+    vh = (vh >> 1) ^ (static_cast<uint64_t>(t) << 32);
+    table_hi_[i] = vh;
+    table_lo_[i] = vl;
+  }
+  for (int i = 2; i <= 8; i *= 2) {
+    for (int j = 1; j < i; ++j) {
+      table_hi_[i + j] = table_hi_[i] ^ table_hi_[j];
+      table_lo_[i + j] = table_lo_[i] ^ table_lo_[j];
+    }
+  }
+  table_hi_[0] = 0;
+  table_lo_[0] = 0;
+}
+
+namespace {
+// One GHASH block multiplication: state <- (state ^ block) * H, carried out
+// via the precomputed 4-bit tables.
+void GhashMult(const uint64_t* table_hi, const uint64_t* table_lo, uint8_t state[16]) {
+  uint8_t lo = state[15] & 0x0f;
+  uint64_t zh = table_hi[lo];
+  uint64_t zl = table_lo[lo];
+
+  for (int i = 15; i >= 0; --i) {
+    lo = state[i] & 0x0f;
+    uint8_t hi = state[i] >> 4;
+    if (i != 15) {
+      uint8_t rem = static_cast<uint8_t>(zl & 0x0f);
+      zl = (zh << 60) | (zl >> 4);
+      zh = (zh >> 4) ^ (kLast4[rem] << 48);
+      zh ^= table_hi[lo];
+      zl ^= table_lo[lo];
+    }
+    uint8_t rem = static_cast<uint8_t>(zl & 0x0f);
+    zl = (zh << 60) | (zl >> 4);
+    zh = (zh >> 4) ^ (kLast4[rem] << 48);
+    zh ^= table_hi[hi];
+    zl ^= table_lo[hi];
+  }
+  StoreBe64(zh, state);
+  StoreBe64(zl, state + 8);
+}
+}  // namespace
+
+std::array<uint8_t, 16> AesGcm::Ghash(ByteSpan aad, ByteSpan ciphertext) const {
+  std::array<uint8_t, 16> y = {0};
+
+  auto absorb = [&](ByteSpan data) {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      size_t take = std::min<size_t>(16, data.size() - offset);
+      for (size_t i = 0; i < take; ++i) {
+        y[i] ^= data[offset + i];
+      }
+      GhashMult(table_hi_, table_lo_, y.data());
+      offset += take;
+    }
+  };
+
+  absorb(aad);
+  absorb(ciphertext);
+
+  uint8_t lengths[16];
+  StoreBe64(static_cast<uint64_t>(aad.size()) * 8, lengths);
+  StoreBe64(static_cast<uint64_t>(ciphertext.size()) * 8, lengths + 8);
+  for (int i = 0; i < 16; ++i) {
+    y[i] ^= lengths[i];
+  }
+  GhashMult(table_hi_, table_lo_, y.data());
+  return y;
+}
+
+void AesGcm::CtrCrypt(const GcmNonce& nonce, ByteSpan in, uint8_t* out) const {
+  uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), kGcmNonceSize);
+  uint32_t counter = 2;  // Counter 1 is reserved for the tag mask.
+  size_t offset = 0;
+  while (offset < in.size()) {
+    counter_block[12] = static_cast<uint8_t>(counter >> 24);
+    counter_block[13] = static_cast<uint8_t>(counter >> 16);
+    counter_block[14] = static_cast<uint8_t>(counter >> 8);
+    counter_block[15] = static_cast<uint8_t>(counter);
+    uint8_t keystream[16];
+    std::memcpy(keystream, counter_block, 16);
+    aes_.EncryptBlock(keystream);
+    size_t take = std::min<size_t>(16, in.size() - offset);
+    for (size_t i = 0; i < take; ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+    offset += take;
+    ++counter;
+  }
+}
+
+Bytes AesGcm::Seal(const GcmNonce& nonce, ByteSpan plaintext, ByteSpan aad) const {
+  Bytes out(plaintext.size() + kGcmTagSize);
+  CtrCrypt(nonce, plaintext, out.data());
+
+  std::array<uint8_t, 16> tag = Ghash(aad, ByteSpan(out.data(), plaintext.size()));
+
+  // Tag mask E_K(J0) with J0 = nonce || 1.
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kGcmNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  aes_.EncryptBlock(j0);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] ^= j0[i];
+  }
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kGcmTagSize);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::Open(const GcmNonce& nonce, ByteSpan sealed, ByteSpan aad) const {
+  if (sealed.size() < kGcmTagSize) {
+    return std::nullopt;
+  }
+  size_t ct_len = sealed.size() - kGcmTagSize;
+  ByteSpan ciphertext = sealed.subspan(0, ct_len);
+  ByteSpan provided_tag = sealed.subspan(ct_len);
+
+  std::array<uint8_t, 16> tag = Ghash(aad, ciphertext);
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kGcmNonceSize);
+  j0[12] = 0;
+  j0[13] = 0;
+  j0[14] = 0;
+  j0[15] = 1;
+  aes_.EncryptBlock(j0);
+  for (int i = 0; i < 16; ++i) {
+    tag[i] ^= j0[i];
+  }
+  if (!ConstantTimeEquals(ByteSpan(tag.data(), tag.size()), provided_tag)) {
+    return std::nullopt;
+  }
+
+  Bytes plaintext(ct_len);
+  CtrCrypt(nonce, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace prochlo

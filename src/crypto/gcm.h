@@ -1,0 +1,53 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the symmetric AEAD used for both layers of PROCHLO's nested
+// encryption: session keys derived from P-256 ECDH via HKDF seal the 64-byte
+// data + 8-byte crowd ID into the 318-byte report records (paper §5.1), and
+// an ephemeral enclave key re-encrypts items between Stash Shuffle phases.
+#ifndef PROCHLO_SRC_CRYPTO_GCM_H_
+#define PROCHLO_SRC_CRYPTO_GCM_H_
+
+#include <array>
+#include <optional>
+
+#include "src/crypto/aes.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+constexpr size_t kGcmNonceSize = 12;
+constexpr size_t kGcmTagSize = 16;
+
+using GcmNonce = std::array<uint8_t, kGcmNonceSize>;
+
+// AEAD context bound to one key.  Seal/Open never reuse internal state, so a
+// single AesGcm may be shared across records (each with a fresh nonce).
+class AesGcm {
+ public:
+  explicit AesGcm(ByteSpan key);
+
+  // Encrypts `plaintext` with `nonce` and additional data `aad`; returns
+  // ciphertext || 16-byte tag.
+  Bytes Seal(const GcmNonce& nonce, ByteSpan plaintext, ByteSpan aad) const;
+
+  // Verifies and decrypts; returns nullopt on authentication failure.
+  std::optional<Bytes> Open(const GcmNonce& nonce, ByteSpan sealed, ByteSpan aad) const;
+
+  // Total sealed size for a plaintext of `n` bytes.
+  static constexpr size_t SealedSize(size_t n) { return n + kGcmTagSize; }
+
+ private:
+  // GHASH over aad || ciphertext || lengths with the context's H key.
+  std::array<uint8_t, 16> Ghash(ByteSpan aad, ByteSpan ciphertext) const;
+  void CtrCrypt(const GcmNonce& nonce, ByteSpan in, uint8_t* out) const;
+
+  Aes aes_;
+  // GHASH key H = AES_K(0^128), pre-expanded into a 4-bit multiplication
+  // table (Shoup's method) for speed.
+  uint64_t table_hi_[16];
+  uint64_t table_lo_[16];
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_GCM_H_

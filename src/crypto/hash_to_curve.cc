@@ -1,0 +1,38 @@
+#include "src/crypto/hash_to_curve.h"
+
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+
+EcPoint HashToCurve(ByteSpan input) {
+  const P256& curve = P256::Get();
+  for (uint32_t counter = 0;; ++counter) {
+    Sha256 h;
+    uint8_t tag[4];
+    for (int i = 0; i < 4; ++i) {
+      tag[i] = static_cast<uint8_t>(counter >> (8 * i));
+    }
+    h.Update(ByteSpan(tag, 4));
+    h.Update(input);
+    Sha256Digest digest = h.Finish();
+    U256 x = U256::FromBytes(ByteSpan(digest.data(), digest.size()));
+    // Parity bit from a second hash byte keeps y unbiased across inputs.
+    bool y_odd = (digest[0] & 1) != 0;
+    auto point = curve.LiftX(curve.field().Reduce(x), y_odd);
+    if (point.has_value() && !point->infinity) {
+      return *point;
+    }
+  }
+}
+
+EcPoint HashToCurve(const std::string& input) { return HashToCurve(ToBytes(input)); }
+
+U256 HashToScalar(ByteSpan input) {
+  const P256& curve = P256::Get();
+  Sha256Digest digest = Sha256::TaggedHash("prochlo-h2s", input);
+  return curve.scalar_field().Reduce(U256::FromBytes(ByteSpan(digest.data(), digest.size())));
+}
+
+U256 HashToScalar(const std::string& input) { return HashToScalar(ToBytes(input)); }
+
+}  // namespace prochlo

@@ -1,0 +1,28 @@
+// Hash-to-curve for P-256 via try-and-increment.
+//
+// The blinded-crowd-ID scheme (paper §4.3) hashes a crowd ID to a group
+// element µ = H(crowd ID) before El Gamal encryption, so that the shufflers
+// can compare blinded IDs for equality without a dictionary over the clear
+// values.  Try-and-increment terminates after ~2 expected iterations and is
+// fine here because the input is not secret from the *encoder*.
+#ifndef PROCHLO_SRC_CRYPTO_HASH_TO_CURVE_H_
+#define PROCHLO_SRC_CRYPTO_HASH_TO_CURVE_H_
+
+#include <string>
+
+#include "src/crypto/p256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// Maps arbitrary bytes to a non-identity P-256 point, deterministically.
+EcPoint HashToCurve(ByteSpan input);
+EcPoint HashToCurve(const std::string& input);
+
+// Maps arbitrary bytes to a scalar in [0, n), deterministically.
+U256 HashToScalar(ByteSpan input);
+U256 HashToScalar(const std::string& input);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_HASH_TO_CURVE_H_

@@ -1,0 +1,67 @@
+#include "src/crypto/hmac.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace prochlo {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
+  uint8_t block_key[64];
+  std::memset(block_key, 0, sizeof(block_key));
+  if (key.size() > 64) {
+    Sha256Digest hashed = Sha256::Hash(key);
+    std::memcpy(block_key, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad, 64));
+  inner.Update(data);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteSpan(opad, 64));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm) {
+  static const uint8_t kZeroSalt[kSha256DigestSize] = {0};
+  if (salt.empty()) {
+    salt = ByteSpan(kZeroSalt, sizeof(kZeroSalt));
+  }
+  return HmacSha256(salt, ikm);
+}
+
+Bytes HkdfExpand(ByteSpan prk, ByteSpan info, size_t length) {
+  assert(length <= 255 * kSha256DigestSize);
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    Sha256Digest block = HmacSha256(prk, input);
+    t.assign(block.begin(), block.end());
+    size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+Bytes Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length) {
+  Sha256Digest prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(ByteSpan(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace prochlo

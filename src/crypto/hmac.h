@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), built on the local SHA-256.
+//
+// HKDF derives the AES-GCM session keys from P-256 ECDH shared secrets in the
+// nested-encryption layers (paper §5.1), and keys the PRF that expands
+// message-derived secret-sharing polynomials (§4.2).
+#ifndef PROCHLO_SRC_CRYPTO_HMAC_H_
+#define PROCHLO_SRC_CRYPTO_HMAC_H_
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// HMAC-SHA256 over `data` with `key` (any key length).
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm);
+
+// HKDF-Expand: output `length` bytes (≤ 255*32) from PRK with context `info`.
+Bytes HkdfExpand(ByteSpan prk, ByteSpan info, size_t length);
+
+// Extract-then-expand convenience.
+Bytes Hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, size_t length);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,92 @@
+#include "src/crypto/keys.h"
+
+#include <cassert>
+
+#include "src/crypto/hmac.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+KeyPair KeyPair::Generate(SecureRandom& rng) {
+  const P256& curve = P256::Get();
+  U256 priv = rng.RandomScalar(curve.order());
+  return KeyPair{priv, curve.BaseMult(priv)};
+}
+
+std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& peer_public) {
+  const P256& curve = P256::Get();
+  EcPoint shared = curve.ScalarMult(peer_public, private_key);
+  if (shared.infinity) {
+    return std::nullopt;
+  }
+  return shared.x;
+}
+
+Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
+                       const EcPoint& recipient_public, const std::string& context,
+                       size_t key_size) {
+  const P256& curve = P256::Get();
+  auto ikm = shared_x.ToBytes();
+  Writer info;
+  info.PutString(context);
+  info.PutLengthPrefixed(curve.Encode(ephemeral_public));
+  info.PutLengthPrefixed(curve.Encode(recipient_public));
+  return Hkdf(/*salt=*/{}, ByteSpan(ikm.data(), ikm.size()), info.data(), key_size);
+}
+
+Bytes HybridBox::Serialize() const {
+  Writer w;
+  w.PutBytes(ephemeral_public);
+  w.PutBytes(ByteSpan(nonce.data(), nonce.size()));
+  w.PutBytes(sealed);
+  return w.Take();
+}
+
+std::optional<HybridBox> HybridBox::Deserialize(ByteSpan data) {
+  if (data.size() < kEcPointEncodedSize + kGcmNonceSize + kGcmTagSize) {
+    return std::nullopt;
+  }
+  HybridBox box;
+  box.ephemeral_public.assign(data.begin(), data.begin() + kEcPointEncodedSize);
+  std::copy(data.begin() + kEcPointEncodedSize,
+            data.begin() + kEcPointEncodedSize + kGcmNonceSize, box.nonce.begin());
+  box.sealed.assign(data.begin() + kEcPointEncodedSize + kGcmNonceSize, data.end());
+  return box;
+}
+
+HybridBox HybridSeal(const EcPoint& recipient_public, ByteSpan plaintext,
+                     const std::string& context, SecureRandom& rng) {
+  const P256& curve = P256::Get();
+  KeyPair ephemeral = KeyPair::Generate(rng);
+  auto shared = EcdhSharedSecret(ephemeral.private_key, recipient_public);
+  // Honest recipients' public keys are valid group elements, so ECDH cannot
+  // land on the identity; the assert documents the invariant.
+  assert(shared.has_value());
+  Bytes key = DeriveSessionKey(*shared, ephemeral.public_key, recipient_public, context,
+                               kAes128KeySize);
+  AesGcm aead(key);
+  HybridBox box;
+  box.ephemeral_public = curve.Encode(ephemeral.public_key);
+  box.nonce = rng.RandomNonce();
+  box.sealed = aead.Seal(box.nonce, plaintext, /*aad=*/{});
+  return box;
+}
+
+std::optional<Bytes> HybridOpen(const KeyPair& recipient, const HybridBox& box,
+                                const std::string& context) {
+  const P256& curve = P256::Get();
+  auto ephemeral_public = curve.Decode(box.ephemeral_public);
+  if (!ephemeral_public.has_value()) {
+    return std::nullopt;
+  }
+  auto shared = EcdhSharedSecret(recipient.private_key, *ephemeral_public);
+  if (!shared.has_value()) {
+    return std::nullopt;
+  }
+  Bytes key = DeriveSessionKey(*shared, *ephemeral_public, recipient.public_key, context,
+                               kAes128KeySize);
+  AesGcm aead(key);
+  return aead.Open(box.nonce, box.sealed, /*aad=*/{});
+}
+
+}  // namespace prochlo

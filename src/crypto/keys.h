@@ -1,0 +1,61 @@
+// P-256 key pairs, ECDH key agreement, and the HKDF key schedule used by the
+// nested report encryption (paper §5.1: "NIST P-256 asymmetric key pairs used
+// to derive AES-128 GCM symmetric keys").
+//
+// Each layer of a PROCHLO report is a "hybrid" box: an ephemeral sender key
+// pair, ECDH against the recipient's static public key, HKDF to an AES-128
+// key, AES-GCM over the payload.
+#ifndef PROCHLO_SRC_CRYPTO_KEYS_H_
+#define PROCHLO_SRC_CRYPTO_KEYS_H_
+
+#include <optional>
+
+#include "src/crypto/p256.h"
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+struct KeyPair {
+  U256 private_key;
+  EcPoint public_key;
+
+  static KeyPair Generate(SecureRandom& rng);
+};
+
+// Raw ECDH: X coordinate of private * peer_public. Returns nullopt for the
+// identity result (never happens for honest keys).
+std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& peer_public);
+
+// Derives a symmetric key of `key_size` bytes from an ECDH secret, binding
+// both parties' public keys and a context label into the KDF.
+Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
+                       const EcPoint& recipient_public, const std::string& context,
+                       size_t key_size);
+
+// One hybrid-encryption layer: ephemeral public key || nonce || AES-GCM box.
+struct HybridBox {
+  Bytes ephemeral_public;  // 65-byte SEC1 encoding
+  GcmNonce nonce;
+  Bytes sealed;  // ciphertext || tag
+
+  Bytes Serialize() const;
+  static std::optional<HybridBox> Deserialize(ByteSpan data);
+
+  // Wire size for a plaintext of n bytes.
+  static constexpr size_t SerializedSize(size_t n) {
+    return kEcPointEncodedSize + kGcmNonceSize + n + kGcmTagSize;
+  }
+};
+
+// Seals `plaintext` to `recipient_public` under `context`.
+HybridBox HybridSeal(const EcPoint& recipient_public, ByteSpan plaintext,
+                     const std::string& context, SecureRandom& rng);
+
+// Opens a box with the recipient's private key; nullopt on any failure.
+std::optional<Bytes> HybridOpen(const KeyPair& recipient, const HybridBox& box,
+                                const std::string& context);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_KEYS_H_

@@ -1,0 +1,42 @@
+#include "src/crypto/message_locked.h"
+
+#include <cstring>
+
+#include "src/crypto/gcm.h"
+
+namespace prochlo {
+
+Sha256Digest MessageDerivedKey(ByteSpan message) {
+  return Sha256::TaggedHash("prochlo-mle-key", message);
+}
+
+namespace {
+GcmNonce MessageDerivedNonce(ByteSpan message) {
+  Sha256Digest full = Sha256::TaggedHash("prochlo-mle-nonce", message);
+  GcmNonce nonce;
+  std::memcpy(nonce.data(), full.data(), nonce.size());
+  return nonce;
+}
+}  // namespace
+
+Bytes MessageLockedEncrypt(ByteSpan message) {
+  Sha256Digest key = MessageDerivedKey(message);
+  GcmNonce nonce = MessageDerivedNonce(message);
+  AesGcm aead(ByteSpan(key.data(), key.size()));
+  Bytes out(nonce.begin(), nonce.end());
+  Bytes sealed = aead.Seal(nonce, message, /*aad=*/{});
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<Bytes> MessageLockedDecrypt(ByteSpan ciphertext, const Sha256Digest& key) {
+  if (ciphertext.size() < kGcmNonceSize + kGcmTagSize) {
+    return std::nullopt;
+  }
+  GcmNonce nonce;
+  std::memcpy(nonce.data(), ciphertext.data(), nonce.size());
+  AesGcm aead(ByteSpan(key.data(), key.size()));
+  return aead.Open(nonce, ciphertext.subspan(kGcmNonceSize), /*aad=*/{});
+}
+
+}  // namespace prochlo

@@ -1,0 +1,28 @@
+// Deterministic, message-locked encryption (paper §4.2, following the
+// message-locked encryption of Bellare et al. / Abadi et al. [3, 9]):
+// the key is derived from the message itself, so equal messages produce
+// equal ciphertexts — exactly what the secret-share encoding needs so that
+// an analyzer can group shares of the same value by ciphertext without
+// learning the value.
+#ifndef PROCHLO_SRC_CRYPTO_MESSAGE_LOCKED_H_
+#define PROCHLO_SRC_CRYPTO_MESSAGE_LOCKED_H_
+
+#include <optional>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// km = H(m) with domain separation.
+Sha256Digest MessageDerivedKey(ByteSpan message);
+
+// Deterministic AES-256-GCM box under km with a message-derived nonce.
+Bytes MessageLockedEncrypt(ByteSpan message);
+
+// Decrypts with a recovered key; nullopt on failure (wrong key or tamper).
+std::optional<Bytes> MessageLockedDecrypt(ByteSpan ciphertext, const Sha256Digest& key);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_MESSAGE_LOCKED_H_

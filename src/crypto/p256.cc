@@ -1,0 +1,228 @@
+#include "src/crypto/p256.h"
+
+#include <cassert>
+
+namespace prochlo {
+
+namespace {
+constexpr char kPrimeHex[] = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+constexpr char kOrderHex[] = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+constexpr char kBHex[] = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+constexpr char kGxHex[] = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+constexpr char kGyHex[] = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+}  // namespace
+
+const P256& P256::Get() {
+  static const P256* instance = new P256();
+  return *instance;
+}
+
+P256::P256()
+    : fp_(U256::FromHex(kPrimeHex)),
+      fn_(U256::FromHex(kOrderHex)),
+      b_mont_(fp_.ToMont(U256::FromHex(kBHex))),
+      three_mont_(fp_.ToMont(U256::FromU64(3))),
+      generator_{U256::FromHex(kGxHex), U256::FromHex(kGyHex), false} {}
+
+bool P256::IsOnCurve(const EcPoint& point) const {
+  if (point.infinity) {
+    return true;
+  }
+  if (point.x >= fp_.modulus() || point.y >= fp_.modulus()) {
+    return false;
+  }
+  // y^2 == x^3 - 3x + b
+  U256 lhs = fp_.Mul(point.y, point.y);
+  U256 x2 = fp_.Mul(point.x, point.x);
+  U256 x3 = fp_.Mul(x2, point.x);
+  U256 three_x = fp_.Mul(U256::FromU64(3), point.x);
+  U256 rhs = fp_.Add(fp_.Sub(x3, three_x), U256::FromHex(kBHex));
+  return lhs == rhs;
+}
+
+P256::Jacobian P256::ToJacobian(const EcPoint& p) const {
+  if (p.infinity) {
+    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+  }
+  return Jacobian{fp_.ToMont(p.x), fp_.ToMont(p.y), fp_.ToMont(U256::One())};
+}
+
+EcPoint P256::FromJacobian(const Jacobian& p) const {
+  if (p.z.IsZero()) {
+    return EcPoint::Infinity();
+  }
+  U256 z_normal = fp_.FromMont(p.z);
+  U256 zinv = fp_.ToMont(fp_.Inv(z_normal));
+  U256 zinv2 = fp_.MontMul(zinv, zinv);
+  U256 zinv3 = fp_.MontMul(zinv2, zinv);
+  U256 x = fp_.FromMont(fp_.MontMul(p.x, zinv2));
+  U256 y = fp_.FromMont(fp_.MontMul(p.y, zinv3));
+  return EcPoint{x, y, false};
+}
+
+P256::Jacobian P256::JacDouble(const Jacobian& p) const {
+  if (p.z.IsZero() || p.y.IsZero()) {
+    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+  }
+  // dbl-2001-b (a = -3): all values stay in the Montgomery domain.
+  const ModField& f = fp_;
+  U256 delta = f.MontMul(p.z, p.z);
+  U256 gamma = f.MontMul(p.y, p.y);
+  U256 beta = f.MontMul(p.x, gamma);
+  U256 alpha = f.MontMul(three_mont_, f.MontMul(f.Sub(p.x, delta), f.Add(p.x, delta)));
+  // Montgomery form is linear, so Add/Sub work unchanged.
+  U256 beta4 = f.Add(f.Add(beta, beta), f.Add(beta, beta));
+  U256 beta8 = f.Add(beta4, beta4);
+  U256 x3 = f.Sub(f.MontMul(alpha, alpha), beta8);
+  U256 y_plus_z = f.Add(p.y, p.z);
+  U256 z3 = f.Sub(f.Sub(f.MontMul(y_plus_z, y_plus_z), gamma), delta);
+  U256 gamma2 = f.MontMul(gamma, gamma);
+  U256 gamma2_8 = f.Add(f.Add(gamma2, gamma2), f.Add(gamma2, gamma2));
+  gamma2_8 = f.Add(gamma2_8, gamma2_8);
+  U256 y3 = f.Sub(f.MontMul(alpha, f.Sub(beta4, x3)), gamma2_8);
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::JacAdd(const Jacobian& p, const Jacobian& q) const {
+  if (p.z.IsZero()) {
+    return q;
+  }
+  if (q.z.IsZero()) {
+    return p;
+  }
+  // add-2007-bl.
+  const ModField& f = fp_;
+  U256 z1z1 = f.MontMul(p.z, p.z);
+  U256 z2z2 = f.MontMul(q.z, q.z);
+  U256 u1 = f.MontMul(p.x, z2z2);
+  U256 u2 = f.MontMul(q.x, z1z1);
+  U256 s1 = f.MontMul(p.y, f.MontMul(q.z, z2z2));
+  U256 s2 = f.MontMul(q.y, f.MontMul(p.z, z1z1));
+  U256 h = f.Sub(u2, u1);
+  U256 r = f.Sub(s2, s1);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      return JacDouble(p);
+    }
+    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+  }
+  U256 h2 = f.Add(h, h);
+  U256 i = f.MontMul(h2, h2);
+  U256 j = f.MontMul(h, i);
+  U256 r2 = f.Add(r, r);
+  U256 v = f.MontMul(u1, i);
+  U256 x3 = f.Sub(f.Sub(f.MontMul(r2, r2), j), f.Add(v, v));
+  U256 s1j2 = f.MontMul(s1, j);
+  s1j2 = f.Add(s1j2, s1j2);
+  U256 y3 = f.Sub(f.MontMul(r2, f.Sub(v, x3)), s1j2);
+  U256 z1_plus_z2 = f.Add(p.z, q.z);
+  U256 z3 = f.MontMul(f.Sub(f.Sub(f.MontMul(z1_plus_z2, z1_plus_z2), z1z1), z2z2), h);
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::JacScalarMult(const Jacobian& p, const U256& scalar) const {
+  U256 k = scalar;
+  if (k >= fn_.modulus()) {
+    k = fn_.Reduce(k);
+  }
+  Jacobian identity{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+  if (k.IsZero() || p.z.IsZero()) {
+    return identity;
+  }
+
+  // Fixed 4-bit window: table[i] = i * P.
+  Jacobian table[16];
+  table[0] = identity;
+  table[1] = p;
+  for (int i = 2; i < 16; i += 2) {
+    table[i] = JacDouble(table[i / 2]);
+    table[i + 1] = JacAdd(table[i], p);
+  }
+
+  Jacobian acc = identity;
+  int bits = k.BitLength();
+  int top_nibble = (bits + 3) / 4 - 1;
+  for (int nibble = top_nibble; nibble >= 0; --nibble) {
+    if (nibble != top_nibble) {
+      acc = JacDouble(acc);
+      acc = JacDouble(acc);
+      acc = JacDouble(acc);
+      acc = JacDouble(acc);
+    }
+    uint64_t window = (k.limbs[nibble / 16] >> (4 * (nibble % 16))) & 0xf;
+    if (window != 0) {
+      acc = JacAdd(acc, table[window]);
+    }
+  }
+  return acc;
+}
+
+EcPoint P256::Add(const EcPoint& a, const EcPoint& b) const {
+  return FromJacobian(JacAdd(ToJacobian(a), ToJacobian(b)));
+}
+
+EcPoint P256::Double(const EcPoint& a) const { return FromJacobian(JacDouble(ToJacobian(a))); }
+
+EcPoint P256::Negate(const EcPoint& a) const {
+  if (a.infinity) {
+    return a;
+  }
+  return EcPoint{a.x, fp_.Neg(a.y), false};
+}
+
+EcPoint P256::ScalarMult(const EcPoint& point, const U256& scalar) const {
+  return FromJacobian(JacScalarMult(ToJacobian(point), scalar));
+}
+
+EcPoint P256::BaseMult(const U256& scalar) const { return ScalarMult(generator_, scalar); }
+
+Bytes P256::Encode(const EcPoint& point) const {
+  if (point.infinity) {
+    return Bytes{0x00};
+  }
+  Bytes out;
+  out.reserve(kEcPointEncodedSize);
+  out.push_back(0x04);
+  auto x_bytes = point.x.ToBytes();
+  auto y_bytes = point.y.ToBytes();
+  out.insert(out.end(), x_bytes.begin(), x_bytes.end());
+  out.insert(out.end(), y_bytes.begin(), y_bytes.end());
+  return out;
+}
+
+std::optional<EcPoint> P256::Decode(ByteSpan encoded) const {
+  if (encoded.size() == 1 && encoded[0] == 0x00) {
+    return EcPoint::Infinity();
+  }
+  if (encoded.size() != kEcPointEncodedSize || encoded[0] != 0x04) {
+    return std::nullopt;
+  }
+  EcPoint point;
+  point.x = U256::FromBytes(encoded.subspan(1, 32));
+  point.y = U256::FromBytes(encoded.subspan(33, 32));
+  point.infinity = false;
+  if (!IsOnCurve(point)) {
+    return std::nullopt;
+  }
+  return point;
+}
+
+std::optional<EcPoint> P256::LiftX(const U256& x, bool y_odd) const {
+  if (x >= fp_.modulus()) {
+    return std::nullopt;
+  }
+  U256 x2 = fp_.Mul(x, x);
+  U256 x3 = fp_.Mul(x2, x);
+  U256 three_x = fp_.Mul(U256::FromU64(3), x);
+  U256 rhs = fp_.Add(fp_.Sub(x3, three_x), U256::FromHex(kBHex));
+  U256 y;
+  if (!fp_.Sqrt(rhs, &y)) {
+    return std::nullopt;
+  }
+  if (y.IsOdd() != y_odd) {
+    y = fp_.Neg(y);
+  }
+  return EcPoint{x, y, false};
+}
+
+}  // namespace prochlo

@@ -1,0 +1,94 @@
+// NIST P-256 (secp256r1) elliptic-curve arithmetic, from scratch.
+//
+// PROCHLO uses P-256 for (paper §4.1.1, §4.3, §5.1):
+//   * shuffler/analyzer key pairs and ECDH-derived AES-GCM session keys for
+//     the nested report encryption;
+//   * ECDSA signatures on simulated SGX attestation quotes;
+//   * EC-El-Gamal encryption plus exponent blinding of crowd IDs for the
+//     two-shuffler private thresholding.
+//
+// Scalar multiplication uses Jacobian coordinates kept in the Montgomery
+// domain with a fixed 4-bit window.  Not constant-time (see DESIGN.md).
+#ifndef PROCHLO_SRC_CRYPTO_P256_H_
+#define PROCHLO_SRC_CRYPTO_P256_H_
+
+#include <optional>
+
+#include "src/crypto/bignum.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// Affine point in normal (non-Montgomery) domain; (0,0,infinity=true) is the
+// identity.
+struct EcPoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  static EcPoint Infinity() { return EcPoint{U256::Zero(), U256::Zero(), true}; }
+
+  bool operator==(const EcPoint& other) const {
+    if (infinity || other.infinity) {
+      return infinity == other.infinity;
+    }
+    return x == other.x && y == other.y;
+  }
+};
+
+constexpr size_t kEcPointEncodedSize = 65;  // 0x04 || X || Y
+constexpr size_t kEcScalarSize = 32;
+
+// The P-256 group.  Stateless apart from precomputed constants; access the
+// process-wide instance via Get().
+class P256 {
+ public:
+  static const P256& Get();
+
+  const ModField& field() const { return fp_; }
+  const ModField& scalar_field() const { return fn_; }
+  const U256& order() const { return fn_.modulus(); }
+  const EcPoint& generator() const { return generator_; }
+
+  bool IsOnCurve(const EcPoint& point) const;
+
+  EcPoint Add(const EcPoint& a, const EcPoint& b) const;
+  EcPoint Double(const EcPoint& a) const;
+  EcPoint Negate(const EcPoint& a) const;
+  // scalar * point; scalar is reduced mod the group order.
+  EcPoint ScalarMult(const EcPoint& point, const U256& scalar) const;
+  // scalar * G.
+  EcPoint BaseMult(const U256& scalar) const;
+
+  // Uncompressed SEC1 encoding: 0x04 || X || Y (65 bytes); the identity
+  // encodes as a single 0x00 byte.
+  Bytes Encode(const EcPoint& point) const;
+  std::optional<EcPoint> Decode(ByteSpan encoded) const;
+
+  // Recovers y from x and a parity bit; used by hash-to-curve.
+  std::optional<EcPoint> LiftX(const U256& x, bool y_odd) const;
+
+ private:
+  P256();
+
+  // Jacobian point with coordinates in the Montgomery domain of fp_.
+  struct Jacobian {
+    U256 x, y, z;  // z == 0 (normal domain zero) encodes infinity
+  };
+
+  Jacobian ToJacobian(const EcPoint& p) const;
+  EcPoint FromJacobian(const Jacobian& p) const;
+  Jacobian JacDouble(const Jacobian& p) const;
+  Jacobian JacAdd(const Jacobian& p, const Jacobian& q) const;
+  Jacobian JacScalarMult(const Jacobian& p, const U256& scalar) const;
+
+  ModField fp_;
+  ModField fn_;
+  U256 b_mont_;        // curve b in Montgomery domain
+  U256 three_mont_;    // 3 in Montgomery domain
+  EcPoint generator_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_P256_H_

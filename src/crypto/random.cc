@@ -1,0 +1,94 @@
+#include "src/crypto/random.h"
+
+#include <cstring>
+#include <random>
+
+namespace prochlo {
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  uint8_t seed[32];
+  for (size_t i = 0; i < sizeof(seed); i += 4) {
+    uint32_t word = rd();
+    std::memcpy(seed + i, &word, 4);
+  }
+  state_ = Sha256::TaggedHash("prochlo-drbg-seed", ByteSpan(seed, sizeof(seed)));
+}
+
+SecureRandom::SecureRandom(ByteSpan seed) {
+  state_ = Sha256::TaggedHash("prochlo-drbg-seed", seed);
+}
+
+void SecureRandom::Ratchet() {
+  Sha256 h;
+  h.Update(ByteSpan(state_.data(), state_.size()));
+  uint8_t tag = 0x01;
+  h.Update(ByteSpan(&tag, 1));
+  state_ = h.Finish();
+}
+
+void SecureRandom::Fill(std::span<uint8_t> out) {
+  size_t offset = 0;
+  while (offset < out.size()) {
+    Sha256 h;
+    h.Update(ByteSpan(state_.data(), state_.size()));
+    uint8_t block_tag = 0x02;
+    h.Update(ByteSpan(&block_tag, 1));
+    uint8_t counter_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      counter_bytes[i] = static_cast<uint8_t>(counter_ >> (8 * i));
+    }
+    h.Update(ByteSpan(counter_bytes, 8));
+    Sha256Digest block = h.Finish();
+    ++counter_;
+    size_t take = std::min(block.size(), out.size() - offset);
+    std::memcpy(out.data() + offset, block.data(), take);
+    offset += take;
+  }
+  Ratchet();
+}
+
+Bytes SecureRandom::RandomBytes(size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+GcmNonce SecureRandom::RandomNonce() {
+  GcmNonce nonce;
+  Fill(nonce);
+  return nonce;
+}
+
+uint64_t SecureRandom::UniformBelow(uint64_t bound) {
+  if (bound <= 1) {
+    return 0;
+  }
+  // Rejection sampling from the smallest power-of-two superset.
+  uint64_t mask = ~0ull >> __builtin_clzll(bound - 1 | 1);
+  for (;;) {
+    uint8_t raw[8];
+    Fill(raw);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    }
+    v &= mask;
+    if (v < bound) {
+      return v;
+    }
+  }
+}
+
+U256 SecureRandom::RandomScalar(const U256& order) {
+  for (;;) {
+    uint8_t raw[32];
+    Fill(raw);
+    U256 candidate = U256::FromBytes(ByteSpan(raw, 32));
+    if (!candidate.IsZero() && candidate < order) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace prochlo

@@ -1,0 +1,53 @@
+// Cryptographic random source: a SHA-256-based DRBG.
+//
+// Default-constructed instances seed from std::random_device; deterministic
+// seeding is available for reproducible tests and experiments (the paper's
+// experiments are statistical, so determinism is a feature for a
+// reproduction).  Never use prochlo::Rng where unpredictability matters.
+#ifndef PROCHLO_SRC_CRYPTO_RANDOM_H_
+#define PROCHLO_SRC_CRYPTO_RANDOM_H_
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+class SecureRandom {
+ public:
+  // Seeds from the OS entropy source.
+  SecureRandom();
+  // Deterministic stream for tests/experiments.
+  explicit SecureRandom(ByteSpan seed);
+
+  void Fill(std::span<uint8_t> out);
+  Bytes RandomBytes(size_t n);
+  GcmNonce RandomNonce();
+
+  // Uniform scalar in [1, order-1] via rejection sampling.
+  U256 RandomScalar(const U256& order);
+
+  // Uniform integer in [0, bound) via rejection sampling; bound > 0.
+  uint64_t UniformBelow(uint64_t bound);
+
+  // Fisher-Yates shuffle driven by this DRBG (for permutations that must be
+  // unpredictable, e.g. inside the oblivious shufflers).
+  template <typename T>
+  void ShuffleVector(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformBelow(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  void Ratchet();
+
+  Sha256Digest state_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_RANDOM_H_

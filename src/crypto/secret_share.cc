@@ -1,0 +1,164 @@
+#include "src/crypto/secret_share.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/message_locked.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+namespace {
+const ModField& ScalarField() { return P256::Get().scalar_field(); }
+
+// Coefficient i (i >= 1) of the message-derived polynomial: a PRF over the
+// message keyed separately from the message-derived encryption key.
+U256 Coefficient(ByteSpan message, uint32_t index) {
+  Sha256Digest prf_key = Sha256::TaggedHash("prochlo-ss-coeff-key", message);
+  for (uint32_t attempt = 0;; ++attempt) {
+    uint8_t input[8];
+    for (int i = 0; i < 4; ++i) {
+      input[i] = static_cast<uint8_t>(index >> (8 * i));
+      input[4 + i] = static_cast<uint8_t>(attempt >> (8 * i));
+    }
+    Sha256Digest out = HmacSha256(ByteSpan(prf_key.data(), prf_key.size()), ByteSpan(input, 8));
+    U256 candidate = U256::FromBytes(ByteSpan(out.data(), out.size()));
+    if (candidate < ScalarField().modulus()) {
+      return candidate;
+    }
+  }
+}
+
+// P(0) = km: the message-derived key as a field element.
+U256 SecretConstant(ByteSpan message) {
+  Sha256Digest km = MessageDerivedKey(message);
+  return ScalarField().Reduce(U256::FromBytes(ByteSpan(km.data(), km.size())));
+}
+}  // namespace
+
+Bytes SecretShare::Serialize() const {
+  Bytes out;
+  auto xb = x.ToBytes();
+  auto yb = y.ToBytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+std::optional<SecretShare> SecretShare::Deserialize(ByteSpan data) {
+  if (data.size() != 64) {
+    return std::nullopt;
+  }
+  return SecretShare{U256::FromBytes(data.subspan(0, 32)), U256::FromBytes(data.subspan(32, 32))};
+}
+
+Bytes SecretShareEncoding::Serialize() const {
+  Writer w;
+  w.PutLengthPrefixed(ciphertext);
+  w.PutBytes(share.Serialize());
+  return w.Take();
+}
+
+std::optional<SecretShareEncoding> SecretShareEncoding::Deserialize(ByteSpan data) {
+  Reader r(data);
+  SecretShareEncoding enc;
+  if (!r.GetLengthPrefixed(&enc.ciphertext)) {
+    return std::nullopt;
+  }
+  Bytes share_bytes;
+  if (!r.GetBytes(64, &share_bytes) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  auto share = SecretShare::Deserialize(share_bytes);
+  if (!share.has_value()) {
+    return std::nullopt;
+  }
+  enc.share = *share;
+  return enc;
+}
+
+SecretSharer::SecretSharer(uint32_t threshold) : threshold_(threshold) {
+  assert(threshold >= 1);
+}
+
+U256 SecretSharer::EvaluatePolynomial(ByteSpan message, const U256& x) const {
+  const ModField& f = ScalarField();
+  // Horner evaluation from the top coefficient down to P(0) = km.
+  U256 acc = U256::Zero();
+  for (uint32_t i = threshold_ - 1; i >= 1; --i) {
+    acc = f.Mul(f.Add(acc, Coefficient(message, i)), x);
+  }
+  return f.Add(acc, SecretConstant(message));
+}
+
+SecretShareEncoding SecretSharer::Encode(ByteSpan message, SecureRandom& rng) const {
+  SecretShareEncoding enc;
+  enc.ciphertext = MessageLockedEncrypt(message);
+  U256 x = rng.RandomScalar(ScalarField().modulus());
+  enc.share = SecretShare{x, EvaluatePolynomial(message, x)};
+  return enc;
+}
+
+U256 SecretSharer::InterpolateAtZero(const std::vector<SecretShare>& shares) {
+  const ModField& f = ScalarField();
+  U256 secret = U256::Zero();
+  for (size_t i = 0; i < shares.size(); ++i) {
+    // Lagrange basis at 0: prod_{j != i} x_j / (x_j - x_i).
+    U256 num = U256::One();
+    U256 den = U256::One();
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      num = f.Mul(num, shares[j].x);
+      den = f.Mul(den, f.Sub(shares[j].x, shares[i].x));
+    }
+    U256 basis = f.Mul(num, f.Inv(den));
+    secret = f.Add(secret, f.Mul(shares[i].y, basis));
+  }
+  return secret;
+}
+
+std::optional<Bytes> SecretSharer::Recover(ByteSpan ciphertext,
+                                           const std::vector<SecretShare>& shares) const {
+  // Deduplicate by x (a client could be observed twice through retransmits).
+  std::vector<SecretShare> distinct;
+  std::set<std::array<uint8_t, 32>> seen;
+  for (const auto& share : shares) {
+    if (seen.insert(share.x.ToBytes()).second) {
+      distinct.push_back(share);
+    }
+  }
+  if (distinct.size() < threshold_) {
+    return std::nullopt;
+  }
+  distinct.resize(threshold_);
+  U256 km_scalar = InterpolateAtZero(distinct);
+
+  // The interpolated field element is the *reduced* key; recovery must try
+  // the (at most two) 256-bit preimages of the reduction.  In practice the
+  // scalar field order is so close to 2^256 that the reduced value is almost
+  // always the key itself; we try both.
+  auto try_key = [&](const U256& candidate) -> std::optional<Bytes> {
+    Sha256Digest key;
+    auto bytes = candidate.ToBytes();
+    std::copy(bytes.begin(), bytes.end(), key.begin());
+    return MessageLockedDecrypt(ciphertext, key);
+  };
+  if (auto out = try_key(km_scalar); out.has_value()) {
+    return out;
+  }
+  U256 shifted;
+  if (AddWithCarry(km_scalar, ScalarField().modulus(), &shifted) == 0) {
+    if (auto out = try_key(shifted); out.has_value()) {
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace prochlo

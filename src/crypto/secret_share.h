@@ -1,0 +1,76 @@
+// Secret-share encoding (paper §4.2): Shamir shares of a message-derived key,
+// computable *independently* by users holding the same message.
+//
+// Construction: for message m,
+//   * km = H(m) is the message-derived AES key;
+//   * the (t-1)-degree polynomial P with P(0) = km has its remaining
+//     coefficients derived deterministically from m (a PRF keyed by a second
+//     hash of m), so every client holding m computes the *same* polynomial;
+//   * each client emits one share (x, P(x)) at a uniformly random nonzero x,
+//     plus the deterministic ciphertext c = Enc_km(m).
+//
+// Any t shares from t distinct clients interpolate km and unlock c; fewer
+// than t reveal nothing beyond what an adversary could guess about m a
+// priori.  This composes with the shuffler's crowd thresholding: an analyzer
+// only learns values that at least t clients reported.
+#ifndef PROCHLO_SRC_CRYPTO_SECRET_SHARE_H_
+#define PROCHLO_SRC_CRYPTO_SECRET_SHARE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// One Shamir share (x, y) over the P-256 scalar field.
+struct SecretShare {
+  U256 x;
+  U256 y;
+
+  Bytes Serialize() const;  // 64 bytes
+  static std::optional<SecretShare> Deserialize(ByteSpan data);
+};
+
+// A full secret-share encoding of one message: the deterministic ciphertext
+// plus this client's share of the message-derived key.
+struct SecretShareEncoding {
+  Bytes ciphertext;  // deterministic AES-GCM box (see message_locked.h)
+  SecretShare share;
+
+  Bytes Serialize() const;
+  static std::optional<SecretShareEncoding> Deserialize(ByteSpan data);
+};
+
+class SecretSharer {
+ public:
+  // `threshold` is t: the number of independent shares needed for recovery.
+  explicit SecretSharer(uint32_t threshold);
+
+  uint32_t threshold() const { return threshold_; }
+
+  // Produces this client's encoding of `message`.  Clients holding equal
+  // messages produce shares of the same polynomial at independent x.
+  SecretShareEncoding Encode(ByteSpan message, SecureRandom& rng) const;
+
+  // Attempts to recover the message from shares that all claim the same
+  // ciphertext.  Duplicated x coordinates are dropped; returns nullopt if
+  // fewer than t distinct shares remain or authentication fails.
+  std::optional<Bytes> Recover(ByteSpan ciphertext,
+                               const std::vector<SecretShare>& shares) const;
+
+  // Interpolates P(0) from exactly t distinct-x shares (exposed for tests).
+  static U256 InterpolateAtZero(const std::vector<SecretShare>& shares);
+
+ private:
+  // Evaluates the message-derived polynomial at x.
+  U256 EvaluatePolynomial(ByteSpan message, const U256& x) const;
+
+  uint32_t threshold_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_SECRET_SHARE_H_

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for this reproduction.
+//
+// PROCHLO uses SHA-256 for crowd-ID hashing, message-derived keys (the
+// secret-share encoding of §4.2), hash-to-curve, enclave measurement, and the
+// HMAC/HKDF constructions layered on top.
+#ifndef PROCHLO_SRC_CRYPTO_SHA256_H_
+#define PROCHLO_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+constexpr size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(ByteSpan data);
+  Sha256Digest Finish();
+
+  // One-shot helpers.
+  static Sha256Digest Hash(ByteSpan data);
+  static Sha256Digest Hash(const std::string& data);
+  // Domain-separated hash: H(tag_len || tag || data).
+  static Sha256Digest TaggedHash(const std::string& tag, ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,41 @@
+#include "src/dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prochlo {
+
+void PrivacyAccountant::Spend(const std::string& stage, double epsilon, double delta) {
+  entries_.push_back(Entry{stage, epsilon, delta});
+}
+
+double PrivacyAccountant::TotalEpsilonBasic() const {
+  double total = 0;
+  for (const auto& e : entries_) {
+    total += e.epsilon;
+  }
+  return total;
+}
+
+double PrivacyAccountant::TotalDelta() const {
+  double total = 0;
+  for (const auto& e : entries_) {
+    total += e.delta;
+  }
+  return total;
+}
+
+double PrivacyAccountant::TotalEpsilonAdvanced(double delta_slack) const {
+  if (entries_.empty()) {
+    return 0;
+  }
+  double k = static_cast<double>(entries_.size());
+  double worst = 0;
+  for (const auto& e : entries_) {
+    worst = std::max(worst, e.epsilon);
+  }
+  return std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) * worst +
+         k * worst * (std::exp(worst) - 1.0);
+}
+
+}  // namespace prochlo

@@ -1,0 +1,40 @@
+// Privacy-loss accounting across the stages of an ESA pipeline (paper §3.5:
+// "achieve the desired end-to-end privacy guarantees by composing together
+// the properties of the individual stages").
+#ifndef PROCHLO_SRC_DP_ACCOUNTANT_H_
+#define PROCHLO_SRC_DP_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+namespace prochlo {
+
+class PrivacyAccountant {
+ public:
+  // Records one (ε, δ)-DP mechanism application; `stage` is a label for
+  // reporting (e.g. "encoder", "shuffler-threshold", "analyzer-release").
+  void Spend(const std::string& stage, double epsilon, double delta);
+
+  // Basic (sequential) composition: sums of ε and δ.
+  double TotalEpsilonBasic() const;
+  double TotalDelta() const;
+
+  // Advanced composition (Dwork-Rothblum-Vadhan) for k uses of the *worst*
+  // recorded ε, spending an extra delta_slack:
+  //   ε' = sqrt(2k ln(1/δ_slack))·ε + k·ε·(e^ε − 1).
+  double TotalEpsilonAdvanced(double delta_slack) const;
+
+  struct Entry {
+    std::string stage;
+    double epsilon;
+    double delta;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_ACCOUNTANT_H_

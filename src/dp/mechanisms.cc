@@ -1,0 +1,60 @@
+#include "src/dp/mechanisms.h"
+
+#include <cmath>
+
+namespace prochlo {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double SampleLaplace(Rng& rng, double scale) {
+  // Inverse-CDF sampling from a uniform in (-1/2, 1/2).
+  double u = rng.NextDouble() - 0.5;
+  double magnitude = -scale * std::log(1.0 - 2.0 * std::abs(u));
+  return u < 0 ? -magnitude : magnitude;
+}
+
+double LaplaceMechanism(Rng& rng, double value, double sensitivity, double epsilon) {
+  return value + SampleLaplace(rng, sensitivity / epsilon);
+}
+
+double GaussianMechanismDelta(double sigma, double epsilon) {
+  double a = 1.0 / (2.0 * sigma) - epsilon * sigma;
+  double b = -1.0 / (2.0 * sigma) - epsilon * sigma;
+  return NormalCdf(a) - std::exp(epsilon) * NormalCdf(b);
+}
+
+double CalibrateGaussianSigma(double epsilon, double delta) {
+  double lo = 1e-6;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (GaussianMechanismDelta(mid, epsilon) > delta) {
+      lo = mid;  // too little noise
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double GaussianMechanismEpsilon(double sigma, double delta) {
+  double lo = 0.0;
+  double hi = 200.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (GaussianMechanismDelta(sigma, mid) > delta) {
+      lo = mid;  // epsilon too small for this delta
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double GaussianMechanism(Rng& rng, double value, double sensitivity, double epsilon,
+                         double delta) {
+  double sigma = CalibrateGaussianSigma(epsilon, delta) * sensitivity;
+  return value + rng.NextGaussian(0.0, sigma);
+}
+
+}  // namespace prochlo

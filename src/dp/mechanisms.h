@@ -1,0 +1,44 @@
+// Core differential-privacy mechanisms: Laplace and Gaussian noise, plus the
+// normal-distribution helpers used by the thresholding analysis.
+//
+// The ESA analyzer applies these for differentially-private release (paper
+// §3.4); the shuffler's randomized thresholding is analyzed via the Gaussian
+// mechanism (threshold_dp.h).
+#ifndef PROCHLO_SRC_DP_MECHANISMS_H_
+#define PROCHLO_SRC_DP_MECHANISMS_H_
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+// Laplace(0, scale) sample.
+double SampleLaplace(Rng& rng, double scale);
+
+// The ε-DP Laplace mechanism for a statistic with L1 sensitivity
+// `sensitivity`: value + Lap(sensitivity/epsilon).
+double LaplaceMechanism(Rng& rng, double value, double sensitivity, double epsilon);
+
+// The (ε,δ)-DP Gaussian mechanism with the *analytic* calibration of Balle &
+// Wang: returns value + N(0, σ²) with σ = CalibrateGaussianSigma(...).
+double GaussianMechanism(Rng& rng, double value, double sensitivity, double epsilon,
+                         double delta);
+
+// δ achieved by the Gaussian mechanism with noise σ at privacy ε, for unit
+// sensitivity (analytic Gaussian mechanism):
+//   δ(ε, σ) = Φ(1/(2σ) − εσ) − e^ε · Φ(−1/(2σ) − εσ).
+double GaussianMechanismDelta(double sigma, double epsilon);
+
+// Smallest σ (unit sensitivity) achieving (ε, δ), by bisection on the
+// analytic expression above.
+double CalibrateGaussianSigma(double epsilon, double delta);
+
+// Smallest ε achieved by noise σ (unit sensitivity) at a given δ, by
+// bisection — this is what turns the shuffler's σ into its privacy claim.
+double GaussianMechanismEpsilon(double sigma, double delta);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_MECHANISMS_H_

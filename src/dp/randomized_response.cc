@@ -1,0 +1,48 @@
+#include "src/dp/randomized_response.h"
+
+#include <cmath>
+
+namespace prochlo {
+
+RandomizedResponse::RandomizedResponse(uint64_t domain_size, double epsilon)
+    : domain_size_(domain_size) {
+  double e = std::exp(epsilon);
+  p_truth_ = e / (e + static_cast<double>(domain_size - 1));
+}
+
+uint64_t RandomizedResponse::Randomize(uint64_t true_value, Rng& rng) const {
+  if (domain_size_ <= 1 || rng.NextBool(p_truth_)) {
+    return true_value;
+  }
+  // Uniform over the other k-1 values.
+  uint64_t other = rng.NextBelow(domain_size_ - 1);
+  return other >= true_value ? other + 1 : other;
+}
+
+std::vector<double> RandomizedResponse::EstimateCounts(
+    const std::vector<uint64_t>& observed) const {
+  uint64_t n = 0;
+  for (uint64_t c : observed) {
+    n += c;
+  }
+  // Each report lands on value v with probability
+  //   p_truth               if v is true,
+  //   (1-p_truth)/(k-1)     otherwise.
+  // Inverting: t_v = (c_v - n*q) / (p - q) with q = (1-p)/(k-1).
+  double q = (1.0 - p_truth_) / static_cast<double>(domain_size_ - 1);
+  std::vector<double> estimates(observed.size());
+  for (size_t v = 0; v < observed.size(); ++v) {
+    estimates[v] =
+        (static_cast<double>(observed[v]) - static_cast<double>(n) * q) / (p_truth_ - q);
+  }
+  return estimates;
+}
+
+double RandomizedResponse::EstimateStdDev(uint64_t n) const {
+  double q = (1.0 - p_truth_) / static_cast<double>(domain_size_ - 1);
+  // Binomial noise from the n*q false-positive floor dominates for rare
+  // values; the estimator divides by (p - q).
+  return std::sqrt(static_cast<double>(n) * q * (1.0 - q)) / (p_truth_ - q);
+}
+
+}  // namespace prochlo

@@ -1,0 +1,42 @@
+// Randomized response (Warner 1965; paper §3.5 "a textbook form of
+// randomized response") for small known domains, with the unbiased
+// frequency estimator used in analysis.
+#ifndef PROCHLO_SRC_DP_RANDOMIZED_RESPONSE_H_
+#define PROCHLO_SRC_DP_RANDOMIZED_RESPONSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+// k-ary randomized response: report the true value with probability
+// e^ε / (e^ε + k - 1), otherwise a uniformly random *other* value.  This is
+// the optimal ε-LDP direct encoding for a domain of size k.
+class RandomizedResponse {
+ public:
+  RandomizedResponse(uint64_t domain_size, double epsilon);
+
+  uint64_t Randomize(uint64_t true_value, Rng& rng) const;
+
+  // Probability a report equals the sender's true value.
+  double truth_probability() const { return p_truth_; }
+
+  // Unbiased per-value count estimates from the observed report histogram.
+  // observed[v] = number of reports of value v; returns estimated true
+  // counts (may be negative due to noise).
+  std::vector<double> EstimateCounts(const std::vector<uint64_t>& observed) const;
+
+  // Standard deviation of a single value's count estimate given n reports —
+  // the "noise floor" that limits local-DP utility (paper §2.2).
+  double EstimateStdDev(uint64_t n) const;
+
+ private:
+  uint64_t domain_size_;
+  double p_truth_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_RANDOMIZED_RESPONSE_H_

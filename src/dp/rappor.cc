@@ -1,0 +1,172 @@
+#include "src/dp/rappor.h"
+
+#include <cmath>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+double RapporParams::Epsilon() const {
+  return 2.0 * num_hashes * std::log((1.0 - f / 2.0) / (f / 2.0));
+}
+
+double RapporParams::EpsilonOneReport() const {
+  if (!use_irr) {
+    return Epsilon();
+  }
+  // Effective per-report flip rates after PRR + IRR (RAPPOR paper, eq. for
+  // q* and p*), bounding one report's leakage over h bits.
+  double q_star = 0.5 * f * (irr_p + irr_q) + (1.0 - f) * irr_q;
+  double p_star = 0.5 * f * (irr_p + irr_q) + (1.0 - f) * irr_p;
+  return num_hashes * std::log((q_star * (1.0 - p_star)) / (p_star * (1.0 - q_star)));
+}
+
+double RapporParams::SignalAttenuation() const {
+  double base = 1.0 - f;
+  return use_irr ? (irr_q - irr_p) * base : base;
+}
+
+double RapporParams::ReportRate(bool true_bit) const {
+  double prr_one = true_bit ? 1.0 - f / 2.0 : f / 2.0;
+  if (!use_irr) {
+    return prr_one;
+  }
+  return irr_q * prr_one + irr_p * (1.0 - prr_one);
+}
+
+RapporParams RapporParams::ForEpsilon(double epsilon, uint32_t num_bloom_bits,
+                                      uint32_t num_hashes, uint32_t num_cohorts) {
+  RapporParams params;
+  params.num_bloom_bits = num_bloom_bits;
+  params.num_hashes = num_hashes;
+  params.num_cohorts = num_cohorts;
+  params.f = 2.0 / (1.0 + std::exp(epsilon / (2.0 * num_hashes)));
+  return params;
+}
+
+std::vector<uint32_t> RapporEncoder::BloomBits(const std::string& value, uint32_t cohort) const {
+  std::vector<uint32_t> positions;
+  positions.reserve(params_.num_hashes);
+  for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+    std::string input = std::to_string(cohort) + ":" + std::to_string(i) + ":" + value;
+    Sha256Digest digest = Sha256::TaggedHash("rappor-bloom", ToBytes(input));
+    uint32_t word = static_cast<uint32_t>(digest[0]) | (static_cast<uint32_t>(digest[1]) << 8) |
+                    (static_cast<uint32_t>(digest[2]) << 16) |
+                    (static_cast<uint32_t>(digest[3]) << 24);
+    positions.push_back(word % params_.num_bloom_bits);
+  }
+  return positions;
+}
+
+RapporReport RapporEncoder::Encode(const std::string& value, uint64_t client_id,
+                                   Rng& rng) const {
+  RapporReport report;
+  report.cohort = static_cast<uint32_t>(client_id % params_.num_cohorts);
+  report.bits.assign(params_.num_bloom_bits, 0);
+  for (uint32_t pos : BloomBits(value, report.cohort)) {
+    report.bits[pos] = 1;
+  }
+  // Permanent randomized response: keep with 1-f, coin-flip with f.
+  for (auto& bit : report.bits) {
+    if (rng.NextBool(params_.f)) {
+      bit = rng.NextBool(0.5) ? 1 : 0;
+    }
+  }
+  // Instantaneous randomized response: re-randomize per report so that
+  // longitudinal observers only ever see IRR noise around the memoized PRR.
+  if (params_.use_irr) {
+    for (auto& bit : report.bits) {
+      bit = rng.NextBool(bit != 0 ? params_.irr_q : params_.irr_p) ? 1 : 0;
+    }
+  }
+  return report;
+}
+
+RapporDecoder::RapporDecoder(const RapporParams& params)
+    : params_(params),
+      encoder_(params),
+      bit_counts_(params.num_cohorts, std::vector<uint64_t>(params.num_bloom_bits, 0)),
+      cohort_reports_(params.num_cohorts, 0) {}
+
+void RapporDecoder::Accumulate(const RapporReport& report) {
+  cohort_reports_[report.cohort]++;
+  total_reports_++;
+  auto& counts = bit_counts_[report.cohort];
+  for (uint32_t i = 0; i < params_.num_bloom_bits; ++i) {
+    counts[i] += report.bits[i];
+  }
+}
+
+std::vector<RapporDetection> RapporDecoder::DecodeCandidates(
+    const std::vector<std::string>& candidates, double z_threshold) const {
+  // De-biased per-bit truth estimate: t = (c - baseline) / attenuation,
+  // with the null-rate variance scaled the same way.  The baseline is the
+  // cohort's *ambient* mean bit count rather than the pure-noise level
+  // (f/2)N: long-tail values splatter the Bloom filter roughly uniformly,
+  // and subtracting the ambient level is the detection analogue of the
+  // production decoder's regression against that background.
+  const double debias_denominator = params_.SignalAttenuation();
+
+  std::vector<double> cohort_baseline(params_.num_cohorts, 0.0);
+  std::vector<double> cohort_bit_variance(params_.num_cohorts, 0.0);
+  for (uint32_t cohort = 0; cohort < params_.num_cohorts; ++cohort) {
+    double total = 0;
+    for (uint32_t i = 0; i < params_.num_bloom_bits; ++i) {
+      total += static_cast<double>(bit_counts_[cohort][i]);
+    }
+    double mean = total / static_cast<double>(params_.num_bloom_bits);
+    cohort_baseline[cohort] = mean;
+    // Empirical variance of the bit loads: under heavy Bloom collisions the
+    // *background heterogeneity* across bits (many moderately-frequent
+    // values splattering the filter) dominates the PRR sampling noise, and
+    // a PRR-only null fires everywhere.  Calibrating the null against the
+    // observed bit-load spread is the detection analogue of the production
+    // decoder regressing candidates against the full bit profile.
+    double sq = 0;
+    for (uint32_t i = 0; i < params_.num_bloom_bits; ++i) {
+      double d = static_cast<double>(bit_counts_[cohort][i]) - mean;
+      sq += d * d;
+    }
+    cohort_bit_variance[cohort] = sq / static_cast<double>(params_.num_bloom_bits);
+  }
+
+  std::vector<RapporDetection> detections;
+  for (const auto& candidate : candidates) {
+    double estimate = 0;
+    double variance = 0;
+    for (uint32_t cohort = 0; cohort < params_.num_cohorts; ++cohort) {
+      double n = static_cast<double>(cohort_reports_[cohort]);
+      if (n == 0) {
+        continue;
+      }
+      auto positions = encoder_.BloomBits(candidate, cohort);
+      double bit_sum = 0;
+      for (uint32_t pos : positions) {
+        double c = static_cast<double>(bit_counts_[cohort][pos]);
+        bit_sum += (c - cohort_baseline[cohort]) / debias_denominator;
+      }
+      // Average the candidate's h bits within the cohort; the null variance
+      // is the larger of the analytic PRR noise and the empirical bit-load
+      // spread (see above).
+      double h = static_cast<double>(positions.size());
+      estimate += bit_sum / h;
+      double null_rate = params_.ReportRate(false);
+      double analytic = n * null_rate * (1.0 - null_rate);
+      double empirical = cohort_bit_variance[cohort];  // raw-count domain
+      variance += std::max(analytic, empirical) /
+                  (debias_denominator * debias_denominator) / h;
+    }
+    double stddev = std::sqrt(variance);
+    if (stddev == 0) {
+      continue;
+    }
+    double z = estimate / stddev;
+    if (z >= z_threshold) {
+      detections.push_back(RapporDetection{candidate, estimate, z});
+    }
+  }
+  return detections;
+}
+
+}  // namespace prochlo

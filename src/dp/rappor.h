@@ -1,0 +1,103 @@
+// RAPPOR: Randomized Aggregatable Privacy-Preserving Ordinal Response
+// (Erlingsson, Pihur & Korolova, CCS 2014 [28]) — the locally-differentially-
+// private baseline that PROCHLO's Figure 5 compares against.
+//
+// One-time collection variant: each client hashes its value into h bits of a
+// k-bit Bloom filter (per-cohort hash functions), then applies the permanent
+// randomized response — every bit is reported truthfully with probability
+// 1-f, and replaced by a fair coin with probability f.  The resulting
+// ε = 2h·ln((1-f/2)/(f/2)).
+//
+// The decoder aggregates per-cohort bit counts, de-biases them, and tests
+// each candidate string for statistical significance — the square-root noise
+// floor of this test is exactly the utility limitation the paper's §2.2
+// describes.  (The production system fits a lasso regression; the
+// significance test reproduces the same detection behaviour for Figure 5's
+// purposes.)
+#ifndef PROCHLO_SRC_DP_RAPPOR_H_
+#define PROCHLO_SRC_DP_RAPPOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+struct RapporParams {
+  uint32_t num_bloom_bits = 128;  // k
+  uint32_t num_hashes = 2;        // h
+  uint32_t num_cohorts = 8;       // m
+  double f = 0.0;                 // permanent randomized response noise
+  // Instantaneous randomized response (IRR), the deployed system's second
+  // noise level for longitudinal privacy: each *report* re-randomizes the
+  // memoized PRR bits, so repeated observations of one client do not
+  // average the PRR noise away.  Disabled (report = PRR) when q == 1, p == 0.
+  bool use_irr = false;
+  double irr_q = 0.75;  // P(report bit = 1 | PRR bit = 1)
+  double irr_p = 0.50;  // P(report bit = 1 | PRR bit = 0)
+
+  // The longitudinal (one-time / PRR-level) privacy bound.
+  double Epsilon() const;
+  // The per-report privacy bound contributed by the IRR alone.
+  double EpsilonOneReport() const;
+  // Attenuation of a true bit's signal in the reported counts:
+  // (1 - f) without IRR, (q - p)(1 - f) with.
+  double SignalAttenuation() const;
+  // Reported-bit rate for a bit that is 0/1 after hashing (pre-PRR).
+  double ReportRate(bool true_bit) const;
+  // Sets f to achieve a target ε (f = 2 / (1 + e^(ε/2h))).
+  static RapporParams ForEpsilon(double epsilon, uint32_t num_bloom_bits = 128,
+                                 uint32_t num_hashes = 2, uint32_t num_cohorts = 8);
+};
+
+struct RapporReport {
+  uint32_t cohort = 0;
+  std::vector<uint8_t> bits;  // k entries of 0/1
+};
+
+class RapporEncoder {
+ public:
+  explicit RapporEncoder(const RapporParams& params) : params_(params) {}
+
+  // Bloom-bit positions of `value` in `cohort` (h distinct-ish positions).
+  std::vector<uint32_t> BloomBits(const std::string& value, uint32_t cohort) const;
+
+  // Encodes one report; the cohort is derived from client_id.
+  RapporReport Encode(const std::string& value, uint64_t client_id, Rng& rng) const;
+
+ private:
+  RapporParams params_;
+};
+
+struct RapporDetection {
+  std::string candidate;
+  double estimated_count = 0;
+  double z_score = 0;
+};
+
+class RapporDecoder {
+ public:
+  explicit RapporDecoder(const RapporParams& params);
+
+  void Accumulate(const RapporReport& report);
+  uint64_t num_reports() const { return total_reports_; }
+
+  // Tests every candidate; returns those whose de-biased count estimate
+  // exceeds `z_threshold` standard deviations (callers typically Bonferroni-
+  // scale the threshold by the candidate-list size).
+  std::vector<RapporDetection> DecodeCandidates(const std::vector<std::string>& candidates,
+                                                double z_threshold) const;
+
+ private:
+  RapporParams params_;
+  RapporEncoder encoder_;
+  std::vector<std::vector<uint64_t>> bit_counts_;  // [cohort][bit]
+  std::vector<uint64_t> cohort_reports_;
+  uint64_t total_reports_ = 0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_RAPPOR_H_

@@ -1,0 +1,20 @@
+#include "src/dp/release.h"
+
+#include "src/dp/mechanisms.h"
+
+namespace prochlo {
+
+std::map<std::string, double> ReleaseHistogram(const std::map<std::string, uint64_t>& histogram,
+                                               const ReleaseOptions& options, Rng& rng) {
+  std::map<std::string, double> released;
+  for (const auto& [value, count] : histogram) {
+    double noisy = LaplaceMechanism(rng, static_cast<double>(count), options.sensitivity,
+                                    options.epsilon);
+    if (noisy >= options.min_released_count) {
+      released[value] = noisy;
+    }
+  }
+  return released;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,32 @@
+// Differentially-private release of analysis output (paper §3.4): even when
+// the materialized database already carries shuffler-stage guarantees, the
+// analyzer can add Laplace noise before making results public, "at no real
+// loss to utility".
+#ifndef PROCHLO_SRC_DP_RELEASE_H_
+#define PROCHLO_SRC_DP_RELEASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+struct ReleaseOptions {
+  double epsilon = 1.0;
+  // L1 sensitivity of one individual's contribution to the histogram (1 if
+  // each client contributes one report).
+  double sensitivity = 1.0;
+  // Suppress released counts below this value (post-noise); pairs naturally
+  // with the noise to avoid publishing artifacts of single records.
+  double min_released_count = 0.0;
+};
+
+// ε-DP histogram release: count + Laplace(sensitivity/ε) per entry.
+std::map<std::string, double> ReleaseHistogram(const std::map<std::string, uint64_t>& histogram,
+                                               const ReleaseOptions& options, Rng& rng);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_RELEASE_H_

@@ -1,0 +1,12 @@
+#include "src/dp/threshold_dp.h"
+
+#include "src/dp/mechanisms.h"
+
+namespace prochlo {
+
+ThresholdPrivacy AnalyzeThresholdPolicy(const ThresholdPolicy& policy, double target_delta) {
+  return ThresholdPrivacy{GaussianMechanismEpsilon(policy.drop_sigma, target_delta),
+                          target_delta};
+}
+
+}  // namespace prochlo

@@ -1,0 +1,38 @@
+// Privacy accounting for the shuffler's randomized thresholding (paper §3.5
+// and §5).
+//
+// The shuffler (a) drops d ~ ⌊N(D, σ²)⌉ (truncated at 0) items from every
+// crowd bucket and (b) forwards a crowd only if its remaining count clears
+// the threshold T.  One client changes a crowd count by at most 1, so the
+// mechanism behaves like a Gaussian mechanism on the count vector: its
+// (ε, δ) follows from the analytic Gaussian mechanism.
+//
+// The paper's settings reproduce exactly:
+//   T=20, D=10, σ=2  →  (2.25, 10⁻⁶)-DP   (§5, all four case studies)
+//   T=100, σ=4       →  (1.2, 10⁻⁷)-DP    (§5.3 Perms)
+#ifndef PROCHLO_SRC_DP_THRESHOLD_DP_H_
+#define PROCHLO_SRC_DP_THRESHOLD_DP_H_
+
+namespace prochlo {
+
+struct ThresholdPolicy {
+  // Minimum surviving count for a crowd to be forwarded.
+  double threshold = 20;
+  // Mean and stddev of the rounded-normal per-crowd drop.
+  double drop_mean = 10;
+  double drop_sigma = 2;
+};
+
+struct ThresholdPrivacy {
+  double epsilon;
+  double delta;
+};
+
+// ε for the policy's σ at the target δ (analytic Gaussian mechanism; the
+// truncation at 0 only weakens the adversary's view for counts near zero,
+// which the threshold already suppresses).
+ThresholdPrivacy AnalyzeThresholdPolicy(const ThresholdPolicy& policy, double target_delta);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_DP_THRESHOLD_DP_H_

@@ -1,0 +1,65 @@
+#include "src/sgx/attestation.h"
+
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+Measurement MeasureCode(const std::string& code_identity) {
+  return Sha256::TaggedHash("prochlo-enclave-measurement", ToBytes(code_identity));
+}
+
+Bytes PlatformCertificate::SignedPayload() const {
+  Writer w;
+  w.PutString("prochlo-platform-cert");
+  w.PutLengthPrefixed(attestation_public);
+  return w.Take();
+}
+
+Bytes AttestationQuote::SignedPayload() const {
+  Writer w;
+  w.PutString("prochlo-quote");
+  w.PutBytes(ByteSpan(measurement.data(), measurement.size()));
+  w.PutLengthPrefixed(report_data);
+  return w.Take();
+}
+
+IntelRootAuthority::IntelRootAuthority(SecureRandom& rng) : root_keys_(KeyPair::Generate(rng)) {}
+
+IntelRootAuthority::Platform IntelRootAuthority::ProvisionPlatform(SecureRandom& rng) const {
+  Platform platform;
+  platform.attestation_keys = KeyPair::Generate(rng);
+  platform.certificate.attestation_public =
+      P256::Get().Encode(platform.attestation_keys.public_key);
+  platform.certificate.endorsement =
+      EcdsaSign(root_keys_.private_key, platform.certificate.SignedPayload());
+  return platform;
+}
+
+AttestationQuote IssueQuote(const IntelRootAuthority::Platform& platform,
+                            const Measurement& measurement, ByteSpan report_data) {
+  AttestationQuote quote;
+  quote.measurement = measurement;
+  quote.report_data.assign(report_data.begin(), report_data.end());
+  quote.platform = platform.certificate;
+  quote.signature = EcdsaSign(platform.attestation_keys.private_key, quote.SignedPayload());
+  return quote;
+}
+
+bool VerifyQuote(const AttestationQuote& quote, const Measurement& expected_measurement,
+                 const EcPoint& root_public) {
+  if (quote.measurement != expected_measurement) {
+    return false;
+  }
+  // Chain: root endorses the platform attestation key.
+  if (!EcdsaVerify(root_public, quote.platform.SignedPayload(), quote.platform.endorsement)) {
+    return false;
+  }
+  auto attestation_public = P256::Get().Decode(quote.platform.attestation_public);
+  if (!attestation_public.has_value()) {
+    return false;
+  }
+  // Quote: attestation key signs (measurement, report_data).
+  return EcdsaVerify(*attestation_public, quote.SignedPayload(), quote.signature);
+}
+
+}  // namespace prochlo

@@ -1,0 +1,78 @@
+// Simulated SGX remote attestation (paper §4.1.1).
+//
+// The real flow: an enclave generates a key pair at startup and issues a
+// Quote — "an SGX enclave running code X published public key PK" — which
+// chains to an Intel-rooted certificate.  Clients verify (a) the measurement
+// X names a trusted shuffler binary and (b) the chain ends at Intel, then
+// derive ephemeral message keys against PK.
+//
+// The simulation replaces Intel's EPID/DCAP machinery with a local ECDSA
+// root ("the Intel authority") that provisions per-CPU attestation keys;
+// everything else — measurement binding, quote signing, chain verification,
+// key rotation on restart — follows the paper's protocol.
+#ifndef PROCHLO_SRC_SGX_ATTESTATION_H_
+#define PROCHLO_SRC_SGX_ATTESTATION_H_
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+
+// Identity of enclave code: SHA-256 of the (simulated) binary image.
+using Measurement = Sha256Digest;
+
+Measurement MeasureCode(const std::string& code_identity);
+
+// Per-CPU attestation key endorsed by the root authority.
+struct PlatformCertificate {
+  Bytes attestation_public;  // encoded P-256 point
+  EcdsaSignature endorsement;  // root's signature over attestation_public
+
+  Bytes SignedPayload() const;
+};
+
+// A quote binds (measurement, report_data) under the platform's attestation
+// key; report_data carries the enclave's freshly generated public key.
+struct AttestationQuote {
+  Measurement measurement;
+  Bytes report_data;
+  EcdsaSignature signature;  // by the platform attestation key
+  PlatformCertificate platform;
+
+  Bytes SignedPayload() const;
+};
+
+// The simulated Intel root: provisions platforms and anchors verification.
+class IntelRootAuthority {
+ public:
+  explicit IntelRootAuthority(SecureRandom& rng);
+
+  const EcPoint& root_public() const { return root_keys_.public_key; }
+
+  // Issues an attestation key pair endorsed by the root (one per "CPU").
+  struct Platform {
+    KeyPair attestation_keys;
+    PlatformCertificate certificate;
+  };
+  Platform ProvisionPlatform(SecureRandom& rng) const;
+
+ private:
+  KeyPair root_keys_;
+};
+
+// Signs a quote with a provisioned platform key.
+AttestationQuote IssueQuote(const IntelRootAuthority::Platform& platform,
+                            const Measurement& measurement, ByteSpan report_data);
+
+// Full client-side verification: endorsement chain to `root_public`, quote
+// signature, and measurement match.
+bool VerifyQuote(const AttestationQuote& quote, const Measurement& expected_measurement,
+                 const EcPoint& root_public);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SGX_ATTESTATION_H_

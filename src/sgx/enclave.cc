@@ -1,0 +1,30 @@
+#include "src/sgx/enclave.h"
+
+namespace prochlo {
+
+Enclave::Enclave(const EnclaveConfig& config, const IntelRootAuthority::Platform& platform,
+                 SecureRandom& rng)
+    : config_(config),
+      measurement_(MeasureCode(config.code_identity)),
+      keys_(KeyPair::Generate(rng)),
+      quote_(IssueQuote(platform, measurement_,
+                        P256::Get().Encode(keys_.public_key))),
+      memory_(config.private_memory_bytes) {}
+
+void Enclave::Restart(const IntelRootAuthority::Platform& platform, SecureRandom& rng) {
+  keys_ = KeyPair::Generate(rng);
+  quote_ = IssueQuote(platform, measurement_, P256::Get().Encode(keys_.public_key));
+  traffic_ = EnclaveTraffic{};
+}
+
+void Enclave::NoteRead(size_t bytes, size_t items) {
+  traffic_.bytes_in += bytes;
+  traffic_.items_in += items;
+}
+
+void Enclave::NoteWrite(size_t bytes, size_t items) {
+  traffic_.bytes_out += bytes;
+  traffic_.items_out += items;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,81 @@
+// The simulated SGX enclave hosting PROCHLO's shuffler (paper §4.1).
+//
+// What is modeled, because the paper's claims depend on it:
+//   * a hard private-memory budget (92 MB usable EPC on the paper's
+//     hardware) with peak tracking — the constraint every oblivious-shuffle
+//     design is fighting;
+//   * metered crossings between untrusted and private memory, in bytes and
+//     items — the paper's efficiency metric is "total SGX-processed data
+//     relative to input size";
+//   * startup key generation and attestation, with fresh keys per restart to
+//     prevent state-replay (§4.1.1).
+//
+// What is not modeled: actual isolation (we run in-process) and SGX's
+// Memory Encryption Engine latency (costs are reported in the cost model).
+#ifndef PROCHLO_SRC_SGX_ENCLAVE_H_
+#define PROCHLO_SRC_SGX_ENCLAVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/keys.h"
+#include "src/sgx/attestation.h"
+#include "src/sgx/memory.h"
+
+namespace prochlo {
+
+// 92 MB: the usable EPC on the paper's SGX hardware.
+inline constexpr size_t kDefaultEnclavePrivateMemory = 92ull * 1024 * 1024;
+
+struct EnclaveConfig {
+  std::string code_identity = "prochlo-shuffler";
+  size_t private_memory_bytes = kDefaultEnclavePrivateMemory;
+};
+
+// Byte/item traffic across the enclave boundary.
+struct EnclaveTraffic {
+  uint64_t bytes_in = 0;    // untrusted -> private (read + decrypt)
+  uint64_t bytes_out = 0;   // private -> untrusted (encrypt + write)
+  uint64_t items_in = 0;
+  uint64_t items_out = 0;
+  uint64_t ocalls = 0;
+};
+
+class Enclave {
+ public:
+  // Launching an enclave measures its code and generates fresh keys; `rng`
+  // seeds both key generation and the quote.
+  Enclave(const EnclaveConfig& config, const IntelRootAuthority::Platform& platform,
+          SecureRandom& rng);
+
+  const Measurement& measurement() const { return measurement_; }
+  const KeyPair& keys() const { return keys_; }
+  const AttestationQuote& quote() const { return quote_; }
+
+  // Restart: wipes keys and issues a fresh quote (anti-replay, §4.1.1).
+  void Restart(const IntelRootAuthority::Platform& platform, SecureRandom& rng);
+
+  MemoryMeter& memory() { return memory_; }
+  const MemoryMeter& memory() const { return memory_; }
+
+  EnclaveTraffic& traffic() { return traffic_; }
+  const EnclaveTraffic& traffic() const { return traffic_; }
+
+  // Accounting hooks used by enclave-resident algorithms.
+  void NoteRead(size_t bytes, size_t items = 1);
+  void NoteWrite(size_t bytes, size_t items = 1);
+  void NoteOcall() { ++traffic_.ocalls; }
+  void ResetTraffic() { traffic_ = EnclaveTraffic{}; }
+
+ private:
+  EnclaveConfig config_;
+  Measurement measurement_;
+  KeyPair keys_;
+  AttestationQuote quote_;
+  MemoryMeter memory_;
+  EnclaveTraffic traffic_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SGX_ENCLAVE_H_

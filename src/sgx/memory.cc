@@ -1,0 +1,18 @@
+#include "src/sgx/memory.h"
+
+namespace prochlo {
+
+bool MemoryMeter::Acquire(size_t bytes) {
+  if (used_ + bytes > budget_) {
+    return false;
+  }
+  used_ += bytes;
+  if (used_ > peak_) {
+    peak_ = used_;
+  }
+  return true;
+}
+
+void MemoryMeter::Release(size_t bytes) { used_ = bytes > used_ ? 0 : used_ - bytes; }
+
+}  // namespace prochlo

@@ -1,0 +1,111 @@
+// Private-memory accounting for the simulated SGX enclave.
+//
+// Real SGX gives an enclave ~92 MB of usable EPC (paper §4.1); algorithms
+// that overflow it pay enormous paging costs or simply cannot run (this is
+// the constraint that motivates oblivious shuffling and bounds ColumnSort's
+// and the Melbourne Shuffle's problem sizes).  The simulator enforces a hard
+// budget so that tests can prove the Stash Shuffle's working set fits.
+#ifndef PROCHLO_SRC_SGX_MEMORY_H_
+#define PROCHLO_SRC_SGX_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace prochlo {
+
+// Tracks current/peak private-memory usage against a hard budget.
+class MemoryMeter {
+ public:
+  explicit MemoryMeter(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  // Attempts to reserve `bytes`; fails (returning false) when the budget
+  // would be exceeded — the enclave analogue of EPC exhaustion.
+  [[nodiscard]] bool Acquire(size_t bytes);
+  void Release(size_t bytes);
+
+  size_t budget() const { return budget_; }
+  size_t used() const { return used_; }
+  size_t peak() const { return peak_; }
+
+ private:
+  size_t budget_;
+  size_t used_ = 0;
+  size_t peak_ = 0;
+};
+
+// A metered vector living in (simulated) enclave private memory.  Capacity
+// is reserved up front against the meter and returned on destruction;
+// CHECK-fails (aborts) on budget exhaustion, mirroring an enclave OOM.
+template <typename T>
+class PrivateVector {
+ public:
+  PrivateVector() : meter_(nullptr), reserved_(0) {}
+
+  PrivateVector(MemoryMeter& meter, size_t capacity) : meter_(&meter), reserved_(capacity * sizeof(T)) {
+    if (!meter_->Acquire(reserved_)) {
+      abort();  // Enclave out of private memory: a configuration bug.
+    }
+    storage_.reserve(capacity);
+  }
+
+  PrivateVector(PrivateVector&& other) noexcept
+      : meter_(other.meter_), reserved_(other.reserved_), storage_(std::move(other.storage_)) {
+    other.meter_ = nullptr;
+    other.reserved_ = 0;
+  }
+
+  PrivateVector& operator=(PrivateVector&& other) noexcept {
+    if (this != &other) {
+      ReleaseReservation();
+      meter_ = other.meter_;
+      reserved_ = other.reserved_;
+      storage_ = std::move(other.storage_);
+      other.meter_ = nullptr;
+      other.reserved_ = 0;
+    }
+    return *this;
+  }
+
+  PrivateVector(const PrivateVector&) = delete;
+  PrivateVector& operator=(const PrivateVector&) = delete;
+
+  ~PrivateVector() { ReleaseReservation(); }
+
+  void push_back(T value) {
+    // Growth beyond the reserved capacity would silently spill outside the
+    // metered region; treat as enclave OOM.
+    if (storage_.size() * sizeof(T) >= reserved_ && reserved_ != 0) {
+      abort();
+    }
+    storage_.push_back(std::move(value));
+  }
+
+  T& operator[](size_t i) { return storage_[i]; }
+  const T& operator[](size_t i) const { return storage_[i]; }
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  void clear() { storage_.clear(); }
+  auto begin() { return storage_.begin(); }
+  auto end() { return storage_.end(); }
+  auto begin() const { return storage_.begin(); }
+  auto end() const { return storage_.end(); }
+  std::vector<T>& raw() { return storage_; }
+
+ private:
+  void ReleaseReservation() {
+    if (meter_ != nullptr && reserved_ != 0) {
+      meter_->Release(reserved_);
+    }
+  }
+
+  MemoryMeter* meter_;
+  size_t reserved_;
+  std::vector<T> storage_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SGX_MEMORY_H_

@@ -1,0 +1,72 @@
+#include "src/shuffle/batcher.h"
+
+#include <limits>
+
+namespace prochlo {
+
+Result<std::vector<Bytes>> BatcherShuffler::Shuffle(const std::vector<Bytes>& input,
+                                                    SecureRandom& rng) {
+  const size_t n = input.size();
+  if (n <= 1) {
+    return input;
+  }
+
+  // Tag every item with a fresh random identifier; the sorted order of
+  // random identifiers is a uniform permutation (up to the negligible chance
+  // of collisions, which only correlate the relative order of the colliding
+  // pair).
+  struct Tagged {
+    uint64_t key;
+    const Bytes* item;
+  };
+  size_t padded = 1;
+  while (padded < n) {
+    padded <<= 1;
+  }
+  std::vector<Tagged> work(padded);
+  for (size_t i = 0; i < n; ++i) {
+    work[i] = Tagged{rng.UniformBelow(std::numeric_limits<uint64_t>::max()), &input[i]};
+  }
+  for (size_t i = n; i < padded; ++i) {
+    work[i] = Tagged{std::numeric_limits<uint64_t>::max(), nullptr};  // sentinel padding
+    metrics_.dummy_items++;
+  }
+
+  // Iterative odd-even merge sort: the sequence of compare-exchange indices
+  // depends only on `padded`, never on the data.
+  const size_t item_bytes = input[0].size();
+  auto compare_exchange = [&](size_t a, size_t b) {
+    if (work[a].key > work[b].key) {
+      std::swap(work[a], work[b]);
+    }
+    metrics_.items_processed += 2;
+    metrics_.bytes_processed += 2 * item_bytes;
+  };
+
+  for (size_t p = 1; p < padded; p <<= 1) {
+    for (size_t k = p; k >= 1; k >>= 1) {
+      for (size_t j = k % p; j + k < padded; j += 2 * k) {
+        for (size_t i = 0; i < k; ++i) {
+          if ((j + i) / (p * 2) == (j + i + k) / (p * 2)) {
+            compare_exchange(j + i, j + i + k);
+          }
+        }
+      }
+      if (k == 1) {
+        break;
+      }
+    }
+    metrics_.rounds++;
+  }
+
+  std::vector<Bytes> output;
+  output.reserve(n);
+  for (const auto& t : work) {
+    if (t.item != nullptr) {
+      output.push_back(*t.item);
+    }
+  }
+  return output;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,129 @@
+#include "src/shuffle/columnsort.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prochlo {
+
+namespace {
+struct Tagged {
+  uint64_t key;
+  const Bytes* item;  // nullptr for padding
+};
+
+constexpr uint64_t kNegInf = 0;
+constexpr uint64_t kPosInf = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+Result<std::vector<Bytes>> ColumnSortShuffler::Shuffle(const std::vector<Bytes>& input,
+                                                       SecureRandom& rng) {
+  const size_t n = input.size();
+  if (n <= 1) {
+    return input;
+  }
+  const size_t s = std::max<size_t>(2, options_.num_columns);
+
+  // Column height: r >= max(ceil(n/s), 2(s-1)^2), rounded up to a multiple
+  // of s (required by the transpose steps).
+  size_t r = std::max((n + s - 1) / s, 2 * (s - 1) * (s - 1));
+  r = ((r + s - 1) / s) * s;
+  if (options_.max_column_items != 0 && r > options_.max_column_items) {
+    return Error{"ColumnSort column exceeds private memory (the paper's scalability cap)"};
+  }
+  const size_t total = r * s;
+
+  // Random keys in (kNegInf, kPosInf) so the shift sentinels stay extremal.
+  std::vector<Tagged> matrix(total);  // column-major: idx = col*r + row
+  for (size_t i = 0; i < n; ++i) {
+    matrix[i] = Tagged{1 + rng.UniformBelow(kPosInf - 2), &input[i]};
+  }
+  for (size_t i = n; i < total; ++i) {
+    matrix[i] = Tagged{kPosInf, nullptr};
+    metrics_.dummy_items++;
+  }
+
+  const size_t item_bytes = input[0].size();
+  auto note_pass = [&](size_t items) {
+    metrics_.items_processed += items;
+    metrics_.bytes_processed += items * item_bytes;
+    metrics_.rounds++;
+  };
+
+  auto sort_columns = [&](std::vector<Tagged>& mat, size_t height, size_t cols) {
+    for (size_t c = 0; c < cols; ++c) {
+      std::sort(mat.begin() + c * height, mat.begin() + (c + 1) * height,
+                [](const Tagged& a, const Tagged& b) { return a.key < b.key; });
+    }
+    note_pass(height * cols);
+  };
+
+  // Step 1: sort columns.
+  sort_columns(matrix, r, s);
+
+  // Step 2: "transpose" — read column-major, write row-major.
+  {
+    std::vector<Tagged> next(total);
+    for (size_t k = 0; k < total; ++k) {
+      size_t row = k / s;
+      size_t col = k % s;
+      next[col * r + row] = matrix[k];
+    }
+    matrix = std::move(next);
+    note_pass(total);
+  }
+
+  // Step 3: sort columns.
+  sort_columns(matrix, r, s);
+
+  // Step 4: untranspose — read row-major, write column-major.
+  {
+    std::vector<Tagged> next(total);
+    for (size_t k = 0; k < total; ++k) {
+      size_t row = k / s;
+      size_t col = k % s;
+      next[k] = matrix[col * r + row];
+    }
+    matrix = std::move(next);
+    note_pass(total);
+  }
+
+  // Step 5: sort columns.
+  sort_columns(matrix, r, s);
+
+  // Step 6: shift down by r/2 into s+1 columns, padding with sentinels.
+  const size_t h = r / 2;
+  std::vector<Tagged> shifted(r * (s + 1));
+  for (size_t i = 0; i < h; ++i) {
+    shifted[i] = Tagged{kNegInf, nullptr};
+  }
+  for (size_t k = 0; k < total; ++k) {
+    shifted[k + h] = matrix[k];
+  }
+  for (size_t i = total + h; i < r * (s + 1); ++i) {
+    shifted[i] = Tagged{kPosInf, nullptr};
+  }
+  note_pass(total);
+
+  // Step 7: sort the s+1 shifted columns.
+  sort_columns(shifted, r, s + 1);
+
+  // Step 8: unshift.
+  for (size_t k = 0; k < total; ++k) {
+    matrix[k] = shifted[k + h];
+  }
+  note_pass(total);
+
+  std::vector<Bytes> output;
+  output.reserve(n);
+  for (const auto& t : matrix) {
+    if (t.item != nullptr) {
+      output.push_back(*t.item);
+    }
+  }
+  if (output.size() != n) {
+    return Error{"internal error: ColumnSort lost items"};
+  }
+  return output;
+}
+
+}  // namespace prochlo

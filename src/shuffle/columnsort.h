@@ -1,0 +1,41 @@
+// Oblivious shuffle via Leighton's ColumnSort (paper §4.1.3, [44]; used for
+// SGX analytics by Opaque [78]).
+//
+// ColumnSort sorts an r x s matrix (r >= 2(s-1)^2, s | r) in exactly 8
+// data-independent steps, four of which sort columns in private memory.  Its
+// overhead is a flat 8x — better than Batcher — but the column must fit in
+// private memory, which caps the problem at ~118M 318-byte records for 92 MB
+// enclaves (the paper's headline limitation; see cost_model.h).
+#ifndef PROCHLO_SRC_SHUFFLE_COLUMNSORT_H_
+#define PROCHLO_SRC_SHUFFLE_COLUMNSORT_H_
+
+#include "src/shuffle/oblivious_shuffler.h"
+
+namespace prochlo {
+
+class ColumnSortShuffler : public ObliviousShuffler {
+ public:
+  struct Options {
+    // Number of columns; r is derived from the input size (padded).
+    size_t num_columns = 4;
+    // Private-memory cap on the column height r (items); 0 = unlimited.
+    size_t max_column_items = 0;
+  };
+
+  explicit ColumnSortShuffler(Options options) : options_(options) {}
+  ColumnSortShuffler() : ColumnSortShuffler(Options{}) {}
+
+  Result<std::vector<Bytes>> Shuffle(const std::vector<Bytes>& input,
+                                     SecureRandom& rng) override;
+
+  const ShuffleMetrics& metrics() const override { return metrics_; }
+  std::string name() const override { return "ColumnSort"; }
+
+ private:
+  Options options_;
+  ShuffleMetrics metrics_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SHUFFLE_COLUMNSORT_H_

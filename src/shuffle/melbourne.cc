@@ -1,0 +1,105 @@
+#include "src/shuffle/melbourne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace prochlo {
+
+Result<std::vector<Bytes>> MelbourneShuffler::Shuffle(const std::vector<Bytes>& input,
+                                                      SecureRandom& rng) {
+  const size_t n = input.size();
+  if (n <= 1) {
+    return input;
+  }
+  const size_t num_buckets = std::max<size_t>(2, options_.num_buckets);
+  const size_t bucket_size = (n + num_buckets - 1) / num_buckets;
+  const size_t item_bytes = input[0].size();
+
+  // The defining cost: the full target permutation resides in private
+  // memory for the duration of the shuffle.
+  const size_t permutation_bytes = n * sizeof(uint64_t);
+  if (!enclave_.memory().Acquire(permutation_bytes)) {
+    metrics_.failed_attempts++;
+    return Error{"Melbourne Shuffle permutation exceeds enclave private memory "
+                 "(the scaling limitation the Stash Shuffle removes)"};
+  }
+  std::vector<uint64_t> permutation(n);  // destination position of input[i]
+  std::iota(permutation.begin(), permutation.end(), 0);
+  rng.ShuffleVector(permutation);
+
+  // Distribution: every (input bucket, output bucket) pair exchanges a
+  // fixed-size padded chunk; a real item travels in the chunk addressed to
+  // its destination bucket.  Chunk overflow (too many of one input bucket's
+  // items heading to one output bucket) fails the attempt.
+  const size_t chunk_cap = static_cast<size_t>(std::ceil(
+                               options_.padding_factor * static_cast<double>(bucket_size) /
+                               static_cast<double>(num_buckets))) +
+                           1;
+  struct Slot {
+    uint64_t destination = 0;
+    const Bytes* item = nullptr;  // nullptr = dummy
+  };
+  std::vector<std::vector<Slot>> intermediate(num_buckets);
+
+  auto release = [&] { enclave_.memory().Release(permutation_bytes); };
+
+  for (size_t b = 0; b < num_buckets; ++b) {
+    const size_t begin = b * bucket_size;
+    const size_t end = std::min(n, begin + bucket_size);
+    std::vector<std::vector<Slot>> chunks(num_buckets);
+    for (size_t i = begin; i < end; ++i) {
+      enclave_.NoteRead(item_bytes, 1);
+      metrics_.items_processed++;
+      metrics_.bytes_processed += item_bytes;
+      uint64_t destination = permutation[i];
+      size_t out_bucket = std::min(destination / bucket_size, num_buckets - 1);
+      if (chunks[out_bucket].size() >= chunk_cap) {
+        metrics_.failed_attempts++;
+        release();
+        return Error{"Melbourne Shuffle chunk overflow (no stash to absorb it)"};
+      }
+      chunks[out_bucket].push_back(Slot{destination, &input[i]});
+    }
+    // Pad every chunk to the fixed capacity before it leaves private memory.
+    for (size_t j = 0; j < num_buckets; ++j) {
+      while (chunks[j].size() < chunk_cap) {
+        chunks[j].push_back(Slot{});
+        metrics_.dummy_items++;
+      }
+      metrics_.bytes_processed += chunk_cap * item_bytes;
+      intermediate[j].insert(intermediate[j].end(), chunks[j].begin(), chunks[j].end());
+    }
+  }
+  metrics_.rounds++;
+
+  // Cleanup: sort each output bucket by destination (inside private
+  // memory), dropping dummies.
+  std::vector<Bytes> output;
+  output.reserve(n);
+  for (size_t j = 0; j < num_buckets; ++j) {
+    auto& bucket = intermediate[j];
+    metrics_.items_processed += bucket.size();
+    std::stable_sort(bucket.begin(), bucket.end(), [](const Slot& a, const Slot& b) {
+      if ((a.item == nullptr) != (b.item == nullptr)) {
+        return a.item != nullptr;  // reals first
+      }
+      return a.destination < b.destination;
+    });
+    for (const auto& slot : bucket) {
+      if (slot.item != nullptr) {
+        enclave_.NoteWrite(item_bytes, 1);
+        output.push_back(*slot.item);
+      }
+    }
+  }
+  metrics_.rounds++;
+  release();
+
+  if (output.size() != n) {
+    return Error{"internal error: Melbourne Shuffle lost items"};
+  }
+  return output;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,50 @@
+// The Melbourne Shuffle (Ohrimenko et al. [58]; paper §4.1.3) — the
+// algorithm the Stash Shuffle is "inspired by".
+//
+// Instead of sorting by random tags, the Melbourne Shuffle picks a target
+// permutation up front and obliviously *rearranges* the data to it: each
+// input bucket deposits its items into padded, fixed-size chunks of every
+// output bucket (dummies hide the real counts), and a cleanup pass sorts
+// each output bucket into its final order.  Fast and parallelizable — but
+// the whole permutation must live in private memory, which is exactly the
+// scaling flaw the paper calls out ("can handle only a few dozen million
+// items, at most") and the Stash Shuffle removes.
+//
+// This implementation enforces that flaw faithfully: the permutation is
+// charged against the enclave's private-memory meter and the shuffle fails
+// when it does not fit.
+#ifndef PROCHLO_SRC_SHUFFLE_MELBOURNE_H_
+#define PROCHLO_SRC_SHUFFLE_MELBOURNE_H_
+
+#include "src/sgx/enclave.h"
+#include "src/shuffle/oblivious_shuffler.h"
+
+namespace prochlo {
+
+class MelbourneShuffler : public ObliviousShuffler {
+ public:
+  struct Options {
+    size_t num_buckets = 8;
+    // Chunk capacity as a multiple of the mean per-(input,output) load;
+    // items above the cap cannot ride a stash here — the attempt fails.
+    double padding_factor = 4.0;
+  };
+
+  MelbourneShuffler(Enclave& enclave, Options options)
+      : enclave_(enclave), options_(options) {}
+
+  Result<std::vector<Bytes>> Shuffle(const std::vector<Bytes>& input,
+                                     SecureRandom& rng) override;
+
+  const ShuffleMetrics& metrics() const override { return metrics_; }
+  std::string name() const override { return "MelbourneShuffle"; }
+
+ private:
+  Enclave& enclave_;
+  Options options_;
+  ShuffleMetrics metrics_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SHUFFLE_MELBOURNE_H_

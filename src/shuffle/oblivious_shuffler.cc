@@ -1,0 +1,29 @@
+#include "src/shuffle/oblivious_shuffler.h"
+
+namespace prochlo {
+
+Result<std::vector<Bytes>> ShuffleWithRetries(ObliviousShuffler& shuffler,
+                                              const std::vector<Bytes>& input, SecureRandom& rng,
+                                              int max_attempts) {
+  Error last{"shuffle not attempted"};
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto result = shuffler.Shuffle(input, rng);
+    if (result.ok()) {
+      return result;
+    }
+    last = result.error();
+  }
+  return Error{"shuffle failed after retries: " + last.message};
+}
+
+Result<std::vector<Bytes>> ShuffleTwice(ObliviousShuffler& shuffler,
+                                        const std::vector<Bytes>& input, SecureRandom& rng,
+                                        int max_attempts_per_pass) {
+  auto first = ShuffleWithRetries(shuffler, input, rng, max_attempts_per_pass);
+  if (!first.ok()) {
+    return first;
+  }
+  return ShuffleWithRetries(shuffler, first.value(), rng, max_attempts_per_pass);
+}
+
+}  // namespace prochlo

@@ -1,0 +1,81 @@
+// Common interface and metrics for oblivious-shuffling algorithms (paper
+// §4.1.2–§4.1.4).
+//
+// An oblivious shuffler permutes N equal-size encrypted records using a
+// sequence of *public* operations on batches, each batch processed inside
+// private (enclave) memory, such that observing the operation sequence gives
+// no advantage in guessing the permutation.  The paper's efficiency metric
+// is the amount of SGX-processed data relative to the input size; the
+// `ShuffleMetrics` struct captures exactly that, plus failure/retry counts
+// (the Stash Shuffle can legitimately fail and restart).
+#ifndef PROCHLO_SRC_SHUFFLE_OBLIVIOUS_SHUFFLER_H_
+#define PROCHLO_SRC_SHUFFLE_OBLIVIOUS_SHUFFLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct ShuffleMetrics {
+  // Items (and bytes) read into private memory across all rounds, including
+  // dummies — the paper's "SGX-processed data".
+  uint64_t items_processed = 0;
+  uint64_t bytes_processed = 0;
+  // Dummy/padding items written to hide occupancy.
+  uint64_t dummy_items = 0;
+  // Sequential passes over the data.
+  uint64_t rounds = 0;
+  // Failed attempts before the successful one.
+  uint64_t failed_attempts = 0;
+  // Peak private-memory use, if the algorithm meters one.
+  uint64_t peak_private_bytes = 0;
+  // Wall-clock split of the last successful attempt (Stash Shuffle phases;
+  // Table 2's Distribution/Compression columns).
+  double distribution_seconds = 0;
+  double compression_seconds = 0;
+
+  // SGX-processed items relative to the input size (the §4.1.3 comparison
+  // number: Stash ≈ 3.3–3.7x, Batcher 49–100x, ColumnSort 8x, ...).
+  double OverheadFactor(uint64_t input_items) const {
+    return input_items == 0 ? 0.0
+                            : static_cast<double>(items_processed) /
+                                  static_cast<double>(input_items);
+  }
+};
+
+// Interface over equal-length opaque records.
+class ObliviousShuffler {
+ public:
+  virtual ~ObliviousShuffler() = default;
+
+  // Returns the input records in a (pseudo)random order unlinkable to the
+  // input order, or an Error for a legitimate algorithmic failure (caller
+  // retries with fresh randomness).
+  virtual Result<std::vector<Bytes>> Shuffle(const std::vector<Bytes>& input,
+                                             SecureRandom& rng) = 0;
+
+  virtual const ShuffleMetrics& metrics() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Retries `shuffler` up to `max_attempts` times; aggregates failure counts
+// into the shuffler's metrics.
+Result<std::vector<Bytes>> ShuffleWithRetries(ObliviousShuffler& shuffler,
+                                              const std::vector<Bytes>& input, SecureRandom& rng,
+                                              int max_attempts);
+
+// Runs the shuffle twice in succession — the paper's standard technique for
+// boosting overall shuffle security (the composed permutation is at least as
+// close to uniform as either pass), at 2x the processing cost.
+Result<std::vector<Bytes>> ShuffleTwice(ObliviousShuffler& shuffler,
+                                        const std::vector<Bytes>& input, SecureRandom& rng,
+                                        int max_attempts_per_pass);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SHUFFLE_OBLIVIOUS_SHUFFLER_H_

@@ -1,0 +1,159 @@
+#include "src/shuffle/oblivious_threshold.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace prochlo {
+
+namespace {
+// Noisy per-crowd drop d ~ ⌊N(D, σ²)⌉ truncated at 0; σ = 0 means naive.
+size_t SampleDrop(const ThresholdPolicy& policy, Rng& noise_rng) {
+  if (policy.drop_sigma == 0 && policy.drop_mean == 0) {
+    return 0;
+  }
+  return static_cast<size_t>(
+      noise_rng.NextRoundedTruncatedGaussian(policy.drop_mean, policy.drop_sigma));
+}
+}  // namespace
+
+Result<std::vector<CrowdRecord>> CountingThresholder::Threshold(std::vector<CrowdRecord> records,
+                                                                const ThresholdPolicy& policy,
+                                                                Rng& noise_rng) {
+  // Pass 1: count per crowd in private memory.  The counter table is the
+  // private working set; ~20M distinct values fit in 92 MB (paper §4.1.5).
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(records.size());
+  for (const auto& record : records) {
+    enclave_.NoteRead(record.payload.size() + 8, 1);
+    metrics_.items_processed++;
+    counts[record.crowd]++;
+  }
+  metrics_.passes++;
+
+  constexpr size_t kCounterSlot = 24;  // key + count + table overhead
+  if (!enclave_.memory().Acquire(counts.size() * kCounterSlot)) {
+    return Error{"crowd-ID domain too large for in-enclave counters; "
+                 "use SortingThresholder"};
+  }
+
+  // Decide survival per crowd (noisy drop, then threshold).
+  std::unordered_map<uint64_t, uint64_t> keep_quota;
+  keep_quota.reserve(counts.size());
+  for (const auto& [crowd, count] : counts) {
+    size_t d = std::min<size_t>(SampleDrop(policy, noise_rng), count);
+    uint64_t surviving = count - d;
+    keep_quota[crowd] =
+        static_cast<double>(surviving) >= policy.threshold ? surviving : 0;
+  }
+
+  // Pass 2: filter.  (In the real enclave this zeroes records in place; the
+  // observable information is only the survivor count.)
+  std::vector<CrowdRecord> survivors;
+  survivors.reserve(records.size());
+  for (auto& record : records) {
+    enclave_.NoteRead(record.payload.size() + 8, 1);
+    metrics_.items_processed++;
+    auto it = keep_quota.find(record.crowd);
+    if (it != keep_quota.end() && it->second > 0) {
+      --it->second;
+      survivors.push_back(std::move(record));
+    }
+  }
+  metrics_.passes++;
+  enclave_.memory().Release(counts.size() * kCounterSlot);
+
+  metrics_.survivors = survivors.size();
+  return survivors;
+}
+
+Result<std::vector<CrowdRecord>> SortingThresholder::Threshold(std::vector<CrowdRecord> records,
+                                                               const ThresholdPolicy& policy,
+                                                               Rng& noise_rng) {
+  const size_t n = records.size();
+  if (n == 0) {
+    return records;
+  }
+
+  // Oblivious sort by crowd ID: Batcher's odd-even merge network over the
+  // records (the compare-exchange sequence depends only on the padded size).
+  size_t padded = 1;
+  while (padded < n) {
+    padded <<= 1;
+  }
+  constexpr uint64_t kPadCrowd = ~0ull;
+  std::vector<CrowdRecord*> work(padded);
+  std::vector<CrowdRecord> pads(padded - n);
+  for (size_t i = 0; i < n; ++i) {
+    work[i] = &records[i];
+  }
+  for (size_t i = n; i < padded; ++i) {
+    pads[i - n].crowd = kPadCrowd;
+    work[i] = &pads[i - n];
+  }
+
+  auto compare_exchange = [&](size_t a, size_t b) {
+    if (work[a]->crowd > work[b]->crowd) {
+      std::swap(work[a], work[b]);
+    }
+    metrics_.compare_exchanges++;
+    metrics_.items_processed += 2;
+  };
+  for (size_t p = 1; p < padded; p <<= 1) {
+    for (size_t k = p; k >= 1; k >>= 1) {
+      for (size_t j = k % p; j + k < padded; j += 2 * k) {
+        for (size_t i = 0; i < k; ++i) {
+          if ((j + i) / (p * 2) == (j + i + k) / (p * 2)) {
+            compare_exchange(j + i, j + i + k);
+          }
+        }
+      }
+      if (k == 1) {
+        break;
+      }
+    }
+    metrics_.passes++;
+  }
+
+  // Forward scan: running count within each contiguous crowd group (carried
+  // along via re-encryption in the real system).
+  std::vector<uint64_t> running(padded, 0);
+  uint64_t current = 0;
+  for (size_t i = 0; i < padded; ++i) {
+    current = (i > 0 && work[i]->crowd == work[i - 1]->crowd) ? current + 1 : 1;
+    running[i] = current;
+    metrics_.items_processed++;
+  }
+  metrics_.passes++;
+
+  // Backward scan: the group's total is the running count at its last
+  // record; drop d noisy items per crowd (the tail of the group) and filter
+  // groups whose surviving count misses the threshold.
+  std::vector<CrowdRecord> survivors;
+  survivors.reserve(n);
+  uint64_t group_total = 0;
+  uint64_t keep_in_group = 0;
+  for (size_t i = padded; i-- > 0;) {
+    metrics_.items_processed++;
+    if (work[i]->crowd == kPadCrowd) {
+      continue;
+    }
+    bool group_end = (i + 1 == padded) || (work[i + 1]->crowd != work[i]->crowd);
+    if (group_end) {
+      group_total = running[i];
+      size_t d = std::min<size_t>(SampleDrop(policy, noise_rng), group_total);
+      uint64_t surviving = group_total - d;
+      keep_in_group = static_cast<double>(surviving) >= policy.threshold ? surviving : 0;
+    }
+    // Keep the first `keep_in_group` records of the group (running <= keep).
+    if (running[i] <= keep_in_group) {
+      survivors.push_back(std::move(*work[i]));
+    }
+  }
+  metrics_.passes++;
+  std::reverse(survivors.begin(), survivors.end());
+
+  metrics_.survivors = survivors.size();
+  return survivors;
+}
+
+}  // namespace prochlo

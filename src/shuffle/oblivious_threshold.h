@@ -1,0 +1,78 @@
+// Oblivious crowd-ID thresholding inside the enclave (paper §4.1.5).
+//
+// Small crowd-ID domains (up to ~20M distinct values in 92 MB) threshold by
+// keeping one counter per value in private memory: one pass to count, one
+// pass to filter — `CountingThresholder`.
+//
+// Domains too large for counters use the sort-based routine the paper
+// describes — `SortingThresholder`: obliviously sort the batch by crowd ID
+// (Batcher's network: data-independent compare-exchanges), then one forward
+// scan attaching a running per-crowd count to each record, and one backward
+// scan propagating each crowd's total and filtering records below the
+// (noisy) threshold.  Since this approach requires oblivious sorting anyway,
+// it subsumes the shuffle itself — the paper notes it as the fallback that
+// obviates the Stash Shuffle for such domains.
+//
+// Both report the enclave's observable selectivity (survivor count), which
+// the paper explicitly allows the hosting organization to learn.
+#ifndef PROCHLO_SRC_SHUFFLE_OBLIVIOUS_THRESHOLD_H_
+#define PROCHLO_SRC_SHUFFLE_OBLIVIOUS_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dp/threshold_dp.h"
+#include "src/sgx/enclave.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct CrowdRecord {
+  uint64_t crowd = 0;
+  Bytes payload;
+};
+
+struct ThresholdMetrics {
+  uint64_t passes = 0;
+  uint64_t items_processed = 0;
+  uint64_t compare_exchanges = 0;
+  uint64_t survivors = 0;  // the observable selectivity
+};
+
+// Counter-per-crowd thresholding for small domains.
+class CountingThresholder {
+ public:
+  explicit CountingThresholder(Enclave& enclave) : enclave_(enclave) {}
+
+  // Applies the randomized policy (drop d ~ ⌊N(D,σ²)⌉ then require >= T);
+  // pass drop_sigma = 0 and drop_mean = 0 in the policy for naive counting.
+  // Fails if the counter table would exceed enclave private memory.
+  Result<std::vector<CrowdRecord>> Threshold(std::vector<CrowdRecord> records,
+                                             const ThresholdPolicy& policy, Rng& noise_rng);
+
+  const ThresholdMetrics& metrics() const { return metrics_; }
+
+ private:
+  Enclave& enclave_;
+  ThresholdMetrics metrics_;
+};
+
+// Sort-based thresholding for unbounded domains.
+class SortingThresholder {
+ public:
+  explicit SortingThresholder(Enclave& enclave) : enclave_(enclave) {}
+
+  Result<std::vector<CrowdRecord>> Threshold(std::vector<CrowdRecord> records,
+                                             const ThresholdPolicy& policy, Rng& noise_rng);
+
+  const ThresholdMetrics& metrics() const { return metrics_; }
+
+ private:
+  Enclave& enclave_;
+  ThresholdMetrics metrics_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SHUFFLE_OBLIVIOUS_THRESHOLD_H_

@@ -1,0 +1,67 @@
+// Stash Shuffle parameter selection, security estimation, and analytic
+// overhead (paper §4.1.4, Table 1).
+//
+// The Stash Shuffle on N items uses B buckets of D = ceil(N/B) items each;
+// at most C items travel from any input bucket to any output bucket (the
+// chunk cap), overflow queues in a stash of S items, the final stash drain
+// adds K = ceil(S/B) items per bucket, and compression slides a window of W
+// intermediate buckets.
+//
+// Overhead is exact arithmetic: the enclave processes N input items plus
+// B^2*C + S intermediate items, so overhead = (N + B^2*C + S) / N — this
+// regenerates Table 1's 3.3–3.7x column precisely.
+//
+// The security parameter ε (total variation distance from a uniform
+// permutation) is approximated here by a Poisson tail bound,
+//     ε ≈ B^2 · P[Poisson(D/B) ≥ C + S/B],
+// a simplification of the companion analysis (Maniatis, Mironov & Talwar,
+// "Oblivious Stash Shuffle", arXiv:1709.07553 [50]) that reproduces Table
+// 1's log2(ε) column within a few bits.
+#ifndef PROCHLO_SRC_SHUFFLE_STASH_PARAMS_H_
+#define PROCHLO_SRC_SHUFFLE_STASH_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prochlo {
+
+struct StashShuffleParams {
+  size_t num_buckets = 0;  // B
+  size_t chunk_cap = 0;    // C
+  size_t window = 4;       // W
+  size_t stash_size = 0;   // S (items)
+
+  size_t BucketSize(size_t n) const {  // D
+    return (n + num_buckets - 1) / num_buckets;
+  }
+  size_t StashDrainPerBucket() const {  // K
+    return (stash_size + num_buckets - 1) / num_buckets;
+  }
+  // Items per intermediate bucket: C per input bucket, plus the drain.
+  size_t IntermediateBucketSize() const {
+    return chunk_cap * num_buckets + StashDrainPerBucket();
+  }
+};
+
+// Chooses parameters for N items following the paper's scenarios: C ≈ D/B +
+// 5*sqrt(D/B) and K ≈ 40, W = 4.  `bucket_bytes_budget` caps D so that a
+// bucket fits comfortably in private memory.
+StashShuffleParams ChooseStashParams(uint64_t n, size_t item_bytes,
+                                     size_t private_memory_bytes);
+
+// log2 of the estimated total-variation distance ε (more negative is more
+// secure); see file comment for the approximation.
+double EstimateLog2Epsilon(uint64_t n, const StashShuffleParams& params);
+
+// Exact processing overhead (N + B^2*C + S) / N.
+double StashOverheadFactor(uint64_t n, const StashShuffleParams& params);
+
+// Peak private memory estimate in bytes for the given record size: the
+// larger of the distribution working set (output chunks + stash + one input
+// bucket) and the compression working set (one intermediate bucket + queue).
+uint64_t EstimatePrivateMemoryBytes(uint64_t n, size_t item_bytes,
+                                    const StashShuffleParams& params);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SHUFFLE_STASH_PARAMS_H_

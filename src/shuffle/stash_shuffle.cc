@@ -1,0 +1,333 @@
+#include "src/shuffle/stash_shuffle.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "src/crypto/gcm.h"
+
+namespace prochlo {
+
+namespace {
+// Intermediate record layout: nonce || GCM(flag byte || item).  The flag is
+// inside the ciphertext, so real and dummy records are indistinguishable.
+constexpr uint8_t kRealItem = 0x01;
+constexpr uint8_t kDummyItem = 0x00;
+
+Bytes SealIntermediate(const AesGcm& aead, SecureRandom& rng, uint8_t flag, ByteSpan item,
+                       size_t item_size) {
+  Bytes plaintext;
+  plaintext.reserve(1 + item_size);
+  plaintext.push_back(flag);
+  plaintext.insert(plaintext.end(), item.begin(), item.end());
+  plaintext.resize(1 + item_size, 0);
+  GcmNonce nonce = rng.RandomNonce();
+  Bytes out(nonce.begin(), nonce.end());
+  Bytes sealed = aead.Seal(nonce, plaintext, /*aad=*/{});
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+// Returns the item if the record is real, nullopt for dummies.  Corrupt
+// records cannot occur (we sealed them ourselves); treat as dummy.
+std::optional<Bytes> OpenIntermediate(const AesGcm& aead, const Bytes& record) {
+  GcmNonce nonce;
+  std::memcpy(nonce.data(), record.data(), nonce.size());
+  auto plaintext = aead.Open(nonce, ByteSpan(record).subspan(kGcmNonceSize), /*aad=*/{});
+  if (!plaintext.has_value() || plaintext->empty() || (*plaintext)[0] != kRealItem) {
+    return std::nullopt;
+  }
+  return Bytes(plaintext->begin() + 1, plaintext->end());
+}
+
+// SHUFFLETOBUCKETS (Algorithm 2, line 3): assign each of the bucket's items
+// an independent uniform target bucket.
+//
+// Note on fidelity: the SOSP pseudocode sketches this via a shuffle of D
+// items with B-1 separators, which taken literally yields a uniform
+// *composition* — whose per-bucket counts have exponential tails that would
+// overwhelm any Table 1-sized stash (e^(-C/lambda) overflow rates).  The
+// companion analysis [50] models the phase as balls-in-bins, i.e. i.i.d.
+// multinomial targets with Poisson-like tails, which is what Table 1's
+// (C, S, eps) arithmetic requires and what we implement.
+std::vector<size_t> ShuffleToBuckets(size_t num_items, size_t num_buckets, SecureRandom& rng) {
+  std::vector<size_t> targets(num_items);
+  for (auto& target : targets) {
+    target = rng.UniformBelow(num_buckets);
+  }
+  return targets;
+}
+}  // namespace
+
+StashShuffler::StashShuffler(Enclave& enclave, Options options)
+    : enclave_(enclave), options_(std::move(options)) {}
+
+Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& input,
+                                                  SecureRandom& rng) {
+  const size_t n = input.size();
+  if (n == 0) {
+    return std::vector<Bytes>{};
+  }
+  const size_t raw_item_size = input[0].size();
+  for (const auto& record : input) {
+    if (record.size() != raw_item_size) {
+      return Error{"stash shuffle requires equal-size records"};
+    }
+  }
+
+  // Determine the post-open item size from the first record.
+  if (raw_item_size == 0) {
+    return Error{"stash shuffle requires non-empty records"};
+  }
+  size_t item_size = raw_item_size;
+  if (options_.open_outer) {
+    auto probe = options_.open_outer(input[0]);
+    if (!probe.has_value()) {
+      return Error{"outer decryption failed on first record"};
+    }
+    item_size = probe->size();
+  }
+
+  StashShuffleParams params = options_.params;
+  if (params.num_buckets == 0) {
+    params = ChooseStashParams(n, item_size, enclave_.memory().budget());
+  }
+  effective_params_ = params;
+
+  const size_t num_buckets = params.num_buckets;  // B
+  const size_t bucket_size = params.BucketSize(n);  // D
+  const size_t chunk_cap = params.chunk_cap;        // C
+  const size_t stash_cap = params.stash_size;       // S
+  const size_t drain_per_bucket = params.StashDrainPerBucket();  // K
+  const size_t mid_bucket_size = params.IntermediateBucketSize();  // C*B + K
+
+  // Fresh ephemeral key per attempt: failed attempts leak nothing.
+  Bytes ephemeral_key = rng.RandomBytes(32);
+  AesGcm aead(ephemeral_key);
+  const size_t sealed_size = kGcmNonceSize + AesGcm::SealedSize(1 + item_size);
+  const size_t slot = item_size + 16;  // private-slot bookkeeping estimate
+
+  auto phase1_start = std::chrono::steady_clock::now();
+
+  // ---------------------------------------------------------------- phase 1
+  // Distribution: private working set is one input bucket plus B output
+  // chunks of C; the stash is metered incrementally as it actually fills
+  // (its capacity S is a failure bound, not a reservation).
+  const size_t distribution_bytes = (bucket_size + num_buckets * chunk_cap) * slot;
+  if (!enclave_.memory().Acquire(distribution_bytes)) {
+    return Error{"distribution working set exceeds enclave private memory"};
+  }
+  size_t stash_metered_bytes = 0;  // released in bulk at phase end
+
+  std::vector<Bytes> mid(num_buckets * mid_bucket_size);  // untrusted
+  std::vector<std::deque<Bytes>> stash(num_buckets);      // private
+  size_t stash_count = 0;
+  size_t dropped = 0;  // forged records rejected by open_outer
+  bool failed = false;
+  std::string failure;
+
+  auto deposit_chunk = [&](size_t out_bucket, size_t chunk_base, std::vector<Bytes>& chunk,
+                           size_t chunk_size) {
+    // Pad with dummies so every chunk is exactly chunk_size records.
+    while (chunk.size() < chunk_size) {
+      chunk.push_back({});
+      metrics_.dummy_items++;
+    }
+    for (size_t i = 0; i < chunk_size; ++i) {
+      uint8_t flag = chunk[i].empty() ? kDummyItem : kRealItem;
+      Bytes sealed = SealIntermediate(aead, rng, flag, chunk[i], item_size);
+      enclave_.NoteWrite(sealed.size(), 1);
+      mid[out_bucket * mid_bucket_size + chunk_base + i] = std::move(sealed);
+    }
+  };
+
+  for (size_t b = 0; b < num_buckets && !failed; ++b) {
+    const size_t begin = b * bucket_size;
+    const size_t end = std::min(n, begin + bucket_size);
+    if (begin >= end) {
+      // Empty trailing bucket (N not divisible by B): still emit dummy
+      // chunks so the observable structure is data-independent.
+      std::vector<Bytes> empty_chunk;
+      for (size_t j = 0; j < num_buckets; ++j) {
+        empty_chunk.clear();
+        deposit_chunk(j, b * chunk_cap, empty_chunk, chunk_cap);
+      }
+      continue;
+    }
+    const size_t count = end - begin;
+
+    std::vector<std::vector<Bytes>> output(num_buckets);  // private chunks
+
+    // Take queued stash items first (Algorithm 2, lines 4-6).
+    for (size_t j = 0; j < num_buckets; ++j) {
+      while (output[j].size() < chunk_cap && !stash[j].empty()) {
+        output[j].push_back(std::move(stash[j].front()));
+        stash[j].pop_front();
+        --stash_count;
+      }
+    }
+
+    std::vector<size_t> targets = ShuffleToBuckets(count, num_buckets, rng);
+
+    for (size_t i = 0; i < count && !failed; ++i) {
+      const Bytes& record = input[begin + i];
+      enclave_.NoteRead(record.size(), 1);
+      metrics_.items_processed++;
+      metrics_.bytes_processed += record.size();
+
+      Bytes item;
+      if (options_.open_outer) {
+        auto opened = options_.open_outer(record);
+        if (!opened.has_value()) {
+          ++dropped;  // forged record: drop (its slot becomes a dummy)
+          continue;
+        }
+        item = std::move(*opened);
+      } else {
+        item = record;
+      }
+
+      size_t t = targets[i];
+      if (output[t].size() < chunk_cap) {
+        output[t].push_back(std::move(item));
+      } else if (stash_count < stash_cap && enclave_.memory().Acquire(slot)) {
+        stash_metered_bytes += slot;
+        stash[t].push_back(std::move(item));
+        ++stash_count;
+      } else {
+        failed = true;
+        failure = "stash overflow during distribution";
+      }
+    }
+
+    for (size_t j = 0; j < num_buckets && !failed; ++j) {
+      deposit_chunk(j, b * chunk_cap, output[j], chunk_cap);
+    }
+  }
+
+  // Final stash drain (Algorithm 1, line 5): K extra items per bucket.
+  if (!failed) {
+    for (size_t j = 0; j < num_buckets; ++j) {
+      std::vector<Bytes> chunk;
+      while (chunk.size() < drain_per_bucket && !stash[j].empty()) {
+        chunk.push_back(std::move(stash[j].front()));
+        stash[j].pop_front();
+        --stash_count;
+      }
+      if (!stash[j].empty()) {
+        failed = true;
+        failure = "stash not drained by final pass";
+        break;
+      }
+      deposit_chunk(j, num_buckets * chunk_cap, chunk, drain_per_bucket);
+    }
+  }
+
+  enclave_.memory().Release(distribution_bytes + stash_metered_bytes);
+  auto phase2_start = std::chrono::steady_clock::now();
+  metrics_.distribution_seconds =
+      std::chrono::duration<double>(phase2_start - phase1_start).count();
+  if (failed) {
+    metrics_.failed_attempts++;
+    metrics_.peak_private_bytes = enclave_.memory().peak();
+    return Error{failure};
+  }
+
+  // ---------------------------------------------------------------- phase 2
+  // Compression: one intermediate bucket plus a bounded queue of reals.
+  const size_t queue_cap =
+      params.window * bucket_size +
+      static_cast<size_t>(3.0 * std::sqrt(static_cast<double>(n))) + 64;
+  // Items move from the imported bucket into the queue (no copy), so the two
+  // structures largely share residency; the /2 models the transient dummy
+  // slack, matching EstimatePrivateMemoryBytes.
+  const size_t compression_bytes =
+      (params.window * bucket_size + mid_bucket_size / 2) * slot;
+  if (!enclave_.memory().Acquire(compression_bytes)) {
+    return Error{"compression working set exceeds enclave private memory"};
+  }
+
+  const size_t n_out = n - dropped;
+  std::deque<Bytes> queue;  // private
+  std::vector<Bytes> output;
+  output.reserve(n_out);
+
+  auto import_bucket = [&](size_t b) -> bool {
+    // Pull the whole intermediate bucket into private memory and shuffle the
+    // *encrypted* records first (Algorithm 4): the within-bucket order is
+    // randomized before anyone can tell real from dummy.
+    std::vector<Bytes> bucket(mid.begin() + b * mid_bucket_size,
+                              mid.begin() + (b + 1) * mid_bucket_size);
+    rng.ShuffleVector(bucket);
+    for (auto& record : bucket) {
+      enclave_.NoteRead(record.size(), 1);
+      metrics_.items_processed++;
+      metrics_.bytes_processed += record.size();
+      auto item = OpenIntermediate(aead, record);
+      if (item.has_value()) {
+        if (queue.size() >= queue_cap) {
+          return false;
+        }
+        queue.push_back(std::move(*item));
+      }
+    }
+    return true;
+  };
+
+  auto drain_queue = [&]() -> bool {
+    size_t take = std::min(bucket_size, n_out - output.size());
+    if (queue.size() < take) {
+      return false;
+    }
+    for (size_t i = 0; i < take; ++i) {
+      enclave_.NoteWrite(queue.front().size(), 1);
+      output.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+    return true;
+  };
+
+  const size_t window = std::min(params.window, num_buckets);  // L
+  for (size_t b = 0; b < window && !failed; ++b) {
+    if (!import_bucket(b)) {
+      failed = true;
+      failure = "queue overflow during compression import";
+    }
+  }
+  for (size_t b = window; b < num_buckets && !failed; ++b) {
+    if (!drain_queue()) {
+      failed = true;
+      failure = "queue underflow during compression drain";
+      break;
+    }
+    if (!import_bucket(b)) {
+      failed = true;
+      failure = "queue overflow during compression import";
+    }
+  }
+  for (size_t b = 0; b < window && !failed; ++b) {
+    if (!drain_queue()) {
+      failed = true;
+      failure = "queue underflow during final drain";
+    }
+  }
+
+  enclave_.memory().Release(compression_bytes);
+  metrics_.compression_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase2_start).count();
+  metrics_.peak_private_bytes = enclave_.memory().peak();
+  metrics_.rounds += 2;
+
+  if (failed) {
+    metrics_.failed_attempts++;
+    return Error{failure};
+  }
+  if (output.size() != n_out) {
+    return Error{"internal error: output cardinality mismatch"};
+  }
+  (void)sealed_size;
+  return output;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,73 @@
+#include "src/util/bytes.h"
+
+#include <cassert>
+
+namespace prochlo {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+void XorInto(ByteSpan src, std::span<uint8_t> dst) {
+  assert(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string ToString(ByteSpan b) { return std::string(b.begin(), b.end()); }
+
+}  // namespace prochlo

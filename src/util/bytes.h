@@ -1,0 +1,37 @@
+// Byte-buffer helpers shared across the PROCHLO libraries: hex codecs,
+// constant-time comparison, and XOR utilities.
+#ifndef PROCHLO_SRC_UTIL_BYTES_H_
+#define PROCHLO_SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prochlo {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Lowercase hex encoding of `data`.
+std::string HexEncode(ByteSpan data);
+
+// Decodes a hex string; returns an empty vector on malformed input of odd
+// length or non-hex characters.
+Bytes HexDecode(const std::string& hex);
+
+// Constant-time equality over equal-length buffers; returns false on length
+// mismatch (length is assumed public).
+bool ConstantTimeEquals(ByteSpan a, ByteSpan b);
+
+// XORs `src` into `dst`; both must have the same size.
+void XorInto(ByteSpan src, std::span<uint8_t> dst);
+
+// Converts a string to its byte representation (no copy-free path needed at
+// our scales).
+Bytes ToBytes(const std::string& s);
+std::string ToString(ByteSpan b);
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_UTIL_BYTES_H_

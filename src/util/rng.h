@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for simulations, workload
+// synthesis, and tests.
+//
+// PROCHLO's *cryptographic* randomness lives in src/crypto/random.h; this RNG
+// (xoshiro256**) is for everything whose statistical shape matters but whose
+// unpredictability does not: workload generators, shuffles in simulations,
+// Gaussian thresholding noise in experiments that must be reproducible.
+#ifndef PROCHLO_SRC_UTIL_RNG_H_
+#define PROCHLO_SRC_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace prochlo {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Bernoulli(p).
+  bool NextBool(double p);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double NextGaussian();
+
+  // N(mean, sigma^2).
+  double NextGaussian(double mean, double sigma);
+
+  // Rounded normal ⌊N(mean, sigma^2)⌉ truncated below at 0, as used by the
+  // shuffler's randomized item-dropping (paper §3.5).
+  int64_t NextRoundedTruncatedGaussian(double mean, double sigma);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Forks an independent stream (for parallel workers).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_UTIL_RNG_H_

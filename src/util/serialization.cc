@@ -1,0 +1,110 @@
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+void Writer::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void Writer::PutU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::PutBytes(ByteSpan data) { buffer_.insert(buffer_.end(), data.begin(), data.end()); }
+
+void Writer::PutLengthPrefixed(ByteSpan data) {
+  PutU32(static_cast<uint32_t>(data.size()));
+  PutBytes(data);
+}
+
+void Writer::PutString(const std::string& s) { PutLengthPrefixed(ToBytes(s)); }
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (!Need(1)) {
+    return false;
+  }
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Reader::GetU16(uint16_t* v) {
+  if (!Need(2)) {
+    return false;
+  }
+  *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (!Need(4)) {
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  if (!Need(8)) {
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetBytes(size_t n, Bytes* out) {
+  if (!Need(n)) {
+    return false;
+  }
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool Reader::GetLengthPrefixed(Bytes* out) {
+  uint32_t len = 0;
+  if (!GetU32(&len) || !Need(len)) {
+    return false;
+  }
+  return GetBytes(len, out);
+}
+
+bool Reader::GetString(std::string* out) {
+  Bytes raw;
+  if (!GetLengthPrefixed(&raw)) {
+    return false;
+  }
+  *out = ToString(raw);
+  return true;
+}
+
+}  // namespace prochlo

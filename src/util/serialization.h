@@ -1,0 +1,62 @@
+// Little-endian wire serialization used by the report format and by the
+// enclave's sealed structures.  Deliberately minimal: fixed-width integers,
+// length-prefixed byte strings, and a cursor-based reader that fails softly.
+#ifndef PROCHLO_SRC_UTIL_SERIALIZATION_H_
+#define PROCHLO_SRC_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+// Appends fixed-width little-endian integers and length-prefixed blobs.
+class Writer {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  // Raw bytes, no length prefix.
+  void PutBytes(ByteSpan data);
+  // u32 length prefix + bytes.
+  void PutLengthPrefixed(ByteSpan data);
+  void PutString(const std::string& s);
+
+  const Bytes& data() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+// Cursor-based reader over a byte span.  All getters return false (and leave
+// the output untouched) once the cursor has failed; `ok()` reports health.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(size_t n, Bytes* out);
+  bool GetLengthPrefixed(Bytes* out);
+  bool GetString(std::string* out);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(size_t n);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_UTIL_SERIALIZATION_H_

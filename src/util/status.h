@@ -1,0 +1,85 @@
+// Lightweight error-handling vocabulary for the PROCHLO libraries.
+//
+// The code base does not use exceptions for recoverable errors (oblivious
+// shuffles can *fail* legitimately and must be retried, decryption of a
+// tampered record must be reportable).  `Result<T>` is a minimal StatusOr-like
+// type: either a value or an error string.
+#ifndef PROCHLO_SRC_UTIL_STATUS_H_
+#define PROCHLO_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace prochlo {
+
+// Error carries a human-readable message.  Comparison is by message, which is
+// sufficient for tests.
+struct Error {
+  std::string message;
+
+  bool operator==(const Error& other) const { return message == other.message; }
+};
+
+// A value-or-error sum type.  `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : repr_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(repr_);
+  }
+
+  // Convenience: value or a caller-provided default.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(repr_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Error> repr_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_UTIL_STATUS_H_

@@ -1,0 +1,84 @@
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // Chunk the index space so that small bodies do not drown in queue traffic.
+  size_t chunks = std::min(n, num_threads() * 4);
+  if (chunks == 0) {
+    return;
+  }
+  size_t per_chunk = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = c * per_chunk;
+    size_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) {
+      break;
+    }
+    Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // Shutting down with an empty queue.
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace prochlo

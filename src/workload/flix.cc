@@ -1,0 +1,79 @@
+#include "src/workload/flix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace prochlo {
+
+uint64_t FlixDataset::TrainSize() const {
+  uint64_t total = 0;
+  for (const auto& user_ratings : train_by_user) {
+    total += user_ratings.size();
+  }
+  return total;
+}
+
+FlixWorkload::FlixWorkload(const FlixConfig& config) : config_(config) {}
+
+FlixDataset FlixWorkload::Generate(Rng& rng) const {
+  const uint32_t num_users = config_.num_users;
+  const uint32_t num_movies = config_.num_movies;
+  const uint32_t rank = config_.latent_rank;
+  const double factor_scale = 1.0 / std::sqrt(static_cast<double>(rank));
+
+  // Latent movie factors and biases.
+  std::vector<float> movie_factors(static_cast<size_t>(num_movies) * rank);
+  std::vector<float> movie_bias(num_movies);
+  for (auto& f : movie_factors) {
+    f = static_cast<float>(rng.NextGaussian() * factor_scale);
+  }
+  for (auto& b : movie_bias) {
+    b = static_cast<float>(rng.NextGaussian() * 0.4);
+  }
+
+  ZipfSampler movie_zipf(num_movies, config_.zipf_exponent);
+
+  FlixDataset dataset;
+  dataset.num_movies = num_movies;
+  dataset.train_by_user.resize(num_users);
+
+  std::vector<float> user_factors(rank);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    for (auto& f : user_factors) {
+      f = static_cast<float>(rng.NextGaussian() * factor_scale);
+    }
+    double user_bias = rng.NextGaussian() * 0.3;
+
+    // Long-tailed per-user activity: log-normal around the configured mean.
+    double lognormal = std::exp(rng.NextGaussian() * 0.8);
+    uint32_t num_ratings = std::max<uint32_t>(
+        3, static_cast<uint32_t>(config_.mean_ratings_per_user * lognormal * 0.72));
+    num_ratings = std::min(num_ratings, num_movies);
+
+    std::unordered_set<uint32_t> rated;
+    rated.reserve(num_ratings);
+    while (rated.size() < num_ratings) {
+      rated.insert(static_cast<uint32_t>(movie_zipf.Sample(rng)));
+    }
+
+    for (uint32_t m : rated) {
+      double dot = 0;
+      for (uint32_t k = 0; k < rank; ++k) {
+        dot += user_factors[k] * movie_factors[static_cast<size_t>(m) * rank + k];
+      }
+      double raw = 3.6 + user_bias + movie_bias[m] + dot +
+                   rng.NextGaussian() * config_.noise_sigma;
+      auto stars = static_cast<uint8_t>(std::clamp<int64_t>(std::llround(raw), 1, 5));
+      Rating rating{u, m, stars};
+      if (rng.NextBool(config_.holdout_fraction)) {
+        dataset.test.push_back(rating);
+      } else {
+        dataset.train_by_user[u].push_back(rating);
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,59 @@
+// The Flix workload (paper §5.5): synthetic movie ratings "whose
+// characteristics precisely match that of the Netflix Prize dataset" —
+// 480K users, 18K movies, integer ratings 1..5 (the real dataset cannot be
+// redistributed; see DESIGN.md substitutions).
+//
+// Ratings come from a latent-factor model (the generative assumption behind
+// collaborative filtering itself): r_ui = clamp(round(mu + b_u + b_i +
+// p_u·q_i + noise)), with movie popularity Zipf-distributed and per-user
+// rating counts long-tailed.  A per-user holdout provides the RMSE test set.
+#ifndef PROCHLO_SRC_WORKLOAD_FLIX_H_
+#define PROCHLO_SRC_WORKLOAD_FLIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace prochlo {
+
+struct Rating {
+  uint32_t user = 0;
+  uint32_t movie = 0;
+  uint8_t stars = 0;  // 1..5
+};
+
+struct FlixConfig {
+  uint32_t num_users = 480'000;
+  uint32_t num_movies = 17'770;
+  uint32_t latent_rank = 8;
+  double zipf_exponent = 0.85;     // movie popularity
+  double mean_ratings_per_user = 40;
+  double noise_sigma = 0.7;
+  double holdout_fraction = 0.1;   // per-user test ratings
+};
+
+struct FlixDataset {
+  std::vector<std::vector<Rating>> train_by_user;  // index = user
+  std::vector<Rating> test;
+  uint32_t num_movies = 0;
+
+  uint64_t TrainSize() const;
+};
+
+class FlixWorkload {
+ public:
+  explicit FlixWorkload(const FlixConfig& config);
+
+  FlixDataset Generate(Rng& rng) const;
+
+  const FlixConfig& config() const { return config_; }
+
+ private:
+  FlixConfig config_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_WORKLOAD_FLIX_H_

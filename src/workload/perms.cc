@@ -1,0 +1,45 @@
+#include "src/workload/perms.h"
+
+namespace prochlo {
+
+PermsWorkload::PermsWorkload(const PermsConfig& config)
+    : config_(config), page_zipf_(config.num_pages, config.zipf_exponent) {}
+
+PermEvent PermsWorkload::SampleEvent(Rng& rng) const {
+  PermEvent event;
+  event.page = static_cast<uint32_t>(page_zipf_.Sample(rng));
+
+  double u = rng.NextDouble();
+  double acc = 0;
+  event.feature = kNumPermFeatures - 1;
+  for (int f = 0; f < kNumPermFeatures; ++f) {
+    acc += config_.feature_weights[f];
+    if (u < acc) {
+      event.feature = static_cast<uint8_t>(f);
+      break;
+    }
+  }
+
+  // Independently sampled bits; re-draw until at least one action occurred
+  // (a prompt always elicits *something*, even if just Ignore).
+  do {
+    event.action_bitmap = 0;
+    for (int a = 0; a < kNumPermActions; ++a) {
+      if (rng.NextBool(config_.action_probabilities[event.feature][a])) {
+        event.action_bitmap |= static_cast<uint8_t>(1u << a);
+      }
+    }
+  } while (event.action_bitmap == 0);
+  return event;
+}
+
+std::vector<PermEvent> PermsWorkload::SampleDataset(uint64_t n, Rng& rng) const {
+  std::vector<PermEvent> events;
+  events.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    events.push_back(SampleEvent(rng));
+  }
+  return events;
+}
+
+}  // namespace prochlo

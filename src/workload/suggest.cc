@@ -1,0 +1,75 @@
+#include "src/workload/suggest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+SuggestWorkload::SuggestWorkload(const SuggestConfig& config)
+    : config_(config), video_zipf_(config.num_videos, config.zipf_exponent) {}
+
+std::vector<uint32_t> SuggestWorkload::RelatedVideos(uint32_t video) const {
+  // Deterministic pseudo-random neighbors seeded by the video id, biased
+  // toward popular videos (square the uniform draw to skew low ranks).
+  std::vector<uint32_t> related;
+  related.reserve(config_.related_set_size);
+  Rng rng(0x9e3779b97f4a7c15ULL ^ (static_cast<uint64_t>(video) * 0x2545f4914f6cdd1dULL));
+  for (uint32_t i = 0; i < config_.related_set_size; ++i) {
+    double u = rng.NextDouble();
+    auto neighbor = static_cast<uint32_t>(u * u * (config_.num_videos - 1));
+    related.push_back(neighbor == video ? (neighbor + 1) % config_.num_videos : neighbor);
+  }
+  return related;
+}
+
+uint32_t SuggestWorkload::SampleNext(uint32_t current, Rng& rng) const {
+  if (rng.NextBool(config_.locality)) {
+    auto related = RelatedVideos(current);
+    // Geometric preference over the related set: the top recommendation is
+    // clicked most (this is what makes next-view top-1 accuracy exceed 1-in-8,
+    // as in the paper's §5.4).
+    size_t index = 0;
+    while (index + 1 < related.size() && !rng.NextBool(0.35)) {
+      ++index;
+    }
+    return related[index];
+  }
+  return static_cast<uint32_t>(video_zipf_.Sample(rng));
+}
+
+std::vector<uint32_t> SuggestWorkload::SampleHistory(Rng& rng) const {
+  uint32_t extra_mean = config_.mean_history > config_.min_history
+                            ? config_.mean_history - config_.min_history
+                            : 1;
+  // Geometric extra length with the configured mean.
+  uint32_t length = config_.min_history;
+  double p = 1.0 / static_cast<double>(extra_mean);
+  while (!rng.NextBool(p)) {
+    ++length;
+  }
+
+  std::vector<uint32_t> history;
+  history.reserve(length);
+  uint32_t current = static_cast<uint32_t>(video_zipf_.Sample(rng));
+  history.push_back(current);
+  for (uint32_t i = 1; i < length; ++i) {
+    current = SampleNext(current, rng);
+    history.push_back(current);
+  }
+  return history;
+}
+
+std::vector<std::vector<uint32_t>> SuggestWorkload::SampleUsers(uint64_t num_users,
+                                                                Rng& rng) const {
+  std::vector<std::vector<uint32_t>> users;
+  users.reserve(num_users);
+  for (uint64_t u = 0; u < num_users; ++u) {
+    users.push_back(SampleHistory(rng));
+  }
+  return users;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,54 @@
+// The Suggest workload (paper §5.4): longitudinal video-view histories for
+// next-view prediction.  Content popularity is long-tailed and "recent
+// history is the best predictor of future views" — the property that makes
+// short m-tuple fragments retain most of the predictive signal.
+//
+// Generative model: a Markov chain over V videos.  From video v, the next
+// view is with probability `locality` a video from v's small related-set
+// (deterministic pseudo-random neighbors, modeling recommendations), and
+// otherwise an independent Zipf-popular video.  Histories are i.i.d. users'
+// walks of geometric-ish length.
+#ifndef PROCHLO_SRC_WORKLOAD_SUGGEST_H_
+#define PROCHLO_SRC_WORKLOAD_SUGGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace prochlo {
+
+struct SuggestConfig {
+  uint32_t num_videos = 5000;
+  double zipf_exponent = 0.9;
+  uint32_t related_set_size = 12;
+  double locality = 0.72;  // P(next view comes from the related set)
+  uint32_t min_history = 8;
+  uint32_t mean_history = 40;
+};
+
+class SuggestWorkload {
+ public:
+  explicit SuggestWorkload(const SuggestConfig& config);
+
+  // The deterministic related-set of a video (models recommendations).
+  std::vector<uint32_t> RelatedVideos(uint32_t video) const;
+
+  uint32_t SampleNext(uint32_t current, Rng& rng) const;
+
+  // One user's longitudinal view history.
+  std::vector<uint32_t> SampleHistory(Rng& rng) const;
+
+  std::vector<std::vector<uint32_t>> SampleUsers(uint64_t num_users, Rng& rng) const;
+
+  const SuggestConfig& config() const { return config_; }
+
+ private:
+  SuggestConfig config_;
+  ZipfSampler video_zipf_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_WORKLOAD_SUGGEST_H_

@@ -1,0 +1,26 @@
+#include "src/workload/vocab.h"
+
+#include <unordered_set>
+
+namespace prochlo {
+
+VocabWorkload::VocabWorkload(const VocabConfig& config)
+    : zipf_(config.vocabulary_size, config.zipf_exponent) {}
+
+std::vector<uint64_t> VocabWorkload::SampleCorpus(uint64_t n, Rng& rng) const {
+  std::vector<uint64_t> sample;
+  sample.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    sample.push_back(zipf_.Sample(rng));
+  }
+  return sample;
+}
+
+std::string VocabWorkload::WordName(uint64_t rank) { return "word" + std::to_string(rank); }
+
+uint64_t VocabWorkload::CountUnique(const std::vector<uint64_t>& sample) {
+  std::unordered_set<uint64_t> distinct(sample.begin(), sample.end());
+  return distinct.size();
+}
+
+}  // namespace prochlo

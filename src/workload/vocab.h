@@ -1,0 +1,47 @@
+// The Vocab workload (paper §5.2): a synthetic stand-in for the paper's
+// three-billion-word English discussion-board corpus.  Word frequencies
+// follow a Zipf law ("characteristically, the distribution follows the
+// power-law distribution with a heavy head and a long tail"); samples of
+// 10K–10M words are drawn i.i.d. from it.
+#ifndef PROCHLO_SRC_WORKLOAD_VOCAB_H_
+#define PROCHLO_SRC_WORKLOAD_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/zipf.h"
+
+namespace prochlo {
+
+struct VocabConfig {
+  uint64_t vocabulary_size = 1'000'000;  // distinct words in the corpus
+  double zipf_exponent = 1.07;           // natural-language-like tail
+};
+
+class VocabWorkload {
+ public:
+  explicit VocabWorkload(const VocabConfig& config);
+
+  // One word occurrence (a rank; rank 0 most frequent).
+  uint64_t SampleWordRank(Rng& rng) const { return zipf_.Sample(rng); }
+
+  // Draws a sample of n word occurrences.
+  std::vector<uint64_t> SampleCorpus(uint64_t n, Rng& rng) const;
+
+  // Stable string name of a ranked word.
+  static std::string WordName(uint64_t rank);
+
+  // Number of *distinct* ranks in a sample — the experiment's ground truth.
+  static uint64_t CountUnique(const std::vector<uint64_t>& sample);
+
+  const ZipfSampler& zipf() const { return zipf_; }
+
+ private:
+  ZipfSampler zipf_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_WORKLOAD_VOCAB_H_

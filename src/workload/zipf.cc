@@ -1,0 +1,36 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prochlo {
+
+ZipfSampler::ZipfSampler(uint64_t num_items, double exponent) : exponent_(exponent) {
+  cdf_.resize(num_items);
+  double total = 0;
+  for (uint64_t k = 0; k < num_items; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t k) const {
+  if (k >= cdf_.size()) {
+    return 0;
+  }
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace prochlo

@@ -1,0 +1,33 @@
+// Zipfian (power-law) sampling — the distribution shape underlying all four
+// of the paper's workloads (word frequencies, page popularity, movie
+// popularity, video popularity).
+#ifndef PROCHLO_SRC_WORKLOAD_ZIPF_H_
+#define PROCHLO_SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prochlo {
+
+// Samples ranks in [0, num_items) with P(rank = k) ∝ 1/(k+1)^exponent via a
+// precomputed CDF and binary search.  Rank 0 is the most popular item.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t num_items, double exponent);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t num_items() const { return cdf_.size(); }
+  // P(rank = k).
+  double Probability(uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_WORKLOAD_ZIPF_H_

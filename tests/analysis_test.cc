@@ -1,0 +1,285 @@
+// Tests for the analysis engines: ESA simulation semantics, the Flix
+// covariance model, the Suggest sequence models, and the MLP substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/covariance.h"
+#include "src/analysis/esa_sim.h"
+#include "src/analysis/mlp.h"
+#include "src/analysis/sequence.h"
+#include "src/workload/suggest.h"
+
+namespace prochlo {
+namespace {
+
+TEST(EsaSimTest, NaiveThresholdSemantics) {
+  std::vector<SimReport> reports;
+  for (int i = 0; i < 10; ++i) {
+    reports.push_back({1, 100});
+  }
+  for (int i = 0; i < 2; ++i) {
+    reports.push_back({2, 200});
+  }
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kNaive;
+  config.policy.threshold = 5;
+  Rng noise(1);
+  auto result = SimulateShuffle(reports, config, noise);
+  EXPECT_EQ(result.histogram.size(), 1u);
+  EXPECT_EQ(result.histogram.at(100), 10u);
+  EXPECT_EQ(result.stats.crowds_forwarded, 1u);
+}
+
+TEST(EsaSimTest, NoneModeForwardsEverything) {
+  std::vector<SimReport> reports = {{1, 10}, {2, 20}, {3, 30}};
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kNone;
+  Rng noise(2);
+  auto result = SimulateShuffle(reports, config, noise);
+  EXPECT_EQ(result.histogram.size(), 3u);
+  EXPECT_EQ(result.stats.forwarded, 3u);
+}
+
+TEST(EsaSimTest, RandomizedDropsAboutDPerCrowd) {
+  std::vector<SimReport> reports;
+  for (uint64_t crowd = 0; crowd < 200; ++crowd) {
+    for (int i = 0; i < 50; ++i) {
+      reports.push_back({crowd, crowd});
+    }
+  }
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kRandomized;
+  config.policy = ThresholdPolicy{20, 10, 2};
+  Rng noise(3);
+  auto result = SimulateShuffle(reports, config, noise);
+  // Mean drop is 10 of 50 per crowd: ~40 forwarded per crowd.
+  double mean_forwarded =
+      static_cast<double>(result.stats.forwarded) / result.stats.crowds_forwarded;
+  EXPECT_NEAR(mean_forwarded, 40.0, 1.0);
+  EXPECT_EQ(result.stats.crowds_forwarded, 200u);
+}
+
+TEST(EsaSimTest, CountRecoverableValues) {
+  std::map<uint64_t, uint64_t> histogram = {{1, 25}, {2, 19}, {3, 20}};
+  EXPECT_EQ(CountRecoverableValues(histogram, 20), 2u);
+}
+
+TEST(CovarianceTest, DiagonalTuplesGiveMeans) {
+  CovarianceModel model(10);
+  for (int i = 0; i < 10; ++i) {
+    model.AddTuple(FourTuple{3, 4, 3, 4});
+  }
+  for (int i = 0; i < 10; ++i) {
+    model.AddTuple(FourTuple{5, 2, 5, 2});
+  }
+  model.Finalize();
+  EXPECT_NEAR(model.ItemMean(3), 4.0, 1e-9);
+  EXPECT_NEAR(model.ItemMean(5), 2.0, 1e-9);
+  EXPECT_NEAR(model.global_mean(), 3.0, 1e-9);
+}
+
+TEST(CovarianceTest, PositiveCovarianceForCorrelatedItems) {
+  CovarianceModel model(4);
+  Rng rng(4);
+  // Items 0 and 1 move together: users either love both or hate both.
+  for (int u = 0; u < 200; ++u) {
+    uint8_t level = rng.NextBool(0.5) ? 5 : 1;
+    model.AddTuple(FourTuple{0, level, 0, level});
+    model.AddTuple(FourTuple{1, level, 1, level});
+    model.AddTuple(FourTuple{0, level, 1, level});
+  }
+  model.Finalize();
+  EXPECT_GT(model.Covariance(0, 1), 1.0);
+  EXPECT_EQ(model.PairCount(0, 1), 200u);
+}
+
+TEST(CovarianceTest, PredictionUsesCorrelatedNeighbors) {
+  CovarianceModel model(4);
+  Rng rng(5);
+  for (int u = 0; u < 500; ++u) {
+    uint8_t level = rng.NextBool(0.5) ? 5 : 1;
+    model.AddTuple(FourTuple{0, level, 0, level});
+    model.AddTuple(FourTuple{1, level, 1, level});
+    model.AddTuple(FourTuple{0, level, 1, level});
+  }
+  model.Finalize();
+  // A user who loved item 0 should be predicted to love item 1.
+  std::vector<Rating> user = {{0, 0, 5}};
+  EXPECT_GT(model.Predict(user, 1), 3.5);
+  std::vector<Rating> hater = {{0, 0, 1}};
+  EXPECT_LT(model.Predict(hater, 1), 2.5);
+}
+
+TEST(CovarianceTest, EncodeUserRatingsStructure) {
+  Rng rng(6);
+  std::vector<Rating> ratings = {{0, 10, 4}, {0, 20, 2}, {0, 30, 5}};
+  FlixEncodingConfig config;
+  config.tuple_cap = 100;
+  config.movie_randomization = 0;
+  config.num_movies = 100;
+  auto tuples = EncodeUserRatings(ratings, config, rng);
+  // 3 diagonal + 3 pairs.
+  EXPECT_EQ(tuples.size(), 6u);
+  for (const auto& t : tuples) {
+    EXPECT_LE(t.movie_i, t.movie_j);
+  }
+}
+
+TEST(CovarianceTest, EncodeRespectsCap) {
+  Rng rng(7);
+  std::vector<Rating> ratings;
+  for (uint32_t m = 0; m < 50; ++m) {
+    ratings.push_back({0, m, 3});
+  }
+  FlixEncodingConfig config;
+  config.tuple_cap = 40;
+  config.num_movies = 100;
+  auto tuples = EncodeUserRatings(ratings, config, rng);
+  EXPECT_EQ(tuples.size(), 40u);
+}
+
+TEST(CovarianceTest, ThresholdTuplesDropsRareHalves) {
+  Rng noise(8);
+  std::vector<FourTuple> tuples;
+  // (1,5)-(2,5) appears 100 times; (3,1)-(4,1) once.
+  for (int i = 0; i < 100; ++i) {
+    tuples.push_back(FourTuple{1, 5, 2, 5});
+  }
+  tuples.push_back(FourTuple{3, 1, 4, 1});
+  auto kept = ThresholdTuples(tuples, 20, 10, 2, noise);
+  EXPECT_EQ(kept.size(), 100u);
+  for (const auto& t : kept) {
+    EXPECT_EQ(t.movie_i, 1u);
+  }
+}
+
+TEST(NGramTest, LearnsDeterministicSequence) {
+  NGramModel model(3);
+  // Repeating pattern 1,2,3,1,2,3...
+  std::vector<uint32_t> history;
+  for (int i = 0; i < 60; ++i) {
+    history.push_back(1 + (i % 3));
+  }
+  model.AddHistorySlidingWindows(history);
+  std::vector<uint32_t> ctx12 = {1, 2};
+  auto prediction = model.PredictNext(ctx12);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 3u);
+}
+
+TEST(NGramTest, BacksOffToShorterContext) {
+  NGramModel model(3);
+  std::vector<uint32_t> tuple = {7, 8};
+  model.AddTuple(tuple);  // only a bigram (7)->8
+  std::vector<uint32_t> unseen_long_context = {99, 7};
+  auto prediction = model.PredictNext(unseen_long_context);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 8u);
+}
+
+TEST(NGramTest, FallsBackToGlobalPopularity) {
+  NGramModel model(3);
+  std::vector<uint32_t> t1 = {1, 5};
+  std::vector<uint32_t> t2 = {2, 5};
+  std::vector<uint32_t> t3 = {3, 6};
+  model.AddTuple(t1);
+  model.AddTuple(t2);
+  model.AddTuple(t3);
+  std::vector<uint32_t> unseen = {42};
+  auto prediction = model.PredictNext(unseen);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_EQ(*prediction, 5u);  // most popular target overall
+}
+
+TEST(NGramTest, TupleTrainingApproachesSlidingWindowOnMarkovData) {
+  // On Markovian histories, disjoint 3-tuples should retain most of the
+  // sliding-window model's accuracy — the §5.4 claim in miniature.
+  SuggestConfig config;
+  config.num_videos = 300;
+  SuggestWorkload suggest(config);
+  Rng rng(10);
+  auto train = suggest.SampleUsers(3000, rng);
+  auto test = suggest.SampleUsers(300, rng);
+
+  NGramModel full_model(3);
+  NGramModel tuple_model(3);
+  for (const auto& history : train) {
+    full_model.AddHistorySlidingWindows(history);
+    for (size_t start = 0; start + 3 <= history.size(); start += 3) {
+      tuple_model.AddTuple(std::span<const uint32_t>(history.data() + start, 3));
+    }
+  }
+  double full_accuracy = full_model.EvaluateTopOne(test);
+  double tuple_accuracy = tuple_model.EvaluateTopOne(test);
+  EXPECT_GT(full_accuracy, 0.10);               // well above chance (1/300)
+  EXPECT_GT(tuple_accuracy, 0.6 * full_accuracy);  // most signal retained
+  EXPECT_LE(tuple_accuracy, full_accuracy + 0.02);
+}
+
+TEST(MlpTest, LearnsXor) {
+  Mlp mlp({2, 16, 2}, /*seed=*/1);
+  Rng rng(11);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const uint32_t labels[4] = {0, 1, 1, 0};
+  for (int step = 0; step < 4000; ++step) {
+    int k = static_cast<int>(rng.NextBelow(4));
+    mlp.TrainStep(std::span<const float>(inputs[k], 2), labels[k], 0.05f);
+  }
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(mlp.PredictClass(std::span<const float>(inputs[k], 2)), labels[k]) << "case " << k;
+  }
+}
+
+TEST(MlpTest, LossDecreasesDuringTraining) {
+  Mlp mlp({4, 8, 3}, 2);
+  Rng rng(12);
+  // Class = index of the hot input bit (mod 3).
+  auto sample = [&](float* x, uint32_t* y) {
+    uint32_t hot = static_cast<uint32_t>(rng.NextBelow(4));
+    for (int i = 0; i < 4; ++i) {
+      x[i] = i == static_cast<int>(hot) ? 1.0f : 0.0f;
+    }
+    *y = hot % 3;
+  };
+  double early_loss = 0;
+  double late_loss = 0;
+  for (int step = 0; step < 3000; ++step) {
+    float x[4];
+    uint32_t y;
+    sample(x, &y);
+    double loss = mlp.TrainStep(std::span<const float>(x, 4), y, 0.05f);
+    if (step < 100) {
+      early_loss += loss;
+    }
+    if (step >= 2900) {
+      late_loss += loss;
+    }
+  }
+  EXPECT_LT(late_loss, early_loss * 0.5);
+}
+
+TEST(MlpSequenceTest, LearnsShortPatterns) {
+  MlpSequenceModel model(/*num_videos=*/20, /*context_length=*/2, /*hidden=*/32, /*seed=*/3);
+  Rng rng(13);
+  // Deterministic successor: next = (2*current + 1) mod 20.
+  for (int step = 0; step < 20000; ++step) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBelow(20));
+    uint32_t b = (2 * a + 1) % 20;
+    uint32_t c = (2 * b + 1) % 20;
+    std::vector<uint32_t> tuple = {a, b, c};
+    model.TrainTuple(tuple, 0.05f);
+  }
+  int correct = 0;
+  for (uint32_t a = 0; a < 20; ++a) {
+    uint32_t b = (2 * a + 1) % 20;
+    std::vector<uint32_t> context = {a, b};
+    if (model.PredictNext(context) == (2 * b + 1) % 20) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 16);  // near-perfect on a deterministic map
+}
+
+}  // namespace
+}  // namespace prochlo

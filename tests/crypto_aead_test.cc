@@ -1,0 +1,149 @@
+// Known-answer tests for AES and AES-GCM, plus AEAD property tests (tamper
+// rejection, nonce sensitivity) that the nested report encryption relies on.
+#include <gtest/gtest.h>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/gcm.h"
+#include "src/crypto/message_locked.h"
+#include "src/crypto/random.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+namespace {
+
+// FIPS-197 Appendix C.1: AES-128.
+TEST(AesTest, Fips197Aes128) {
+  Bytes key = HexDecode("000102030405060708090a0b0c0d0e0f");
+  Bytes block = HexDecode("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  aes.EncryptBlock(block.data());
+  EXPECT_EQ(HexEncode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS-197 Appendix C.3: AES-256.
+TEST(AesTest, Fips197Aes256) {
+  Bytes key = HexDecode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes block = HexDecode("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  aes.EncryptBlock(block.data());
+  EXPECT_EQ(HexEncode(block), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+GcmNonce ZeroNonce() {
+  GcmNonce nonce = {};
+  return nonce;
+}
+
+// NIST GCM test case 1: empty plaintext, zero key/IV.
+TEST(GcmTest, NistCase1EmptyPlaintext) {
+  Bytes key(16, 0x00);
+  AesGcm aead(key);
+  Bytes sealed = aead.Seal(ZeroNonce(), {}, {});
+  EXPECT_EQ(HexEncode(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// NIST GCM test case 2: 16 zero bytes.
+TEST(GcmTest, NistCase2OneBlock) {
+  Bytes key(16, 0x00);
+  Bytes plaintext(16, 0x00);
+  AesGcm aead(key);
+  Bytes sealed = aead.Seal(ZeroNonce(), plaintext, {});
+  EXPECT_EQ(HexEncode(sealed),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+// NIST GCM test case 4: multi-block with AAD.
+TEST(GcmTest, NistCase4WithAad) {
+  Bytes key = HexDecode("feffe9928665731c6d6a8f9467308308");
+  Bytes plaintext = HexDecode(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  Bytes aad = HexDecode("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  Bytes iv = HexDecode("cafebabefacedbaddecaf888");
+  GcmNonce nonce;
+  std::copy(iv.begin(), iv.end(), nonce.begin());
+  AesGcm aead(key);
+  Bytes sealed = aead.Seal(nonce, plaintext, aad);
+  EXPECT_EQ(HexEncode(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(GcmTest, RoundTrip) {
+  SecureRandom rng(ToBytes("gcm-roundtrip"));
+  Bytes key = rng.RandomBytes(16);
+  AesGcm aead(key);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 72u, 318u, 1000u}) {
+    Bytes plaintext = rng.RandomBytes(len);
+    Bytes aad = rng.RandomBytes(len % 7);
+    GcmNonce nonce = rng.RandomNonce();
+    auto opened = aead.Open(nonce, aead.Seal(nonce, plaintext, aad), aad);
+    ASSERT_TRUE(opened.has_value()) << "len " << len;
+    EXPECT_EQ(*opened, plaintext);
+  }
+}
+
+TEST(GcmTest, TamperedCiphertextRejected) {
+  SecureRandom rng(ToBytes("gcm-tamper"));
+  Bytes key = rng.RandomBytes(16);
+  AesGcm aead(key);
+  GcmNonce nonce = rng.RandomNonce();
+  Bytes plaintext = rng.RandomBytes(64);
+  Bytes sealed = aead.Seal(nonce, plaintext, {});
+  for (size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes corrupt = sealed;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(aead.Open(nonce, corrupt, {}).has_value()) << "flip at " << i;
+  }
+}
+
+TEST(GcmTest, WrongAadRejected) {
+  Bytes key(16, 0x42);
+  AesGcm aead(key);
+  GcmNonce nonce = ZeroNonce();
+  Bytes sealed = aead.Seal(nonce, ToBytes("data"), ToBytes("aad-1"));
+  EXPECT_FALSE(aead.Open(nonce, sealed, ToBytes("aad-2")).has_value());
+  EXPECT_TRUE(aead.Open(nonce, sealed, ToBytes("aad-1")).has_value());
+}
+
+TEST(GcmTest, WrongNonceRejected) {
+  Bytes key(16, 0x42);
+  AesGcm aead(key);
+  Bytes sealed = aead.Seal(ZeroNonce(), ToBytes("data"), {});
+  GcmNonce other = ZeroNonce();
+  other[0] = 1;
+  EXPECT_FALSE(aead.Open(other, sealed, {}).has_value());
+}
+
+TEST(GcmTest, TruncatedInputRejected) {
+  Bytes key(16, 0x01);
+  AesGcm aead(key);
+  EXPECT_FALSE(aead.Open(ZeroNonce(), Bytes(kGcmTagSize - 1, 0), {}).has_value());
+}
+
+TEST(MessageLockedTest, DeterministicForEqualMessages) {
+  Bytes m = ToBytes("the-same-word");
+  EXPECT_EQ(MessageLockedEncrypt(m), MessageLockedEncrypt(m));
+}
+
+TEST(MessageLockedTest, DistinctMessagesDiffer) {
+  EXPECT_NE(MessageLockedEncrypt(ToBytes("alpha")), MessageLockedEncrypt(ToBytes("beta")));
+}
+
+TEST(MessageLockedTest, DecryptWithDerivedKey) {
+  Bytes m = ToBytes("recoverable message");
+  Bytes ct = MessageLockedEncrypt(m);
+  auto recovered = MessageLockedDecrypt(ct, MessageDerivedKey(m));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, m);
+}
+
+TEST(MessageLockedTest, WrongKeyFails) {
+  Bytes ct = MessageLockedEncrypt(ToBytes("secret"));
+  EXPECT_FALSE(MessageLockedDecrypt(ct, MessageDerivedKey(ToBytes("guess"))).has_value());
+}
+
+}  // namespace
+}  // namespace prochlo

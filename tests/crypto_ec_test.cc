@@ -1,0 +1,261 @@
+// P-256 group-law, ECDH, ECDSA, hash-to-curve, and El Gamal blinding tests —
+// the primitives behind nested encryption and blinded crowd IDs.
+#include <gtest/gtest.h>
+
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/hash_to_curve.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/p256.h"
+
+namespace prochlo {
+namespace {
+
+TEST(P256Test, GeneratorOnCurve) {
+  const P256& curve = P256::Get();
+  EXPECT_TRUE(curve.IsOnCurve(curve.generator()));
+}
+
+TEST(P256Test, KnownScalarMultVector) {
+  // NIST/openssl test vector: k = 112233445566778899.
+  const P256& curve = P256::Get();
+  EcPoint p = curve.BaseMult(U256::FromU64(112233445566778899ull));
+  EXPECT_EQ(p.x.ToHex(), "339150844ec15234807fe862a86be77977dbfb3ae3d96f4c22795513aeaab82f");
+  EXPECT_EQ(p.y.ToHex(), "b1c14ddfdc8ec1b2583f51e85a5eb3a155840f2034730e9b5ada38b674336a21");
+}
+
+TEST(P256Test, OrderTimesGeneratorIsInfinity) {
+  const P256& curve = P256::Get();
+  // n*G must be the identity; compute (n-1)*G + G.
+  U256 n_minus_1;
+  SubWithBorrow(curve.order(), U256::One(), &n_minus_1);
+  EcPoint almost = curve.BaseMult(n_minus_1);
+  EXPECT_EQ(curve.Add(almost, curve.generator()), EcPoint::Infinity());
+  // And (n-1)*G == -G.
+  EXPECT_EQ(almost, curve.Negate(curve.generator()));
+}
+
+TEST(P256Test, AdditionAgreesWithScalarMult) {
+  const P256& curve = P256::Get();
+  EcPoint g2 = curve.Double(curve.generator());
+  EcPoint g3 = curve.Add(g2, curve.generator());
+  EXPECT_EQ(g2, curve.BaseMult(U256::FromU64(2)));
+  EXPECT_EQ(g3, curve.BaseMult(U256::FromU64(3)));
+  EXPECT_EQ(curve.Add(g3, g2), curve.BaseMult(U256::FromU64(5)));
+}
+
+TEST(P256Test, ScalarMultIsHomomorphic) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("ec-homomorphic"));
+  for (int i = 0; i < 5; ++i) {
+    U256 a = rng.RandomScalar(curve.order());
+    U256 b = rng.RandomScalar(curve.order());
+    U256 sum = curve.scalar_field().Add(a, b);
+    EXPECT_EQ(curve.Add(curve.BaseMult(a), curve.BaseMult(b)), curve.BaseMult(sum));
+  }
+}
+
+TEST(P256Test, AddInfinityIsIdentityElement) {
+  const P256& curve = P256::Get();
+  EcPoint inf = EcPoint::Infinity();
+  EXPECT_EQ(curve.Add(inf, curve.generator()), curve.generator());
+  EXPECT_EQ(curve.Add(curve.generator(), inf), curve.generator());
+  EXPECT_EQ(curve.Add(inf, inf), inf);
+}
+
+TEST(P256Test, AddPointToNegationIsInfinity) {
+  const P256& curve = P256::Get();
+  EcPoint p = curve.BaseMult(U256::FromU64(77));
+  EXPECT_EQ(curve.Add(p, curve.Negate(p)), EcPoint::Infinity());
+}
+
+TEST(P256Test, EncodeDecodeRoundTrip) {
+  const P256& curve = P256::Get();
+  EcPoint p = curve.BaseMult(U256::FromU64(123456789));
+  auto decoded = curve.Decode(curve.Encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+  auto inf = curve.Decode(curve.Encode(EcPoint::Infinity()));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_TRUE(inf->infinity);
+}
+
+TEST(P256Test, DecodeRejectsOffCurvePoints) {
+  const P256& curve = P256::Get();
+  Bytes encoded = curve.Encode(curve.generator());
+  encoded[10] ^= 0x01;
+  EXPECT_FALSE(curve.Decode(encoded).has_value());
+}
+
+TEST(EcdhTest, SharedSecretAgreement) {
+  SecureRandom rng(ToBytes("ecdh"));
+  KeyPair alice = KeyPair::Generate(rng);
+  KeyPair bob = KeyPair::Generate(rng);
+  auto ab = EcdhSharedSecret(alice.private_key, bob.public_key);
+  auto ba = EcdhSharedSecret(bob.private_key, alice.public_key);
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_EQ(*ab, *ba);
+}
+
+TEST(HybridTest, SealOpenRoundTrip) {
+  SecureRandom rng(ToBytes("hybrid"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  Bytes plaintext = rng.RandomBytes(72);
+  HybridBox box = HybridSeal(recipient.public_key, plaintext, "layer-test", rng);
+  auto opened = HybridOpen(recipient, box, "layer-test");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(HybridTest, WrongContextFails) {
+  SecureRandom rng(ToBytes("hybrid-ctx"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  HybridBox box = HybridSeal(recipient.public_key, ToBytes("data"), "ctx-a", rng);
+  EXPECT_FALSE(HybridOpen(recipient, box, "ctx-b").has_value());
+}
+
+TEST(HybridTest, WrongKeyFails) {
+  SecureRandom rng(ToBytes("hybrid-key"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  KeyPair eavesdropper = KeyPair::Generate(rng);
+  HybridBox box = HybridSeal(recipient.public_key, ToBytes("data"), "ctx", rng);
+  EXPECT_FALSE(HybridOpen(eavesdropper, box, "ctx").has_value());
+}
+
+TEST(HybridTest, SerializationRoundTrip) {
+  SecureRandom rng(ToBytes("hybrid-ser"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  Bytes plaintext = rng.RandomBytes(64);
+  HybridBox box = HybridSeal(recipient.public_key, plaintext, "ctx", rng);
+  Bytes wire = box.Serialize();
+  EXPECT_EQ(wire.size(), HybridBox::SerializedSize(plaintext.size()));
+  auto parsed = HybridBox::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  auto opened = HybridOpen(recipient, *parsed, "ctx");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(EcdsaTest, SignVerifyRoundTrip) {
+  SecureRandom rng(ToBytes("ecdsa"));
+  KeyPair signer = KeyPair::Generate(rng);
+  Bytes message = ToBytes("attestation quote payload");
+  EcdsaSignature sig = EcdsaSign(signer.private_key, message);
+  EXPECT_TRUE(EcdsaVerify(signer.public_key, message, sig));
+}
+
+TEST(EcdsaTest, RejectsModifiedMessage) {
+  SecureRandom rng(ToBytes("ecdsa-mod"));
+  KeyPair signer = KeyPair::Generate(rng);
+  EcdsaSignature sig = EcdsaSign(signer.private_key, ToBytes("original"));
+  EXPECT_FALSE(EcdsaVerify(signer.public_key, ToBytes("tampered"), sig));
+}
+
+TEST(EcdsaTest, RejectsWrongKey) {
+  SecureRandom rng(ToBytes("ecdsa-wrongkey"));
+  KeyPair signer = KeyPair::Generate(rng);
+  KeyPair other = KeyPair::Generate(rng);
+  EcdsaSignature sig = EcdsaSign(signer.private_key, ToBytes("msg"));
+  EXPECT_FALSE(EcdsaVerify(other.public_key, ToBytes("msg"), sig));
+}
+
+TEST(EcdsaTest, DeterministicSignatures) {
+  SecureRandom rng(ToBytes("ecdsa-det"));
+  KeyPair signer = KeyPair::Generate(rng);
+  EcdsaSignature a = EcdsaSign(signer.private_key, ToBytes("same message"));
+  EcdsaSignature b = EcdsaSign(signer.private_key, ToBytes("same message"));
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.s, b.s);
+}
+
+TEST(EcdsaTest, SerializationRoundTrip) {
+  SecureRandom rng(ToBytes("ecdsa-ser"));
+  KeyPair signer = KeyPair::Generate(rng);
+  EcdsaSignature sig = EcdsaSign(signer.private_key, ToBytes("m"));
+  auto parsed = EcdsaSignature::Deserialize(sig.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(EcdsaVerify(signer.public_key, ToBytes("m"), *parsed));
+}
+
+TEST(HashToCurveTest, OutputsAreOnCurve) {
+  const P256& curve = P256::Get();
+  for (const char* input : {"", "a", "crowd-id-1", "crowd-id-2", "a much longer crowd id"}) {
+    EcPoint p = HashToCurve(std::string(input));
+    EXPECT_TRUE(curve.IsOnCurve(p)) << input;
+    EXPECT_FALSE(p.infinity);
+  }
+}
+
+TEST(HashToCurveTest, DeterministicAndDistinct) {
+  EXPECT_EQ(HashToCurve(std::string("x")), HashToCurve(std::string("x")));
+  EXPECT_FALSE(HashToCurve(std::string("x")) == HashToCurve(std::string("y")));
+}
+
+TEST(HashToScalarTest, InRangeAndDeterministic) {
+  const P256& curve = P256::Get();
+  U256 s = HashToScalar(std::string("input"));
+  EXPECT_TRUE(s < curve.order());
+  EXPECT_EQ(s, HashToScalar(std::string("input")));
+}
+
+TEST(ElGamalTest, EncryptDecryptRoundTrip) {
+  SecureRandom rng(ToBytes("elgamal"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  EcPoint message = HashToCurve(std::string("the-crowd-id"));
+  ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, message, rng);
+  EXPECT_EQ(ElGamalDecrypt(recipient.private_key, ct), message);
+}
+
+TEST(ElGamalTest, BlindingCommutesWithDecryption) {
+  // Dec(Blind(Enc(M), alpha)) == alpha * M — the §4.3 protocol identity.
+  SecureRandom rng(ToBytes("elgamal-blind"));
+  const P256& curve = P256::Get();
+  KeyPair shuffler2 = KeyPair::Generate(rng);
+  EcPoint mu = HashToCurve(std::string("sensitive-crowd-id"));
+  U256 alpha = rng.RandomScalar(curve.order());
+
+  ElGamalCiphertext ct = ElGamalEncrypt(shuffler2.public_key, mu, rng);
+  ElGamalCiphertext blinded = ElGamalBlind(ct, alpha);
+  EcPoint decrypted = ElGamalDecrypt(shuffler2.private_key, blinded);
+  EXPECT_EQ(decrypted, curve.ScalarMult(mu, alpha));
+}
+
+TEST(ElGamalTest, BlindingPreservesEquality) {
+  // Equal crowd IDs blind to equal points; different ones stay different.
+  SecureRandom rng(ToBytes("elgamal-eq"));
+  const P256& curve = P256::Get();
+  KeyPair shuffler2 = KeyPair::Generate(rng);
+  U256 alpha = rng.RandomScalar(curve.order());
+
+  auto blind_decrypt = [&](const std::string& crowd_id) {
+    ElGamalCiphertext ct = ElGamalEncrypt(shuffler2.public_key, HashToCurve(crowd_id), rng);
+    return ElGamalDecrypt(shuffler2.private_key, ElGamalBlind(ct, alpha));
+  };
+
+  EXPECT_EQ(blind_decrypt("id-A"), blind_decrypt("id-A"));
+  EXPECT_FALSE(blind_decrypt("id-A") == blind_decrypt("id-B"));
+}
+
+TEST(ElGamalTest, RerandomizationPreservesPlaintext) {
+  SecureRandom rng(ToBytes("elgamal-rerand"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  EcPoint message = HashToCurve(std::string("m"));
+  ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, message, rng);
+  ElGamalCiphertext rct = ElGamalRerandomize(ct, recipient.public_key, rng);
+  EXPECT_FALSE(rct.c1 == ct.c1);  // fresh randomness
+  EXPECT_EQ(ElGamalDecrypt(recipient.private_key, rct), message);
+}
+
+TEST(ElGamalTest, SerializationRoundTrip) {
+  SecureRandom rng(ToBytes("elgamal-ser"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("m")), rng);
+  auto parsed = ElGamalCiphertext::Deserialize(ct.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->c1, ct.c1);
+  EXPECT_EQ(parsed->c2, ct.c2);
+}
+
+}  // namespace
+}  // namespace prochlo

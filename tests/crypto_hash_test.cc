@@ -1,0 +1,125 @@
+// Known-answer and property tests for SHA-256, HMAC, and HKDF.
+#include <gtest/gtest.h>
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+namespace {
+
+std::string DigestHex(const Sha256Digest& d) { return HexEncode(ByteSpan(d.data(), d.size())); }
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ToBytes(chunk));
+  }
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string message = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (size_t split = 0; split <= message.size(); ++split) {
+    Sha256 h;
+    h.Update(ToBytes(message.substr(0, split)));
+    h.Update(ToBytes(message.substr(split)));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(message)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, TaggedHashDiffersFromPlain) {
+  Bytes data = ToBytes("payload");
+  EXPECT_NE(Sha256::TaggedHash("tag-a", data), Sha256::TaggedHash("tag-b", data));
+  EXPECT_NE(Sha256::TaggedHash("tag-a", data), Sha256::Hash(data));
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(DigestHex(HmacSha256(key, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(DigestHex(HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(DigestHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// Keys longer than the block size are hashed first (RFC 4231 case 6).
+TEST(HmacTest, LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(DigestHex(HmacSha256(key, ToBytes("Test Using Larger Than Block-Size Key - "
+                                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 5869 test case 1.
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = HexDecode("000102030405060708090a0b0c");
+  Bytes info = HexDecode("f0f1f2f3f4f5f6f7f8f9");
+  Bytes okm = Hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3 (zero-length salt and info).
+TEST(HkdfTest, Rfc5869Case3) {
+  Bytes ikm(22, 0x0b);
+  Bytes okm = Hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, DistinctContextsYieldDistinctKeys) {
+  Bytes ikm = ToBytes("shared-secret");
+  EXPECT_NE(Hkdf({}, ikm, ToBytes("layer-1"), 16), Hkdf({}, ikm, ToBytes("layer-2"), 16));
+}
+
+TEST(HkdfTest, OutputLengthRespected) {
+  Bytes ikm = ToBytes("ikm");
+  for (size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(Hkdf({}, ikm, {}, len).size(), len);
+  }
+}
+
+TEST(HkdfTest, PrefixConsistency) {
+  // HKDF output for length L is a prefix of the output for length L' > L.
+  Bytes ikm = ToBytes("prefix-check");
+  Bytes longer = Hkdf({}, ikm, {}, 64);
+  Bytes shorter = Hkdf({}, ikm, {}, 40);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+}  // namespace
+}  // namespace prochlo

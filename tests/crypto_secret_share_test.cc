@@ -1,0 +1,143 @@
+// Tests for the §4.2 secret-share encoding: independent clients holding the
+// same message produce compatible shares; t unlock the message, t-1 do not.
+#include <gtest/gtest.h>
+
+#include "src/crypto/secret_share.h"
+#include "src/util/bytes.h"
+
+namespace prochlo {
+namespace {
+
+std::vector<SecretShare> EncodeMany(const SecretSharer& sharer, const Bytes& message, int count,
+                                    const std::string& seed, Bytes* ciphertext) {
+  std::vector<SecretShare> shares;
+  for (int i = 0; i < count; ++i) {
+    // Each client has an independent random stream — this is the crucial
+    // "computed independently by users" property of the scheme.
+    SecureRandom client_rng(ToBytes(seed + std::to_string(i)));
+    SecretShareEncoding enc = sharer.Encode(message, client_rng);
+    if (ciphertext != nullptr) {
+      *ciphertext = enc.ciphertext;
+    }
+    shares.push_back(enc.share);
+  }
+  return shares;
+}
+
+TEST(SecretShareTest, ExactThresholdRecovers) {
+  SecretSharer sharer(/*threshold=*/5);
+  Bytes message = ToBytes("a hard-to-guess unique value");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 5, "clients-a", &ciphertext);
+  auto recovered = sharer.Recover(ciphertext, shares);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, message);
+}
+
+TEST(SecretShareTest, BelowThresholdFails) {
+  SecretSharer sharer(/*threshold=*/5);
+  Bytes message = ToBytes("protected message");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 4, "clients-b", &ciphertext);
+  EXPECT_FALSE(sharer.Recover(ciphertext, shares).has_value());
+}
+
+TEST(SecretShareTest, MoreThanThresholdRecovers) {
+  SecretSharer sharer(/*threshold=*/3);
+  Bytes message = ToBytes("popular value");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 10, "clients-c", &ciphertext);
+  auto recovered = sharer.Recover(ciphertext, shares);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, message);
+}
+
+TEST(SecretShareTest, ThresholdOneIsImmediate) {
+  SecretSharer sharer(/*threshold=*/1);
+  Bytes message = ToBytes("no crowd needed");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 1, "clients-d", &ciphertext);
+  auto recovered = sharer.Recover(ciphertext, shares);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, message);
+}
+
+TEST(SecretShareTest, EqualMessagesYieldEqualCiphertexts) {
+  SecretSharer sharer(/*threshold=*/3);
+  SecureRandom rng1(ToBytes("c1"));
+  SecureRandom rng2(ToBytes("c2"));
+  Bytes m = ToBytes("same word");
+  EXPECT_EQ(sharer.Encode(m, rng1).ciphertext, sharer.Encode(m, rng2).ciphertext);
+}
+
+TEST(SecretShareTest, SharesOfDifferentMessagesDoNotMix) {
+  SecretSharer sharer(/*threshold=*/4);
+  Bytes m1 = ToBytes("message one");
+  Bytes m2 = ToBytes("message two");
+  Bytes ct1;
+  auto shares1 = EncodeMany(sharer, m1, 2, "mix-1", &ct1);
+  auto shares2 = EncodeMany(sharer, m2, 2, "mix-2", nullptr);
+  // 2 + 2 shares, but from different polynomials: recovery must fail.
+  shares1.insert(shares1.end(), shares2.begin(), shares2.end());
+  EXPECT_FALSE(sharer.Recover(ct1, shares1).has_value());
+}
+
+TEST(SecretShareTest, DuplicateSharesDoNotCount) {
+  SecretSharer sharer(/*threshold=*/3);
+  Bytes message = ToBytes("dup test");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 2, "dups", &ciphertext);
+  // Repeat one share: still only 2 distinct points on the polynomial.
+  shares.push_back(shares[0]);
+  EXPECT_FALSE(sharer.Recover(ciphertext, shares).has_value());
+}
+
+TEST(SecretShareTest, InterpolationMatchesPolynomialConstant) {
+  // Interpolating shares from t honest clients yields the same secret that a
+  // direct encode/recover run unlocks — cross-check on a small case.
+  SecretSharer sharer(/*threshold=*/2);
+  Bytes message = ToBytes("interp");
+  Bytes ciphertext;
+  auto shares = EncodeMany(sharer, message, 2, "interp", &ciphertext);
+  U256 km = SecretSharer::InterpolateAtZero(shares);
+  EXPECT_FALSE(km.IsZero());
+  auto recovered = sharer.Recover(ciphertext, shares);
+  ASSERT_TRUE(recovered.has_value());
+}
+
+TEST(SecretShareTest, SerializationRoundTrip) {
+  SecretSharer sharer(/*threshold=*/2);
+  SecureRandom rng(ToBytes("ser"));
+  SecretShareEncoding enc = sharer.Encode(ToBytes("wire"), rng);
+  Bytes wire = enc.Serialize();
+  auto parsed = SecretShareEncoding::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ciphertext, enc.ciphertext);
+  EXPECT_EQ(parsed->share.x, enc.share.x);
+  EXPECT_EQ(parsed->share.y, enc.share.y);
+}
+
+class SecretShareThresholdSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SecretShareThresholdSweep, RecoverAtExactlyThreshold) {
+  uint32_t t = GetParam();
+  SecretSharer sharer(t);
+  Bytes message = ToBytes("sweep message " + std::to_string(t));
+  Bytes ciphertext;
+  auto shares =
+      EncodeMany(sharer, message, static_cast<int>(t), "sweep" + std::to_string(t), &ciphertext);
+  auto recovered = sharer.Recover(ciphertext, shares);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, message);
+  // And one fewer share fails.
+  if (t > 1) {
+    shares.pop_back();
+    EXPECT_FALSE(sharer.Recover(ciphertext, shares).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SecretShareThresholdSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 20));
+
+}  // namespace
+}  // namespace prochlo

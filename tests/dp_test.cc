@@ -1,0 +1,232 @@
+// Tests for the DP module — including the reproduction of the paper's two
+// headline privacy claims from the analytic Gaussian mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dp/accountant.h"
+#include "src/dp/mechanisms.h"
+#include "src/dp/randomized_response.h"
+#include "src/dp/rappor.h"
+#include "src/dp/threshold_dp.h"
+
+namespace prochlo {
+namespace {
+
+TEST(MechanismsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(MechanismsTest, LaplaceSampleMoments) {
+  Rng rng(1);
+  constexpr int kDraws = 200000;
+  double scale = 3.0;
+  double sum = 0;
+  double sum_abs = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = SampleLaplace(rng, scale);
+    sum += x;
+    sum_abs += std::abs(x);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.1);
+  EXPECT_NEAR(sum_abs / kDraws, scale, 0.1);  // E|Laplace(b)| = b
+}
+
+TEST(MechanismsTest, GaussianCalibrationRoundTrip) {
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (double delta : {1e-5, 1e-7}) {
+      double sigma = CalibrateGaussianSigma(eps, delta);
+      EXPECT_NEAR(GaussianMechanismDelta(sigma, eps), delta, delta * 0.02);
+    }
+  }
+}
+
+// The paper's §5 shuffler setting: D=10, sigma=2, T=20 gives (2.25, 1e-6).
+TEST(ThresholdDpTest, ReproducesPaperMainSetting) {
+  ThresholdPolicy policy{20, 10, 2};
+  ThresholdPrivacy privacy = AnalyzeThresholdPolicy(policy, 1e-6);
+  EXPECT_NEAR(privacy.epsilon, 2.25, 0.05);
+}
+
+// The §5.3 Perms setting: sigma=4, T=100 gives (1.2, 1e-7).
+TEST(ThresholdDpTest, ReproducesPermsSetting) {
+  ThresholdPolicy policy{100, 10, 4};
+  ThresholdPrivacy privacy = AnalyzeThresholdPolicy(policy, 1e-7);
+  EXPECT_NEAR(privacy.epsilon, 1.2, 0.05);
+}
+
+TEST(ThresholdDpTest, MoreNoiseMeansLessEpsilon) {
+  double eps_small_sigma = AnalyzeThresholdPolicy({20, 10, 1}, 1e-6).epsilon;
+  double eps_large_sigma = AnalyzeThresholdPolicy({20, 10, 8}, 1e-6).epsilon;
+  EXPECT_GT(eps_small_sigma, eps_large_sigma);
+}
+
+TEST(RandomizedResponseTest, TruthProbability) {
+  RandomizedResponse rr(/*domain_size=*/2, /*epsilon=*/std::log(3.0));
+  // e^eps/(e^eps+1) = 3/4 for binary RR at eps = ln 3.
+  EXPECT_NEAR(rr.truth_probability(), 0.75, 1e-9);
+}
+
+TEST(RandomizedResponseTest, EstimatorIsUnbiased) {
+  constexpr uint64_t kDomain = 10;
+  constexpr uint64_t kN = 200000;
+  RandomizedResponse rr(kDomain, 1.0);
+  Rng rng(7);
+  // True distribution: value v with probability proportional to v+1.
+  std::vector<uint64_t> truth(kDomain, 0);
+  std::vector<uint64_t> observed(kDomain, 0);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t v = 0;
+    uint64_t total = kDomain * (kDomain + 1) / 2;
+    uint64_t draw = rng.NextBelow(total);
+    uint64_t acc = 0;
+    for (uint64_t candidate = 0; candidate < kDomain; ++candidate) {
+      acc += candidate + 1;
+      if (draw < acc) {
+        v = candidate;
+        break;
+      }
+    }
+    truth[v]++;
+    observed[rr.Randomize(v, rng)]++;
+  }
+  auto estimates = rr.EstimateCounts(observed);
+  double sd = rr.EstimateStdDev(kN);
+  for (uint64_t v = 0; v < kDomain; ++v) {
+    EXPECT_NEAR(estimates[v], static_cast<double>(truth[v]), 5 * sd) << "value " << v;
+  }
+}
+
+TEST(RandomizedResponseTest, NoiseFloorGrowsAsSqrtN) {
+  RandomizedResponse rr(100, 2.0);
+  double sd_small = rr.EstimateStdDev(10'000);
+  double sd_large = rr.EstimateStdDev(1'000'000);
+  EXPECT_NEAR(sd_large / sd_small, 10.0, 0.01);  // sqrt(100x) = 10x
+}
+
+TEST(RapporTest, EpsilonCalibration) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  EXPECT_NEAR(params.Epsilon(), 2.0, 1e-9);
+  EXPECT_GT(params.f, 0.0);
+  EXPECT_LT(params.f, 1.0);
+}
+
+TEST(RapporTest, BloomBitsDeterministicPerCohort) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  RapporEncoder encoder(params);
+  EXPECT_EQ(encoder.BloomBits("word", 3), encoder.BloomBits("word", 3));
+  EXPECT_NE(encoder.BloomBits("word", 3), encoder.BloomBits("word", 4));
+}
+
+TEST(RapporTest, FrequentValueDetectedRareValueNot) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  RapporEncoder encoder(params);
+  RapporDecoder decoder(params);
+  Rng rng(11);
+
+  constexpr int kReports = 40000;
+  for (int i = 0; i < kReports; ++i) {
+    // 20% report "popular", the rest unique junk values.
+    std::string value = rng.NextBool(0.2) ? "popular" : "junk" + std::to_string(i);
+    decoder.Accumulate(encoder.Encode(value, static_cast<uint64_t>(i), rng));
+  }
+
+  auto detections = decoder.DecodeCandidates({"popular", "absent-word"}, 3.0);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].candidate, "popular");
+  // The de-biased estimate should be in the right ballpark (Bloom collisions
+  // bias it upward slightly).
+  EXPECT_GT(detections[0].estimated_count, 0.5 * 0.2 * kReports);
+  EXPECT_LT(detections[0].estimated_count, 2.0 * 0.2 * kReports);
+}
+
+TEST(RapporTest, SquareRootNoiseFloorLimitsDetection) {
+  // A signal well below sqrt(N) must stay undetected — the §2.2 limitation.
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  RapporEncoder encoder(params);
+  RapporDecoder decoder(params);
+  Rng rng(13);
+  constexpr int kReports = 40000;  // sqrt(N) = 200; signal = 25
+  for (int i = 0; i < kReports; ++i) {
+    std::string value = (i % 1600 == 0) ? "faint" : "junk" + std::to_string(i);
+    decoder.Accumulate(encoder.Encode(value, static_cast<uint64_t>(i), rng));
+  }
+  auto detections = decoder.DecodeCandidates({"faint"}, 3.0);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(RapporIrrTest, OneReportEpsilonBelowLongitudinal) {
+  RapporParams params = RapporParams::ForEpsilon(4.0);
+  params.use_irr = true;
+  params.irr_q = 0.75;
+  params.irr_p = 0.50;
+  // IRR makes a single report leak less than the PRR's longitudinal bound.
+  EXPECT_LT(params.EpsilonOneReport(), params.Epsilon());
+  EXPECT_GT(params.EpsilonOneReport(), 0.0);
+}
+
+TEST(RapporIrrTest, SignalAttenuationComposes) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  double without_irr = params.SignalAttenuation();
+  params.use_irr = true;
+  EXPECT_NEAR(params.SignalAttenuation(), (params.irr_q - params.irr_p) * without_irr, 1e-12);
+}
+
+TEST(RapporIrrTest, ReportRateBounds) {
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  params.use_irr = true;
+  EXPECT_GT(params.ReportRate(true), params.ReportRate(false));
+  EXPECT_GT(params.ReportRate(false), 0.0);
+  EXPECT_LT(params.ReportRate(true), 1.0);
+}
+
+TEST(RapporIrrTest, DetectionStillWorksWithIrr) {
+  RapporParams params = RapporParams::ForEpsilon(4.0);
+  params.use_irr = true;
+  RapporEncoder encoder(params);
+  RapporDecoder decoder(params);
+  Rng rng(17);
+  constexpr int kReports = 60000;
+  for (int i = 0; i < kReports; ++i) {
+    std::string value = rng.NextBool(0.3) ? "hot" : "junk" + std::to_string(i);
+    decoder.Accumulate(encoder.Encode(value, static_cast<uint64_t>(i), rng));
+  }
+  auto detections = decoder.DecodeCandidates({"hot", "cold"}, 3.0);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].candidate, "hot");
+}
+
+TEST(RapporIrrTest, RepeatedReportsOfOneClientDiffer) {
+  // Longitudinal protection: the same client's reports of the same value
+  // must not be identical across collections.
+  RapporParams params = RapporParams::ForEpsilon(2.0);
+  params.use_irr = true;
+  RapporEncoder encoder(params);
+  Rng rng(18);
+  auto r1 = encoder.Encode("stable-value", 7, rng);
+  auto r2 = encoder.Encode("stable-value", 7, rng);
+  EXPECT_NE(r1.bits, r2.bits);
+}
+
+TEST(AccountantTest, BasicComposition) {
+  PrivacyAccountant accountant;
+  accountant.Spend("encoder", 2.0, 0);
+  accountant.Spend("shuffler", 2.25, 1e-6);
+  accountant.Spend("analyzer", 0.5, 1e-7);
+  EXPECT_NEAR(accountant.TotalEpsilonBasic(), 4.75, 1e-12);
+  EXPECT_NEAR(accountant.TotalDelta(), 1.1e-6, 1e-12);
+  EXPECT_EQ(accountant.entries().size(), 3u);
+}
+
+TEST(AccountantTest, AdvancedCompositionBeatsBasicForManyQueries) {
+  PrivacyAccountant accountant;
+  for (int i = 0; i < 100; ++i) {
+    accountant.Spend("query", 0.1, 0);
+  }
+  EXPECT_LT(accountant.TotalEpsilonAdvanced(1e-6), accountant.TotalEpsilonBasic());
+}
+
+}  // namespace
+}  // namespace prochlo

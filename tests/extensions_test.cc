@@ -1,0 +1,351 @@
+// Tests for the paper's secondary mechanisms: in-enclave thresholding
+// (§4.1.5, both counting and sort-based), DP release at the analyzer (§3.4),
+// epoch batching (§3.3), encoder randomized response (§3.5), and the
+// run-twice shuffle-security booster (§4.1.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/batch.h"
+#include "src/core/analyzer.h"
+#include "src/core/encoder.h"
+#include "src/core/shuffler.h"
+#include "src/dp/release.h"
+#include "src/shuffle/oblivious_threshold.h"
+#include "src/shuffle/stash_shuffle.h"
+
+namespace prochlo {
+namespace {
+
+struct EnclaveFixture {
+  SecureRandom rng{ToBytes("ext-test")};
+  IntelRootAuthority intel{rng};
+  IntelRootAuthority::Platform platform{intel.ProvisionPlatform(rng)};
+  Enclave enclave{EnclaveConfig{}, platform, rng};
+};
+
+std::vector<CrowdRecord> MakeCrowdRecords(const std::vector<std::pair<uint64_t, int>>& spec) {
+  std::vector<CrowdRecord> records;
+  for (const auto& [crowd, count] : spec) {
+    for (int i = 0; i < count; ++i) {
+      records.push_back(CrowdRecord{crowd, ToBytes("payload-" + std::to_string(crowd))});
+    }
+  }
+  return records;
+}
+
+ThresholdPolicy NaivePolicy(double threshold) { return ThresholdPolicy{threshold, 0, 0}; }
+
+TEST(CountingThresholderTest, NaiveSemantics) {
+  EnclaveFixture fx;
+  CountingThresholder thresholder(fx.enclave);
+  Rng noise(1);
+  auto records = MakeCrowdRecords({{1, 30}, {2, 9}, {3, 10}});
+  auto result = thresholder.Threshold(std::move(records), NaivePolicy(10), noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 40u);  // crowd 2 suppressed
+  for (const auto& record : result.value()) {
+    EXPECT_NE(record.crowd, 2u);
+  }
+  EXPECT_EQ(thresholder.metrics().passes, 2u);
+  EXPECT_EQ(thresholder.metrics().survivors, 40u);
+}
+
+TEST(CountingThresholderTest, RandomizedDropsNoise) {
+  EnclaveFixture fx;
+  CountingThresholder thresholder(fx.enclave);
+  Rng noise(2);
+  auto records = MakeCrowdRecords({{7, 100}});
+  auto result = thresholder.Threshold(std::move(records), ThresholdPolicy{20, 10, 2}, noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().size(), 100u);
+  EXPECT_GE(result.value().size(), 80u);
+}
+
+TEST(CountingThresholderTest, FailsWhenDomainExceedsPrivateMemory) {
+  SecureRandom rng(ToBytes("tiny-enclave"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  EnclaveConfig config;
+  config.private_memory_bytes = 1024;  // room for ~40 counters only
+  Enclave enclave(config, platform, rng);
+  CountingThresholder thresholder(enclave);
+  Rng noise(3);
+  std::vector<CrowdRecord> records;
+  for (uint64_t crowd = 0; crowd < 1000; ++crowd) {
+    records.push_back(CrowdRecord{crowd, ToBytes("x")});
+  }
+  EXPECT_FALSE(thresholder.Threshold(std::move(records), NaivePolicy(1), noise).ok());
+}
+
+TEST(SortingThresholderTest, MatchesCountingOnNaivePolicy) {
+  EnclaveFixture fx;
+  auto spec = std::vector<std::pair<uint64_t, int>>{{5, 25}, {6, 4}, {7, 12}, {8, 1}, {9, 19}};
+  Rng noise_a(4);
+  Rng noise_b(4);
+
+  CountingThresholder counting(fx.enclave);
+  auto by_counting = counting.Threshold(MakeCrowdRecords(spec), NaivePolicy(12), noise_a);
+  SortingThresholder sorting(fx.enclave);
+  auto by_sorting = sorting.Threshold(MakeCrowdRecords(spec), NaivePolicy(12), noise_b);
+
+  ASSERT_TRUE(by_counting.ok());
+  ASSERT_TRUE(by_sorting.ok());
+  // Same multiset of survivors (order may differ).
+  auto key_histogram = [](const std::vector<CrowdRecord>& records) {
+    std::map<uint64_t, int> histogram;
+    for (const auto& r : records) {
+      histogram[r.crowd]++;
+    }
+    return histogram;
+  };
+  EXPECT_EQ(key_histogram(by_counting.value()), key_histogram(by_sorting.value()));
+}
+
+TEST(SortingThresholderTest, HandlesUnsortedInterleavedInput) {
+  EnclaveFixture fx;
+  Rng noise(5);
+  // Interleave crowds so grouping genuinely requires the sort.
+  std::vector<CrowdRecord> records;
+  for (int i = 0; i < 60; ++i) {
+    records.push_back(CrowdRecord{static_cast<uint64_t>(i % 3), ToBytes("p")});
+  }
+  records.push_back(CrowdRecord{99, ToBytes("lonely")});
+  SortingThresholder thresholder(fx.enclave);
+  auto result = thresholder.Threshold(std::move(records), NaivePolicy(15), noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 60u);  // 3 crowds of 20 pass; "99" fails
+  EXPECT_GT(thresholder.metrics().compare_exchanges, 0u);
+}
+
+TEST(SortingThresholderTest, RandomizedDropTakesFromEachCrowd) {
+  EnclaveFixture fx;
+  Rng noise(6);
+  auto records = MakeCrowdRecords({{1, 50}, {2, 50}});
+  SortingThresholder thresholder(fx.enclave);
+  auto result = thresholder.Threshold(std::move(records), ThresholdPolicy{20, 10, 2}, noise);
+  ASSERT_TRUE(result.ok());
+  std::map<uint64_t, int> histogram;
+  for (const auto& r : result.value()) {
+    histogram[r.crowd]++;
+  }
+  for (const auto& [crowd, count] : histogram) {
+    EXPECT_LT(count, 50);
+    EXPECT_GE(count, 30);
+  }
+  EXPECT_EQ(histogram.size(), 2u);
+}
+
+TEST(SortingThresholderTest, EmptyInput) {
+  EnclaveFixture fx;
+  Rng noise(7);
+  SortingThresholder thresholder(fx.enclave);
+  auto result = thresholder.Threshold({}, NaivePolicy(5), noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(ReleaseTest, NoiseIsBounded) {
+  Rng rng(8);
+  std::map<std::string, uint64_t> histogram = {{"a", 1000}, {"b", 500}};
+  ReleaseOptions options;
+  options.epsilon = 1.0;
+  auto released = ReleaseHistogram(histogram, options, rng);
+  ASSERT_TRUE(released.contains("a"));
+  // Laplace(1) noise: |noise| < 15 with overwhelming probability.
+  EXPECT_NEAR(released.at("a"), 1000.0, 15.0);
+  EXPECT_NEAR(released.at("b"), 500.0, 15.0);
+}
+
+TEST(ReleaseTest, SuppressionDropsSmallCounts) {
+  Rng rng(9);
+  std::map<std::string, uint64_t> histogram = {{"big", 10000}, {"tiny", 1}};
+  ReleaseOptions options;
+  options.epsilon = 0.5;
+  options.min_released_count = 50;
+  auto released = ReleaseHistogram(histogram, options, rng);
+  EXPECT_TRUE(released.contains("big"));
+  EXPECT_FALSE(released.contains("tiny"));
+}
+
+TEST(ReleaseTest, NoiseAveragesOut) {
+  Rng rng(10);
+  std::map<std::string, uint64_t> histogram = {{"x", 100}};
+  ReleaseOptions options;
+  options.epsilon = 2.0;
+  double total = 0;
+  constexpr int kRounds = 2000;
+  for (int i = 0; i < kRounds; ++i) {
+    total += ReleaseHistogram(histogram, options, rng).at("x");
+  }
+  EXPECT_NEAR(total / kRounds, 100.0, 0.5);  // unbiased
+}
+
+TEST(BatchCollectorTest, RequiresBothEpochAndSize) {
+  BatchCollector collector(/*min_batch_size=*/3, /*min_epochs=*/2);
+  collector.Add(ToBytes("r1"));
+  collector.Add(ToBytes("r2"));
+  collector.Add(ToBytes("r3"));
+  EXPECT_FALSE(collector.Ready());  // size ok, epoch not elapsed
+  collector.AdvanceEpoch();
+  EXPECT_FALSE(collector.Ready());
+  collector.AdvanceEpoch();
+  EXPECT_TRUE(collector.Ready());
+  auto batch = collector.TakeBatch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 3u);
+  // Counter resets: a new batch must wait again.
+  collector.Add(ToBytes("r4"));
+  collector.Add(ToBytes("r5"));
+  collector.Add(ToBytes("r6"));
+  EXPECT_FALSE(collector.Ready());
+}
+
+TEST(BatchCollectorTest, SmallBatchNeverReleases) {
+  BatchCollector collector(10, 1);
+  collector.Add(ToBytes("only"));
+  collector.AdvanceEpoch();
+  collector.AdvanceEpoch();
+  EXPECT_FALSE(collector.Ready());
+  EXPECT_FALSE(collector.TakeBatch().has_value());
+  EXPECT_EQ(collector.pending_count(), 1u);
+}
+
+TEST(EncoderRandomizedResponseTest, RejectsOutOfDomain) {
+  SecureRandom rng(ToBytes("enc-rr"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  EncoderConfig config;
+  config.shuffler_public = shuffler.public_key;
+  config.analyzer_public = analyzer.public_key;
+  Encoder encoder(config);
+  Rng response_rng(11);
+  EXPECT_FALSE(encoder.EncodeEnumValue(10, 10, 1.0, response_rng, rng).ok());
+}
+
+TEST(EncoderRandomizedResponseTest, FlipRateMatchesEpsilon) {
+  SecureRandom rng(ToBytes("enc-rr-2"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  EncoderConfig config;
+  config.shuffler_public = shuffler.public_key;
+  config.analyzer_public = analyzer.public_key;
+  Encoder encoder(config);
+  Rng response_rng(12);
+
+  constexpr double kEpsilon = std::numbers::ln2;  // e^eps = 2, k = 2: p_truth = 2/3
+  constexpr int kTrials = 400;
+  int truthful = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto report = encoder.EncodeEnumValue(0, 2, kEpsilon, response_rng, rng);
+    ASSERT_TRUE(report.ok());
+    auto view = OpenReport(shuffler, report.value());
+    ASSERT_TRUE(view.has_value());
+    auto padded = OpenInnerBox(analyzer, view->inner_box);
+    ASSERT_TRUE(padded.has_value());
+    auto payload = UnpadPayload(*padded);
+    ASSERT_TRUE(payload.has_value());
+    truthful += (ToString(*payload) == "enum:0");
+  }
+  EXPECT_NEAR(static_cast<double>(truthful) / kTrials, 2.0 / 3.0, 0.08);
+}
+
+TEST(EnclaveThresholdingTest, ShufflerUsesInEnclaveThresholding) {
+  // Full SGX arrangement: stash shuffle + in-enclave thresholding.
+  SecureRandom rng(ToBytes("enclave-thresh"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kNaive;
+  config.policy.threshold = 10;
+  config.use_stash_shuffle = true;
+  config.use_enclave_thresholding = true;
+  Shuffler shuffler(enclave, config);
+
+  KeyPair analyzer_keys = KeyPair::Generate(rng);
+  EncoderConfig encoder_config;
+  encoder_config.shuffler_public = enclave.keys().public_key;
+  encoder_config.analyzer_public = analyzer_keys.public_key;
+  Encoder encoder(encoder_config);
+
+  std::vector<Bytes> reports;
+  for (int i = 0; i < 30; ++i) {
+    reports.push_back(encoder.EncodeValue("common", rng).value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    reports.push_back(encoder.EncodeValue("rare", rng).value());
+  }
+
+  Rng noise_rng(21);
+  auto forwarded = shuffler.ProcessBatch(reports, rng, noise_rng);
+  ASSERT_TRUE(forwarded.ok()) << forwarded.error().message;
+  EXPECT_EQ(forwarded.value().size(), 30u);
+  EXPECT_EQ(shuffler.stats().dropped_threshold, 4u);
+
+  Analyzer analyzer(analyzer_keys);
+  auto histogram = Analyzer::HistogramOfValues(analyzer.DecryptBatch(forwarded.value()));
+  EXPECT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram.at("common"), 30u);
+}
+
+TEST(EnclaveThresholdingTest, FallsBackToSortingForHugeDomains) {
+  // A tiny-enclave shuffler with a large crowd domain must take the
+  // sort-based path and still produce correct results.
+  SecureRandom rng(ToBytes("enclave-thresh-sort"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  EnclaveConfig enclave_config;
+  enclave_config.private_memory_bytes = 256 * 1024;  // counters won't fit
+  Enclave enclave(enclave_config, platform, rng);
+
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kNaive;
+  config.policy.threshold = 5;
+  config.use_enclave_thresholding = true;  // plain shuffle, enclave threshold
+  Shuffler shuffler(enclave, config);
+
+  KeyPair analyzer_keys = KeyPair::Generate(rng);
+  EncoderConfig encoder_config;
+  encoder_config.shuffler_public = enclave.keys().public_key;
+  encoder_config.analyzer_public = analyzer_keys.public_key;
+  Encoder encoder(encoder_config);
+
+  std::vector<Bytes> reports;
+  for (int i = 0; i < 8; ++i) {
+    reports.push_back(encoder.EncodeValue("keeper", rng).value());
+  }
+  // ~12K distinct crowds exceed the 256 KB counter budget.
+  for (int i = 0; i < 12'000; ++i) {
+    reports.push_back(encoder.EncodeValue("u" + std::to_string(i), rng).value());
+  }
+
+  Rng noise_rng(22);
+  auto forwarded = shuffler.ProcessBatch(reports, rng, noise_rng);
+  ASSERT_TRUE(forwarded.ok()) << forwarded.error().message;
+  EXPECT_EQ(forwarded.value().size(), 8u);
+}
+
+TEST(ShuffleTwiceTest, ComposedShuffleIsPermutation) {
+  SecureRandom rng(ToBytes("twice"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  StashShuffler shuffler(enclave, StashShuffler::Options{});
+  std::vector<Bytes> input;
+  for (int i = 0; i < 200; ++i) {
+    input.push_back(Bytes(8, static_cast<uint8_t>(i)));
+  }
+  auto result = ShuffleTwice(shuffler, input, rng, 10);
+  ASSERT_TRUE(result.ok());
+  auto sorted_in = input;
+  auto sorted_out = result.value();
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+  EXPECT_GE(shuffler.metrics().rounds, 4u);  // two full passes
+}
+
+}  // namespace
+}  // namespace prochlo

@@ -1,0 +1,218 @@
+// End-to-end integration tests: full encode → shuffle → analyze pipelines in
+// every mode (the §5.2 experiments in miniature), the SGX-hosted oblivious
+// path, and the equivalence between the real pipeline and the crypto-free
+// simulator used for large-scale experiments.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analysis/esa_sim.h"
+#include "src/core/pipeline.h"
+#include "src/shuffle/stash_shuffle.h"
+#include "src/workload/vocab.h"
+
+namespace prochlo {
+namespace {
+
+// A small corpus with known crowd structure: "alpha" x 30, "beta" x 25,
+// "gamma" x 5, 10 singletons.
+std::vector<std::string> TestCorpus() {
+  std::vector<std::string> values;
+  values.insert(values.end(), 30, "alpha");
+  values.insert(values.end(), 25, "beta");
+  values.insert(values.end(), 5, "gamma");
+  for (int i = 0; i < 10; ++i) {
+    values.push_back("unique" + std::to_string(i));
+  }
+  return values;
+}
+
+TEST(PipelineIntegrationTest, CrowdModeNaiveThreshold) {
+  // The §5.2 "Crowd" arrangement with a naive threshold: common words pass,
+  // rare words are suppressed.
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kNaive;
+  config.shuffler.policy.threshold = 20;
+  Pipeline pipeline(config);
+  auto result = pipeline.RunValues(TestCorpus());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& histogram = result.value().histogram;
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram.at("alpha"), 30u);
+  EXPECT_EQ(histogram.at("beta"), 25u);
+  EXPECT_EQ(result.value().shuffler_stats.crowds_seen, 13u);
+}
+
+TEST(PipelineIntegrationTest, SecretCrowdMode) {
+  // "Secret-Crowd": secret-share encoding plus crowd thresholding — the
+  // analyzer can only decrypt values with >= t surviving shares.
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kNaive;
+  config.shuffler.policy.threshold = 20;
+  config.secret_share_threshold = 20;
+  config.payload_size = 192;  // secret-share encodings are larger
+  Pipeline pipeline(config);
+  auto result = pipeline.RunValues(TestCorpus());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& histogram = result.value().histogram;
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_TRUE(histogram.contains("alpha"));
+  EXPECT_TRUE(histogram.contains("beta"));
+}
+
+TEST(PipelineIntegrationTest, NoCrowdModeRecoversEverythingAboveT) {
+  // "NoCrowd": same fixed crowd ID for everyone, no thresholding privacy —
+  // but secret sharing still gates recovery at t.
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kNone;
+  config.secret_share_threshold = 20;
+  config.payload_size = 192;
+  Pipeline pipeline(config);
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (const auto& value : TestCorpus()) {
+    inputs.emplace_back("fixed-crowd", value);  // one crowd for all
+  }
+  auto result = pipeline.Run(inputs);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& histogram = result.value().histogram;
+  // alpha(30) and beta(25) clear t=20; gamma(5) and singletons stay locked.
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_GT(result.value().locked_groups, 0u);
+}
+
+TEST(PipelineIntegrationTest, BlindedCrowdMode) {
+  // "Blinded-Crowd": El Gamal crowd IDs, two-shuffler thresholding, secret
+  // shares — the paper's strongest arrangement.
+  PipelineConfig config;
+  config.use_blinded_crowd_ids = true;
+  config.shuffler.threshold_mode = ThresholdMode::kNaive;
+  config.shuffler.policy.threshold = 20;
+  config.secret_share_threshold = 20;
+  config.payload_size = 192;
+  config.num_threads = 4;
+  Pipeline pipeline(config);
+  auto result = pipeline.RunValues(TestCorpus());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& histogram = result.value().histogram;
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram.at("alpha"), 30u);
+  EXPECT_EQ(histogram.at("beta"), 25u);
+  EXPECT_EQ(result.value().shuffler1_stats.received, 70u);
+}
+
+TEST(PipelineIntegrationTest, RandomizedThresholdingLosesLittle) {
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kRandomized;
+  config.shuffler.policy = ThresholdPolicy{20, 10, 2};
+  Pipeline pipeline(config);
+  std::vector<std::string> values(200, "very-common");
+  auto result = pipeline.RunValues(values);
+  ASSERT_TRUE(result.ok());
+  // ~10 of 200 dropped as noise.
+  EXPECT_GE(result.value().histogram.at("very-common"), 180u);
+  EXPECT_LE(result.value().histogram.at("very-common"), 196u);
+}
+
+TEST(PipelineIntegrationTest, EnclaveHostedStashShufflePath) {
+  // Shuffler hosted in the simulated enclave, shuffling obliviously.
+  SecureRandom setup_rng(ToBytes("sgx-pipeline"));
+  IntelRootAuthority intel(setup_rng);
+  auto platform = intel.ProvisionPlatform(setup_rng);
+  Enclave enclave(EnclaveConfig{}, platform, setup_rng);
+
+  ShufflerConfig shuffler_config;
+  shuffler_config.threshold_mode = ThresholdMode::kNaive;
+  shuffler_config.policy.threshold = 20;
+  shuffler_config.use_stash_shuffle = true;
+  Shuffler shuffler(enclave, shuffler_config);
+
+  // Clients verify attestation before encoding to the enclave's key.
+  auto attested_key = VerifyShufflerAttestation(enclave.quote(),
+                                                MeasureCode("prochlo-shuffler"),
+                                                intel.root_public());
+  ASSERT_TRUE(attested_key.ok());
+
+  KeyPair analyzer_keys = KeyPair::Generate(setup_rng);
+  EncoderConfig encoder_config;
+  encoder_config.shuffler_public = attested_key.value();
+  encoder_config.analyzer_public = analyzer_keys.public_key;
+  Encoder encoder(encoder_config);
+
+  SecureRandom rng(ToBytes("sgx-clients"));
+  std::vector<Bytes> reports;
+  for (const auto& value : TestCorpus()) {
+    auto report = encoder.EncodeValue(value, rng);
+    ASSERT_TRUE(report.ok());
+    reports.push_back(std::move(report).value());
+  }
+
+  Rng noise_rng(99);
+  auto forwarded = shuffler.ProcessBatch(reports, rng, noise_rng);
+  ASSERT_TRUE(forwarded.ok()) << forwarded.error().message;
+
+  Analyzer analyzer(analyzer_keys);
+  auto payloads = analyzer.DecryptBatch(forwarded.value());
+  auto histogram = Analyzer::HistogramOfValues(payloads);
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram.at("alpha"), 30u);
+  // The enclave actually processed data (oblivious path was taken).
+  EXPECT_GT(enclave.traffic().items_in, reports.size());
+}
+
+TEST(PipelineIntegrationTest, SimulatorMatchesRealPipelineSemantics) {
+  // Same corpus, same thresholding: the crypto-free simulator must produce
+  // exactly the surviving histogram of the real pipeline (deterministic for
+  // naive thresholding).
+  auto values = TestCorpus();
+
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kNaive;
+  config.shuffler.policy.threshold = 20;
+  Pipeline pipeline(config);
+  auto real = pipeline.RunValues(values);
+  ASSERT_TRUE(real.ok());
+
+  std::map<std::string, uint64_t> id_to_name;
+  std::vector<SimReport> sim_reports;
+  std::map<std::string, uint64_t> name_to_id;
+  uint64_t next_id = 0;
+  for (const auto& value : values) {
+    auto [it, inserted] = name_to_id.try_emplace(value, next_id);
+    if (inserted) {
+      ++next_id;
+    }
+    sim_reports.push_back({it->second, it->second});
+  }
+  Rng noise(1);
+  auto sim = SimulateShuffle(sim_reports, config.shuffler, noise);
+
+  EXPECT_EQ(sim.histogram.size(), real.value().histogram.size());
+  for (const auto& [name, id] : name_to_id) {
+    bool in_real = real.value().histogram.contains(name);
+    bool in_sim = sim.histogram.contains(id);
+    EXPECT_EQ(in_real, in_sim) << name;
+    if (in_real && in_sim) {
+      EXPECT_EQ(real.value().histogram.at(name), sim.histogram.at(id)) << name;
+    }
+  }
+}
+
+TEST(PipelineIntegrationTest, ParallelAndSequentialAgree) {
+  PipelineConfig sequential;
+  sequential.shuffler.threshold_mode = ThresholdMode::kNaive;
+  sequential.shuffler.policy.threshold = 10;
+  sequential.seed = "same-seed";
+
+  PipelineConfig parallel = sequential;
+  parallel.num_threads = 4;
+
+  auto values = TestCorpus();
+  auto r1 = Pipeline(sequential).RunValues(values);
+  auto r2 = Pipeline(parallel).RunValues(values);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().histogram, r2.value().histogram);
+}
+
+}  // namespace
+}  // namespace prochlo

@@ -1,0 +1,263 @@
+// Property-based sweeps (TEST_P) and failure injection across module
+// boundaries: the invariants that must hold for *every* parameter choice,
+// not just the defaults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/core/pipeline.h"
+#include "src/crypto/gcm.h"
+#include "src/shuffle/stash_params.h"
+#include "src/shuffle/stash_shuffle.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+namespace {
+
+// ----------------------------------------------------------- stash sweeps
+
+struct StashCase {
+  size_t n;
+  size_t num_buckets;
+  size_t chunk_cap;
+  size_t window;
+  size_t stash_per_bucket;
+};
+
+class StashShuffleSweep : public ::testing::TestWithParam<StashCase> {};
+
+TEST_P(StashShuffleSweep, PermutationAndMetricsInvariants) {
+  const auto& c = GetParam();
+  SecureRandom rng(ToBytes("sweep"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+
+  StashShuffler::Options options;
+  options.params.num_buckets = c.num_buckets;
+  options.params.chunk_cap = c.chunk_cap;
+  options.params.window = c.window;
+  options.params.stash_size = c.stash_per_bucket * c.num_buckets;
+  StashShuffler shuffler(enclave, std::move(options));
+
+  std::vector<Bytes> input;
+  input.reserve(c.n);
+  for (size_t i = 0; i < c.n; ++i) {
+    Bytes item(12, 0);
+    for (int b = 0; b < 8; ++b) {
+      item[b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    input.push_back(std::move(item));
+  }
+
+  auto result = ShuffleWithRetries(shuffler, input, rng, 30);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  // Invariant 1: output is a permutation of the input.
+  auto sorted_in = input;
+  auto sorted_out = result.value();
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+
+  // Invariant 2: the enclave processed at least N + B^2*C items (the
+  // Table 1 arithmetic is a lower bound under retries).
+  const auto& params = shuffler.effective_params();
+  EXPECT_GE(shuffler.metrics().items_processed,
+            c.n + params.num_buckets * params.num_buckets * params.chunk_cap);
+
+  // Invariant 3: private memory stayed within the enclave budget.
+  EXPECT_LE(enclave.memory().peak(), enclave.memory().budget());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, StashShuffleSweep,
+    ::testing::Values(StashCase{100, 4, 10, 2, 8}, StashCase{100, 4, 10, 4, 8},
+                      StashCase{500, 8, 18, 4, 10}, StashCase{1000, 8, 25, 4, 12},
+                      StashCase{1000, 16, 14, 4, 12}, StashCase{2000, 16, 22, 2, 16},
+                      StashCase{777, 8, 22, 4, 12},   // non-divisible N
+                      StashCase{64, 16, 6, 4, 10},    // more buckets than D/B would like
+                      StashCase{3000, 32, 18, 8, 12}));
+
+// -------------------------------------------------------------- AEAD sweep
+
+class GcmSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcmSizeSweep, RoundTripAndTamperRejection) {
+  size_t size = GetParam();
+  SecureRandom rng(ToBytes("gcm-sweep-" + std::to_string(size)));
+  AesGcm aead(rng.RandomBytes(16));
+  Bytes plaintext = rng.RandomBytes(size);
+  GcmNonce nonce = rng.RandomNonce();
+  Bytes sealed = aead.Seal(nonce, plaintext, {});
+  EXPECT_EQ(sealed.size(), AesGcm::SealedSize(size));
+  auto opened = aead.Open(nonce, sealed, {});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+  if (!sealed.empty()) {
+    Bytes corrupt = sealed;
+    corrupt[size / 2] ^= 0x80;
+    EXPECT_FALSE(aead.Open(nonce, corrupt, {}).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values(0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127,
+                                           128, 255, 318, 1024, 4096));
+
+// --------------------------------------------------- report fuzz/corruption
+
+TEST(ReportFuzzTest, CorruptedReportsNeverOpenAndNeverCrash) {
+  SecureRandom rng(ToBytes("report-fuzz"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  CrowdPart crowd;
+  crowd.plain_hash = 42;
+  auto padded = PadPayload(ToBytes("fuzz payload"), 64);
+  Bytes report = SealReport(crowd, *padded, shuffler.public_key, analyzer.public_key, rng);
+
+  // Flip every byte position in turn: every corruption must be rejected.
+  for (size_t i = 0; i < report.size(); ++i) {
+    Bytes corrupt = report;
+    corrupt[i] ^= 0x01;
+    auto view = OpenReport(shuffler, corrupt);
+    if (view.has_value()) {
+      // A flipped bit inside the (unauthenticated) ephemeral-key encoding can
+      // only yield an invalid point -> Decode fails -> nullopt; reaching here
+      // would mean GCM authenticated a modified record.
+      ADD_FAILURE() << "corrupted report opened at byte " << i;
+    }
+  }
+}
+
+TEST(ReportFuzzTest, TruncationsNeverCrash) {
+  SecureRandom rng(ToBytes("report-trunc"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  CrowdPart crowd;
+  crowd.plain_hash = 1;
+  auto padded = PadPayload(ToBytes("x"), 64);
+  Bytes report = SealReport(crowd, *padded, shuffler.public_key, analyzer.public_key, rng);
+  for (size_t len = 0; len < report.size(); len += 3) {
+    ByteSpan prefix(report.data(), len);
+    EXPECT_FALSE(OpenReport(shuffler, prefix).has_value()) << "length " << len;
+  }
+}
+
+TEST(ReportFuzzTest, RandomBytesIntoParsersNeverCrash) {
+  SecureRandom rng(ToBytes("parser-fuzz"));
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk = rng.RandomBytes(1 + (trial * 7) % 512);
+    (void)ShufflerView::Deserialize(junk);
+    (void)HybridBox::Deserialize(junk);
+    (void)SecretShareEncoding::Deserialize(junk);
+    (void)ElGamalCiphertext::Deserialize(junk);
+    Reader reader(junk);
+    std::string s;
+    (void)reader.GetString(&s);
+    uint64_t v;
+    (void)reader.GetU64(&v);
+  }
+  SUCCEED();
+}
+
+// --------------------------------------------------------- pipeline sweeps
+
+struct PipelineCase {
+  bool blinded;
+  bool secret_share;
+  ThresholdMode mode;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, EndToEndInvariants) {
+  const auto& c = GetParam();
+  PipelineConfig config;
+  config.use_blinded_crowd_ids = c.blinded;
+  config.shuffler.threshold_mode = c.mode;
+  config.shuffler.policy = ThresholdPolicy{5, 2, 1};
+  if (c.secret_share) {
+    config.secret_share_threshold = 5;
+    config.payload_size = 192;
+  }
+  Pipeline pipeline(config);
+
+  // 20 of "major", 8 of "minor", 2 of "rare".
+  std::vector<std::string> values;
+  values.insert(values.end(), 20, "major");
+  values.insert(values.end(), 8, "minor");
+  values.insert(values.end(), 2, "rare");
+  auto result = pipeline.RunValues(values);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& histogram = result.value().histogram;
+
+  // Invariant 1: counts never exceed the inputs.
+  uint64_t total = 0;
+  for (const auto& [value, count] : histogram) {
+    EXPECT_LE(count, 20u);
+    total += count;
+  }
+  EXPECT_LE(total, values.size());
+
+  // Invariant 2: "major" always survives; "rare" never survives thresholding.
+  EXPECT_TRUE(histogram.contains("major"));
+  if (c.mode != ThresholdMode::kNone) {
+    EXPECT_FALSE(histogram.contains("rare"));
+  } else if (!c.secret_share) {
+    EXPECT_TRUE(histogram.contains("rare"));
+  }
+
+  // Invariant 3: secret sharing locks sub-threshold groups even without a
+  // crowd threshold.
+  if (c.secret_share && c.mode == ThresholdMode::kNone) {
+    EXPECT_FALSE(histogram.contains("rare"));
+    EXPECT_GT(result.value().locked_groups, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PipelineSweep,
+    ::testing::Values(PipelineCase{false, false, ThresholdMode::kNone},
+                      PipelineCase{false, false, ThresholdMode::kNaive},
+                      PipelineCase{false, false, ThresholdMode::kRandomized},
+                      PipelineCase{false, true, ThresholdMode::kNone},
+                      PipelineCase{false, true, ThresholdMode::kNaive},
+                      PipelineCase{false, true, ThresholdMode::kRandomized},
+                      PipelineCase{true, false, ThresholdMode::kNaive},
+                      PipelineCase{true, true, ThresholdMode::kNaive},
+                      PipelineCase{true, true, ThresholdMode::kRandomized}));
+
+// ------------------------------------------------- parameter-model sweeps
+
+class StashParamScaling : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StashParamScaling, ChosenParamsAreSoundAtEveryScale) {
+  uint64_t n = GetParam();
+  StashShuffleParams params = ChooseStashParams(n, 318, kDefaultEnclavePrivateMemory);
+  // Structural sanity.
+  EXPECT_GE(params.num_buckets, 1u);
+  EXPECT_GE(params.chunk_cap, 2u);
+  EXPECT_GE(params.stash_size, params.num_buckets);
+  // Overhead stays in the paper's 3-4x band once N is non-trivial.
+  if (n >= 100'000) {
+    double overhead = StashOverheadFactor(n, params);
+    EXPECT_GT(overhead, 2.0);
+    EXPECT_LT(overhead, 5.0);
+  }
+  // Working set fits the enclave.
+  EXPECT_LE(EstimatePrivateMemoryBytes(n, 318, params), kDefaultEnclavePrivateMemory);
+  // Security improves (or holds) with scale and is meaningful beyond 1M.
+  if (n >= 1'000'000) {
+    EXPECT_LT(EstimateLog2Epsilon(n, params), -60.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, StashParamScaling,
+                         ::testing::Values(1'000, 10'000, 100'000, 1'000'000, 10'000'000,
+                                           50'000'000, 100'000'000, 200'000'000));
+
+}  // namespace
+}  // namespace prochlo

@@ -1,0 +1,137 @@
+// Security-property tests across the trust boundaries of §3.1's attack
+// model: key rotation, layer isolation, and input-validation edges.
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.h"
+#include "src/core/encoder.h"
+#include "src/core/shuffler.h"
+
+namespace prochlo {
+namespace {
+
+TEST(KeyRotationTest, ReportsToPreRestartKeyAreRejected) {
+  // §4.1.1: the shuffler creates a new key pair every time it restarts, to
+  // avoid state-replay attacks — so a report sealed to the old key must be
+  // undecryptable afterwards.
+  SecureRandom rng(ToBytes("rotation"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+
+  EncoderConfig encoder_config;
+  encoder_config.shuffler_public = enclave.keys().public_key;
+  encoder_config.analyzer_public = analyzer.public_key;
+  Encoder encoder(encoder_config);
+  auto report = encoder.EncodeValue("pre-restart", rng);
+  ASSERT_TRUE(report.ok());
+
+  enclave.Restart(platform, rng);
+  EXPECT_FALSE(OpenReport(enclave.keys(), report.value()).has_value());
+
+  // A replayed old quote no longer matches the live key either.
+  EXPECT_TRUE(VerifyQuote(enclave.quote(), MeasureCode("prochlo-shuffler"),
+                          intel.root_public()));
+  EXPECT_EQ(enclave.quote().report_data, P256::Get().Encode(enclave.keys().public_key));
+}
+
+TEST(LayerIsolationTest, AnalyzerCannotOpenOuterLayer) {
+  SecureRandom rng(ToBytes("layers"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  CrowdPart crowd;
+  crowd.plain_hash = 5;
+  auto padded = PadPayload(ToBytes("x"), 64);
+  Bytes report = SealReport(crowd, *padded, shuffler.public_key, analyzer.public_key, rng);
+  // The analyzer's key does not open the outer layer (and therefore never
+  // sees crowd IDs or metadata).
+  EXPECT_FALSE(OpenReport(analyzer, report).has_value());
+}
+
+TEST(LayerIsolationTest, TwoReportsOfSameValueAreUnlinkableOnTheWire) {
+  // Fresh ephemeral keys and nonces per report: identical plaintexts must
+  // produce completely different wire bytes (network observers learn only
+  // lengths).
+  SecureRandom rng(ToBytes("unlink"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  EncoderConfig config;
+  config.shuffler_public = shuffler.public_key;
+  config.analyzer_public = analyzer.public_key;
+  Encoder encoder(config);
+  auto r1 = encoder.EncodeValue("identical", rng);
+  auto r2 = encoder.EncodeValue("identical", rng);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().size(), r2.value().size());
+  // Count equal bytes: should be near-random agreement, far from identical.
+  size_t equal_bytes = 0;
+  for (size_t i = 0; i < r1.value().size(); ++i) {
+    equal_bytes += (r1.value()[i] == r2.value()[i]);
+  }
+  EXPECT_LT(equal_bytes, r1.value().size() / 8);
+}
+
+TEST(EncoderValidationTest, OversizedPayloadRejectedNotTruncated) {
+  SecureRandom rng(ToBytes("oversize"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  EncoderConfig config;
+  config.shuffler_public = shuffler.public_key;
+  config.analyzer_public = analyzer.public_key;
+  config.payload_size = 32;
+  Encoder encoder(config);
+  std::string big(100, 'x');
+  EXPECT_FALSE(encoder.EncodeValue(big, rng).ok());
+}
+
+TEST(CrowdIdHashTest, DistinctIdsDistinctHashes) {
+  // 8-byte hashes over small ID sets should be collision-free in practice.
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    hashes.insert(CrowdIdHash("crowd-" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(P256ValidationTest, DecodeRejectsMalformedEncodings) {
+  const P256& curve = P256::Get();
+  Bytes valid = curve.Encode(curve.generator());
+  // Wrong prefix byte.
+  Bytes wrong_prefix = valid;
+  wrong_prefix[0] = 0x05;
+  EXPECT_FALSE(curve.Decode(wrong_prefix).has_value());
+  // Truncated.
+  EXPECT_FALSE(curve.Decode(ByteSpan(valid.data(), 64)).has_value());
+  // Empty.
+  EXPECT_FALSE(curve.Decode({}).has_value());
+  // Coordinate >= p (all 0xff) is off-curve/out-of-range.
+  Bytes big(65, 0xff);
+  big[0] = 0x04;
+  EXPECT_FALSE(curve.Decode(big).has_value());
+}
+
+TEST(U256ValidationTest, ShortByteSpansAreRightAligned) {
+  Bytes two = {0x01, 0x02};
+  EXPECT_EQ(U256::FromBytes(two), U256::FromU64(0x0102));
+  EXPECT_EQ(U256::FromBytes({}), U256::Zero());
+}
+
+TEST(MalformedFloodTest, ShufflerSurvivesAllGarbageBatch) {
+  // A Sybil flood of garbage must not crash or poison the pipeline: all
+  // records are counted malformed and nothing is forwarded.
+  SecureRandom rng(ToBytes("flood"));
+  KeyPair shuffler_keys = KeyPair::Generate(rng);
+  ShufflerConfig config;
+  config.threshold_mode = ThresholdMode::kNone;
+  Shuffler shuffler(shuffler_keys, config);
+  std::vector<Bytes> garbage(100, Bytes(200, 0x5a));
+  Rng noise(1);
+  auto result = shuffler.ProcessBatch(garbage, rng, noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+  EXPECT_EQ(shuffler.stats().malformed, 100u);
+}
+
+}  // namespace
+}  // namespace prochlo

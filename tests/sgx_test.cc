@@ -1,0 +1,142 @@
+// Tests for the simulated SGX substrate: memory metering, attestation chain
+// verification, and enclave lifecycle (fresh keys per restart).
+#include <gtest/gtest.h>
+
+#include "src/sgx/attestation.h"
+#include "src/sgx/enclave.h"
+#include "src/sgx/memory.h"
+
+namespace prochlo {
+namespace {
+
+TEST(MemoryMeterTest, TracksUsageAndPeak) {
+  MemoryMeter meter(1000);
+  EXPECT_TRUE(meter.Acquire(400));
+  EXPECT_TRUE(meter.Acquire(500));
+  EXPECT_EQ(meter.used(), 900u);
+  EXPECT_EQ(meter.peak(), 900u);
+  meter.Release(500);
+  EXPECT_EQ(meter.used(), 400u);
+  EXPECT_EQ(meter.peak(), 900u);  // peak is sticky
+}
+
+TEST(MemoryMeterTest, RejectsOverBudget) {
+  MemoryMeter meter(100);
+  EXPECT_TRUE(meter.Acquire(100));
+  EXPECT_FALSE(meter.Acquire(1));
+  meter.Release(50);
+  EXPECT_TRUE(meter.Acquire(50));
+}
+
+TEST(PrivateVectorTest, MetersReservation) {
+  MemoryMeter meter(1024);
+  {
+    PrivateVector<uint64_t> vec(meter, 64);
+    EXPECT_EQ(meter.used(), 64 * sizeof(uint64_t));
+    vec.push_back(1);
+    vec.push_back(2);
+    EXPECT_EQ(vec.size(), 2u);
+    EXPECT_EQ(vec[0], 1u);
+  }
+  EXPECT_EQ(meter.used(), 0u);  // released on destruction
+}
+
+TEST(PrivateVectorTest, MoveTransfersReservation) {
+  MemoryMeter meter(1024);
+  PrivateVector<uint32_t> a(meter, 16);
+  a.push_back(7);
+  PrivateVector<uint32_t> b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 7u);
+  EXPECT_EQ(meter.used(), 16 * sizeof(uint32_t));
+}
+
+TEST(AttestationTest, QuoteVerifies) {
+  SecureRandom rng(ToBytes("attest-1"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Measurement m = MeasureCode("prochlo-shuffler-v1");
+  AttestationQuote quote = IssueQuote(platform, m, ToBytes("report-data"));
+  EXPECT_TRUE(VerifyQuote(quote, m, intel.root_public()));
+}
+
+TEST(AttestationTest, WrongMeasurementRejected) {
+  SecureRandom rng(ToBytes("attest-2"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  AttestationQuote quote =
+      IssueQuote(platform, MeasureCode("evil-shuffler"), ToBytes("report-data"));
+  EXPECT_FALSE(VerifyQuote(quote, MeasureCode("prochlo-shuffler-v1"), intel.root_public()));
+}
+
+TEST(AttestationTest, WrongRootRejected) {
+  SecureRandom rng(ToBytes("attest-3"));
+  IntelRootAuthority real_intel(rng);
+  IntelRootAuthority fake_intel(rng);
+  auto platform = fake_intel.ProvisionPlatform(rng);
+  Measurement m = MeasureCode("prochlo-shuffler-v1");
+  AttestationQuote quote = IssueQuote(platform, m, ToBytes("rd"));
+  EXPECT_FALSE(VerifyQuote(quote, m, real_intel.root_public()));
+}
+
+TEST(AttestationTest, TamperedReportDataRejected) {
+  SecureRandom rng(ToBytes("attest-4"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Measurement m = MeasureCode("prochlo-shuffler-v1");
+  AttestationQuote quote = IssueQuote(platform, m, ToBytes("honest-key"));
+  quote.report_data = ToBytes("swapped-key");
+  EXPECT_FALSE(VerifyQuote(quote, m, intel.root_public()));
+}
+
+TEST(EnclaveTest, QuoteBindsEnclavePublicKey) {
+  SecureRandom rng(ToBytes("enclave-1"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  // The quote's report data is the enclave's public key — clients check this
+  // before deriving session keys (§4.1.1).
+  EXPECT_EQ(enclave.quote().report_data, P256::Get().Encode(enclave.keys().public_key));
+  EXPECT_TRUE(VerifyQuote(enclave.quote(), MeasureCode("prochlo-shuffler"), intel.root_public()));
+}
+
+TEST(EnclaveTest, RestartRotatesKeys) {
+  SecureRandom rng(ToBytes("enclave-2"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  EcPoint old_key = enclave.keys().public_key;
+  Bytes old_report = enclave.quote().report_data;
+  enclave.Restart(platform, rng);
+  EXPECT_FALSE(enclave.keys().public_key == old_key);
+  EXPECT_NE(enclave.quote().report_data, old_report);
+  EXPECT_TRUE(VerifyQuote(enclave.quote(), MeasureCode("prochlo-shuffler"), intel.root_public()));
+}
+
+TEST(EnclaveTest, TrafficAccounting) {
+  SecureRandom rng(ToBytes("enclave-3"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  enclave.NoteRead(318, 1);
+  enclave.NoteRead(318, 1);
+  enclave.NoteWrite(254, 1);
+  enclave.NoteOcall();
+  EXPECT_EQ(enclave.traffic().bytes_in, 636u);
+  EXPECT_EQ(enclave.traffic().items_in, 2u);
+  EXPECT_EQ(enclave.traffic().bytes_out, 254u);
+  EXPECT_EQ(enclave.traffic().ocalls, 1u);
+  enclave.ResetTraffic();
+  EXPECT_EQ(enclave.traffic().bytes_in, 0u);
+}
+
+TEST(EnclaveTest, DefaultBudgetIs92MB) {
+  SecureRandom rng(ToBytes("enclave-4"));
+  IntelRootAuthority intel(rng);
+  auto platform = intel.ProvisionPlatform(rng);
+  Enclave enclave(EnclaveConfig{}, platform, rng);
+  EXPECT_EQ(enclave.memory().budget(), 92ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace prochlo

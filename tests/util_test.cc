@@ -1,0 +1,239 @@
+// Tests for the util substrate: bytes, RNG statistics, serialization, and the
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/serialization.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(HexEncode(data), "0001abff7f");
+  EXPECT_EQ(HexDecode("0001abff7f"), data);
+}
+
+TEST(BytesTest, HexDecodeRejectsMalformed) {
+  EXPECT_TRUE(HexDecode("abc").empty());   // odd length
+  EXPECT_TRUE(HexDecode("zz").empty());    // non-hex
+  EXPECT_TRUE(HexDecode("").empty());      // empty is empty
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  Bytes a = ToBytes("same");
+  Bytes b = ToBytes("same");
+  Bytes c = ToBytes("diff");
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, ToBytes("longer value")));
+}
+
+TEST(BytesTest, XorInto) {
+  Bytes dst = {0xff, 0x00, 0x55};
+  Bytes src = {0x0f, 0xf0, 0x55};
+  XorInto(src, dst);
+  EXPECT_EQ(dst, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(StatusTest, ResultHoldsValueOrError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad(Error{"boom"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "boom");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBelow(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(2024);
+  constexpr int kDraws = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, RoundedTruncatedGaussianNeverNegative) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextRoundedTruncatedGaussian(1.0, 5.0), 0);
+  }
+}
+
+TEST(RngTest, RoundedTruncatedGaussianMean) {
+  // With D=10, sigma=2 (the paper's §5 settings) truncation is negligible and
+  // the mean should be ~10.
+  Rng rng(6);
+  constexpr int kDraws = 100000;
+  int64_t total = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    total += rng.NextRoundedTruncatedGaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / kDraws, 10.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto original = items;
+  rng.Shuffle(items);
+  EXPECT_NE(items, original);  // astronomically unlikely to match
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, ShuffleUniformityOnThreeElements) {
+  // All 6 permutations of {0,1,2} should be roughly equally likely.
+  Rng rng(9);
+  std::map<std::vector<int>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::vector<int> v = {0, 1, 2};
+    rng.Shuffle(v);
+    counts[v]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6, 500);
+  }
+}
+
+TEST(SerializationTest, RoundTripAllTypes) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutLengthPrefixed(ToBytes("payload"));
+  w.PutString("a string");
+
+  Reader r(w.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  Bytes blob;
+  std::string str;
+  EXPECT_TRUE(r.GetU8(&u8));
+  EXPECT_TRUE(r.GetU16(&u16));
+  EXPECT_TRUE(r.GetU32(&u32));
+  EXPECT_TRUE(r.GetU64(&u64));
+  EXPECT_TRUE(r.GetLengthPrefixed(&blob));
+  EXPECT_TRUE(r.GetString(&str));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(blob, ToBytes("payload"));
+  EXPECT_EQ(str, "a string");
+}
+
+TEST(SerializationTest, ReaderFailsSoftlyOnTruncation) {
+  Writer w;
+  w.PutU64(42);
+  Reader r(ByteSpan(w.data().data(), 4));  // cut in half
+  uint64_t v = 0;
+  EXPECT_FALSE(r.GetU64(&v));
+  EXPECT_FALSE(r.ok());
+  uint8_t b;
+  EXPECT_FALSE(r.GetU8(&b));  // stays failed
+}
+
+TEST(SerializationTest, LengthPrefixBeyondBufferFails) {
+  Writer w;
+  w.PutU32(1000);  // claims 1000 bytes follow
+  w.PutBytes(ToBytes("short"));
+  Reader r(w.data());
+  Bytes out;
+  EXPECT_FALSE(r.GetLengthPrefixed(&out));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+}  // namespace
+}  // namespace prochlo

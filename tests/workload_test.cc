@@ -1,0 +1,186 @@
+// Tests for the synthetic workload generators: distribution shapes and
+// structural invariants the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/workload/flix.h"
+#include "src/workload/perms.h"
+#include "src/workload/suggest.h"
+#include "src/workload/vocab.h"
+#include "src/workload/zipf.h"
+
+namespace prochlo {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(1000, 1.1);
+  double total = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    total += zipf.Probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadIsHeavierThanTail) {
+  ZipfSampler zipf(10000, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(10), zipf.Probability(1000));
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatch) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(1);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (uint64_t k : {0ull, 1ull, 10ull, 50ull}) {
+    double expected = zipf.Probability(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 10) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, PowerLawSlope) {
+  // With exponent 1, P(0)/P(9) should be ~10.
+  ZipfSampler zipf(100000, 1.0);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(9), 10.0, 0.01);
+}
+
+TEST(VocabTest, SampleAndUnique) {
+  VocabConfig config;
+  config.vocabulary_size = 10000;
+  VocabWorkload vocab(config);
+  Rng rng(2);
+  auto sample = vocab.SampleCorpus(50000, rng);
+  EXPECT_EQ(sample.size(), 50000u);
+  uint64_t unique = VocabWorkload::CountUnique(sample);
+  EXPECT_GT(unique, 1000u);   // long tail reached
+  EXPECT_LT(unique, 10000u);  // but not everything
+}
+
+TEST(VocabTest, UniqueGrowsSublinearlyWithSampleSize) {
+  // The Figure 5 ground-truth line's shape: distinct words grow with the
+  // sample but sublinearly (Heaps' law behaviour of a Zipf corpus).
+  VocabConfig config;
+  config.vocabulary_size = 100000;
+  VocabWorkload vocab(config);
+  Rng rng(3);
+  uint64_t unique_small = VocabWorkload::CountUnique(vocab.SampleCorpus(10000, rng));
+  uint64_t unique_large = VocabWorkload::CountUnique(vocab.SampleCorpus(100000, rng));
+  EXPECT_GT(unique_large, unique_small);
+  EXPECT_LT(unique_large, 10 * unique_small);
+}
+
+TEST(PermsTest, EventFieldsWithinDomains) {
+  PermsConfig config;
+  config.num_pages = 1000;
+  PermsWorkload perms(config);
+  Rng rng(4);
+  auto events = perms.SampleDataset(10000, rng);
+  for (const auto& event : events) {
+    EXPECT_LT(event.page, config.num_pages);
+    EXPECT_LT(event.feature, kNumPermFeatures);
+    EXPECT_NE(event.action_bitmap, 0);  // at least one action
+    EXPECT_LT(event.action_bitmap, 1 << kNumPermActions);
+  }
+}
+
+TEST(PermsTest, FeatureMixMatchesWeights) {
+  PermsConfig config;
+  PermsWorkload perms(config);
+  Rng rng(5);
+  auto events = perms.SampleDataset(100000, rng);
+  std::array<int, kNumPermFeatures> counts = {0, 0, 0};
+  for (const auto& event : events) {
+    counts[event.feature]++;
+  }
+  for (int f = 0; f < kNumPermFeatures; ++f) {
+    EXPECT_NEAR(static_cast<double>(counts[f]) / events.size(), config.feature_weights[f], 0.01);
+  }
+}
+
+TEST(FlixTest, DatasetShape) {
+  FlixConfig config;
+  config.num_users = 2000;
+  config.num_movies = 500;
+  config.mean_ratings_per_user = 20;
+  FlixWorkload flix(config);
+  Rng rng(6);
+  auto dataset = flix.Generate(rng);
+  EXPECT_EQ(dataset.train_by_user.size(), 2000u);
+  EXPECT_GT(dataset.TrainSize(), 10000u);
+  EXPECT_GT(dataset.test.size(), 500u);
+  for (const auto& rating : dataset.test) {
+    EXPECT_GE(rating.stars, 1);
+    EXPECT_LE(rating.stars, 5);
+    EXPECT_LT(rating.movie, config.num_movies);
+    EXPECT_LT(rating.user, config.num_users);
+  }
+}
+
+TEST(FlixTest, RatingsAreCorrelatedNotUniform) {
+  // Latent factors should make some rating levels much more common than a
+  // uniform draw would (mean ~3.6 design).
+  FlixConfig config;
+  config.num_users = 1000;
+  config.num_movies = 300;
+  FlixWorkload flix(config);
+  Rng rng(7);
+  auto dataset = flix.Generate(rng);
+  std::array<uint64_t, 6> histogram = {0};
+  for (const auto& user : dataset.train_by_user) {
+    for (const auto& rating : user) {
+      histogram[rating.stars]++;
+    }
+  }
+  EXPECT_GT(histogram[4], histogram[1]);  // 4s outnumber 1s
+}
+
+TEST(SuggestTest, HistoriesRespectConfig) {
+  SuggestConfig config;
+  config.num_videos = 500;
+  config.min_history = 5;
+  SuggestWorkload suggest(config);
+  Rng rng(8);
+  auto users = suggest.SampleUsers(200, rng);
+  EXPECT_EQ(users.size(), 200u);
+  for (const auto& history : users) {
+    EXPECT_GE(history.size(), config.min_history);
+    for (uint32_t video : history) {
+      EXPECT_LT(video, config.num_videos);
+    }
+  }
+}
+
+TEST(SuggestTest, RelatedSetsAreDeterministic) {
+  SuggestWorkload suggest(SuggestConfig{});
+  EXPECT_EQ(suggest.RelatedVideos(42), suggest.RelatedVideos(42));
+}
+
+TEST(SuggestTest, LocalityMakesHistoryPredictable) {
+  // With high locality, the next view is inside the related set of the
+  // current view far more often than chance.
+  SuggestConfig config;
+  config.num_videos = 2000;
+  config.locality = 0.7;
+  SuggestWorkload suggest(config);
+  Rng rng(9);
+  auto users = suggest.SampleUsers(300, rng);
+  uint64_t in_related = 0;
+  uint64_t total = 0;
+  for (const auto& history : users) {
+    for (size_t i = 1; i < history.size(); ++i) {
+      auto related = suggest.RelatedVideos(history[i - 1]);
+      std::unordered_set<uint32_t> related_set(related.begin(), related.end());
+      in_related += related_set.count(history[i]);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_related) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace prochlo
