@@ -4,6 +4,7 @@
 // field arithmetic is the constant to compare against).
 #include <benchmark/benchmark.h>
 
+#include "bench/json_out.h"
 #include "src/core/report.h"
 #include "src/crypto/ecdsa.h"
 #include "src/crypto/elgamal.h"
@@ -46,6 +47,59 @@ void BM_P256_ScalarMult(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_P256_ScalarMult);
+
+// The generic double-and-add path on G, bypassing the fixed-base table —
+// the baseline every BaseMult used to pay.
+void BM_P256_BaseMult_Generic(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-generic"));
+  const P256& curve = P256::Get();
+  U256 k = rng.RandomScalar(curve.order());
+  P256::Jacobian g = curve.ToJacobian(curve.generator());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.FromJacobian(curve.JacScalarMult(g, k)));
+  }
+}
+BENCHMARK(BM_P256_BaseMult_Generic);
+
+// The comb/windowed fixed-base path: 64 mixed additions, no doublings.
+void BM_P256_BaseMult_Fixed(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-fixed"));
+  const P256& curve = P256::Get();
+  U256 k = rng.RandomScalar(curve.order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.BaseMult(k));
+  }
+}
+BENCHMARK(BM_P256_BaseMult_Fixed);
+
+// Fixed-base path on a caller-registered point (a shuffler public key).
+void BM_P256_ScalarMult_Registered(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-registered"));
+  const P256& curve = P256::Get();
+  EcPoint base = curve.BaseMult(rng.RandomScalar(curve.order()));
+  curve.RegisterFixedBase(base);
+  U256 k = rng.RandomScalar(curve.order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.ScalarMult(base, k));
+  }
+}
+BENCHMARK(BM_P256_ScalarMult_Registered);
+
+// Fixed-base multiplication plus batch affine conversion: the amortized
+// per-item cost of BatchBaseMult over 256-scalar batches.
+void BM_P256_BatchBaseMult256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-batch"));
+  const P256& curve = P256::Get();
+  std::vector<U256> scalars;
+  for (int i = 0; i < 256; ++i) {
+    scalars.push_back(rng.RandomScalar(curve.order()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.BatchBaseMult(scalars));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_P256_BatchBaseMult256);
 
 void BM_HybridSeal_64B(benchmark::State& state) {
   SecureRandom rng(ToBytes("bench-hybrid"));
@@ -125,6 +179,63 @@ void BM_ElGamalBlind(benchmark::State& state) {
 }
 BENCHMARK(BM_ElGamalBlind);
 
+// One-inversion-per-chunk batch blinding — Shuffler 1's per-report cost.
+void BM_ElGamalBlindBatch256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg-blind-batch"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  U256 alpha = rng.RandomScalar(P256::Get().order());
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 256; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalBlindBatch(cts, alpha));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ElGamalBlindBatch256);
+
+void BM_ElGamalRerandomize(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg-rr"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalRerandomize(ct, recipient.public_key, rng));
+  }
+}
+BENCHMARK(BM_ElGamalRerandomize);
+
+// Fixed-base G and recipient tables plus batch affine conversion — the
+// re-encryption cost the stash shuffle's distribution phase scales with.
+void BM_ElGamalRerandomizeBatch256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg-rr-batch"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  P256::Get().RegisterFixedBase(recipient.public_key);  // long-lived shuffler key
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 256; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalRerandomizeBatch(cts, recipient.public_key, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ElGamalRerandomizeBatch256);
+
+void BM_ElGamalDecryptBatch256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-eg-dec-batch"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 256; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalDecryptBatch(recipient.private_key, cts));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ElGamalDecryptBatch256);
+
 void BM_EcdsaSign(benchmark::State& state) {
   SecureRandom rng(ToBytes("bench-ecdsa"));
   KeyPair signer = KeyPair::Generate(rng);
@@ -151,7 +262,46 @@ void BM_EncodeFullReport(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeFullReport);
 
+// Console output as usual, plus BENCH_crypto.json via bench/json_out.h.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(BenchJsonWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      double ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
+      double ops_per_sec = ns_per_op > 0 ? 1e9 / ns_per_op : 0;
+      uint64_t n = static_cast<uint64_t>(run.iterations);
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        // Batch benchmarks: report the amortized per-item figures.
+        ops_per_sec = items->second.value;
+        ns_per_op = ops_per_sec > 0 ? 1e9 / ops_per_sec : 0;
+      }
+      writer_->Add(run.benchmark_name(), n, ns_per_op, ops_per_sec);
+    }
+  }
+
+ private:
+  BenchJsonWriter* writer_;
+};
+
 }  // namespace
 }  // namespace prochlo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  prochlo::BenchJsonWriter writer("crypto");
+  prochlo::JsonCaptureReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  writer.Write();
+  return 0;
+}

@@ -157,7 +157,8 @@ void Run() {
       "\nShape checks: linear scaling in clients; blind thresholding roughly doubles\n"
       "Encoder+Shuffler-1 cost (~3 vs ~6 public-key ops per report) and adds a Shuffler-2\n"
       "stage cheaper than stage 1 — the same ratios as the paper's OpenSSL deployment.\n"
-      "Absolute times differ by the from-scratch-crypto vs OpenSSL constant (~3x here).\n");
+      "Absolute times differ by the from-scratch-crypto vs OpenSSL constant (within ~2x\n"
+      "here since the fixed-base/batched fast paths landed).\n");
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+// Machine-readable bench output: each bench writes BENCH_<name>.json next to
+// its working directory so the perf trajectory can be tracked across PRs
+// (docs/perf.md records the headline numbers).
+//
+// Schema:
+//   { "bench": "<name>",
+//     "results": [ {"op": "...", "n": <count>, "ns_per_op": <double>,
+//                   "ops_per_sec": <double>}, ... ] }
+#ifndef PROCHLO_BENCH_JSON_OUT_H_
+#define PROCHLO_BENCH_JSON_OUT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace prochlo {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& op, uint64_t n, double ns_per_op, double ops_per_sec) {
+    results_.push_back(Entry{op, n, ns_per_op, ops_per_sec});
+  }
+
+  // Writes BENCH_<name>.json; returns false (and prints a warning) on I/O
+  // failure so benches still exit cleanly in read-only environments.
+  bool Write() const {
+    std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_name_.c_str());
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const Entry& e = results_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"n\": %llu, \"ns_per_op\": %.1f, "
+                   "\"ops_per_sec\": %.1f}%s\n",
+                   e.op.c_str(), static_cast<unsigned long long>(e.n), e.ns_per_op,
+                   e.ops_per_sec, i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu results)\n", path.c_str(), results_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    uint64_t n;
+    double ns_per_op;
+    double ops_per_sec;
+  };
+
+  std::string bench_name_;
+  std::vector<Entry> results_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_BENCH_JSON_OUT_H_

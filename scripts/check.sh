@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build + test + quick bench smoke: the tier-1 gate, runnable locally and in CI.
+#   scripts/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== bench smoke =="
+# Tiny runs: confirm the benches execute and emit their BENCH_*.json files.
+(cd "$BUILD_DIR" && ./bench_crypto --benchmark_filter='BaseMult' --benchmark_min_time=0.05)
+(cd "$BUILD_DIR" && PROCHLO_STASH_MAX_N=10000 PROCHLO_STASH_THREADS=0 ./bench_stash_shuffle)
+test -s "$BUILD_DIR/BENCH_crypto.json"
+test -s "$BUILD_DIR/BENCH_stash_shuffle.json"
+
+echo "== OK =="

@@ -12,37 +12,38 @@ BlindShuffler1::BlindShuffler1(SecureRandom& rng)
 Result<std::vector<BlindedItem>> BlindShuffler1::Process(const std::vector<Bytes>& reports,
                                                          SecureRandom& rng, ThreadPool* pool) {
   stats_.received += reports.size();
-  std::vector<std::optional<BlindedItem>> slots(reports.size());
 
-  auto handle_one = [&](size_t i) {
+  // Open the outer layer in parallel (pure per-report ECDH+AEAD work).
+  std::vector<std::optional<ShufflerView>> slots(reports.size());
+  ParallelFor(pool, reports.size(), [&](size_t i) {
     auto view = OpenReport(keys_, reports[i]);
     if (!view.has_value() || view->crowd.mode != CrowdIdMode::kBlinded ||
         !view->crowd.blinded_ct.has_value()) {
       return;  // malformed or wrong pipeline mode
     }
-    BlindedItem item;
-    item.blinded_crowd = ElGamalBlind(*view->crowd.blinded_ct, alpha_);
-    item.inner_box = std::move(view->inner_box);
-    slots[i] = std::move(item);
-  };
+    slots[i] = std::move(*view);
+  });
 
-  if (pool != nullptr) {
-    pool->ParallelFor(reports.size(), handle_one);
-  } else {
-    for (size_t i = 0; i < reports.size(); ++i) {
-      handle_one(i);
-    }
-  }
-
+  std::vector<ElGamalCiphertext> cts;
   std::vector<BlindedItem> items;
+  cts.reserve(reports.size());
   items.reserve(reports.size());
   for (auto& slot : slots) {
-    if (slot.has_value()) {
-      items.push_back(std::move(*slot));
-    } else {
+    if (!slot.has_value()) {
       stats_.malformed++;
+      continue;
     }
+    cts.push_back(*slot->crowd.blinded_ct);
+    items.push_back(BlindedItem{{}, std::move(slot->inner_box)});
   }
+
+  // Blind every crowd-ID ciphertext with α via the batch fast path: Jacobian
+  // arithmetic with one affine conversion per chunk instead of per point.
+  std::vector<ElGamalCiphertext> blinded = ElGamalBlindBatch(cts, alpha_, pool);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].blinded_crowd = blinded[i];
+  }
+
   rng.ShuffleVector(items);
   stats_.forwarded += items.size();
   return items;
@@ -56,18 +57,17 @@ Result<std::vector<Bytes>> BlindShuffler2::Process(std::vector<BlindedItem> item
                                                    ThreadPool* pool) {
   stats_.received += items.size();
 
-  // Decrypt every blinded crowd ID to µ^α (parallelizable: pure ECC).
+  // Decrypt every blinded crowd ID to µ^α via the batch fast path (pure
+  // ECC; one affine conversion per chunk).
+  std::vector<ElGamalCiphertext> cts;
+  cts.reserve(items.size());
+  for (const auto& item : items) {
+    cts.push_back(item.blinded_crowd);
+  }
+  std::vector<EcPoint> points = ElGamalDecryptBatch(keys_.private_key, cts, pool);
   std::vector<Bytes> blinded_keys(items.size());
-  auto decrypt_one = [&](size_t i) {
-    EcPoint blinded = ElGamalDecrypt(keys_.private_key, items[i].blinded_crowd);
-    blinded_keys[i] = P256::Get().Encode(blinded);
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(items.size(), decrypt_one);
-  } else {
-    for (size_t i = 0; i < items.size(); ++i) {
-      decrypt_one(i);
-    }
+  for (size_t i = 0; i < items.size(); ++i) {
+    blinded_keys[i] = P256::Get().Encode(points[i]);
   }
 
   // Group by blinded ID (equality is preserved by blinding) and threshold.

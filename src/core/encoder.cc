@@ -8,6 +8,16 @@ Encoder::Encoder(EncoderConfig config) : config_(std::move(config)) {
   if (config_.secret_share_threshold.has_value()) {
     sharer_.emplace(*config_.secret_share_threshold);
   }
+  // Every report multiplies an ephemeral scalar into these long-lived
+  // recipient keys; precomputed windowed tables turn those into fixed-base
+  // multiplications (registration is idempotent and cheap relative to even
+  // one batch of reports).
+  const P256& curve = P256::Get();
+  curve.RegisterFixedBase(config_.shuffler_public);
+  curve.RegisterFixedBase(config_.analyzer_public);
+  if (config_.shuffler2_public.has_value()) {
+    curve.RegisterFixedBase(*config_.shuffler2_public);
+  }
 }
 
 Result<CrowdPart> Encoder::MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng) {

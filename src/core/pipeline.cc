@@ -102,7 +102,7 @@ Result<PipelineResult> Pipeline::Run(
     // by re-measuring: the split is provided by the Vocab timing bench
     // (which drives the stages separately for Table 3).
   } else {
-    auto shuffled = shuffler_->ProcessBatch(valid_reports, rng_, noise_rng_);
+    auto shuffled = shuffler_->ProcessBatch(valid_reports, rng_, noise_rng_, pool_.get());
     result.encode_shuffle1_seconds = SecondsSince(t0);
     if (!shuffled.ok()) {
       return shuffled.error();

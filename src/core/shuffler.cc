@@ -1,6 +1,6 @@
 #include "src/core/shuffler.h"
 
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "src/shuffle/oblivious_threshold.h"
@@ -18,8 +18,11 @@ std::vector<Bytes> Shuffler::ThresholdAndStrip(std::vector<ShufflerView> views,
                                                Rng& noise_rng) {
   // Group report indices by crowd hash.  (Inside the SGX deployment this is
   // the §4.1.5 private-memory counting pass: one counter per distinct
-  // crowd ID, then a filtering pass; domains of up to ~20M fit.)
-  std::unordered_map<uint64_t, std::vector<size_t>> crowds;
+  // crowd ID, then a filtering pass; domains of up to ~20M fit.)  An ordered
+  // map keeps the noise-draw sequence a function of the crowd *set* rather
+  // than of arrival order, so sequential and threaded runs threshold
+  // identically for the same seed.
+  std::map<uint64_t, std::vector<size_t>> crowds;
   for (size_t i = 0; i < views.size(); ++i) {
     crowds[views[i].crowd.plain_hash].push_back(i);
   }
@@ -57,7 +60,8 @@ std::vector<Bytes> Shuffler::ThresholdAndStrip(std::vector<ShufflerView> views,
 }
 
 Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& reports,
-                                                  SecureRandom& rng, Rng& noise_rng) {
+                                                  SecureRandom& rng, Rng& noise_rng,
+                                                  ThreadPool* pool) {
   if (reports.size() < config_.min_batch_size) {
     return Error{"batch below the minimum cardinality; keep batching"};
   }
@@ -81,6 +85,7 @@ Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& repo
       }
       return view->Serialize();
     };
+    options.pool = pool;
     StashShuffler stash(*enclave_, std::move(options));
     auto shuffled = ShuffleWithRetries(stash, reports, rng, /*max_attempts=*/5);
     if (!shuffled.ok()) {
@@ -95,13 +100,18 @@ Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& repo
       views.push_back(std::move(*view));
     }
   } else {
-    for (const auto& report : reports) {
-      auto view = OpenReport(keys_, report);
-      if (!view.has_value()) {
+    // The outer-layer ECDH+AEAD decryption is the batch's dominant cost and
+    // is pure per-report work; fan it out, then filter in input order so the
+    // result is thread-count independent.
+    std::vector<std::optional<ShufflerView>> slots(reports.size());
+    ParallelFor(pool, reports.size(),
+                [&](size_t i) { slots[i] = OpenReport(keys_, reports[i]); });
+    for (auto& slot : slots) {
+      if (!slot.has_value()) {
         stats_.malformed++;
         continue;
       }
-      views.push_back(std::move(*view));
+      views.push_back(std::move(*slot));
     }
     // Trusted-deployment shuffle: plain Fisher-Yates over the opened views.
     rng.ShuffleVector(views);

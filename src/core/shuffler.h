@@ -26,6 +26,7 @@
 #include "src/sgx/enclave.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace prochlo {
 
@@ -69,9 +70,12 @@ class Shuffler {
   // Processes one batch of client reports and returns the shuffled,
   // thresholded inner boxes for the analyzer.  `rng` drives cryptographic
   // and permutation randomness; `noise_rng` drives thresholding noise
-  // (separate so experiments can be reproducible).
+  // (separate so experiments can be reproducible).  `pool`, when given,
+  // parallelizes the outer-layer decryption and (in the stash-shuffle path)
+  // the re-encryption work; the analyzer-visible histogram is identical
+  // with and without it.
   Result<std::vector<Bytes>> ProcessBatch(const std::vector<Bytes>& reports, SecureRandom& rng,
-                                          Rng& noise_rng);
+                                          Rng& noise_rng, ThreadPool* pool = nullptr);
 
   const ShufflerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ShufflerStats{}; }

@@ -1,6 +1,7 @@
 #include "src/crypto/bignum.h"
 
 #include <cassert>
+#include <vector>
 
 namespace prochlo {
 
@@ -224,6 +225,49 @@ U256 ModField::Inv(const U256& a) const {
   U256 exp;
   SubWithBorrow(modulus_, U256::FromU64(2), &exp);
   return Exp(a, exp);
+}
+
+void ModField::BatchInv(U256* values, size_t n) const {
+  // Forward pass: prefix[i] = product of the nonzero values before index i.
+  std::vector<U256> prefix(n);
+  U256 running = U256::One();
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = running;
+    if (!values[i].IsZero()) {
+      running = Mul(running, values[i]);
+    }
+  }
+  U256 inv = Inv(running);
+  // Backward pass: inv holds 1/prod(values[0..i]) entering iteration i.
+  for (size_t i = n; i-- > 0;) {
+    if (values[i].IsZero()) {
+      continue;
+    }
+    U256 original = values[i];
+    values[i] = Mul(inv, prefix[i]);
+    inv = Mul(inv, original);
+  }
+}
+
+void ModField::BatchInvMont(U256* values, size_t n) const {
+  std::vector<U256> prefix(n);
+  U256 running = ToMont(U256::One());
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = running;
+    if (!values[i].IsZero()) {
+      running = MontMul(running, values[i]);
+    }
+  }
+  // (aR)^{-1}·R^2·R^{-1} = a^{-1}R: one normal-domain inversion re-lifted.
+  U256 inv = ToMont(Inv(FromMont(running)));
+  for (size_t i = n; i-- > 0;) {
+    if (values[i].IsZero()) {
+      continue;
+    }
+    U256 original = values[i];
+    values[i] = MontMul(inv, prefix[i]);
+    inv = MontMul(inv, original);
+  }
 }
 
 bool ModField::Sqrt(const U256& a, U256* root) const {

@@ -74,6 +74,16 @@ class ModField {
   // non-residue.
   bool Sqrt(const U256& a, U256* root) const;
 
+  // Simultaneous inversion (Montgomery's trick): replaces every nonzero
+  // entry with its modular inverse at the cost of ONE field inversion plus
+  // 3(n-1) multiplications, instead of n inversions.  Zero entries are left
+  // untouched.  This is what makes batch affine conversion of elliptic-curve
+  // points cheap (see P256::BatchNormalize).
+  void BatchInv(U256* values, size_t n) const;
+  // Montgomery-domain variant: entries and results are in the Montgomery
+  // domain, and only MontMul is used for the products.
+  void BatchInvMont(U256* values, size_t n) const;
+
   // Reduces an arbitrary 256-bit value into [0, modulus).
   U256 Reduce(const U256& a) const;
   // Reduces a 512-bit value (little-endian limbs) modulo the modulus.

@@ -52,4 +52,95 @@ EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphert
   return curve.Add(ciphertext.c2, curve.Negate(shared));
 }
 
+namespace {
+
+// Chunk size for the one-inversion-per-chunk affine conversion.  Fixed (not
+// derived from the pool) so results are bit-identical with and without
+// threading.
+constexpr size_t kBatchChunk = 128;
+
+// Runs fn(begin, end) over [0, n) in kBatchChunk-sized chunks, on the pool
+// when one is supplied.
+void ForEachChunk(size_t n, ThreadPool* pool,
+                  const std::function<void(size_t, size_t)>& fn) {
+  size_t num_chunks = (n + kBatchChunk - 1) / kBatchChunk;
+  ParallelFor(pool, num_chunks,
+              [&](size_t c) { fn(c * kBatchChunk, std::min(n, (c + 1) * kBatchChunk)); });
+}
+
+// Normalizes the interleaved (c1, c2) Jacobian pairs of one chunk with a
+// single inversion and writes them out as ciphertexts.
+void EmitChunk(const P256& curve, std::vector<P256::Jacobian>& jacs,
+               std::vector<ElGamalCiphertext>& out, size_t begin) {
+  std::vector<EcPoint> points = curve.BatchNormalize(jacs);
+  for (size_t i = 0; i + 1 < points.size(); i += 2) {
+    out[begin + i / 2] = ElGamalCiphertext{points[i], points[i + 1]};
+  }
+}
+
+}  // namespace
+
+std::vector<ElGamalCiphertext> ElGamalBlindBatch(const std::vector<ElGamalCiphertext>& cts,
+                                                 const U256& alpha, ThreadPool* pool) {
+  const P256& curve = P256::Get();
+  std::vector<ElGamalCiphertext> out(cts.size());
+  ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
+    std::vector<P256::Jacobian> jacs;
+    jacs.reserve(2 * (end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      jacs.push_back(curve.JacScalarMult(curve.ToJacobian(cts[i].c1), alpha));
+      jacs.push_back(curve.JacScalarMult(curve.ToJacobian(cts[i].c2), alpha));
+    }
+    EmitChunk(curve, jacs, out, begin);
+  });
+  return out;
+}
+
+std::vector<ElGamalCiphertext> ElGamalRerandomizeBatch(
+    const std::vector<ElGamalCiphertext>& cts, const EcPoint& recipient_public,
+    SecureRandom& rng, ThreadPool* pool) {
+  const P256& curve = P256::Get();
+  // Draw all randomness up front, sequentially, so the output does not
+  // depend on the chunk execution order.
+  std::vector<U256> s(cts.size());
+  for (auto& scalar : s) {
+    scalar = rng.RandomScalar(curve.order());
+  }
+  std::vector<ElGamalCiphertext> out(cts.size());
+  ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
+    std::vector<P256::Jacobian> jacs;
+    jacs.reserve(2 * (end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      jacs.push_back(curve.JacAdd(curve.ToJacobian(cts[i].c1), curve.JacBaseMult(s[i])));
+      jacs.push_back(curve.JacAdd(curve.ToJacobian(cts[i].c2),
+                                  curve.JacScalarMultCached(recipient_public, s[i])));
+    }
+    EmitChunk(curve, jacs, out, begin);
+  });
+  return out;
+}
+
+std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
+                                         const std::vector<ElGamalCiphertext>& cts,
+                                         ThreadPool* pool) {
+  const P256& curve = P256::Get();
+  const ModField& f = curve.field();
+  std::vector<EcPoint> out(cts.size());
+  ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
+    std::vector<P256::Jacobian> jacs;
+    jacs.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      P256::Jacobian shared =
+          curve.JacScalarMult(curve.ToJacobian(cts[i].c1), private_key);
+      shared.y = f.Neg(shared.y);  // negation is domain-agnostic
+      jacs.push_back(curve.JacAdd(curve.ToJacobian(cts[i].c2), shared));
+    }
+    std::vector<EcPoint> points = curve.BatchNormalize(jacs);
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = points[i - begin];
+    }
+  });
+  return out;
+}
+
 }  // namespace prochlo

@@ -16,11 +16,13 @@
 #define PROCHLO_SRC_CRYPTO_ELGAMAL_H_
 
 #include <optional>
+#include <vector>
 
 #include "src/crypto/keys.h"
 #include "src/crypto/p256.h"
 #include "src/crypto/random.h"
 #include "src/util/bytes.h"
+#include "src/util/thread_pool.h"
 
 namespace prochlo {
 
@@ -48,6 +50,36 @@ ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
 
 // Decrypts to the (possibly blinded) message point: c2 - x·c1.
 EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphertext);
+
+// ------------------------------------------------------------ batch fast path
+//
+// The shuffler re-encrypts every report in a pass (paper §4.1.4, Table 3),
+// so these batch variants are the system's hottest crypto surface.  They
+// compute in Jacobian form and convert to affine once per fixed-size chunk
+// (one field inversion amortized over the chunk — Montgomery's trick), use
+// the fixed-base tables for G and for the recipient key, and optionally
+// spread chunks across a ThreadPool.  Outputs are identical to calling the
+// scalar versions in a loop with the same randomness, regardless of whether
+// a pool is supplied.
+
+// Blinds every ciphertext with the same secret `alpha` (Shuffler 1's pass).
+std::vector<ElGamalCiphertext> ElGamalBlindBatch(const std::vector<ElGamalCiphertext>& cts,
+                                                 const U256& alpha, ThreadPool* pool = nullptr);
+
+// Re-randomizes every ciphertext under `recipient_public`.  Callers that own
+// a long-lived recipient key should P256::RegisterFixedBase it once so the
+// second leg takes the table-driven path (registration is deliberately not
+// done here: the fixed-base cache is never evicted, so the key's owner must
+// decide).  Randomness is drawn from `rng` up front, so the result is
+// deterministic for a seeded rng even when a pool is used.
+std::vector<ElGamalCiphertext> ElGamalRerandomizeBatch(
+    const std::vector<ElGamalCiphertext>& cts, const EcPoint& recipient_public,
+    SecureRandom& rng, ThreadPool* pool = nullptr);
+
+// Decrypts every ciphertext (Shuffler 2's pass).
+std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
+                                         const std::vector<ElGamalCiphertext>& cts,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace prochlo
 

@@ -29,6 +29,13 @@ Bytes MessageLockedEncrypt(ByteSpan message) {
   return out;
 }
 
+std::vector<Bytes> MessageLockedEncryptBatch(const std::vector<Bytes>& messages,
+                                             ThreadPool* pool) {
+  std::vector<Bytes> out(messages.size());
+  ParallelFor(pool, messages.size(), [&](size_t i) { out[i] = MessageLockedEncrypt(messages[i]); });
+  return out;
+}
+
 std::optional<Bytes> MessageLockedDecrypt(ByteSpan ciphertext, const Sha256Digest& key) {
   if (ciphertext.size() < kGcmNonceSize + kGcmTagSize) {
     return std::nullopt;

@@ -8,9 +8,11 @@
 #define PROCHLO_SRC_CRYPTO_MESSAGE_LOCKED_H_
 
 #include <optional>
+#include <vector>
 
 #include "src/crypto/sha256.h"
 #include "src/util/bytes.h"
+#include "src/util/thread_pool.h"
 
 namespace prochlo {
 
@@ -19,6 +21,12 @@ Sha256Digest MessageDerivedKey(ByteSpan message);
 
 // Deterministic AES-256-GCM box under km with a message-derived nonce.
 Bytes MessageLockedEncrypt(ByteSpan message);
+
+// Batch encryption for bulk encoding passes; the scheme is deterministic,
+// so this is exactly MessageLockedEncrypt per element, optionally spread
+// over a ThreadPool.
+std::vector<Bytes> MessageLockedEncryptBatch(const std::vector<Bytes>& messages,
+                                             ThreadPool* pool = nullptr);
 
 // Decrypts with a recovered key; nullopt on failure (wrong key or tamper).
 std::optional<Bytes> MessageLockedDecrypt(ByteSpan ciphertext, const Sha256Digest& key);

@@ -1,6 +1,7 @@
 #include "src/crypto/p256.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace prochlo {
 
@@ -10,6 +11,11 @@ constexpr char kOrderHex[] = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3
 constexpr char kBHex[] = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
 constexpr char kGxHex[] = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
 constexpr char kGyHex[] = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+// Nibble w of a 256-bit scalar (w in [0, 64)).
+inline uint64_t ScalarNibble(const U256& k, size_t w) {
+  return (k.limbs[w / 16] >> (4 * (w % 16))) & 0xf;
+}
 }  // namespace
 
 const P256& P256::Get() {
@@ -22,7 +28,10 @@ P256::P256()
       fn_(U256::FromHex(kOrderHex)),
       b_mont_(fp_.ToMont(U256::FromHex(kBHex))),
       three_mont_(fp_.ToMont(U256::FromU64(3))),
-      generator_{U256::FromHex(kGxHex), U256::FromHex(kGyHex), false} {}
+      one_mont_(fp_.ToMont(U256::One())),
+      generator_{U256::FromHex(kGxHex), U256::FromHex(kGyHex), false} {
+  gen_table_ = BuildFixedBaseTable(generator_);
+}
 
 bool P256::IsOnCurve(const EcPoint& point) const {
   if (point.infinity) {
@@ -42,9 +51,9 @@ bool P256::IsOnCurve(const EcPoint& point) const {
 
 P256::Jacobian P256::ToJacobian(const EcPoint& p) const {
   if (p.infinity) {
-    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+    return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
   }
-  return Jacobian{fp_.ToMont(p.x), fp_.ToMont(p.y), fp_.ToMont(U256::One())};
+  return Jacobian{fp_.ToMont(p.x), fp_.ToMont(p.y), one_mont_};
 }
 
 EcPoint P256::FromJacobian(const Jacobian& p) const {
@@ -60,9 +69,51 @@ EcPoint P256::FromJacobian(const Jacobian& p) const {
   return EcPoint{x, y, false};
 }
 
+void P256::NormalizeToAffineMont(std::vector<Jacobian>& points) const {
+  // One shared inversion across the batch (Montgomery's trick): invert every
+  // z at once, then rescale each point's coordinates.
+  std::vector<U256> zs(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    zs[i] = points[i].z;  // infinity (z == 0) is skipped by BatchInvMont
+  }
+  fp_.BatchInvMont(zs.data(), zs.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].z.IsZero()) {
+      continue;
+    }
+    U256 zinv2 = fp_.MontMul(zs[i], zs[i]);
+    U256 zinv3 = fp_.MontMul(zinv2, zs[i]);
+    points[i].x = fp_.MontMul(points[i].x, zinv2);
+    points[i].y = fp_.MontMul(points[i].y, zinv3);
+    points[i].z = one_mont_;
+  }
+}
+
+std::vector<EcPoint> P256::BatchNormalize(const std::vector<Jacobian>& points) const {
+  std::vector<Jacobian> scratch = points;
+  NormalizeToAffineMont(scratch);
+  std::vector<EcPoint> out(points.size());
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    if (scratch[i].z.IsZero()) {
+      out[i] = EcPoint::Infinity();
+    } else {
+      out[i] = EcPoint{fp_.FromMont(scratch[i].x), fp_.FromMont(scratch[i].y), false};
+    }
+  }
+  return out;
+}
+
+std::vector<EcPoint> P256::BatchBaseMult(const std::vector<U256>& scalars) const {
+  std::vector<Jacobian> jacs(scalars.size());
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    jacs[i] = JacBaseMult(scalars[i]);
+  }
+  return BatchNormalize(jacs);
+}
+
 P256::Jacobian P256::JacDouble(const Jacobian& p) const {
   if (p.z.IsZero() || p.y.IsZero()) {
-    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+    return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
   }
   // dbl-2001-b (a = -3): all values stay in the Montgomery domain.
   const ModField& f = fp_;
@@ -104,7 +155,7 @@ P256::Jacobian P256::JacAdd(const Jacobian& p, const Jacobian& q) const {
     if (r.IsZero()) {
       return JacDouble(p);
     }
-    return Jacobian{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+    return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
   }
   U256 h2 = f.Add(h, h);
   U256 i = f.MontMul(h2, h2);
@@ -120,12 +171,44 @@ P256::Jacobian P256::JacAdd(const Jacobian& p, const Jacobian& q) const {
   return Jacobian{x3, y3, z3};
 }
 
+P256::Jacobian P256::JacAddAffine(const Jacobian& p, const AffineMont& q) const {
+  if (p.z.IsZero()) {
+    return Jacobian{q.x, q.y, one_mont_};
+  }
+  // madd-2007-bl: the q.z == 1 specialization of add-2007-bl, saving four
+  // multiplications per addition.
+  const ModField& f = fp_;
+  U256 z1z1 = f.MontMul(p.z, p.z);
+  U256 u2 = f.MontMul(q.x, z1z1);
+  U256 s2 = f.MontMul(q.y, f.MontMul(p.z, z1z1));
+  U256 h = f.Sub(u2, p.x);
+  U256 r = f.Sub(s2, p.y);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      return JacDouble(p);
+    }
+    return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
+  }
+  U256 hh = f.MontMul(h, h);
+  U256 i = f.Add(f.Add(hh, hh), f.Add(hh, hh));
+  U256 j = f.MontMul(h, i);
+  U256 r2 = f.Add(r, r);
+  U256 v = f.MontMul(p.x, i);
+  U256 x3 = f.Sub(f.Sub(f.MontMul(r2, r2), j), f.Add(v, v));
+  U256 y1j2 = f.MontMul(p.y, j);
+  y1j2 = f.Add(y1j2, y1j2);
+  U256 y3 = f.Sub(f.MontMul(r2, f.Sub(v, x3)), y1j2);
+  U256 z1_plus_h = f.Add(p.z, h);
+  U256 z3 = f.Sub(f.Sub(f.MontMul(z1_plus_h, z1_plus_h), z1z1), hh);
+  return Jacobian{x3, y3, z3};
+}
+
 P256::Jacobian P256::JacScalarMult(const Jacobian& p, const U256& scalar) const {
   U256 k = scalar;
   if (k >= fn_.modulus()) {
     k = fn_.Reduce(k);
   }
-  Jacobian identity{U256::Zero(), fp_.ToMont(U256::One()), U256::Zero()};
+  Jacobian identity{U256::Zero(), one_mont_, U256::Zero()};
   if (k.IsZero() || p.z.IsZero()) {
     return identity;
   }
@@ -149,12 +232,110 @@ P256::Jacobian P256::JacScalarMult(const Jacobian& p, const U256& scalar) const 
       acc = JacDouble(acc);
       acc = JacDouble(acc);
     }
-    uint64_t window = (k.limbs[nibble / 16] >> (4 * (nibble % 16))) & 0xf;
+    uint64_t window = ScalarNibble(k, static_cast<size_t>(nibble));
     if (window != 0) {
       acc = JacAdd(acc, table[window]);
     }
   }
   return acc;
+}
+
+P256::FixedBaseTable P256::BuildFixedBaseTable(const EcPoint& base) const {
+  // For every 4-bit window w, precompute d * 2^(4w) * base, d in 1..15.
+  // Built in Jacobian form, then normalized to affine with one shared
+  // inversion so lookups feed the cheap mixed addition.
+  std::vector<Jacobian> entries;
+  entries.reserve(64 * 15);
+  Jacobian window_base = ToJacobian(base);
+  for (size_t w = 0; w < 64; ++w) {
+    Jacobian multiple = window_base;
+    for (size_t d = 1; d <= 15; ++d) {
+      entries.push_back(multiple);
+      if (d < 15) {
+        multiple = JacAdd(multiple, window_base);
+      }
+    }
+    window_base = JacDouble(JacDouble(JacDouble(JacDouble(window_base))));
+  }
+  NormalizeToAffineMont(entries);
+
+  FixedBaseTable table;
+  for (size_t w = 0; w < 64; ++w) {
+    for (size_t d = 0; d < 15; ++d) {
+      const Jacobian& e = entries[w * 15 + d];
+      table.win[w][d] = AffineMont{e.x, e.y};
+    }
+  }
+  return table;
+}
+
+P256::Jacobian P256::JacFixedMult(const FixedBaseTable& table, const U256& scalar) const {
+  U256 k = scalar;
+  if (k >= fn_.modulus()) {
+    k = fn_.Reduce(k);
+  }
+  Jacobian acc{U256::Zero(), one_mont_, U256::Zero()};
+  for (size_t w = 0; w < 64; ++w) {
+    uint64_t d = ScalarNibble(k, w);
+    if (d != 0) {
+      acc = JacAddAffine(acc, table.win[w][d - 1]);
+    }
+  }
+  return acc;
+}
+
+P256::Jacobian P256::JacBaseMult(const U256& scalar) const {
+  return JacFixedMult(gen_table_, scalar);
+}
+
+P256::Jacobian P256::JacScalarMultCached(const EcPoint& base, const U256& scalar) const {
+  if (!base.infinity) {
+    if (base == generator_) {
+      return JacFixedMult(gen_table_, scalar);
+    }
+    if (const FixedBaseTable* table = FindTable(base)) {
+      return JacFixedMult(*table, scalar);
+    }
+  }
+  return JacScalarMult(ToJacobian(base), scalar);
+}
+
+std::string P256::TableKey(const EcPoint& base) {
+  auto x_bytes = base.x.ToBytes();
+  auto y_bytes = base.y.ToBytes();
+  std::string key(x_bytes.begin(), x_bytes.end());
+  key.append(y_bytes.begin(), y_bytes.end());
+  return key;
+}
+
+const P256::FixedBaseTable* P256::FindTable(const EcPoint& base) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  auto it = tables_.find(TableKey(base));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void P256::RegisterFixedBase(const EcPoint& base) const {
+  if (base.infinity || base == generator_) {
+    return;
+  }
+  std::string key = TableKey(base);
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    if (tables_.count(key) != 0) {
+      return;
+    }
+  }
+  // Build outside the lock: table construction is a few hundred point ops.
+  auto table = std::make_unique<FixedBaseTable>(BuildFixedBaseTable(base));
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  tables_.emplace(std::move(key), std::move(table));
+}
+
+bool P256::HasFixedBase(const EcPoint& base) const {
+  if (base.infinity) {
+    return false;
+  }
+  return base == generator_ || FindTable(base) != nullptr;
 }
 
 EcPoint P256::Add(const EcPoint& a, const EcPoint& b) const {
@@ -171,10 +352,12 @@ EcPoint P256::Negate(const EcPoint& a) const {
 }
 
 EcPoint P256::ScalarMult(const EcPoint& point, const U256& scalar) const {
-  return FromJacobian(JacScalarMult(ToJacobian(point), scalar));
+  return FromJacobian(JacScalarMultCached(point, scalar));
 }
 
-EcPoint P256::BaseMult(const U256& scalar) const { return ScalarMult(generator_, scalar); }
+EcPoint P256::BaseMult(const U256& scalar) const {
+  return FromJacobian(JacFixedMult(gen_table_, scalar));
+}
 
 Bytes P256::Encode(const EcPoint& point) const {
   if (point.infinity) {

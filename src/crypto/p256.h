@@ -9,10 +9,33 @@
 //
 // Scalar multiplication uses Jacobian coordinates kept in the Montgomery
 // domain with a fixed 4-bit window.  Not constant-time (see DESIGN.md).
+//
+// Two fast paths serve the shuffler's bulk re-encryption workload (§4.1.4,
+// Table 3), where millions of scalar multiplications per pass dominate:
+//
+//   * Fixed-base precomputation — a 4-bit windowed table of multiples of a
+//     base point (the generator always; any caller-registered point, e.g. a
+//     shuffler's El Gamal key, via RegisterFixedBase).  A table-driven
+//     multiplication is 64 mixed additions with no doublings and no
+//     per-call table build.
+//
+//   * Batch affine conversion — BatchNormalize converts a whole batch of
+//     Jacobian points to affine with ONE field inversion (Montgomery's
+//     simultaneous-inversion trick) instead of one inversion per point.
+//
+// The Jacobian type and Jac* entry points are public for the same reason
+// ModField exposes its Montgomery primitives: hot loops compose them and
+// convert to affine only at the batch edge.
 #ifndef PROCHLO_SRC_CRYPTO_P256_H_
 #define PROCHLO_SRC_CRYPTO_P256_H_
 
+#include <array>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/crypto/bignum.h"
 #include "src/util/bytes.h"
@@ -39,10 +62,16 @@ struct EcPoint {
 constexpr size_t kEcPointEncodedSize = 65;  // 0x04 || X || Y
 constexpr size_t kEcScalarSize = 32;
 
-// The P-256 group.  Stateless apart from precomputed constants; access the
-// process-wide instance via Get().
+// The P-256 group.  Stateless apart from precomputed constants and the
+// fixed-base table cache; access the process-wide instance via Get().
 class P256 {
  public:
+  // Jacobian point with coordinates in the Montgomery domain of field();
+  // z == 0 (normal-domain zero) encodes infinity.
+  struct Jacobian {
+    U256 x, y, z;
+  };
+
   static const P256& Get();
 
   const ModField& field() const { return fp_; }
@@ -55,10 +84,36 @@ class P256 {
   EcPoint Add(const EcPoint& a, const EcPoint& b) const;
   EcPoint Double(const EcPoint& a) const;
   EcPoint Negate(const EcPoint& a) const;
-  // scalar * point; scalar is reduced mod the group order.
+  // scalar * point; scalar is reduced mod the group order.  Table-driven
+  // when `point` is the generator or has been registered via
+  // RegisterFixedBase; generic double-and-add otherwise.
   EcPoint ScalarMult(const EcPoint& point, const U256& scalar) const;
-  // scalar * G.
+  // scalar * G, always table-driven.
   EcPoint BaseMult(const U256& scalar) const;
+
+  // Precomputes and caches the windowed multiples of `base` so later
+  // multiplications by that exact point take the fixed-base fast path.
+  // Idempotent and thread-safe; the identity is ignored.  Each table costs
+  // 60 KB, so register long-lived keys (shuffler/analyzer public keys), not
+  // ephemerals.
+  void RegisterFixedBase(const EcPoint& base) const;
+  bool HasFixedBase(const EcPoint& base) const;
+
+  // ------------------------------------------------ Jacobian batch API
+  Jacobian ToJacobian(const EcPoint& p) const;
+  EcPoint FromJacobian(const Jacobian& p) const;
+  Jacobian JacAdd(const Jacobian& p, const Jacobian& q) const;
+  Jacobian JacDouble(const Jacobian& p) const;
+  // Generic variable-base path (per-call window table).
+  Jacobian JacScalarMult(const Jacobian& p, const U256& scalar) const;
+  // Fixed-base path for the generator.
+  Jacobian JacBaseMult(const U256& scalar) const;
+  // Table-driven when `base` is registered, generic otherwise.
+  Jacobian JacScalarMultCached(const EcPoint& base, const U256& scalar) const;
+  // Affine conversion of the whole batch with a single field inversion.
+  std::vector<EcPoint> BatchNormalize(const std::vector<Jacobian>& points) const;
+  // scalar[i] * G for every i, normalized with a single inversion.
+  std::vector<EcPoint> BatchBaseMult(const std::vector<U256>& scalars) const;
 
   // Uncompressed SEC1 encoding: 0x04 || X || Y (65 bytes); the identity
   // encodes as a single 0x00 byte.
@@ -69,24 +124,37 @@ class P256 {
   std::optional<EcPoint> LiftX(const U256& x, bool y_odd) const;
 
  private:
-  P256();
-
-  // Jacobian point with coordinates in the Montgomery domain of fp_.
-  struct Jacobian {
-    U256 x, y, z;  // z == 0 (normal domain zero) encodes infinity
+  // Affine point in the Montgomery domain (implicit z = 1).
+  struct AffineMont {
+    U256 x, y;
+  };
+  // win[w][d-1] = d * 2^(4w) * base for d in 1..15: one 4-bit window per
+  // scalar nibble, so a multiplication is at most 64 mixed additions.
+  struct FixedBaseTable {
+    std::array<std::array<AffineMont, 15>, 64> win;
   };
 
-  Jacobian ToJacobian(const EcPoint& p) const;
-  EcPoint FromJacobian(const Jacobian& p) const;
-  Jacobian JacDouble(const Jacobian& p) const;
-  Jacobian JacAdd(const Jacobian& p, const Jacobian& q) const;
-  Jacobian JacScalarMult(const Jacobian& p, const U256& scalar) const;
+  P256();
+
+  FixedBaseTable BuildFixedBaseTable(const EcPoint& base) const;
+  Jacobian JacFixedMult(const FixedBaseTable& table, const U256& scalar) const;
+  // Mixed addition p + (qx, qy, 1), all in the Montgomery domain.
+  Jacobian JacAddAffine(const Jacobian& p, const AffineMont& q) const;
+  // Rewrites every finite point to (affine x, affine y, 1), Montgomery
+  // domain, sharing one inversion across the batch.
+  void NormalizeToAffineMont(std::vector<Jacobian>& points) const;
+  const FixedBaseTable* FindTable(const EcPoint& base) const;
+  static std::string TableKey(const EcPoint& base);
 
   ModField fp_;
   ModField fn_;
   U256 b_mont_;        // curve b in Montgomery domain
   U256 three_mont_;    // 3 in Montgomery domain
+  U256 one_mont_;      // 1 in Montgomery domain
   EcPoint generator_;
+  FixedBaseTable gen_table_;
+  mutable std::shared_mutex tables_mu_;
+  mutable std::unordered_map<std::string, std::unique_ptr<FixedBaseTable>> tables_;
 };
 
 }  // namespace prochlo

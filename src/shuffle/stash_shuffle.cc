@@ -15,6 +15,11 @@ namespace {
 constexpr uint8_t kRealItem = 0x01;
 constexpr uint8_t kDummyItem = 0x00;
 
+// Items per forked DRBG during parallel sealing.  Fixed (not derived from
+// the pool size) so the parent rng is advanced identically — and the output
+// permutation is bit-identical — with and without a pool.
+constexpr size_t kSealGroup = 64;
+
 Bytes SealIntermediate(const AesGcm& aead, SecureRandom& rng, uint8_t flag, ByteSpan item,
                        size_t item_size) {
   Bytes plaintext;
@@ -58,6 +63,7 @@ std::vector<size_t> ShuffleToBuckets(size_t num_items, size_t num_buckets, Secur
   }
   return targets;
 }
+
 }  // namespace
 
 StashShuffler::StashShuffler(Enclave& enclave, Options options)
@@ -94,6 +100,7 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
     params = ChooseStashParams(n, item_size, enclave_.memory().budget());
   }
   effective_params_ = params;
+  ThreadPool* pool = options_.pool;
 
   const size_t num_buckets = params.num_buckets;  // B
   const size_t bucket_size = params.BucketSize(n);  // D
@@ -127,7 +134,33 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
   bool failed = false;
   std::string failure;
 
-  auto deposit_chunk = [&](size_t out_bucket, size_t chunk_base, std::vector<Bytes>& chunk,
+  // One pass worth of seal jobs (`mid` destination, item; empty = dummy),
+  // executed in parallel with per-group forked DRBGs.
+  std::vector<size_t> seal_dst;
+  std::vector<Bytes> seal_item;
+
+  auto flush_seals = [&]() {
+    const size_t jobs = seal_item.size();
+    const size_t groups = (jobs + kSealGroup - 1) / kSealGroup;
+    std::vector<SecureRandom> group_rngs;
+    group_rngs.reserve(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      group_rngs.emplace_back(rng.RandomBytes(32));
+    }
+    ParallelFor(pool, groups, [&](size_t g) {
+      const size_t begin = g * kSealGroup;
+      const size_t end = std::min(jobs, begin + kSealGroup);
+      for (size_t i = begin; i < end; ++i) {
+        uint8_t flag = seal_item[i].empty() ? kDummyItem : kRealItem;
+        mid[seal_dst[i]] = SealIntermediate(aead, group_rngs[g], flag, seal_item[i], item_size);
+      }
+    });
+    enclave_.NoteWrite(sealed_size * jobs, jobs);
+    seal_dst.clear();
+    seal_item.clear();
+  };
+
+  auto enqueue_chunk = [&](size_t out_bucket, size_t chunk_base, std::vector<Bytes>& chunk,
                            size_t chunk_size) {
     // Pad with dummies so every chunk is exactly chunk_size records.
     while (chunk.size() < chunk_size) {
@@ -135,10 +168,8 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
       metrics_.dummy_items++;
     }
     for (size_t i = 0; i < chunk_size; ++i) {
-      uint8_t flag = chunk[i].empty() ? kDummyItem : kRealItem;
-      Bytes sealed = SealIntermediate(aead, rng, flag, chunk[i], item_size);
-      enclave_.NoteWrite(sealed.size(), 1);
-      mid[out_bucket * mid_bucket_size + chunk_base + i] = std::move(sealed);
+      seal_dst.push_back(out_bucket * mid_bucket_size + chunk_base + i);
+      seal_item.push_back(std::move(chunk[i]));
     }
   };
 
@@ -151,8 +182,9 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
       std::vector<Bytes> empty_chunk;
       for (size_t j = 0; j < num_buckets; ++j) {
         empty_chunk.clear();
-        deposit_chunk(j, b * chunk_cap, empty_chunk, chunk_cap);
+        enqueue_chunk(j, b * chunk_cap, empty_chunk, chunk_cap);
       }
+      flush_seals();
       continue;
     }
     const size_t count = end - begin;
@@ -170,23 +202,29 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
 
     std::vector<size_t> targets = ShuffleToBuckets(count, num_buckets, rng);
 
-    for (size_t i = 0; i < count && !failed; ++i) {
-      const Bytes& record = input[begin + i];
-      enclave_.NoteRead(record.size(), 1);
-      metrics_.items_processed++;
-      metrics_.bytes_processed += record.size();
-
-      Bytes item;
-      if (options_.open_outer) {
-        auto opened = options_.open_outer(record);
-        if (!opened.has_value()) {
-          ++dropped;  // forged record: drop (its slot becomes a dummy)
-          continue;
-        }
-        item = std::move(*opened);
-      } else {
-        item = record;
+    // The outer-layer public-key decryption dominates distribution cost
+    // (paper Table 2); it is pure per-item work, so fan it out.
+    std::vector<std::optional<Bytes>> opened(count);
+    if (options_.open_outer) {
+      ParallelFor(pool, count, [&](size_t i) {
+        opened[i] = options_.open_outer(input[begin + i]);
+      });
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        opened[i] = input[begin + i];
       }
+    }
+
+    for (size_t i = 0; i < count && !failed; ++i) {
+      enclave_.NoteRead(input[begin + i].size(), 1);
+      metrics_.items_processed++;
+      metrics_.bytes_processed += input[begin + i].size();
+
+      if (!opened[i].has_value()) {
+        ++dropped;  // forged record: drop (its slot becomes a dummy)
+        continue;
+      }
+      Bytes item = std::move(*opened[i]);
 
       size_t t = targets[i];
       if (output[t].size() < chunk_cap) {
@@ -202,13 +240,16 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
     }
 
     for (size_t j = 0; j < num_buckets && !failed; ++j) {
-      deposit_chunk(j, b * chunk_cap, output[j], chunk_cap);
+      enqueue_chunk(j, b * chunk_cap, output[j], chunk_cap);
+    }
+    if (!failed) {
+      flush_seals();
     }
   }
 
   // Final stash drain (Algorithm 1, line 5): K extra items per bucket.
   if (!failed) {
-    for (size_t j = 0; j < num_buckets; ++j) {
+    for (size_t j = 0; j < num_buckets && !failed; ++j) {
       std::vector<Bytes> chunk;
       while (chunk.size() < drain_per_bucket && !stash[j].empty()) {
         chunk.push_back(std::move(stash[j].front()));
@@ -220,7 +261,10 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
         failure = "stash not drained by final pass";
         break;
       }
-      deposit_chunk(j, num_buckets * chunk_cap, chunk, drain_per_bucket);
+      enqueue_chunk(j, num_buckets * chunk_cap, chunk, drain_per_bucket);
+    }
+    if (!failed) {
+      flush_seals();
     }
   }
 
@@ -241,9 +285,12 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
       static_cast<size_t>(3.0 * std::sqrt(static_cast<double>(n))) + 64;
   // Items move from the imported bucket into the queue (no copy), so the two
   // structures largely share residency; the /2 models the transient dummy
-  // slack, matching EstimatePrivateMemoryBytes.
+  // slack, matching EstimatePrivateMemoryBytes.  The parallel
+  // decrypt-and-classify pass below additionally keeps one bucket's worth of
+  // opened reals (~D items) resident alongside the sealed copy before they
+  // move into the queue, so meter that too.
   const size_t compression_bytes =
-      (params.window * bucket_size + mid_bucket_size / 2) * slot;
+      (params.window * bucket_size + mid_bucket_size / 2 + bucket_size) * slot;
   if (!enclave_.memory().Acquire(compression_bytes)) {
     return Error{"compression working set exceeds enclave private memory"};
   }
@@ -260,16 +307,20 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
     std::vector<Bytes> bucket(mid.begin() + b * mid_bucket_size,
                               mid.begin() + (b + 1) * mid_bucket_size);
     rng.ShuffleVector(bucket);
-    for (auto& record : bucket) {
-      enclave_.NoteRead(record.size(), 1);
+    // Decrypt-and-classify is pure per-record AEAD work; fan it out, then
+    // fill the queue in the (already shuffled) deterministic order.
+    std::vector<std::optional<Bytes>> items(bucket.size());
+    ParallelFor(pool, bucket.size(),
+                [&](size_t i) { items[i] = OpenIntermediate(aead, bucket[i]); });
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      enclave_.NoteRead(bucket[i].size(), 1);
       metrics_.items_processed++;
-      metrics_.bytes_processed += record.size();
-      auto item = OpenIntermediate(aead, record);
-      if (item.has_value()) {
+      metrics_.bytes_processed += bucket[i].size();
+      if (items[i].has_value()) {
         if (queue.size() >= queue_cap) {
           return false;
         }
-        queue.push_back(std::move(*item));
+        queue.push_back(std::move(*items[i]));
       }
     }
     return true;
@@ -326,7 +377,6 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
   if (output.size() != n_out) {
     return Error{"internal error: output cardinality mismatch"};
   }
-  (void)sealed_size;
   return output;
 }
 

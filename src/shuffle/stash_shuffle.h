@@ -29,6 +29,7 @@
 #include "src/sgx/enclave.h"
 #include "src/shuffle/oblivious_shuffler.h"
 #include "src/shuffle/stash_params.h"
+#include "src/util/thread_pool.h"
 
 namespace prochlo {
 
@@ -40,8 +41,15 @@ class StashShuffler : public ObliviousShuffler {
     StashShuffleParams params;
     // Applied to each input item as it first enters the enclave — in ESA
     // this strips the outer layer of nested encryption (returns nullopt on
-    // forged records, which are dropped and replaced by dummies).
+    // forged records, which are dropped and replaced by dummies).  Must be
+    // thread-safe when a pool is supplied (it is called concurrently).
     std::function<std::optional<Bytes>(const Bytes&)> open_outer;
+    // Workers for the crypto-heavy per-item work: the outer-layer public-key
+    // decryption and the intermediate-record AEAD seal/open (the paper notes
+    // distribution parallelizes well for exactly this reason).  Randomness
+    // is forked per fixed-size item group, so the emitted permutation is
+    // identical with and without a pool.  Borrowed; may be null.
+    ThreadPool* pool = nullptr;
   };
 
   StashShuffler(Enclave& enclave, Options options);

@@ -45,6 +45,19 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+// Null-tolerant dispatch: runs fn(i) for i in [0, n) on the pool when one is
+// supplied, inline otherwise.  The common shape for the crypto/shuffle hot
+// loops, which all take an optional borrowed pool.
+inline void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+  }
+}
+
 }  // namespace prochlo
 
 #endif  // PROCHLO_SRC_UTIL_THREAD_POOL_H_

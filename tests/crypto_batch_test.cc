@@ -1,0 +1,261 @@
+// Cross-checks for the batched/fixed-base EC fast paths: the comb tables
+// behind BaseMult and RegisterFixedBase, batch affine conversion (Montgomery
+// simultaneous inversion), and the batch El Gamal surface the shufflers'
+// re-encryption passes run on.  Every fast path is checked against the
+// generic double-and-add / per-point code it replaced.
+#include <gtest/gtest.h>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/hash_to_curve.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/message_locked.h"
+#include "src/crypto/p256.h"
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+namespace {
+
+// The generic variable-base path, bypassing every fixed-base table.
+EcPoint GenericMult(const EcPoint& point, const U256& scalar) {
+  const P256& curve = P256::Get();
+  return curve.FromJacobian(curve.JacScalarMult(curve.ToJacobian(point), scalar));
+}
+
+TEST(FixedBaseTest, BaseMultMatchesGenericFor1kScalars) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("fixed-base-1k"));
+  for (int i = 0; i < 1000; ++i) {
+    U256 k = rng.RandomScalar(curve.order());
+    EXPECT_EQ(curve.BaseMult(k), GenericMult(curve.generator(), k)) << "scalar " << k.ToHex();
+  }
+}
+
+TEST(FixedBaseTest, BaseMultEdgeScalars) {
+  const P256& curve = P256::Get();
+  U256 n_minus_1;
+  SubWithBorrow(curve.order(), U256::One(), &n_minus_1);
+  U256 n_plus_1;
+  AddWithCarry(curve.order(), U256::One(), &n_plus_1);
+  for (const U256& k : {U256::Zero(), U256::One(), U256::FromU64(2), U256::FromU64(15),
+                        U256::FromU64(16), n_minus_1, curve.order(), n_plus_1}) {
+    EXPECT_EQ(curve.BaseMult(k), GenericMult(curve.generator(), k)) << "scalar " << k.ToHex();
+  }
+  EXPECT_TRUE(curve.BaseMult(U256::Zero()).infinity);
+  EXPECT_TRUE(curve.BaseMult(curve.order()).infinity);
+}
+
+TEST(FixedBaseTest, RegisteredPointMatchesGeneric) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("fixed-base-reg"));
+  EcPoint base = curve.BaseMult(rng.RandomScalar(curve.order()));
+
+  // Expected values from the generic path, before registration flips the
+  // fast path on for this point.
+  std::vector<U256> scalars;
+  std::vector<EcPoint> expected;
+  for (int i = 0; i < 50; ++i) {
+    scalars.push_back(rng.RandomScalar(curve.order()));
+    expected.push_back(GenericMult(base, scalars.back()));
+  }
+
+  EXPECT_FALSE(curve.HasFixedBase(base));
+  curve.RegisterFixedBase(base);
+  EXPECT_TRUE(curve.HasFixedBase(base));
+  curve.RegisterFixedBase(base);  // idempotent
+
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    EXPECT_EQ(curve.ScalarMult(base, scalars[i]), expected[i]);
+  }
+}
+
+TEST(FixedBaseTest, GeneratorIsAlwaysRegistered) {
+  const P256& curve = P256::Get();
+  EXPECT_TRUE(curve.HasFixedBase(curve.generator()));
+  EXPECT_FALSE(curve.HasFixedBase(EcPoint::Infinity()));
+}
+
+TEST(BatchNormalizeTest, MatchesFromJacobianIncludingEdgePoints) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("batch-normalize"));
+
+  std::vector<P256::Jacobian> jacs;
+  jacs.push_back(curve.ToJacobian(EcPoint::Infinity()));  // leading identity
+  jacs.push_back(curve.ToJacobian(curve.generator()));    // z == 1
+  for (int i = 0; i < 40; ++i) {
+    // JacAdd results carry nontrivial z coordinates.
+    P256::Jacobian a = curve.JacScalarMult(curve.ToJacobian(curve.generator()),
+                                           rng.RandomScalar(curve.order()));
+    P256::Jacobian b = curve.JacScalarMult(curve.ToJacobian(curve.generator()),
+                                           rng.RandomScalar(curve.order()));
+    jacs.push_back(curve.JacAdd(a, b));
+  }
+  jacs.push_back(curve.ToJacobian(EcPoint::Infinity()));  // interior identity
+
+  std::vector<EcPoint> batch = curve.BatchNormalize(jacs);
+  ASSERT_EQ(batch.size(), jacs.size());
+  for (size_t i = 0; i < jacs.size(); ++i) {
+    EXPECT_EQ(batch[i], curve.FromJacobian(jacs[i])) << "index " << i;
+  }
+}
+
+TEST(BatchNormalizeTest, EmptyBatch) {
+  EXPECT_TRUE(P256::Get().BatchNormalize({}).empty());
+}
+
+TEST(BatchBaseMultTest, MatchesBaseMult) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("batch-base"));
+  std::vector<U256> scalars;
+  for (int i = 0; i < 100; ++i) {
+    scalars.push_back(rng.RandomScalar(curve.order()));
+  }
+  scalars.push_back(U256::Zero());  // identity rides along
+  std::vector<EcPoint> batch = curve.BatchBaseMult(scalars);
+  ASSERT_EQ(batch.size(), scalars.size());
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    EXPECT_EQ(batch[i], curve.BaseMult(scalars[i]));
+  }
+}
+
+TEST(BatchInvTest, MatchesInvAndSkipsZeros) {
+  const ModField& f = P256::Get().field();
+  SecureRandom rng(ToBytes("batch-inv"));
+  std::vector<U256> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(f.Reduce(rng.RandomScalar(f.modulus())));
+  }
+  values[0] = U256::Zero();
+  values[57] = U256::Zero();
+  values[199] = U256::Zero();
+  std::vector<U256> expected = values;
+  for (auto& v : expected) {
+    if (!v.IsZero()) {
+      v = f.Inv(v);
+    }
+  }
+  std::vector<U256> actual = values;
+  f.BatchInv(actual.data(), actual.size());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(BatchInvTest, MontgomeryDomainVariant) {
+  const ModField& f = P256::Get().field();
+  SecureRandom rng(ToBytes("batch-inv-mont"));
+  std::vector<U256> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(f.ToMont(f.Reduce(rng.RandomScalar(f.modulus()))));
+  }
+  values[10] = U256::Zero();
+  std::vector<U256> actual = values;
+  f.BatchInvMont(actual.data(), actual.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].IsZero()) {
+      EXPECT_TRUE(actual[i].IsZero());
+    } else {
+      EXPECT_EQ(f.FromMont(actual[i]), f.Inv(f.FromMont(values[i]))) << "index " << i;
+    }
+  }
+}
+
+TEST(ElGamalBatchTest, BlindBatchMatchesSingle) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("eg-batch-blind"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  U256 alpha = rng.RandomScalar(curve.order());
+
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 150; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key,
+                                 HashToCurve("crowd-" + std::to_string(i % 7)), rng));
+  }
+  std::vector<ElGamalCiphertext> batch = ElGamalBlindBatch(cts, alpha);
+  ASSERT_EQ(batch.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    ElGamalCiphertext single = ElGamalBlind(cts[i], alpha);
+    EXPECT_EQ(batch[i].c1, single.c1);
+    EXPECT_EQ(batch[i].c2, single.c2);
+  }
+}
+
+TEST(ElGamalBatchTest, DecryptBatchMatchesSingle) {
+  SecureRandom rng(ToBytes("eg-batch-dec"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 150; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key,
+                                 HashToCurve("id-" + std::to_string(i % 11)), rng));
+  }
+  std::vector<EcPoint> batch = ElGamalDecryptBatch(recipient.private_key, cts);
+  ASSERT_EQ(batch.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(batch[i], ElGamalDecrypt(recipient.private_key, cts[i]));
+  }
+}
+
+TEST(ElGamalBatchTest, RerandomizeBatchRoundTripsAndRefreshes) {
+  SecureRandom rng(ToBytes("eg-batch-rerand"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  std::vector<ElGamalCiphertext> cts;
+  std::vector<EcPoint> messages;
+  for (int i = 0; i < 100; ++i) {
+    messages.push_back(HashToCurve("value-" + std::to_string(i)));
+    cts.push_back(ElGamalEncrypt(recipient.public_key, messages.back(), rng));
+  }
+  std::vector<ElGamalCiphertext> rerand =
+      ElGamalRerandomizeBatch(cts, recipient.public_key, rng);
+  ASSERT_EQ(rerand.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_FALSE(rerand[i].c1 == cts[i].c1) << "randomness not refreshed at " << i;
+    EXPECT_EQ(ElGamalDecrypt(recipient.private_key, rerand[i]), messages[i]);
+  }
+}
+
+TEST(ElGamalBatchTest, PooledAndSequentialOutputsAreIdentical) {
+  SecureRandom key_rng(ToBytes("eg-batch-pool-keys"));
+  KeyPair recipient = KeyPair::Generate(key_rng);
+  std::vector<ElGamalCiphertext> cts;
+  for (int i = 0; i < 300; ++i) {
+    cts.push_back(
+        ElGamalEncrypt(recipient.public_key, HashToCurve("v" + std::to_string(i)), key_rng));
+  }
+
+  ThreadPool pool(4);
+  U256 alpha = key_rng.RandomScalar(P256::Get().order());
+  std::vector<ElGamalCiphertext> blind_seq = ElGamalBlindBatch(cts, alpha);
+  std::vector<ElGamalCiphertext> blind_par = ElGamalBlindBatch(cts, alpha, &pool);
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(blind_seq[i].c1, blind_par[i].c1);
+    EXPECT_EQ(blind_seq[i].c2, blind_par[i].c2);
+  }
+
+  // Same DRBG seed => same rerandomizers => bit-identical output, threaded
+  // or not.
+  SecureRandom rng_a(ToBytes("rerand-seed"));
+  SecureRandom rng_b(ToBytes("rerand-seed"));
+  std::vector<ElGamalCiphertext> re_seq =
+      ElGamalRerandomizeBatch(cts, recipient.public_key, rng_a);
+  std::vector<ElGamalCiphertext> re_par =
+      ElGamalRerandomizeBatch(cts, recipient.public_key, rng_b, &pool);
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(re_seq[i].c1, re_par[i].c1);
+    EXPECT_EQ(re_seq[i].c2, re_par[i].c2);
+  }
+}
+
+TEST(MessageLockedBatchTest, MatchesSingleAndPoolInvariant) {
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 50; ++i) {
+    messages.push_back(ToBytes("message-" + std::to_string(i % 9)));
+  }
+  ThreadPool pool(3);
+  std::vector<Bytes> seq = MessageLockedEncryptBatch(messages);
+  std::vector<Bytes> par = MessageLockedEncryptBatch(messages, &pool);
+  ASSERT_EQ(seq.size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(seq[i], MessageLockedEncrypt(messages[i]));
+    EXPECT_EQ(seq[i], par[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prochlo
