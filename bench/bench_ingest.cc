@@ -1,0 +1,244 @@
+// Ingestion-tier throughput: the shuffler frontend's cost per report from
+// the wire to a drained epoch, component by component, plus the batch
+// encoder fast path that feeds it.
+//
+//   * wire       — frame encode + streaming decode (CRC-checked)
+//   * ingest     — shard + accumulate (in-memory) across shard counts
+//   * spool      — frame append to disk segments + recovery scan + replay
+//   * seal       — per-report vs batch cohort sealing (BatchSealReports
+//                  amortizes fixed-base mults and affine conversions)
+//   * drain      — framed reports -> sharded spool -> epoch cut -> shuffle
+//                  -> analyzer histogram, end to end
+//
+// PROCHLO_INGEST_N scales the report count (default 2000; the paper's
+// shuffler handles millions — this tracks per-report cost, which is what
+// must stay flat).  Results land in BENCH_ingest.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "bench/table.h"
+#include "src/core/pipeline.h"
+#include "src/service/frontend.h"
+#include "src/service/ingest.h"
+#include "src/service/spool.h"
+#include "src/service/wire.h"
+
+namespace prochlo {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::string PerReport(double seconds, uint64_t n) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f us", 1e6 * seconds / static_cast<double>(n));
+  return buffer;
+}
+
+std::string Seconds(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f s", seconds);
+  return buffer;
+}
+
+void Run() {
+  uint64_t n = 2000;
+  if (const char* env = std::getenv("PROCHLO_INGEST_N")) {
+    n = std::strtoull(env, nullptr, 10);
+  }
+  std::printf("=== Shuffler-frontend ingestion (N=%llu reports of 64B payload) ===\n\n",
+              static_cast<unsigned long long>(n));
+
+  BenchJsonWriter json("ingest");
+  TablePrinter table({"Stage", "N", "Total", "Per report"});
+
+  SecureRandom rng(ToBytes("bench-ingest"));
+  KeyPair shuffler_keys = KeyPair::Generate(rng);
+  KeyPair analyzer_keys = KeyPair::Generate(rng);
+  EncoderConfig encoder_config;
+  encoder_config.shuffler_public = shuffler_keys.public_key;
+  encoder_config.analyzer_public = analyzer_keys.public_key;
+  encoder_config.payload_size = 64;
+  Encoder encoder(encoder_config);
+
+  // ---- seal: per-report loop vs batch cohort ----
+  std::vector<std::pair<std::string, std::string>> inputs;
+  inputs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string value = "value-" + std::to_string(i % 97);
+    inputs.emplace_back(value, value);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Bytes> sealed_single;
+  sealed_single.reserve(n);
+  for (const auto& [crowd, value] : inputs) {
+    auto report = encoder.EncodeValue(value, crowd, rng);
+    if (report.ok()) {
+      sealed_single.push_back(std::move(report).value());
+    }
+  }
+  double single_seconds = SecondsSince(t0);
+  table.AddRow({"seal/per-report", std::to_string(n), Seconds(single_seconds),
+                PerReport(single_seconds, n)});
+  json.Add("seal_per_report", n, 1e9 * single_seconds / static_cast<double>(n),
+           static_cast<double>(n) / single_seconds);
+
+  t0 = std::chrono::steady_clock::now();
+  auto sealed_batch = encoder.BatchSealReports(inputs, rng);
+  double batch_seconds = SecondsSince(t0);
+  if (!sealed_batch.ok()) {
+    std::fprintf(stderr, "batch seal failed: %s\n", sealed_batch.error().message.c_str());
+    return;
+  }
+  table.AddRow({"seal/batch-cohort", std::to_string(n),
+                Seconds(batch_seconds), PerReport(batch_seconds, n)});
+  json.Add("seal_batch_cohort", n, 1e9 * batch_seconds / static_cast<double>(n),
+           static_cast<double>(n) / batch_seconds);
+  std::printf("batch seal speedup over per-report: %.2fx\n\n", single_seconds / batch_seconds);
+
+  const std::vector<Bytes>& reports = sealed_batch.value();
+
+  // ---- wire: frame + streaming decode ----
+  t0 = std::chrono::steady_clock::now();
+  Bytes stream;
+  stream.reserve(n * FrameWireSize(reports[0].size()));
+  for (const auto& report : reports) {
+    AppendFrame(stream, report);
+  }
+  double frame_seconds = SecondsSince(t0);
+  table.AddRow({"wire/encode", std::to_string(n), Seconds(frame_seconds),
+                PerReport(frame_seconds, n)});
+  json.Add("wire_encode", n, 1e9 * frame_seconds / static_cast<double>(n),
+           static_cast<double>(n) / frame_seconds);
+
+  t0 = std::chrono::steady_clock::now();
+  FrameReader reader(stream);
+  uint64_t decoded = 0;
+  while (reader.Next()) {
+    decoded++;
+  }
+  double decode_seconds = SecondsSince(t0);
+  table.AddRow({"wire/decode", std::to_string(decoded),
+                Seconds(decode_seconds), PerReport(decode_seconds, n)});
+  json.Add("wire_decode", n, 1e9 * decode_seconds / static_cast<double>(n),
+           static_cast<double>(n) / decode_seconds);
+
+  // ---- ingest: shard + accumulate across shard counts ----
+  for (size_t shards : {1u, 4u, 16u}) {
+    IngestConfig ingest_config;
+    ingest_config.num_shards = shards;
+    ShardedIngest ingest(ingest_config, nullptr);
+    t0 = std::chrono::steady_clock::now();
+    for (const auto& report : reports) {
+      ingest.Accept(report);
+    }
+    double ingest_seconds = SecondsSince(t0);
+    std::string label = "ingest/shards=" + std::to_string(shards);
+    table.AddRow({label, std::to_string(n), Seconds(ingest_seconds),
+                  PerReport(ingest_seconds, n)});
+    json.Add(label, n, 1e9 * ingest_seconds / static_cast<double>(n),
+             static_cast<double>(n) / ingest_seconds);
+  }
+
+  // ---- spool: append, recover, replay ----
+  namespace fs = std::filesystem;
+  std::string spool_dir = (fs::temp_directory_path() / "prochlo-bench-ingest").string();
+  fs::remove_all(spool_dir);
+  {
+    Spool spool(SpoolConfig{spool_dir, /*fsync_on_seal=*/false});
+    spool.Open();
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reports.size(); ++i) {
+      spool.Append(ShardedIngest::ShardOfReport(reports[i], 4), 0, reports[i]);
+    }
+    spool.SealEpoch(0);
+    double append_seconds = SecondsSince(t0);
+    table.AddRow({"spool/append", std::to_string(n),
+                  Seconds(append_seconds),
+                  PerReport(append_seconds, n)});
+    json.Add("spool_append", n, 1e9 * append_seconds / static_cast<double>(n),
+             static_cast<double>(n) / append_seconds);
+  }
+  {
+    Spool spool(SpoolConfig{spool_dir, false});
+    t0 = std::chrono::steady_clock::now();
+    auto recovery = spool.Open();
+    double recover_seconds = SecondsSince(t0);
+    if (recovery.ok()) {
+      table.AddRow({"spool/recover", std::to_string(n),
+                    Seconds(recover_seconds),
+                    PerReport(recover_seconds, n)});
+      json.Add("spool_recover", n, 1e9 * recover_seconds / static_cast<double>(n),
+               static_cast<double>(n) / recover_seconds);
+    }
+    t0 = std::chrono::steady_clock::now();
+    auto epoch_stream = spool.OpenEpochStream(0);
+    uint64_t replayed = 0;
+    while (epoch_stream->Next()) {
+      replayed++;
+    }
+    double replay_seconds = SecondsSince(t0);
+    table.AddRow({"spool/replay", std::to_string(replayed),
+                  Seconds(replay_seconds),
+                  PerReport(replay_seconds, n)});
+    json.Add("spool_replay", n, 1e9 * replay_seconds / static_cast<double>(n),
+             static_cast<double>(n) / replay_seconds);
+  }
+  fs::remove_all(spool_dir);
+
+  // ---- drain: framed -> sharded spool -> epoch cut -> histogram ----
+  {
+    std::string drain_dir = (fs::temp_directory_path() / "prochlo-bench-drain").string();
+    fs::remove_all(drain_dir);
+    FrontendConfig frontend_config;
+    frontend_config.pipeline.shuffler.threshold_mode = ThresholdMode::kNaive;
+    frontend_config.pipeline.seed = "bench-ingest-frontend";
+    frontend_config.ingest.num_shards = 4;
+    frontend_config.spool_dir = drain_dir;
+    frontend_config.fsync_spool = false;
+    ShufflerFrontend frontend(frontend_config);
+    frontend.Start();
+    const Encoder frontend_encoder = frontend.MakeEncoder();
+    SecureRandom client_rng(ToBytes("bench-ingest-clients"));
+    auto cohort = frontend_encoder.BatchSealReports(inputs, client_rng);
+    t0 = std::chrono::steady_clock::now();
+    for (const auto& report : cohort.value()) {
+      frontend.AcceptFrameStream(EncodeFrame(report));
+    }
+    frontend.CutEpoch();
+    auto drained = frontend.DrainSealedEpochs();
+    double drain_seconds = SecondsSince(t0);
+    if (drained.ok() && !drained.value().empty()) {
+      table.AddRow({"drain/end-to-end", std::to_string(n),
+                    Seconds(drain_seconds),
+                    PerReport(drain_seconds, n)});
+      json.Add("drain_end_to_end", n, 1e9 * drain_seconds / static_cast<double>(n),
+               static_cast<double>(n) / drain_seconds);
+    } else {
+      std::fprintf(stderr, "drain failed\n");
+    }
+    fs::remove_all(drain_dir);
+  }
+
+  table.Print();
+  json.Write();
+  std::printf(
+      "\nShape checks: wire and ingest are tens of ns per report (never the bottleneck);\n"
+      "spool append/replay are I/O-bound but stream — RAM stays flat in N; seal dominates\n"
+      "client-side cost and the batch path amortizes its EC work; drain is shuffler-bound\n"
+      "(outer-layer ECDH), matching the stash-shuffle bench.\n");
+}
+
+}  // namespace
+}  // namespace prochlo
+
+int main() {
+  prochlo::Run();
+  return 0;
+}

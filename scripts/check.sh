@@ -16,11 +16,22 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== service thread matrix =="
+# The ingestion-tier suites re-run pinned to each worker count: the epoch
+# drain must be bit-identical sequential and threaded.
+for threads in 0 4; do
+  echo "-- PROCHLO_STASH_THREADS=$threads --"
+  PROCHLO_STASH_THREADS="$threads" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|wire_format_test'
+done
+
 echo "== bench smoke =="
 # Tiny runs: confirm the benches execute and emit their BENCH_*.json files.
 (cd "$BUILD_DIR" && ./bench_crypto --benchmark_filter='BaseMult' --benchmark_min_time=0.05)
 (cd "$BUILD_DIR" && PROCHLO_STASH_MAX_N=10000 PROCHLO_STASH_THREADS=0 ./bench_stash_shuffle)
+(cd "$BUILD_DIR" && PROCHLO_INGEST_N=500 ./bench_ingest)
 test -s "$BUILD_DIR/BENCH_crypto.json"
 test -s "$BUILD_DIR/BENCH_stash_shuffle.json"
+test -s "$BUILD_DIR/BENCH_ingest.json"
 
 echo "== OK =="

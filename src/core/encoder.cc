@@ -20,7 +20,7 @@ Encoder::Encoder(EncoderConfig config) : config_(std::move(config)) {
   }
 }
 
-Result<CrowdPart> Encoder::MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng) {
+Result<CrowdPart> Encoder::MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng) const {
   CrowdPart part;
   part.mode = config_.crowd_mode;
   if (config_.crowd_mode == CrowdIdMode::kPlainHash) {
@@ -37,7 +37,7 @@ Result<CrowdPart> Encoder::MakeCrowdPart(const std::string& crowd_id, SecureRand
 }
 
 Result<Bytes> Encoder::EncodeReport(const std::string& crowd_id, ByteSpan payload,
-                                    SecureRandom& rng) {
+                                    SecureRandom& rng) const {
   auto padded = PadPayload(payload, config_.payload_size);
   if (!padded.has_value()) {
     return Error{"payload exceeds the pipeline's fixed payload size"};
@@ -50,12 +50,12 @@ Result<Bytes> Encoder::EncodeReport(const std::string& crowd_id, ByteSpan payloa
                     rng);
 }
 
-Result<Bytes> Encoder::EncodeValue(const std::string& value, SecureRandom& rng) {
+Result<Bytes> Encoder::EncodeValue(const std::string& value, SecureRandom& rng) const {
   return EncodeValue(value, value, rng);
 }
 
 Result<Bytes> Encoder::EncodeValue(const std::string& value, const std::string& crowd_id,
-                                   SecureRandom& rng) {
+                                   SecureRandom& rng) const {
   if (sharer_.has_value()) {
     SecretShareEncoding encoding = sharer_->Encode(ToBytes(value), rng);
     return EncodeReport(crowd_id, encoding.Serialize(), rng);
@@ -64,7 +64,7 @@ Result<Bytes> Encoder::EncodeValue(const std::string& value, const std::string& 
 }
 
 Result<Bytes> Encoder::EncodeEnumValue(uint64_t value, uint64_t domain_size, double epsilon,
-                                       Rng& response_rng, SecureRandom& rng) {
+                                       Rng& response_rng, SecureRandom& rng) const {
   if (value >= domain_size) {
     return Error{"enum value outside its declared domain"};
   }
@@ -72,6 +72,35 @@ Result<Bytes> Encoder::EncodeEnumValue(uint64_t value, uint64_t domain_size, dou
   uint64_t reported = response.Randomize(value, response_rng);
   std::string encoded = "enum:" + std::to_string(reported);
   return EncodeValue(encoded, encoded, rng);
+}
+
+Result<std::vector<Bytes>> Encoder::BatchSealReports(
+    const std::vector<std::pair<std::string, std::string>>& crowd_value_inputs,
+    SecureRandom& rng) const {
+  std::vector<CrowdPart> crowds;
+  std::vector<Bytes> padded;
+  crowds.reserve(crowd_value_inputs.size());
+  padded.reserve(crowd_value_inputs.size());
+  for (const auto& [crowd_id, value] : crowd_value_inputs) {
+    Bytes payload;
+    if (sharer_.has_value()) {
+      payload = sharer_->Encode(ToBytes(value), rng).Serialize();
+    } else {
+      payload = ToBytes(value);
+    }
+    auto padded_payload = PadPayload(payload, config_.payload_size);
+    if (!padded_payload.has_value()) {
+      return Error{"payload exceeds the pipeline's fixed payload size"};
+    }
+    auto crowd = MakeCrowdPart(crowd_id, rng);
+    if (!crowd.ok()) {
+      return crowd.error();
+    }
+    crowds.push_back(std::move(crowd).value());
+    padded.push_back(std::move(*padded_payload));
+  }
+  return prochlo::BatchSealReports(crowds, padded, config_.shuffler_public,
+                                   config_.analyzer_public, rng);
 }
 
 Result<EcPoint> VerifyShufflerAttestation(const AttestationQuote& quote,

@@ -19,6 +19,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/report.h"
 #include "src/crypto/secret_share.h"
@@ -42,19 +44,23 @@ struct EncoderConfig {
   std::optional<uint32_t> secret_share_threshold;
 };
 
+// Encoders are logically stateless after construction: every method below is
+// const, so one Encoder (holding the pipeline's immutable key/config state)
+// is shared across worker threads, each of which forks only its own DRBG.
 class Encoder {
  public:
   explicit Encoder(EncoderConfig config);
 
   // Encodes one report carrying `payload` tagged with `crowd_id`.
-  Result<Bytes> EncodeReport(const std::string& crowd_id, ByteSpan payload, SecureRandom& rng);
+  Result<Bytes> EncodeReport(const std::string& crowd_id, ByteSpan payload,
+                             SecureRandom& rng) const;
 
   // Convenience for string-valued monitoring: the crowd ID defaults to the
   // value itself (the Vocab §5.2 arrangement: crowd ID = hash of the word),
   // and secret-share encoding is applied if configured.
-  Result<Bytes> EncodeValue(const std::string& value, SecureRandom& rng);
+  Result<Bytes> EncodeValue(const std::string& value, SecureRandom& rng) const;
   Result<Bytes> EncodeValue(const std::string& value, const std::string& crowd_id,
-                            SecureRandom& rng);
+                            SecureRandom& rng) const;
 
   // Local-DP reporting for small enumerated domains (paper §3.5: "users may
   // simply probabilistically report random values instead of true ones — a
@@ -62,12 +68,22 @@ class Encoder {
   // response to `value` in [0, domain_size) before encoding.  The reported
   // (possibly flipped) value doubles as the crowd ID.
   Result<Bytes> EncodeEnumValue(uint64_t value, uint64_t domain_size, double epsilon,
-                                Rng& response_rng, SecureRandom& rng);
+                                Rng& response_rng, SecureRandom& rng) const;
+
+  // Seals a whole cohort of (crowd_id, value) inputs at once through the
+  // batch EC fast path (report.h's BatchSealReports): 2N ephemeral keys from
+  // one BatchBaseMult and all ECDH points normalized with one inversion.
+  // Values are secret-share encoded when configured, exactly as EncodeValue.
+  // Models a client-cohort simulator, where one process synthesizes many
+  // clients' reports (individual real clients still seal one at a time).
+  Result<std::vector<Bytes>> BatchSealReports(
+      const std::vector<std::pair<std::string, std::string>>& crowd_value_inputs,
+      SecureRandom& rng) const;
 
   const EncoderConfig& config() const { return config_; }
 
  private:
-  Result<CrowdPart> MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng);
+  Result<CrowdPart> MakeCrowdPart(const std::string& crowd_id, SecureRandom& rng) const;
 
   EncoderConfig config_;
   std::optional<SecretSharer> sharer_;

@@ -17,6 +17,7 @@
 #include "src/core/blind_shuffler.h"
 #include "src/core/encoder.h"
 #include "src/core/shuffler.h"
+#include "src/util/record_stream.h"
 #include "src/util/thread_pool.h"
 
 namespace prochlo {
@@ -61,6 +62,18 @@ class Pipeline {
 
   // Convenience: crowd ID = value (the Vocab arrangement).
   Result<PipelineResult> RunValues(const std::vector<std::string>& values);
+
+  // The shuffle + analyze stages over externally-supplied sealed reports
+  // (already encoded by clients) — the entry point the ingestion frontend
+  // drains epochs through.  Reports are pulled from `reports`, so a spooled
+  // epoch streams off disk; `rng`/`noise_rng` drive the stage randomness,
+  // letting the caller derive them per epoch for drain-order-independent
+  // determinism.  The result's histogram depends only on the report *set*
+  // (not arrival order) under kNone/kNaive thresholding, and additionally
+  // under kRandomized when each crowd maps to one value.
+  Result<PipelineResult> RunReports(RecordStream& reports, SecureRandom& rng, Rng& noise_rng);
+  // Convenience over a materialized batch, using the pipeline's own RNGs.
+  Result<PipelineResult> RunReports(const std::vector<Bytes>& reports);
 
  private:
   PipelineConfig config_;

@@ -1,7 +1,9 @@
 #include "src/core/report.h"
 
+#include <cassert>
 #include <cstring>
 
+#include "src/crypto/aes.h"
 #include "src/crypto/sha256.h"
 
 namespace prochlo {
@@ -105,6 +107,71 @@ Bytes SealReport(const CrowdPart& crowd, ByteSpan padded_payload,
   Bytes shuffler_plaintext = view.Serialize();
   HybridBox outer = HybridSeal(shuffler_public, shuffler_plaintext, kShufflerLayerContext, rng);
   return outer.Serialize();
+}
+
+std::vector<Bytes> BatchSealReports(const std::vector<CrowdPart>& crowds,
+                                    const std::vector<Bytes>& padded_payloads,
+                                    const EcPoint& shuffler_public,
+                                    const EcPoint& analyzer_public, SecureRandom& rng) {
+  assert(crowds.size() == padded_payloads.size());
+  const size_t n = crowds.size();
+  if (n == 0) {
+    return {};
+  }
+  const P256& curve = P256::Get();
+
+  // Ephemeral scalars: [0, n) seal the inner (analyzer) layer, [n, 2n) the
+  // outer (shuffler) layer.
+  std::vector<U256> scalars;
+  scalars.reserve(2 * n);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    scalars.push_back(rng.RandomScalar(curve.order()));
+  }
+
+  // One batch fixed-base pass (single inversion) for all ephemeral publics.
+  std::vector<EcPoint> ephemerals = curve.BatchBaseMult(scalars);
+
+  // ECDH against the two long-lived recipient keys — table-driven when the
+  // Encoder has registered them — normalized with one more batch inversion.
+  std::vector<P256::Jacobian> shared;
+  shared.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    shared.push_back(curve.JacScalarMultCached(analyzer_public, scalars[i]));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    shared.push_back(curve.JacScalarMultCached(shuffler_public, scalars[n + i]));
+  }
+  std::vector<EcPoint> shared_affine = curve.BatchNormalize(shared);
+
+  std::vector<Bytes> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Honest recipient keys are valid group elements, so ECDH cannot land
+    // on the identity (the same invariant HybridSeal asserts).
+    assert(!shared_affine[i].infinity && !shared_affine[n + i].infinity);
+
+    HybridBox inner;
+    inner.ephemeral_public = curve.Encode(ephemerals[i]);
+    Bytes inner_key = DeriveSessionKey(shared_affine[i].x, ephemerals[i], analyzer_public,
+                                       kAnalyzerLayerContext, kAes128KeySize);
+    AesGcm inner_aead(inner_key);
+    inner.nonce = rng.RandomNonce();
+    inner.sealed = inner_aead.Seal(inner.nonce, padded_payloads[i], /*aad=*/{});
+
+    ShufflerView view;
+    view.crowd = crowds[i];
+    view.inner_box = inner.Serialize();
+    Bytes shuffler_plaintext = view.Serialize();
+
+    HybridBox outer;
+    outer.ephemeral_public = curve.Encode(ephemerals[n + i]);
+    Bytes outer_key = DeriveSessionKey(shared_affine[n + i].x, ephemerals[n + i],
+                                       shuffler_public, kShufflerLayerContext, kAes128KeySize);
+    AesGcm outer_aead(outer_key);
+    outer.nonce = rng.RandomNonce();
+    outer.sealed = outer_aead.Seal(outer.nonce, shuffler_plaintext, /*aad=*/{});
+    out[i] = outer.Serialize();
+  }
+  return out;
 }
 
 std::optional<ShufflerView> OpenReport(const KeyPair& shuffler_keys, ByteSpan report) {

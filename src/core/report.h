@@ -70,6 +70,18 @@ Bytes SealReport(const CrowdPart& crowd, ByteSpan padded_payload,
                  const EcPoint& shuffler_public, const EcPoint& analyzer_public,
                  SecureRandom& rng);
 
+// Batch analogue of SealReport for a cohort of N reports (crowds[i] pairs
+// with padded_payloads[i]).  Amortizes the EC work across the cohort: all
+// 2N ephemeral public keys come from one BatchBaseMult and all 2N ECDH
+// shared points are normalized with one batch inversion, instead of 4N
+// per-point affine conversions (ROADMAP: batch the encoder side end to
+// end).  Output reports are byte-compatible with SealReport's (the batch is
+// a cost optimization, not a format change).
+std::vector<Bytes> BatchSealReports(const std::vector<CrowdPart>& crowds,
+                                    const std::vector<Bytes>& padded_payloads,
+                                    const EcPoint& shuffler_public,
+                                    const EcPoint& analyzer_public, SecureRandom& rng);
+
 // Shuffler side: opens the outer layer.
 std::optional<ShufflerView> OpenReport(const KeyPair& shuffler_keys, ByteSpan report);
 

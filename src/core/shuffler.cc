@@ -62,21 +62,25 @@ std::vector<Bytes> Shuffler::ThresholdAndStrip(std::vector<ShufflerView> views,
 Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& reports,
                                                   SecureRandom& rng, Rng& noise_rng,
                                                   ThreadPool* pool) {
-  if (reports.size() < config_.min_batch_size) {
+  VectorRecordStream stream(reports);
+  return ProcessStream(stream, rng, noise_rng, pool);
+}
+
+Result<std::vector<Bytes>> Shuffler::ProcessStream(RecordStream& reports, SecureRandom& rng,
+                                                   Rng& noise_rng, ThreadPool* pool) {
+  const size_t n = reports.size();
+  if (n < config_.min_batch_size) {
     return Error{"batch below the minimum cardinality; keep batching"};
   }
-  stats_.received += reports.size();
+  stats_.received += n;
 
   std::vector<ShufflerView> views;
-  views.reserve(reports.size());
+  views.reserve(n);
 
   if (config_.use_stash_shuffle) {
     if (enclave_ == nullptr) {
       return Error{"stash shuffle requires an enclave-hosted shuffler"};
     }
-    // Oblivious path: the Stash Shuffle strips the outer layer as records
-    // enter the enclave and emits shuffled ShufflerView plaintexts; the
-    // thresholding passes below then see no meaningful order.
     StashShuffler::Options options;
     options.open_outer = [this](const Bytes& record) -> std::optional<Bytes> {
       auto view = OpenReport(keys_, record);
@@ -87,7 +91,7 @@ Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& repo
     };
     options.pool = pool;
     StashShuffler stash(*enclave_, std::move(options));
-    auto shuffled = ShuffleWithRetries(stash, reports, rng, /*max_attempts=*/5);
+    auto shuffled = ShuffleStreamWithRetries(stash, reports, rng, /*max_attempts=*/5);
     if (!shuffled.ok()) {
       return shuffled.error();
     }
@@ -100,23 +104,43 @@ Result<std::vector<Bytes>> Shuffler::ProcessBatch(const std::vector<Bytes>& repo
       views.push_back(std::move(*view));
     }
   } else {
-    // The outer-layer ECDH+AEAD decryption is the batch's dominant cost and
-    // is pure per-report work; fan it out, then filter in input order so the
-    // result is thread-count independent.
-    std::vector<std::optional<ShufflerView>> slots(reports.size());
-    ParallelFor(pool, reports.size(),
-                [&](size_t i) { slots[i] = OpenReport(keys_, reports[i]); });
-    for (auto& slot : slots) {
-      if (!slot.has_value()) {
-        stats_.malformed++;
-        continue;
+    // Pull and open in bounded chunks: the opened views must all be resident
+    // for the in-memory Fisher-Yates anyway, but the raw sealed reports need
+    // never be held more than a chunk at a time.
+    constexpr size_t kOpenChunk = 4096;
+    std::vector<Bytes> raw;
+    std::vector<std::optional<ShufflerView>> slots;
+    size_t remaining = n;
+    while (remaining > 0) {
+      const size_t count = std::min(kOpenChunk, remaining);
+      raw.clear();
+      raw.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        auto record = reports.Next();
+        if (!record.has_value()) {
+          return Error{"record stream ended before its declared size"};
+        }
+        raw.push_back(std::move(*record));
       }
-      views.push_back(std::move(*slot));
+      slots.assign(count, std::nullopt);
+      ParallelFor(pool, count, [&](size_t i) { slots[i] = OpenReport(keys_, raw[i]); });
+      for (auto& slot : slots) {
+        if (!slot.has_value()) {
+          stats_.malformed++;
+          continue;
+        }
+        views.push_back(std::move(*slot));
+      }
+      remaining -= count;
     }
-    // Trusted-deployment shuffle: plain Fisher-Yates over the opened views.
     rng.ShuffleVector(views);
   }
 
+  return FinishViews(std::move(views), rng, noise_rng);
+}
+
+Result<std::vector<Bytes>> Shuffler::FinishViews(std::vector<ShufflerView> views,
+                                                 SecureRandom& rng, Rng& noise_rng) {
   std::vector<Bytes> survivors;
   if (config_.use_enclave_thresholding && enclave_ != nullptr) {
     // In-enclave thresholding (§4.1.5).  Decide the routine up front from

@@ -24,6 +24,7 @@
 #include "src/core/report.h"
 #include "src/dp/threshold_dp.h"
 #include "src/sgx/enclave.h"
+#include "src/util/record_stream.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -77,12 +78,24 @@ class Shuffler {
   Result<std::vector<Bytes>> ProcessBatch(const std::vector<Bytes>& reports, SecureRandom& rng,
                                           Rng& noise_rng, ThreadPool* pool = nullptr);
 
+  // Streaming variant for spooled epochs: reports are pulled from `reports`
+  // (e.g. straight off the ingestion tier's on-disk segments).  In the
+  // stash-shuffle path the records stream through the enclave one input
+  // bucket at a time, so an epoch larger than RAM never materializes; the
+  // trusted-deployment Fisher-Yates path must hold the opened views in
+  // memory regardless and only bounds the *raw* report residency.
+  Result<std::vector<Bytes>> ProcessStream(RecordStream& reports, SecureRandom& rng,
+                                           Rng& noise_rng, ThreadPool* pool = nullptr);
+
   const ShufflerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ShufflerStats{}; }
 
  private:
   // Shared thresholding logic over opened views, keyed by plain crowd hash.
   std::vector<Bytes> ThresholdAndStrip(std::vector<ShufflerView> views, Rng& noise_rng);
+  // Thresholding + post-shuffle shared by the batch and stream paths.
+  Result<std::vector<Bytes>> FinishViews(std::vector<ShufflerView> views, SecureRandom& rng,
+                                         Rng& noise_rng);
 
   KeyPair keys_;
   ShufflerConfig config_;

@@ -1,0 +1,131 @@
+#include "src/service/frontend.h"
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+ShufflerFrontend::ShufflerFrontend(FrontendConfig config)
+    : config_(std::move(config)), pipeline_(config_.pipeline) {
+  if (!config_.spool_dir.empty()) {
+    SpoolConfig spool_config;
+    spool_config.root = config_.spool_dir;
+    spool_config.fsync_on_seal = config_.fsync_spool;
+    spool_ = std::make_unique<Spool>(spool_config);
+  }
+  ingest_ = std::make_unique<ShardedIngest>(config_.ingest, spool_.get());
+}
+
+Status ShufflerFrontend::Start() {
+  if (started_) {
+    return Status::Ok();
+  }
+  if (spool_ != nullptr) {
+    auto recovery = spool_->Open();
+    if (!recovery.ok()) {
+      return recovery.error();
+    }
+    for (const auto& segment : recovery.value().segments) {
+      stats_.recovered_reports += segment.frames;
+    }
+    stats_.recovered_truncated_bytes += recovery.value().truncated_bytes;
+    ingest_->RestoreFromRecovery(recovery.value());
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Status ShufflerFrontend::AcceptFrameStream(ByteSpan stream) {
+  FrameReader reader(stream);
+  while (auto payload = reader.Next()) {
+    Status status = AcceptReport(std::move(*payload));
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  stats_.frames_ok += reader.stats().frames_ok;
+  stats_.frames_corrupt += reader.stats().frames_corrupt;
+  stats_.bytes_skipped += reader.stats().bytes_skipped;
+  return Status::Ok();
+}
+
+Status ShufflerFrontend::AcceptReport(Bytes sealed_report) {
+  Status status = ingest_->Accept(std::move(sealed_report));
+  if (status.ok()) {
+    stats_.reports_accepted++;
+  }
+  return status;
+}
+
+void ShufflerFrontend::Tick() { ingest_->Tick(); }
+
+Status ShufflerFrontend::CutEpoch() { return ingest_->CutEpoch(); }
+
+Status ShufflerFrontend::SyncSpool() {
+  return spool_ != nullptr ? spool_->SyncAll() : Status::Ok();
+}
+
+SecureRandom ShufflerFrontend::EpochRng(uint64_t epoch) const {
+  Writer w;
+  w.PutString(config_.pipeline.seed);
+  w.PutU64(epoch);
+  Sha256Digest digest = Sha256::TaggedHash("prochlo-epoch-rng", w.data());
+  return SecureRandom(ByteSpan(digest.data(), digest.size()));
+}
+
+Rng ShufflerFrontend::EpochNoiseRng(uint64_t epoch) const {
+  Writer w;
+  w.PutString(config_.pipeline.seed);
+  w.PutU64(epoch);
+  Sha256Digest digest = Sha256::TaggedHash("prochlo-epoch-noise", w.data());
+  uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    seed |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return Rng(seed);
+}
+
+Result<std::vector<EpochResult>> ShufflerFrontend::DrainSealedEpochs() {
+  std::vector<EpochResult> results;
+  while (auto batch = ingest_->PopSealedEpoch()) {
+    EpochResult epoch_result;
+    epoch_result.epoch = batch->epoch;
+    epoch_result.reports = batch->total;
+
+    SecureRandom epoch_rng = EpochRng(batch->epoch);
+    Rng epoch_noise = EpochNoiseRng(batch->epoch);
+
+    Result<PipelineResult> run = Error{"epoch not drained"};
+    if (spool_ != nullptr) {
+      // Stream straight off the epoch's segment files.
+      auto stream = spool_->OpenEpochStream(batch->epoch);
+      run = pipeline_.RunReports(*stream, epoch_rng, epoch_noise);
+    } else {
+      std::vector<Bytes> reports;
+      reports.reserve(batch->total);
+      for (auto& shard : batch->shard_reports) {
+        for (auto& report : shard) {
+          reports.push_back(std::move(report));
+        }
+      }
+      VectorRecordStream stream(reports);
+      run = pipeline_.RunReports(stream, epoch_rng, epoch_noise);
+    }
+    if (!run.ok()) {
+      // Put the batch back at the head of the queue (in-memory mode holds
+      // the only copy of its reports), so a later DrainSealedEpochs retries
+      // it; spooled segments also stay on disk untouched.
+      ingest_->RequeueSealedEpoch(std::move(*batch));
+      return run.error();
+    }
+    epoch_result.result = std::move(run).value();
+    if (spool_ != nullptr && config_.remove_drained_epochs) {
+      spool_->RemoveEpoch(batch->epoch);
+    }
+    stats_.epochs_drained++;
+    results.push_back(std::move(epoch_result));
+  }
+  return results;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,117 @@
+// The shuffler-frontend ingestion service: the standing tier between
+// clients and the batch Pipeline that makes this repo behave like the
+// paper's deployed shuffler rather than a one-shot simulator.
+//
+//   clients ──frames──► AcceptFrameStream / AcceptReport
+//                          │  (wire.h: CRC-checked frames; corrupt frames
+//                          │   are skipped and counted, never crash)
+//                          ▼
+//                      ShardedIngest (ingest.h: content-hash shards,
+//                          │   size/age epoch-cut policy)
+//                          ▼
+//                      Spool (spool.h: append-only per-(shard,epoch)
+//                          │   segments; epochs survive crashes)
+//                          ▼  epoch sealed
+//                      DrainSealedEpochs ──► Pipeline::RunReports
+//                          (stash/plain shuffle + threshold + analyze on
+//                           the existing thread pool) ──► EpochResult
+//
+// Determinism: each epoch's shuffle/threshold randomness is derived from
+// (pipeline seed, epoch number) — not from the pipeline's mutable RNG — so
+// for a fixed seed the per-epoch histogram is a function of the epoch's
+// report *set* alone: independent of ingestion interleaving, of drain
+// order, and of whether a crash/recovery happened mid-epoch.  (Under
+// randomized thresholding this holds when each crowd maps to one value —
+// see Pipeline::RunReports.)
+#ifndef PROCHLO_SRC_SERVICE_FRONTEND_H_
+#define PROCHLO_SRC_SERVICE_FRONTEND_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/service/ingest.h"
+#include "src/service/spool.h"
+#include "src/service/wire.h"
+
+namespace prochlo {
+
+struct FrontendConfig {
+  PipelineConfig pipeline;
+  IngestConfig ingest;
+  // Directory for spool segments; empty = accumulate epochs in memory.
+  std::string spool_dir;
+  bool fsync_spool = true;
+  // Delete an epoch's segments once drained (keep for audit if false).
+  bool remove_drained_epochs = true;
+};
+
+// Counters are atomic because AcceptReport/AcceptFrameStream are, like
+// ShardedIngest::Accept, callable from concurrent client-facing threads.
+struct FrontendStats {
+  std::atomic<uint64_t> reports_accepted{0};
+  std::atomic<uint64_t> frames_ok{0};
+  std::atomic<uint64_t> frames_corrupt{0};
+  std::atomic<uint64_t> bytes_skipped{0};
+  std::atomic<uint64_t> epochs_drained{0};
+  std::atomic<uint64_t> recovered_reports{0};   // replayed from the spool at Start()
+  std::atomic<uint64_t> recovered_truncated_bytes{0};  // torn tails discarded
+};
+
+struct EpochResult {
+  uint64_t epoch = 0;
+  size_t reports = 0;
+  PipelineResult result;
+};
+
+class ShufflerFrontend {
+ public:
+  explicit ShufflerFrontend(FrontendConfig config);
+
+  // Opens the spool (creating/recovering it) and readies ingestion.  After
+  // a crash, sealed epochs re-enter the drain queue and the newest unsealed
+  // epoch resumes accumulating exactly where its durable frames end.
+  Status Start();
+
+  // Encoder bound to this frontend's pipeline keys, for clients.
+  Encoder MakeEncoder() const { return pipeline_.MakeEncoder(); }
+
+  // Ingests a buffer of wire frames (zero or more).  Corrupt frames are
+  // skipped with stats kept; the call only fails on spool I/O errors.
+  Status AcceptFrameStream(ByteSpan stream);
+  // Ingests one already-unframed sealed report.
+  Status AcceptReport(Bytes sealed_report);
+
+  // Advances the epoch-age clock (call on the service's scheduling cadence).
+  void Tick();
+  // Forces the current epoch to seal (operator flush).
+  Status CutEpoch();
+  // Durability point: fsyncs all in-progress spool segments.
+  Status SyncSpool();
+
+  // Drains every sealed epoch through the pipeline's shuffle/analyze stages,
+  // oldest first, and returns one result per epoch.
+  Result<std::vector<EpochResult>> DrainSealedEpochs();
+
+  const FrontendStats& stats() const { return stats_; }
+  uint64_t current_epoch() const { return ingest_->current_epoch(); }
+  size_t current_epoch_size() const { return ingest_->current_epoch_size(); }
+  IngestStats ingest_stats() const { return ingest_->stats(); }
+
+ private:
+  SecureRandom EpochRng(uint64_t epoch) const;
+  Rng EpochNoiseRng(uint64_t epoch) const;
+
+  FrontendConfig config_;
+  Pipeline pipeline_;
+  std::unique_ptr<Spool> spool_;          // null in in-memory mode
+  std::unique_ptr<ShardedIngest> ingest_;
+  FrontendStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_FRONTEND_H_

@@ -1,0 +1,217 @@
+#include "src/service/ingest.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/crypto/sha256.h"
+
+namespace prochlo {
+
+size_t ShardedIngest::ShardOfReport(ByteSpan sealed_report, size_t num_shards) {
+  // Hash of the ciphertext bytes only: the frontend never inspects (and
+  // could not decrypt) the report's contents.  SHA-256 keeps the assignment
+  // uniform even against adversarial report construction.
+  Sha256Digest digest = Sha256::TaggedHash("prochlo-ingest-shard", sealed_report);
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return static_cast<size_t>(h % num_shards);
+}
+
+ShardedIngest::ShardedIngest(IngestConfig config, Spool* spool)
+    : config_(config), spool_(spool) {
+  if (config_.num_shards == 0) {
+    config_.num_shards = 1;
+  }
+  shards_.reserve(config_.num_shards);
+  for (size_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Status ShardedIngest::Accept(Bytes sealed_report) {
+  bool size_trigger = false;
+  {
+    std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+    size_t shard_index = ShardOfReport(sealed_report, config_.num_shards);
+    Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    if (spool_ != nullptr) {
+      Status status = spool_->Append(shard_index, current_epoch_.load(), sealed_report);
+      if (!status.ok()) {
+        return status;
+      }
+    } else {
+      shard.reports.push_back(std::move(sealed_report));
+    }
+    shard.count++;
+    size_t total = current_total_.fetch_add(1) + 1;
+    size_trigger = config_.max_epoch_reports > 0 && total >= config_.max_epoch_reports;
+  }
+  if (size_trigger) {
+    // Re-checked under the exclusive lock: a racing Accept may have already
+    // cut, in which case the epoch is fresh and below the trigger again.
+    std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+    if (config_.max_epoch_reports > 0 && current_total_.load() >= config_.max_epoch_reports) {
+      Status status = SealCurrentLocked();
+      if (!status.ok()) {
+        return status;
+      }
+      std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
+      stats_.size_cuts++;
+    }
+  }
+  return Status::Ok();
+}
+
+void ShardedIngest::Tick() {
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  current_age_++;
+  if (config_.max_epoch_age == 0 || current_age_ < config_.max_epoch_age) {
+    return;
+  }
+  size_t total = current_total_.load();
+  if (total == 0 || total < config_.min_epoch_reports) {
+    return;  // anonymity floor: an old-but-thin batch keeps waiting
+  }
+  if (SealCurrentLocked().ok()) {
+    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
+    stats_.age_cuts++;
+  }
+}
+
+Status ShardedIngest::CutEpoch() {
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  if (current_total_.load() == 0) {
+    return Status::Ok();  // nothing to seal
+  }
+  return SealCurrentLocked();
+}
+
+Status ShardedIngest::SealCurrentLocked() {
+  uint64_t epoch = current_epoch_.load();
+  EpochBatch batch;
+  batch.epoch = epoch;
+  batch.total = current_total_.load();
+  batch.shard_counts.resize(config_.num_shards);
+  if (spool_ == nullptr) {
+    batch.shard_reports.resize(config_.num_shards);
+  }
+  for (size_t s = 0; s < config_.num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    batch.shard_counts[s] = shard.count;
+    shard.count = 0;
+    if (spool_ == nullptr) {
+      batch.shard_reports[s] = std::move(shard.reports);
+      shard.reports.clear();
+    }
+  }
+  if (spool_ != nullptr) {
+    Status status = spool_->SealEpoch(epoch);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    stats_.accepted += batch.total;
+    stats_.epochs_sealed++;
+    sealed_.push_back(std::move(batch));
+  }
+  current_epoch_.fetch_add(1);
+  current_total_.store(0);
+  current_age_ = 0;
+  return Status::Ok();
+}
+
+std::optional<EpochBatch> ShardedIngest::PopSealedEpoch() {
+  std::lock_guard<std::mutex> lock(sealed_mu_);
+  if (sealed_.empty()) {
+    return std::nullopt;
+  }
+  EpochBatch batch = std::move(sealed_.front());
+  sealed_.pop_front();
+  return batch;
+}
+
+void ShardedIngest::RequeueSealedEpoch(EpochBatch batch) {
+  std::lock_guard<std::mutex> lock(sealed_mu_);
+  sealed_.push_front(std::move(batch));
+}
+
+void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  // Group recovered segment counts by epoch.
+  std::map<uint64_t, std::vector<size_t>> per_epoch;  // epoch -> shard counts
+  for (const auto& segment : recovery.segments) {
+    auto& counts = per_epoch[segment.epoch];
+    if (counts.size() < config_.num_shards) {
+      counts.resize(config_.num_shards, 0);
+    }
+    if (segment.shard < counts.size()) {
+      counts[segment.shard] += segment.frames;
+    }
+  }
+
+  // The newest unsealed epoch resumes accumulating; older unsealed epochs
+  // (which cannot legally accept more reports) are sealed as-is.
+  uint64_t next_epoch = 0;
+  std::optional<uint64_t> resume_epoch;
+  for (const auto& [epoch, counts] : per_epoch) {
+    next_epoch = std::max(next_epoch, epoch + 1);
+    if (recovery.sealed_epochs.count(epoch) == 0) {
+      if (!resume_epoch.has_value() || epoch > *resume_epoch) {
+        resume_epoch = epoch;
+      }
+    }
+  }
+  for (const auto& [epoch, counts] : per_epoch) {
+    size_t total = 0;
+    for (size_t c : counts) {
+      total += c;
+    }
+    if (resume_epoch.has_value() && epoch == *resume_epoch) {
+      // Resume even a zero-frame epoch (e.g. its only segment was a torn
+      // tail, truncated away): new reports must land here, never in an
+      // older epoch whose seal marker already exists.
+      for (size_t s = 0; s < config_.num_shards && s < counts.size(); ++s) {
+        shards_[s]->count = counts[s];
+      }
+      current_epoch_.store(epoch);
+      current_total_.store(total);
+      current_age_ = 0;
+      continue;
+    }
+    if (total == 0) {
+      continue;  // empty sealed epoch: nothing to drain
+    }
+    EpochBatch batch;
+    batch.epoch = epoch;
+    batch.total = total;
+    batch.shard_counts = counts;
+    if (recovery.sealed_epochs.count(epoch) == 0 && spool_ != nullptr) {
+      // An older unsealed epoch: seal it now so its marker exists.
+      spool_->SealEpoch(epoch);
+    }
+    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    stats_.accepted += batch.total;
+    stats_.epochs_sealed++;
+    sealed_.push_back(std::move(batch));
+  }
+  if (!resume_epoch.has_value()) {
+    current_epoch_.store(next_epoch);
+    current_total_.store(0);
+    current_age_ = 0;
+  }
+}
+
+IngestStats ShardedIngest::stats() const {
+  std::lock_guard<std::mutex> lock(sealed_mu_);
+  IngestStats out = stats_;
+  out.accepted += current_total_.load();
+  return out;
+}
+
+}  // namespace prochlo

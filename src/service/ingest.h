@@ -1,0 +1,131 @@
+// Sharded ingestion queues and epoch-cut policy for the shuffler frontend
+// (paper §4.2: reports accumulate until a batch is large enough to provide
+// anonymity, then the whole batch is shuffled and forwarded).
+//
+// Reports are routed to one of N shards by hashing the *ciphertext* bytes of
+// the sealed report — never a plaintext crowd ID, which the frontend must
+// not see (only the shuffler's keyed decryption reveals the CrowdPart, and
+// even then only inside the trusted boundary).  Shard assignment is
+// content-determined, so it is stable across retries and independent of
+// arrival interleaving.
+//
+// Epochs advance by a cut policy with two triggers:
+//   * size  — the epoch reaches max_epoch_reports (batch full);
+//   * age   — Tick() has been called max_epoch_age times since the epoch
+//             started AND the epoch holds at least min_epoch_reports (the
+//             §4.2 minimum-batch anonymity floor: an old-but-small batch
+//             keeps waiting rather than forwarding a thin crowd).
+// CutEpoch() force-seals regardless (an operator flush); the downstream
+// Shuffler still enforces its own min_batch_size.
+#ifndef PROCHLO_SRC_SERVICE_INGEST_H_
+#define PROCHLO_SRC_SERVICE_INGEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/service/spool.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct IngestConfig {
+  size_t num_shards = 4;
+  // Size trigger: seal the epoch once it holds this many reports (0 = off).
+  size_t max_epoch_reports = 0;
+  // Age trigger: seal after this many Tick()s (0 = off) ...
+  uint64_t max_epoch_age = 0;
+  // ... but only once the epoch holds at least this many reports.
+  size_t min_epoch_reports = 0;
+};
+
+struct IngestStats {
+  uint64_t accepted = 0;
+  uint64_t epochs_sealed = 0;
+  uint64_t size_cuts = 0;
+  uint64_t age_cuts = 0;
+};
+
+// A sealed epoch ready for draining.  Spooled mode carries only counts (the
+// reports live in segment files; stream them via Spool::OpenEpochStream);
+// in-memory mode carries the reports per shard in arrival order.
+struct EpochBatch {
+  uint64_t epoch = 0;
+  size_t total = 0;
+  std::vector<size_t> shard_counts;
+  std::vector<std::vector<Bytes>> shard_reports;  // empty in spooled mode
+
+  bool spooled() const { return shard_reports.empty() && total > 0; }
+};
+
+class ShardedIngest {
+ public:
+  // `spool` is borrowed and may be null (pure in-memory accumulation).
+  ShardedIngest(IngestConfig config, Spool* spool);
+
+  // Routes one sealed report to its shard; thread-safe.  May seal the
+  // current epoch when the size trigger fires.
+  Status Accept(Bytes sealed_report);
+
+  // Advances the logical epoch clock (the frontend calls this on its
+  // scheduling cadence); may seal the current epoch by age.
+  void Tick();
+
+  // Force-seals the current epoch if it holds any reports.
+  Status CutEpoch();
+
+  // Oldest sealed epoch not yet handed out, if any.
+  std::optional<EpochBatch> PopSealedEpoch();
+
+  // Returns a popped-but-undrained epoch to the front of the queue: a
+  // failed drain must not lose the batch (in-memory mode has no other
+  // copy; spooled mode would otherwise skip the epoch until a restart).
+  void RequeueSealedEpoch(EpochBatch batch);
+
+  // Adopts state recovered from a reopened spool: segments of marker-sealed
+  // epochs re-enter the sealed queue; segments of the newest unsealed epoch
+  // become the current epoch's accumulation (its age restarts); any older
+  // unsealed epochs are sealed (they can no longer accept reports).
+  void RestoreFromRecovery(const Spool::RecoveryReport& recovery);
+
+  uint64_t current_epoch() const { return current_epoch_; }
+  size_t current_epoch_size() const { return current_total_.load(); }
+  IngestStats stats() const;
+
+  // Content hash of the sealed (ciphertext) bytes -> shard index.
+  static size_t ShardOfReport(ByteSpan sealed_report, size_t num_shards);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    size_t count = 0;                // reports in the current epoch
+    std::vector<Bytes> reports;      // in-memory mode only
+  };
+
+  // Seals the current epoch; requires epoch_mu_ held exclusively.
+  Status SealCurrentLocked();
+
+  IngestConfig config_;
+  Spool* spool_;  // borrowed; may be null
+
+  // Shared: Accept; exclusive: epoch transitions (cut, tick-cut, restore).
+  mutable std::shared_mutex epoch_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> current_epoch_{0};
+  std::atomic<size_t> current_total_{0};
+  uint64_t current_age_ = 0;  // ticks since the epoch started
+
+  mutable std::mutex sealed_mu_;
+  std::deque<EpochBatch> sealed_;
+  IngestStats stats_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_INGEST_H_

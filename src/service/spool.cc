@@ -1,0 +1,361 @@
+#include "src/service/spool.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <tuple>
+
+#include "src/service/wire.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ SegmentWriter
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<SegmentWriter>> SegmentWriter::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Error{"spool: cannot open segment " + path + ": " + std::strerror(errno)};
+  }
+  return std::unique_ptr<SegmentWriter>(new SegmentWriter(path, fd));
+}
+
+Status SegmentWriter::Append(ByteSpan report) {
+  if (report.size() > kMaxFramePayload) {
+    // Never write a frame the reader is specified to reject: it would read
+    // as a torn tail and truncate away on the next recovery.
+    return Error{"spool: report exceeds the frame payload limit"};
+  }
+  Bytes frame = EncodeFrame(report);
+  size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Error{"spool: write failed on " + path_ + ": " + std::strerror(errno)};
+    }
+    done += static_cast<size_t>(n);
+  }
+  frames_++;
+  bytes_ += frame.size();
+  return Status::Ok();
+}
+
+Status SegmentWriter::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Error{"spool: fsync failed on " + path_ + ": " + std::strerror(errno)};
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------------- Spool
+
+std::string Spool::SegmentPath(size_t shard, uint64_t epoch) const {
+  return config_.root + "/shard-" + std::to_string(shard) + "-epoch-" + std::to_string(epoch) +
+         ".seg";
+}
+
+std::string Spool::MarkerPath(uint64_t epoch) const {
+  return config_.root + "/epoch-" + std::to_string(epoch) + ".sealed";
+}
+
+Result<Spool::RecoveryReport> Spool::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::create_directories(config_.root, ec);
+  if (ec) {
+    return Error{"spool: cannot create root " + config_.root + ": " + ec.message()};
+  }
+
+  RecoveryReport report;
+  for (const auto& entry : fs::directory_iterator(config_.root, ec)) {
+    std::string name = entry.path().filename().string();
+    uint64_t epoch = 0;
+    if (std::sscanf(name.c_str(), "epoch-%lu.sealed", &epoch) == 1) {
+      report.sealed_epochs.insert(epoch);
+      continue;
+    }
+    unsigned long shard = 0;
+    if (std::sscanf(name.c_str(), "shard-%lu-epoch-%lu.seg", &shard, &epoch) != 2) {
+      continue;  // foreign file; leave it alone
+    }
+
+    // Scan the segment's frames with a bounded buffer — one frame resident
+    // at a time, so recovering a larger-than-RAM segment stays O(1) in
+    // memory — and truncate at the clean prefix: the append-only discipline
+    // means everything past the first tear is suspect.
+    std::error_code size_ec;
+    uintmax_t file_size = fs::file_size(entry.path(), size_ec);
+    if (size_ec) {
+      return Error{"spool: cannot stat " + name};
+    }
+    uint64_t frames = 0;
+    uintmax_t clean_end = 0;
+    {
+      std::FILE* f = std::fopen(entry.path().c_str(), "rb");
+      if (f == nullptr) {
+        return Error{"spool: cannot read " + name};
+      }
+      Bytes frame;
+      while (true) {
+        uint8_t header[kFrameHeaderSize];
+        size_t got = std::fread(header, 1, sizeof(header), f);
+        if (got < sizeof(header)) {
+          break;  // clean EOF (got == 0) or torn header
+        }
+        Reader header_reader(ByteSpan(header, sizeof(header)));
+        uint32_t magic = 0, length = 0, crc = 0;
+        uint8_t version = 0;
+        header_reader.GetU32(&magic);
+        header_reader.GetU8(&version);
+        header_reader.GetU32(&length);
+        header_reader.GetU32(&crc);
+        if (magic != kFrameMagic || version != kWireVersion || length > kMaxFramePayload) {
+          break;
+        }
+        frame.resize(kFrameHeaderSize + length);
+        std::memcpy(frame.data(), header, sizeof(header));
+        if (std::fread(frame.data() + kFrameHeaderSize, 1, length, f) != length) {
+          break;  // torn payload
+        }
+        if (!DecodeFrame(frame).ok()) {
+          break;  // CRC mismatch
+        }
+        frames++;
+        clean_end += FrameWireSize(length);
+      }
+      std::fclose(f);
+    }
+    if (clean_end < file_size) {
+      report.corrupt_frames++;  // at least one frame lost in the torn tail
+      report.truncated_bytes += file_size - clean_end;
+      fs::resize_file(entry.path(), clean_end, ec);
+      if (ec) {
+        return Error{"spool: cannot truncate " + name + ": " + ec.message()};
+      }
+    }
+
+    SegmentInfo info;
+    info.shard = shard;
+    info.epoch = epoch;
+    info.frames = frames;
+    info.bytes = clean_end;
+    info.path = entry.path().string();
+    frame_counts_[{epoch, shard}] = frames;
+    report.segments.push_back(std::move(info));
+  }
+
+  std::sort(report.segments.begin(), report.segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return std::tie(a.epoch, a.shard) < std::tie(b.epoch, b.shard);
+            });
+  return report;
+}
+
+Status Spool::Append(size_t shard, uint64_t epoch, ByteSpan report) {
+  SegmentWriter* writer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_pair(epoch, shard);
+    auto it = writers_.find(key);
+    if (it == writers_.end()) {
+      auto opened = SegmentWriter::Open(SegmentPath(shard, epoch));
+      if (!opened.ok()) {
+        return opened.error();
+      }
+      it = writers_.emplace(key, std::move(opened).value()).first;
+    }
+    writer = it->second.get();
+  }
+  // Per-shard appends are serialized by the caller (ingest holds the shard
+  // lock), so writing outside mu_ is safe and keeps shards independent.
+  Status status = writer->Append(report);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frame_counts_[{epoch, shard}]++;
+  }
+  return status;
+}
+
+Status Spool::SyncAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, writer] : writers_) {
+    Status status = writer->Sync();
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Spool::SealEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sync and close every segment of the epoch first...
+  for (auto it = writers_.begin(); it != writers_.end();) {
+    if (it->first.first != epoch) {
+      ++it;
+      continue;
+    }
+    if (config_.fsync_on_seal) {
+      Status status = it->second->Sync();
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    it = writers_.erase(it);  // destructor closes the fd
+  }
+  // ...then write the marker, so its presence implies complete segments.
+  std::string marker = MarkerPath(epoch);
+  int fd = ::open(marker.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error{"spool: cannot write marker " + marker + ": " + std::strerror(errno)};
+  }
+  if (config_.fsync_on_seal) {
+    ::fsync(fd);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+uint64_t Spool::FrameCount(size_t shard, uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frame_counts_.find({epoch, shard});
+  return it == frame_counts_.end() ? 0 : it->second;
+}
+
+uint64_t Spool::EpochFrameCount(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (auto it = frame_counts_.lower_bound({epoch, 0});
+       it != frame_counts_.end() && it->first.first == epoch; ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+namespace {
+
+// RecordStream over an epoch's segment files, one frame read at a time.
+class SpoolEpochStream : public RecordStream {
+ public:
+  SpoolEpochStream(std::vector<std::string> paths, size_t total)
+      : paths_(std::move(paths)), total_(total) {}
+
+  ~SpoolEpochStream() override { CloseCurrent(); }
+
+  size_t size() const override { return total_; }
+
+  std::optional<Bytes> Next() override {
+    while (true) {
+      if (file_ == nullptr) {
+        if (next_path_ >= paths_.size()) {
+          return std::nullopt;
+        }
+        file_ = std::fopen(paths_[next_path_].c_str(), "rb");
+        next_path_++;
+        if (file_ == nullptr) {
+          continue;  // segment absent (empty shard): move on
+        }
+      }
+      auto payload = ReadFrame();
+      if (payload.has_value()) {
+        return payload;
+      }
+      CloseCurrent();
+    }
+  }
+
+  void Reset() override {
+    CloseCurrent();
+    next_path_ = 0;
+  }
+
+ private:
+  void CloseCurrent() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  // Reads one frame from the current file; nullopt at EOF or on a torn
+  // frame (recovery has already truncated sealed segments, so a tear here
+  // means the file changed underneath us — stop cleanly).
+  std::optional<Bytes> ReadFrame() {
+    uint8_t header[kFrameHeaderSize];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+      return std::nullopt;
+    }
+    Reader reader(ByteSpan(header, sizeof(header)));
+    uint32_t magic = 0, length = 0, crc = 0;
+    uint8_t version = 0;
+    reader.GetU32(&magic);
+    reader.GetU8(&version);
+    reader.GetU32(&length);
+    reader.GetU32(&crc);
+    if (magic != kFrameMagic || version != kWireVersion || length > kMaxFramePayload) {
+      return std::nullopt;
+    }
+    Bytes frame(kFrameHeaderSize + length);
+    std::memcpy(frame.data(), header, sizeof(header));
+    if (std::fread(frame.data() + kFrameHeaderSize, 1, length, file_) != length) {
+      return std::nullopt;
+    }
+    auto decoded = DecodeFrame(frame);
+    if (!decoded.ok()) {
+      return std::nullopt;
+    }
+    return std::move(decoded).value();
+  }
+
+  std::vector<std::string> paths_;
+  size_t total_;
+  size_t next_path_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordStream> Spool::OpenEpochStream(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  size_t total = 0;
+  for (auto it = frame_counts_.lower_bound({epoch, 0});
+       it != frame_counts_.end() && it->first.first == epoch; ++it) {
+    if (it->second == 0) {
+      continue;
+    }
+    paths.push_back(SegmentPath(it->first.second, epoch));
+    total += it->second;
+  }
+  return std::make_unique<SpoolEpochStream>(std::move(paths), total);
+}
+
+Status Spool::RemoveEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (auto it = frame_counts_.lower_bound({epoch, 0});
+       it != frame_counts_.end() && it->first.first == epoch;) {
+    writers_.erase(it->first);
+    fs::remove(SegmentPath(it->first.second, epoch), ec);
+    it = frame_counts_.erase(it);
+  }
+  fs::remove(MarkerPath(epoch), ec);
+  return Status::Ok();
+}
+
+}  // namespace prochlo

@@ -1,0 +1,127 @@
+// Spill-to-disk epoch spooling for the shuffler frontend.
+//
+// Accumulated batches can exceed RAM (the paper shuffles hundreds of
+// millions of reports per epoch), so the ingestion tier appends each sealed
+// report to an on-disk segment file keyed by (shard, epoch) and streams it
+// back into the shuffle at drain time.  The layout follows the append-only
+// segment discipline of write-optimized stores (cf. the betrfs log-segment
+// design): segments are only ever appended to or deleted whole, never
+// rewritten in place.
+//
+//   <root>/shard-<s>-epoch-<e>.seg   frames (wire.h) of sealed reports
+//   <root>/epoch-<e>.sealed          marker: epoch e cut; segments complete
+//
+// Durability contract: SealEpoch fsyncs every segment of the epoch before
+// writing (and fsyncing) the marker, so a marker implies complete segments.
+// On reopen, Recover() scans each segment's frames and truncates the file at
+// the end of its clean prefix (clean_prefix_end), discarding a torn tail
+// from a crash mid-append; epochs without a marker resume accumulating.
+#ifndef PROCHLO_SRC_SERVICE_SPOOL_H_
+#define PROCHLO_SRC_SERVICE_SPOOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/record_stream.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct SpoolConfig {
+  std::string root;          // directory; created if absent
+  bool fsync_on_seal = true; // fsync segments + marker at epoch seal
+};
+
+// One append-only segment file; writes are one frame per Append call.
+class SegmentWriter {
+ public:
+  ~SegmentWriter();
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  static Result<std::unique_ptr<SegmentWriter>> Open(const std::string& path);
+
+  Status Append(ByteSpan report);
+  Status Sync();  // flush to the device (fsync)
+
+  uint64_t frames() const { return frames_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t frames_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+class Spool {
+ public:
+  explicit Spool(SpoolConfig config) : config_(std::move(config)) {}
+
+  struct SegmentInfo {
+    size_t shard = 0;
+    uint64_t epoch = 0;
+    uint64_t frames = 0;  // valid frames in the clean prefix
+    uint64_t bytes = 0;   // file size after truncation
+    std::string path;
+  };
+
+  struct RecoveryReport {
+    std::vector<SegmentInfo> segments;  // sorted by (epoch, shard)
+    std::set<uint64_t> sealed_epochs;   // epochs with a seal marker
+    uint64_t truncated_bytes = 0;       // torn tails removed
+    uint64_t corrupt_frames = 0;        // segments with a torn tail (>= 1 frame lost each)
+  };
+
+  // Creates the root directory (if needed) and replays existing segments:
+  // each is scanned frame-by-frame and truncated at its clean prefix.
+  Result<RecoveryReport> Open();
+
+  // Appends one sealed report to the (shard, epoch) segment, opening the
+  // writer on demand.  Thread-safe across shards; callers serialize
+  // per-shard appends (the ingest tier holds a per-shard lock).
+  Status Append(size_t shard, uint64_t epoch, ByteSpan report);
+
+  // Fsyncs every open segment (a durability point mid-epoch).
+  Status SyncAll();
+
+  // Seals an epoch: fsyncs and closes its segments, then writes the marker.
+  Status SealEpoch(uint64_t epoch);
+
+  // Streaming reader over every report of a sealed epoch, shard order then
+  // append order; size() is the tracked frame count.  The stream reads one
+  // frame at a time — an epoch larger than RAM never materializes.
+  std::unique_ptr<RecordStream> OpenEpochStream(uint64_t epoch);
+
+  // Deletes an epoch's segments and marker after a successful drain.
+  Status RemoveEpoch(uint64_t epoch);
+
+  // Tracked frame count for (shard, epoch) — recovery plus appends.
+  uint64_t FrameCount(size_t shard, uint64_t epoch) const;
+  uint64_t EpochFrameCount(uint64_t epoch) const;
+
+  const std::string& root() const { return config_.root; }
+
+ private:
+  std::string SegmentPath(size_t shard, uint64_t epoch) const;
+  std::string MarkerPath(uint64_t epoch) const;
+
+  SpoolConfig config_;
+  mutable std::mutex mu_;
+  // Open writers for the in-progress epoch, keyed by (epoch, shard).
+  std::map<std::pair<uint64_t, size_t>, std::unique_ptr<SegmentWriter>> writers_;
+  // Frame counts per (epoch, shard), surviving writer close.
+  std::map<std::pair<uint64_t, size_t>, uint64_t> frame_counts_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_SPOOL_H_

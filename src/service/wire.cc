@@ -1,0 +1,147 @@
+#include "src/service/wire.h"
+
+#include <array>
+#include <cassert>
+
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+// CRC over version || length || payload, the frame's integrity span.
+uint32_t FrameCrc(uint8_t version, uint32_t length, ByteSpan payload) {
+  std::array<uint8_t, 5> head = {
+      version,
+      static_cast<uint8_t>(length),
+      static_cast<uint8_t>(length >> 8),
+      static_cast<uint8_t>(length >> 16),
+      static_cast<uint8_t>(length >> 24),
+  };
+  uint32_t crc = Crc32Update(0xFFFFFFFFu, ByteSpan(head.data(), head.size()));
+  return Crc32Update(crc, payload) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteSpan data) {
+  return Crc32Update(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(Bytes& out, ByteSpan payload) {
+  // Producing a frame the decoder is specified to reject is a caller bug.
+  assert(payload.size() <= kMaxFramePayload);
+  Writer w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(kWireVersion);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(FrameCrc(kWireVersion, static_cast<uint32_t>(payload.size()), payload));
+  w.PutBytes(payload);
+  Bytes frame = w.Take();
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+Bytes EncodeFrame(ByteSpan payload) {
+  Bytes out;
+  out.reserve(FrameWireSize(payload.size()));
+  AppendFrame(out, payload);
+  return out;
+}
+
+Result<Bytes> DecodeFrame(ByteSpan frame) {
+  Reader reader(frame);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  if (!reader.GetU32(&magic) || !reader.GetU8(&version) || !reader.GetU32(&length) ||
+      !reader.GetU32(&crc)) {
+    return Error{"frame header truncated"};
+  }
+  if (magic != kFrameMagic) {
+    return Error{"bad frame magic"};
+  }
+  if (version != kWireVersion) {
+    return Error{"unsupported frame version"};
+  }
+  if (length > kMaxFramePayload) {
+    return Error{"frame length exceeds limit"};
+  }
+  if (reader.remaining() < length) {
+    return Error{"frame payload truncated"};
+  }
+  Bytes payload;
+  reader.GetBytes(length, &payload);
+  if (FrameCrc(version, length, payload) != crc) {
+    return Error{"frame CRC mismatch"};
+  }
+  return payload;
+}
+
+std::optional<Bytes> FrameReader::Next() {
+  while (pos_ < stream_.size()) {
+    // Scan to the next magic; anything in between is garbage.
+    size_t scan = pos_;
+    while (scan + 4 <= stream_.size()) {
+      uint32_t magic = static_cast<uint32_t>(stream_[scan]) |
+                       static_cast<uint32_t>(stream_[scan + 1]) << 8 |
+                       static_cast<uint32_t>(stream_[scan + 2]) << 16 |
+                       static_cast<uint32_t>(stream_[scan + 3]) << 24;
+      if (magic == kFrameMagic) {
+        break;
+      }
+      ++scan;
+    }
+    if (scan + 4 > stream_.size()) {
+      // No further magic; the tail is garbage.
+      stats_.bytes_skipped += stream_.size() - pos_;
+      saw_corruption_ = saw_corruption_ || pos_ < stream_.size();
+      pos_ = stream_.size();
+      return std::nullopt;
+    }
+    if (scan != pos_) {
+      stats_.bytes_skipped += scan - pos_;
+      saw_corruption_ = true;
+      pos_ = scan;
+    }
+
+    auto decoded = DecodeFrame(stream_.subspan(pos_));
+    if (decoded.ok()) {
+      // Frame length is trustworthy once the CRC checks out.
+      pos_ += FrameWireSize(decoded.value().size());
+      stats_.frames_ok++;
+      if (!saw_corruption_) {
+        clean_prefix_end_ = pos_;
+      }
+      return std::move(decoded).value();
+    }
+    // Corrupt frame at a magic boundary: count it, step past the magic, and
+    // resynchronize on the next one.
+    stats_.frames_corrupt++;
+    saw_corruption_ = true;
+    pos_ += 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,90 @@
+// The shuffler-frontend wire format: how sealed reports travel from clients
+// to the ingestion tier, and how they are laid out inside spool segments.
+//
+// A frame is a versioned, length-prefixed, CRC-checked envelope around one
+// sealed report (the outer HybridBox bytes of report.h):
+//
+//   offset  size  field
+//   0       4     magic  0x48435250 ("PRCH", little-endian)
+//   4       1     version (kWireVersion)
+//   5       4     payload length, little-endian u32
+//   9       4     CRC-32 over version || length || payload
+//   13      n     payload (the sealed report)
+//
+// The CRC covers the header's version and length fields as well as the
+// payload, so a corrupt length cannot silently mis-frame the stream.  The
+// streaming reader resynchronizes after corruption by scanning for the next
+// magic, and keeps exact books: every byte of input is accounted to either a
+// good frame, a corrupt frame, or skipped garbage — there is no silent
+// miscount, which the spool's recovery and the shuffler's received-report
+// statistics both depend on.
+#ifndef PROCHLO_SRC_SERVICE_WIRE_H_
+#define PROCHLO_SRC_SERVICE_WIRE_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+inline constexpr uint32_t kFrameMagic = 0x48435250;  // "PRCH" on the wire
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 13;
+// Upper bound on a single frame's payload; a corrupt length field beyond
+// this is rejected before any allocation is attempted.
+inline constexpr size_t kMaxFramePayload = 1u << 24;
+
+// CRC-32 (ISO-HDLC: reflected 0xEDB88320, init/xorout 0xFFFFFFFF).
+uint32_t Crc32(ByteSpan data);
+
+// Wire size of a frame carrying `payload_size` bytes.
+constexpr size_t FrameWireSize(size_t payload_size) {
+  return kFrameHeaderSize + payload_size;
+}
+
+// Encodes one payload as a frame.
+Bytes EncodeFrame(ByteSpan payload);
+// Appends a frame to an existing buffer (the spool's append path).
+void AppendFrame(Bytes& out, ByteSpan payload);
+
+// Decodes a buffer holding exactly one frame.  Errors distinguish the
+// failure (short header, bad magic, unsupported version, truncated payload,
+// CRC mismatch) so tests and operators can tell tampering from truncation.
+Result<Bytes> DecodeFrame(ByteSpan frame);
+
+struct FrameStreamStats {
+  uint64_t frames_ok = 0;
+  uint64_t frames_corrupt = 0;  // magic found but frame failed to decode
+  uint64_t bytes_skipped = 0;   // garbage scanned over during resync
+};
+
+// Streaming reader over a byte buffer containing zero or more frames.
+// Next() yields each valid payload in order; corrupt frames are skipped
+// (with stats kept) by scanning forward for the next magic.
+class FrameReader {
+ public:
+  explicit FrameReader(ByteSpan stream) : stream_(stream) {}
+
+  // Next valid payload, or nullopt at end of stream.
+  std::optional<Bytes> Next();
+
+  const FrameStreamStats& stats() const { return stats_; }
+
+  // Byte offset just past the last frame of the unbroken valid prefix: every
+  // frame before it decoded cleanly and no corruption had yet been seen.
+  // The spool truncates a reopened segment here, discarding a torn tail
+  // without touching durable frames.
+  size_t clean_prefix_end() const { return clean_prefix_end_; }
+
+ private:
+  ByteSpan stream_;
+  size_t pos_ = 0;
+  size_t clean_prefix_end_ = 0;
+  bool saw_corruption_ = false;
+  FrameStreamStats stats_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_WIRE_H_

@@ -2,6 +2,31 @@
 
 namespace prochlo {
 
+Result<std::vector<Bytes>> ObliviousShuffler::ShuffleStream(RecordStream& input,
+                                                            SecureRandom& rng) {
+  std::vector<Bytes> materialized;
+  materialized.reserve(input.size());
+  while (auto record = input.Next()) {
+    materialized.push_back(std::move(*record));
+  }
+  return Shuffle(materialized, rng);
+}
+
+Result<std::vector<Bytes>> ShuffleStreamWithRetries(ObliviousShuffler& shuffler,
+                                                    RecordStream& input, SecureRandom& rng,
+                                                    int max_attempts) {
+  Error last{"shuffle not attempted"};
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    input.Reset();
+    auto result = shuffler.ShuffleStream(input, rng);
+    if (result.ok()) {
+      return result;
+    }
+    last = result.error();
+  }
+  return Error{"shuffle failed after retries: " + last.message};
+}
+
 Result<std::vector<Bytes>> ShuffleWithRetries(ObliviousShuffler& shuffler,
                                               const std::vector<Bytes>& input, SecureRandom& rng,
                                               int max_attempts) {

@@ -17,6 +17,7 @@
 
 #include "src/crypto/random.h"
 #include "src/util/bytes.h"
+#include "src/util/record_stream.h"
 #include "src/util/status.h"
 
 namespace prochlo {
@@ -59,6 +60,12 @@ class ObliviousShuffler {
   virtual Result<std::vector<Bytes>> Shuffle(const std::vector<Bytes>& input,
                                              SecureRandom& rng) = 0;
 
+  // Streaming variant: records are pulled from `input` (e.g. a spool epoch
+  // stream) instead of a materialized vector.  The default materializes;
+  // shufflers that can bound their residency (the Stash Shuffle reads one
+  // input bucket at a time) override it with a true streaming pass.
+  virtual Result<std::vector<Bytes>> ShuffleStream(RecordStream& input, SecureRandom& rng);
+
   virtual const ShuffleMetrics& metrics() const = 0;
   virtual std::string name() const = 0;
 };
@@ -68,6 +75,11 @@ class ObliviousShuffler {
 Result<std::vector<Bytes>> ShuffleWithRetries(ObliviousShuffler& shuffler,
                                               const std::vector<Bytes>& input, SecureRandom& rng,
                                               int max_attempts);
+
+// Streaming analogue: the stream is Reset() before every attempt.
+Result<std::vector<Bytes>> ShuffleStreamWithRetries(ObliviousShuffler& shuffler,
+                                                    RecordStream& input, SecureRandom& rng,
+                                                    int max_attempts);
 
 // Runs the shuffle twice in succession — the paper's standard technique for
 // boosting overall shuffle security (the composed permutation is at least as

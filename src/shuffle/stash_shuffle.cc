@@ -71,24 +71,28 @@ StashShuffler::StashShuffler(Enclave& enclave, Options options)
 
 Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& input,
                                                   SecureRandom& rng) {
+  VectorRecordStream stream(input);
+  return ShuffleStream(stream, rng);
+}
+
+Result<std::vector<Bytes>> StashShuffler::ShuffleStream(RecordStream& input, SecureRandom& rng) {
   const size_t n = input.size();
   if (n == 0) {
     return std::vector<Bytes>{};
   }
-  const size_t raw_item_size = input[0].size();
-  for (const auto& record : input) {
-    if (record.size() != raw_item_size) {
-      return Error{"stash shuffle requires equal-size records"};
-    }
+  // Pull the first record to establish the (uniform) record size; it is
+  // carried as `pending` into the first bucket's pull below.
+  std::optional<Bytes> pending = input.Next();
+  if (!pending.has_value()) {
+    return Error{"record stream ended before its declared size"};
   }
-
-  // Determine the post-open item size from the first record.
+  const size_t raw_item_size = pending->size();
   if (raw_item_size == 0) {
     return Error{"stash shuffle requires non-empty records"};
   }
   size_t item_size = raw_item_size;
   if (options_.open_outer) {
-    auto probe = options_.open_outer(input[0]);
+    auto probe = options_.open_outer(*pending);
     if (!probe.has_value()) {
       return Error{"outer decryption failed on first record"};
     }
@@ -173,6 +177,31 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
     }
   };
 
+  // Pulls the next `count` records off the stream into `raw` — the only raw
+  // input ever resident is one bucket's worth.
+  auto pull_bucket = [&](size_t count, std::vector<Bytes>& raw) -> Status {
+    raw.clear();
+    raw.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::optional<Bytes> record;
+      if (pending.has_value()) {
+        record = std::move(pending);
+        pending.reset();
+      } else {
+        record = input.Next();
+      }
+      if (!record.has_value()) {
+        return Error{"record stream ended before its declared size"};
+      }
+      if (record->size() != raw_item_size) {
+        return Error{"stash shuffle requires equal-size records"};
+      }
+      raw.push_back(std::move(*record));
+    }
+    return Status::Ok();
+  };
+
+  std::vector<Bytes> raw;  // current input bucket's records
   for (size_t b = 0; b < num_buckets && !failed; ++b) {
     const size_t begin = b * bucket_size;
     const size_t end = std::min(n, begin + bucket_size);
@@ -188,6 +217,11 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
       continue;
     }
     const size_t count = end - begin;
+    Status pulled = pull_bucket(count, raw);
+    if (!pulled.ok()) {
+      enclave_.memory().Release(distribution_bytes + stash_metered_bytes);
+      return pulled.error();
+    }
 
     std::vector<std::vector<Bytes>> output(num_buckets);  // private chunks
 
@@ -207,18 +241,18 @@ Result<std::vector<Bytes>> StashShuffler::Shuffle(const std::vector<Bytes>& inpu
     std::vector<std::optional<Bytes>> opened(count);
     if (options_.open_outer) {
       ParallelFor(pool, count, [&](size_t i) {
-        opened[i] = options_.open_outer(input[begin + i]);
+        opened[i] = options_.open_outer(raw[i]);
       });
     } else {
       for (size_t i = 0; i < count; ++i) {
-        opened[i] = input[begin + i];
+        opened[i] = std::move(raw[i]);
       }
     }
 
     for (size_t i = 0; i < count && !failed; ++i) {
-      enclave_.NoteRead(input[begin + i].size(), 1);
+      enclave_.NoteRead(raw_item_size, 1);
       metrics_.items_processed++;
-      metrics_.bytes_processed += input[begin + i].size();
+      metrics_.bytes_processed += raw_item_size;
 
       if (!opened[i].has_value()) {
         ++dropped;  // forged record: drop (its slot becomes a dummy)

@@ -57,6 +57,12 @@ class StashShuffler : public ObliviousShuffler {
   Result<std::vector<Bytes>> Shuffle(const std::vector<Bytes>& input,
                                      SecureRandom& rng) override;
 
+  // True streaming input: records are pulled one input bucket at a time, so
+  // only D raw records are ever resident alongside the private working set —
+  // a spooled epoch larger than RAM streams straight off disk.  Shuffle()
+  // is this with a vector-backed stream.
+  Result<std::vector<Bytes>> ShuffleStream(RecordStream& input, SecureRandom& rng) override;
+
   const ShuffleMetrics& metrics() const override { return metrics_; }
   std::string name() const override { return "StashShuffle"; }
 

@@ -1,0 +1,595 @@
+// The shuffler-frontend ingestion subsystem end to end: content-hash
+// sharding, epoch-cut policy, spool durability and torn-tail recovery, the
+// batch encoder fast path, streaming stash-shuffle input, and the
+// acceptance scenario — reports framed, ingested across >= 4 shards,
+// spooled to disk, epoch-cut, shuffled, and analyzed to a histogram
+// bit-identical to the equivalent one-shot Pipeline::Run, at thread counts
+// {0, 4}, including after a simulated crash/reopen mid-epoch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/service/frontend.h"
+#include "src/service/ingest.h"
+#include "src/service/spool.h"
+#include "src/service/wire.h"
+#include "src/sgx/attestation.h"
+#include "src/shuffle/stash_shuffle.h"
+#include "src/util/rng.h"
+
+namespace prochlo {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test; removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((fs::temp_directory_path() / ("prochlo-" + name)).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+// Thread counts for the end-to-end matrix.  PROCHLO_STASH_THREADS (a comma
+// list, as the benches use) overrides, so scripts/check.sh can pin the
+// matrix externally; default covers sequential and 4 workers.
+std::vector<size_t> ThreadMatrix() {
+  const char* env = std::getenv("PROCHLO_STASH_THREADS");
+  if (env == nullptr) {
+    return {0, 4};
+  }
+  std::vector<size_t> threads;
+  std::string spec = env;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    threads.push_back(std::strtoull(spec.substr(pos, comma - pos).c_str(), nullptr, 10));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return threads;
+}
+
+std::vector<std::pair<std::string, std::string>> CohortInputs() {
+  // Crowd ID = value, so results are interleaving-invariant even under
+  // randomized thresholding (see Pipeline::RunReports).
+  std::vector<std::pair<std::string, std::string>> inputs;
+  auto add = [&](const std::string& value, int count) {
+    for (int i = 0; i < count; ++i) {
+      inputs.emplace_back(value, value);
+    }
+  };
+  add("app-alpha", 90);
+  add("app-beta", 60);
+  add("app-gamma", 35);
+  add("app-rare", 5);  // below T=20: must not reach the analyzer
+  return inputs;
+}
+
+PipelineConfig ServicePipelineConfig(size_t threads) {
+  PipelineConfig config;
+  config.shuffler.threshold_mode = ThresholdMode::kNaive;
+  config.shuffler.policy = ThresholdPolicy{20, 10, 2};
+  config.num_threads = threads;
+  config.seed = "service-e2e";
+  return config;
+}
+
+// ---------------------------------------------------------------- sharding
+
+TEST(ServiceTest, ShardAssignmentIsStableAndSpreads) {
+  Rng rng(0x5348);
+  std::set<size_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    Bytes report(64);
+    for (auto& byte : report) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    size_t shard = ShardedIngest::ShardOfReport(report, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardedIngest::ShardOfReport(report, 4));  // stable
+    seen.insert(shard);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // 256 random reports hit every shard
+}
+
+// ------------------------------------------------------------- epoch cuts
+
+Bytes NumberedReport(uint64_t i) {
+  Bytes report(32, 0);
+  for (int b = 0; b < 8; ++b) {
+    report[b] = static_cast<uint8_t>(i >> (8 * b));
+  }
+  return report;
+}
+
+TEST(ServiceTest, SizeTriggerSealsEpochs) {
+  IngestConfig config;
+  config.num_shards = 4;
+  config.max_epoch_reports = 10;
+  ShardedIngest ingest(config, /*spool=*/nullptr);
+  for (uint64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
+  }
+  EXPECT_EQ(ingest.stats().epochs_sealed, 2u);
+  EXPECT_EQ(ingest.current_epoch_size(), 5u);
+
+  auto first = ingest.PopSealedEpoch();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 0u);
+  EXPECT_EQ(first->total, 10u);
+  size_t sum = 0;
+  for (size_t s = 0; s < first->shard_reports.size(); ++s) {
+    EXPECT_EQ(first->shard_reports[s].size(), first->shard_counts[s]);
+    sum += first->shard_counts[s];
+  }
+  EXPECT_EQ(sum, 10u);
+  auto second = ingest.PopSealedEpoch();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->epoch, 1u);
+  EXPECT_FALSE(ingest.PopSealedEpoch().has_value());
+}
+
+TEST(ServiceTest, AgeTriggerWaitsForAnonymityFloor) {
+  IngestConfig config;
+  config.num_shards = 2;
+  config.max_epoch_age = 2;
+  config.min_epoch_reports = 5;
+  ShardedIngest ingest(config, /*spool=*/nullptr);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
+  }
+  ingest.Tick();
+  ingest.Tick();
+  ingest.Tick();
+  // Old but thin: the batch keeps waiting (§4.2's minimum-batch floor).
+  EXPECT_EQ(ingest.stats().epochs_sealed, 0u);
+  for (uint64_t i = 3; i < 5; ++i) {
+    ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
+  }
+  ingest.Tick();
+  EXPECT_EQ(ingest.stats().epochs_sealed, 1u);
+  EXPECT_EQ(ingest.stats().age_cuts, 1u);
+}
+
+// ------------------------------------------------------------------ spool
+
+TEST(ServiceTest, SpoolRoundTripAndTornTailRecovery) {
+  ScratchDir dir("spool-recovery");
+  std::vector<Bytes> epoch0;
+  {
+    Spool spool(SpoolConfig{dir.path, /*fsync_on_seal=*/true});
+    ASSERT_TRUE(spool.Open().ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      epoch0.push_back(NumberedReport(i));
+      ASSERT_TRUE(spool.Append(/*shard=*/0, /*epoch=*/0, epoch0.back()).ok());
+    }
+    for (uint64_t i = 5; i < 8; ++i) {
+      epoch0.push_back(NumberedReport(i));
+      ASSERT_TRUE(spool.Append(/*shard=*/1, /*epoch=*/0, epoch0.back()).ok());
+    }
+    ASSERT_TRUE(spool.SealEpoch(0).ok());
+    ASSERT_TRUE(spool.Append(/*shard=*/0, /*epoch=*/1, NumberedReport(100)).ok());
+    ASSERT_TRUE(spool.Append(/*shard=*/0, /*epoch=*/1, NumberedReport(101)).ok());
+    ASSERT_TRUE(spool.SyncAll().ok());
+  }
+  // Crash: append a torn half-frame to the in-progress epoch-1 segment.
+  {
+    std::FILE* f = std::fopen((dir.path + "/shard-0-epoch-1.seg").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    Bytes torn = EncodeFrame(NumberedReport(102));
+    torn.resize(torn.size() - 7);
+    std::fwrite(torn.data(), 1, torn.size(), f);
+    std::fclose(f);
+  }
+
+  Spool reopened(SpoolConfig{dir.path, true});
+  auto recovery = reopened.Open();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().message;
+  EXPECT_EQ(recovery.value().sealed_epochs, std::set<uint64_t>{0});
+  EXPECT_GT(recovery.value().truncated_bytes, 0u);
+  EXPECT_EQ(reopened.EpochFrameCount(0), 8u);
+  EXPECT_EQ(reopened.EpochFrameCount(1), 2u);  // torn record discarded
+
+  auto stream = reopened.OpenEpochStream(0);
+  ASSERT_EQ(stream->size(), 8u);
+  std::vector<Bytes> yielded;
+  while (auto record = stream->Next()) {
+    yielded.push_back(std::move(*record));
+  }
+  EXPECT_EQ(yielded, epoch0);  // shard order, append order within shard
+
+  // Reset rewinds for shuffle retries.
+  stream->Reset();
+  size_t again = 0;
+  while (stream->Next()) {
+    again++;
+  }
+  EXPECT_EQ(again, 8u);
+
+  ASSERT_TRUE(reopened.RemoveEpoch(0).ok());
+  EXPECT_EQ(reopened.EpochFrameCount(0), 0u);
+  EXPECT_FALSE(fs::exists(dir.path + "/shard-0-epoch-0.seg"));
+}
+
+TEST(ServiceTest, RecoveryResumesEpochWhoseOnlySegmentWasTorn) {
+  ScratchDir dir("zero-frame-resume");
+  {
+    Spool spool(SpoolConfig{dir.path, true});
+    ASSERT_TRUE(spool.Open().ok());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(spool.Append(0, 0, NumberedReport(i)).ok());
+    }
+    ASSERT_TRUE(spool.SealEpoch(0).ok());
+  }
+  // Epoch 1 crashed so early that its only segment is a single torn frame;
+  // recovery truncates it to zero frames.
+  {
+    std::FILE* f = std::fopen((dir.path + "/shard-2-epoch-1.seg").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    Bytes torn = EncodeFrame(NumberedReport(50));
+    torn.resize(torn.size() - 5);
+    std::fwrite(torn.data(), 1, torn.size(), f);
+    std::fclose(f);
+  }
+
+  Spool reopened(SpoolConfig{dir.path, true});
+  auto recovery = reopened.Open();
+  ASSERT_TRUE(recovery.ok());
+  IngestConfig config;
+  config.num_shards = 4;
+  ShardedIngest ingest(config, &reopened);
+  ingest.RestoreFromRecovery(recovery.value());
+
+  // The zero-frame epoch 1 must still be the resume point: new reports may
+  // never be appended to epoch 0, whose seal marker already exists.
+  EXPECT_EQ(ingest.current_epoch(), 1u);
+  EXPECT_EQ(ingest.current_epoch_size(), 0u);
+  ASSERT_TRUE(ingest.Accept(NumberedReport(60)).ok());
+  EXPECT_EQ(reopened.EpochFrameCount(0), 6u);  // sealed epoch untouched
+  EXPECT_EQ(reopened.EpochFrameCount(1), 1u);
+}
+
+TEST(ServiceTest, FailedDrainKeepsEpochQueued) {
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  // Force the drain to fail: the shuffler refuses batches this small.
+  config.pipeline.shuffler.min_batch_size = 1000;
+  config.ingest.num_shards = 2;  // in-memory mode: the queue holds the only copy
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+  const Encoder encoder = frontend.MakeEncoder();
+  SecureRandom client_rng(ToBytes("requeue-clients"));
+  for (int i = 0; i < 10; ++i) {
+    auto report = encoder.EncodeValue("value", "value", client_rng);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(frontend.AcceptReport(std::move(report).value()).ok());
+  }
+  ASSERT_TRUE(frontend.CutEpoch().ok());
+  auto first = frontend.DrainSealedEpochs();
+  ASSERT_FALSE(first.ok());
+  // The epoch went back on the queue: a retry sees it again rather than
+  // silently succeeding over nothing.
+  auto second = frontend.DrainSealedEpochs();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().message, first.error().message);
+}
+
+// ------------------------------------------------------- batch encoder path
+
+TEST(ServiceTest, BatchSealReportsOpensLikeSealReport) {
+  SecureRandom rng(ToBytes("batch-seal"));
+  KeyPair shuffler_keys = KeyPair::Generate(rng);
+  KeyPair analyzer_keys = KeyPair::Generate(rng);
+  EncoderConfig config;
+  config.shuffler_public = shuffler_keys.public_key;
+  config.analyzer_public = analyzer_keys.public_key;
+  config.payload_size = 64;
+  Encoder encoder(config);
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (int i = 0; i < 40; ++i) {
+    inputs.emplace_back("crowd-" + std::to_string(i % 5), "value-" + std::to_string(i));
+  }
+  auto batch = encoder.BatchSealReports(inputs, rng);
+  ASSERT_TRUE(batch.ok()) << batch.error().message;
+  ASSERT_EQ(batch.value().size(), inputs.size());
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Bytes& report = batch.value()[i];
+    EXPECT_EQ(report.size(), ReportWireSize(64, CrowdIdMode::kPlainHash));
+    auto view = OpenReport(shuffler_keys, report);
+    ASSERT_TRUE(view.has_value()) << "report " << i;
+    EXPECT_EQ(view->crowd.plain_hash, CrowdIdHash(inputs[i].first));
+    auto padded = OpenInnerBox(analyzer_keys, view->inner_box);
+    ASSERT_TRUE(padded.has_value());
+    auto payload = UnpadPayload(*padded);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(ToString(*payload), inputs[i].second);
+  }
+}
+
+// ------------------------------------------------- streaming stash shuffle
+
+TEST(ServiceTest, StashShuffleStreamsFromSpoolBitIdentically) {
+  ScratchDir dir("stash-stream");
+  SecureRandom setup_rng(ToBytes("stash-stream"));
+  IntelRootAuthority intel(setup_rng);
+  auto platform = intel.ProvisionPlatform(setup_rng);
+  Enclave enclave(EnclaveConfig{}, platform, setup_rng);
+
+  std::vector<Bytes> records;
+  for (uint64_t i = 0; i < 400; ++i) {
+    Bytes record = NumberedReport(i);
+    record.resize(64, static_cast<uint8_t>(i % 251));
+    records.push_back(std::move(record));
+  }
+  Spool spool(SpoolConfig{dir.path, false});
+  ASSERT_TRUE(spool.Open().ok());
+  for (const auto& record : records) {
+    ASSERT_TRUE(spool.Append(0, 0, record).ok());
+  }
+  ASSERT_TRUE(spool.SealEpoch(0).ok());
+
+  auto run_vector = [&]() {
+    StashShuffler shuffler(enclave, StashShuffler::Options{});
+    SecureRandom rng(ToBytes("stash-stream-run"));
+    return shuffler.Shuffle(records, rng);
+  };
+  auto run_stream = [&]() {
+    StashShuffler shuffler(enclave, StashShuffler::Options{});
+    SecureRandom rng(ToBytes("stash-stream-run"));
+    auto stream = spool.OpenEpochStream(0);
+    return shuffler.ShuffleStream(*stream, rng);
+  };
+  auto from_vector = run_vector();
+  auto from_stream = run_stream();
+  ASSERT_TRUE(from_vector.ok()) << from_vector.error().message;
+  ASSERT_TRUE(from_stream.ok()) << from_stream.error().message;
+  // Same rng, same input order => the emitted permutation is bit-identical
+  // whether records came from memory or streamed off disk.
+  EXPECT_EQ(from_vector.value(), from_stream.value());
+}
+
+// ----------------------------------------------------------- end to end
+
+// Encodes the cohort with the frontend's keys and frames each report.
+std::vector<Bytes> EncodeCohortFrames(const ShufflerFrontend& frontend,
+                                      const std::vector<std::pair<std::string, std::string>>& inputs,
+                                      const std::string& client_seed) {
+  const Encoder encoder = frontend.MakeEncoder();
+  SecureRandom client_rng(ToBytes(client_seed));
+  auto sealed = encoder.BatchSealReports(inputs, client_rng);
+  EXPECT_TRUE(sealed.ok());
+  std::vector<Bytes> frames;
+  frames.reserve(sealed.value().size());
+  for (const auto& report : sealed.value()) {
+    frames.push_back(EncodeFrame(report));
+  }
+  return frames;
+}
+
+TEST(ServiceTest, EndToEndMatchesOneShotPipelineAcrossThreads) {
+  auto inputs = CohortInputs();
+  for (size_t threads : ThreadMatrix()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    Pipeline one_shot(ServicePipelineConfig(threads));
+    auto expected = one_shot.Run(inputs);
+    ASSERT_TRUE(expected.ok()) << expected.error().message;
+    ASSERT_FALSE(expected.value().histogram.empty());
+    ASSERT_EQ(expected.value().histogram.count("app-rare"), 0u);
+
+    ScratchDir dir("e2e-" + std::to_string(threads));
+    FrontendConfig config;
+    config.pipeline = ServicePipelineConfig(threads);
+    config.ingest.num_shards = 4;
+    config.spool_dir = dir.path;
+    ShufflerFrontend frontend(config);
+    ASSERT_TRUE(frontend.Start().ok());
+
+    auto frames = EncodeCohortFrames(frontend, inputs, "clients-" + std::to_string(threads));
+    // The cohort must actually spread across all 4 ingestion shards.
+    std::set<size_t> shards;
+    for (const auto& frame : frames) {
+      auto report = DecodeFrame(frame);
+      ASSERT_TRUE(report.ok());
+      shards.insert(ShardedIngest::ShardOfReport(report.value(), 4));
+    }
+    ASSERT_EQ(shards.size(), 4u);
+
+    // Staggered arrival: clients deliver in an order unrelated to encode
+    // order, in bursts of several frames per network buffer.
+    Rng arrival(0xA11 + threads);
+    arrival.Shuffle(frames);
+    size_t i = 0;
+    while (i < frames.size()) {
+      Bytes burst;
+      for (size_t k = 0; k < 7 && i < frames.size(); ++k, ++i) {
+        burst.insert(burst.end(), frames[i].begin(), frames[i].end());
+      }
+      ASSERT_TRUE(frontend.AcceptFrameStream(burst).ok());
+      frontend.Tick();
+    }
+    EXPECT_EQ(frontend.stats().frames_ok, frames.size());
+    EXPECT_EQ(frontend.stats().frames_corrupt, 0u);
+
+    ASSERT_TRUE(frontend.CutEpoch().ok());
+    auto drained = frontend.DrainSealedEpochs();
+    ASSERT_TRUE(drained.ok()) << drained.error().message;
+    ASSERT_EQ(drained.value().size(), 1u);
+    EXPECT_EQ(drained.value()[0].reports, inputs.size());
+    EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+  }
+}
+
+TEST(ServiceTest, EndToEndSurvivesCrashAndReopenMidEpoch) {
+  auto inputs = CohortInputs();
+  for (size_t threads : ThreadMatrix()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    Pipeline one_shot(ServicePipelineConfig(threads));
+    auto expected = one_shot.Run(inputs);
+    ASSERT_TRUE(expected.ok());
+
+    ScratchDir dir("crash-" + std::to_string(threads));
+    FrontendConfig config;
+    config.pipeline = ServicePipelineConfig(threads);
+    config.ingest.num_shards = 4;
+    config.spool_dir = dir.path;
+
+    std::vector<Bytes> frames;
+    size_t half = 0;
+    {
+      ShufflerFrontend before(config);
+      ASSERT_TRUE(before.Start().ok());
+      frames = EncodeCohortFrames(before, inputs, "crash-clients");
+      half = frames.size() / 2;
+      for (size_t i = 0; i < half; ++i) {
+        ASSERT_TRUE(before.AcceptFrameStream(frames[i]).ok());
+      }
+      ASSERT_TRUE(before.SyncSpool().ok());  // the durability point
+      // Crash: `before` is dropped mid-epoch, no seal, no drain.
+    }
+    // A torn half-frame from a write in flight at crash time.
+    {
+      std::string victim;
+      for (const auto& entry : fs::directory_iterator(dir.path)) {
+        if (entry.path().extension() == ".seg") {
+          victim = entry.path().string();
+          break;
+        }
+      }
+      ASSERT_FALSE(victim.empty());
+      std::FILE* f = std::fopen(victim.c_str(), "ab");
+      ASSERT_NE(f, nullptr);
+      Bytes torn = EncodeFrame(Bytes(300, 0xAB));
+      torn.resize(torn.size() / 2);
+      std::fwrite(torn.data(), 1, torn.size(), f);
+      std::fclose(f);
+    }
+
+    ShufflerFrontend after(config);
+    ASSERT_TRUE(after.Start().ok());
+    EXPECT_EQ(after.stats().recovered_reports, half);
+    EXPECT_GT(after.stats().recovered_truncated_bytes, 0u);
+    EXPECT_EQ(after.current_epoch(), 0u);  // resumes the interrupted epoch
+    EXPECT_EQ(after.current_epoch_size(), half);
+
+    for (size_t i = half; i < frames.size(); ++i) {
+      ASSERT_TRUE(after.AcceptFrameStream(frames[i]).ok());
+    }
+    ASSERT_TRUE(after.CutEpoch().ok());
+    auto drained = after.DrainSealedEpochs();
+    ASSERT_TRUE(drained.ok()) << drained.error().message;
+    ASSERT_EQ(drained.value().size(), 1u);
+    EXPECT_EQ(drained.value()[0].reports, inputs.size());
+    EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+  }
+}
+
+TEST(ServiceTest, HistogramIsInterleavingInvariantUnderRandomizedThresholding) {
+  auto inputs = CohortInputs();
+  auto run = [&](uint64_t arrival_seed) {
+    ScratchDir dir("interleave-" + std::to_string(arrival_seed));
+    FrontendConfig config;
+    config.pipeline = ServicePipelineConfig(0);
+    config.pipeline.shuffler.threshold_mode = ThresholdMode::kRandomized;
+    config.ingest.num_shards = 4;
+    config.spool_dir = dir.path;
+    ShufflerFrontend frontend(config);
+    EXPECT_TRUE(frontend.Start().ok());
+    auto frames = EncodeCohortFrames(frontend, inputs, "interleave-clients");
+    Rng arrival(arrival_seed);
+    arrival.Shuffle(frames);
+    for (const auto& frame : frames) {
+      EXPECT_TRUE(frontend.AcceptFrameStream(frame).ok());
+    }
+    EXPECT_TRUE(frontend.CutEpoch().ok());
+    auto drained = frontend.DrainSealedEpochs();
+    EXPECT_TRUE(drained.ok());
+    return drained.ok() && !drained.value().empty() ? drained.value()[0].result.histogram
+                                                    : std::map<std::string, uint64_t>{};
+  };
+  auto histogram_a = run(1);
+  auto histogram_b = run(2);
+  // Same seed, same epoch membership, different arrival interleaving:
+  // bit-identical analyzer output (crowd ID = value, so even randomized
+  // drops are value-consistent).
+  EXPECT_FALSE(histogram_a.empty());
+  EXPECT_EQ(histogram_a, histogram_b);
+}
+
+TEST(ServiceTest, InMemoryModeDrainsWithoutSpool) {
+  auto inputs = CohortInputs();
+  Pipeline one_shot(ServicePipelineConfig(0));
+  auto expected = one_shot.Run(inputs);
+  ASSERT_TRUE(expected.ok());
+
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  config.ingest.num_shards = 4;  // no spool_dir: epochs accumulate in RAM
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+  const Encoder encoder = frontend.MakeEncoder();
+  SecureRandom client_rng(ToBytes("in-memory-clients"));
+  for (const auto& [crowd, value] : inputs) {
+    auto report = encoder.EncodeValue(value, crowd, client_rng);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(frontend.AcceptReport(std::move(report).value()).ok());
+  }
+  ASSERT_TRUE(frontend.CutEpoch().ok());
+  auto drained = frontend.DrainSealedEpochs();
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  ASSERT_EQ(drained.value().size(), 1u);
+  EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+}
+
+TEST(ServiceTest, MultiEpochAgeCutsProduceIndependentResults) {
+  ScratchDir dir("multi-epoch");
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  config.pipeline.shuffler.policy.threshold = 10;
+  config.ingest.num_shards = 4;
+  config.ingest.max_epoch_age = 1;
+  config.ingest.min_epoch_reports = 1;
+  config.spool_dir = dir.path;
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+
+  std::vector<std::pair<std::string, std::string>> wave;
+  for (int i = 0; i < 30; ++i) {
+    wave.emplace_back("epoch-value", "epoch-value");
+  }
+  size_t total = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    auto frames = EncodeCohortFrames(frontend, wave, "wave-" + std::to_string(epoch));
+    for (const auto& frame : frames) {
+      ASSERT_TRUE(frontend.AcceptFrameStream(frame).ok());
+    }
+    total += frames.size();
+    frontend.Tick();  // age trigger seals each wave as its own epoch
+  }
+  auto drained = frontend.DrainSealedEpochs();
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  ASSERT_EQ(drained.value().size(), 3u);
+  size_t seen = 0;
+  for (const auto& epoch_result : drained.value()) {
+    EXPECT_EQ(epoch_result.result.histogram.at("epoch-value"), 30u);
+    seen += epoch_result.reports;
+  }
+  EXPECT_EQ(seen, total);
+}
+
+}  // namespace
+}  // namespace prochlo
