@@ -36,6 +36,8 @@ void BM_AesGcmSeal_318B(benchmark::State& state) {
 }
 BENCHMARK(BM_AesGcmSeal_318B);
 
+// Variable-base multiplication (wNAF): the shuffler's outer-layer ECDH open
+// against a fresh ephemeral key every report — nothing to precompute.
 void BM_P256_ScalarMult(benchmark::State& state) {
   SecureRandom rng(ToBytes("bench-ec"));
   const P256& curve = P256::Get();
@@ -47,6 +49,40 @@ void BM_P256_ScalarMult(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_P256_ScalarMult);
+
+// The pre-wNAF reference ladder (plain double-and-add, one bit at a time):
+// the baseline the wNAF and batched paths are cross-checked against.
+void BM_P256_ScalarMult_DoubleAdd(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-ref"));
+  const P256& curve = P256::Get();
+  U256 k = rng.RandomScalar(curve.order());
+  EcPoint p = curve.generator();
+  for (auto _ : state) {
+    p = curve.FromJacobian(curve.JacScalarMultReference(curve.ToJacobian(p), k));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_P256_ScalarMult_DoubleAdd);
+
+// Batched variable-base multiplication in the decrypt shape: 256 distinct
+// ephemeral points, one private scalar.  All odd-multiple wNAF tables are
+// normalized with one shared inversion (mixed additions in every main loop)
+// and the results with a second.
+void BM_P256_BatchScalarMult256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-batchvar"));
+  const P256& curve = P256::Get();
+  U256 k = rng.RandomScalar(curve.order());
+  std::vector<EcPoint> points;
+  for (int i = 0; i < 256; ++i) {
+    points.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
+  }
+  std::vector<U256> scalars(points.size(), k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.BatchScalarMult(points, scalars));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_P256_BatchScalarMult256);
 
 // The generic double-and-add path on G, bypassing the fixed-base table —
 // the baseline every BaseMult used to pay.
@@ -120,6 +156,27 @@ void BM_HybridOpen_64B(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridOpen_64B);
+
+// The shuffler's per-report open cost, amortized over a 256-report batch:
+// deserialize, batched ECDH (shared inversions), AEAD, view parse.
+void BM_BatchOpenReports256(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-batch-open"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  std::vector<CrowdPart> crowds(256);
+  std::vector<Bytes> payloads(256);
+  for (int i = 0; i < 256; ++i) {
+    crowds[i].plain_hash = static_cast<uint64_t>(i % 7);
+    payloads[i] = *PadPayload(Bytes(60, 0x22), 64);
+  }
+  std::vector<Bytes> reports =
+      BatchSealReports(crowds, payloads, shuffler.public_key, analyzer.public_key, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchOpenReports(shuffler, reports));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_BatchOpenReports256);
 
 // The §5.2 claim: "at a minimal computational cost to clients (less than
 // 50 µs per encoding)" with OpenSSL on the paper's Xeon.

@@ -79,13 +79,21 @@ int main() {
       }
     }
     delivered += frames.size();
-    frontend.Tick();  // the scheduler's cadence; age-cuts ripe epochs
+    // The scheduler's cadence; age-cuts ripe epochs.  A failed cut means a
+    // wedged spool — exactly the error Tick() now surfaces.
+    if (auto status = frontend.Tick(); !status.ok()) {
+      std::fprintf(stderr, "epoch cut failed: %s\n", status.error().message.c_str());
+      return 1;
+    }
 
     std::printf("wave %d delivered: %3zu reports (epoch %lu holds %zu)\n", wave,
                 frames.size(), static_cast<unsigned long>(frontend.current_epoch()),
                 frontend.current_epoch_size());
   }
-  frontend.CutEpoch();  // end of day: flush the in-progress epoch
+  if (auto status = frontend.CutEpoch(); !status.ok()) {  // end-of-day flush
+    std::fprintf(stderr, "final epoch cut failed: %s\n", status.error().message.c_str());
+    return 1;
+  }
 
   // 3. Drain every sealed epoch through shuffle -> threshold -> analyze.
   auto drained = frontend.DrainSealedEpochs();

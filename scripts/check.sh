@@ -1,20 +1,36 @@
 #!/usr/bin/env bash
 # Build + test + quick bench smoke: the tier-1 gate, runnable locally and in CI.
 #   scripts/check.sh [build-dir]
+#   CHECK_SANITIZE=address,undefined scripts/check.sh build-asan
+#     — sanitizer mode: builds with -fsanitize=<list> and runs the tier-1
+#       suites only (no bench smoke; sanitized benches are not meaningful).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+SANITIZE="${CHECK_SANITIZE:-}"
 
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DPROCHLO_SANITIZE="$SANITIZE"
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ -n "$SANITIZE" ]]; then
+  # Sanitized pass covers the tier-1 suites (above) plus the service thread
+  # matrix; skip the bench smoke, whose timings are meaningless under ASan.
+  for threads in 0 4; do
+    echo "-- sanitized, PROCHLO_STASH_THREADS=$threads --"
+    PROCHLO_STASH_THREADS="$threads" \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|wire_format_test'
+  done
+  echo "== OK (sanitize: $SANITIZE) =="
+  exit 0
+fi
 
 echo "== service thread matrix =="
 # The ingestion-tier suites re-run pinned to each worker count: the epoch

@@ -13,16 +13,16 @@ Result<std::vector<BlindedItem>> BlindShuffler1::Process(const std::vector<Bytes
                                                          SecureRandom& rng, ThreadPool* pool) {
   stats_.received += reports.size();
 
-  // Open the outer layer in parallel (pure per-report ECDH+AEAD work).
-  std::vector<std::optional<ShufflerView>> slots(reports.size());
-  ParallelFor(pool, reports.size(), [&](size_t i) {
-    auto view = OpenReport(keys_, reports[i]);
-    if (!view.has_value() || view->crowd.mode != CrowdIdMode::kBlinded ||
-        !view->crowd.blinded_ct.has_value()) {
-      return;  // malformed or wrong pipeline mode
+  // Open the outer layer through the batched variable-base path (the ECDH
+  // against each report's ephemeral key dominates; one shared inversion per
+  // chunk), then filter out records in the wrong pipeline mode.
+  std::vector<std::optional<ShufflerView>> slots = BatchOpenReports(keys_, reports, pool);
+  for (auto& slot : slots) {
+    if (slot.has_value() && (slot->crowd.mode != CrowdIdMode::kBlinded ||
+                             !slot->crowd.blinded_ct.has_value())) {
+      slot.reset();  // malformed or wrong pipeline mode
     }
-    slots[i] = std::move(*view);
-  });
+  }
 
   std::vector<ElGamalCiphertext> cts;
   std::vector<BlindedItem> items;

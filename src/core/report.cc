@@ -1,5 +1,6 @@
 #include "src/core/report.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -184,6 +185,38 @@ std::optional<ShufflerView> OpenReport(const KeyPair& shuffler_keys, ByteSpan re
     return std::nullopt;
   }
   return ShufflerView::Deserialize(*plaintext);
+}
+
+std::vector<std::optional<ShufflerView>> BatchOpenReports(const KeyPair& shuffler_keys,
+                                                          const std::vector<Bytes>& reports,
+                                                          ThreadPool* pool) {
+  // Fixed chunk size (not pool-derived) so output is bit-identical at any
+  // thread count, mirroring the El Gamal batch surface.
+  constexpr size_t kOpenChunk = 256;
+  const size_t n = reports.size();
+  std::vector<std::optional<ShufflerView>> out(n);
+  const size_t num_chunks = (n + kOpenChunk - 1) / kOpenChunk;
+  ParallelFor(pool, num_chunks, [&](size_t c) {
+    const size_t begin = c * kOpenChunk;
+    const size_t end = std::min(n, begin + kOpenChunk);
+    // Boxes that fail to deserialize keep a default-constructed HybridBox,
+    // whose empty ephemeral key makes HybridOpenBatch yield nullopt.
+    std::vector<HybridBox> boxes(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      auto box = HybridBox::Deserialize(reports[i]);
+      if (box.has_value()) {
+        boxes[i - begin] = std::move(*box);
+      }
+    }
+    std::vector<std::optional<Bytes>> opened =
+        HybridOpenBatch(shuffler_keys, boxes, kShufflerLayerContext);
+    for (size_t i = begin; i < end; ++i) {
+      if (opened[i - begin].has_value()) {
+        out[i] = ShufflerView::Deserialize(*opened[i - begin]);
+      }
+    }
+  });
+  return out;
 }
 
 std::optional<Bytes> OpenInnerBox(const KeyPair& analyzer_keys, ByteSpan inner_box) {

@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/crypto/elgamal.h"
 #include "src/crypto/keys.h"
 #include "src/util/bytes.h"
 #include "src/util/serialization.h"
+#include "src/util/thread_pool.h"
 
 namespace prochlo {
 
@@ -84,6 +86,17 @@ std::vector<Bytes> BatchSealReports(const std::vector<CrowdPart>& crowds,
 
 // Shuffler side: opens the outer layer.
 std::optional<ShufflerView> OpenReport(const KeyPair& shuffler_keys, ByteSpan report);
+
+// Batch analogue of OpenReport — the shuffler-side counterpart of
+// BatchSealReports, and the decrypt half of the paper's Table 2/3 cost.
+// Every report carries a distinct ephemeral key, so the outer-layer ECDH
+// runs on the batched variable-base wNAF path (HybridOpenBatch), in fixed
+// 256-report chunks so results are identical with and without a pool; AEAD
+// and parsing fan out across `pool` when one is supplied.  Slot i is
+// nullopt exactly when OpenReport(shuffler_keys, reports[i]) would fail.
+std::vector<std::optional<ShufflerView>> BatchOpenReports(const KeyPair& shuffler_keys,
+                                                          const std::vector<Bytes>& reports,
+                                                          ThreadPool* pool = nullptr);
 
 // Analyzer side: opens an inner box to the padded payload.
 std::optional<Bytes> OpenInnerBox(const KeyPair& analyzer_keys, ByteSpan inner_box);

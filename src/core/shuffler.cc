@@ -89,6 +89,20 @@ Result<std::vector<Bytes>> Shuffler::ProcessStream(RecordStream& reports, Secure
       }
       return view->Serialize();
     };
+    // Bulk opens go through the batched variable-base path: one shared
+    // inversion per chunk of ECDH opens instead of per-report conversions.
+    options.open_outer_batch = [this](const std::vector<Bytes>& records,
+                                      ThreadPool* open_pool) {
+      std::vector<std::optional<ShufflerView>> views =
+          BatchOpenReports(keys_, records, open_pool);
+      std::vector<std::optional<Bytes>> out(views.size());
+      for (size_t i = 0; i < views.size(); ++i) {
+        if (views[i].has_value()) {
+          out[i] = views[i]->Serialize();
+        }
+      }
+      return out;
+    };
     options.pool = pool;
     StashShuffler stash(*enclave_, std::move(options));
     auto shuffled = ShuffleStreamWithRetries(stash, reports, rng, /*max_attempts=*/5);
@@ -122,8 +136,7 @@ Result<std::vector<Bytes>> Shuffler::ProcessStream(RecordStream& reports, Secure
         }
         raw.push_back(std::move(*record));
       }
-      slots.assign(count, std::nullopt);
-      ParallelFor(pool, count, [&](size_t i) { slots[i] = OpenReport(keys_, raw[i]); });
+      slots = BatchOpenReports(keys_, raw, pool);
       for (auto& slot : slots) {
         if (!slot.has_value()) {
           stats_.malformed++;

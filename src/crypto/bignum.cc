@@ -57,26 +57,6 @@ std::strong_ordering U256::operator<=>(const U256& other) const {
   return std::strong_ordering::equal;
 }
 
-uint64_t AddWithCarry(const U256& a, const U256& b, U256* out) {
-  uint64_t carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    __uint128_t sum = static_cast<__uint128_t>(a.limbs[i]) + b.limbs[i] + carry;
-    out->limbs[i] = static_cast<uint64_t>(sum);
-    carry = static_cast<uint64_t>(sum >> 64);
-  }
-  return carry;
-}
-
-uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out) {
-  uint64_t borrow = 0;
-  for (int i = 0; i < 4; ++i) {
-    __uint128_t diff = static_cast<__uint128_t>(a.limbs[i]) - b.limbs[i] - borrow;
-    out->limbs[i] = static_cast<uint64_t>(diff);
-    borrow = static_cast<uint64_t>((diff >> 64) & 1);
-  }
-  return borrow;
-}
-
 std::array<uint64_t, 8> MulWide(const U256& a, const U256& b) {
   std::array<uint64_t, 8> out = {0};
   for (int i = 0; i < 4; ++i) {
@@ -92,17 +72,6 @@ std::array<uint64_t, 8> MulWide(const U256& a, const U256& b) {
   return out;
 }
 
-U256 ShiftRight1(const U256& a) {
-  U256 out;
-  for (int i = 0; i < 4; ++i) {
-    out.limbs[i] = a.limbs[i] >> 1;
-    if (i < 3) {
-      out.limbs[i] |= a.limbs[i + 1] << 63;
-    }
-  }
-  return out;
-}
-
 namespace {
 // -m^{-1} mod 2^64 by Newton iteration on the low limb.
 uint64_t NegInverse64(uint64_t m) {
@@ -112,11 +81,126 @@ uint64_t NegInverse64(uint64_t m) {
   }
   return ~inv + 1;  // -inv mod 2^64
 }
+
+// The P-256 prime 2^256 - 2^224 + 2^192 + 2^96 - 1, little-endian limbs.
+constexpr uint64_t kP256Limbs[4] = {0xFFFFFFFFFFFFFFFFull, 0x00000000FFFFFFFFull, 0ull,
+                                    0xFFFFFFFF00000001ull};
+
+// Montgomery reduction of a 512-bit value for the P-256 prime, in place:
+// computes (v + sum_i m_i*p*2^{64i}) >> 256 < 2p, then one conditional
+// subtract.  Because -p^{-1} mod 2^64 = 1, each round's quotient digit is
+// just the current low limb, and because p's limbs are 2^64-1, 2^32-1, 0,
+// and 2^64-2^32+1, the m*p partial products are shifts and subtractions the
+// compiler strength-reduces — no multiplications in the reduction at all.
+inline U256 MontRedcP256(uint64_t v[8]) {
+  uint64_t top = 0;  // carries out of v[7]
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t m = v[i];
+    // m * p limb products (constants; strength-reduced to shifts/adds).
+    const __uint128_t q0 = (static_cast<__uint128_t>(m) << 64) - m;  // m * (2^64 - 1)
+    const __uint128_t q1 = (static_cast<__uint128_t>(m) << 32) - m;  // m * (2^32 - 1)
+    const __uint128_t q3 = (static_cast<__uint128_t>(m) << 64) -
+                           (static_cast<__uint128_t>(m) << 32) + m;  // m * p[3]
+    __uint128_t t = static_cast<__uint128_t>(v[i]) + static_cast<uint64_t>(q0);
+    v[i] = static_cast<uint64_t>(t);  // always 0: the round is built to clear it
+    uint64_t c = static_cast<uint64_t>(t >> 64);
+    t = static_cast<__uint128_t>(v[i + 1]) + static_cast<uint64_t>(q1) +
+        static_cast<uint64_t>(q0 >> 64) + c;
+    v[i + 1] = static_cast<uint64_t>(t);
+    c = static_cast<uint64_t>(t >> 64);
+    t = static_cast<__uint128_t>(v[i + 2]) + static_cast<uint64_t>(q1 >> 64) + c;
+    v[i + 2] = static_cast<uint64_t>(t);
+    c = static_cast<uint64_t>(t >> 64);
+    t = static_cast<__uint128_t>(v[i + 3]) + static_cast<uint64_t>(q3) + c;
+    v[i + 3] = static_cast<uint64_t>(t);
+    c = static_cast<uint64_t>(t >> 64);
+    t = static_cast<__uint128_t>(v[i + 4]) + static_cast<uint64_t>(q3 >> 64) + c;
+    v[i + 4] = static_cast<uint64_t>(t);
+    c = static_cast<uint64_t>(t >> 64);
+    for (int j = i + 5; j < 8 && c != 0; ++j) {
+      t = static_cast<__uint128_t>(v[j]) + c;
+      v[j] = static_cast<uint64_t>(t);
+      c = static_cast<uint64_t>(t >> 64);
+    }
+    top += c;  // nonzero only when the carry ran off v[7]
+  }
+  U256 result{{v[4], v[5], v[6], v[7]}};
+  const U256 p{{kP256Limbs[0], kP256Limbs[1], kP256Limbs[2], kP256Limbs[3]}};
+  U256 reduced;
+  uint64_t borrow = SubWithBorrow(result, p, &reduced);
+  uint64_t need = top | static_cast<uint64_t>(borrow == 0);
+  for (int i = 0; i < 4; ++i) {
+    result.limbs[i] = need ? reduced.limbs[i] : result.limbs[i];
+  }
+  return result;
+}
+
+// Full 512-bit square, column-wise (Comba): 10 limb products instead of
+// MulWide's 16, with each column's independent products free to overlap in
+// the pipeline.  Cross products are added twice into a 192-bit accumulator
+// (128-bit acc plus an overflow counter) and diagonals once.
+inline std::array<uint64_t, 8> SqrWide(const U256& a) {
+  const auto& x = a.limbs;
+  std::array<uint64_t, 8> r;
+  __uint128_t acc;
+  uint64_t ex;  // bits 128.. of the column accumulator
+  __uint128_t t;
+  // column 0: x0^2
+  t = static_cast<__uint128_t>(x[0]) * x[0];
+  r[0] = static_cast<uint64_t>(t);
+  acc = t >> 64;
+  ex = 0;
+  // column 1: 2*x0*x1
+  t = static_cast<__uint128_t>(x[0]) * x[1];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  r[1] = static_cast<uint64_t>(acc);
+  acc = (acc >> 64) | (static_cast<__uint128_t>(ex) << 64); ex = 0;
+  // column 2: 2*x0*x2 + x1^2
+  t = static_cast<__uint128_t>(x[0]) * x[2];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  t = static_cast<__uint128_t>(x[1]) * x[1];
+  acc += t; ex += (acc < t);
+  r[2] = static_cast<uint64_t>(acc);
+  acc = (acc >> 64) | (static_cast<__uint128_t>(ex) << 64); ex = 0;
+  // column 3: 2*x0*x3 + 2*x1*x2
+  t = static_cast<__uint128_t>(x[0]) * x[3];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  t = static_cast<__uint128_t>(x[1]) * x[2];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  r[3] = static_cast<uint64_t>(acc);
+  acc = (acc >> 64) | (static_cast<__uint128_t>(ex) << 64); ex = 0;
+  // column 4: 2*x1*x3 + x2^2
+  t = static_cast<__uint128_t>(x[1]) * x[3];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  t = static_cast<__uint128_t>(x[2]) * x[2];
+  acc += t; ex += (acc < t);
+  r[4] = static_cast<uint64_t>(acc);
+  acc = (acc >> 64) | (static_cast<__uint128_t>(ex) << 64); ex = 0;
+  // column 5: 2*x2*x3
+  t = static_cast<__uint128_t>(x[2]) * x[3];
+  acc += t; ex += (acc < t);
+  acc += t; ex += (acc < t);
+  r[5] = static_cast<uint64_t>(acc);
+  acc = (acc >> 64) | (static_cast<__uint128_t>(ex) << 64);
+  // column 6: x3^2 (no carry past r[7]: a^2 < 2^512)
+  t = static_cast<__uint128_t>(x[3]) * x[3];
+  acc += t;
+  r[6] = static_cast<uint64_t>(acc);
+  r[7] = static_cast<uint64_t>(acc >> 64);
+  return r;
+}
 }  // namespace
 
 ModField::ModField(const U256& modulus) : modulus_(modulus) {
   assert(modulus.IsOdd());
   n0_inv_ = NegInverse64(modulus.limbs[0]);
+  p256_fast_ = modulus.limbs[0] == kP256Limbs[0] && modulus.limbs[1] == kP256Limbs[1] &&
+               modulus.limbs[2] == kP256Limbs[2] && modulus.limbs[3] == kP256Limbs[3];
 
   // R^2 mod m by starting from 1 and doubling 512 times.
   U256 acc = U256::One();
@@ -132,35 +216,11 @@ ModField::ModField(const U256& modulus) : modulus_(modulus) {
   r2_ = acc;
 }
 
-U256 ModField::Add(const U256& a, const U256& b) const {
-  U256 sum;
-  uint64_t carry = AddWithCarry(a, b, &sum);
-  U256 reduced;
-  uint64_t borrow = SubWithBorrow(sum, modulus_, &reduced);
-  return (carry != 0 || borrow == 0) ? reduced : sum;
-}
-
-U256 ModField::Sub(const U256& a, const U256& b) const {
-  U256 diff;
-  uint64_t borrow = SubWithBorrow(a, b, &diff);
-  if (borrow != 0) {
-    U256 wrapped;
-    AddWithCarry(diff, modulus_, &wrapped);
-    return wrapped;
-  }
-  return diff;
-}
-
-U256 ModField::Neg(const U256& a) const {
-  if (a.IsZero()) {
-    return a;
-  }
-  U256 out;
-  SubWithBorrow(modulus_, a, &out);
-  return out;
-}
-
 U256 ModField::MontMul(const U256& a, const U256& b) const {
+  if (p256_fast_) {
+    auto wide = MulWide(a, b);
+    return MontRedcP256(wide.data());
+  }
   // CIOS Montgomery multiplication with 4 limbs.
   uint64_t t[6] = {0, 0, 0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {
@@ -203,6 +263,14 @@ U256 ModField::MontMul(const U256& a, const U256& b) const {
   return result;
 }
 
+U256 ModField::MontSqr(const U256& a) const {
+  if (p256_fast_) {
+    auto wide = SqrWide(a);
+    return MontRedcP256(wide.data());
+  }
+  return MontMul(a, a);
+}
+
 U256 ModField::Mul(const U256& a, const U256& b) const {
   return FromMont(MontMul(ToMont(a), ToMont(b)));
 }
@@ -221,10 +289,48 @@ U256 ModField::Exp(const U256& base, const U256& exponent) const {
 }
 
 U256 ModField::Inv(const U256& a) const {
-  // a^(m-2) mod m for prime m.
-  U256 exp;
-  SubWithBorrow(modulus_, U256::FromU64(2), &exp);
-  return Exp(a, exp);
+  // Binary extended GCD (odd modulus), ~5x faster than the Fermat ladder:
+  // ~1.5 shift-subtract iterations per bit instead of ~1.5 field
+  // multiplications per bit.  Invariants: x1*a == u and x2*a == v (mod m),
+  // with x1, x2 always in [0, m).
+  U256 u = Reduce(a);
+  if (u.IsZero()) {
+    return u;  // matches Fermat: 0^(m-2) = 0, the "no inverse" convention
+  }
+  U256 v = modulus_;
+  U256 x1 = U256::One();
+  U256 x2 = U256::Zero();
+  auto halve_mod = [this](U256& x) {
+    // x/2 (mod m): for odd x, (x + m) is even and its true 257-bit value
+    // halves into 256 bits.
+    if (x.IsOdd()) {
+      uint64_t carry = AddWithCarry(x, modulus_, &x);
+      x = ShiftRight1(x);
+      x.limbs[3] |= carry << 63;
+    } else {
+      x = ShiftRight1(x);
+    }
+  };
+  while (!(u == U256::One()) && !(v == U256::One())) {
+    while (!u.IsOdd()) {
+      u = ShiftRight1(u);
+      halve_mod(x1);
+    }
+    while (!v.IsOdd()) {
+      v = ShiftRight1(v);
+      halve_mod(x2);
+    }
+    // Both odd: subtract the smaller from the larger (difference is even,
+    // so the next pass keeps shrinking it).
+    if (u >= v) {
+      SubWithBorrow(u, v, &u);
+      x1 = Sub(x1, x2);
+    } else {
+      SubWithBorrow(v, u, &v);
+      x2 = Sub(x2, x1);
+    }
+  }
+  return u == U256::One() ? x1 : x2;
 }
 
 void ModField::BatchInv(U256* values, size_t n) const {

@@ -45,14 +45,41 @@ struct U256 {
   std::strong_ordering operator<=>(const U256& other) const;
 };
 
-// a + b, returning the carry-out.
-uint64_t AddWithCarry(const U256& a, const U256& b, U256* out);
+// a + b, returning the carry-out.  Inline: these limb primitives sit under
+// every field addition inside the curve formulas, where an out-of-line call
+// costs as much as the arithmetic.
+inline uint64_t AddWithCarry(const U256& a, const U256& b, U256* out) {
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    __uint128_t sum = static_cast<__uint128_t>(a.limbs[i]) + b.limbs[i] + carry;
+    out->limbs[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  return carry;
+}
 // a - b, returning the borrow-out.
-uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out);
+inline uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    __uint128_t diff = static_cast<__uint128_t>(a.limbs[i]) - b.limbs[i] - borrow;
+    out->limbs[i] = static_cast<uint64_t>(diff);
+    borrow = static_cast<uint64_t>((diff >> 64) & 1);
+  }
+  return borrow;
+}
 // Full 256x256 -> 512-bit product (little-endian 8 limbs).
 std::array<uint64_t, 8> MulWide(const U256& a, const U256& b);
 // Logical right shift by one bit.
-U256 ShiftRight1(const U256& a);
+inline U256 ShiftRight1(const U256& a) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    out.limbs[i] = a.limbs[i] >> 1;
+    if (i < 3) {
+      out.limbs[i] |= a.limbs[i + 1] << 63;
+    }
+  }
+  return out;
+}
 
 // Modular arithmetic for an odd 256-bit modulus, Montgomery-based.
 // All public entry points take and return values in the *normal* domain.
@@ -62,13 +89,38 @@ class ModField {
 
   const U256& modulus() const { return modulus_; }
 
-  U256 Add(const U256& a, const U256& b) const;
-  U256 Sub(const U256& a, const U256& b) const;
-  U256 Neg(const U256& a) const;
+  // Add/Sub/Neg are inline for the same reason as AddWithCarry: the point
+  // formulas call them a dozen times per doubling.
+  U256 Add(const U256& a, const U256& b) const {
+    U256 sum;
+    uint64_t carry = AddWithCarry(a, b, &sum);
+    U256 reduced;
+    uint64_t borrow = SubWithBorrow(sum, modulus_, &reduced);
+    return (carry != 0 || borrow == 0) ? reduced : sum;
+  }
+  U256 Sub(const U256& a, const U256& b) const {
+    U256 diff;
+    uint64_t borrow = SubWithBorrow(a, b, &diff);
+    if (borrow != 0) {
+      U256 wrapped;
+      AddWithCarry(diff, modulus_, &wrapped);
+      return wrapped;
+    }
+    return diff;
+  }
+  U256 Neg(const U256& a) const {
+    if (a.IsZero()) {
+      return a;
+    }
+    U256 out;
+    SubWithBorrow(modulus_, a, &out);
+    return out;
+  }
   U256 Mul(const U256& a, const U256& b) const;
   U256 Sqr(const U256& a) const { return Mul(a, a); }
   U256 Exp(const U256& base, const U256& exponent) const;
-  // Inverse via Fermat (modulus must be prime).
+  // Inverse via binary extended GCD (modulus must be prime; returns 0 for
+  // 0, matching the Fermat convention it replaced).
   U256 Inv(const U256& a) const;
   // Square root for primes p ≡ 3 (mod 4); returns false if `a` is a
   // non-residue.
@@ -91,15 +143,22 @@ class ModField {
 
   // Montgomery-domain primitives, exposed for hot loops (the P-256 point
   // arithmetic keeps coordinates in the Montgomery domain throughout a scalar
-  // multiplication and converts only at the edges).
+  // multiplication and converts only at the edges).  When the modulus is the
+  // P-256 prime, both take a specialized path: the prime's sparse limbs
+  // (2^256 - 2^224 + 2^192 + 2^96 - 1, with -p^{-1} = 1 mod 2^64) turn every
+  // reduction round into shifts and adds, no multiplications.
   U256 MontMul(const U256& a, const U256& b) const;
+  // a*a, using the squaring schoolbook (the ~10-mul cross-term/diagonal
+  // split) on the specialized path; identical result to MontMul(a, a).
+  U256 MontSqr(const U256& a) const;
   U256 ToMont(const U256& a) const { return MontMul(a, r2_); }
   U256 FromMont(const U256& a) const { return MontMul(a, U256::One()); }
 
  private:
   U256 modulus_;
-  uint64_t n0_inv_;  // -modulus^{-1} mod 2^64
-  U256 r2_;          // R^2 mod modulus, R = 2^256
+  uint64_t n0_inv_;   // -modulus^{-1} mod 2^64
+  U256 r2_;           // R^2 mod modulus, R = 2^256
+  bool p256_fast_;    // modulus is the P-256 prime: fast reduction applies
 };
 
 }  // namespace prochlo

@@ -85,12 +85,17 @@ std::vector<ElGamalCiphertext> ElGamalBlindBatch(const std::vector<ElGamalCipher
   const P256& curve = P256::Get();
   std::vector<ElGamalCiphertext> out(cts.size());
   ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
-    std::vector<P256::Jacobian> jacs;
-    jacs.reserve(2 * (end - begin));
+    // Both legs of every ciphertext through the batched wNAF path: all the
+    // odd-multiple tables of the chunk share one affine-normalization
+    // inversion, and the single repeated scalar is recoded once.
+    std::vector<EcPoint> points;
+    points.reserve(2 * (end - begin));
     for (size_t i = begin; i < end; ++i) {
-      jacs.push_back(curve.JacScalarMult(curve.ToJacobian(cts[i].c1), alpha));
-      jacs.push_back(curve.JacScalarMult(curve.ToJacobian(cts[i].c2), alpha));
+      points.push_back(cts[i].c1);
+      points.push_back(cts[i].c2);
     }
+    std::vector<U256> scalars(points.size(), alpha);
+    std::vector<P256::Jacobian> jacs = curve.BatchScalarMultJac(points, scalars);
     EmitChunk(curve, jacs, out, begin);
   });
   return out;
@@ -127,13 +132,22 @@ std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
   const ModField& f = curve.field();
   std::vector<EcPoint> out(cts.size());
   ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
+    // x*c1 for the whole chunk via the batched wNAF path (every c1 is a
+    // distinct ephemeral point, so this is pure variable-base work), then
+    // c2 - x*c1, with one final shared inversion for the affine results.
+    std::vector<EcPoint> c1s;
+    c1s.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      c1s.push_back(cts[i].c1);
+    }
+    std::vector<U256> scalars(c1s.size(), private_key);
+    std::vector<P256::Jacobian> shared = curve.BatchScalarMultJac(c1s, scalars);
     std::vector<P256::Jacobian> jacs;
     jacs.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      P256::Jacobian shared =
-          curve.JacScalarMult(curve.ToJacobian(cts[i].c1), private_key);
-      shared.y = f.Neg(shared.y);  // negation is domain-agnostic
-      jacs.push_back(curve.JacAdd(curve.ToJacobian(cts[i].c2), shared));
+      P256::Jacobian& s = shared[i - begin];
+      s.y = f.Neg(s.y);  // negation is domain-agnostic
+      jacs.push_back(curve.JacAdd(curve.ToJacobian(cts[i].c2), s));
     }
     std::vector<EcPoint> points = curve.BatchNormalize(jacs);
     for (size_t i = begin; i < end; ++i) {

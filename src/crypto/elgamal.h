@@ -76,10 +76,21 @@ std::vector<ElGamalCiphertext> ElGamalRerandomizeBatch(
     const std::vector<ElGamalCiphertext>& cts, const EcPoint& recipient_public,
     SecureRandom& rng, ThreadPool* pool = nullptr);
 
-// Decrypts every ciphertext (Shuffler 2's pass).
+// Decrypts every ciphertext (Shuffler 2's pass).  Every c1 is a distinct
+// ephemeral point, so this runs on P256::BatchScalarMult's batched wNAF
+// path: one shared inversion normalizes all the chunk's odd-multiple tables
+// and a second normalizes the results.
 std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
                                          const std::vector<ElGamalCiphertext>& cts,
                                          ThreadPool* pool = nullptr);
+
+// Protocol-named alias: the shuffler-side *open* of the El Gamal layer is
+// exactly the batched decrypt above.
+inline std::vector<EcPoint> ElGamalOpenBatch(const U256& private_key,
+                                             const std::vector<ElGamalCiphertext>& cts,
+                                             ThreadPool* pool = nullptr) {
+  return ElGamalDecryptBatch(private_key, cts, pool);
+}
 
 }  // namespace prochlo
 

@@ -22,6 +22,49 @@ std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& pee
   return shared.x;
 }
 
+std::vector<std::optional<U256>> EcdhSharedSecretBatch(const U256& private_key,
+                                                       const std::vector<EcPoint>& peer_publics) {
+  const P256& curve = P256::Get();
+  std::vector<U256> scalars(peer_publics.size(), private_key);
+  std::vector<EcPoint> shared = curve.BatchScalarMult(peer_publics, scalars);
+  std::vector<std::optional<U256>> out(peer_publics.size());
+  for (size_t i = 0; i < shared.size(); ++i) {
+    if (!shared[i].infinity) {
+      out[i] = shared[i].x;
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<Bytes>> HybridOpenBatch(const KeyPair& recipient,
+                                                  const std::vector<HybridBox>& boxes,
+                                                  const std::string& context) {
+  const P256& curve = P256::Get();
+  // Decode every ephemeral key first; undecodable boxes keep the identity
+  // placeholder, which the batched ECDH maps to nullopt.
+  std::vector<EcPoint> ephemerals(boxes.size(), EcPoint::Infinity());
+  std::vector<uint8_t> decoded(boxes.size(), 0);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    auto point = curve.Decode(boxes[i].ephemeral_public);
+    if (point.has_value() && !point->infinity) {
+      ephemerals[i] = *point;
+      decoded[i] = 1;
+    }
+  }
+  std::vector<std::optional<U256>> shared = EcdhSharedSecretBatch(recipient.private_key, ephemerals);
+  std::vector<std::optional<Bytes>> out(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (decoded[i] == 0 || !shared[i].has_value()) {
+      continue;
+    }
+    Bytes key = DeriveSessionKey(*shared[i], ephemerals[i], recipient.public_key, context,
+                                 kAes128KeySize);
+    AesGcm aead(key);
+    out[i] = aead.Open(boxes[i].nonce, boxes[i].sealed, /*aad=*/{});
+  }
+  return out;
+}
+
 Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
                        const EcPoint& recipient_public, const std::string& context,
                        size_t key_size) {

@@ -27,6 +27,14 @@ struct KeyPair {
 // identity result (never happens for honest keys).
 std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& peer_public);
 
+// Batched ECDH against many peers with one private key — the shuffler's
+// outer-layer report opens, where every peer is a distinct ephemeral key
+// that cannot be precomputed.  Runs on P256::BatchScalarMult (shared-
+// inversion wNAF tables); slot i matches EcdhSharedSecret(private_key,
+// peer_publics[i]) exactly, including nullopt on the identity.
+std::vector<std::optional<U256>> EcdhSharedSecretBatch(const U256& private_key,
+                                                       const std::vector<EcPoint>& peer_publics);
+
 // Derives a symmetric key of `key_size` bytes from an ECDH secret, binding
 // both parties' public keys and a context label into the KDF.
 Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
@@ -55,6 +63,14 @@ HybridBox HybridSeal(const EcPoint& recipient_public, ByteSpan plaintext,
 // Opens a box with the recipient's private key; nullopt on any failure.
 std::optional<Bytes> HybridOpen(const KeyPair& recipient, const HybridBox& box,
                                 const std::string& context);
+
+// Opens a whole batch of boxes, sharing the batched ECDH across all of them
+// (the per-box public-key operation dominates the open; see
+// EcdhSharedSecretBatch).  Slot i is nullopt exactly when
+// HybridOpen(recipient, boxes[i], context) would fail.
+std::vector<std::optional<Bytes>> HybridOpenBatch(const KeyPair& recipient,
+                                                  const std::vector<HybridBox>& boxes,
+                                                  const std::string& context);
 
 }  // namespace prochlo
 

@@ -16,6 +16,38 @@ constexpr char kGyHex[] = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb64
 inline uint64_t ScalarNibble(const U256& k, size_t w) {
   return (k.limbs[w / 16] >> (4 * (w % 16))) & 0xf;
 }
+
+// Width-5 wNAF: digits are 0 or odd in [-15, 15], at most one nonzero in any
+// 5 consecutive positions (so ~256/6 additions per multiplication).  Digits
+// are emitted LSB-first into `digits` (capacity 257: a borrowed high bit can
+// push the length one past the scalar's 256 bits); returns the count.  The
+// scalar must be < 2^256 - 16, which holds for anything reduced mod the
+// group order.
+constexpr int kWnafWidth = 5;
+constexpr size_t kWnafOddMultiples = 1u << (kWnafWidth - 2);  // 1P, 3P, ..., 15P
+constexpr int kWnafMaxDigits = 257;
+
+int WnafRecode(const U256& scalar, int8_t* digits) {
+  U256 k = scalar;
+  int len = 0;
+  while (!k.IsZero()) {
+    int8_t d = 0;
+    if (k.IsOdd()) {
+      uint64_t w = k.limbs[0] & ((1u << kWnafWidth) - 1);  // k mod 32
+      if (w >= (1u << (kWnafWidth - 1))) {
+        // Negative digit: round k up to the next multiple of 32.
+        d = static_cast<int8_t>(static_cast<int>(w) - (1 << kWnafWidth));
+        AddWithCarry(k, U256::FromU64((1u << kWnafWidth) - w), &k);
+      } else {
+        d = static_cast<int8_t>(w);
+        SubWithBorrow(k, U256::FromU64(w), &k);
+      }
+    }
+    digits[len++] = d;
+    k = ShiftRight1(k);
+  }
+  return len;
+}
 }  // namespace
 
 const P256& P256::Get() {
@@ -27,7 +59,6 @@ P256::P256()
     : fp_(U256::FromHex(kPrimeHex)),
       fn_(U256::FromHex(kOrderHex)),
       b_mont_(fp_.ToMont(U256::FromHex(kBHex))),
-      three_mont_(fp_.ToMont(U256::FromU64(3))),
       one_mont_(fp_.ToMont(U256::One())),
       generator_{U256::FromHex(kGxHex), U256::FromHex(kGyHex), false} {
   gen_table_ = BuildFixedBaseTable(generator_);
@@ -62,7 +93,7 @@ EcPoint P256::FromJacobian(const Jacobian& p) const {
   }
   U256 z_normal = fp_.FromMont(p.z);
   U256 zinv = fp_.ToMont(fp_.Inv(z_normal));
-  U256 zinv2 = fp_.MontMul(zinv, zinv);
+  U256 zinv2 = fp_.MontSqr(zinv);
   U256 zinv3 = fp_.MontMul(zinv2, zinv);
   U256 x = fp_.FromMont(fp_.MontMul(p.x, zinv2));
   U256 y = fp_.FromMont(fp_.MontMul(p.y, zinv3));
@@ -81,7 +112,7 @@ void P256::NormalizeToAffineMont(std::vector<Jacobian>& points) const {
     if (points[i].z.IsZero()) {
       continue;
     }
-    U256 zinv2 = fp_.MontMul(zs[i], zs[i]);
+    U256 zinv2 = fp_.MontSqr(zs[i]);
     U256 zinv3 = fp_.MontMul(zinv2, zs[i]);
     points[i].x = fp_.MontMul(points[i].x, zinv2);
     points[i].y = fp_.MontMul(points[i].y, zinv3);
@@ -117,19 +148,26 @@ P256::Jacobian P256::JacDouble(const Jacobian& p) const {
   }
   // dbl-2001-b (a = -3): all values stay in the Montgomery domain.
   const ModField& f = fp_;
-  U256 delta = f.MontMul(p.z, p.z);
-  U256 gamma = f.MontMul(p.y, p.y);
+  U256 delta = f.MontSqr(p.z);
+  U256 gamma = f.MontSqr(p.y);
   U256 beta = f.MontMul(p.x, gamma);
-  U256 alpha = f.MontMul(three_mont_, f.MontMul(f.Sub(p.x, delta), f.Add(p.x, delta)));
+  // alpha = 3(x - delta)(x + delta); the multiplication by 3 is two modular
+  // additions, much cheaper than a full field multiplication.
+  U256 inner = f.MontMul(f.Sub(p.x, delta), f.Add(p.x, delta));
+  U256 alpha = f.Add(f.Add(inner, inner), inner);
   // Montgomery form is linear, so Add/Sub work unchanged.
-  U256 beta4 = f.Add(f.Add(beta, beta), f.Add(beta, beta));
+  U256 beta2 = f.Add(beta, beta);
+  U256 beta4 = f.Add(beta2, beta2);
   U256 beta8 = f.Add(beta4, beta4);
-  U256 x3 = f.Sub(f.MontMul(alpha, alpha), beta8);
-  U256 y_plus_z = f.Add(p.y, p.z);
-  U256 z3 = f.Sub(f.Sub(f.MontMul(y_plus_z, y_plus_z), gamma), delta);
-  U256 gamma2 = f.MontMul(gamma, gamma);
-  U256 gamma2_8 = f.Add(f.Add(gamma2, gamma2), f.Add(gamma2, gamma2));
-  gamma2_8 = f.Add(gamma2_8, gamma2_8);
+  U256 x3 = f.Sub(f.MontSqr(alpha), beta8);
+  // z3 = 2yz as a plain multiplication: the (y+z)^2 - gamma - delta trick
+  // only pays when squaring is cheaper than multiplying, which it is not in
+  // this field implementation — the multiply saves two subtractions.
+  U256 z3 = f.MontMul(f.Add(p.y, p.y), p.z);
+  U256 gamma2 = f.MontSqr(gamma);
+  U256 gamma2_2 = f.Add(gamma2, gamma2);
+  U256 gamma2_4 = f.Add(gamma2_2, gamma2_2);
+  U256 gamma2_8 = f.Add(gamma2_4, gamma2_4);
   U256 y3 = f.Sub(f.MontMul(alpha, f.Sub(beta4, x3)), gamma2_8);
   return Jacobian{x3, y3, z3};
 }
@@ -143,8 +181,8 @@ P256::Jacobian P256::JacAdd(const Jacobian& p, const Jacobian& q) const {
   }
   // add-2007-bl.
   const ModField& f = fp_;
-  U256 z1z1 = f.MontMul(p.z, p.z);
-  U256 z2z2 = f.MontMul(q.z, q.z);
+  U256 z1z1 = f.MontSqr(p.z);
+  U256 z2z2 = f.MontSqr(q.z);
   U256 u1 = f.MontMul(p.x, z2z2);
   U256 u2 = f.MontMul(q.x, z1z1);
   U256 s1 = f.MontMul(p.y, f.MontMul(q.z, z2z2));
@@ -158,16 +196,17 @@ P256::Jacobian P256::JacAdd(const Jacobian& p, const Jacobian& q) const {
     return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
   }
   U256 h2 = f.Add(h, h);
-  U256 i = f.MontMul(h2, h2);
+  U256 i = f.MontSqr(h2);
   U256 j = f.MontMul(h, i);
   U256 r2 = f.Add(r, r);
   U256 v = f.MontMul(u1, i);
-  U256 x3 = f.Sub(f.Sub(f.MontMul(r2, r2), j), f.Add(v, v));
+  U256 x3 = f.Sub(f.Sub(f.MontSqr(r2), j), f.Add(v, v));
   U256 s1j2 = f.MontMul(s1, j);
   s1j2 = f.Add(s1j2, s1j2);
   U256 y3 = f.Sub(f.MontMul(r2, f.Sub(v, x3)), s1j2);
-  U256 z1_plus_z2 = f.Add(p.z, q.z);
-  U256 z3 = f.MontMul(f.Sub(f.Sub(f.MontMul(z1_plus_z2, z1_plus_z2), z1z1), z2z2), h);
+  // z3 = 2*z1*z2*h directly (same squaring-vs-multiplying tradeoff as in
+  // JacDouble; z1z1/z2z2 stay because u1/s1 need them anyway).
+  U256 z3 = f.MontMul(f.MontMul(f.Add(p.z, p.z), q.z), h);
   return Jacobian{x3, y3, z3};
 }
 
@@ -178,7 +217,7 @@ P256::Jacobian P256::JacAddAffine(const Jacobian& p, const AffineMont& q) const 
   // madd-2007-bl: the q.z == 1 specialization of add-2007-bl, saving four
   // multiplications per addition.
   const ModField& f = fp_;
-  U256 z1z1 = f.MontMul(p.z, p.z);
+  U256 z1z1 = f.MontSqr(p.z);
   U256 u2 = f.MontMul(q.x, z1z1);
   U256 s2 = f.MontMul(q.y, f.MontMul(p.z, z1z1));
   U256 h = f.Sub(u2, p.x);
@@ -189,17 +228,17 @@ P256::Jacobian P256::JacAddAffine(const Jacobian& p, const AffineMont& q) const 
     }
     return Jacobian{U256::Zero(), one_mont_, U256::Zero()};
   }
-  U256 hh = f.MontMul(h, h);
-  U256 i = f.Add(f.Add(hh, hh), f.Add(hh, hh));
+  U256 hh = f.MontSqr(h);
+  U256 hh2 = f.Add(hh, hh);
+  U256 i = f.Add(hh2, hh2);
   U256 j = f.MontMul(h, i);
   U256 r2 = f.Add(r, r);
   U256 v = f.MontMul(p.x, i);
-  U256 x3 = f.Sub(f.Sub(f.MontMul(r2, r2), j), f.Add(v, v));
+  U256 x3 = f.Sub(f.Sub(f.MontSqr(r2), j), f.Add(v, v));
   U256 y1j2 = f.MontMul(p.y, j);
   y1j2 = f.Add(y1j2, y1j2);
   U256 y3 = f.Sub(f.MontMul(r2, f.Sub(v, x3)), y1j2);
-  U256 z1_plus_h = f.Add(p.z, h);
-  U256 z3 = f.Sub(f.Sub(f.MontMul(z1_plus_h, z1_plus_h), z1z1), hh);
+  U256 z3 = f.MontMul(f.Add(p.z, p.z), h);  // 2*z1*h, same tradeoff as above
   return Jacobian{x3, y3, z3};
 }
 
@@ -213,31 +252,118 @@ P256::Jacobian P256::JacScalarMult(const Jacobian& p, const U256& scalar) const 
     return identity;
   }
 
-  // Fixed 4-bit window: table[i] = i * P.
-  Jacobian table[16];
-  table[0] = identity;
-  table[1] = p;
-  for (int i = 2; i < 16; i += 2) {
-    table[i] = JacDouble(table[i / 2]);
-    table[i + 1] = JacAdd(table[i], p);
+  // Odd multiples 1P, 3P, ..., 15P.  Negative digits reuse the same table:
+  // negating a Jacobian point is a free y-flip.
+  Jacobian odd[kWnafOddMultiples];
+  odd[0] = p;
+  Jacobian twice = JacDouble(p);
+  for (size_t i = 1; i < kWnafOddMultiples; ++i) {
+    odd[i] = JacAdd(odd[i - 1], twice);
   }
 
+  int8_t digits[kWnafMaxDigits];
+  int len = WnafRecode(k, digits);
   Jacobian acc = identity;
-  int bits = k.BitLength();
-  int top_nibble = (bits + 3) / 4 - 1;
-  for (int nibble = top_nibble; nibble >= 0; --nibble) {
-    if (nibble != top_nibble) {
-      acc = JacDouble(acc);
-      acc = JacDouble(acc);
-      acc = JacDouble(acc);
-      acc = JacDouble(acc);
-    }
-    uint64_t window = ScalarNibble(k, static_cast<size_t>(nibble));
-    if (window != 0) {
-      acc = JacAdd(acc, table[window]);
+  for (int i = len - 1; i >= 0; --i) {
+    acc = JacDouble(acc);
+    int8_t d = digits[i];
+    if (d > 0) {
+      acc = JacAdd(acc, odd[(d - 1) / 2]);
+    } else if (d < 0) {
+      Jacobian neg = odd[(-d - 1) / 2];
+      neg.y = fp_.Neg(neg.y);
+      acc = JacAdd(acc, neg);
     }
   }
   return acc;
+}
+
+P256::Jacobian P256::JacScalarMultReference(const Jacobian& p, const U256& scalar) const {
+  U256 k = scalar;
+  if (k >= fn_.modulus()) {
+    k = fn_.Reduce(k);
+  }
+  Jacobian acc{U256::Zero(), one_mont_, U256::Zero()};
+  if (k.IsZero() || p.z.IsZero()) {
+    return acc;
+  }
+  for (int i = k.BitLength() - 1; i >= 0; --i) {
+    acc = JacDouble(acc);
+    if (k.Bit(i)) {
+      acc = JacAdd(acc, p);
+    }
+  }
+  return acc;
+}
+
+std::vector<P256::Jacobian> P256::BatchScalarMultJac(const std::vector<EcPoint>& points,
+                                                     const std::vector<U256>& scalars) const {
+  assert(points.size() == scalars.size());
+  const size_t n = points.size();
+  Jacobian identity{U256::Zero(), one_mont_, U256::Zero()};
+  std::vector<Jacobian> out(n, identity);
+
+  // Build every item's odd-multiple table into one flat vector, then convert
+  // them ALL to affine with a single shared inversion.  That is the batch
+  // win: the per-digit additions below become mixed additions (madd), which
+  // save four field multiplications each over full Jacobian additions.
+  std::vector<U256> ks(n);
+  std::vector<size_t> table_base(n, SIZE_MAX);  // SIZE_MAX = identity result
+  std::vector<Jacobian> tables;
+  tables.reserve(kWnafOddMultiples * n);
+  for (size_t i = 0; i < n; ++i) {
+    U256 k = scalars[i];
+    if (k >= fn_.modulus()) {
+      k = fn_.Reduce(k);
+    }
+    if (k.IsZero() || points[i].infinity) {
+      continue;
+    }
+    ks[i] = k;
+    table_base[i] = tables.size();
+    Jacobian p = ToJacobian(points[i]);
+    Jacobian twice = JacDouble(p);
+    tables.push_back(p);
+    for (size_t j = 1; j < kWnafOddMultiples; ++j) {
+      tables.push_back(JacAdd(tables[table_base[i] + j - 1], twice));
+    }
+  }
+  NormalizeToAffineMont(tables);
+
+  // Recode lazily and reuse the digits when consecutive scalars repeat: the
+  // El Gamal open multiplies every c1 of a chunk by the same private key.
+  int8_t digits[kWnafMaxDigits];
+  int len = 0;
+  const U256* prev_k = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    if (table_base[i] == SIZE_MAX) {
+      continue;
+    }
+    const Jacobian* tbl = tables.data() + table_base[i];
+    if (prev_k == nullptr || !(*prev_k == ks[i])) {
+      len = WnafRecode(ks[i], digits);
+      prev_k = &ks[i];
+    }
+    Jacobian acc = identity;
+    for (int b = len - 1; b >= 0; --b) {
+      acc = JacDouble(acc);
+      int8_t d = digits[b];
+      if (d > 0) {
+        const Jacobian& e = tbl[(d - 1) / 2];
+        acc = JacAddAffine(acc, AffineMont{e.x, e.y});
+      } else if (d < 0) {
+        const Jacobian& e = tbl[(-d - 1) / 2];
+        acc = JacAddAffine(acc, AffineMont{e.x, fp_.Neg(e.y)});
+      }
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<EcPoint> P256::BatchScalarMult(const std::vector<EcPoint>& points,
+                                           const std::vector<U256>& scalars) const {
+  return BatchNormalize(BatchScalarMultJac(points, scalars));
 }
 
 P256::FixedBaseTable P256::BuildFixedBaseTable(const EcPoint& base) const {
@@ -300,35 +426,50 @@ P256::Jacobian P256::JacScalarMultCached(const EcPoint& base, const U256& scalar
   return JacScalarMult(ToJacobian(base), scalar);
 }
 
-std::string P256::TableKey(const EcPoint& base) {
-  auto x_bytes = base.x.ToBytes();
-  auto y_bytes = base.y.ToBytes();
-  std::string key(x_bytes.begin(), x_bytes.end());
-  key.append(y_bytes.begin(), y_bytes.end());
-  return key;
+uint64_t P256::TableKey(const EcPoint& base) {
+  // Fibonacci-style mix; quality only affects bucket spread, correctness is
+  // guaranteed by the full-point comparison in FindTable.
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (uint64_t limb : base.x.limbs) {
+    h = (h ^ limb) * 0xff51afd7ed558ccdull;
+  }
+  for (uint64_t limb : base.y.limbs) {
+    h = (h ^ limb) * 0xff51afd7ed558ccdull;
+  }
+  return h;
 }
 
 const P256::FixedBaseTable* P256::FindTable(const EcPoint& base) const {
   std::shared_lock<std::shared_mutex> lock(tables_mu_);
   auto it = tables_.find(TableKey(base));
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it == tables_.end()) {
+    return nullptr;
+  }
+  for (const auto& [point, table] : it->second) {
+    if (point == base) {
+      return table.get();
+    }
+  }
+  return nullptr;
 }
 
 void P256::RegisterFixedBase(const EcPoint& base) const {
   if (base.infinity || base == generator_) {
     return;
   }
-  std::string key = TableKey(base);
-  {
-    std::shared_lock<std::shared_mutex> lock(tables_mu_);
-    if (tables_.count(key) != 0) {
-      return;
-    }
+  if (FindTable(base) != nullptr) {
+    return;
   }
   // Build outside the lock: table construction is a few hundred point ops.
   auto table = std::make_unique<FixedBaseTable>(BuildFixedBaseTable(base));
   std::unique_lock<std::shared_mutex> lock(tables_mu_);
-  tables_.emplace(std::move(key), std::move(table));
+  auto& bucket = tables_[TableKey(base)];
+  for (const auto& [point, existing] : bucket) {
+    if (point == base) {
+      return;  // lost a registration race; the first table wins
+    }
+  }
+  bucket.emplace_back(base, std::move(table));
 }
 
 bool P256::HasFixedBase(const EcPoint& base) const {

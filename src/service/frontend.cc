@@ -37,16 +37,21 @@ Status ShufflerFrontend::Start() {
 
 Status ShufflerFrontend::AcceptFrameStream(ByteSpan stream) {
   FrameReader reader(stream);
+  Status status = Status::Ok();
   while (auto payload = reader.Next()) {
-    Status status = AcceptReport(std::move(*payload));
+    status = AcceptReport(std::move(*payload));
     if (!status.ok()) {
-      return status;
+      break;  // fold the reader's stats in before surfacing the error
     }
   }
+  // Folded on every path: an early AcceptReport failure must not drop the
+  // frames/bytes the reader has already accounted, or the stats-balance
+  // invariant ("every input byte is a good frame, a corrupt frame, or
+  // skipped garbage") breaks exactly when operators need it most.
   stats_.frames_ok += reader.stats().frames_ok;
   stats_.frames_corrupt += reader.stats().frames_corrupt;
   stats_.bytes_skipped += reader.stats().bytes_skipped;
-  return Status::Ok();
+  return status;
 }
 
 Status ShufflerFrontend::AcceptReport(Bytes sealed_report) {
@@ -57,7 +62,7 @@ Status ShufflerFrontend::AcceptReport(Bytes sealed_report) {
   return status;
 }
 
-void ShufflerFrontend::Tick() { ingest_->Tick(); }
+Status ShufflerFrontend::Tick() { return ingest_->Tick(); }
 
 Status ShufflerFrontend::CutEpoch() { return ingest_->CutEpoch(); }
 

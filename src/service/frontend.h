@@ -85,7 +85,10 @@ class ShufflerFrontend {
   Status AcceptReport(Bytes sealed_report);
 
   // Advances the epoch-age clock (call on the service's scheduling cadence).
-  void Tick();
+  // Reports the seal outcome when the tick age-cuts the epoch: a spool
+  // failure is returned here (and counted in ingest_stats().seal_failures)
+  // rather than silently swallowed; the epoch stays open for a later retry.
+  Status Tick();
   // Forces the current epoch to seal (operator flush).
   Status CutEpoch();
   // Durability point: fsyncs all in-progress spool segments.

@@ -65,20 +65,25 @@ Status ShardedIngest::Accept(Bytes sealed_report) {
   return Status::Ok();
 }
 
-void ShardedIngest::Tick() {
+Status ShardedIngest::Tick() {
   std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
   current_age_++;
   if (config_.max_epoch_age == 0 || current_age_ < config_.max_epoch_age) {
-    return;
+    return Status::Ok();
   }
   size_t total = current_total_.load();
   if (total == 0 || total < config_.min_epoch_reports) {
-    return;  // anonymity floor: an old-but-thin batch keeps waiting
+    return Status::Ok();  // anonymity floor: an old-but-thin batch keeps waiting
   }
-  if (SealCurrentLocked().ok()) {
+  // A failed seal (recorded by SealCurrentLocked) leaves the epoch open; the
+  // error propagates so the frontend's Tick can report a wedged spool
+  // instead of the failure silently vanishing.
+  Status status = SealCurrentLocked();
+  if (status.ok()) {
     std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
     stats_.age_cuts++;
   }
+  return status;
 }
 
 Status ShardedIngest::CutEpoch() {
@@ -98,20 +103,34 @@ Status ShardedIngest::SealCurrentLocked() {
   if (spool_ == nullptr) {
     batch.shard_reports.resize(config_.num_shards);
   }
+  // Snapshot the shard counts WITHOUT resetting them: the spool seal below
+  // can fail, and a failed seal must leave the epoch fully intact so a
+  // retry seals the same accounting (epoch_mu_ is held exclusively, so no
+  // Accept can slip in between the snapshot and the commit).
   for (size_t s = 0; s < config_.num_shards; ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> shard_lock(shard.mu);
     batch.shard_counts[s] = shard.count;
-    shard.count = 0;
-    if (spool_ == nullptr) {
-      batch.shard_reports[s] = std::move(shard.reports);
-      shard.reports.clear();
-    }
   }
   if (spool_ != nullptr) {
     Status status = spool_->SealEpoch(epoch);
     if (!status.ok()) {
+      // Account the failure before propagating it: every failed seal is
+      // visible in stats even if the caller drops the Status.
+      std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+      stats_.seal_failures++;
+      stats_.last_seal_error = status.error().message;
       return status;
+    }
+  }
+  // Commit: the epoch is durably sealed (or in-memory); reset the shards.
+  for (size_t s = 0; s < config_.num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.count = 0;
+    if (spool_ == nullptr) {
+      batch.shard_reports[s] = std::move(shard.reports);
+      shard.reports.clear();
     }
   }
   {

@@ -28,6 +28,7 @@
 #include <optional>
 #include <set>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "src/service/spool.h"
@@ -50,6 +51,12 @@ struct IngestStats {
   uint64_t epochs_sealed = 0;
   uint64_t size_cuts = 0;
   uint64_t age_cuts = 0;
+  // Seal attempts that failed (spool SealEpoch errors).  A failure leaves
+  // the epoch open — its reports are not lost — but it must be visible:
+  // these two fields keep the books balanced and surface the last error so
+  // operators see a wedged spool instead of a silently ageing epoch.
+  uint64_t seal_failures = 0;
+  std::string last_seal_error;
 };
 
 // A sealed epoch ready for draining.  Spooled mode carries only counts (the
@@ -74,8 +81,11 @@ class ShardedIngest {
   Status Accept(Bytes sealed_report);
 
   // Advances the logical epoch clock (the frontend calls this on its
-  // scheduling cadence); may seal the current epoch by age.
-  void Tick();
+  // scheduling cadence); may seal the current epoch by age.  Returns the
+  // seal outcome: Ok when no cut was due or the cut succeeded, the spool
+  // error when an age-cut's SealEpoch failed (also recorded in
+  // stats().seal_failures / last_seal_error).
+  Status Tick();
 
   // Force-seals the current epoch if it holds any reports.
   Status CutEpoch();

@@ -135,11 +135,16 @@ std::optional<Bytes> FrameReader::Next() {
       }
       return std::move(decoded).value();
     }
-    // Corrupt frame at a magic boundary: count it, step past the magic, and
-    // resynchronize on the next one.
+    // Corrupt frame at a magic boundary: count it, step past the full
+    // 4-byte magic, and resynchronize on the next one.  Skipping all four
+    // bytes is safe — the magic's bytes are pairwise distinct, so another
+    // magic cannot start inside this one — and those bytes are garbage, so
+    // they land in bytes_skipped: every input byte stays accounted to a
+    // good frame, a corrupt frame's magic, or skipped garbage.
     stats_.frames_corrupt++;
+    stats_.bytes_skipped += sizeof(kFrameMagic);
     saw_corruption_ = true;
-    pos_ += 1;
+    pos_ += sizeof(kFrameMagic);
   }
   return std::nullopt;
 }

@@ -56,7 +56,11 @@ Result<Bytes> DecodeFrame(ByteSpan frame);
 struct FrameStreamStats {
   uint64_t frames_ok = 0;
   uint64_t frames_corrupt = 0;  // magic found but frame failed to decode
-  uint64_t bytes_skipped = 0;   // garbage scanned over during resync
+  // Garbage bytes: resync scans plus the magic of every corrupt frame.  The
+  // books balance exactly — once a stream is fully consumed,
+  //   sum(FrameWireSize(payload_i) over good frames) + bytes_skipped
+  // equals the bytes read (see wire_format_test's balance invariant).
+  uint64_t bytes_skipped = 0;
 };
 
 // Streaming reader over a byte buffer containing zero or more frames.

@@ -91,8 +91,13 @@ Result<std::vector<Bytes>> StashShuffler::ShuffleStream(RecordStream& input, Sec
     return Error{"stash shuffle requires non-empty records"};
   }
   size_t item_size = raw_item_size;
-  if (options_.open_outer) {
-    auto probe = options_.open_outer(*pending);
+  if (options_.open_outer || options_.open_outer_batch) {
+    std::optional<Bytes> probe;
+    if (options_.open_outer) {
+      probe = options_.open_outer(*pending);
+    } else {
+      probe = options_.open_outer_batch({*pending}, nullptr)[0];
+    }
     if (!probe.has_value()) {
       return Error{"outer decryption failed on first record"};
     }
@@ -237,9 +242,12 @@ Result<std::vector<Bytes>> StashShuffler::ShuffleStream(RecordStream& input, Sec
     std::vector<size_t> targets = ShuffleToBuckets(count, num_buckets, rng);
 
     // The outer-layer public-key decryption dominates distribution cost
-    // (paper Table 2); it is pure per-item work, so fan it out.
+    // (paper Table 2); open the whole bucket through the batch fast path
+    // when available, else fan the per-item opens across the pool.
     std::vector<std::optional<Bytes>> opened(count);
-    if (options_.open_outer) {
+    if (options_.open_outer_batch) {
+      opened = options_.open_outer_batch(raw, pool);
+    } else if (options_.open_outer) {
       ParallelFor(pool, count, [&](size_t i) {
         opened[i] = options_.open_outer(raw[i]);
       });

@@ -1,0 +1,229 @@
+// Cross-checks for the variable-base wNAF scalar multiplication and the
+// batched variable-base surface that PR 3 rewired the shuffler's ECDH opens
+// onto.  Everything is checked against JacScalarMultReference — the plain
+// left-to-right double-and-add ladder kept precisely so these tests have an
+// obviously-correct baseline — over edge scalars (0, 1, 2, n-1, n, n+1,
+// 2^255) and bulk random scalars, plus the identity-point edges through the
+// batched El Gamal open and report-open paths.
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/hash_to_curve.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/p256.h"
+#include "src/util/thread_pool.h"
+
+namespace prochlo {
+namespace {
+
+EcPoint ReferenceMult(const EcPoint& point, const U256& scalar) {
+  const P256& curve = P256::Get();
+  return curve.FromJacobian(curve.JacScalarMultReference(curve.ToJacobian(point), scalar));
+}
+
+EcPoint WnafMult(const EcPoint& point, const U256& scalar) {
+  const P256& curve = P256::Get();
+  return curve.FromJacobian(curve.JacScalarMult(curve.ToJacobian(point), scalar));
+}
+
+std::vector<U256> EdgeScalars() {
+  const P256& curve = P256::Get();
+  U256 n_minus_1;
+  SubWithBorrow(curve.order(), U256::One(), &n_minus_1);
+  U256 n_plus_1;
+  AddWithCarry(curve.order(), U256::One(), &n_plus_1);
+  U256 two_255;
+  two_255.limbs[3] = 1ull << 63;
+  return {U256::Zero(), U256::One(),  U256::FromU64(2), n_minus_1,
+          curve.order(), n_plus_1,    two_255};
+}
+
+TEST(WnafScalarMultTest, EdgeScalarsMatchDoubleAdd) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("wnaf-edges"));
+  EcPoint random_base = curve.BaseMult(rng.RandomScalar(curve.order()));
+  for (const EcPoint& base : {curve.generator(), random_base}) {
+    for (const U256& k : EdgeScalars()) {
+      EXPECT_EQ(WnafMult(base, k), ReferenceMult(base, k)) << "scalar " << k.ToHex();
+    }
+  }
+  // k = 0 and k = n are the identity; the identity point maps to itself.
+  EXPECT_TRUE(WnafMult(curve.generator(), U256::Zero()).infinity);
+  EXPECT_TRUE(WnafMult(curve.generator(), curve.order()).infinity);
+  EXPECT_TRUE(WnafMult(EcPoint::Infinity(), U256::FromU64(7)).infinity);
+}
+
+TEST(WnafScalarMultTest, OneThousandRandomScalarsMatchDoubleAdd) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("wnaf-1k"));
+  EcPoint base = curve.generator();
+  for (int i = 0; i < 1000; ++i) {
+    U256 k = rng.RandomScalar(curve.order());
+    EXPECT_EQ(WnafMult(base, k), ReferenceMult(base, k)) << "scalar " << k.ToHex();
+    if (i % 100 == 0) {
+      base = curve.BaseMult(rng.RandomScalar(curve.order()));  // vary the base too
+    }
+  }
+}
+
+TEST(BatchScalarMultTest, MatchesDoubleAddIncludingEdges) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("batch-var"));
+  std::vector<EcPoint> points;
+  std::vector<U256> scalars;
+  // Edge scalars on a random base, plus the identity point, plus randoms.
+  EcPoint base = curve.BaseMult(rng.RandomScalar(curve.order()));
+  for (const U256& k : EdgeScalars()) {
+    points.push_back(base);
+    scalars.push_back(k);
+  }
+  points.push_back(EcPoint::Infinity());
+  scalars.push_back(rng.RandomScalar(curve.order()));
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
+    scalars.push_back(rng.RandomScalar(curve.order()));
+  }
+  std::vector<EcPoint> batch = curve.BatchScalarMult(points, scalars);
+  ASSERT_EQ(batch.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batch[i], ReferenceMult(points[i], scalars[i])) << "index " << i;
+  }
+}
+
+TEST(BatchScalarMultTest, RepeatedScalarReusesDigitsCorrectly) {
+  // The decrypt shape: one private scalar against many points (exercises the
+  // recode-once path), interleaved with distinct scalars.
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("batch-repeat"));
+  U256 x = rng.RandomScalar(curve.order());
+  std::vector<EcPoint> points;
+  std::vector<U256> scalars;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
+    scalars.push_back(i % 5 == 3 ? rng.RandomScalar(curve.order()) : x);
+  }
+  std::vector<EcPoint> batch = curve.BatchScalarMult(points, scalars);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batch[i], ReferenceMult(points[i], scalars[i])) << "index " << i;
+  }
+}
+
+TEST(BatchScalarMultTest, JacVariantMatchesAffineVariant) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("batch-jac"));
+  std::vector<EcPoint> points;
+  std::vector<U256> scalars;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
+    scalars.push_back(rng.RandomScalar(curve.order()));
+  }
+  std::vector<EcPoint> affine = curve.BatchScalarMult(points, scalars);
+  std::vector<EcPoint> via_jac = curve.BatchNormalize(curve.BatchScalarMultJac(points, scalars));
+  EXPECT_EQ(affine.size(), via_jac.size());
+  for (size_t i = 0; i < affine.size(); ++i) {
+    EXPECT_EQ(affine[i], via_jac[i]);
+  }
+}
+
+TEST(EcdhBatchTest, MatchesSingleEcdhIncludingIdentityPeer) {
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("ecdh-batch"));
+  U256 priv = rng.RandomScalar(curve.order());
+  std::vector<EcPoint> peers;
+  for (int i = 0; i < 40; ++i) {
+    peers.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
+  }
+  peers.push_back(EcPoint::Infinity());  // identity peer -> nullopt
+  std::vector<std::optional<U256>> batch = EcdhSharedSecretBatch(priv, peers);
+  ASSERT_EQ(batch.size(), peers.size());
+  for (size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_EQ(batch[i], EcdhSharedSecret(priv, peers[i])) << "index " << i;
+  }
+  EXPECT_FALSE(batch.back().has_value());
+}
+
+TEST(ElGamalOpenBatchTest, IdentityComponentCiphertexts) {
+  // c1 = identity: decrypt must return c2 untouched (shared secret is the
+  // identity).  c2 = identity: decrypt returns -x*c1.  Both identity:
+  // the result is the identity point.  All three must match the scalar
+  // ElGamalDecrypt exactly through the batched open.
+  const P256& curve = P256::Get();
+  SecureRandom rng(ToBytes("eg-open-ident"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  EcPoint message = HashToCurve(std::string("edge-crowd"));
+
+  std::vector<ElGamalCiphertext> cts;
+  cts.push_back(ElGamalCiphertext{EcPoint::Infinity(), message});
+  cts.push_back(ElGamalCiphertext{curve.BaseMult(rng.RandomScalar(curve.order())),
+                                  EcPoint::Infinity()});
+  cts.push_back(ElGamalCiphertext{EcPoint::Infinity(), EcPoint::Infinity()});
+  for (int i = 0; i < 20; ++i) {
+    cts.push_back(ElGamalEncrypt(recipient.public_key, message, rng));
+  }
+
+  std::vector<EcPoint> batch = ElGamalOpenBatch(recipient.private_key, cts);
+  ASSERT_EQ(batch.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(batch[i], ElGamalDecrypt(recipient.private_key, cts[i])) << "index " << i;
+  }
+  EXPECT_EQ(batch[0], message);
+  EXPECT_TRUE(batch[2].infinity);
+}
+
+TEST(HybridOpenBatchTest, MatchesSingleOpenIncludingFailures) {
+  SecureRandom rng(ToBytes("hybrid-batch"));
+  KeyPair recipient = KeyPair::Generate(rng);
+  std::vector<HybridBox> boxes;
+  for (int i = 0; i < 25; ++i) {
+    boxes.push_back(HybridSeal(recipient.public_key, Bytes(32, static_cast<uint8_t>(i)),
+                               "batch-ctx", rng));
+  }
+  boxes[3].sealed[5] ^= 0x10;           // tampered ciphertext -> AEAD failure
+  boxes[7].ephemeral_public[10] ^= 0x01;  // invalid ephemeral key -> decode failure
+  boxes.push_back(HybridBox{});          // empty box -> decode failure
+  std::vector<std::optional<Bytes>> batch = HybridOpenBatch(recipient, boxes, "batch-ctx");
+  ASSERT_EQ(batch.size(), boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(batch[i], HybridOpen(recipient, boxes[i], "batch-ctx")) << "index " << i;
+  }
+  EXPECT_FALSE(batch[3].has_value());
+  EXPECT_FALSE(batch[7].has_value());
+  EXPECT_FALSE(batch.back().has_value());
+}
+
+TEST(BatchOpenReportsTest, MatchesOpenReportAndIsPoolInvariant) {
+  SecureRandom rng(ToBytes("batch-open-reports"));
+  KeyPair shuffler = KeyPair::Generate(rng);
+  KeyPair analyzer = KeyPair::Generate(rng);
+  std::vector<Bytes> reports;
+  for (int i = 0; i < 70; ++i) {
+    CrowdPart crowd;
+    crowd.plain_hash = static_cast<uint64_t>(i % 9);
+    auto padded = PadPayload(Bytes(40, static_cast<uint8_t>(i)), 64);
+    reports.push_back(
+        SealReport(crowd, *padded, shuffler.public_key, analyzer.public_key, rng));
+  }
+  reports[11][20] ^= 0x80;        // corrupted report -> open fails
+  reports.push_back(Bytes{1, 2});  // not even a HybridBox
+
+  std::vector<std::optional<ShufflerView>> batch = BatchOpenReports(shuffler, reports);
+  ThreadPool pool(3);
+  std::vector<std::optional<ShufflerView>> pooled = BatchOpenReports(shuffler, reports, &pool);
+  ASSERT_EQ(batch.size(), reports.size());
+  ASSERT_EQ(pooled.size(), reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    auto single = OpenReport(shuffler, reports[i]);
+    EXPECT_EQ(batch[i].has_value(), single.has_value()) << "index " << i;
+    EXPECT_EQ(pooled[i].has_value(), single.has_value()) << "index " << i;
+    if (single.has_value()) {
+      EXPECT_EQ(batch[i]->Serialize(), single->Serialize());
+      EXPECT_EQ(pooled[i]->Serialize(), single->Serialize());
+    }
+  }
+  EXPECT_FALSE(batch[11].has_value());
+  EXPECT_FALSE(batch.back().has_value());
+}
+
+}  // namespace
+}  // namespace prochlo

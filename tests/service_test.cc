@@ -162,6 +162,50 @@ TEST(ServiceTest, AgeTriggerWaitsForAnonymityFloor) {
   EXPECT_EQ(ingest.stats().age_cuts, 1u);
 }
 
+TEST(ServiceTest, TickSurfacesAndCountsSealFailures) {
+  // A spool whose directory vanishes mid-epoch: the age-cut's SealEpoch
+  // fails.  The failure must not vanish with it — Tick returns the error,
+  // stats record it, and the epoch stays open for a retry.
+  ScratchDir dir("seal-failure");
+  Spool spool(SpoolConfig{dir.path, /*fsync_on_seal=*/false});
+  ASSERT_TRUE(spool.Open().ok());
+  IngestConfig config;
+  config.num_shards = 2;
+  config.max_epoch_age = 1;
+  ShardedIngest ingest(config, &spool);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
+  }
+  fs::remove_all(dir.path);  // wedge the spool: the seal marker can't be written
+
+  Status tick = ingest.Tick();
+  EXPECT_FALSE(tick.ok());
+  IngestStats stats = ingest.stats();
+  EXPECT_EQ(stats.seal_failures, 1u);
+  EXPECT_FALSE(stats.last_seal_error.empty());
+  EXPECT_EQ(stats.age_cuts, 0u);
+  EXPECT_EQ(stats.epochs_sealed, 0u);
+  EXPECT_EQ(ingest.current_epoch_size(), 4u);  // the epoch is still open
+
+  // Restore the directory: the next tick's retry seals cleanly, and the
+  // retried batch still carries the full per-shard accounting (the failed
+  // seal must not have zeroed the shard counts).
+  fs::create_directories(dir.path);
+  EXPECT_TRUE(ingest.Tick().ok());
+  stats = ingest.stats();
+  EXPECT_EQ(stats.seal_failures, 1u);
+  EXPECT_EQ(stats.age_cuts, 1u);
+  EXPECT_EQ(stats.epochs_sealed, 1u);
+  auto batch = ingest.PopSealedEpoch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->total, 4u);
+  size_t shard_sum = 0;
+  for (size_t count : batch->shard_counts) {
+    shard_sum += count;
+  }
+  EXPECT_EQ(shard_sum, 4u);
+}
+
 // ------------------------------------------------------------------ spool
 
 TEST(ServiceTest, SpoolRoundTripAndTornTailRecovery) {

@@ -154,6 +154,76 @@ TEST(WireFormatTest, ReaderSkipsLeadingAndTrailingGarbage) {
   EXPECT_EQ(reader.clean_prefix_end(), 0u);
 }
 
+TEST(WireFormatTest, StatsBalanceOnCorruptFrameThenValidFrame) {
+  // The balance invariant: once the stream is fully consumed, every input
+  // byte is accounted to exactly one of a decoded frame's wire bytes or
+  // bytes_skipped (which includes corrupt frames' magic bytes).
+  Rng rng(0x42414c41);
+  Bytes good_a = RandomPayload(rng, 48);
+  Bytes bad = RandomPayload(rng, 32);
+  Bytes good_b = RandomPayload(rng, 27);
+  Bytes stream;
+  AppendFrame(stream, good_a);
+  size_t bad_start = stream.size();
+  AppendFrame(stream, bad);
+  stream[bad_start + 9] ^= 0xFF;  // corrupt the CRC field itself
+  AppendFrame(stream, good_b);
+
+  FrameReader reader(stream);
+  size_t good_wire_bytes = 0;
+  std::vector<Bytes> yielded;
+  while (auto payload = reader.Next()) {
+    good_wire_bytes += FrameWireSize(payload->size());
+    yielded.push_back(std::move(*payload));
+  }
+  ASSERT_EQ(yielded.size(), 2u);
+  EXPECT_EQ(yielded[0], good_a);
+  EXPECT_EQ(yielded[1], good_b);  // resynchronized past the corrupt frame
+  EXPECT_EQ(reader.stats().frames_ok, 2u);
+  EXPECT_EQ(reader.stats().frames_corrupt, 1u);
+  // The corrupt frame's full wire size lands in bytes_skipped: its 4 magic
+  // bytes when the decode fails, the rest during the resync scan.
+  EXPECT_EQ(reader.stats().bytes_skipped, FrameWireSize(bad.size()));
+  EXPECT_EQ(good_wire_bytes + reader.stats().bytes_skipped, stream.size());
+  EXPECT_EQ(reader.clean_prefix_end(), bad_start);
+}
+
+TEST(WireFormatTest, StatsBalanceAcrossMixedGarbageAndFrames) {
+  // Garbage prefix + good frame + corrupt frame + garbage + good frame +
+  // torn tail: the books must still balance exactly.
+  Rng rng(0x4d495845);
+  Bytes a = RandomPayload(rng, 20);
+  Bytes b = RandomPayload(rng, 33);
+  Bytes c = RandomPayload(rng, 41);
+  Bytes stream = RandomPayload(rng, 11);
+  for (auto& byte : stream) {
+    if (byte == 0x50) {
+      byte = 0;  // keep the garbage free of magic aliases
+    }
+  }
+  AppendFrame(stream, a);
+  size_t bad_start = stream.size();
+  AppendFrame(stream, b);
+  stream[bad_start + kFrameHeaderSize + 1] ^= 0x04;  // payload corruption
+  stream.push_back(0x00);
+  stream.push_back(0x13);
+  AppendFrame(stream, c);
+  AppendFrame(stream, RandomPayload(rng, 60));
+  stream.resize(stream.size() - 30);  // torn tail
+
+  FrameReader reader(stream);
+  size_t good_wire_bytes = 0;
+  size_t frames = 0;
+  while (auto payload = reader.Next()) {
+    good_wire_bytes += FrameWireSize(payload->size());
+    frames++;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(reader.stats().frames_ok, 2u);
+  EXPECT_GE(reader.stats().frames_corrupt, 2u);  // corrupt frame + torn tail
+  EXPECT_EQ(good_wire_bytes + reader.stats().bytes_skipped, stream.size());
+}
+
 TEST(WireFormatTest, TruncatedFinalFrameLeavesCleanPrefixIntact) {
   Rng rng(0x544f524e);
   Bytes a = RandomPayload(rng, 64);
