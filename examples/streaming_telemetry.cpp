@@ -98,12 +98,12 @@ int main() {
   // 3. Drain every sealed epoch through shuffle -> threshold -> analyze.
   auto drained = frontend.DrainSealedEpochs();
   if (!drained.ok()) {
-    std::fprintf(stderr, "drain failed: %s\n", drained.error().message.c_str());
+    std::fprintf(stderr, "drain failed: %s\n", drained.failure->error.message.c_str());
     return 1;
   }
   std::printf("\ndelivered %lu reports across %zu epoch(s)\n",
-              static_cast<unsigned long>(delivered), drained.value().size());
-  for (const auto& epoch : drained.value()) {
+              static_cast<unsigned long>(delivered), drained.results.size());
+  for (const auto& epoch : drained.results) {
     std::printf("\nepoch %lu (%zu reports) analyzer histogram:\n",
                 static_cast<unsigned long>(epoch.epoch), epoch.reports);
     for (const auto& [codec, count] : epoch.result.histogram) {

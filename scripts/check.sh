@@ -4,12 +4,18 @@
 #   CHECK_SANITIZE=address,undefined scripts/check.sh build-asan
 #     — sanitizer mode: builds with -fsanitize=<list> and runs the tier-1
 #       suites only (no bench smoke; sanitized benches are not meaningful).
+#   CHECK_SANITIZE=thread CHECK_SUITES='service|wire_format|determinism|util' \
+#       scripts/check.sh build-tsan
+#     — CHECK_SUITES (a ctest -R regex) restricts the run to the named
+#       suites; used by the TSan job, where the full crypto suites are slow
+#       and single-threaded anyway.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SANITIZE="${CHECK_SANITIZE:-}"
+SUITES="${CHECK_SUITES:-}"
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DPROCHLO_SANITIZE="$SANITIZE"
@@ -18,15 +24,19 @@ echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== test =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+if [[ -n "$SUITES" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -R "$SUITES"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+fi
 
 if [[ -n "$SANITIZE" ]]; then
-  # Sanitized pass covers the tier-1 suites (above) plus the service thread
-  # matrix; skip the bench smoke, whose timings are meaningless under ASan.
+  # Sanitized pass covers the suites above plus the service thread matrix;
+  # skip the bench smoke, whose timings are meaningless under sanitizers.
   for threads in 0 4; do
     echo "-- sanitized, PROCHLO_STASH_THREADS=$threads --"
     PROCHLO_STASH_THREADS="$threads" \
-      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|wire_format_test'
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|wire_format_test'
   done
   echo "== OK (sanitize: $SANITIZE) =="
   exit 0
@@ -38,7 +48,7 @@ echo "== service thread matrix =="
 for threads in 0 4; do
   echo "-- PROCHLO_STASH_THREADS=$threads --"
   PROCHLO_STASH_THREADS="$threads" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|wire_format_test'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|wire_format_test'
 done
 
 echo "== bench smoke =="

@@ -1,0 +1,270 @@
+#include "src/service/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+
+namespace prochlo {
+
+// ------------------------------------------------------------------ loopback
+
+namespace {
+
+// One direction of a loopback connection: a bounded byte buffer with
+// blocking reads and writes.  Chunks are stored as handed in (no per-byte
+// bookkeeping); `head` indexes into the front chunk.
+struct HalfPipe {
+  explicit HalfPipe(size_t capacity) : capacity(capacity == 0 ? 1 : capacity) {}
+
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<Bytes> chunks;
+  size_t head = 0;   // consumed prefix of chunks.front()
+  size_t bytes = 0;  // total buffered
+  size_t capacity;
+  bool closed = false;
+
+  Status Write(ByteSpan data) {
+    size_t done = 0;
+    while (done < data.size()) {
+      std::unique_lock<std::mutex> lock(mu);
+      writable.wait(lock, [&] { return bytes < capacity || closed; });
+      if (closed) {
+        return Error{"loopback: write after close"};
+      }
+      size_t take = std::min(data.size() - done, capacity - bytes);
+      chunks.emplace_back(data.begin() + done, data.begin() + done + take);
+      bytes += take;
+      done += take;
+      readable.notify_one();
+    }
+    return Status::Ok();
+  }
+
+  Result<size_t> Read(std::span<uint8_t> out) {
+    if (out.empty()) {
+      return size_t{0};
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    readable.wait(lock, [&] { return bytes > 0 || closed; });
+    if (bytes == 0) {
+      return size_t{0};  // EOF: writer closed and buffer drained
+    }
+    size_t done = 0;
+    while (done < out.size() && bytes > 0) {
+      Bytes& front = chunks.front();
+      size_t take = std::min(out.size() - done, front.size() - head);
+      std::memcpy(out.data() + done, front.data() + head, take);
+      done += take;
+      head += take;
+      bytes -= take;
+      if (head == front.size()) {
+        chunks.pop_front();
+        head = 0;
+      }
+    }
+    writable.notify_one();
+    return done;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    readable.notify_all();
+    writable.notify_all();
+  }
+};
+
+class LoopbackEndpoint : public ByteStream {
+ public:
+  LoopbackEndpoint(std::shared_ptr<HalfPipe> read_half, std::shared_ptr<HalfPipe> write_half)
+      : read_half_(std::move(read_half)), write_half_(std::move(write_half)) {}
+
+  // Dropping an endpoint closes BOTH directions, like close(fd): a peer
+  // blocked in Read sees EOF, and a peer blocked in Write (its buffer full
+  // because this endpoint stopped reading) fails fast instead of hanging —
+  // e.g. a producer mid-Write when the serving pump bails on a sink error.
+  ~LoopbackEndpoint() override {
+    write_half_->Close();
+    read_half_->Close();
+  }
+
+  Result<size_t> Read(std::span<uint8_t> out) override { return read_half_->Read(out); }
+  Status Write(ByteSpan data) override { return write_half_->Write(data); }
+  void CloseWrite() override { write_half_->Close(); }
+
+ private:
+  std::shared_ptr<HalfPipe> read_half_;
+  std::shared_ptr<HalfPipe> write_half_;
+};
+
+}  // namespace
+
+LoopbackPair NewLoopbackPair(size_t capacity_bytes) {
+  auto client_to_server = std::make_shared<HalfPipe>(capacity_bytes);
+  auto server_to_client = std::make_shared<HalfPipe>(capacity_bytes);
+  LoopbackPair pair;
+  pair.client = std::make_unique<LoopbackEndpoint>(server_to_client, client_to_server);
+  pair.server = std::make_unique<LoopbackEndpoint>(client_to_server, server_to_client);
+  return pair;
+}
+
+// -------------------------------------------------------------- FdByteStream
+
+FdByteStream::~FdByteStream() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<size_t> FdByteStream::Read(std::span<uint8_t> out) {
+  for (;;) {
+    ssize_t n = ::read(fd_, out.data(), out.size());
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Error{std::string("fd stream: read failed: ") + std::strerror(errno)};
+  }
+}
+
+Status FdByteStream::Write(ByteSpan data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Error{std::string("fd stream: write failed: ") + std::strerror(errno)};
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void FdByteStream::CloseWrite() {
+  // Sockets get a real half-close; pipes have no equivalent (the reader
+  // sees EOF when the fd is closed at destruction).
+  ::shutdown(fd_, SHUT_WR);
+}
+
+// ------------------------------------------------------------ FrameConnection
+
+Status FrameConnection::PumpUntilClosed() {
+  uint8_t buffer[16384];
+  std::vector<Bytes> payloads;
+  for (;;) {
+    auto n = stream_->Read(std::span<uint8_t>(buffer, sizeof(buffer)));
+    if (!n.ok()) {
+      decoder_.Finish();  // keep the books balanced for what was read
+      return n.error();
+    }
+    if (n.value() == 0) {
+      break;  // EOF
+    }
+    payloads.clear();
+    decoder_.Feed(ByteSpan(buffer, n.value()), payloads);
+    for (auto& payload : payloads) {
+      Status status = sink_(std::move(payload));
+      if (!status.ok()) {
+        // The transport has no per-report acknowledgments (yet — see
+        // ROADMAP), so after this abort the client cannot know how much of
+        // its stream was ingested: blind resending risks duplicates.  The
+        // server-side books (stats/ingest counters) hold the truth.
+        decoder_.Finish();
+        return status;
+      }
+    }
+  }
+  payloads.clear();
+  decoder_.Finish(&payloads);
+  for (auto& payload : payloads) {
+    Status status = sink_(std::move(payload));
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- FrameServer
+
+FrameServer::~FrameServer() { Shutdown(); }
+
+std::unique_ptr<ByteStream> FrameServer::Connect(size_t capacity_bytes) {
+  LoopbackPair pair = NewLoopbackPair(capacity_bytes);
+  Serve(std::move(pair.server));
+  return std::move(pair.client);
+}
+
+void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
+  auto served = std::make_unique<Served>();
+  served->stream = std::move(stream);
+  Served* raw = served.get();
+  // Register and spawn under the lock: Shutdown must never swap served_
+  // between the registration and the thread assignment, or it would either
+  // miss the connection entirely or join a half-constructed entry.  A
+  // connection adopted after Shutdown is dropped on the floor — destroying
+  // the transport closes it, so the peer's writes fail instead of hanging.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_) {
+    return;
+  }
+  raw->thread = std::thread([this, raw] {
+    FrameConnection connection(raw->stream.get(), sink_);
+    raw->status = connection.PumpUntilClosed();
+    raw->stats = connection.stats();
+    // Release the transport as soon as pumping ends: if the pump bailed on
+    // a sink error, this closes the connection and unblocks a peer still
+    // writing into it, rather than holding it open until Shutdown.
+    raw->stream.reset();
+  });
+  served_.push_back(std::move(served));
+}
+
+Status FrameServer::Shutdown() {
+  // Idempotent: a second call finds served_ empty and joins nothing.
+  std::vector<std::unique_ptr<Served>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shut_down_ = true;
+    to_join = std::move(served_);
+    served_.clear();
+  }
+  Status first_error = Status::Ok();
+  for (auto& served : to_join) {
+    if (served->thread.joinable()) {
+      served->thread.join();  // blocks until the client half-closes
+    }
+    if (first_error.ok() && !served->status.ok()) {
+      first_error = served->status;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& served : to_join) {
+    stats_.frames_ok += served->stats.frames_ok;
+    stats_.frames_corrupt += served->stats.frames_corrupt;
+    stats_.bytes_skipped += served->stats.bytes_skipped;
+    connections_ += 1;
+  }
+  return first_error;
+}
+
+FrameStreamStats FrameServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t FrameServer::connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_ + served_.size();
+}
+
+}  // namespace prochlo

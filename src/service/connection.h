@@ -1,0 +1,147 @@
+// Byte-stream transport and framing connections for the shuffler frontend:
+// how sealed reports actually arrive at a standing service — a client holds
+// a connection open and writes wire frames into it; the service side cuts
+// frames out of the byte stream as they complete (across arbitrary read
+// boundaries) and hands each payload to the ingestion tier.
+//
+//   client ──ByteStream::Write(frame bytes, any chunking)──►
+//        FrameConnection (StreamingFrameDecoder: reassemble + CRC + resync)
+//              └─► ReportSink (IngestWorkerPool::Enqueue or
+//                              ShufflerFrontend::AcceptReport)
+//
+// Transports: NewLoopbackPair() gives an in-process duplex pair (bounded,
+// blocking — the tests' and bench's stand-in for a TCP connection);
+// FdByteStream adapts any POSIX fd (socketpair/pipe/socket), so FrameServer
+// can serve real sockets unchanged.
+#ifndef PROCHLO_SRC_SERVICE_CONNECTION_H_
+#define PROCHLO_SRC_SERVICE_CONNECTION_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/service/wire.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+// A duplex byte-stream endpoint.  Reads block until data, EOF, or error;
+// writes block while the peer's buffer is full (back-pressure, never drop).
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Reads at least 1 byte into `out` (up to out.size()); returns the count,
+  // 0 at EOF (peer half-closed and buffer drained).
+  virtual Result<size_t> Read(std::span<uint8_t> out) = 0;
+  virtual Status Write(ByteSpan data) = 0;
+  // Half-close: signals EOF to the peer once buffered bytes are drained.
+  virtual void CloseWrite() = 0;
+};
+
+// In-process duplex pair over two bounded pipes (per-direction capacity in
+// bytes).  Both endpoints are thread-safe for one reader + one writer.
+struct LoopbackPair {
+  std::unique_ptr<ByteStream> client;
+  std::unique_ptr<ByteStream> server;
+};
+LoopbackPair NewLoopbackPair(size_t capacity_bytes = 64 * 1024);
+
+// Adapter over a POSIX file descriptor (socket, socketpair, pipe).  Owns the
+// fd and closes it on destruction.  CloseWrite issues shutdown(SHUT_WR)
+// where supported, falling back to a no-op for plain pipes.
+class FdByteStream : public ByteStream {
+ public:
+  explicit FdByteStream(int fd) : fd_(fd) {}
+  ~FdByteStream() override;
+
+  Result<size_t> Read(std::span<uint8_t> out) override;
+  Status Write(ByteSpan data) override;
+  void CloseWrite() override;
+
+ private:
+  int fd_ = -1;
+};
+
+// Pumps one ByteStream's frames into a sink.  The decoder reassembles
+// frames split across reads and resynchronizes after corruption with the
+// exact FrameReader books (frames_ok/frames_corrupt/bytes_skipped).
+class FrameConnection {
+ public:
+  // Returns non-Ok when a report could not be handed off; the pump stops
+  // and the connection surfaces the error.  Note there are no per-report
+  // acknowledgments on this transport yet (ROADMAP), so a client cannot
+  // tell how much of an aborted stream was ingested — duplicate-safe retry
+  // needs application-level acks; the server-side books record what landed.
+  using ReportSink = std::function<Status(Bytes)>;
+
+  FrameConnection(ByteStream* stream, ReportSink sink)
+      : stream_(stream), sink_(std::move(sink)) {}
+
+  // Reads until EOF or a sink/transport error, cutting frames as they
+  // complete.  Corrupt frames are skipped with stats kept, never fatal.
+  Status PumpUntilClosed();
+
+  const FrameStreamStats& stats() const { return decoder_.stats(); }
+
+ private:
+  ByteStream* stream_;  // borrowed
+  ReportSink sink_;
+  StreamingFrameDecoder decoder_;
+};
+
+// A listener: serves any number of connections, each pumped on its own
+// thread into a shared sink.  Connect() manufactures a loopback connection
+// (the in-process stand-in for accept()); Serve() adopts any transport —
+// e.g. an FdByteStream wrapping an accepted socket.
+class FrameServer {
+ public:
+  explicit FrameServer(FrameConnection::ReportSink sink) : sink_(std::move(sink)) {}
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  // Opens a loopback connection served on a new thread; returns the client
+  // endpoint.  The client writes frames and CloseWrite()s when done.  After
+  // Shutdown, the returned endpoint is dead on arrival: the server side is
+  // dropped, so writes fail instead of hanging.
+  std::unique_ptr<ByteStream> Connect(size_t capacity_bytes = 64 * 1024);
+
+  // Adopts an accepted transport and serves it on a new thread.
+  void Serve(std::unique_ptr<ByteStream> stream);
+
+  // Waits for every connection to drain to EOF, then returns the first
+  // connection error (if any) with the per-connection stats folded into
+  // stats().  Idempotent.
+  Status Shutdown();
+
+  // Aggregated framing books across finished connections (call after
+  // Shutdown for the complete picture).
+  FrameStreamStats stats() const;
+  size_t connections() const;
+
+ private:
+  struct Served {
+    std::unique_ptr<ByteStream> stream;
+    std::thread thread;
+    Status status = Status::Ok();
+    FrameStreamStats stats;
+  };
+
+  FrameConnection::ReportSink sink_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Served>> served_;  // still being pumped
+  FrameStreamStats stats_;                       // folded at Shutdown
+  size_t connections_ = 0;                       // finished connections
+  bool shut_down_ = false;                       // Serve after Shutdown drops the stream
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_CONNECTION_H_

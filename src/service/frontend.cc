@@ -5,6 +5,51 @@
 
 namespace prochlo {
 
+namespace {
+
+// RecordStream over an in-memory EpochBatch's per-shard reports, shard order
+// then arrival order — the same order the spooled path streams.  It borrows
+// the batch and yields copies, so a failed pipeline run leaves the batch
+// intact for requeueing: the batch is the only copy of the epoch's reports
+// in in-memory mode, and consuming it before the run succeeds is exactly the
+// data-loss bug this stream exists to prevent.
+class EpochBatchRecordStream : public RecordStream {
+ public:
+  explicit EpochBatchRecordStream(const EpochBatch& batch) : batch_(&batch) {
+    total_ = 0;
+    for (const auto& shard : batch_->shard_reports) {
+      total_ += shard.size();
+    }
+  }
+
+  size_t size() const override { return total_; }
+
+  std::optional<Bytes> Next() override {
+    while (shard_ < batch_->shard_reports.size()) {
+      const auto& reports = batch_->shard_reports[shard_];
+      if (index_ < reports.size()) {
+        return reports[index_++];
+      }
+      shard_++;
+      index_ = 0;
+    }
+    return std::nullopt;
+  }
+
+  void Reset() override {
+    shard_ = 0;
+    index_ = 0;
+  }
+
+ private:
+  const EpochBatch* batch_;
+  size_t total_ = 0;
+  size_t shard_ = 0;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
 ShufflerFrontend::ShufflerFrontend(FrontendConfig config)
     : config_(std::move(config)), pipeline_(config_.pipeline) {
   if (!config_.spool_dir.empty()) {
@@ -62,6 +107,14 @@ Status ShufflerFrontend::AcceptReport(Bytes sealed_report) {
   return status;
 }
 
+Status ShufflerFrontend::AcceptRoutedReport(size_t shard_index, Bytes sealed_report) {
+  Status status = ingest_->AcceptToShard(shard_index, std::move(sealed_report));
+  if (status.ok()) {
+    stats_.reports_accepted++;
+  }
+  return status;
+}
+
 Status ShufflerFrontend::Tick() { return ingest_->Tick(); }
 
 Status ShufflerFrontend::CutEpoch() { return ingest_->CutEpoch(); }
@@ -90,8 +143,8 @@ Rng ShufflerFrontend::EpochNoiseRng(uint64_t epoch) const {
   return Rng(seed);
 }
 
-Result<std::vector<EpochResult>> ShufflerFrontend::DrainSealedEpochs() {
-  std::vector<EpochResult> results;
+DrainReport ShufflerFrontend::DrainSealedEpochs() {
+  DrainReport report;
   while (auto batch = ingest_->PopSealedEpoch()) {
     EpochResult epoch_result;
     epoch_result.epoch = batch->epoch;
@@ -106,31 +159,42 @@ Result<std::vector<EpochResult>> ShufflerFrontend::DrainSealedEpochs() {
       auto stream = spool_->OpenEpochStream(batch->epoch);
       run = pipeline_.RunReports(*stream, epoch_rng, epoch_noise);
     } else {
-      std::vector<Bytes> reports;
-      reports.reserve(batch->total);
-      for (auto& shard : batch->shard_reports) {
-        for (auto& report : shard) {
-          reports.push_back(std::move(report));
-        }
-      }
-      VectorRecordStream stream(reports);
+      // Borrow the batch — never consume it before the run succeeds: the
+      // batch is the only copy of an in-memory epoch, and a requeue after
+      // moving the reports out would retry an empty shell.
+      EpochBatchRecordStream stream(*batch);
       run = pipeline_.RunReports(stream, epoch_rng, epoch_noise);
     }
+    if (run.ok() && config_.inject_drain_failure.has_value() &&
+        config_.inject_drain_failure->epoch == batch->epoch &&
+        injected_drain_failures_ < config_.inject_drain_failure->times) {
+      injected_drain_failures_++;
+      run = Error{"injected drain failure (epoch " + std::to_string(batch->epoch) + ")"};
+    }
     if (!run.ok()) {
-      // Put the batch back at the head of the queue (in-memory mode holds
-      // the only copy of its reports), so a later DrainSealedEpochs retries
-      // it; spooled segments also stay on disk untouched.
+      // Put the intact batch back at the head of the queue (in-memory mode
+      // holds the only copy of its reports), so a later DrainSealedEpochs
+      // retries it; spooled segments also stay on disk untouched.  The
+      // epochs already drained this call ride along in the report rather
+      // than being discarded with the error.
+      report.failure = DrainError{batch->epoch, run.error()};
       ingest_->RequeueSealedEpoch(std::move(*batch));
-      return run.error();
+      return report;
     }
     epoch_result.result = std::move(run).value();
     if (spool_ != nullptr && config_.remove_drained_epochs) {
-      spool_->RemoveEpoch(batch->epoch);
+      Status removed = spool_->RemoveEpoch(batch->epoch);
+      if (!removed.ok()) {
+        // The epoch's reports are safe (already drained into the result);
+        // what leaked is disk space plus a restart replaying the epoch as a
+        // duplicate.  Count it so operators see the leak.
+        stats_.remove_failures++;
+      }
     }
     stats_.epochs_drained++;
-    results.push_back(std::move(epoch_result));
+    report.results.push_back(std::move(epoch_result));
   }
-  return results;
+  return report;
 }
 
 }  // namespace prochlo

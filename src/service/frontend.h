@@ -46,6 +46,14 @@ struct FrontendConfig {
   bool fsync_spool = true;
   // Delete an epoch's segments once drained (keep for audit if false).
   bool remove_drained_epochs = true;
+  // Fault injection for the drain/retry tests: fail the pipeline run of
+  // `epoch` the first `times` times it is attempted, exactly where a real
+  // shuffle/analyze failure lands.  Production configs leave this unset.
+  struct DrainFaultInjection {
+    uint64_t epoch = 0;
+    uint32_t times = 0;
+  };
+  std::optional<DrainFaultInjection> inject_drain_failure;
 };
 
 // Counters are atomic because AcceptReport/AcceptFrameStream are, like
@@ -58,12 +66,37 @@ struct FrontendStats {
   std::atomic<uint64_t> epochs_drained{0};
   std::atomic<uint64_t> recovered_reports{0};   // replayed from the spool at Start()
   std::atomic<uint64_t> recovered_truncated_bytes{0};  // torn tails discarded
+  // Post-drain spool cleanups (RemoveEpoch) that failed.  The epoch's
+  // reports are NOT lost — they were already drained into a result — but
+  // its segments linger on disk and would be replayed as a duplicate epoch
+  // after a restart, so the leak must be visible.
+  std::atomic<uint64_t> remove_failures{0};
 };
 
 struct EpochResult {
   uint64_t epoch = 0;
   size_t reports = 0;
   PipelineResult result;
+};
+
+// A drain failure: the pipeline run of `epoch` failed.  The epoch was
+// requeued intact (its reports are safe — in-memory batches keep their
+// shard_reports, spooled segments stay on disk), so a later
+// DrainSealedEpochs retries it.
+struct DrainError {
+  uint64_t epoch = 0;
+  Error error;
+};
+
+// What one DrainSealedEpochs call accomplished: every epoch it *did* drain,
+// plus the failure that stopped it early (if any).  Partial progress is
+// never discarded — an error on epoch e does not lose the results of the
+// epochs drained before it.
+struct DrainReport {
+  std::vector<EpochResult> results;
+  std::optional<DrainError> failure;
+
+  bool ok() const { return !failure.has_value(); }
 };
 
 class ShufflerFrontend {
@@ -83,6 +116,11 @@ class ShufflerFrontend {
   Status AcceptFrameStream(ByteSpan stream);
   // Ingests one already-unframed sealed report.
   Status AcceptReport(Bytes sealed_report);
+  // Ingests a report whose shard was already computed by the caller (the
+  // ingest worker pool routes with ShardOfReport before enqueueing; the
+  // worker thread skips re-hashing).  Same error contract as AcceptReport:
+  // non-Ok means the report was not ingested and may be retried.
+  Status AcceptRoutedReport(size_t shard_index, Bytes sealed_report);
 
   // Advances the epoch-age clock (call on the service's scheduling cadence).
   // Reports the seal outcome when the tick age-cuts the epoch: a spool
@@ -95,12 +133,18 @@ class ShufflerFrontend {
   Status SyncSpool();
 
   // Drains every sealed epoch through the pipeline's shuffle/analyze stages,
-  // oldest first, and returns one result per epoch.
-  Result<std::vector<EpochResult>> DrainSealedEpochs();
+  // oldest first.  Stops at the first epoch whose pipeline run fails; that
+  // epoch is requeued *intact* (a retrying call sees its full report set
+  // again), and the report carries both the epochs already drained and the
+  // failure — partial progress is never discarded.  Safe to call
+  // concurrently with Accept*/Tick/CutEpoch (drain of epoch e overlaps
+  // accumulation of e+1), but not with itself: one drainer at a time.
+  DrainReport DrainSealedEpochs();
 
   const FrontendStats& stats() const { return stats_; }
   uint64_t current_epoch() const { return ingest_->current_epoch(); }
   size_t current_epoch_size() const { return ingest_->current_epoch_size(); }
+  size_t num_shards() const { return ingest_->num_shards(); }
   IngestStats ingest_stats() const { return ingest_->stats(); }
 
  private:
@@ -113,6 +157,7 @@ class ShufflerFrontend {
   std::unique_ptr<ShardedIngest> ingest_;
   FrontendStats stats_;
   bool started_ = false;
+  uint32_t injected_drain_failures_ = 0;  // fault-injection bookkeeping
 };
 
 }  // namespace prochlo

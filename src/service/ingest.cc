@@ -31,16 +31,23 @@ ShardedIngest::ShardedIngest(IngestConfig config, Spool* spool)
 }
 
 Status ShardedIngest::Accept(Bytes sealed_report) {
+  size_t shard_index = ShardOfReport(sealed_report, config_.num_shards);
+  return AcceptToShard(shard_index, std::move(sealed_report));
+}
+
+Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
+  if (shard_index >= config_.num_shards) {
+    return Error{"ingest: shard index out of range"};
+  }
   bool size_trigger = false;
   {
     std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
-    size_t shard_index = ShardOfReport(sealed_report, config_.num_shards);
     Shard& shard = *shards_[shard_index];
     std::lock_guard<std::mutex> shard_lock(shard.mu);
     if (spool_ != nullptr) {
       Status status = spool_->Append(shard_index, current_epoch_.load(), sealed_report);
       if (!status.ok()) {
-        return status;
+        return status;  // not ingested: the client may retry without duplicating
       }
     } else {
       shard.reports.push_back(std::move(sealed_report));
@@ -55,11 +62,16 @@ Status ShardedIngest::Accept(Bytes sealed_report) {
     std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
     if (config_.max_epoch_reports > 0 && current_total_.load() >= config_.max_epoch_reports) {
       Status status = SealCurrentLocked();
-      if (!status.ok()) {
-        return status;
+      if (status.ok()) {
+        std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
+        stats_.size_cuts++;
       }
-      std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
-      stats_.size_cuts++;
+      // A failed seal is NOT this report's failure: the report was already
+      // durably appended (or stored in memory) above, so propagating the
+      // error would tell the client "not ingested" and a retry would inject
+      // a duplicate.  The epoch stays open with the failure recorded in
+      // seal_failures/last_seal_error; the next Accept over the size
+      // trigger, Tick(), or CutEpoch() retries the seal.
     }
   }
   return Status::Ok();
@@ -211,8 +223,17 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
     batch.total = total;
     batch.shard_counts = counts;
     if (recovery.sealed_epochs.count(epoch) == 0 && spool_ != nullptr) {
-      // An older unsealed epoch: seal it now so its marker exists.
-      spool_->SealEpoch(epoch);
+      // An older unsealed epoch: seal it now so its marker exists.  A failed
+      // seal must not vanish — the epoch still enters the drain queue (its
+      // segments were recovered and are drainable), but without a marker
+      // another crash would re-classify it, so the failure is recorded where
+      // operators look for a wedged spool.
+      Status sealed = spool_->SealEpoch(epoch);
+      if (!sealed.ok()) {
+        std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+        stats_.seal_failures++;
+        stats_.last_seal_error = sealed.error().message;
+      }
     }
     std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
     stats_.accepted += batch.total;

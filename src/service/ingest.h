@@ -78,7 +78,20 @@ class ShardedIngest {
 
   // Routes one sealed report to its shard; thread-safe.  May seal the
   // current epoch when the size trigger fires.
+  //
+  // Error contract: a non-Ok return means the report was NOT ingested (the
+  // client may safely retry it).  A size-cut whose spool SealEpoch fails
+  // still returns Ok — the report itself is durably accepted, and returning
+  // the seal error here would make a retrying client inject a duplicate.
+  // The seal failure is surfaced via stats().seal_failures/last_seal_error
+  // and by the next Tick()/CutEpoch().
   Status Accept(Bytes sealed_report);
+
+  // Same as Accept for a report whose shard was already computed (the
+  // ingest worker pool routes by ShardOfReport before enqueueing, so the
+  // worker thread need not re-hash).  `shard_index` must equal
+  // ShardOfReport(sealed_report, num_shards()).
+  Status AcceptToShard(size_t shard_index, Bytes sealed_report);
 
   // Advances the logical epoch clock (the frontend calls this on its
   // scheduling cadence); may seal the current epoch by age.  Returns the
@@ -106,6 +119,7 @@ class ShardedIngest {
 
   uint64_t current_epoch() const { return current_epoch_; }
   size_t current_epoch_size() const { return current_total_.load(); }
+  size_t num_shards() const { return config_.num_shards; }
   IngestStats stats() const;
 
   // Content hash of the sealed (ciphertext) bytes -> shard index.

@@ -1,0 +1,307 @@
+#include "src/service/runtime.h"
+
+#include "src/service/ingest.h"
+#include "src/service/wire.h"
+
+namespace prochlo {
+
+// ------------------------------------------------------------ IngestWorkerPool
+
+IngestWorkerPool::IngestWorkerPool(ShufflerFrontend* frontend, WorkerPoolConfig config)
+    : frontend_(frontend), config_(config) {
+  num_shards_ = frontend_->num_shards() == 0 ? 1 : frontend_->num_shards();
+  if (config_.ring_capacity == 0) {
+    config_.ring_capacity = 2;
+  }
+}
+
+IngestWorkerPool::~IngestWorkerPool() { Stop(); }
+
+void IngestWorkerPool::Start() {
+  if (running_.load() || stopping_.load()) {
+    return;  // one-shot: a stopped pool does not restart
+  }
+  if (config_.workers == 0) {
+    running_.store(true);
+    return;
+  }
+  workers_.reserve(config_.workers);
+  for (size_t w = 0; w < config_.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(config_.ring_capacity));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, &worker] { WorkerLoop(*worker); });
+  }
+  running_.store(true);
+}
+
+void IngestWorkerPool::Stop() {
+  if (!running_.load()) {
+    return;
+  }
+  stopping_.store(true);
+  for (auto& worker : workers_) {
+    {
+      // Under the lock so a worker between its flag and its wait cannot
+      // miss the stop notification entirely (the bounded wait would still
+      // recover, but shutdown should not lean on the fallback).
+      std::lock_guard<std::mutex> lock(worker->wake_mu);
+      worker->wake_cv.notify_all();
+    }
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+  // Close the Enqueue/Stop race: an Enqueue increments pending (seq_cst)
+  // BEFORE it checks stopping_, so any producer that saw stopping_ == false
+  // — and might therefore still publish into a dead ring — is visible here
+  // as pending != 0.  Drain until every such in-flight Enqueue has either
+  // published its item (we ingest it) or bailed (it decrements pending):
+  // a report Enqueue returns Ok for is never dropped by shutdown, and
+  // pending reaches 0 so Flush cannot hang.
+  for (auto& worker : workers_) {
+    while (worker->pending.load() != 0) {
+      if (auto item = worker->ring.TryPop()) {
+        RecordAccept(frontend_->AcceptRoutedReport(item->shard, std::move(item->report)));
+        worker->pending.fetch_sub(1, std::memory_order_release);
+      } else {
+        std::this_thread::yield();  // a producer is mid-push; its item is coming
+      }
+    }
+  }
+  // workers_ is deliberately NOT cleared: a concurrent Enqueue may still
+  // hold a pointer into it.  The Worker objects (joined threads, empty
+  // rings) live until the pool is destroyed.
+  running_.store(false);
+}
+
+Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
+  size_t shard = ShardedIngest::ShardOfReport(sealed_report, num_shards_);
+  if (workers_.empty()) {
+    if (stopping_.load()) {
+      return Error{"ingest pool: stopping; report not enqueued"};
+    }
+    // Synchronous mode: ingest on the caller thread (workers == 0, or the
+    // pool was never started).
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    Status status = frontend_->AcceptRoutedReport(shard, std::move(sealed_report));
+    RecordAccept(status);
+    return status;
+  }
+  Worker& worker = *workers_[shard % workers_.size()];
+  Item item{shard, std::move(sealed_report)};
+  // pending is incremented before the stopping_ check and before the push
+  // (both seq_cst): a concurrent Flush never observes the ring drained
+  // while this item is in flight, and a concurrent Stop that this thread
+  // does not see (stopping_ reads false below) is guaranteed to see
+  // pending != 0 and wait for the push in its straggler drain.
+  worker.pending.fetch_add(1);
+  if (stopping_.load()) {
+    worker.pending.fetch_sub(1, std::memory_order_release);
+    return Error{"ingest pool: stopping; report not enqueued"};
+  }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  bool waited = false;
+  while (!worker.ring.TryPush(std::move(item))) {
+    if (stopping_.load()) {
+      // Already counted in enqueued_, so the books must show the outcome:
+      // this report was handed to the runtime but will not be ingested.
+      worker.pending.fetch_sub(1, std::memory_order_release);
+      Status status = Error{"ingest pool: stopping; report not enqueued"};
+      RecordAccept(status);
+      return status;
+    }
+    if (!waited) {
+      waited = true;
+      ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::yield();
+  }
+  worker.WakeIfAsleep();
+  return Status::Ok();
+}
+
+void IngestWorkerPool::RecordAccept(const Status& status) {
+  if (status.ok()) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  accept_failures_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  last_accept_error_ = status.error().message;
+}
+
+Status IngestWorkerPool::EnqueueFrameStream(ByteSpan stream) {
+  FrameReader reader(stream);
+  Status status = Status::Ok();
+  while (auto payload = reader.Next()) {
+    status = Enqueue(std::move(*payload));
+    if (!status.ok()) {
+      break;
+    }
+  }
+  // Folded on every path, like ShufflerFrontend::AcceptFrameStream: an early
+  // failure must not drop the frames the reader already accounted.
+  frames_ok_.fetch_add(reader.stats().frames_ok, std::memory_order_relaxed);
+  frames_corrupt_.fetch_add(reader.stats().frames_corrupt, std::memory_order_relaxed);
+  bytes_skipped_.fetch_add(reader.stats().bytes_skipped, std::memory_order_relaxed);
+  return status;
+}
+
+Status IngestWorkerPool::Flush() {
+  for (auto& worker : workers_) {
+    worker->WakeIfAsleep();
+    // The acquire pairs with the worker's release decrement: once pending
+    // reads 0, every Accept this worker performed happens-before our return.
+    while (worker->pending.load(std::memory_order_acquire) != 0) {
+      if (stopping_.load() && !running_.load()) {
+        return Error{"ingest pool: stopped with items in flight"};
+      }
+      std::this_thread::yield();
+    }
+  }
+  return Status::Ok();
+}
+
+WorkerPoolStats IngestWorkerPool::stats() const {
+  WorkerPoolStats out;
+  out.enqueued = enqueued_.load(std::memory_order_relaxed);
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  out.ring_full_waits = ring_full_waits_.load(std::memory_order_relaxed);
+  out.frames_ok = frames_ok_.load(std::memory_order_relaxed);
+  out.frames_corrupt = frames_corrupt_.load(std::memory_order_relaxed);
+  out.bytes_skipped = bytes_skipped_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.last_accept_error = last_accept_error_;
+  return out;
+}
+
+void IngestWorkerPool::WorkerLoop(Worker& worker) {
+  auto process = [&](Item&& item) {
+    RecordAccept(frontend_->AcceptRoutedReport(item.shard, std::move(item.report)));
+    // Release the item only after the Accept's effects are complete, so a
+    // Flush observing pending == 0 observes the ingestion too.
+    worker.pending.fetch_sub(1, std::memory_order_release);
+  };
+  for (;;) {
+    if (auto item = worker.ring.TryPop()) {
+      process(std::move(*item));
+      continue;
+    }
+    if (stopping_.load() && worker.pending.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    // Idle: raise the asleep flag, then re-check the ring — an item pushed
+    // between the miss above and the flag would otherwise sleep unwoken.
+    // The bounded wait is only a fallback for the narrow flag/publish races
+    // (a missed notify costs one timeout, never a stall); the normal wake
+    // is the producer's WakeIfAsleep.
+    std::unique_lock<std::mutex> lock(worker.wake_mu);
+    worker.asleep.store(true);
+    if (auto item = worker.ring.TryPop()) {
+      worker.asleep.store(false);
+      lock.unlock();
+      process(std::move(*item));
+      continue;
+    }
+    if (!stopping_.load()) {
+      worker.wake_cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    worker.asleep.store(false);
+  }
+}
+
+// --------------------------------------------------------------- DrainScheduler
+
+DrainScheduler::DrainScheduler(ShufflerFrontend* frontend, DrainSchedulerConfig config)
+    : frontend_(frontend), config_(config) {}
+
+DrainScheduler::~DrainScheduler() { Stop(); }
+
+void DrainScheduler::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { DrainLoop(); });
+}
+
+void DrainScheduler::Stop() {
+  if (!started_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  started_ = false;
+  // One final pass so epochs sealed just before Stop are not stranded.
+  DrainOnce();
+}
+
+void DrainScheduler::RequestDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_requested_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+std::vector<EpochResult> DrainScheduler::TakeResults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EpochResult> out = std::move(results_);
+  results_.clear();
+  return out;
+}
+
+bool DrainScheduler::WaitForDrainedEpochs(size_t n, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return drained_cv_.wait_for(lock, timeout, [&] { return drained_total_ >= n; });
+}
+
+DrainSchedulerStats DrainScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DrainScheduler::DrainLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait_for(lock, config_.poll_interval,
+                        [&] { return stop_ || drain_requested_; });
+      drain_requested_ = false;
+      if (stop_) {
+        return;  // Stop() performs the final pass after the join
+      }
+    }
+    DrainOnce();
+  }
+}
+
+void DrainScheduler::DrainOnce() {
+  // DrainSealedEpochs runs outside mu_: it is the expensive part and must
+  // not block TakeResults/WaitForDrainedEpochs.
+  DrainReport report = frontend_->DrainSealedEpochs();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.drain_calls++;
+  stats_.epochs_drained += report.results.size();
+  drained_total_ += report.results.size();
+  for (auto& result : report.results) {
+    results_.push_back(std::move(result));
+  }
+  if (!report.ok()) {
+    // The failed epoch was requeued intact; the next poll retries it.
+    stats_.drain_failures++;
+    stats_.last_drain_error = report.failure->error.message;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace prochlo

@@ -348,14 +348,26 @@ std::unique_ptr<RecordStream> Spool::OpenEpochStream(uint64_t epoch) {
 Status Spool::RemoveEpoch(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
+  Status result = Status::Ok();
   for (auto it = frame_counts_.lower_bound({epoch, 0});
        it != frame_counts_.end() && it->first.first == epoch;) {
     writers_.erase(it->first);
+    // A missing file is fine (fs::remove returns false without an error);
+    // an actual failure (e.g. EACCES) leaves the segment behind, where a
+    // restart would replay it as a duplicate epoch — surface the first one.
     fs::remove(SegmentPath(it->first.second, epoch), ec);
+    if (ec && result.ok()) {
+      result = Error{"spool: cannot remove segment for epoch " + std::to_string(epoch) + ": " +
+                     ec.message()};
+    }
     it = frame_counts_.erase(it);
   }
   fs::remove(MarkerPath(epoch), ec);
-  return Status::Ok();
+  if (ec && result.ok()) {
+    result = Error{"spool: cannot remove marker for epoch " + std::to_string(epoch) + ": " +
+                   ec.message()};
+  }
+  return result;
 }
 
 }  // namespace prochlo

@@ -1,5 +1,6 @@
 #include "src/service/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 
@@ -98,55 +99,160 @@ Result<Bytes> DecodeFrame(ByteSpan frame) {
   return payload;
 }
 
+namespace {
+
+inline constexpr size_t kNoMagic = static_cast<size_t>(-1);
+
+// Little-endian u32 at `p`; caller guarantees 4 readable bytes.
+uint32_t ReadLeU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+// Index of the first complete 4-byte magic at/after `from`, or kNoMagic if
+// none fits in the remaining bytes.
+size_t FindMagic(ByteSpan stream, size_t from) {
+  while (from + sizeof(kFrameMagic) <= stream.size()) {
+    if (ReadLeU32(stream.data() + from) == kFrameMagic) {
+      return from;
+    }
+    ++from;
+  }
+  return kNoMagic;
+}
+
+// Classification of the frame whose magic starts at `pos` — the one resync
+// state machine shared by the complete-buffer reader and the streaming
+// decoder, so their byte accounting can never drift apart.
+enum class FrameProbe {
+  kComplete,    // full frame present; *wire_size set (CRC still unchecked)
+  kCorrupt,     // header untrustworthy (bad version or oversized length)
+  kIncomplete,  // plausible header needs more bytes than `stream` holds
+};
+
+FrameProbe ProbeFrameAt(ByteSpan stream, size_t pos, size_t* wire_size) {
+  if (pos + kFrameHeaderSize > stream.size()) {
+    return FrameProbe::kIncomplete;
+  }
+  uint8_t version = stream[pos + 4];
+  uint32_t length = ReadLeU32(stream.data() + pos + 5);
+  if (version != kWireVersion || length > kMaxFramePayload) {
+    return FrameProbe::kCorrupt;
+  }
+  *wire_size = FrameWireSize(length);
+  if (pos + *wire_size > stream.size()) {
+    return FrameProbe::kIncomplete;
+  }
+  return FrameProbe::kComplete;
+}
+
+}  // namespace
+
 std::optional<Bytes> FrameReader::Next() {
   while (pos_ < stream_.size()) {
     // Scan to the next magic; anything in between is garbage.
-    size_t scan = pos_;
-    while (scan + 4 <= stream_.size()) {
-      uint32_t magic = static_cast<uint32_t>(stream_[scan]) |
-                       static_cast<uint32_t>(stream_[scan + 1]) << 8 |
-                       static_cast<uint32_t>(stream_[scan + 2]) << 16 |
-                       static_cast<uint32_t>(stream_[scan + 3]) << 24;
-      if (magic == kFrameMagic) {
-        break;
-      }
-      ++scan;
-    }
-    if (scan + 4 > stream_.size()) {
-      // No further magic; the tail is garbage.
+    size_t magic_at = FindMagic(stream_, pos_);
+    if (magic_at == kNoMagic) {
       stats_.bytes_skipped += stream_.size() - pos_;
       saw_corruption_ = saw_corruption_ || pos_ < stream_.size();
       pos_ = stream_.size();
       return std::nullopt;
     }
-    if (scan != pos_) {
-      stats_.bytes_skipped += scan - pos_;
+    if (magic_at != pos_) {
+      stats_.bytes_skipped += magic_at - pos_;
       saw_corruption_ = true;
-      pos_ = scan;
+      pos_ = magic_at;
     }
 
-    auto decoded = DecodeFrame(stream_.subspan(pos_));
-    if (decoded.ok()) {
-      // Frame length is trustworthy once the CRC checks out.
-      pos_ += FrameWireSize(decoded.value().size());
-      stats_.frames_ok++;
-      if (!saw_corruption_) {
-        clean_prefix_end_ = pos_;
+    size_t wire_size = 0;
+    if (ProbeFrameAt(stream_, pos_, &wire_size) == FrameProbe::kComplete) {
+      auto decoded = DecodeFrame(stream_.subspan(pos_, wire_size));
+      if (decoded.ok()) {
+        pos_ += wire_size;
+        stats_.frames_ok++;
+        if (!saw_corruption_) {
+          clean_prefix_end_ = pos_;
+        }
+        return std::move(decoded).value();
       }
-      return std::move(decoded).value();
     }
-    // Corrupt frame at a magic boundary: count it, step past the full
-    // 4-byte magic, and resynchronize on the next one.  Skipping all four
-    // bytes is safe — the magic's bytes are pairwise distinct, so another
-    // magic cannot start inside this one — and those bytes are garbage, so
-    // they land in bytes_skipped: every input byte stays accounted to a
-    // good frame, a corrupt frame's magic, or skipped garbage.
+    // Corrupt frame at a magic boundary — an untrustworthy header, a frame
+    // the buffer's end can never complete, or a CRC mismatch: count it,
+    // step past the full 4-byte magic, and resynchronize on the next one.
+    // Skipping all four bytes is safe — the magic's bytes are pairwise
+    // distinct, so another magic cannot start inside this one — and those
+    // bytes are garbage, so they land in bytes_skipped: every input byte
+    // stays accounted to a good frame, a corrupt frame's magic, or skipped
+    // garbage.
     stats_.frames_corrupt++;
     stats_.bytes_skipped += sizeof(kFrameMagic);
     saw_corruption_ = true;
     pos_ += sizeof(kFrameMagic);
   }
   return std::nullopt;
+}
+
+size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Bytes>& out) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  size_t produced = 0;
+  size_t pos = 0;
+  while (pos < buffer_.size()) {
+    // Scan to the next magic.  Bytes that provably cannot start a magic are
+    // garbage now; up to 3 trailing bytes might be a magic's prefix split
+    // across chunks, so they stay buffered.
+    size_t magic_at = FindMagic(buffer_, pos);
+    if (magic_at == kNoMagic) {
+      size_t keep = buffer_.size() >= sizeof(kFrameMagic) - 1
+                        ? std::max(pos, buffer_.size() - (sizeof(kFrameMagic) - 1))
+                        : pos;
+      stats_.bytes_skipped += keep - pos;
+      pos = keep;
+      break;
+    }
+    stats_.bytes_skipped += magic_at - pos;
+    pos = magic_at;
+
+    size_t wire_size = 0;
+    FrameProbe probe = ProbeFrameAt(buffer_, pos, &wire_size);
+    if (probe == FrameProbe::kIncomplete) {
+      break;  // unlike FrameReader, more bytes may still arrive: wait
+    }
+    if (probe == FrameProbe::kComplete) {
+      auto decoded = DecodeFrame(ByteSpan(buffer_.data() + pos, wire_size));
+      if (decoded.ok()) {
+        stats_.frames_ok++;
+        out.push_back(std::move(decoded).value());
+        produced++;
+        pos += wire_size;
+        continue;
+      }
+    }
+    // kCorrupt or CRC mismatch: identical accounting to FrameReader.
+    stats_.frames_corrupt++;
+    stats_.bytes_skipped += sizeof(kFrameMagic);
+    pos += sizeof(kFrameMagic);
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(pos));
+  return produced;
+}
+
+void StreamingFrameDecoder::Finish(std::vector<Bytes>* out) {
+  // Input is over, so no buffered frame can be completed by future bytes.
+  // Run the complete-buffer reader over the remainder: a frame Feed was
+  // still waiting on is now a torn tail, and FrameReader's resync can even
+  // recover a valid frame embedded in its claimed payload.  Folding the
+  // reader's books keeps the balance invariant — and the exact stats —
+  // identical to FrameReader over the same total byte sequence.
+  FrameReader reader(buffer_);
+  while (auto payload = reader.Next()) {
+    if (out != nullptr) {
+      out->push_back(std::move(*payload));
+    }
+  }
+  stats_.frames_ok += reader.stats().frames_ok;
+  stats_.frames_corrupt += reader.stats().frames_corrupt;
+  stats_.bytes_skipped += reader.stats().bytes_skipped;
+  buffer_.clear();
 }
 
 }  // namespace prochlo

@@ -89,6 +89,35 @@ class FrameReader {
   FrameStreamStats stats_;
 };
 
+// Incremental reframer for byte-stream transports (FrameConnection): bytes
+// arrive in arbitrary chunks — a frame may be split across any number of
+// reads — and complete payloads are cut as soon as they materialize.
+// Corruption handling and the stats books are identical to FrameReader: for
+// the same total byte sequence, however chunked, Feed()+Finish() yields the
+// same payloads and the same frames_ok/frames_corrupt/bytes_skipped balance.
+class StreamingFrameDecoder {
+ public:
+  // Consumes one chunk; appends each completed payload to `out` and returns
+  // how many were produced.  Incomplete trailing bytes stay buffered.
+  size_t Feed(ByteSpan chunk, std::vector<Bytes>& out);
+
+  // End of input: whatever is still buffered can never complete.  The
+  // remainder is re-scanned with FrameReader semantics — a frame embedded
+  // in a torn frame's claimed payload is recovered (appended to `out` when
+  // given), and the torn bytes land in frames_corrupt/bytes_skipped exactly
+  // as FrameReader accounts them.
+  void Finish(std::vector<Bytes>* out = nullptr);
+
+  // Bytes buffered awaiting the rest of a frame (diagnostics/backpressure).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  const FrameStreamStats& stats() const { return stats_; }
+
+ private:
+  Bytes buffer_;
+  FrameStreamStats stats_;
+};
+
 }  // namespace prochlo
 
 #endif  // PROCHLO_SRC_SERVICE_WIRE_H_

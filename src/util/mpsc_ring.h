@@ -1,0 +1,104 @@
+// Bounded lock-free multi-producer/single-consumer ring, the hand-off
+// between client-facing threads and the ingestion tier's per-shard workers:
+// producers enqueue sealed reports without ever touching a shard mutex or
+// spool I/O, and each ring is drained by exactly one worker thread.
+//
+// The cell/sequence scheme follows Dmitry Vyukov's bounded MPMC queue,
+// specialized to a single consumer (the dequeue side needs no CAS).  Every
+// slot carries a sequence number that encodes both its lap and whether it
+// holds a value:
+//
+//   seq == pos            slot free, a producer may claim it at `pos`
+//   seq == pos + 1        slot full, the consumer may take it at `pos`
+//   seq <  pos            ring full (producer) / empty (consumer)
+//
+// TryPush claims a slot with one CAS on the enqueue cursor and publishes the
+// value with a release store of the sequence; TryPop consumes with acquire
+// loads only.  Capacity is rounded up to a power of two.
+#ifndef PROCHLO_SRC_UTIL_MPSC_RING_H_
+#define PROCHLO_SRC_UTIL_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace prochlo {
+
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) {
+      rounded <<= 1;
+    }
+    mask_ = rounded - 1;
+    cells_ = std::make_unique<Cell[]>(rounded);
+    for (size_t i = 0; i < rounded; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Multi-producer enqueue.  Returns false when the ring is full; `value`
+  // is left untouched in that case, so the caller can back off and retry.
+  bool TryPush(T&& value) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;  // slot claimed
+        }
+      } else if (dif < 0) {
+        return false;  // a full lap behind: ring is full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Single-consumer dequeue; must only ever be called from one thread.
+  std::optional<T> TryPop() {
+    size_t pos = tail_;
+    Cell& cell = cells_[pos & mask_];
+    size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return std::nullopt;  // slot not yet published: ring is empty
+    }
+    T value = std::move(cell.value);
+    // Free the slot for the producers' next lap.
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_ = pos + 1;
+    return value;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  // Producers contend on head_; tail_ is owned by the single consumer.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t tail_ = 0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_UTIL_MPSC_RING_H_

@@ -322,11 +322,150 @@ TEST(ServiceTest, FailedDrainKeepsEpochQueued) {
   ASSERT_TRUE(frontend.CutEpoch().ok());
   auto first = frontend.DrainSealedEpochs();
   ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.failure->epoch, 0u);
   // The epoch went back on the queue: a retry sees it again rather than
   // silently succeeding over nothing.
   auto second = frontend.DrainSealedEpochs();
   ASSERT_FALSE(second.ok());
-  EXPECT_EQ(second.error().message, first.error().message);
+  EXPECT_EQ(second.failure->error.message, first.failure->error.message);
+}
+
+// The PR's headline regression: a transiently failing drain must not consume
+// the in-memory batch — before the fix, the reports were moved out before
+// the pipeline ran, the empty shell was requeued, and the retry "drained"
+// zero reports while claiming the original count.  The injected fault fails
+// the pipeline run exactly where a real shuffle failure lands.
+void RunFailedDrainRetryTest(bool spooled) {
+  auto inputs = CohortInputs();
+  Pipeline one_shot(ServicePipelineConfig(0));
+  auto expected = one_shot.Run(inputs);
+  ASSERT_TRUE(expected.ok());
+
+  ScratchDir dir(spooled ? "drain-retry-spooled" : "drain-retry-memory");
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  config.ingest.num_shards = 4;
+  if (spooled) {
+    config.spool_dir = dir.path;
+  }
+  config.inject_drain_failure = FrontendConfig::DrainFaultInjection{/*epoch=*/0, /*times=*/1};
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+
+  const Encoder encoder = frontend.MakeEncoder();
+  SecureRandom client_rng(ToBytes("drain-retry-clients"));
+  for (const auto& [crowd, value] : inputs) {
+    auto report = encoder.EncodeValue(value, crowd, client_rng);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(frontend.AcceptReport(std::move(report).value()).ok());
+  }
+  ASSERT_TRUE(frontend.CutEpoch().ok());
+
+  auto failed = frontend.DrainSealedEpochs();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.failure->epoch, 0u);
+  EXPECT_TRUE(failed.results.empty());
+  EXPECT_EQ(frontend.stats().epochs_drained, 0u);
+
+  // The retry must see the complete epoch again: every report preserved,
+  // histogram bit-identical to the one-shot pipeline over the same inputs.
+  auto retried = frontend.DrainSealedEpochs();
+  ASSERT_TRUE(retried.ok()) << retried.failure->error.message;
+  ASSERT_EQ(retried.results.size(), 1u);
+  EXPECT_EQ(retried.results[0].reports, inputs.size());
+  EXPECT_EQ(retried.results[0].result.histogram, expected.value().histogram);
+}
+
+TEST(ServiceTest, FailedDrainRetryPreservesEveryReportInMemory) {
+  RunFailedDrainRetryTest(/*spooled=*/false);
+}
+
+TEST(ServiceTest, FailedDrainRetryPreservesEveryReportSpooled) {
+  RunFailedDrainRetryTest(/*spooled=*/true);
+}
+
+TEST(ServiceTest, DrainReturnsPartialProgressAlongsideFailure) {
+  // Two sealed epochs; the drain of the second fails once.  The first
+  // epoch's result must ride along with the failure instead of being
+  // discarded by an error return, and the retry finishes the second.
+  auto inputs = CohortInputs();
+  Pipeline one_shot(ServicePipelineConfig(0));
+  auto expected = one_shot.Run(inputs);
+  ASSERT_TRUE(expected.ok());
+
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  config.ingest.num_shards = 4;
+  config.inject_drain_failure = FrontendConfig::DrainFaultInjection{/*epoch=*/1, /*times=*/1};
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+
+  const Encoder encoder = frontend.MakeEncoder();
+  SecureRandom client_rng(ToBytes("partial-progress-clients"));
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (const auto& [crowd, value] : inputs) {
+      auto report = encoder.EncodeValue(value, crowd, client_rng);
+      ASSERT_TRUE(report.ok());
+      ASSERT_TRUE(frontend.AcceptReport(std::move(report).value()).ok());
+    }
+    ASSERT_TRUE(frontend.CutEpoch().ok());
+  }
+
+  auto partial = frontend.DrainSealedEpochs();
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.failure->epoch, 1u);
+  ASSERT_EQ(partial.results.size(), 1u);  // epoch 0 drained before the failure
+  EXPECT_EQ(partial.results[0].epoch, 0u);
+  EXPECT_EQ(partial.results[0].result.histogram, expected.value().histogram);
+
+  auto rest = frontend.DrainSealedEpochs();
+  ASSERT_TRUE(rest.ok()) << rest.failure->error.message;
+  ASSERT_EQ(rest.results.size(), 1u);
+  EXPECT_EQ(rest.results[0].epoch, 1u);
+  EXPECT_EQ(rest.results[0].result.histogram, expected.value().histogram);
+}
+
+TEST(ServiceTest, SizeCutSealFailureStillAcceptsTheReport) {
+  // The duplicate-accept regression: the report that trips the size trigger
+  // is durably appended *before* the seal runs.  A seal failure used to
+  // surface as the Accept's error — the client, told "not ingested", would
+  // retry and inject a duplicate.  Accept must return Ok (and count the
+  // report); the seal failure stays visible in seal_failures.
+  ScratchDir dir("size-cut-seal-failure");
+  FrontendConfig config;
+  config.pipeline = ServicePipelineConfig(0);
+  config.ingest.num_shards = 1;  // one shard: the segment writer is already open
+  config.ingest.max_epoch_reports = 4;
+  config.spool_dir = dir.path;
+  config.fsync_spool = false;
+  ShufflerFrontend frontend(config);
+  ASSERT_TRUE(frontend.Start().ok());
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(frontend.AcceptReport(NumberedReport(i)).ok());
+  }
+  fs::remove_all(dir.path);  // wedge the spool: the seal marker can't be written
+
+  // The 4th report lands on the open segment fd (durable append succeeds),
+  // then the size-cut's SealEpoch fails.  That is the epoch's problem, not
+  // this report's: Accept returns Ok and the report is counted once.
+  Status accepted = frontend.AcceptReport(NumberedReport(3));
+  EXPECT_TRUE(accepted.ok()) << accepted.error().message;
+  EXPECT_EQ(frontend.stats().reports_accepted, 4u);
+
+  IngestStats stats = frontend.ingest_stats();
+  EXPECT_EQ(stats.seal_failures, 1u);
+  EXPECT_FALSE(stats.last_seal_error.empty());
+  EXPECT_EQ(stats.epochs_sealed, 0u);
+  EXPECT_EQ(stats.size_cuts, 0u);
+  EXPECT_EQ(frontend.current_epoch_size(), 4u);  // epoch open, nothing lost
+
+  // Restore the spool: the operator flush retries the seal and the batch
+  // carries the full (non-duplicated) accounting.
+  fs::create_directories(dir.path);
+  ASSERT_TRUE(frontend.CutEpoch().ok());
+  stats = frontend.ingest_stats();
+  EXPECT_EQ(stats.epochs_sealed, 1u);
+  EXPECT_EQ(stats.accepted, 4u);
 }
 
 // ------------------------------------------------------- batch encoder path
@@ -470,10 +609,10 @@ TEST(ServiceTest, EndToEndMatchesOneShotPipelineAcrossThreads) {
 
     ASSERT_TRUE(frontend.CutEpoch().ok());
     auto drained = frontend.DrainSealedEpochs();
-    ASSERT_TRUE(drained.ok()) << drained.error().message;
-    ASSERT_EQ(drained.value().size(), 1u);
-    EXPECT_EQ(drained.value()[0].reports, inputs.size());
-    EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+    ASSERT_TRUE(drained.ok()) << drained.failure->error.message;
+    ASSERT_EQ(drained.results.size(), 1u);
+    EXPECT_EQ(drained.results[0].reports, inputs.size());
+    EXPECT_EQ(drained.results[0].result.histogram, expected.value().histogram);
   }
 }
 
@@ -535,10 +674,10 @@ TEST(ServiceTest, EndToEndSurvivesCrashAndReopenMidEpoch) {
     }
     ASSERT_TRUE(after.CutEpoch().ok());
     auto drained = after.DrainSealedEpochs();
-    ASSERT_TRUE(drained.ok()) << drained.error().message;
-    ASSERT_EQ(drained.value().size(), 1u);
-    EXPECT_EQ(drained.value()[0].reports, inputs.size());
-    EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+    ASSERT_TRUE(drained.ok()) << drained.failure->error.message;
+    ASSERT_EQ(drained.results.size(), 1u);
+    EXPECT_EQ(drained.results[0].reports, inputs.size());
+    EXPECT_EQ(drained.results[0].result.histogram, expected.value().histogram);
   }
 }
 
@@ -562,7 +701,7 @@ TEST(ServiceTest, HistogramIsInterleavingInvariantUnderRandomizedThresholding) {
     EXPECT_TRUE(frontend.CutEpoch().ok());
     auto drained = frontend.DrainSealedEpochs();
     EXPECT_TRUE(drained.ok());
-    return drained.ok() && !drained.value().empty() ? drained.value()[0].result.histogram
+    return drained.ok() && !drained.results.empty() ? drained.results[0].result.histogram
                                                     : std::map<std::string, uint64_t>{};
   };
   auto histogram_a = run(1);
@@ -594,9 +733,9 @@ TEST(ServiceTest, InMemoryModeDrainsWithoutSpool) {
   }
   ASSERT_TRUE(frontend.CutEpoch().ok());
   auto drained = frontend.DrainSealedEpochs();
-  ASSERT_TRUE(drained.ok()) << drained.error().message;
-  ASSERT_EQ(drained.value().size(), 1u);
-  EXPECT_EQ(drained.value()[0].result.histogram, expected.value().histogram);
+  ASSERT_TRUE(drained.ok()) << drained.failure->error.message;
+  ASSERT_EQ(drained.results.size(), 1u);
+  EXPECT_EQ(drained.results[0].result.histogram, expected.value().histogram);
 }
 
 TEST(ServiceTest, MultiEpochAgeCutsProduceIndependentResults) {
@@ -625,10 +764,10 @@ TEST(ServiceTest, MultiEpochAgeCutsProduceIndependentResults) {
     frontend.Tick();  // age trigger seals each wave as its own epoch
   }
   auto drained = frontend.DrainSealedEpochs();
-  ASSERT_TRUE(drained.ok()) << drained.error().message;
-  ASSERT_EQ(drained.value().size(), 3u);
+  ASSERT_TRUE(drained.ok()) << drained.failure->error.message;
+  ASSERT_EQ(drained.results.size(), 3u);
   size_t seen = 0;
-  for (const auto& epoch_result : drained.value()) {
+  for (const auto& epoch_result : drained.results) {
     EXPECT_EQ(epoch_result.result.histogram.at("epoch-value"), 30u);
     seen += epoch_result.reports;
   }

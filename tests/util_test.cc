@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <thread>
 
 #include "src/util/bytes.h"
+#include "src/util/mpsc_ring.h"
 #include "src/util/rng.h"
 #include "src/util/serialization.h"
 #include "src/util/status.h"
@@ -233,6 +236,89 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
 TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not deadlock
+}
+
+TEST(MpscRingTest, FifoSingleThreaded) {
+  MpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(int{i}));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.TryPush(std::move(overflow)));
+  EXPECT_EQ(overflow, 99);  // a rejected push leaves the value untouched
+  for (int i = 0; i < 4; ++i) {
+    auto got = ring.TryPop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  MpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  MpscRing<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(MpscRingTest, WrapsAroundManyLaps) {
+  MpscRing<int> ring(2);
+  for (int lap = 0; lap < 1000; ++lap) {
+    EXPECT_TRUE(ring.TryPush(int{lap}));
+    auto got = ring.TryPop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, lap);
+  }
+}
+
+TEST(MpscRingTest, ConcurrentProducersDeliverEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscRing<uint64_t> ring(64);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t value = static_cast<uint64_t>(p) << 32 | static_cast<uint64_t>(i);
+        while (!ring.TryPush(std::move(value))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // Single consumer: per-producer sequences must arrive in order, every
+  // value exactly once, across many ring laps under contention.
+  std::vector<uint64_t> next(kProducers, 0);
+  size_t received = 0;
+  while (received < static_cast<size_t>(kProducers) * kPerProducer) {
+    auto got = ring.TryPop();
+    if (!got.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    int p = static_cast<int>(*got >> 32);
+    uint64_t i = *got & 0xFFFFFFFFu;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(i, next[p]);  // FIFO per producer
+    next[p] = i + 1;
+    received++;
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], static_cast<uint64_t>(kPerProducer));
+  }
+}
+
+TEST(MpscRingTest, MoveOnlyPayloads) {
+  MpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(7)));
+  auto got = ring.TryPop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 7);
 }
 
 }  // namespace

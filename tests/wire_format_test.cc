@@ -244,5 +244,123 @@ TEST(WireFormatTest, TruncatedFinalFrameLeavesCleanPrefixIntact) {
   EXPECT_EQ(reader.clean_prefix_end(), clean_end);
 }
 
+// ------------------------------------------------- incremental reframing
+
+// Chunked delivery through StreamingFrameDecoder must be equivalent to
+// FrameReader over the whole buffer: same payloads, same books — for any
+// chunking of any stream (valid frames, corrupt frames, garbage, torn
+// tails).
+void ExpectDecoderMatchesReader(const Bytes& stream, size_t chunk_size) {
+  FrameReader reader(stream);
+  std::vector<Bytes> expected;
+  while (auto payload = reader.Next()) {
+    expected.push_back(std::move(*payload));
+  }
+
+  StreamingFrameDecoder decoder;
+  std::vector<Bytes> got;
+  for (size_t off = 0; off < stream.size(); off += chunk_size) {
+    size_t len = std::min(chunk_size, stream.size() - off);
+    decoder.Feed(ByteSpan(stream.data() + off, len), got);
+  }
+  decoder.Finish(&got);
+
+  EXPECT_EQ(got, expected) << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().frames_ok, reader.stats().frames_ok) << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().frames_corrupt, reader.stats().frames_corrupt)
+      << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().bytes_skipped, reader.stats().bytes_skipped)
+      << "chunk=" << chunk_size;
+  // Balance carries over to the chunked stream.
+  size_t good_bytes = 0;
+  for (const auto& payload : got) {
+    good_bytes += FrameWireSize(payload.size());
+  }
+  EXPECT_EQ(good_bytes + decoder.stats().bytes_skipped, stream.size());
+}
+
+TEST(WireFormatTest, StreamingDecoderMatchesReaderOnCleanStream) {
+  Rng rng(0x57a11);
+  Bytes stream;
+  for (int i = 0; i < 20; ++i) {
+    AppendFrame(stream, RandomPayload(rng, 1 + static_cast<size_t>(rng.NextBelow(200))));
+  }
+  for (size_t chunk : {1u, 2u, 3u, 7u, 13u, 64u, 4096u}) {
+    ExpectDecoderMatchesReader(stream, chunk);
+  }
+}
+
+TEST(WireFormatTest, StreamingDecoderMatchesReaderOnCorruptStream) {
+  Rng rng(0x57a12);
+  Bytes stream;
+  stream.insert(stream.end(), {0x01, 0x02, 0x03});  // leading garbage
+  AppendFrame(stream, RandomPayload(rng, 40));
+  size_t corrupt_at = stream.size();
+  AppendFrame(stream, RandomPayload(rng, 33));
+  stream[corrupt_at + kFrameHeaderSize + 5] ^= 0x80;  // CRC failure
+  stream.insert(stream.end(), {0xAA, 0xBB});          // inter-frame garbage
+  AppendFrame(stream, RandomPayload(rng, 64));
+  size_t bad_version_at = stream.size();
+  AppendFrame(stream, RandomPayload(rng, 10));
+  stream[bad_version_at + 4] = 0x7F;  // unsupported version
+  AppendFrame(stream, RandomPayload(rng, 12));
+  AppendFrame(stream, RandomPayload(rng, 80));
+  stream.resize(stream.size() - 11);  // torn tail
+
+  for (size_t chunk : {1u, 2u, 5u, 13u, 31u, 4096u}) {
+    ExpectDecoderMatchesReader(stream, chunk);
+  }
+}
+
+TEST(WireFormatTest, StreamingDecoderFuzzedChunkingMatchesReader) {
+  Rng rng(0x57a13);
+  for (int round = 0; round < 30; ++round) {
+    Bytes stream;
+    int pieces = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int i = 0; i < pieces; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0:  // valid frame
+          AppendFrame(stream, RandomPayload(rng, 1 + static_cast<size_t>(rng.NextBelow(120))));
+          break;
+        case 1: {  // corrupt frame (bit flip anywhere)
+          size_t at = stream.size();
+          AppendFrame(stream, RandomPayload(rng, 1 + static_cast<size_t>(rng.NextBelow(60))));
+          size_t idx = at + static_cast<size_t>(rng.NextBelow(stream.size() - at));
+          stream[idx] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+          break;
+        }
+        case 2:  // garbage run
+          for (int b = 0; b < 9; ++b) {
+            stream.push_back(static_cast<uint8_t>(rng.Next()));
+          }
+          break;
+        default: {  // torn frame
+          Bytes frame = EncodeFrame(RandomPayload(rng, 30));
+          frame.resize(1 + rng.NextBelow(frame.size() - 1));
+          stream.insert(stream.end(), frame.begin(), frame.end());
+          break;
+        }
+      }
+    }
+    size_t chunk = 1 + static_cast<size_t>(rng.NextBelow(40));
+    ExpectDecoderMatchesReader(stream, chunk);
+  }
+}
+
+TEST(WireFormatTest, StreamingDecoderCutsFrameTheMomentItCompletes) {
+  Bytes frame = EncodeFrame(ToBytes("prompt"));
+  StreamingFrameDecoder decoder;
+  std::vector<Bytes> out;
+  // Everything but the last byte: nothing can be produced yet.
+  EXPECT_EQ(decoder.Feed(ByteSpan(frame.data(), frame.size() - 1), out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(decoder.buffered_bytes(), frame.size() - 1);
+  // The final byte completes the frame immediately — no Finish needed.
+  EXPECT_EQ(decoder.Feed(ByteSpan(frame.data() + frame.size() - 1, 1), out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ToString(out[0]), "prompt");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace prochlo
