@@ -3,6 +3,8 @@
 // encoder fast path that feeds it.
 //
 //   * wire       — frame encode + streaming decode (CRC-checked)
+//   * tcp        — 4 FrameClients over real sockets through TcpListener,
+//                  per-report cost measured send -> ACK (durably spooled)
 //   * ingest     — shard + accumulate (in-memory) across shard counts
 //   * spool      — frame append to disk segments + recovery scan + replay
 //   * seal       — per-report vs batch cohort sealing (BatchSealReports
@@ -237,6 +239,69 @@ void Run() {
     }
   }
 
+  // ---- tcp: the full network tier over real sockets — 4 FrameClients
+  //      dial the TcpListener, and a report only counts when its ACK is
+  //      back, i.e. after the durable spool append ----
+  {
+    std::string tcp_dir = (fs::temp_directory_path() / "prochlo-bench-tcp").string();
+    fs::remove_all(tcp_dir);
+    FrontendConfig tcp_config;
+    tcp_config.pipeline.seed = "bench-ingest-tcp";
+    tcp_config.ingest.num_shards = 4;
+    tcp_config.spool_dir = tcp_dir;
+    tcp_config.fsync_spool = false;
+    ShufflerFrontend frontend(tcp_config);
+    frontend.Start();
+    IngestWorkerPool pool(&frontend, WorkerPoolConfig{/*workers=*/2, /*ring_capacity=*/1024});
+    pool.Start();
+    FrameServer server(
+        [&pool](Bytes report) { return pool.Enqueue(std::move(report)); },
+        [&pool](Bytes report, std::function<void(const Status&)> done) {
+          pool.EnqueueAsync(std::move(report), std::move(done));
+        });
+    server.BindFrontendStats(&frontend.stats());
+    TcpListener listener(&server);
+    if (!listener.Start().ok()) {
+      std::fprintf(stderr, "tcp listener failed to start; skipping socket stage\n");
+    } else {
+      constexpr size_t kTcpClients = 4;
+      t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (size_t c = 0; c < kTcpClients; ++c) {
+        clients.emplace_back([&, c] {
+          FrameClient client(FrameClientConfig{/*session_id=*/c + 1});
+          auto stream = TcpConnect("127.0.0.1", listener.port());
+          if (!stream.ok() || !client.Connect(std::move(stream).value()).ok()) {
+            return;
+          }
+          for (size_t i = c; i < reports.size(); i += kTcpClients) {
+            client.SendReport(reports[i]);
+          }
+          client.WaitForAcks(std::chrono::milliseconds(120000));
+          client.Close();
+        });
+      }
+      for (auto& client : clients) {
+        client.join();
+      }
+      double tcp_seconds = SecondsSince(t0);
+      listener.Stop();
+      server.Shutdown();
+      pool.Stop();
+      ConnectionAckBook book = server.ack_book();
+      std::string label = "tcp/clients=" + std::to_string(kTcpClients) + ",acked";
+      table.AddRow({label, std::to_string(book.acked), Seconds(tcp_seconds),
+                    PerReport(tcp_seconds, n)});
+      json.Add(label, n, 1e9 * tcp_seconds / static_cast<double>(n),
+               static_cast<double>(n) / tcp_seconds);
+      if (book.acked != reports.size()) {
+        std::fprintf(stderr, "tcp stage: %llu of %zu reports acked\n",
+                     static_cast<unsigned long long>(book.acked), reports.size());
+      }
+    }
+    fs::remove_all(tcp_dir);
+  }
+
   // ---- overlap: frames over connections -> rings -> spool, epoch e
   //      draining while e+1 accumulates ----
   {
@@ -338,8 +403,10 @@ void Run() {
       "spool append/replay are I/O-bound but stream — RAM stays flat in N; seal dominates\n"
       "client-side cost and the batch path amortizes its EC work; drain is shuffler-bound\n"
       "(outer-layer ECDH), matching the stash-shuffle bench.  The pool grid should stay\n"
-      "flat across ring sizes (accept is cheap; rings only buffer bursts), and the\n"
-      "overlapped two-epoch drain should beat two sequential end-to-end drains once\n"
+      "flat across ring sizes (accept is cheap; rings only buffer bursts); the tcp stage\n"
+      "prices the whole network tier — framing, loopback TCP, dedup registry, rings,\n"
+      "spool append, and the ack round-trip — and should stay single-digit us/report;\n"
+      "the overlapped two-epoch drain should beat two sequential end-to-end drains once\n"
       "cores allow accept and shuffle to proceed concurrently.\n");
 }
 

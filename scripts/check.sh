@@ -31,12 +31,15 @@ else
 fi
 
 if [[ -n "$SANITIZE" ]]; then
-  # Sanitized pass covers the suites above plus the service thread matrix;
-  # skip the bench smoke, whose timings are meaningless under sanitizers.
+  # Sanitized pass covers the suites above plus the service thread matrix
+  # (including the TCP fault-injection suite — loopback sockets work fine in
+  # CI); skip the bench smoke, whose timings are meaningless under
+  # sanitizers.  PROCHLO_NETWORK_SEED pins the fault-injection schedule; CI
+  # leaves it at the suite's default so failures reproduce locally.
   for threads in 0 4; do
     echo "-- sanitized, PROCHLO_STASH_THREADS=$threads --"
     PROCHLO_STASH_THREADS="$threads" \
-      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|wire_format_test'
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|wire_format_test'
   done
   echo "== OK (sanitize: $SANITIZE) =="
   exit 0
@@ -48,7 +51,7 @@ echo "== service thread matrix =="
 for threads in 0 4; do
   echo "-- PROCHLO_STASH_THREADS=$threads --"
   PROCHLO_STASH_THREADS="$threads" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|wire_format_test'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|wire_format_test'
 done
 
 echo "== bench smoke =="

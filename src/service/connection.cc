@@ -1,11 +1,16 @@
 #include "src/service/connection.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+
+#include "src/service/frontend.h"
 
 namespace prochlo {
 
@@ -96,6 +101,10 @@ class LoopbackEndpoint : public ByteStream {
   Result<size_t> Read(std::span<uint8_t> out) override { return read_half_->Read(out); }
   Status Write(ByteSpan data) override { return write_half_->Write(data); }
   void CloseWrite() override { write_half_->Close(); }
+  void Abort() override {
+    write_half_->Close();
+    read_half_->Close();
+  }
 
  private:
   std::shared_ptr<HalfPipe> read_half_;
@@ -130,6 +139,9 @@ Result<size_t> FdByteStream::Read(std::span<uint8_t> out) {
     if (errno == EINTR) {
       continue;
     }
+    if (errno == ECONNRESET) {
+      return size_t{0};  // peer aborted: treat like EOF, the tail is torn
+    }
     return Error{std::string("fd stream: read failed: ") + std::strerror(errno)};
   }
 }
@@ -137,7 +149,12 @@ Result<size_t> FdByteStream::Read(std::span<uint8_t> out) {
 Status FdByteStream::Write(ByteSpan data) {
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+    // MSG_NOSIGNAL: a peer that aborted mid-stream must surface as EPIPE,
+    // not kill the process with SIGPIPE (fault-injection relies on this).
+    ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd_, data.data() + done, data.size() - done);  // plain pipes
+    }
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -155,48 +172,312 @@ void FdByteStream::CloseWrite() {
   ::shutdown(fd_, SHUT_WR);
 }
 
+void FdByteStream::Abort() {
+  // Both directions down: a reader blocked on either end wakes with EOF or
+  // ECONNRESET.  The fd itself stays open until destruction so concurrent
+  // Read/Write calls never touch a recycled descriptor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------- TCP dialing
+
+namespace {
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Error{std::string("tcp: setsockopt(TCP_NODELAY) failed: ") + std::strerror(errno)};
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{std::string("tcp connect: socket failed: ") + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error{"tcp connect: bad address " + address};
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    std::string message = std::string("tcp connect: ") + std::strerror(errno);
+    ::close(fd);
+    return Error{message};
+  }
+  SetNoDelay(fd);  // best effort: acks are latency-bound, data still flows
+  return std::unique_ptr<ByteStream>(std::make_unique<FdByteStream>(fd));
+}
+
+// ---------------------------------------------------------------- AckRegistry
+
+AckRegistry::Claim AckRegistry::TryClaim(uint64_t session_id, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState& session = sessions_[session_id];
+  if (session.Durable(seq)) {
+    return Claim::kDuplicate;
+  }
+  if (session.pending.count(seq) != 0) {
+    return Claim::kInFlight;
+  }
+  session.pending.insert(seq);
+  return Claim::kNew;
+}
+
+void AckRegistry::Commit(uint64_t session_id, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState& session = sessions_[session_id];
+  session.pending.erase(seq);
+  session.sparse.insert(seq);
+  // Advance the watermark over any now-contiguous prefix, keeping the
+  // sparse set bounded by the out-of-order window.
+  while (!session.sparse.empty() && *session.sparse.begin() == session.contiguous) {
+    session.sparse.erase(session.sparse.begin());
+    session.contiguous++;
+  }
+}
+
+void AckRegistry::Release(uint64_t session_id, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) {
+    it->second.pending.erase(seq);
+  }
+}
+
+bool AckRegistry::IsDurable(uint64_t session_id, uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  return it != sessions_.end() && it->second.Durable(seq);
+}
+
+size_t AckRegistry::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 // ------------------------------------------------------------ FrameConnection
+
+ConnectionAckBook FrameConnection::ack_book() const {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  return book_;
+}
+
+// Queues one response frame for the writer thread.  Callers increment the
+// book under out_mu_ first, so the decision and its response can never be
+// observed half-recorded.
+void FrameConnection::EnqueueResponse(Bytes response_frame) {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  outbox_.push_back(std::move(response_frame));
+  if (!writer_started_) {
+    writer_started_ = true;
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+  out_cv_.notify_one();
+}
+
+void FrameConnection::WriterLoop() {
+  for (;;) {
+    Bytes frame;
+    {
+      std::unique_lock<std::mutex> lock(out_mu_);
+      out_cv_.wait(lock, [&] { return writer_stop_ || !outbox_.empty(); });
+      if (outbox_.empty()) {
+        return;  // stop requested and everything flushed
+      }
+      frame = std::move(outbox_.front());
+      outbox_.pop_front();
+    }
+    if (!stream_->Write(frame).ok()) {
+      // The connection died before the response got out.  The report's
+      // fate is already decided (and registered), so the client's retry on
+      // a new connection resolves correctly; just make the loss visible.
+      // Keep draining — a dead transport fails fast, and every queued
+      // response must be accounted.
+      std::lock_guard<std::mutex> lock(out_mu_);
+      book_.response_write_failures++;
+    }
+  }
+}
+
+void FrameConnection::StopWriter() {
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    if (!writer_started_) {
+      return;
+    }
+    writer_stop_ = true;
+    out_cv_.notify_all();
+  }
+  writer_.join();  // drains the outbox first
+}
+
+void FrameConnection::DispatchAckedReport(Frame frame) {
+  const uint64_t session = session_id_;
+  const uint64_t seq = frame.seq;
+  switch (registry_->TryClaim(session, seq)) {
+    case AckRegistry::Claim::kDuplicate: {
+      // Already durable: the ack was lost with an earlier connection.
+      // Re-ack without re-ingesting — this is the exactly-once half of the
+      // retry contract.
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.duplicates_suppressed++;
+      }
+      EnqueueResponse(EncodeAckFrame(seq));
+      return;
+    }
+    case AckRegistry::Claim::kInFlight: {
+      // An earlier connection's ingest of this seq has not resolved yet;
+      // the client retries after its nack delay, by which time it has.
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.nacked++;
+      }
+      EnqueueResponse(EncodeNackFrame(seq, "report in flight; retry"));
+      return;
+    }
+    case AckRegistry::Claim::kNew:
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_++;
+  }
+  auto done = [this, session, seq](const Status& status) {
+    if (status.ok()) {
+      // Registry first, then the ack: a duplicate arriving after the ack
+      // must already observe the seq as durable.
+      registry_->Commit(session, seq);
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.acked++;
+      }
+      EnqueueResponse(EncodeAckFrame(seq));
+    } else {
+      // Not ingested: release the claim so the client's retry is accepted
+      // as new, and tell it why.
+      registry_->Release(session, seq);
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.nacked++;
+      }
+      EnqueueResponse(EncodeNackFrame(seq, status.error().message));
+    }
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (--inflight_ == 0) {
+      inflight_cv_.notify_all();
+    }
+  };
+  if (async_sink_) {
+    async_sink_(std::move(frame.payload), std::move(done));
+  } else {
+    done(sink_(std::move(frame.payload)));
+  }
+}
+
+Status FrameConnection::HandleFrame(Frame frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      // Binds the connection to the client's acknowledgment session; only
+      // meaningful when a registry exists to hold that state.  Session 0
+      // is reserved as "no session" — honoring it would silently cross-
+      // deduplicate every client that forgot to pick an id, losing their
+      // reports while acking them.
+      helloed_ = registry_ != nullptr && frame.seq != 0;
+      session_id_ = frame.seq;
+      return Status::Ok();
+    case FrameType::kReport:
+      if (helloed_) {
+        DispatchAckedReport(std::move(frame));
+        return Status::Ok();
+      }
+      // Legacy ack-less hand-off: the caller's sink decides the pump's fate.
+      return sink_(std::move(frame.payload));
+    case FrameType::kAck:
+    case FrameType::kNack:
+      // Client-bound frames arriving at a server: already counted in the
+      // framing books (frames_ack/frames_nack), nothing to do.
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void FrameConnection::WaitForInflight() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
 
 Status FrameConnection::PumpUntilClosed() {
   uint8_t buffer[16384];
-  std::vector<Bytes> payloads;
+  std::vector<Frame> frames;
+  Status status = Status::Ok();
   for (;;) {
     auto n = stream_->Read(std::span<uint8_t>(buffer, sizeof(buffer)));
     if (!n.ok()) {
       decoder_.Finish();  // keep the books balanced for what was read
-      return n.error();
+      status = n.error();
+      break;
     }
     if (n.value() == 0) {
-      break;  // EOF
+      // EOF: the torn tail may still hold recoverable frames.
+      frames.clear();
+      decoder_.Finish(&frames);
+      for (auto& frame : frames) {
+        status = HandleFrame(std::move(frame));
+        if (!status.ok()) {
+          break;
+        }
+      }
+      break;
     }
-    payloads.clear();
-    decoder_.Feed(ByteSpan(buffer, n.value()), payloads);
-    for (auto& payload : payloads) {
-      Status status = sink_(std::move(payload));
+    frames.clear();
+    decoder_.Feed(ByteSpan(buffer, n.value()), frames);
+    bool failed = false;
+    for (auto& frame : frames) {
+      status = HandleFrame(std::move(frame));
       if (!status.ok()) {
-        // The transport has no per-report acknowledgments (yet — see
-        // ROADMAP), so after this abort the client cannot know how much of
-        // its stream was ingested: blind resending risks duplicates.  The
-        // server-side books (stats/ingest counters) hold the truth.
+        // Legacy (ack-less) hand-off failure: without acks the client
+        // cannot be told which reports landed, so stop pumping and surface
+        // the error; the server-side books hold the truth.  The ack path
+        // never gets here — its ingest failures become NACKs.
         decoder_.Finish();
-        return status;
+        failed = true;
+        break;
       }
     }
-  }
-  payloads.clear();
-  decoder_.Finish(&payloads);
-  for (auto& payload : payloads) {
-    Status status = sink_(std::move(payload));
-    if (!status.ok()) {
-      return status;
+    if (failed) {
+      break;
     }
   }
-  return Status::Ok();
+  // Acks may still be in flight on ingest worker threads; they borrow this
+  // object and the stream, so the pump ends only once every completion has
+  // resolved and the writer has drained the response outbox — which also
+  // makes stats() and ack_book() final.
+  WaitForInflight();
+  StopWriter();
+  return status;
 }
 
 // --------------------------------------------------------------- FrameServer
 
 FrameServer::~FrameServer() { Shutdown(); }
+
+void FrameServer::BindFrontendStats(FrontendStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frontend_stats_ = stats;
+}
 
 std::unique_ptr<ByteStream> FrameServer::Connect(size_t capacity_bytes) {
   LoopbackPair pair = NewLoopbackPair(capacity_bytes);
@@ -218,9 +499,22 @@ void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
     return;
   }
   raw->thread = std::thread([this, raw] {
-    FrameConnection connection(raw->stream.get(), sink_);
+    FrameConnection connection(raw->stream.get(), sink_, async_sink_, &registry_);
     raw->status = connection.PumpUntilClosed();
     raw->stats = connection.stats();
+    raw->book = connection.ack_book();
+    {
+      // Mirror the finished connection's ack book into the frontend's
+      // counters so operators see the protocol's books where the ingestion
+      // books already live.
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      if (frontend_stats_ != nullptr) {
+        frontend_stats_->acks_sent.fetch_add(raw->book.acked, std::memory_order_relaxed);
+        frontend_stats_->nacks_sent.fetch_add(raw->book.nacked, std::memory_order_relaxed);
+        frontend_stats_->duplicates_suppressed.fetch_add(raw->book.duplicates_suppressed,
+                                                         std::memory_order_relaxed);
+      }
+    }
     // Release the transport as soon as pumping ends: if the pump bailed on
     // a sink error, this closes the connection and unblocks a peer still
     // writing into it, rather than holding it open until Shutdown.
@@ -249,9 +543,8 @@ Status FrameServer::Shutdown() {
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& served : to_join) {
-    stats_.frames_ok += served->stats.frames_ok;
-    stats_.frames_corrupt += served->stats.frames_corrupt;
-    stats_.bytes_skipped += served->stats.bytes_skipped;
+    stats_.Fold(served->stats);
+    ack_book_.Fold(served->book);
     connections_ += 1;
   }
   return first_error;
@@ -262,9 +555,332 @@ FrameStreamStats FrameServer::stats() const {
   return stats_;
 }
 
+ConnectionAckBook FrameServer::ack_book() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ack_book_;
+}
+
 size_t FrameServer::connections() const {
   std::lock_guard<std::mutex> lock(mu_);
   return connections_ + served_.size();
+}
+
+// --------------------------------------------------------------- TcpListener
+
+TcpListener::~TcpListener() { Stop(); }
+
+Status TcpListener::Start(const std::string& address, uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Error{"tcp listener: already started"};
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{std::string("tcp listener: socket failed: ") + std::strerror(errno)};
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error{"tcp listener: bad address " + address};
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string message = std::string("tcp listener: bind failed: ") + std::strerror(errno);
+    ::close(fd);
+    return Error{message};
+  }
+  if (::listen(fd, 128) != 0) {
+    std::string message = std::string("tcp listener: listen failed: ") + std::strerror(errno);
+    ::close(fd);
+    return Error{message};
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    std::string message = std::string("tcp listener: getsockname failed: ") + std::strerror(errno);
+    ::close(fd);
+    return Error{message};
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpListener::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM ||
+          errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Resource exhaustion is transient: a dead accept loop with a live
+        // listen socket would strand every future client in the backlog.
+        // Back off briefly and keep accepting.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listening socket broken (EBADF/EINVAL); accepting ends
+    }
+    SetNoDelay(fd);  // best effort
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    server_->Serve(std::make_unique<FdByteStream>(fd));
+  }
+}
+
+void TcpListener::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true);
+  // Wakes a blocked accept() (returns EINVAL); the fd is closed only after
+  // the join so the accept loop never reads a recycled descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+// --------------------------------------------------------------- FrameClient
+
+FrameClient::~FrameClient() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  StopReaderLocked();
+}
+
+void FrameClient::MarkDisconnected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  connected_ = false;
+  acked_cv_.notify_all();
+}
+
+void FrameClient::StopReaderLocked() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stream_ != nullptr) {
+      stream_->Abort();  // wakes a reader blocked in Read
+      connected_ = false;
+      acked_cv_.notify_all();
+    }
+  }
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+  // With the reader joined and send_mu_ held, nobody else can be touching
+  // the transport.
+  std::lock_guard<std::mutex> send(send_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_.reset();
+}
+
+Status FrameClient::Connect(std::unique_ptr<ByteStream> stream) {
+  if (config_.session_id == 0) {
+    // 0 is the reserved "no session" id; two clients defaulting to it
+    // would silently suppress each other's reports as duplicates.
+    return Error{"frame client: session_id must be non-zero"};
+  }
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  StopReaderLocked();
+  ByteStream* raw = stream.get();
+  {
+    std::lock_guard<std::mutex> send(send_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    stream_ = std::move(stream);
+    connected_ = true;
+  }
+  // The reader starts before the replay writes: acks for replayed reports
+  // can arrive while the replay is still in progress, and leaving them
+  // unread could back-pressure the server into a write/read standoff.
+  reader_ = std::thread([this, raw] { ReaderLoop(raw); });
+
+  std::vector<std::pair<uint64_t, Bytes>> replay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replay.assign(outstanding_.begin(), outstanding_.end());
+  }
+  std::lock_guard<std::mutex> send(send_mu_);
+  Status status = raw->Write(EncodeHelloFrame(config_.session_id));
+  if (!status.ok()) {
+    MarkDisconnected();
+    return status;
+  }
+  // Replay everything unacknowledged, oldest first.  The server suppresses
+  // whatever it already spooled (those acks died with the old connection)
+  // and ingests the rest — this is the at-least-once half of the contract.
+  for (const auto& [seq, report] : replay) {
+    status = raw->Write(EncodeReportFrame(seq, report));
+    if (!status.ok()) {
+      MarkDisconnected();
+      return status;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retransmitted++;
+  }
+  return Status::Ok();
+}
+
+Status FrameClient::SendReport(Bytes sealed_report) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    stats_.sent++;
+  }
+  Bytes frame = EncodeReportFrame(seq, sealed_report);
+  {
+    // The report is owned from this point even if the write below fails:
+    // callers hand each report over exactly once, and the next Connect's
+    // replay delivers whatever could not be written now.  (Encode first,
+    // then move into the map — one copy, not two.)
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_.emplace(seq, std::move(sealed_report));  // retained until ACKed
+  }
+  std::lock_guard<std::mutex> send(send_mu_);
+  ByteStream* stream = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connected_ && stream_ != nullptr) {
+      stream = stream_.get();
+    }
+  }
+  if (stream == nullptr) {
+    // The connection died between the bookkeeping and the write; the report
+    // stays outstanding for the next Connect's replay.
+    return Error{"frame client: connection lost before send"};
+  }
+  Status status = stream->Write(frame);
+  if (!status.ok()) {
+    MarkDisconnected();
+  }
+  return status;
+}
+
+bool FrameClient::WaitForAcks(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  acked_cv_.wait_for(lock, timeout, [&] { return outstanding_.empty() || !connected_; });
+  return outstanding_.empty();
+}
+
+void FrameClient::Close() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> send(send_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stream_ != nullptr) {
+      stream_->CloseWrite();
+    }
+  }
+  if (reader_.joinable()) {
+    reader_.join();  // the server finishes responding, then closes its side
+  }
+  std::lock_guard<std::mutex> send(send_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_.reset();
+  connected_ = false;
+}
+
+bool FrameClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connected_;
+}
+
+size_t FrameClient::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_.size();
+}
+
+FrameClientStats FrameClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FrameClient::ReaderLoop(ByteStream* stream) {
+  StreamingFrameDecoder decoder;
+  uint8_t buffer[4096];
+  std::vector<Frame> frames;
+  std::vector<uint64_t> nacked_seqs;
+  for (;;) {
+    auto n = stream->Read(std::span<uint8_t>(buffer, sizeof(buffer)));
+    if (!n.ok() || n.value() == 0) {
+      break;
+    }
+    frames.clear();
+    nacked_seqs.clear();
+    decoder.Feed(ByteSpan(buffer, n.value()), frames);
+    // Pass 1: process every ACK (and collect NACKs) before any retry
+    // pause, so one batch of NACKs cannot head-of-line-block the acks that
+    // arrived with it.
+    for (auto& frame : frames) {
+      if (frame.type == FrameType::kAck) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = outstanding_.find(frame.seq);
+        if (it != outstanding_.end()) {
+          outstanding_.erase(it);
+          stats_.acked++;
+          acked_cv_.notify_all();
+        }
+      } else if (frame.type == FrameType::kNack) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.nacked++;
+        nacked_seqs.push_back(frame.seq);
+      }
+      // Other frame types are server-bound: protocol noise, ignore.
+    }
+    if (nacked_seqs.empty()) {
+      continue;
+    }
+    // NACKed reports are retried on the same connection after ONE brief
+    // pause for the whole batch (an in-flight duplicate race resolves once
+    // the original's spool append lands).  A resend that fails marks the
+    // connection dead; the next Connect replays the reports anyway.
+    std::this_thread::sleep_for(config_.nack_retry_delay);
+    for (uint64_t seq : nacked_seqs) {
+      Bytes report;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = outstanding_.find(seq);
+        if (it != outstanding_.end()) {
+          report = it->second;  // copy: the entry stays until ACKed
+        }
+      }
+      if (report.empty()) {
+        continue;  // already acked concurrently; nothing to retry
+      }
+      std::lock_guard<std::mutex> send(send_mu_);
+      ByteStream* current = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (connected_ && stream_.get() == stream) {
+          current = stream_.get();
+        }
+      }
+      if (current == nullptr) {
+        break;
+      }
+      if (current->Write(EncodeReportFrame(seq, report)).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.retransmitted++;
+      } else {
+        MarkDisconnected();  // the next Connect replays the reports
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream_.get() == stream) {
+    connected_ = false;
+  }
+  acked_cv_.notify_all();
 }
 
 }  // namespace prochlo

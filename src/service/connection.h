@@ -1,26 +1,48 @@
-// Byte-stream transport and framing connections for the shuffler frontend:
-// how sealed reports actually arrive at a standing service — a client holds
-// a connection open and writes wire frames into it; the service side cuts
-// frames out of the byte stream as they complete (across arbitrary read
-// boundaries) and hands each payload to the ingestion tier.
+// Byte-stream transports, framing connections, and the acknowledgment
+// protocol for the shuffler frontend: how sealed reports actually arrive at
+// a standing service, and how the client learns which of them are safe.
 //
-//   client ──ByteStream::Write(frame bytes, any chunking)──►
-//        FrameConnection (StreamingFrameDecoder: reassemble + CRC + resync)
-//              └─► ReportSink (IngestWorkerPool::Enqueue or
-//                              ShufflerFrontend::AcceptReport)
+// A client holds a connection open and writes wire frames into it; the
+// service side cuts frames out of the byte stream as they complete (across
+// arbitrary read boundaries), hands each report to the ingestion tier, and
+// answers with an ACK only after `ShardedIngest::Accept` returned Ok — an
+// acknowledged report is durably spooled, never merely received.  A NACK
+// means "not ingested, retry".  Sequence numbers (per client session,
+// established by a HELLO frame) make retries idempotent: a reconnecting
+// client resends everything unacknowledged, and the server's AckRegistry
+// suppresses the duplicates whose acks were lost with the old connection.
+//
+//   FrameClient ──HELLO(session), REPORT(seq)──►  TcpListener / loopback
+//        ▲                                          │ accept
+//        │                                          ▼
+//        └──◄─ACK(seq) / NACK(seq)──  FrameConnection (StreamingFrameDecoder:
+//                                       reassemble + CRC + resync;
+//                                       AckRegistry: dedup by (session, seq))
+//                                           └─► AsyncSink (IngestWorkerPool::
+//                                                EnqueueAsync; completion
+//                                                fires after the durable
+//                                                spool append → ACK)
 //
 // Transports: NewLoopbackPair() gives an in-process duplex pair (bounded,
-// blocking — the tests' and bench's stand-in for a TCP connection);
-// FdByteStream adapts any POSIX fd (socketpair/pipe/socket), so FrameServer
-// can serve real sockets unchanged.
+// blocking); TcpListener accepts real sockets and TcpConnect dials them,
+// both speaking through FdByteStream, so the loopback tests and the socket
+// path exercise identical framing code.
 #ifndef PROCHLO_SRC_SERVICE_CONNECTION_H_
 #define PROCHLO_SRC_SERVICE_CONNECTION_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,6 +51,8 @@
 #include "src/util/status.h"
 
 namespace prochlo {
+
+struct FrontendStats;
 
 // A duplex byte-stream endpoint.  Reads block until data, EOF, or error;
 // writes block while the peer's buffer is full (back-pressure, never drop).
@@ -42,6 +66,11 @@ class ByteStream {
   virtual Status Write(ByteSpan data) = 0;
   // Half-close: signals EOF to the peer once buffered bytes are drained.
   virtual void CloseWrite() = 0;
+  // Hard kill: tears down both directions so a blocked Read on either side
+  // wakes up (EOF/error).  The fault-injection harness uses this to model a
+  // connection dying mid-flight; the default half-close is only correct for
+  // transports whose reader then drains to EOF.
+  virtual void Abort() { CloseWrite(); }
 };
 
 // In-process duplex pair over two bounded pipes (per-direction capacity in
@@ -54,7 +83,8 @@ LoopbackPair NewLoopbackPair(size_t capacity_bytes = 64 * 1024);
 
 // Adapter over a POSIX file descriptor (socket, socketpair, pipe).  Owns the
 // fd and closes it on destruction.  CloseWrite issues shutdown(SHUT_WR)
-// where supported, falling back to a no-op for plain pipes.
+// where supported, falling back to a no-op for plain pipes; Abort issues
+// shutdown(SHUT_RDWR), waking a blocked reader on either end.
 class FdByteStream : public ByteStream {
  public:
   explicit FdByteStream(int fd) : fd_(fd) {}
@@ -63,49 +93,177 @@ class FdByteStream : public ByteStream {
   Result<size_t> Read(std::span<uint8_t> out) override;
   Status Write(ByteSpan data) override;
   void CloseWrite() override;
+  void Abort() override;
 
  private:
   int fd_ = -1;
 };
 
+// Dials a TCP connection (TCP_NODELAY set: ack frames are latency-bound).
+Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint16_t port);
+
+// The server's acknowledgment state, shared across every connection so a
+// client that reconnects (new connection, same HELLO session id) gets its
+// retries deduplicated by sequence number.  Each (session, seq) moves
+//   absent ──TryClaim──► pending ──Commit──► durable
+//                          └──Release──► absent (ingest failed; retryable)
+// Durable seqs are kept as a contiguous watermark plus a sparse overflow
+// set, so per-session memory stays O(out-of-order window), not O(reports).
+// The session map itself is unbounded and ids are client-chosen, so a
+// churning (or hostile) client population grows it monotonically —
+// bounding it requires an eviction policy whose correctness cost (an
+// evicted session's retries re-ingest as duplicates) belongs with the
+// cross-restart dedup design in the ROADMAP's multi-process item.
+class AckRegistry {
+ public:
+  enum class Claim {
+    kNew,        // claimed: caller must Commit (→ ACK) or Release (→ NACK)
+    kInFlight,   // another connection's ingest of this seq has not resolved
+    kDuplicate,  // already durable: suppress, re-ACK without re-ingesting
+  };
+
+  Claim TryClaim(uint64_t session_id, uint64_t seq);
+  void Commit(uint64_t session_id, uint64_t seq);
+  void Release(uint64_t session_id, uint64_t seq);
+
+  bool IsDurable(uint64_t session_id, uint64_t seq) const;
+  size_t sessions() const;
+
+ private:
+  struct SessionState {
+    uint64_t contiguous = 0;    // every seq < contiguous is durable
+    std::set<uint64_t> sparse;  // durable seqs >= contiguous
+    std::set<uint64_t> pending;
+
+    bool Durable(uint64_t seq) const {
+      return seq < contiguous || sparse.count(seq) != 0;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SessionState> sessions_;
+};
+
+// One connection's acknowledgment ledger.  The balance invariant the
+// network tests pin: every valid report frame received on an ack-protocol
+// connection gets exactly one response, so
+//   stats().frames_report == acked + nacked + duplicates_suppressed
+// and `acked` equals the reports this connection durably ingested.
+struct ConnectionAckBook {
+  uint64_t acked = 0;                  // first-time durable ingests ACKed
+  uint64_t nacked = 0;                 // ingest failures / in-flight races NACKed
+  uint64_t duplicates_suppressed = 0;  // retries of durable seqs re-ACKed
+  // Responses that could not be written (the connection died first).  The
+  // report's fate is unchanged — a lost ACK's report is still durable, and
+  // the client's retry will be suppressed as a duplicate.
+  uint64_t response_write_failures = 0;
+
+  void Fold(const ConnectionAckBook& other) {
+    acked += other.acked;
+    nacked += other.nacked;
+    duplicates_suppressed += other.duplicates_suppressed;
+    response_write_failures += other.response_write_failures;
+  }
+};
+
 // Pumps one ByteStream's frames into a sink.  The decoder reassembles
 // frames split across reads and resynchronizes after corruption with the
 // exact FrameReader books (frames_ok/frames_corrupt/bytes_skipped).
+//
+// Two report paths coexist:
+//   * legacy (no HELLO seen, or no registry): each report payload goes to
+//     the synchronous ReportSink; a sink error aborts the pump.  No acks.
+//   * ack protocol (HELLO seen): each report is claimed in the AckRegistry,
+//     dispatched through the AsyncSink, and answered with ACK/NACK from the
+//     dispatch completion — which may fire on an ingest worker thread after
+//     the durable spool append.  Sink failures NACK instead of aborting.
+//     Completions only *enqueue* the response; a per-connection writer
+//     thread performs the stream writes, so a client that stops draining
+//     its receive side stalls its own connection, never a shared ingest
+//     worker.
+// PumpUntilClosed returns only after every in-flight completion has
+// resolved and the response outbox has drained, so stats() and ack_book()
+// are final.
 class FrameConnection {
  public:
-  // Returns non-Ok when a report could not be handed off; the pump stops
-  // and the connection surfaces the error.  Note there are no per-report
-  // acknowledgments on this transport yet (ROADMAP), so a client cannot
-  // tell how much of an aborted stream was ingested — duplicate-safe retry
-  // needs application-level acks; the server-side books record what landed.
+  // Returns non-Ok when a report could not be handed off; on the legacy
+  // (ack-less) path the pump stops and the connection surfaces the error.
   using ReportSink = std::function<Status(Bytes)>;
+  // Asynchronous hand-off: `done` must be invoked exactly once with the
+  // report's final Accept outcome, possibly on another thread.
+  using AsyncSink = std::function<void(Bytes, std::function<void(const Status&)>)>;
 
   FrameConnection(ByteStream* stream, ReportSink sink)
-      : stream_(stream), sink_(std::move(sink)) {}
+      : FrameConnection(stream, std::move(sink), nullptr, nullptr) {}
+  FrameConnection(ByteStream* stream, ReportSink sink, AsyncSink async_sink,
+                  AckRegistry* registry)
+      : stream_(stream),
+        sink_(std::move(sink)),
+        async_sink_(std::move(async_sink)),
+        registry_(registry) {}
 
   // Reads until EOF or a sink/transport error, cutting frames as they
   // complete.  Corrupt frames are skipped with stats kept, never fatal.
   Status PumpUntilClosed();
 
   const FrameStreamStats& stats() const { return decoder_.stats(); }
+  ConnectionAckBook ack_book() const;
 
  private:
+  Status HandleFrame(Frame frame);
+  void DispatchAckedReport(Frame frame);
+  void EnqueueResponse(Bytes response_frame);
+  void WriterLoop();
+  void StopWriter();
+  void WaitForInflight();
+
   ByteStream* stream_;  // borrowed
   ReportSink sink_;
+  AsyncSink async_sink_;
+  AckRegistry* registry_;  // borrowed; null disables the ack protocol
   StreamingFrameDecoder decoder_;
+
+  bool helloed_ = false;
+  uint64_t session_id_ = 0;
+
+  // The response outbox and its writer thread (started lazily with the
+  // first response).  Completions — possibly on shared ingest worker
+  // threads — only enqueue here; the writer alone touches the stream's
+  // write side, so a back-pressured client cannot wedge a worker.
+  // out_mu_ also guards the book.
+  mutable std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::deque<Bytes> outbox_;
+  std::thread writer_;
+  bool writer_started_ = false;
+  bool writer_stop_ = false;
+  ConnectionAckBook book_;
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
 };
 
 // A listener: serves any number of connections, each pumped on its own
 // thread into a shared sink.  Connect() manufactures a loopback connection
 // (the in-process stand-in for accept()); Serve() adopts any transport —
-// e.g. an FdByteStream wrapping an accepted socket.
+// e.g. an FdByteStream wrapping a socket accepted by TcpListener.
 class FrameServer {
  public:
   explicit FrameServer(FrameConnection::ReportSink sink) : sink_(std::move(sink)) {}
+  // Ack-protocol server: HELLO-bound connections dispatch reports through
+  // `async_sink` and acknowledge from its completion; `sink` stays the
+  // legacy path for connections that never send HELLO.
+  FrameServer(FrameConnection::ReportSink sink, FrameConnection::AsyncSink async_sink)
+      : sink_(std::move(sink)), async_sink_(std::move(async_sink)) {}
   ~FrameServer();
 
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
+
+  // Mirrors every finished connection's ack book into the frontend's
+  // acks_sent/nacks_sent/duplicates_suppressed counters.
+  void BindFrontendStats(FrontendStats* stats);
 
   // Opens a loopback connection served on a new thread; returns the client
   // endpoint.  The client writes frames and CloseWrite()s when done.  After
@@ -121,10 +279,15 @@ class FrameServer {
   // stats().  Idempotent.
   Status Shutdown();
 
-  // Aggregated framing books across finished connections (call after
+  // Aggregated framing/ack books across finished connections (call after
   // Shutdown for the complete picture).
   FrameStreamStats stats() const;
+  ConnectionAckBook ack_book() const;
   size_t connections() const;
+
+  // Cross-connection duplicate suppression state, shared with every
+  // connection this server pumps.
+  AckRegistry& registry() { return registry_; }
 
  private:
   struct Served {
@@ -132,14 +295,134 @@ class FrameServer {
     std::thread thread;
     Status status = Status::Ok();
     FrameStreamStats stats;
+    ConnectionAckBook book;
   };
 
   FrameConnection::ReportSink sink_;
+  FrameConnection::AsyncSink async_sink_;
+  AckRegistry registry_;
+  FrontendStats* frontend_stats_ = nullptr;  // borrowed
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Served>> served_;  // still being pumped
   FrameStreamStats stats_;                       // folded at Shutdown
+  ConnectionAckBook ack_book_;                   // folded at Shutdown
   size_t connections_ = 0;                       // finished connections
   bool shut_down_ = false;                       // Serve after Shutdown drops the stream
+};
+
+// A real TCP accept loop feeding FrameServer::Serve: bind/listen on an
+// address, accept on a dedicated thread, and wrap every accepted socket in
+// an FdByteStream.  Port 0 binds an ephemeral port (see port()).
+class TcpListener {
+ public:
+  explicit TcpListener(FrameServer* server) : server_(server) {}
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  Status Start(const std::string& address = "127.0.0.1", uint16_t port = 0);
+  // Stops accepting (established connections keep draining through the
+  // FrameServer; shut that down separately).  Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+
+  FrameServer* server_;  // borrowed
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+};
+
+struct FrameClientConfig {
+  // Self-chosen session id sent in HELLO; the server's dedup key.  Distinct
+  // client *instances* must pick distinct ids — reusing one would collide
+  // with the registry's memory of the previous instance's sequence numbers
+  // and get fresh reports wrongly suppressed as duplicates.  0 is reserved
+  // ("no session"); Connect rejects it.
+  uint64_t session_id = 0;
+  // Pause before resending a NACKed report: absorbs the transient window
+  // where a retry races the previous connection's still-in-flight ingest.
+  std::chrono::milliseconds nack_retry_delay{1};
+};
+
+struct FrameClientStats {
+  uint64_t sent = 0;           // first-time report sends
+  uint64_t retransmitted = 0;  // resends (reconnect replay or NACK retry)
+  uint64_t acked = 0;          // unique seqs confirmed durable
+  uint64_t nacked = 0;         // NACK responses received
+};
+
+// The client half of the retry contract: assigns each report a sequence
+// number, retains it until ACKed, and — after the connection dies — replays
+// everything outstanding over a fresh transport.  Safe to drive from one
+// sender thread; an internal reader thread consumes ACK/NACK frames.
+class FrameClient {
+ public:
+  explicit FrameClient(FrameClientConfig config) : config_(config) {}
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  // Adopts a fresh transport: sends HELLO, starts the ack reader, and
+  // retransmits every outstanding (sent-but-unacked) report in sequence
+  // order.  Call again with a new transport after the connection dies —
+  // that replay, plus the server's duplicate suppression, is what makes
+  // retries exactly-once.
+  Status Connect(std::unique_ptr<ByteStream> stream);
+
+  // Hands one sealed report to the client for eventual delivery: it is
+  // assigned the next sequence number and retained until ACKed — call this
+  // exactly once per report.  A non-Ok status (connection dead, write
+  // failed) still leaves the report owned and outstanding; the next
+  // Connect replays it.  Re-sending the same report after an error would
+  // assign a second sequence number and ingest it twice.
+  Status SendReport(Bytes sealed_report);
+
+  // Blocks until every outstanding report is ACKed (true), or the
+  // connection dies / the timeout expires (false; Connect again to retry).
+  bool WaitForAcks(std::chrono::milliseconds timeout);
+
+  // Graceful goodbye: half-closes the write side, waits for the server to
+  // finish responding and close, and joins the reader.
+  void Close();
+
+  bool connected() const;
+  size_t outstanding() const;
+  FrameClientStats stats() const;
+  uint64_t session_id() const { return config_.session_id; }
+
+ private:
+  void ReaderLoop(ByteStream* stream);
+  void StopReaderLocked();  // requires lifecycle_mu_
+  void MarkDisconnected();
+
+  FrameClientConfig config_;
+
+  // Lock order: lifecycle_mu_ > send_mu_ > mu_ (each may acquire the ones
+  // after it, never before).  lifecycle_mu_ serializes Connect/Close (which
+  // join the reader — the reader itself never takes it); send_mu_
+  // serializes stream writes (sender thread vs the reader's NACK resend);
+  // mu_ guards the bookkeeping.  stream_ is replaced/destroyed only under
+  // send_mu_ with the reader joined, so a writer holding send_mu_ may use
+  // the pointer it fetched under mu_ without it dangling.
+  std::mutex lifecycle_mu_;
+  std::mutex send_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable acked_cv_;
+  std::unique_ptr<ByteStream> stream_;
+  std::thread reader_;
+  bool connected_ = false;
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, Bytes> outstanding_;  // seq -> sealed report
+  FrameClientStats stats_;
 };
 
 }  // namespace prochlo

@@ -27,6 +27,7 @@
 #define PROCHLO_SRC_SERVICE_FRONTEND_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,14 @@ struct FrontendStats {
   // its segments linger on disk and would be replayed as a duplicate epoch
   // after a restart, so the leak must be visible.
   std::atomic<uint64_t> remove_failures{0};
+  // Acknowledgment-protocol books, mirrored from every finished
+  // connection's ConnectionAckBook by FrameServer::BindFrontendStats.  An
+  // ack is sent only after the report's durable spool append, so
+  // acks_sent <= reports_accepted always, with the difference being
+  // ack-less (legacy / direct AcceptReport) ingestion.
+  std::atomic<uint64_t> acks_sent{0};
+  std::atomic<uint64_t> nacks_sent{0};
+  std::atomic<uint64_t> duplicates_suppressed{0};
 };
 
 struct EpochResult {
@@ -141,6 +150,13 @@ class ShufflerFrontend {
   // accumulation of e+1), but not with itself: one drainer at a time.
   DrainReport DrainSealedEpochs();
 
+  // Fired after every successful epoch seal; owned by the drain scheduler
+  // while it runs (see ShardedIngest::SetSealListener for the contract).
+  void SetSealListener(std::function<void()> listener) {
+    ingest_->SetSealListener(std::move(listener));
+  }
+
+  FrontendStats& stats() { return stats_; }
   const FrontendStats& stats() const { return stats_; }
   uint64_t current_epoch() const { return ingest_->current_epoch(); }
   size_t current_epoch_size() const { return ingest_->current_epoch_size(); }

@@ -154,7 +154,19 @@ Status ShardedIngest::SealCurrentLocked() {
   current_epoch_.fetch_add(1);
   current_total_.store(0);
   current_age_ = 0;
+  if (seal_listener_) {
+    // Under epoch_mu_ by construction (we are *Locked); the listener is
+    // contractually lock-light (it nudges the drain scheduler's condition
+    // variable), and nothing on the drain path re-enters the epoch lock
+    // while holding the scheduler's.
+    seal_listener_();
+  }
   return Status::Ok();
+}
+
+void ShardedIngest::SetSealListener(std::function<void()> listener) {
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  seal_listener_ = std::move(listener);
 }
 
 std::optional<EpochBatch> ShardedIngest::PopSealedEpoch() {
@@ -244,6 +256,14 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
     current_epoch_.store(next_epoch);
     current_total_.store(0);
     current_age_ = 0;
+  }
+  bool recovered_sealed = false;
+  {
+    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    recovered_sealed = !sealed_.empty();
+  }
+  if (recovered_sealed && seal_listener_) {
+    seal_listener_();  // recovered epochs should drain without a poll too
   }
 }
 

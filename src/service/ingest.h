@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -111,6 +112,15 @@ class ShardedIngest {
   // copy; spooled mode would otherwise skip the epoch until a restart).
   void RequeueSealedEpoch(EpochBatch batch);
 
+  // Registers a callback fired after every successful epoch seal (and once
+  // after a recovery that re-queued sealed epochs).  It runs under the
+  // epoch lock, so it must be lock-light — the drain scheduler's listener
+  // just flags its condition variable, which is the point: sealed epochs
+  // start draining on the event instead of a poll.  Pass nullptr to
+  // unregister; the setter synchronizes on the epoch lock, so after it
+  // returns no seal is mid-call into the old listener.
+  void SetSealListener(std::function<void()> listener);
+
   // Adopts state recovered from a reopened spool: segments of marker-sealed
   // epochs re-enter the sealed queue; segments of the newest unsealed epoch
   // become the current epoch's accumulation (its age restarts); any older
@@ -140,6 +150,7 @@ class ShardedIngest {
 
   // Shared: Accept; exclusive: epoch transitions (cut, tick-cut, restore).
   mutable std::shared_mutex epoch_mu_;
+  std::function<void()> seal_listener_;  // guarded by epoch_mu_ (exclusive)
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> current_epoch_{0};
   std::atomic<size_t> current_total_{0};

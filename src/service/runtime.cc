@@ -62,7 +62,11 @@ void IngestWorkerPool::Stop() {
   for (auto& worker : workers_) {
     while (worker->pending.load() != 0) {
       if (auto item = worker->ring.TryPop()) {
-        RecordAccept(frontend_->AcceptRoutedReport(item->shard, std::move(item->report)));
+        Status status = frontend_->AcceptRoutedReport(item->shard, std::move(item->report));
+        RecordAccept(status);
+        if (item->done) {
+          item->done(status);
+        }
         worker->pending.fetch_sub(1, std::memory_order_release);
       } else {
         std::this_thread::yield();  // a producer is mid-push; its item is coming
@@ -76,20 +80,35 @@ void IngestWorkerPool::Stop() {
 }
 
 Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
+  return EnqueueImpl(std::move(sealed_report), nullptr);
+}
+
+void IngestWorkerPool::EnqueueAsync(Bytes sealed_report, Completion done) {
+  EnqueueImpl(std::move(sealed_report), std::move(done));
+}
+
+Status IngestWorkerPool::EnqueueImpl(Bytes sealed_report, Completion done) {
   size_t shard = ShardedIngest::ShardOfReport(sealed_report, num_shards_);
   if (workers_.empty()) {
     if (stopping_.load()) {
-      return Error{"ingest pool: stopping; report not enqueued"};
+      Status status = Error{"ingest pool: stopping; report not enqueued"};
+      if (done) {
+        done(status);
+      }
+      return status;
     }
     // Synchronous mode: ingest on the caller thread (workers == 0, or the
     // pool was never started).
     enqueued_.fetch_add(1, std::memory_order_relaxed);
     Status status = frontend_->AcceptRoutedReport(shard, std::move(sealed_report));
     RecordAccept(status);
+    if (done) {
+      done(status);
+    }
     return status;
   }
   Worker& worker = *workers_[shard % workers_.size()];
-  Item item{shard, std::move(sealed_report)};
+  Item item{shard, std::move(sealed_report), std::move(done)};
   // pending is incremented before the stopping_ check and before the push
   // (both seq_cst): a concurrent Flush never observes the ring drained
   // while this item is in flight, and a concurrent Stop that this thread
@@ -98,7 +117,11 @@ Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
   worker.pending.fetch_add(1);
   if (stopping_.load()) {
     worker.pending.fetch_sub(1, std::memory_order_release);
-    return Error{"ingest pool: stopping; report not enqueued"};
+    Status status = Error{"ingest pool: stopping; report not enqueued"};
+    if (item.done) {
+      item.done(status);
+    }
+    return status;
   }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   bool waited = false;
@@ -109,6 +132,9 @@ Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
       worker.pending.fetch_sub(1, std::memory_order_release);
       Status status = Error{"ingest pool: stopping; report not enqueued"};
       RecordAccept(status);
+      if (item.done) {
+        item.done(status);
+      }
       return status;
     }
     if (!waited) {
@@ -179,7 +205,13 @@ WorkerPoolStats IngestWorkerPool::stats() const {
 
 void IngestWorkerPool::WorkerLoop(Worker& worker) {
   auto process = [&](Item&& item) {
-    RecordAccept(frontend_->AcceptRoutedReport(item.shard, std::move(item.report)));
+    Status status = frontend_->AcceptRoutedReport(item.shard, std::move(item.report));
+    RecordAccept(status);
+    if (item.done) {
+      // The ack path: this fires on the worker thread, after the durable
+      // spool append — the only point where "acked == report-safe" holds.
+      item.done(status);
+    }
     // Release the item only after the Accept's effects are complete, so a
     // Flush observing pending == 0 observes the ingestion too.
     worker.pending.fetch_sub(1, std::memory_order_release);
@@ -225,6 +257,10 @@ void DrainScheduler::Start() {
   }
   started_ = true;
   stop_ = false;
+  // Seal events drive the drain: the ingest tier fires this from
+  // SealCurrentLocked, so a freshly sealed epoch starts draining without
+  // waiting out the fallback poll.
+  frontend_->SetSealListener([this] { RequestDrain(); });
   thread_ = std::thread([this] { DrainLoop(); });
 }
 
@@ -232,6 +268,9 @@ void DrainScheduler::Stop() {
   if (!started_) {
     return;
   }
+  // Unregister first: SetSealListener synchronizes on the epoch lock, so
+  // once it returns no seal can be mid-call into this object.
+  frontend_->SetSealListener(nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -88,6 +89,14 @@ class IngestWorkerPool {
   // its shard's worker ring; blocks (yielding) while the ring is full.
   // With workers == 0, ingests synchronously and returns the Accept status.
   Status Enqueue(Bytes sealed_report);
+  // Invoked exactly once with the report's final Accept outcome — on the
+  // ingest worker thread after the durable spool append (async mode), on
+  // the caller thread (synchronous mode), or with the abort error when the
+  // pool is stopping.  The acknowledgment path hangs off this: a
+  // FrameConnection ACKs a report from `done(Ok)`, so "acked" means
+  // "durably spooled", never merely "handed to the runtime".
+  using Completion = std::function<void(const Status&)>;
+  void EnqueueAsync(Bytes sealed_report, Completion done);
   // Decodes a buffer of wire frames on the caller thread (cheap: CRC only)
   // and enqueues each payload.  Corrupt frames are skipped with the books
   // kept in stats(), mirroring ShufflerFrontend::AcceptFrameStream.
@@ -105,6 +114,7 @@ class IngestWorkerPool {
   struct Item {
     size_t shard = 0;
     Bytes report;
+    Completion done;  // may be null (plain Enqueue)
   };
 
   struct Worker {
@@ -135,6 +145,10 @@ class IngestWorkerPool {
 
   void WorkerLoop(Worker& worker);
   void RecordAccept(const Status& status);
+  // Shared body of Enqueue/EnqueueAsync: the return value is Enqueue's
+  // contract ("handed to the runtime" / sync Accept status); `done`, when
+  // set, fires exactly once with the report's final outcome on every path.
+  Status EnqueueImpl(Bytes sealed_report, Completion done);
 
   ShufflerFrontend* frontend_;  // borrowed
   WorkerPoolConfig config_;
@@ -155,9 +169,14 @@ class IngestWorkerPool {
 };
 
 struct DrainSchedulerConfig {
-  // Poll cadence of the background drain thread; RequestDrain() nudges it
-  // sooner.  Failed drains (epoch requeued) are retried on the next poll.
-  std::chrono::milliseconds poll_interval{2};
+  // Fallback poll cadence of the background drain thread.  The primary
+  // wakeup is the seal event: Start() registers a listener the ingest tier
+  // fires from SealCurrentLocked, so a sealed epoch begins draining
+  // immediately — a busy box never spins on this interval and an idle box
+  // adds no seal-to-drain latency.  The poll only bounds the retry latency
+  // of a failed drain and guards against a lost nudge.  RequestDrain()
+  // still nudges sooner.
+  std::chrono::milliseconds poll_interval{250};
 };
 
 struct DrainSchedulerStats {
@@ -169,7 +188,8 @@ struct DrainSchedulerStats {
 
 // Background drain thread: overlaps draining sealed epoch e with the worker
 // pool accumulating epoch e+1.  Owns all DrainSealedEpochs calls while
-// running (the frontend allows one drainer at a time).
+// running (the frontend allows one drainer at a time), and owns the
+// frontend's seal listener between Start() and Stop().
 class DrainScheduler {
  public:
   DrainScheduler(ShufflerFrontend* frontend, DrainSchedulerConfig config = {});
@@ -179,7 +199,8 @@ class DrainScheduler {
   DrainScheduler& operator=(const DrainScheduler&) = delete;
 
   void Start();
-  // Performs one final drain pass, then joins the thread.  Idempotent.
+  // Unregisters the seal listener, performs one final drain pass, then
+  // joins the thread.  Idempotent.
   void Stop();
 
   // Nudges the drain thread to run ahead of its poll cadence.

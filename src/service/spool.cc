@@ -115,28 +115,52 @@ Result<Spool::RecoveryReport> Spool::Open() {
         uint8_t header[kFrameHeaderSize];
         size_t got = std::fread(header, 1, sizeof(header), f);
         if (got < sizeof(header)) {
-          break;  // clean EOF (got == 0) or torn header
-        }
-        Reader header_reader(ByteSpan(header, sizeof(header)));
-        uint32_t magic = 0, length = 0, crc = 0;
-        uint8_t version = 0;
-        header_reader.GetU32(&magic);
-        header_reader.GetU8(&version);
-        header_reader.GetU32(&length);
-        header_reader.GetU32(&crc);
-        if (magic != kFrameMagic || version != kWireVersion || length > kMaxFramePayload) {
+          // Clean EOF (got == 0) or torn header — except that a first
+          // "frame" too short for this version's header can also be a
+          // whole tiny segment from an *older* wire version, which must
+          // not be "recovered" to zero bytes (see the version check
+          // below).  Magic is at offset 0, version at 4 in every version.
+          if (frames == 0 && got >= 5) {
+            uint32_t magic = static_cast<uint32_t>(header[0]) |
+                             static_cast<uint32_t>(header[1]) << 8 |
+                             static_cast<uint32_t>(header[2]) << 16 |
+                             static_cast<uint32_t>(header[3]) << 24;
+            if (magic == kFrameMagic && header[4] != kWireVersion) {
+              std::fclose(f);
+              return Error{"spool: segment " + name + " has unsupported wire version " +
+                           std::to_string(header[4]) + "; refusing to truncate"};
+            }
+          }
           break;
         }
-        frame.resize(kFrameHeaderSize + length);
+        FrameHeader parsed;
+        if (!ParseFrameHeader(ByteSpan(header, sizeof(header)), &parsed)) {
+          break;
+        }
+        if (!PlausibleFrameHeader(parsed)) {
+          // A whole segment in a *different* wire version is not a torn
+          // tail: truncating it would destroy durably acknowledged reports
+          // wholesale.  Refuse to open and leave the data for the operator
+          // (or a migration tool) instead of "recovering" it to zero bytes.
+          if (frames == 0 && parsed.magic == kFrameMagic &&
+              parsed.version != kWireVersion) {
+            std::fclose(f);
+            return Error{"spool: segment " + name + " has unsupported wire version " +
+                         std::to_string(parsed.version) + "; refusing to truncate"};
+          }
+          break;
+        }
+        frame.resize(kFrameHeaderSize + parsed.length);
         std::memcpy(frame.data(), header, sizeof(header));
-        if (std::fread(frame.data() + kFrameHeaderSize, 1, length, f) != length) {
+        if (std::fread(frame.data() + kFrameHeaderSize, 1, parsed.length, f) !=
+            parsed.length) {
           break;  // torn payload
         }
         if (!DecodeFrame(frame).ok()) {
           break;  // CRC mismatch
         }
         frames++;
-        clean_end += FrameWireSize(length);
+        clean_end += FrameWireSize(parsed.length);
       }
       std::fclose(f);
     }
@@ -300,19 +324,15 @@ class SpoolEpochStream : public RecordStream {
     if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
       return std::nullopt;
     }
-    Reader reader(ByteSpan(header, sizeof(header)));
-    uint32_t magic = 0, length = 0, crc = 0;
-    uint8_t version = 0;
-    reader.GetU32(&magic);
-    reader.GetU8(&version);
-    reader.GetU32(&length);
-    reader.GetU32(&crc);
-    if (magic != kFrameMagic || version != kWireVersion || length > kMaxFramePayload) {
+    FrameHeader parsed;
+    if (!ParseFrameHeader(ByteSpan(header, sizeof(header)), &parsed) ||
+        !PlausibleFrameHeader(parsed)) {
       return std::nullopt;
     }
-    Bytes frame(kFrameHeaderSize + length);
+    Bytes frame(kFrameHeaderSize + parsed.length);
     std::memcpy(frame.data(), header, sizeof(header));
-    if (std::fread(frame.data() + kFrameHeaderSize, 1, length, file_) != length) {
+    if (std::fread(frame.data() + kFrameHeaderSize, 1, parsed.length, file_) !=
+        parsed.length) {
       return std::nullopt;
     }
     auto decoded = DecodeFrame(frame);

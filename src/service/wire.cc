@@ -30,10 +30,21 @@ uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
   return crc;
 }
 
-// CRC over version || length || payload, the frame's integrity span.
-uint32_t FrameCrc(uint8_t version, uint32_t length, ByteSpan payload) {
-  std::array<uint8_t, 5> head = {
+// CRC over version || type || seq || length || payload, the frame's
+// integrity span — everything after the magic.
+uint32_t FrameCrc(uint8_t version, uint8_t type, uint64_t seq, uint32_t length,
+                  ByteSpan payload) {
+  std::array<uint8_t, 14> head = {
       version,
+      type,
+      static_cast<uint8_t>(seq),
+      static_cast<uint8_t>(seq >> 8),
+      static_cast<uint8_t>(seq >> 16),
+      static_cast<uint8_t>(seq >> 24),
+      static_cast<uint8_t>(seq >> 32),
+      static_cast<uint8_t>(seq >> 40),
+      static_cast<uint8_t>(seq >> 48),
+      static_cast<uint8_t>(seq >> 56),
       static_cast<uint8_t>(length),
       static_cast<uint8_t>(length >> 8),
       static_cast<uint8_t>(length >> 16),
@@ -49,34 +60,74 @@ uint32_t Crc32(ByteSpan data) {
   return Crc32Update(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
 }
 
-void AppendFrame(Bytes& out, ByteSpan payload) {
+bool ParseFrameHeader(ByteSpan data, FrameHeader* out) {
+  Reader reader(data);
+  return reader.GetU32(&out->magic) && reader.GetU8(&out->version) &&
+         reader.GetU8(&out->type) && reader.GetU64(&out->seq) &&
+         reader.GetU32(&out->length) && reader.GetU32(&out->crc);
+}
+
+void AppendFrame(Bytes& out, FrameType type, uint64_t seq, ByteSpan payload) {
   // Producing a frame the decoder is specified to reject is a caller bug.
   assert(payload.size() <= kMaxFramePayload);
   Writer w;
   w.PutU32(kFrameMagic);
   w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(seq);
   w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutU32(FrameCrc(kWireVersion, static_cast<uint32_t>(payload.size()), payload));
+  w.PutU32(FrameCrc(kWireVersion, static_cast<uint8_t>(type), seq,
+                    static_cast<uint32_t>(payload.size()), payload));
   w.PutBytes(payload);
   Bytes frame = w.Take();
   out.insert(out.end(), frame.begin(), frame.end());
 }
 
-Bytes EncodeFrame(ByteSpan payload) {
+void AppendFrame(Bytes& out, ByteSpan payload) {
+  AppendFrame(out, FrameType::kReport, 0, payload);
+}
+
+Bytes EncodeFrame(ByteSpan payload) { return EncodeReportFrame(0, payload); }
+
+Bytes EncodeReportFrame(uint64_t seq, ByteSpan payload) {
   Bytes out;
   out.reserve(FrameWireSize(payload.size()));
-  AppendFrame(out, payload);
+  AppendFrame(out, FrameType::kReport, seq, payload);
   return out;
 }
 
-Result<Bytes> DecodeFrame(ByteSpan frame) {
+Bytes EncodeAckFrame(uint64_t seq) {
+  Bytes out;
+  out.reserve(FrameWireSize(0));
+  AppendFrame(out, FrameType::kAck, seq, ByteSpan());
+  return out;
+}
+
+Bytes EncodeNackFrame(uint64_t seq, const std::string& reason) {
+  Bytes reason_bytes = ToBytes(reason);
+  Bytes out;
+  out.reserve(FrameWireSize(reason_bytes.size()));
+  AppendFrame(out, FrameType::kNack, seq, reason_bytes);
+  return out;
+}
+
+Bytes EncodeHelloFrame(uint64_t session_id) {
+  Bytes out;
+  out.reserve(FrameWireSize(0));
+  AppendFrame(out, FrameType::kHello, session_id, ByteSpan());
+  return out;
+}
+
+Result<Frame> DecodeTypedFrame(ByteSpan frame) {
   Reader reader(frame);
   uint32_t magic = 0;
   uint8_t version = 0;
+  uint8_t type = 0;
+  uint64_t seq = 0;
   uint32_t length = 0;
   uint32_t crc = 0;
-  if (!reader.GetU32(&magic) || !reader.GetU8(&version) || !reader.GetU32(&length) ||
-      !reader.GetU32(&crc)) {
+  if (!reader.GetU32(&magic) || !reader.GetU8(&version) || !reader.GetU8(&type) ||
+      !reader.GetU64(&seq) || !reader.GetU32(&length) || !reader.GetU32(&crc)) {
     return Error{"frame header truncated"};
   }
   if (magic != kFrameMagic) {
@@ -85,18 +136,31 @@ Result<Bytes> DecodeFrame(ByteSpan frame) {
   if (version != kWireVersion) {
     return Error{"unsupported frame version"};
   }
+  if (!IsKnownFrameType(type)) {
+    return Error{"unknown frame type"};
+  }
   if (length > kMaxFramePayload) {
     return Error{"frame length exceeds limit"};
   }
   if (reader.remaining() < length) {
     return Error{"frame payload truncated"};
   }
-  Bytes payload;
-  reader.GetBytes(length, &payload);
-  if (FrameCrc(version, length, payload) != crc) {
+  Frame out;
+  out.type = static_cast<FrameType>(type);
+  out.seq = seq;
+  reader.GetBytes(length, &out.payload);
+  if (FrameCrc(version, type, seq, length, out.payload) != crc) {
     return Error{"frame CRC mismatch"};
   }
-  return payload;
+  return out;
+}
+
+Result<Bytes> DecodeFrame(ByteSpan frame) {
+  auto decoded = DecodeTypedFrame(frame);
+  if (!decoded.ok()) {
+    return decoded.error();
+  }
+  return std::move(decoded).value().payload;
 }
 
 namespace {
@@ -126,20 +190,19 @@ size_t FindMagic(ByteSpan stream, size_t from) {
 // decoder, so their byte accounting can never drift apart.
 enum class FrameProbe {
   kComplete,    // full frame present; *wire_size set (CRC still unchecked)
-  kCorrupt,     // header untrustworthy (bad version or oversized length)
+  kCorrupt,     // header untrustworthy (bad version/type or oversized length)
   kIncomplete,  // plausible header needs more bytes than `stream` holds
 };
 
 FrameProbe ProbeFrameAt(ByteSpan stream, size_t pos, size_t* wire_size) {
-  if (pos + kFrameHeaderSize > stream.size()) {
+  FrameHeader header;
+  if (!ParseFrameHeader(stream.subspan(pos), &header)) {
     return FrameProbe::kIncomplete;
   }
-  uint8_t version = stream[pos + 4];
-  uint32_t length = ReadLeU32(stream.data() + pos + 5);
-  if (version != kWireVersion || length > kMaxFramePayload) {
+  if (!PlausibleFrameHeader(header)) {
     return FrameProbe::kCorrupt;
   }
-  *wire_size = FrameWireSize(length);
+  *wire_size = FrameWireSize(header.length);
   if (pos + *wire_size > stream.size()) {
     return FrameProbe::kIncomplete;
   }
@@ -148,7 +211,7 @@ FrameProbe ProbeFrameAt(ByteSpan stream, size_t pos, size_t* wire_size) {
 
 }  // namespace
 
-std::optional<Bytes> FrameReader::Next() {
+std::optional<Frame> FrameReader::NextFrame() {
   while (pos_ < stream_.size()) {
     // Scan to the next magic; anything in between is garbage.
     size_t magic_at = FindMagic(stream_, pos_);
@@ -166,10 +229,11 @@ std::optional<Bytes> FrameReader::Next() {
 
     size_t wire_size = 0;
     if (ProbeFrameAt(stream_, pos_, &wire_size) == FrameProbe::kComplete) {
-      auto decoded = DecodeFrame(stream_.subspan(pos_, wire_size));
+      auto decoded = DecodeTypedFrame(stream_.subspan(pos_, wire_size));
       if (decoded.ok()) {
         pos_ += wire_size;
         stats_.frames_ok++;
+        stats_.CountType(decoded.value().type);
         if (!saw_corruption_) {
           clean_prefix_end_ = pos_;
         }
@@ -192,7 +256,15 @@ std::optional<Bytes> FrameReader::Next() {
   return std::nullopt;
 }
 
-size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Bytes>& out) {
+std::optional<Bytes> FrameReader::Next() {
+  auto frame = NextFrame();
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  return std::move(frame->payload);
+}
+
+size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Frame>& out) {
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
   size_t produced = 0;
   size_t pos = 0;
@@ -218,9 +290,10 @@ size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Bytes>& out) {
       break;  // unlike FrameReader, more bytes may still arrive: wait
     }
     if (probe == FrameProbe::kComplete) {
-      auto decoded = DecodeFrame(ByteSpan(buffer_.data() + pos, wire_size));
+      auto decoded = DecodeTypedFrame(ByteSpan(buffer_.data() + pos, wire_size));
       if (decoded.ok()) {
         stats_.frames_ok++;
+        stats_.CountType(decoded.value().type);
         out.push_back(std::move(decoded).value());
         produced++;
         pos += wire_size;
@@ -236,7 +309,16 @@ size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Bytes>& out) {
   return produced;
 }
 
-void StreamingFrameDecoder::Finish(std::vector<Bytes>* out) {
+size_t StreamingFrameDecoder::Feed(ByteSpan chunk, std::vector<Bytes>& out) {
+  std::vector<Frame> frames;
+  size_t produced = Feed(chunk, frames);
+  for (auto& frame : frames) {
+    out.push_back(std::move(frame.payload));
+  }
+  return produced;
+}
+
+void StreamingFrameDecoder::Finish(std::vector<Frame>* out) {
   // Input is over, so no buffered frame can be completed by future bytes.
   // Run the complete-buffer reader over the remainder: a frame Feed was
   // still waiting on is now a torn tail, and FrameReader's resync can even
@@ -244,15 +326,27 @@ void StreamingFrameDecoder::Finish(std::vector<Bytes>* out) {
   // reader's books keeps the balance invariant — and the exact stats —
   // identical to FrameReader over the same total byte sequence.
   FrameReader reader(buffer_);
-  while (auto payload = reader.Next()) {
+  while (auto frame = reader.NextFrame()) {
     if (out != nullptr) {
-      out->push_back(std::move(*payload));
+      out->push_back(std::move(*frame));
     }
   }
-  stats_.frames_ok += reader.stats().frames_ok;
-  stats_.frames_corrupt += reader.stats().frames_corrupt;
-  stats_.bytes_skipped += reader.stats().bytes_skipped;
+  stats_.Fold(reader.stats());
   buffer_.clear();
+}
+
+void StreamingFrameDecoder::Finish() { Finish(static_cast<std::vector<Frame>*>(nullptr)); }
+
+void StreamingFrameDecoder::Finish(std::vector<Bytes>* out) {
+  if (out == nullptr) {
+    Finish();
+    return;
+  }
+  std::vector<Frame> frames;
+  Finish(&frames);
+  for (auto& frame : frames) {
+    out->push_back(std::move(frame.payload));
+  }
 }
 
 }  // namespace prochlo

@@ -1,27 +1,46 @@
 // The shuffler-frontend wire format: how sealed reports travel from clients
-// to the ingestion tier, and how they are laid out inside spool segments.
+// to the ingestion tier, how the service acknowledges them, and how they are
+// laid out inside spool segments.
 //
-// A frame is a versioned, length-prefixed, CRC-checked envelope around one
-// sealed report (the outer HybridBox bytes of report.h):
+// A frame is a versioned, typed, length-prefixed, CRC-checked envelope:
 //
 //   offset  size  field
 //   0       4     magic  0x48435250 ("PRCH", little-endian)
 //   4       1     version (kWireVersion)
-//   5       4     payload length, little-endian u32
-//   9       4     CRC-32 over version || length || payload
-//   13      n     payload (the sealed report)
+//   5       1     type (FrameType: report / ack / nack / hello)
+//   6       8     sequence number, little-endian u64
+//   14      4     payload length, little-endian u32
+//   18      4     CRC-32 over version || type || seq || length || payload
+//   22      n     payload
 //
-// The CRC covers the header's version and length fields as well as the
-// payload, so a corrupt length cannot silently mis-frame the stream.  The
+// Frame types and what their fields mean:
+//
+//   kReport  client -> server.  payload = the sealed report (the outer
+//            HybridBox bytes of report.h); seq = the client's per-session
+//            sequence number (0 inside spool segments, which predate the
+//            connection and need no acknowledgment).
+//   kAck     server -> client.  seq echoes the report frame's seq; sent only
+//            AFTER ShardedIngest::Accept returned Ok, so an ack means the
+//            report is durably spooled (report-safe), never merely received.
+//   kNack    server -> client.  seq echoes; payload = error message.  The
+//            report was NOT ingested and the client should retry it.
+//   kHello   client -> server.  seq = the client's self-chosen session id
+//            (non-zero; 0 is reserved as "no session"); binds the
+//            connection to that id's acknowledgment state so a
+//            reconnecting client's retries are deduplicated by seq.
+//
+// The CRC covers every header field after the magic, so a corrupt type, seq,
+// or length cannot silently mis-frame or mis-route the stream.  The
 // streaming reader resynchronizes after corruption by scanning for the next
 // magic, and keeps exact books: every byte of input is accounted to either a
 // good frame, a corrupt frame, or skipped garbage — there is no silent
-// miscount, which the spool's recovery and the shuffler's received-report
-// statistics both depend on.
+// miscount, which the spool's recovery, the shuffler's received-report
+// statistics, and the ack-book balance checks all depend on.
 #ifndef PROCHLO_SRC_SERVICE_WIRE_H_
 #define PROCHLO_SRC_SERVICE_WIRE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -29,48 +48,133 @@
 namespace prochlo {
 
 inline constexpr uint32_t kFrameMagic = 0x48435250;  // "PRCH" on the wire
-inline constexpr uint8_t kWireVersion = 1;
-inline constexpr size_t kFrameHeaderSize = 13;
+inline constexpr uint8_t kWireVersion = 2;           // v2: typed + sequenced
+inline constexpr size_t kFrameHeaderSize = 22;
 // Upper bound on a single frame's payload; a corrupt length field beyond
 // this is rejected before any allocation is attempted.
 inline constexpr size_t kMaxFramePayload = 1u << 24;
 
+enum class FrameType : uint8_t {
+  kReport = 1,
+  kAck = 2,
+  kNack = 3,
+  kHello = 4,
+};
+
+// True for the types this version understands; anything else makes the
+// frame corrupt (counted, skipped, resynchronized past).
+constexpr bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kReport) &&
+         type <= static_cast<uint8_t>(FrameType::kHello);
+}
+
+// A decoded frame: type, echoed/assigned sequence number, and payload.
+struct Frame {
+  FrameType type = FrameType::kReport;
+  uint64_t seq = 0;
+  Bytes payload;
+
+  bool operator==(const Frame& other) const {
+    return type == other.type && seq == other.seq && payload == other.payload;
+  }
+};
+
 // CRC-32 (ISO-HDLC: reflected 0xEDB88320, init/xorout 0xFFFFFFFF).
 uint32_t Crc32(ByteSpan data);
+
+// The fixed-size header, parsed but not yet validated.  One parser serves
+// every scanner (the wire decoders' resync probe and the spool's recovery
+// scan), so a layout change cannot desynchronize them.
+struct FrameHeader {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint64_t seq = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+};
+
+// Parses kFrameHeaderSize bytes; false if `data` is shorter.
+bool ParseFrameHeader(ByteSpan data, FrameHeader* out);
+
+// The cheap pre-CRC sanity gate: magic, version, known type, sane length.
+inline bool PlausibleFrameHeader(const FrameHeader& header) {
+  return header.magic == kFrameMagic && header.version == kWireVersion &&
+         IsKnownFrameType(header.type) && header.length <= kMaxFramePayload;
+}
 
 // Wire size of a frame carrying `payload_size` bytes.
 constexpr size_t FrameWireSize(size_t payload_size) {
   return kFrameHeaderSize + payload_size;
 }
 
-// Encodes one payload as a frame.
-Bytes EncodeFrame(ByteSpan payload);
-// Appends a frame to an existing buffer (the spool's append path).
+// Appends a frame to an existing buffer.  The payload-only overload writes a
+// report frame with seq 0 — the spool's append path, where frames live in
+// segment files and are never acknowledged.
 void AppendFrame(Bytes& out, ByteSpan payload);
+void AppendFrame(Bytes& out, FrameType type, uint64_t seq, ByteSpan payload);
+
+// Encodes one frame.  EncodeFrame is the seq-0 report convenience.
+Bytes EncodeFrame(ByteSpan payload);
+Bytes EncodeReportFrame(uint64_t seq, ByteSpan payload);
+Bytes EncodeAckFrame(uint64_t seq);
+Bytes EncodeNackFrame(uint64_t seq, const std::string& reason);
+Bytes EncodeHelloFrame(uint64_t session_id);
 
 // Decodes a buffer holding exactly one frame.  Errors distinguish the
-// failure (short header, bad magic, unsupported version, truncated payload,
-// CRC mismatch) so tests and operators can tell tampering from truncation.
+// failure (short header, bad magic, unsupported version, unknown type,
+// truncated payload, CRC mismatch) so tests and operators can tell
+// tampering from truncation.  DecodeFrame returns the payload alone (the
+// spool and legacy stream paths, where every frame is a report);
+// DecodeTypedFrame returns the full frame.
 Result<Bytes> DecodeFrame(ByteSpan frame);
+Result<Frame> DecodeTypedFrame(ByteSpan frame);
 
 struct FrameStreamStats {
-  uint64_t frames_ok = 0;
+  uint64_t frames_ok = 0;       // valid frames of any type
   uint64_t frames_corrupt = 0;  // magic found but frame failed to decode
   // Garbage bytes: resync scans plus the magic of every corrupt frame.  The
   // books balance exactly — once a stream is fully consumed,
   //   sum(FrameWireSize(payload_i) over good frames) + bytes_skipped
   // equals the bytes read (see wire_format_test's balance invariant).
   uint64_t bytes_skipped = 0;
+  // Per-type breakdown of frames_ok (their sum equals frames_ok).
+  uint64_t frames_report = 0;
+  uint64_t frames_ack = 0;
+  uint64_t frames_nack = 0;
+  uint64_t frames_hello = 0;
+
+  void CountType(FrameType type) {
+    switch (type) {
+      case FrameType::kReport: frames_report++; break;
+      case FrameType::kAck: frames_ack++; break;
+      case FrameType::kNack: frames_nack++; break;
+      case FrameType::kHello: frames_hello++; break;
+    }
+  }
+  void Fold(const FrameStreamStats& other) {
+    frames_ok += other.frames_ok;
+    frames_corrupt += other.frames_corrupt;
+    bytes_skipped += other.bytes_skipped;
+    frames_report += other.frames_report;
+    frames_ack += other.frames_ack;
+    frames_nack += other.frames_nack;
+    frames_hello += other.frames_hello;
+  }
 };
 
 // Streaming reader over a byte buffer containing zero or more frames.
-// Next() yields each valid payload in order; corrupt frames are skipped
-// (with stats kept) by scanning forward for the next magic.
+// NextFrame() yields each valid frame in order; corrupt frames are skipped
+// (with stats kept) by scanning forward for the next magic.  Next() is the
+// payload-only view for streams known to hold report frames (spool
+// segments, legacy buffers).
 class FrameReader {
  public:
   explicit FrameReader(ByteSpan stream) : stream_(stream) {}
 
-  // Next valid payload, or nullopt at end of stream.
+  // Next valid frame, or nullopt at end of stream.
+  std::optional<Frame> NextFrame();
+  // Next valid payload (any type), or nullopt at end of stream.
   std::optional<Bytes> Next();
 
   const FrameStreamStats& stats() const { return stats_; }
@@ -91,14 +195,16 @@ class FrameReader {
 
 // Incremental reframer for byte-stream transports (FrameConnection): bytes
 // arrive in arbitrary chunks — a frame may be split across any number of
-// reads — and complete payloads are cut as soon as they materialize.
+// reads — and complete frames are cut as soon as they materialize.
 // Corruption handling and the stats books are identical to FrameReader: for
 // the same total byte sequence, however chunked, Feed()+Finish() yields the
-// same payloads and the same frames_ok/frames_corrupt/bytes_skipped balance.
+// same frames and the same frames_ok/frames_corrupt/bytes_skipped balance.
 class StreamingFrameDecoder {
  public:
-  // Consumes one chunk; appends each completed payload to `out` and returns
-  // how many were produced.  Incomplete trailing bytes stay buffered.
+  // Consumes one chunk; appends each completed frame (or its payload, for
+  // the legacy overload) to `out` and returns how many were produced.
+  // Incomplete trailing bytes stay buffered.
+  size_t Feed(ByteSpan chunk, std::vector<Frame>& out);
   size_t Feed(ByteSpan chunk, std::vector<Bytes>& out);
 
   // End of input: whatever is still buffered can never complete.  The
@@ -106,7 +212,9 @@ class StreamingFrameDecoder {
   // in a torn frame's claimed payload is recovered (appended to `out` when
   // given), and the torn bytes land in frames_corrupt/bytes_skipped exactly
   // as FrameReader accounts them.
-  void Finish(std::vector<Bytes>* out = nullptr);
+  void Finish();
+  void Finish(std::vector<Frame>* out);
+  void Finish(std::vector<Bytes>* out);
 
   // Bytes buffered awaiting the rest of a frame (diagnostics/backpressure).
   size_t buffered_bytes() const { return buffer_.size(); }

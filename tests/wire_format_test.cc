@@ -68,14 +68,88 @@ TEST(WireFormatTest, EverySingleBitFlipRejected) {
 
 TEST(WireFormatTest, OversizedLengthRejectedWithoutAllocation) {
   Bytes frame = EncodeFrame(ToBytes("x"));
-  // Forge a huge length; CRC will not even be consulted.
-  frame[5] = 0xFF;
-  frame[6] = 0xFF;
-  frame[7] = 0xFF;
-  frame[8] = 0x7F;
+  // Forge a huge length (LE u32 at offset 14); CRC will not even be
+  // consulted.
+  frame[14] = 0xFF;
+  frame[15] = 0xFF;
+  frame[16] = 0xFF;
+  frame[17] = 0x7F;
   auto decoded = DecodeFrame(frame);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.error().message, "frame length exceeds limit");
+}
+
+TEST(WireFormatTest, UnknownFrameTypeRejected) {
+  Bytes frame = EncodeFrame(ToBytes("typed"));
+  frame[5] = 0x09;  // not a FrameType this version knows
+  auto decoded = DecodeTypedFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().message, "unknown frame type");
+}
+
+// ------------------------------------------------------------- typed frames
+
+TEST(WireFormatTest, TypedFramesRoundTrip) {
+  Rng rng(0x54595045);
+  Bytes report_payload = RandomPayload(rng, 300);
+
+  Bytes report = EncodeReportFrame(/*seq=*/42, report_payload);
+  auto report_frame = DecodeTypedFrame(report);
+  ASSERT_TRUE(report_frame.ok()) << report_frame.error().message;
+  EXPECT_EQ(report_frame.value().type, FrameType::kReport);
+  EXPECT_EQ(report_frame.value().seq, 42u);
+  EXPECT_EQ(report_frame.value().payload, report_payload);
+
+  Bytes ack = EncodeAckFrame(/*seq=*/0xFFFFFFFF12345678ull);
+  ASSERT_EQ(ack.size(), FrameWireSize(0));
+  auto ack_frame = DecodeTypedFrame(ack);
+  ASSERT_TRUE(ack_frame.ok());
+  EXPECT_EQ(ack_frame.value().type, FrameType::kAck);
+  EXPECT_EQ(ack_frame.value().seq, 0xFFFFFFFF12345678ull);
+  EXPECT_TRUE(ack_frame.value().payload.empty());
+
+  Bytes nack = EncodeNackFrame(/*seq=*/7, "spool append failed");
+  auto nack_frame = DecodeTypedFrame(nack);
+  ASSERT_TRUE(nack_frame.ok());
+  EXPECT_EQ(nack_frame.value().type, FrameType::kNack);
+  EXPECT_EQ(nack_frame.value().seq, 7u);
+  EXPECT_EQ(ToString(nack_frame.value().payload), "spool append failed");
+
+  Bytes hello = EncodeHelloFrame(/*session_id=*/0xC0FFEE);
+  auto hello_frame = DecodeTypedFrame(hello);
+  ASSERT_TRUE(hello_frame.ok());
+  EXPECT_EQ(hello_frame.value().type, FrameType::kHello);
+  EXPECT_EQ(hello_frame.value().seq, 0xC0FFEEu);
+}
+
+TEST(WireFormatTest, EveryTruncationOfControlFramesRejected) {
+  for (const Bytes& frame : {EncodeAckFrame(1234), EncodeNackFrame(99, "why"),
+                             EncodeHelloFrame(0xABCD)}) {
+    for (size_t keep = 0; keep < frame.size(); ++keep) {
+      auto decoded = DecodeTypedFrame(ByteSpan(frame.data(), keep));
+      EXPECT_FALSE(decoded.ok()) << "truncation to " << keep << " bytes accepted";
+    }
+  }
+}
+
+TEST(WireFormatTest, EverySingleBitFlipOfControlFramesRejected) {
+  // ACK/NACK frames steer the client's retry decisions, so a flipped seq or
+  // type must never decode: the CRC covers every header field after the
+  // magic (and a flipped magic makes the buffer garbage, not a frame).
+  for (const Bytes& frame :
+       {EncodeAckFrame(0x123456789ABCDEFull), EncodeNackFrame(31337, "retry")}) {
+    auto original = DecodeTypedFrame(frame);
+    ASSERT_TRUE(original.ok());
+    for (size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes corrupted = frame;
+        corrupted[byte] ^= static_cast<uint8_t>(1u << bit);
+        auto decoded = DecodeTypedFrame(corrupted);
+        EXPECT_FALSE(decoded.ok())
+            << "flip at byte " << byte << " bit " << bit << " accepted";
+      }
+    }
+  }
 }
 
 TEST(WireFormatTest, ReaderYieldsAllFramesInOrder) {
@@ -344,6 +418,111 @@ TEST(WireFormatTest, StreamingDecoderFuzzedChunkingMatchesReader) {
     }
     size_t chunk = 1 + static_cast<size_t>(rng.NextBelow(40));
     ExpectDecoderMatchesReader(stream, chunk);
+  }
+}
+
+// Typed equivalence: for any chunking of any stream interleaving report,
+// ACK, NACK, and HELLO frames (plus corruption, garbage, and torn frames),
+// the streaming decoder must yield the same typed frames — type, seq, and
+// payload — and the same books, including the per-type counters, as
+// FrameReader over the whole buffer.
+void ExpectTypedDecoderMatchesReader(const Bytes& stream, size_t chunk_size) {
+  FrameReader reader(stream);
+  std::vector<Frame> expected;
+  while (auto frame = reader.NextFrame()) {
+    expected.push_back(std::move(*frame));
+  }
+
+  StreamingFrameDecoder decoder;
+  std::vector<Frame> got;
+  for (size_t off = 0; off < stream.size(); off += chunk_size) {
+    size_t len = std::min(chunk_size, stream.size() - off);
+    decoder.Feed(ByteSpan(stream.data() + off, len), got);
+  }
+  decoder.Finish(&got);
+
+  ASSERT_EQ(got.size(), expected.size()) << "chunk=" << chunk_size;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "frame " << i << " chunk=" << chunk_size;
+  }
+  EXPECT_EQ(decoder.stats().frames_ok, reader.stats().frames_ok) << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().frames_corrupt, reader.stats().frames_corrupt)
+      << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().bytes_skipped, reader.stats().bytes_skipped)
+      << "chunk=" << chunk_size;
+  EXPECT_EQ(decoder.stats().frames_report, reader.stats().frames_report);
+  EXPECT_EQ(decoder.stats().frames_ack, reader.stats().frames_ack);
+  EXPECT_EQ(decoder.stats().frames_nack, reader.stats().frames_nack);
+  EXPECT_EQ(decoder.stats().frames_hello, reader.stats().frames_hello);
+  // The per-type counters partition frames_ok, and the balance invariant
+  // carries over to typed streams.
+  EXPECT_EQ(reader.stats().frames_report + reader.stats().frames_ack +
+                reader.stats().frames_nack + reader.stats().frames_hello,
+            reader.stats().frames_ok);
+  size_t good_bytes = 0;
+  for (const auto& frame : got) {
+    good_bytes += FrameWireSize(frame.payload.size());
+  }
+  EXPECT_EQ(good_bytes + decoder.stats().bytes_skipped, stream.size());
+}
+
+TEST(WireFormatTest, InterleavedTypedFramesFuzzedChunkingMatchesReader) {
+  Rng rng(0x41434b53);
+  for (int round = 0; round < 40; ++round) {
+    Bytes stream;
+    int pieces = 2 + static_cast<int>(rng.NextBelow(10));
+    for (int i = 0; i < pieces; ++i) {
+      switch (rng.NextBelow(8)) {
+        case 0:  // report frame with a live sequence number
+          AppendFrame(stream, FrameType::kReport, rng.Next(),
+                      RandomPayload(rng, 1 + static_cast<size_t>(rng.NextBelow(120))));
+          break;
+        case 1: {  // ack
+          Bytes ack = EncodeAckFrame(rng.Next());
+          stream.insert(stream.end(), ack.begin(), ack.end());
+          break;
+        }
+        case 2: {  // nack with a reason payload
+          Bytes nack = EncodeNackFrame(rng.Next(), "nack-" + std::to_string(i));
+          stream.insert(stream.end(), nack.begin(), nack.end());
+          break;
+        }
+        case 3: {  // hello
+          Bytes hello = EncodeHelloFrame(rng.Next());
+          stream.insert(stream.end(), hello.begin(), hello.end());
+          break;
+        }
+        case 4: {  // corrupt frame of a random type (bit flip anywhere)
+          size_t at = stream.size();
+          AppendFrame(stream, static_cast<FrameType>(1 + rng.NextBelow(4)), rng.Next(),
+                      RandomPayload(rng, static_cast<size_t>(rng.NextBelow(60))));
+          size_t idx = at + static_cast<size_t>(rng.NextBelow(stream.size() - at));
+          stream[idx] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+          break;
+        }
+        case 5: {  // unknown frame type (header-corrupt, resynced past)
+          size_t at = stream.size();
+          AppendFrame(stream, FrameType::kReport, rng.Next(), RandomPayload(rng, 20));
+          stream[at + 5] = static_cast<uint8_t>(5 + rng.NextBelow(200));
+          break;
+        }
+        case 6:  // garbage run
+          for (int b = 0; b < 7; ++b) {
+            stream.push_back(static_cast<uint8_t>(rng.Next()));
+          }
+          break;
+        default: {  // torn frame (ack tails are header-only and tear too)
+          Bytes frame = rng.NextBool(0.5)
+                            ? EncodeAckFrame(rng.Next())
+                            : EncodeReportFrame(rng.Next(), RandomPayload(rng, 30));
+          frame.resize(1 + rng.NextBelow(frame.size() - 1));
+          stream.insert(stream.end(), frame.begin(), frame.end());
+          break;
+        }
+      }
+    }
+    size_t chunk = 1 + static_cast<size_t>(rng.NextBelow(48));
+    ExpectTypedDecoderMatchesReader(stream, chunk);
   }
 }
 
