@@ -7,6 +7,8 @@
 //                  per-report cost measured send -> ACK (durably spooled)
 //   * ingest     — shard + accumulate (in-memory) across shard counts
 //   * spool      — frame append to disk segments + recovery scan + replay
+//   * recovery   — session-journal replay vs. session count (what a restart
+//                  pays before the dedup registry can serve)
 //   * seal       — per-report vs batch cohort sealing (BatchSealReports
 //                  amortizes fixed-base mults and affine conversions)
 //   * drain      — framed reports -> sharded spool -> epoch cut -> shuffle
@@ -31,6 +33,7 @@
 #include "src/service/frontend.h"
 #include "src/service/ingest.h"
 #include "src/service/runtime.h"
+#include "src/service/session_journal.h"
 #include "src/service/spool.h"
 #include "src/service/wire.h"
 
@@ -197,6 +200,44 @@ void Run() {
              static_cast<double>(n) / replay_seconds);
   }
   fs::remove_all(spool_dir);
+
+  // ---- recovery: session-journal replay vs. session count ----
+  // What a restart pays before it can serve: replaying the commit log that
+  // backs exactly-once dedup.  One commit per session models the worst
+  // shape (no contiguity to sweep, maximal map churn); per-session cost
+  // should stay flat as the session count grows.
+  for (uint64_t sessions : {uint64_t{100}, uint64_t{1000}, uint64_t{10000}}) {
+    std::string journal_dir =
+        (fs::temp_directory_path() / "prochlo-bench-recovery").string();
+    fs::remove_all(journal_dir);
+    fs::create_directories(journal_dir);
+    SessionJournalConfig journal_config;
+    journal_config.path = journal_dir + "/sessions.journal";
+    journal_config.fsync_commits = false;
+    journal_config.compact_threshold_bytes = 0;  // keep every record: replay cost, not compaction
+    {
+      SessionJournal journal(journal_config);
+      journal.Open();
+      for (uint64_t s = 1; s <= sessions; ++s) {
+        journal.AppendCommit(s, /*watermark_after=*/1, /*seq=*/0);
+      }
+      journal.SyncUpTo(sessions);
+    }
+    SessionJournal reopened(journal_config);
+    t0 = std::chrono::steady_clock::now();
+    auto replayed = reopened.Open();
+    double replay_seconds = SecondsSince(t0);
+    if (replayed.ok() && replayed.value().live.size() == sessions) {
+      std::string label = "recovery/sessions=" + std::to_string(sessions);
+      table.AddRow({label, std::to_string(sessions), Seconds(replay_seconds),
+                    PerReport(replay_seconds, sessions)});
+      json.Add(label, sessions, 1e9 * replay_seconds / static_cast<double>(sessions),
+               static_cast<double>(sessions) / replay_seconds);
+    } else {
+      std::fprintf(stderr, "recovery stage: journal replay failed\n");
+    }
+    fs::remove_all(journal_dir);
+  }
 
   // ---- pool: concurrent accept via lock-free rings, workers x ring size ----
   // 4 producer threads enqueue the cohort; the grid shows where ring size

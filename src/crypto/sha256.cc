@@ -67,6 +67,7 @@ void Sha256::ProcessBlock(const uint8_t* block) {
 }
 
 void Sha256::Update(ByteSpan data) {
+  if (data.empty()) return;  // empty spans may carry a null data() — UB for memcpy
   total_bytes_ += data.size();
   size_t offset = 0;
   if (buffered_ > 0) {

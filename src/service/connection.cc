@@ -224,7 +224,26 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint1
 
 AckRegistry::Claim AckRegistry::TryClaim(uint64_t session_id, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
-  SessionState& session = sessions_[session_id];
+  if (tombstones_.count(session_id) != 0) {
+    // Evicted: the sparse state that could deduplicate this seq is gone.
+    // Admitting the claim would risk silent re-ingestion, so the client is
+    // told to start a fresh session instead.
+    return Claim::kSessionExpired;
+  }
+  if (seq == UINT64_MAX) {
+    // The last representable seq is rejected so the watermark can saturate
+    // at UINT64_MAX ("everything below is durable") without ever wrapping
+    // to 0 and forgetting the whole session.  A client this deep into the
+    // seq space must rotate sessions anyway.
+    return Claim::kSessionExpired;
+  }
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    EvictForAdmissionLocked();
+    it = sessions_.emplace(session_id, SessionState{}).first;
+  }
+  SessionState& session = it->second;
+  session.last_use = ++lru_clock_;
   if (session.Durable(seq)) {
     return Claim::kDuplicate;
   }
@@ -235,17 +254,118 @@ AckRegistry::Claim AckRegistry::TryClaim(uint64_t session_id, uint64_t seq) {
   return Claim::kNew;
 }
 
-void AckRegistry::Commit(uint64_t session_id, uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SessionState& session = sessions_[session_id];
-  session.pending.erase(seq);
-  session.sparse.insert(seq);
-  // Advance the watermark over any now-contiguous prefix, keeping the
-  // sparse set bounded by the out-of-order window.
-  while (!session.sparse.empty() && *session.sparse.begin() == session.contiguous) {
-    session.sparse.erase(session.sparse.begin());
-    session.contiguous++;
+void AckRegistry::EvictForAdmissionLocked() {
+  if (max_sessions_ == 0 || sessions_.size() < max_sessions_) {
+    return;
   }
+  // Evict the stalest idle session.  Sessions with in-flight claims are
+  // skipped: their done-completions will Commit/Release by id, and evicting
+  // underneath them would resurrect the session as a ghost.  The linear
+  // scan is fine — eviction runs once per admission past the cap, and the
+  // map is at most max_sessions_ big.
+  while (sessions_.size() >= max_sessions_) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (!it->second.pending.empty()) {
+        continue;
+      }
+      if (victim == sessions_.end() || it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) {
+      return;  // every session is mid-ingest; admit over the cap (rare, bounded)
+    }
+    uint64_t floor = victim->second.contiguous;
+    uint64_t victim_id = victim->first;
+    tombstones_[victim_id] = floor;
+    sessions_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      // Checkpoint the watermark in one record; the sparse set is dropped.
+      // No fsync barrier here: if the record is lost in a crash, replay
+      // reconstructs the session from its commit records as live — strictly
+      // safer than expired.
+      if (!journal_->AppendEvict(victim_id, floor).ok()) {
+        journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void AckRegistry::JournalCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq) {
+  if (journal_ == nullptr) {
+    return;
+  }
+  auto lsn = journal_->AppendCommit(session_id, watermark_after, seq);
+  if (!lsn.ok() || !journal_->SyncUpTo(lsn.value()).ok()) {
+    // Degraded mode: the report is already durably spooled, so the ACK must
+    // still go out — NACKing would guarantee a duplicate ingest on retry.
+    // What is lost is only the cross-restart dedup promise for this seq,
+    // and only if the ack ALSO fails to reach the client before a crash.
+    journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  MaybeCompact();
+}
+
+void AckRegistry::MaybeCompact() {
+  if (journal_ == nullptr || journal_->compact_threshold_bytes() == 0 ||
+      journal_->appended_bytes() < journal_->compact_threshold_bytes()) {
+    return;
+  }
+  // Snapshot under mu_ and compact while still holding it: any commit that
+  // updated memory before this point is inside the snapshot, and any append
+  // racing the rewrite lands in the new log on top of it (replay is
+  // idempotent), so no acknowledged state can fall between the two files.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_->appended_bytes() < journal_->compact_threshold_bytes()) {
+    return;  // another committer compacted while we waited
+  }
+  std::vector<SessionSnapshot> live;
+  live.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionSnapshot snapshot;
+    snapshot.session_id = id;
+    snapshot.watermark = session.contiguous;
+    snapshot.sparse.assign(session.sparse.begin(), session.sparse.end());
+    live.push_back(std::move(snapshot));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> evicted(tombstones_.begin(), tombstones_.end());
+  if (!journal_->Compact(live, evicted).ok()) {
+    journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AckRegistry::Commit(uint64_t session_id, uint64_t seq) {
+  uint64_t watermark_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      // The session vanished between the claim and the commit — a goodbye
+      // raced the in-flight ingest.  Recreating it here would leave a ghost
+      // session the client never hears about; the report itself is safely
+      // spooled either way.
+      return;
+    }
+    SessionState& session = it->second;
+    session.pending.erase(seq);
+    session.sparse.insert(seq);
+    // Advance the watermark over any now-contiguous prefix, keeping the
+    // sparse set bounded by the out-of-order window.  The advance saturates
+    // at UINT64_MAX — seq UINT64_MAX itself stays in the sparse set — so
+    // the watermark can never wrap back to 0 and forget the session.
+    while (!session.sparse.empty() && *session.sparse.begin() == session.contiguous &&
+           session.contiguous != UINT64_MAX) {
+      session.sparse.erase(session.sparse.begin());
+      session.contiguous++;
+    }
+    watermark_after = session.contiguous;
+  }
+  // Journal outside mu_: the append is serialized by the journal's own lock
+  // and the group-commit fsync must not stall other sessions' bookkeeping.
+  JournalCommit(session_id, watermark_after, seq);
 }
 
 void AckRegistry::Release(uint64_t session_id, uint64_t seq) {
@@ -253,6 +373,44 @@ void AckRegistry::Release(uint64_t session_id, uint64_t seq) {
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) {
     it->second.pending.erase(seq);
+  }
+}
+
+void AckRegistry::Terminate(uint64_t session_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(session_id);
+    tombstones_.erase(session_id);
+  }
+  if (journal_ != nullptr) {
+    auto lsn = journal_->AppendGoodbye(session_id);
+    if (!lsn.ok() || !journal_->SyncUpTo(lsn.value()).ok()) {
+      journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void AckRegistry::set_max_sessions(size_t max_sessions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_sessions_ = max_sessions;
+}
+
+void AckRegistry::AttachJournal(SessionJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+}
+
+void AckRegistry::RestoreFromRecovery(const JournalRecovery& recovery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& snapshot : recovery.live) {
+    SessionState session;
+    session.contiguous = snapshot.watermark;
+    session.sparse.insert(snapshot.sparse.begin(), snapshot.sparse.end());
+    session.last_use = ++lru_clock_;
+    sessions_[snapshot.session_id] = std::move(session);
+  }
+  for (const auto& [session_id, floor] : recovery.evicted) {
+    tombstones_[session_id] = floor;
   }
 }
 
@@ -265,6 +423,19 @@ bool AckRegistry::IsDurable(uint64_t session_id, uint64_t seq) const {
 size_t AckRegistry::sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+size_t AckRegistry::tombstones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tombstones_.size();
+}
+
+uint64_t AckRegistry::evictions() const {
+  return evictions_.load(std::memory_order_relaxed);
+}
+
+uint64_t AckRegistry::journal_append_failures() const {
+  return journal_append_failures_.load(std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ FrameConnection
@@ -345,7 +516,20 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
         std::lock_guard<std::mutex> lock(out_mu_);
         book_.nacked++;
       }
-      EnqueueResponse(EncodeNackFrame(seq, "report in flight; retry"));
+      EnqueueResponse(EncodeNackFrame(seq, NackReason::kInFlight, "report in flight; retry"));
+      return;
+    }
+    case AckRegistry::Claim::kSessionExpired: {
+      // The session's dedup state is gone (evicted/terminated) or its seq
+      // space is exhausted.  Retrying the same seq could re-ingest, so the
+      // client is told to re-hello under a fresh session id instead.
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.nacked++;
+        book_.expired_nacked++;
+      }
+      EnqueueResponse(EncodeSessionExpiredNackFrame(
+          seq, session, "session expired; re-hello with a fresh session"));
       return;
     }
     case AckRegistry::Claim::kNew:
@@ -373,7 +557,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
         std::lock_guard<std::mutex> lock(out_mu_);
         book_.nacked++;
       }
-      EnqueueResponse(EncodeNackFrame(seq, status.error().message));
+      EnqueueResponse(EncodeNackFrame(seq, NackReason::kRetryable, status.error().message));
     }
     std::lock_guard<std::mutex> lock(inflight_mu_);
     if (--inflight_ == 0) {
@@ -405,6 +589,21 @@ Status FrameConnection::HandleFrame(Frame frame) {
       }
       // Legacy ack-less hand-off: the caller's sink decides the pump's fate.
       return sink_(std::move(frame.payload));
+    case FrameType::kGoodbye:
+      // The fair-termination handshake: the client promises this session is
+      // complete and will never be reused, so every trace of its dedup
+      // state can be dropped.  Idempotent — a goodbye retry (the previous
+      // ack died with its connection) finds nothing to drop and is re-ACKed
+      // just the same.
+      if (helloed_) {
+        registry_->Terminate(session_id_);
+        {
+          std::lock_guard<std::mutex> lock(out_mu_);
+          book_.goodbyes_acked++;
+        }
+        EnqueueResponse(EncodeAckFrame(frame.seq));
+      }
+      return Status::Ok();
     case FrameType::kAck:
     case FrameType::kNack:
       // Client-bound frames arriving at a server: already counted in the
@@ -730,25 +929,24 @@ Status FrameClient::Connect(std::unique_ptr<ByteStream> stream) {
 }
 
 Status FrameClient::SendReport(Bytes sealed_report) {
+  // send_mu_ covers the seq assignment as well as the write: a session
+  // rotation on the reader thread renumbers outstanding_ under send_mu_,
+  // and a seq assigned on one side of that renumbering must not be written
+  // to the wire on the other side of it.
+  std::lock_guard<std::mutex> send(send_mu_);
   uint64_t seq = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    seq = next_seq_++;
-    stats_.sent++;
-  }
-  Bytes frame = EncodeReportFrame(seq, sealed_report);
+  Bytes frame;
+  ByteStream* stream = nullptr;
   {
     // The report is owned from this point even if the write below fails:
     // callers hand each report over exactly once, and the next Connect's
     // replay delivers whatever could not be written now.  (Encode first,
     // then move into the map — one copy, not two.)
     std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    stats_.sent++;
+    frame = EncodeReportFrame(seq, sealed_report);
     outstanding_.emplace(seq, std::move(sealed_report));  // retained until ACKed
-  }
-  std::lock_guard<std::mutex> send(send_mu_);
-  ByteStream* stream = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     if (connected_ && stream_ != nullptr) {
       stream = stream_.get();
     }
@@ -773,6 +971,41 @@ bool FrameClient::WaitForAcks(std::chrono::milliseconds timeout) {
 
 void FrameClient::Close() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  // A cleanly finished session (connected, nothing outstanding) offers the
+  // server a kGoodbye so it can drop this session's dedup state now rather
+  // than waiting out LRU eviction.  The wait below is best-effort: a lost
+  // goodbye (or its lost ack) costs nothing but server memory, and
+  // eviction remains the backstop.
+  bool sent_goodbye = false;
+  {
+    std::lock_guard<std::mutex> send(send_mu_);
+    Bytes frame;
+    ByteStream* raw = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stream_ != nullptr && connected_ && outstanding_.empty()) {
+        goodbye_pending_ = true;
+        goodbye_acked_ = false;
+        goodbye_seq_ = next_seq_++;
+        frame = EncodeGoodbyeFrame(goodbye_seq_);
+        raw = stream_.get();
+      }
+    }
+    if (raw != nullptr && raw->Write(frame).ok()) {
+      sent_goodbye = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.goodbyes_sent++;
+    }
+  }
+  if (sent_goodbye) {
+    std::unique_lock<std::mutex> lock(mu_);
+    acked_cv_.wait_for(lock, config_.goodbye_timeout,
+                       [&] { return goodbye_acked_ || !connected_; });
+    if (goodbye_acked_) {
+      stats_.goodbyes_acked++;
+    }
+    goodbye_pending_ = false;
+  }
   {
     std::lock_guard<std::mutex> send(send_mu_);
     std::lock_guard<std::mutex> lock(mu_);
@@ -804,6 +1037,80 @@ FrameClientStats FrameClient::stats() const {
   return stats_;
 }
 
+uint64_t FrameClient::session_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.session_id;
+}
+
+namespace {
+
+// SplitMix64: the default session rotator and the jitter mixer.  Full-period
+// and well-distributed, so rotated ids collide no more than random ones.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FrameClient::RotateSession(ByteStream* stream) {
+  // The server answered kSessionExpired: its dedup state for this session
+  // is gone, and resending old seqs could re-ingest.  Adopt a fresh session
+  // id, renumber everything outstanding from seq 0, and re-HELLO + replay
+  // on the same connection.  send_mu_ covers the renumbering AND the
+  // replay, so a concurrent SendReport can neither interleave a stale-seq
+  // write nor assign a seq on the wrong side of the renumbering.  Late ACKs
+  // from the old session cannot mis-match the new seqs: server responses
+  // are FIFO per connection, so every old-session response precedes the
+  // expired NACK that got us here.
+  std::lock_guard<std::mutex> send(send_mu_);
+  uint64_t new_session = 0;
+  std::vector<std::pair<uint64_t, Bytes>> replay;
+  ByteStream* current = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t old_session = config_.session_id;
+    new_session = config_.session_rotator ? config_.session_rotator(old_session)
+                                          : SplitMix64(old_session);
+    if (new_session == 0) {
+      new_session = 1;  // 0 is reserved ("no session")
+    }
+    config_.session_id = new_session;
+    std::map<uint64_t, Bytes> renumbered;
+    uint64_t next = 0;
+    for (auto& [seq, report] : outstanding_) {
+      renumbered.emplace(next++, std::move(report));
+    }
+    outstanding_ = std::move(renumbered);
+    next_seq_ = next;
+    stats_.session_rotations++;
+    nack_backoff_exponent_ = 0;
+    for (const auto& [seq, report] : outstanding_) {
+      replay.emplace_back(seq, report);
+    }
+    if (connected_ && stream_.get() == stream) {
+      current = stream_.get();
+    }
+  }
+  if (current == nullptr) {
+    return;  // disconnected; the next Connect re-HELLOs and replays anyway
+  }
+  if (!current->Write(EncodeHelloFrame(new_session)).ok()) {
+    MarkDisconnected();
+    return;
+  }
+  for (const auto& [seq, report] : replay) {
+    if (!current->Write(EncodeReportFrame(seq, report)).ok()) {
+      MarkDisconnected();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retransmitted++;
+  }
+}
+
 void FrameClient::ReaderLoop(ByteStream* stream) {
   StreamingFrameDecoder decoder;
   uint8_t buffer[4096];
@@ -816,6 +1123,8 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
     }
     frames.clear();
     nacked_seqs.clear();
+    bool session_expired = false;
+    bool ack_progress = false;
     decoder.Feed(ByteSpan(buffer, n.value()), frames);
     // Pass 1: process every ACK (and collect NACKs) before any retry
     // pause, so one batch of NACKs cannot head-of-line-block the acks that
@@ -827,23 +1136,74 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
         if (it != outstanding_.end()) {
           outstanding_.erase(it);
           stats_.acked++;
+          ack_progress = true;
+          acked_cv_.notify_all();
+        } else if (goodbye_pending_ && frame.seq == goodbye_seq_) {
+          goodbye_acked_ = true;
           acked_cv_.notify_all();
         }
       } else if (frame.type == FrameType::kNack) {
+        NackInfo info = ParseNackPayload(frame.payload);
         std::lock_guard<std::mutex> lock(mu_);
         stats_.nacked++;
-        nacked_seqs.push_back(frame.seq);
+        if (info.reason == NackReason::kSessionExpired) {
+          // Only a verdict about the CURRENT session triggers rotation.
+          // After a rotation, expired NACKs stamped with the previous id
+          // keep arriving (the server answers every old frame already in
+          // the pipe); rotating again on one of those would replay reports
+          // the new session has already committed — a duplicate ingest.
+          // An unstamped verdict (session_id 0: a server too old to stamp)
+          // rotates conservatively.
+          if (info.session_id == 0 || info.session_id == config_.session_id) {
+            session_expired = true;
+          }
+        } else {
+          // kRetryable and kInFlight both resend the same seq (after the
+          // backoff below); the distinction only matters for diagnostics.
+          nacked_seqs.push_back(frame.seq);
+        }
       }
       // Other frame types are server-bound: protocol noise, ignore.
+    }
+    if (ack_progress) {
+      std::lock_guard<std::mutex> lock(mu_);
+      nack_backoff_exponent_ = 0;  // the server is making progress again
+    }
+    if (session_expired) {
+      // Everything outstanding is replayed under a fresh session; retrying
+      // old seqs from this batch would only draw more expired NACKs.
+      RotateSession(stream);
+      continue;
     }
     if (nacked_seqs.empty()) {
       continue;
     }
-    // NACKed reports are retried on the same connection after ONE brief
-    // pause for the whole batch (an in-flight duplicate race resolves once
-    // the original's spool append lands).  A resend that fails marks the
+    // NACKed reports are retried on the same connection after ONE pause for
+    // the whole batch.  The pause grows exponentially across consecutive
+    // NACKed batches (a recovering spool shouldn't be hammered at line
+    // rate) and carries seeded jitter so a fleet of clients desynchronizes;
+    // any ACK progress resets it to the base delay, which alone absorbs the
+    // transient in-flight duplicate race.  A resend that fails marks the
     // connection dead; the next Connect replays the reports anyway.
-    std::this_thread::sleep_for(config_.nack_retry_delay);
+    std::chrono::milliseconds delay;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t base = static_cast<uint64_t>(config_.nack_retry_delay.count());
+      const uint64_t cap = static_cast<uint64_t>(config_.nack_retry_max_delay.count());
+      uint64_t scaled = base << std::min<uint32_t>(nack_backoff_exponent_, 20);
+      if (nack_backoff_exponent_ < 20) {
+        nack_backoff_exponent_++;
+      }
+      if (jitter_state_ == 0) {
+        jitter_state_ = SplitMix64(config_.nack_retry_jitter_seed) | 1;
+      }
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 7;
+      jitter_state_ ^= jitter_state_ << 17;
+      uint64_t jitter = base > 0 ? jitter_state_ % (base + 1) : 0;
+      delay = std::chrono::milliseconds(std::min(cap, scaled) + jitter);
+    }
+    std::this_thread::sleep_for(delay);
     for (uint64_t seq : nacked_seqs) {
       Bytes report;
       {

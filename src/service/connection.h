@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/service/session_journal.h"
 #include "src/service/wire.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -109,39 +110,95 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint1
 //                          └──Release──► absent (ingest failed; retryable)
 // Durable seqs are kept as a contiguous watermark plus a sparse overflow
 // set, so per-session memory stays O(out-of-order window), not O(reports).
-// The session map itself is unbounded and ids are client-chosen, so a
-// churning (or hostile) client population grows it monotonically —
-// bounding it requires an eviction policy whose correctness cost (an
-// evicted session's retries re-ingest as duplicates) belongs with the
-// cross-restart dedup design in the ROADMAP's multi-process item.
+//
+// The session map itself is bounded two ways.  Cooperatively: a client that
+// finished a session sends kGoodbye, and Terminate drops every trace of it.
+// Coercively: with max_sessions set, admitting a new session past the cap
+// LRU-evicts the stalest idle session (never one with in-flight claims) —
+// its watermark is checkpointed into a single evict record and the session
+// moves to a tombstone, so later claims on it get kSessionExpired instead
+// of silently re-ingesting what the dropped sparse state can no longer
+// deduplicate.  The correctness cost is honest and visible: an evicted
+// session's durable-but-unacked reports come back under a fresh session and
+// ingest again, so the cap should comfortably exceed the live client count.
+//
+// With a SessionJournal attached, every state change that an ACK promises
+// (commit, evict, goodbye) is journaled — and Commit group-commit-fsyncs —
+// before the caller acknowledges, so a restarted server re-ACKs duplicates
+// instead of re-ingesting them.  A journal append failure degrades rather
+// than blocks: the commit stands in memory, the ACK still goes out (the
+// report IS durably spooled; NACKing it would guarantee a duplicate), and
+// journal_append_failures() records that cross-restart dedup for that seq
+// is no longer promised.
 class AckRegistry {
  public:
   enum class Claim {
     kNew,        // claimed: caller must Commit (→ ACK) or Release (→ NACK)
     kInFlight,   // another connection's ingest of this seq has not resolved
     kDuplicate,  // already durable: suppress, re-ACK without re-ingesting
+    // The server no longer holds (or will never hold) dedup state for this
+    // session: LRU-evicted, terminated by goodbye... or the seq space
+    // saturated (seq == UINT64_MAX is rejected so the watermark can never
+    // wrap).  The client must re-hello with a fresh session id.
+    kSessionExpired,
   };
 
   Claim TryClaim(uint64_t session_id, uint64_t seq);
   void Commit(uint64_t session_id, uint64_t seq);
   void Release(uint64_t session_id, uint64_t seq);
 
+  // The kGoodbye handshake: journals the termination and drops the
+  // session's entire state — watermark, sparse set, tombstone, everything.
+  // Idempotent; unknown sessions are a no-op (the ACK still goes out).
+  void Terminate(uint64_t session_id);
+
+  // 0 = unbounded.  Takes effect on the next admission; shrinking the cap
+  // does not evict retroactively.
+  void set_max_sessions(size_t max_sessions);
+
+  // Durable dedup plumbing (see the class comment).  AttachJournal borrows;
+  // RestoreFromRecovery seeds sessions and tombstones from a replayed
+  // journal — call both before serving connections.
+  void AttachJournal(SessionJournal* journal);
+  void RestoreFromRecovery(const JournalRecovery& recovery);
+
   bool IsDurable(uint64_t session_id, uint64_t seq) const;
   size_t sessions() const;
+  size_t tombstones() const;
+  uint64_t evictions() const;
+  uint64_t journal_append_failures() const;
 
  private:
   struct SessionState {
     uint64_t contiguous = 0;    // every seq < contiguous is durable
     std::set<uint64_t> sparse;  // durable seqs >= contiguous
     std::set<uint64_t> pending;
+    uint64_t last_use = 0;      // LRU clock value of the latest claim
 
     bool Durable(uint64_t seq) const {
       return seq < contiguous || sparse.count(seq) != 0;
     }
   };
 
+  // Requires mu_.  Evicts idle sessions (empty pending) in LRU order until
+  // the map fits the cap, journaling each eviction's watermark floor.
+  void EvictForAdmissionLocked();
+  // Journals + group-commits one record outside mu_; failures degrade into
+  // journal_append_failures_.
+  void JournalCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq);
+  void MaybeCompact();
+
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, SessionState> sessions_;
+  // Evicted sessions: id -> checkpointed watermark floor.  Claims on these
+  // answer kSessionExpired.  Entries are small (16 bytes) and dropped by a
+  // goodbye; they are the price of never silently re-ingesting.
+  std::unordered_map<uint64_t, uint64_t> tombstones_;
+  size_t max_sessions_ = 0;  // 0 = unbounded
+  uint64_t lru_clock_ = 0;
+  SessionJournal* journal_ = nullptr;  // borrowed; null = memory-only dedup
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> journal_append_failures_{0};
 };
 
 // One connection's acknowledgment ledger.  The balance invariant the
@@ -153,6 +210,13 @@ struct ConnectionAckBook {
   uint64_t acked = 0;                  // first-time durable ingests ACKed
   uint64_t nacked = 0;                 // ingest failures / in-flight races NACKed
   uint64_t duplicates_suppressed = 0;  // retries of durable seqs re-ACKed
+  // Of `nacked`, how many told the client its session state is gone
+  // (kSessionExpired: evicted, terminated, or seq space saturated).
+  uint64_t expired_nacked = 0;
+  // kGoodbye frames acknowledged.  Kept outside the report balance: the
+  // invariant frames_report == acked + nacked + duplicates_suppressed
+  // still holds exactly.
+  uint64_t goodbyes_acked = 0;
   // Responses that could not be written (the connection died first).  The
   // report's fate is unchanged — a lost ACK's report is still durable, and
   // the client's retry will be suppressed as a duplicate.
@@ -162,6 +226,8 @@ struct ConnectionAckBook {
     acked += other.acked;
     nacked += other.nacked;
     duplicates_suppressed += other.duplicates_suppressed;
+    expired_nacked += other.expired_nacked;
+    goodbyes_acked += other.goodbyes_acked;
     response_write_failures += other.response_write_failures;
   }
 };
@@ -347,9 +413,23 @@ struct FrameClientConfig {
   // and get fresh reports wrongly suppressed as duplicates.  0 is reserved
   // ("no session"); Connect rejects it.
   uint64_t session_id = 0;
-  // Pause before resending a NACKed report: absorbs the transient window
-  // where a retry races the previous connection's still-in-flight ingest.
+  // Base pause before resending a NACKed batch.  Successive NACKed batches
+  // back off exponentially (delay << exponent, capped below) with seeded
+  // jitter of up to one base delay, so a fleet of clients hammering a
+  // recovering spool spreads out instead of retrying in lockstep.  Any ACK
+  // progress resets the exponent.
   std::chrono::milliseconds nack_retry_delay{1};
+  std::chrono::milliseconds nack_retry_max_delay{64};
+  // Seeds the deterministic jitter stream (tests pin exact schedules).
+  uint64_t nack_retry_jitter_seed = 1;
+  // Maps the current session id to its successor when the server answers
+  // kSessionExpired (the old id's dedup state is gone, so the client must
+  // start over under a fresh identity).  Null = splitmix64 of the old id.
+  std::function<uint64_t(uint64_t)> session_rotator;
+  // How long Close() waits for the server to acknowledge the kGoodbye
+  // before giving up and closing anyway (the server's LRU eviction is the
+  // backstop for lost goodbyes).
+  std::chrono::milliseconds goodbye_timeout{250};
 };
 
 struct FrameClientStats {
@@ -357,6 +437,9 @@ struct FrameClientStats {
   uint64_t retransmitted = 0;  // resends (reconnect replay or NACK retry)
   uint64_t acked = 0;          // unique seqs confirmed durable
   uint64_t nacked = 0;         // NACK responses received
+  uint64_t session_rotations = 0;  // kSessionExpired re-hellos
+  uint64_t goodbyes_sent = 0;      // graceful terminations offered
+  uint64_t goodbyes_acked = 0;     // ...and confirmed by the server
 };
 
 // The client half of the retry contract: assigns each report a sequence
@@ -390,19 +473,25 @@ class FrameClient {
   // connection dies / the timeout expires (false; Connect again to retry).
   bool WaitForAcks(std::chrono::milliseconds timeout);
 
-  // Graceful goodbye: half-closes the write side, waits for the server to
-  // finish responding and close, and joins the reader.
+  // Graceful termination: when nothing is outstanding, offers the server a
+  // kGoodbye (briefly awaiting its ACK, so the server can free this
+  // session's dedup state), then half-closes the write side, waits for the
+  // server to finish responding and close, and joins the reader.
   void Close();
 
   bool connected() const;
   size_t outstanding() const;
   FrameClientStats stats() const;
-  uint64_t session_id() const { return config_.session_id; }
+  uint64_t session_id() const;
 
  private:
   void ReaderLoop(ByteStream* stream);
   void StopReaderLocked();  // requires lifecycle_mu_
   void MarkDisconnected();
+  // Handles a kSessionExpired NACK: adopts a fresh session id, renumbers
+  // every outstanding report from seq 0, and re-HELLOs + replays on the
+  // current connection.  Runs on the reader thread.
+  void RotateSession(ByteStream* stream);
 
   FrameClientConfig config_;
 
@@ -423,6 +512,13 @@ class FrameClient {
   uint64_t next_seq_ = 0;
   std::map<uint64_t, Bytes> outstanding_;  // seq -> sealed report
   FrameClientStats stats_;
+  // NACK backoff state (reader thread only touches these under mu_).
+  uint32_t nack_backoff_exponent_ = 0;
+  uint64_t jitter_state_ = 0;  // seeded xorshift; 0 = not yet seeded
+  // Goodbye handshake state for Close().
+  bool goodbye_pending_ = false;
+  uint64_t goodbye_seq_ = 0;
+  bool goodbye_acked_ = false;
 };
 
 }  // namespace prochlo

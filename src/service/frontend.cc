@@ -1,6 +1,9 @@
 #include "src/service/frontend.h"
 
+#include <thread>
+
 #include "src/crypto/sha256.h"
+#include "src/service/connection.h"
 #include "src/util/serialization.h"
 
 namespace prochlo {
@@ -56,6 +59,7 @@ ShufflerFrontend::ShufflerFrontend(FrontendConfig config)
     SpoolConfig spool_config;
     spool_config.root = config_.spool_dir;
     spool_config.fsync_on_seal = config_.fsync_spool;
+    spool_config.fs = config_.fs;
     spool_ = std::make_unique<Spool>(spool_config);
   }
   ingest_ = std::make_unique<ShardedIngest>(config_.ingest, spool_.get());
@@ -75,8 +79,37 @@ Status ShufflerFrontend::Start() {
     }
     stats_.recovered_truncated_bytes += recovery.value().truncated_bytes;
     ingest_->RestoreFromRecovery(recovery.value());
+
+    // The session journal lives inside the spool directory (just created
+    // above) and shares the spool's durability knobs: the same fsync policy
+    // and the same injectable filesystem.
+    SessionJournalConfig journal_config;
+    journal_config.path = config_.spool_dir + "/sessions.journal";
+    journal_config.fsync_commits = config_.fsync_spool;
+    journal_config.fs = config_.fs;
+    journal_ = std::make_unique<SessionJournal>(journal_config);
+    auto replayed = journal_->Open();
+    if (!replayed.ok()) {
+      return replayed.error();
+    }
+    journal_recovery_ = std::move(replayed).value();
+    stats_.recovered_sessions += journal_recovery_.live.size();
+    stats_.recovered_session_records += journal_recovery_.records;
   }
   started_ = true;
+  return Status::Ok();
+}
+
+Status ShufflerFrontend::BindAckRegistry(AckRegistry* registry) {
+  if (!started_) {
+    return Error{"frontend: Start() must succeed before BindAckRegistry"};
+  }
+  registry->set_max_sessions(config_.max_sessions);
+  if (journal_ != nullptr) {
+    // Restore before attach: replayed records must not be re-journaled.
+    registry->RestoreFromRecovery(journal_recovery_);
+    registry->AttachJournal(journal_.get());
+  }
   return Status::Ok();
 }
 
@@ -183,7 +216,18 @@ DrainReport ShufflerFrontend::DrainSealedEpochs() {
     }
     epoch_result.result = std::move(run).value();
     if (spool_ != nullptr && config_.remove_drained_epochs) {
+      // Transient unlink failures (a scanner pinning the directory, EMFILE
+      // pressure) usually clear quickly, and a leaked epoch replays as a
+      // duplicate after restart — worth a couple of bounded retries before
+      // conceding.  The spool keeps failed segments tracked, so each retry
+      // re-attempts exactly the files still on disk.
       Status removed = spool_->RemoveEpoch(batch->epoch);
+      for (uint32_t attempt = 1; !removed.ok() && attempt < config_.remove_retry_attempts;
+           ++attempt) {
+        stats_.remove_retries++;
+        std::this_thread::sleep_for(config_.remove_retry_delay);
+        removed = spool_->RemoveEpoch(batch->epoch);
+      }
       if (!removed.ok()) {
         // The epoch's reports are safe (already drained into the result);
         // what leaked is disk space plus a restart replaying the epoch as a

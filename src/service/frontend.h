@@ -27,17 +27,22 @@
 #define PROCHLO_SRC_SERVICE_FRONTEND_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/service/fs.h"
 #include "src/service/ingest.h"
+#include "src/service/session_journal.h"
 #include "src/service/spool.h"
 #include "src/service/wire.h"
 
 namespace prochlo {
+
+class AckRegistry;
 
 struct FrontendConfig {
   PipelineConfig pipeline;
@@ -47,6 +52,20 @@ struct FrontendConfig {
   bool fsync_spool = true;
   // Delete an epoch's segments once drained (keep for audit if false).
   bool remove_drained_epochs = true;
+  // Bound on live AckRegistry sessions when BindAckRegistry wires one up
+  // (0 = unbounded).  Past the cap, the stalest idle session is LRU-evicted
+  // with its watermark checkpointed to the session journal.
+  size_t max_sessions = 0;
+  // Injectable filesystem seam shared by the spool and the session journal
+  // (disk-fault suites drive short writes / EIO / ENOSPC / crash-at-k
+  // through it).  Null = the real filesystem.
+  Fs* fs = nullptr;
+  // Post-drain RemoveEpoch failures are retried this many times total, with
+  // this pause between attempts, before the leak is surfaced in
+  // stats().remove_failures.  Transient failures (e.g. a scanner holding
+  // the directory) usually clear within one retry.
+  uint32_t remove_retry_attempts = 3;
+  std::chrono::milliseconds remove_retry_delay{2};
   // Fault injection for the drain/retry tests: fail the pipeline run of
   // `epoch` the first `times` times it is attempted, exactly where a real
   // shuffle/analyze failure lands.  Production configs leave this unset.
@@ -67,11 +86,18 @@ struct FrontendStats {
   std::atomic<uint64_t> epochs_drained{0};
   std::atomic<uint64_t> recovered_reports{0};   // replayed from the spool at Start()
   std::atomic<uint64_t> recovered_truncated_bytes{0};  // torn tails discarded
-  // Post-drain spool cleanups (RemoveEpoch) that failed.  The epoch's
-  // reports are NOT lost — they were already drained into a result — but
-  // its segments linger on disk and would be replayed as a duplicate epoch
-  // after a restart, so the leak must be visible.
+  // Post-drain spool cleanups (RemoveEpoch) that failed even after the
+  // configured retries.  The epoch's reports are NOT lost — they were
+  // already drained into a result — but its segments linger on disk and
+  // would be replayed as a duplicate epoch after a restart, so the leak
+  // must be visible.
   std::atomic<uint64_t> remove_failures{0};
+  // RemoveEpoch retry attempts that were needed (transient failures).
+  std::atomic<uint64_t> remove_retries{0};
+  // Session-journal recovery: live sessions restored and records replayed
+  // at Start().
+  std::atomic<uint64_t> recovered_sessions{0};
+  std::atomic<uint64_t> recovered_session_records{0};
   // Acknowledgment-protocol books, mirrored from every finished
   // connection's ConnectionAckBook by FrameServer::BindFrontendStats.  An
   // ack is sent only after the report's durable spool append, so
@@ -114,8 +140,20 @@ class ShufflerFrontend {
 
   // Opens the spool (creating/recovering it) and readies ingestion.  After
   // a crash, sealed epochs re-enter the drain queue and the newest unsealed
-  // epoch resumes accumulating exactly where its durable frames end.
+  // epoch resumes accumulating exactly where its durable frames end.  With
+  // a spool_dir, also opens and replays <spool_dir>/sessions.journal — the
+  // durable half of the exactly-once dedup contract.
   Status Start();
+
+  // Wires an AckRegistry (typically FrameServer::registry()) to this
+  // frontend's durable session state: applies config.max_sessions, seeds
+  // the registry with the sessions recovered at Start(), and attaches the
+  // journal so commits/evictions/goodbyes are made durable before they are
+  // acknowledged.  Call after Start() and before serving connections.
+  Status BindAckRegistry(AckRegistry* registry);
+
+  // The session journal, or null (in-memory mode / before Start).
+  SessionJournal* session_journal() { return journal_.get(); }
 
   // Encoder bound to this frontend's pipeline keys, for clients.
   Encoder MakeEncoder() const { return pipeline_.MakeEncoder(); }
@@ -171,6 +209,8 @@ class ShufflerFrontend {
   Pipeline pipeline_;
   std::unique_ptr<Spool> spool_;          // null in in-memory mode
   std::unique_ptr<ShardedIngest> ingest_;
+  std::unique_ptr<SessionJournal> journal_;  // null in in-memory mode
+  JournalRecovery journal_recovery_;         // held for BindAckRegistry
   FrontendStats stats_;
   bool started_ = false;
   uint32_t injected_drain_failures_ = 0;  // fault-injection bookkeeping

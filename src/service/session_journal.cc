@@ -1,0 +1,372 @@
+#include "src/service/session_journal.h"
+
+#include <fcntl.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/service/wire.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+namespace {
+
+// First payload byte of every journal record.
+enum RecordKind : uint8_t {
+  kCommitRecord = 1,
+  kEvictRecord = 2,
+  kGoodbyeRecord = 3,
+  kSnapshotRecord = 4,
+};
+
+Bytes EncodeCommitRecord(uint64_t session_id, uint64_t watermark_after, uint64_t seq) {
+  Writer w;
+  w.PutU8(kCommitRecord);
+  w.PutU64(session_id);
+  w.PutU64(watermark_after);
+  w.PutU64(seq);
+  return w.Take();
+}
+
+Bytes EncodeEvictRecord(uint64_t session_id, uint64_t floor) {
+  Writer w;
+  w.PutU8(kEvictRecord);
+  w.PutU64(session_id);
+  w.PutU64(floor);
+  return w.Take();
+}
+
+Bytes EncodeGoodbyeRecord(uint64_t session_id) {
+  Writer w;
+  w.PutU8(kGoodbyeRecord);
+  w.PutU64(session_id);
+  return w.Take();
+}
+
+Bytes EncodeSnapshotRecord(const SessionSnapshot& snapshot) {
+  Writer w;
+  w.PutU8(kSnapshotRecord);
+  w.PutU64(snapshot.session_id);
+  w.PutU64(snapshot.watermark);
+  w.PutU32(static_cast<uint32_t>(snapshot.sparse.size()));
+  for (uint64_t seq : snapshot.sparse) {
+    w.PutU64(seq);
+  }
+  return w.Take();
+}
+
+// Replay state for one session while scanning the log.
+struct ReplaySession {
+  uint64_t watermark = 0;
+  std::set<uint64_t> sparse;
+  bool evicted = false;
+  uint64_t floor = 0;
+};
+
+// Applies one decoded record.  Unknown kinds are skipped (forward
+// compatibility: an older binary replaying a newer log must not lose the
+// records it does understand).
+void ApplyRecord(ByteSpan payload, std::map<uint64_t, ReplaySession>& sessions,
+                 uint64_t* applied) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  uint64_t session_id = 0;
+  if (!r.GetU8(&kind) || !r.GetU64(&session_id)) {
+    return;
+  }
+  switch (kind) {
+    case kCommitRecord: {
+      uint64_t watermark_after = 0;
+      uint64_t seq = 0;
+      if (!r.GetU64(&watermark_after) || !r.GetU64(&seq)) {
+        return;
+      }
+      ReplaySession& s = sessions[session_id];
+      s.evicted = false;
+      s.watermark = std::max(s.watermark, watermark_after);
+      if (seq >= s.watermark) {
+        s.sparse.insert(seq);
+      }
+      // Mirror the registry's advance: the sparse set stays the
+      // out-of-order window above the watermark.
+      while (!s.sparse.empty() && *s.sparse.begin() < s.watermark) {
+        s.sparse.erase(s.sparse.begin());
+      }
+      while (!s.sparse.empty() && *s.sparse.begin() == s.watermark) {
+        s.sparse.erase(s.sparse.begin());
+        s.watermark++;
+      }
+      (*applied)++;
+      return;
+    }
+    case kEvictRecord: {
+      uint64_t floor = 0;
+      if (!r.GetU64(&floor)) {
+        return;
+      }
+      ReplaySession& s = sessions[session_id];
+      s.evicted = true;
+      s.floor = floor;
+      s.sparse.clear();
+      (*applied)++;
+      return;
+    }
+    case kGoodbyeRecord: {
+      sessions.erase(session_id);
+      (*applied)++;
+      return;
+    }
+    case kSnapshotRecord: {
+      uint64_t watermark = 0;
+      uint32_t count = 0;
+      if (!r.GetU64(&watermark) || !r.GetU32(&count)) {
+        return;
+      }
+      ReplaySession s;
+      s.watermark = watermark;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t seq = 0;
+        if (!r.GetU64(&seq)) {
+          return;
+        }
+        s.sparse.insert(seq);
+      }
+      sessions[session_id] = std::move(s);
+      (*applied)++;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+SessionJournal::SessionJournal(SessionJournalConfig config)
+    : config_(std::move(config)), fs_(config_.fs != nullptr ? config_.fs : Fs::Real()) {}
+
+SessionJournal::~SessionJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    fs_->Close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<JournalRecovery> SessionJournal::Open() {
+  // Lock order is sync_mu_ > mu_ everywhere (SyncUpTo leader, Compact);
+  // Open runs before any appender exists, but keeps the same order so the
+  // lock graph stays acyclic.
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    return Error{"session journal: already open"};
+  }
+  // A crash mid-compaction can leave the temp file behind; the rename never
+  // happened, so the main log is authoritative and the temp is garbage.
+  Status removed = fs_->Remove(config_.path + ".new");
+  if (!removed.ok()) {
+    return removed.error();
+  }
+
+  JournalRecovery recovery;
+  Bytes log;
+  if (std::FILE* f = std::fopen(config_.path.c_str(), "rb")) {
+    uint8_t buffer[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      log.insert(log.end(), buffer, buffer + got);
+    }
+    std::fclose(f);
+  }
+
+  std::map<uint64_t, ReplaySession> sessions;
+  FrameReader reader(log);
+  while (auto payload = reader.Next()) {
+    ApplyRecord(*payload, sessions, &recovery.records);
+  }
+  // Same discipline as segment recovery: everything past the first tear is
+  // suspect; truncating restores the append-only invariant for new records.
+  uint64_t clean_end = reader.clean_prefix_end();
+  if (clean_end < log.size()) {
+    recovery.truncated_bytes = log.size() - clean_end;
+    Status truncated = fs_->Truncate(config_.path, clean_end);
+    if (!truncated.ok()) {
+      return truncated.error();
+    }
+  }
+
+  for (auto& [session_id, s] : sessions) {
+    if (s.evicted) {
+      recovery.evicted.emplace_back(session_id, s.floor);
+    } else {
+      SessionSnapshot snapshot;
+      snapshot.session_id = session_id;
+      snapshot.watermark = s.watermark;
+      snapshot.sparse.assign(s.sparse.begin(), s.sparse.end());
+      recovery.live.push_back(std::move(snapshot));
+    }
+  }
+
+  auto fd = fs_->Open(config_.path, O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  fd_ = fd.value();
+  bytes_ = clean_end;
+  next_lsn_ = recovery.records + 1;
+  synced_lsn_ = recovery.records;  // recovered records are the baseline
+  return recovery;
+}
+
+Status SessionJournal::WriteAll(int fd, ByteSpan data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    auto n = fs_->Write(fd, data.subspan(done));
+    if (!n.ok()) {
+      return n.error();
+    }
+    if (n.value() == 0) {
+      return Error{"session journal: write made no progress"};
+    }
+    done += n.value();
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> SessionJournal::AppendRecord(ByteSpan payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    return Error{"session journal: not open"};
+  }
+  if (broken_) {
+    return Error{"session journal: wedged by an earlier unrollable append failure"};
+  }
+  Bytes frame;
+  AppendFrame(frame, payload);
+  Status written = WriteAll(fd_, frame);
+  if (!written.ok()) {
+    // Roll the torn record back so the log stays a clean frame sequence; if
+    // even the truncate fails the journal wedges and later appends fail
+    // fast (the ack path counts the degradation instead of blocking).
+    if (!fs_->Truncate(config_.path, bytes_).ok()) {
+      broken_ = true;
+    }
+    return written.error();
+  }
+  bytes_ += frame.size();
+  return next_lsn_++;
+}
+
+Result<uint64_t> SessionJournal::AppendCommit(uint64_t session_id, uint64_t watermark_after,
+                                              uint64_t seq) {
+  return AppendRecord(EncodeCommitRecord(session_id, watermark_after, seq));
+}
+
+Result<uint64_t> SessionJournal::AppendEvict(uint64_t session_id, uint64_t floor) {
+  return AppendRecord(EncodeEvictRecord(session_id, floor));
+}
+
+Result<uint64_t> SessionJournal::AppendGoodbye(uint64_t session_id) {
+  return AppendRecord(EncodeGoodbyeRecord(session_id));
+}
+
+Status SessionJournal::SyncUpTo(uint64_t lsn) {
+  if (!config_.fsync_commits) {
+    return Status::Ok();  // buffered-write durability (process-kill safe)
+  }
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    if (synced_lsn_ >= lsn) {
+      return Status::Ok();
+    }
+    if (!sync_inflight_) {
+      // Become the leader: fsync once for every record that has landed,
+      // covering all the committers waiting behind us.
+      sync_inflight_ = true;
+      uint64_t target = 0;
+      int fd = -1;
+      {
+        std::lock_guard<std::mutex> append_lock(mu_);
+        target = next_lsn_ - 1;
+        fd = fd_;
+      }
+      lock.unlock();
+      Status synced = fd >= 0 ? fs_->Sync(fd) : Status(Error{"session journal: not open"});
+      lock.lock();
+      sync_inflight_ = false;
+      if (synced.ok()) {
+        synced_lsn_ = std::max(synced_lsn_, target);
+      }
+      sync_cv_.notify_all();
+      if (!synced.ok()) {
+        return synced;
+      }
+      continue;  // re-check: our lsn is covered by the fsync we just led
+    }
+    sync_cv_.wait(lock);
+  }
+}
+
+Status SessionJournal::Compact(const std::vector<SessionSnapshot>& live,
+                               const std::vector<std::pair<uint64_t, uint64_t>>& evicted) {
+  // Quiesce the group-commit machinery, then the appenders: lock order is
+  // sync_mu_ > mu_, matching SyncUpTo's leader path.
+  std::unique_lock<std::mutex> sync_lock(sync_mu_);
+  sync_cv_.wait(sync_lock, [&] { return !sync_inflight_; });
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    return Error{"session journal: not open"};
+  }
+
+  const std::string tmp = config_.path + ".new";
+  auto tmp_fd = fs_->Open(tmp, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (!tmp_fd.ok()) {
+    return tmp_fd.error();
+  }
+  Bytes contents;
+  for (const auto& snapshot : live) {
+    AppendFrame(contents, EncodeSnapshotRecord(snapshot));
+  }
+  for (const auto& [session_id, floor] : evicted) {
+    AppendFrame(contents, EncodeEvictRecord(session_id, floor));
+  }
+  Status result = WriteAll(tmp_fd.value(), contents);
+  if (result.ok() && config_.fsync_commits) {
+    result = fs_->Sync(tmp_fd.value());
+  }
+  fs_->Close(tmp_fd.value());
+  if (result.ok()) {
+    // The atomic commit point: before it the old log is authoritative,
+    // after it the snapshot is.  A crash in between leaves one or the
+    // other, never a blend.
+    result = fs_->Rename(tmp, config_.path);
+  }
+  if (!result.ok()) {
+    fs_->Remove(tmp);  // best effort; Open also clears stale temps
+    return result;
+  }
+
+  fs_->Close(fd_);
+  fd_ = -1;
+  auto fd = fs_->Open(config_.path, O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (!fd.ok()) {
+    broken_ = true;  // snapshot is durable, but new appends have nowhere to go
+    return fd.error();
+  }
+  fd_ = fd.value();
+  bytes_ = contents.size();
+  broken_ = false;
+  synced_lsn_ = next_lsn_ - 1;  // everything up to now lives in the snapshot
+  return Status::Ok();
+}
+
+uint64_t SessionJournal::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,135 @@
+// The durable half of the exactly-once retry contract: a group-committed,
+// CRC-framed journal of AckRegistry state changes, living inside the spool
+// directory.
+//
+//   <spool root>/sessions.journal        wire-v2 frames, one record each
+//   <spool root>/sessions.journal.new    in-progress compaction (stale copies
+//                                        are removed at Open)
+//
+// Each record is an ordinary wire frame (the same CRC framing as spool
+// segments) whose payload encodes one of:
+//
+//   commit   (session, watermark_after, seq)   a seq became durable
+//   evict    (session, floor)                  session LRU-evicted; its
+//                                              watermark compacted to one
+//                                              record, sparse state dropped
+//   goodbye  (session)                         session terminated by the
+//                                              client's kGoodbye handshake;
+//                                              every trace is dropped
+//   snapshot (session, watermark, sparse[])    full per-session state, the
+//                                              unit of compaction rewrites
+//
+// Durability discipline mirrors the spool's segments: appends are buffered
+// writes; SyncUpTo is the group-commit barrier the ack path waits on (one
+// leader fsyncs on behalf of every committer that raced in — concurrent
+// ingest workers share one fsync); reopen scans with FrameReader and
+// truncates the torn tail at clean_prefix_end.  Compaction writes a full
+// snapshot to `.new`, fsyncs it, and renames over the log — the rename is
+// the atomic commit point, so a crash mid-compaction leaves either the old
+// log (plus a stale `.new` that Open removes) or the new one, never a blend.
+//
+// All write-side syscalls route through the injectable Fs seam, so the
+// disk-fault suites can drive short writes, fsync EIO, ENOSPC, and
+// crash-at-syscall-k schedules through exactly the production code.
+#ifndef PROCHLO_SRC_SERVICE_SESSION_JOURNAL_H_
+#define PROCHLO_SRC_SERVICE_SESSION_JOURNAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/service/fs.h"
+#include "src/util/status.h"
+
+namespace prochlo {
+
+struct SessionJournalConfig {
+  std::string path;  // the journal file; ".new" is appended for compaction
+  // Group-commit fsync before SyncUpTo returns (false = buffered writes
+  // only: survives a process kill, not a power loss — the benches' mode).
+  bool fsync_commits = true;
+  // Rewrite the log as snapshots once it exceeds this many bytes (0 = never).
+  uint64_t compact_threshold_bytes = 1 << 20;
+  Fs* fs = nullptr;  // injectable; null = Fs::Real()
+};
+
+// Full per-session durable state, as recovered and as compacted.
+struct SessionSnapshot {
+  uint64_t session_id = 0;
+  uint64_t watermark = 0;            // every seq < watermark is durable
+  std::vector<uint64_t> sparse;      // durable seqs >= watermark
+};
+
+struct JournalRecovery {
+  std::vector<SessionSnapshot> live;
+  // Evicted sessions: id -> checkpointed floor.  Reports on these get the
+  // kSessionExpired NACK instead of risking re-ingestion.
+  std::vector<std::pair<uint64_t, uint64_t>> evicted;
+  uint64_t records = 0;          // records replayed
+  uint64_t truncated_bytes = 0;  // torn tail removed at the end of the log
+};
+
+class SessionJournal {
+ public:
+  explicit SessionJournal(SessionJournalConfig config);
+  ~SessionJournal();
+
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+
+  // Replays the journal (removing a stale compaction temp, truncating the
+  // torn tail) and opens it for appending.  Call once, before any append.
+  Result<JournalRecovery> Open();
+
+  // Buffered appends; each returns the record's LSN — the token SyncUpTo
+  // makes durable.  A failed append leaves no partial record behind (the
+  // tail is truncated back; if even that fails the journal wedges and
+  // every later append fails fast, which the ack path degrades on).
+  Result<uint64_t> AppendCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq);
+  Result<uint64_t> AppendEvict(uint64_t session_id, uint64_t floor);
+  Result<uint64_t> AppendGoodbye(uint64_t session_id);
+
+  // Group-commit barrier: returns once every record up to `lsn` is fsync'd
+  // (immediately when fsync_commits is off).  Concurrent callers elect a
+  // leader; one fsync covers everyone whose record had landed by then.
+  Status SyncUpTo(uint64_t lsn);
+
+  // Atomically replaces the log with one snapshot record per live session
+  // plus one evict record per tombstone.  Blocks appends for the duration.
+  Status Compact(const std::vector<SessionSnapshot>& live,
+                 const std::vector<std::pair<uint64_t, uint64_t>>& evicted);
+
+  // Current log size in bytes; the registry compacts when this crosses the
+  // configured threshold.
+  uint64_t appended_bytes() const;
+  uint64_t compact_threshold_bytes() const { return config_.compact_threshold_bytes; }
+  const std::string& path() const { return config_.path; }
+
+ private:
+  Result<uint64_t> AppendRecord(ByteSpan payload);
+  Status WriteAll(int fd, ByteSpan data);
+
+  SessionJournalConfig config_;
+  Fs* fs_;  // borrowed (or the Real() singleton)
+
+  // mu_ serializes appends and guards the fd/byte counters; sync_mu_ runs
+  // the group-commit handshake.  A leader fsyncs with neither held, so
+  // appends keep landing while the device flushes.
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  bool broken_ = false;     // append failed and could not be rolled back
+  uint64_t bytes_ = 0;      // current log size
+  uint64_t next_lsn_ = 1;   // monotonic record counter (survives compaction)
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_inflight_ = false;
+  uint64_t synced_lsn_ = 0;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_SESSION_JOURNAL_H_

@@ -20,16 +20,19 @@ namespace fs = std::filesystem;
 
 SegmentWriter::~SegmentWriter() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    fs_->Close(fd_);
   }
 }
 
-Result<std::unique_ptr<SegmentWriter>> SegmentWriter::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
-  if (fd < 0) {
-    return Error{"spool: cannot open segment " + path + ": " + std::strerror(errno)};
+Result<std::unique_ptr<SegmentWriter>> SegmentWriter::Open(const std::string& path, Fs* fs) {
+  if (fs == nullptr) {
+    fs = Fs::Real();
   }
-  return std::unique_ptr<SegmentWriter>(new SegmentWriter(path, fd));
+  auto fd = fs->Open(path, O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (!fd.ok()) {
+    return Error{"spool: cannot open segment " + path + ": " + fd.error().message};
+  }
+  return std::unique_ptr<SegmentWriter>(new SegmentWriter(path, fd.value(), fs));
 }
 
 Status SegmentWriter::Append(ByteSpan report) {
@@ -41,14 +44,16 @@ Status SegmentWriter::Append(ByteSpan report) {
   Bytes frame = EncodeFrame(report);
   size_t done = 0;
   while (done < frame.size()) {
-    ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Error{"spool: write failed on " + path_ + ": " + std::strerror(errno)};
+    auto n = fs_->Write(fd_, ByteSpan(frame).subspan(done));
+    if (!n.ok()) {
+      // A short write followed by failure leaves a torn frame at the tail;
+      // that is exactly what recovery's clean-prefix truncation repairs.
+      return Error{"spool: write failed on " + path_ + ": " + n.error().message};
     }
-    done += static_cast<size_t>(n);
+    if (n.value() == 0) {
+      return Error{"spool: write made no progress on " + path_};
+    }
+    done += n.value();
   }
   frames_++;
   bytes_ += frame.size();
@@ -56,8 +61,9 @@ Status SegmentWriter::Append(ByteSpan report) {
 }
 
 Status SegmentWriter::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Error{"spool: fsync failed on " + path_ + ": " + std::strerror(errno)};
+  Status status = fs_->Sync(fd_);
+  if (!status.ok()) {
+    return Error{"spool: fsync failed on " + path_ + ": " + status.error().message};
   }
   return Status::Ok();
 }
@@ -167,9 +173,9 @@ Result<Spool::RecoveryReport> Spool::Open() {
     if (clean_end < file_size) {
       report.corrupt_frames++;  // at least one frame lost in the torn tail
       report.truncated_bytes += file_size - clean_end;
-      fs::resize_file(entry.path(), clean_end, ec);
-      if (ec) {
-        return Error{"spool: cannot truncate " + name + ": " + ec.message()};
+      Status truncated = fs_->Truncate(entry.path().string(), clean_end);
+      if (!truncated.ok()) {
+        return Error{"spool: cannot truncate " + name + ": " + truncated.error().message};
       }
     }
 
@@ -197,7 +203,7 @@ Status Spool::Append(size_t shard, uint64_t epoch, ByteSpan report) {
     auto key = std::make_pair(epoch, shard);
     auto it = writers_.find(key);
     if (it == writers_.end()) {
-      auto opened = SegmentWriter::Open(SegmentPath(shard, epoch));
+      auto opened = SegmentWriter::Open(SegmentPath(shard, epoch), fs_);
       if (!opened.ok()) {
         return opened.error();
       }
@@ -244,15 +250,21 @@ Status Spool::SealEpoch(uint64_t epoch) {
   }
   // ...then write the marker, so its presence implies complete segments.
   std::string marker = MarkerPath(epoch);
-  int fd = ::open(marker.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Error{"spool: cannot write marker " + marker + ": " + std::strerror(errno)};
+  auto fd = fs_->Open(marker, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (!fd.ok()) {
+    return Error{"spool: cannot write marker " + marker + ": " + fd.error().message};
   }
+  Status result = Status::Ok();
   if (config_.fsync_on_seal) {
-    ::fsync(fd);
+    result = fs_->Sync(fd.value());
+    if (!result.ok()) {
+      // An unfsynced marker may vanish in a crash, silently unsealing the
+      // epoch; surface the failure so the frontend retries the seal.
+      result = Error{"spool: cannot fsync marker " + marker + ": " + result.error().message};
+    }
   }
-  ::close(fd);
-  return Status::Ok();
+  fs_->Close(fd.value());
+  return result;
 }
 
 uint64_t Spool::FrameCount(size_t shard, uint64_t epoch) const {
@@ -367,25 +379,30 @@ std::unique_ptr<RecordStream> Spool::OpenEpochStream(uint64_t epoch) {
 
 Status Spool::RemoveEpoch(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::error_code ec;
   Status result = Status::Ok();
   for (auto it = frame_counts_.lower_bound({epoch, 0});
        it != frame_counts_.end() && it->first.first == epoch;) {
     writers_.erase(it->first);
-    // A missing file is fine (fs::remove returns false without an error);
-    // an actual failure (e.g. EACCES) leaves the segment behind, where a
+    // A missing file is fine (Fs::Remove treats ENOENT as success); an
+    // actual failure (e.g. EACCES) leaves the segment behind, where a
     // restart would replay it as a duplicate epoch — surface the first one.
-    fs::remove(SegmentPath(it->first.second, epoch), ec);
-    if (ec && result.ok()) {
-      result = Error{"spool: cannot remove segment for epoch " + std::to_string(epoch) + ": " +
-                     ec.message()};
+    // The failed entry stays tracked so a RemoveEpoch retry re-attempts
+    // this segment's unlink rather than finding nothing to do.
+    Status removed = fs_->Remove(SegmentPath(it->first.second, epoch));
+    if (!removed.ok()) {
+      if (result.ok()) {
+        result = Error{"spool: cannot remove segment for epoch " + std::to_string(epoch) +
+                       ": " + removed.error().message};
+      }
+      ++it;
+      continue;
     }
     it = frame_counts_.erase(it);
   }
-  fs::remove(MarkerPath(epoch), ec);
-  if (ec && result.ok()) {
+  Status removed = fs_->Remove(MarkerPath(epoch));
+  if (!removed.ok() && result.ok()) {
     result = Error{"spool: cannot remove marker for epoch " + std::to_string(epoch) + ": " +
-                   ec.message()};
+                   removed.error().message};
   }
   return result;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/service/fs.h"
 #include "src/util/record_stream.h"
 #include "src/util/status.h"
 
@@ -35,6 +36,10 @@ namespace prochlo {
 struct SpoolConfig {
   std::string root;          // directory; created if absent
   bool fsync_on_seal = true; // fsync segments + marker at epoch seal
+  // Every write-side syscall (open/write/fsync/unlink/truncate) routes
+  // through this seam so the disk-fault suites can inject short writes,
+  // EIO, ENOSPC, and crash-at-syscall-k schedules.  Null = Fs::Real().
+  Fs* fs = nullptr;
 };
 
 // One append-only segment file; writes are one frame per Append call.
@@ -44,7 +49,7 @@ class SegmentWriter {
   SegmentWriter(const SegmentWriter&) = delete;
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
-  static Result<std::unique_ptr<SegmentWriter>> Open(const std::string& path);
+  static Result<std::unique_ptr<SegmentWriter>> Open(const std::string& path, Fs* fs = nullptr);
 
   Status Append(ByteSpan report);
   Status Sync();  // flush to the device (fsync)
@@ -54,17 +59,21 @@ class SegmentWriter {
   const std::string& path() const { return path_; }
 
  private:
-  SegmentWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  SegmentWriter(std::string path, int fd, Fs* fs)
+      : path_(std::move(path)), fd_(fd), fs_(fs) {}
 
   std::string path_;
   int fd_ = -1;
+  Fs* fs_;  // borrowed (or the Real() singleton)
   uint64_t frames_ = 0;
   uint64_t bytes_ = 0;
 };
 
 class Spool {
  public:
-  explicit Spool(SpoolConfig config) : config_(std::move(config)) {}
+  explicit Spool(SpoolConfig config)
+      : config_(std::move(config)),
+        fs_(config_.fs != nullptr ? config_.fs : Fs::Real()) {}
 
   struct SegmentInfo {
     size_t shard = 0;
@@ -115,6 +124,7 @@ class Spool {
   std::string MarkerPath(uint64_t epoch) const;
 
   SpoolConfig config_;
+  Fs* fs_;  // borrowed (or the Real() singleton)
   mutable std::mutex mu_;
   // Open writers for the in-progress epoch, keyed by (epoch, shard).
   std::map<std::pair<uint64_t, size_t>, std::unique_ptr<SegmentWriter>> writers_;

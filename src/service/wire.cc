@@ -103,18 +103,79 @@ Bytes EncodeAckFrame(uint64_t seq) {
   return out;
 }
 
-Bytes EncodeNackFrame(uint64_t seq, const std::string& reason) {
-  Bytes reason_bytes = ToBytes(reason);
+Bytes EncodeNackFrame(uint64_t seq, const std::string& message) {
+  return EncodeNackFrame(seq, NackReason::kRetryable, message);
+}
+
+Bytes EncodeNackFrame(uint64_t seq, NackReason reason, const std::string& message) {
+  if (reason == NackReason::kSessionExpired) {
+    // Expired NACK payloads always carry the session stamp (0 = unstamped)
+    // so ParseNackPayload never has to guess where the message starts.
+    return EncodeSessionExpiredNackFrame(seq, 0, message);
+  }
+  Bytes payload;
+  payload.reserve(1 + message.size());
+  payload.push_back(static_cast<uint8_t>(reason));
+  payload.insert(payload.end(), message.begin(), message.end());
   Bytes out;
-  out.reserve(FrameWireSize(reason_bytes.size()));
-  AppendFrame(out, FrameType::kNack, seq, reason_bytes);
+  out.reserve(FrameWireSize(payload.size()));
+  AppendFrame(out, FrameType::kNack, seq, payload);
   return out;
+}
+
+Bytes EncodeSessionExpiredNackFrame(uint64_t seq, uint64_t session_id,
+                                    const std::string& message) {
+  Bytes payload;
+  payload.reserve(9 + message.size());
+  payload.push_back(static_cast<uint8_t>(NackReason::kSessionExpired));
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<uint8_t>(session_id >> (8 * i)));
+  }
+  payload.insert(payload.end(), message.begin(), message.end());
+  Bytes out;
+  out.reserve(FrameWireSize(payload.size()));
+  AppendFrame(out, FrameType::kNack, seq, payload);
+  return out;
+}
+
+NackInfo ParseNackPayload(ByteSpan payload) {
+  NackInfo info;
+  if (payload.empty()) {
+    return info;
+  }
+  uint8_t reason = payload[0];
+  if (reason >= static_cast<uint8_t>(NackReason::kRetryable) &&
+      reason <= static_cast<uint8_t>(NackReason::kSessionExpired)) {
+    info.reason = static_cast<NackReason>(reason);
+    size_t message_start = 1;
+    if (info.reason == NackReason::kSessionExpired && payload.size() >= 9) {
+      // The expired session's id rides after the reason byte (see
+      // NackInfo::session_id); a short payload is an unstamped legacy NACK.
+      for (int i = 0; i < 8; ++i) {
+        info.session_id |= static_cast<uint64_t>(payload[1 + i]) << (8 * i);
+      }
+      message_start = 9;
+    }
+    info.message.assign(payload.begin() + message_start, payload.end());
+  } else {
+    // Unknown reason byte (version skew): the whole payload is the message
+    // and the safe fallback — plain resend — applies.
+    info.message.assign(payload.begin(), payload.end());
+  }
+  return info;
 }
 
 Bytes EncodeHelloFrame(uint64_t session_id) {
   Bytes out;
   out.reserve(FrameWireSize(0));
   AppendFrame(out, FrameType::kHello, session_id, ByteSpan());
+  return out;
+}
+
+Bytes EncodeGoodbyeFrame(uint64_t seq) {
+  Bytes out;
+  out.reserve(FrameWireSize(0));
+  AppendFrame(out, FrameType::kGoodbye, seq, ByteSpan());
   return out;
 }
 

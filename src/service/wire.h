@@ -28,6 +28,12 @@
 //            (non-zero; 0 is reserved as "no session"); binds the
 //            connection to that id's acknowledgment state so a
 //            reconnecting client's retries are deduplicated by seq.
+//   kGoodbye client -> server.  The session is complete: every report was
+//            acked and the client will never reuse this session id.  The
+//            server journals the termination, drops the session's dedup
+//            state wholesale, and ACKs the goodbye (echoing its seq) —
+//            the fair-termination handshake that lets cooperative clients
+//            free server memory instead of waiting out LRU eviction.
 //
 // The CRC covers every header field after the magic, so a corrupt type, seq,
 // or length cannot silently mis-frame or mis-route the stream.  The
@@ -59,14 +65,45 @@ enum class FrameType : uint8_t {
   kAck = 2,
   kNack = 3,
   kHello = 4,
+  kGoodbye = 5,
 };
 
 // True for the types this version understands; anything else makes the
 // frame corrupt (counted, skipped, resynchronized past).
 constexpr bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kReport) &&
-         type <= static_cast<uint8_t>(FrameType::kHello);
+         type <= static_cast<uint8_t>(FrameType::kGoodbye);
 }
+
+// Why a report was NACKed — the first payload byte of every kNack frame,
+// followed by a human-readable message.  The client's retry policy branches
+// on it: kRetryable and kInFlight resend the same seq (with backoff);
+// kSessionExpired means the server no longer holds this session's dedup
+// state (LRU-evicted, terminated, or the seq space saturated) and retrying
+// the same seq risks a duplicate — the client must re-HELLO with a fresh
+// session id and replay its outstanding reports under new seqs.
+enum class NackReason : uint8_t {
+  kRetryable = 1,       // not ingested (spool error, pool stopping): resend
+  kInFlight = 2,        // an earlier send of this seq has not resolved yet
+  kSessionExpired = 3,  // session state gone: re-hello with a fresh session
+};
+
+// Decoded view of a kNack payload.  Parsing is tolerant: an empty payload
+// or an unknown reason byte degrades to kRetryable with the whole payload
+// as the message, so a version-skewed peer still gets the safe behavior.
+struct NackInfo {
+  NackReason reason = NackReason::kRetryable;
+  // kSessionExpired only: WHICH session the verdict is about (LE u64 after
+  // the reason byte).  After a client rotates, expired NACKs for frames it
+  // sent under the previous id keep arriving — the server answers every
+  // frame already in the pipe — and acting on one would rotate again and
+  // replay reports the new session has already committed (a duplicate
+  // ingest).  The stamp lets the client drop those stale verdicts.  0 =
+  // unstamped (a peer too old to know): the client rotates conservatively.
+  uint64_t session_id = 0;
+  std::string message;
+};
+NackInfo ParseNackPayload(ByteSpan payload);
 
 // A decoded frame: type, echoed/assigned sequence number, and payload.
 struct Frame {
@@ -118,8 +155,16 @@ void AppendFrame(Bytes& out, FrameType type, uint64_t seq, ByteSpan payload);
 Bytes EncodeFrame(ByteSpan payload);
 Bytes EncodeReportFrame(uint64_t seq, ByteSpan payload);
 Bytes EncodeAckFrame(uint64_t seq);
-Bytes EncodeNackFrame(uint64_t seq, const std::string& reason);
+// The message-only overload is the plain "not ingested, resend" NACK.
+Bytes EncodeNackFrame(uint64_t seq, const std::string& message);
+Bytes EncodeNackFrame(uint64_t seq, NackReason reason, const std::string& message);
+// The kSessionExpired NACK, stamped with the session the verdict is about
+// (see NackInfo::session_id).
+Bytes EncodeSessionExpiredNackFrame(uint64_t seq, uint64_t session_id,
+                                    const std::string& message);
 Bytes EncodeHelloFrame(uint64_t session_id);
+// seq echoes back in the server's ACK so the client can await it.
+Bytes EncodeGoodbyeFrame(uint64_t seq);
 
 // Decodes a buffer holding exactly one frame.  Errors distinguish the
 // failure (short header, bad magic, unsupported version, unknown type,
@@ -143,6 +188,7 @@ struct FrameStreamStats {
   uint64_t frames_ack = 0;
   uint64_t frames_nack = 0;
   uint64_t frames_hello = 0;
+  uint64_t frames_goodbye = 0;
 
   void CountType(FrameType type) {
     switch (type) {
@@ -150,6 +196,7 @@ struct FrameStreamStats {
       case FrameType::kAck: frames_ack++; break;
       case FrameType::kNack: frames_nack++; break;
       case FrameType::kHello: frames_hello++; break;
+      case FrameType::kGoodbye: frames_goodbye++; break;
     }
   }
   void Fold(const FrameStreamStats& other) {
@@ -160,6 +207,7 @@ struct FrameStreamStats {
     frames_ack += other.frames_ack;
     frames_nack += other.frames_nack;
     frames_hello += other.frames_hello;
+    frames_goodbye += other.frames_goodbye;
   }
 };
 

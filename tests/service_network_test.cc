@@ -256,9 +256,13 @@ TEST(ServiceNetworkTest, TcpListenerServesConcurrentAckedClients) {
     EXPECT_EQ(client_stats[c].retransmitted, 0u);
     EXPECT_EQ(client_stats[c].nacked, 0u);
   }
-  EXPECT_EQ(rig.server.stats().frames_ok, total + kClients);  // + hellos
+  // + hellos + goodbyes: Close() now offers the server a kGoodbye per
+  // cleanly finished session, which frees its dedup state immediately.
+  EXPECT_EQ(rig.server.stats().frames_ok, total + 2 * kClients);
   EXPECT_EQ(rig.server.stats().frames_hello, static_cast<uint64_t>(kClients));
-  EXPECT_EQ(rig.server.registry().sessions(), static_cast<size_t>(kClients));
+  EXPECT_EQ(rig.server.stats().frames_goodbye, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(rig.server.registry().sessions(), 0u);
+  EXPECT_EQ(rig.server.ack_book().goodbyes_acked, static_cast<uint64_t>(kClients));
   ExpectAckBooksBalance(rig, total);
   EXPECT_EQ(rig.pool.stats().accept_failures, 0u);
 }

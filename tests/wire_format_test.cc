@@ -113,18 +113,72 @@ TEST(WireFormatTest, TypedFramesRoundTrip) {
   ASSERT_TRUE(nack_frame.ok());
   EXPECT_EQ(nack_frame.value().type, FrameType::kNack);
   EXPECT_EQ(nack_frame.value().seq, 7u);
-  EXPECT_EQ(ToString(nack_frame.value().payload), "spool append failed");
+  // The payload leads with the reason byte (the message-only overload
+  // defaults to kRetryable), then the human-readable message.
+  NackInfo info = ParseNackPayload(nack_frame.value().payload);
+  EXPECT_EQ(info.reason, NackReason::kRetryable);
+  EXPECT_EQ(info.message, "spool append failed");
 
   Bytes hello = EncodeHelloFrame(/*session_id=*/0xC0FFEE);
   auto hello_frame = DecodeTypedFrame(hello);
   ASSERT_TRUE(hello_frame.ok());
   EXPECT_EQ(hello_frame.value().type, FrameType::kHello);
   EXPECT_EQ(hello_frame.value().seq, 0xC0FFEEu);
+
+  Bytes goodbye = EncodeGoodbyeFrame(/*seq=*/91);
+  ASSERT_EQ(goodbye.size(), FrameWireSize(0));
+  auto goodbye_frame = DecodeTypedFrame(goodbye);
+  ASSERT_TRUE(goodbye_frame.ok());
+  EXPECT_EQ(goodbye_frame.value().type, FrameType::kGoodbye);
+  EXPECT_EQ(goodbye_frame.value().seq, 91u);
+  EXPECT_TRUE(goodbye_frame.value().payload.empty());
+}
+
+TEST(WireFormatTest, NackReasonsRoundTripAndDegradeTolerantly) {
+  for (NackReason reason :
+       {NackReason::kRetryable, NackReason::kInFlight, NackReason::kSessionExpired}) {
+    Bytes frame = EncodeNackFrame(/*seq=*/5, reason, "because");
+    auto decoded = DecodeTypedFrame(frame);
+    ASSERT_TRUE(decoded.ok());
+    NackInfo info = ParseNackPayload(decoded.value().payload);
+    EXPECT_EQ(info.reason, reason);
+    EXPECT_EQ(info.message, "because");
+    EXPECT_EQ(info.session_id, 0u);  // plain encoders stamp "unspecified"
+  }
+  // The expired NACK carries the id of the session it expired, so a client
+  // that already rotated can drop stale verdicts about its previous id.
+  {
+    Bytes frame = EncodeSessionExpiredNackFrame(/*seq=*/9, 0xFEEDFACECAFEBEEFull,
+                                                "session expired");
+    auto decoded = DecodeTypedFrame(frame);
+    ASSERT_TRUE(decoded.ok());
+    NackInfo info = ParseNackPayload(decoded.value().payload);
+    EXPECT_EQ(info.reason, NackReason::kSessionExpired);
+    EXPECT_EQ(info.session_id, 0xFEEDFACECAFEBEEFull);
+    EXPECT_EQ(info.message, "session expired");
+    // An unstamped (legacy, <9-byte) expired payload parses as session 0.
+    Bytes legacy = {static_cast<uint8_t>(NackReason::kSessionExpired), 'x'};
+    NackInfo unstamped = ParseNackPayload(legacy);
+    EXPECT_EQ(unstamped.reason, NackReason::kSessionExpired);
+    EXPECT_EQ(unstamped.session_id, 0u);
+    EXPECT_EQ(unstamped.message, "x");
+  }
+  // Tolerant parsing: an empty payload and an unknown reason byte both
+  // degrade to kRetryable (the safe behavior for a version-skewed peer),
+  // the latter keeping the whole payload as the message.
+  NackInfo empty = ParseNackPayload(ByteSpan());
+  EXPECT_EQ(empty.reason, NackReason::kRetryable);
+  EXPECT_TRUE(empty.message.empty());
+  Bytes unknown = ToBytes("xlegacy message");
+  unknown[0] = 0x7F;  // not a known reason byte
+  NackInfo degraded = ParseNackPayload(unknown);
+  EXPECT_EQ(degraded.reason, NackReason::kRetryable);
+  EXPECT_EQ(degraded.message.size(), unknown.size());
 }
 
 TEST(WireFormatTest, EveryTruncationOfControlFramesRejected) {
   for (const Bytes& frame : {EncodeAckFrame(1234), EncodeNackFrame(99, "why"),
-                             EncodeHelloFrame(0xABCD)}) {
+                             EncodeHelloFrame(0xABCD), EncodeGoodbyeFrame(77)}) {
     for (size_t keep = 0; keep < frame.size(); ++keep) {
       auto decoded = DecodeTypedFrame(ByteSpan(frame.data(), keep));
       EXPECT_FALSE(decoded.ok()) << "truncation to " << keep << " bytes accepted";
@@ -136,8 +190,8 @@ TEST(WireFormatTest, EverySingleBitFlipOfControlFramesRejected) {
   // ACK/NACK frames steer the client's retry decisions, so a flipped seq or
   // type must never decode: the CRC covers every header field after the
   // magic (and a flipped magic makes the buffer garbage, not a frame).
-  for (const Bytes& frame :
-       {EncodeAckFrame(0x123456789ABCDEFull), EncodeNackFrame(31337, "retry")}) {
+  for (const Bytes& frame : {EncodeAckFrame(0x123456789ABCDEFull),
+                             EncodeNackFrame(31337, "retry"), EncodeGoodbyeFrame(4242)}) {
     auto original = DecodeTypedFrame(frame);
     ASSERT_TRUE(original.ok());
     for (size_t byte = 0; byte < frame.size(); ++byte) {
@@ -454,10 +508,12 @@ void ExpectTypedDecoderMatchesReader(const Bytes& stream, size_t chunk_size) {
   EXPECT_EQ(decoder.stats().frames_ack, reader.stats().frames_ack);
   EXPECT_EQ(decoder.stats().frames_nack, reader.stats().frames_nack);
   EXPECT_EQ(decoder.stats().frames_hello, reader.stats().frames_hello);
+  EXPECT_EQ(decoder.stats().frames_goodbye, reader.stats().frames_goodbye);
   // The per-type counters partition frames_ok, and the balance invariant
   // carries over to typed streams.
   EXPECT_EQ(reader.stats().frames_report + reader.stats().frames_ack +
-                reader.stats().frames_nack + reader.stats().frames_hello,
+                reader.stats().frames_nack + reader.stats().frames_hello +
+                reader.stats().frames_goodbye,
             reader.stats().frames_ok);
   size_t good_bytes = 0;
   for (const auto& frame : got) {
@@ -487,9 +543,10 @@ TEST(WireFormatTest, InterleavedTypedFramesFuzzedChunkingMatchesReader) {
           stream.insert(stream.end(), nack.begin(), nack.end());
           break;
         }
-        case 3: {  // hello
-          Bytes hello = EncodeHelloFrame(rng.Next());
-          stream.insert(stream.end(), hello.begin(), hello.end());
+        case 3: {  // hello or goodbye (the session-lifecycle bookends)
+          Bytes control = rng.NextBelow(2) == 0 ? EncodeHelloFrame(rng.Next())
+                                                : EncodeGoodbyeFrame(rng.Next());
+          stream.insert(stream.end(), control.begin(), control.end());
           break;
         }
         case 4: {  // corrupt frame of a random type (bit flip anywhere)
@@ -503,7 +560,8 @@ TEST(WireFormatTest, InterleavedTypedFramesFuzzedChunkingMatchesReader) {
         case 5: {  // unknown frame type (header-corrupt, resynced past)
           size_t at = stream.size();
           AppendFrame(stream, FrameType::kReport, rng.Next(), RandomPayload(rng, 20));
-          stream[at + 5] = static_cast<uint8_t>(5 + rng.NextBelow(200));
+          // 6.. is past kGoodbye, the highest known type in this version.
+          stream[at + 5] = static_cast<uint8_t>(6 + rng.NextBelow(200));
           break;
         }
         case 6:  // garbage run
