@@ -29,6 +29,10 @@
 #include "bench/json_out.h"
 #include "bench/table.h"
 #include "src/core/pipeline.h"
+#include "src/service/cluster/coordinator.h"
+#include "src/service/cluster/merge.h"
+#include "src/service/cluster/router.h"
+#include "src/service/cluster/shard_group.h"
 #include "src/service/connection.h"
 #include "src/service/frontend.h"
 #include "src/service/ingest.h"
@@ -276,7 +280,7 @@ void Run() {
       table.AddRow({label, std::to_string(n), Seconds(pool_seconds),
                     PerReport(pool_seconds, n)});
       json.Add(label, n, 1e9 * pool_seconds / static_cast<double>(n),
-               static_cast<double>(n) / pool_seconds);
+               static_cast<double>(n) / pool_seconds, /*groups=*/1, workers);
     }
   }
 
@@ -334,7 +338,7 @@ void Run() {
       table.AddRow({label, std::to_string(book.acked), Seconds(tcp_seconds),
                     PerReport(tcp_seconds, n)});
       json.Add(label, n, 1e9 * tcp_seconds / static_cast<double>(n),
-               static_cast<double>(n) / tcp_seconds);
+               static_cast<double>(n) / tcp_seconds, /*groups=*/1, /*workers=*/2);
       if (book.acked != reports.size()) {
         std::fprintf(stderr, "tcp stage: %llu of %zu reports acked\n",
                      static_cast<unsigned long long>(book.acked), reports.size());
@@ -396,11 +400,99 @@ void Run() {
       table.AddRow({"drain/overlap-2-epochs", std::to_string(n),
                     Seconds(overlap_seconds), PerReport(overlap_seconds, n)});
       json.Add("drain_overlap_2_epochs", n, 1e9 * overlap_seconds / static_cast<double>(n),
-               static_cast<double>(n) / overlap_seconds);
+               static_cast<double>(n) / overlap_seconds, /*groups=*/1, /*workers=*/2);
     } else {
       std::fprintf(stderr, "overlap drain timed out\n");
     }
     fs::remove_all(overlap_dir);
+  }
+
+  // ---- cluster: shard-group fan-out, send -> ACK -> merged histogram ----
+  // One ClusterClient routes the cohort across N groups by consistent hash;
+  // the stage ends only when the coordinator has merged every group's
+  // partial into the final histogram.  Per-report cost should stay flat in
+  // the group count on loopback (the win is horizontal: each group ingests
+  // and drains its share independently).
+  {
+    FrontendConfig cluster_base;
+    cluster_base.pipeline.shuffler.threshold_mode = ThresholdMode::kNaive;
+    cluster_base.pipeline.seed = "bench-ingest-cluster";
+    cluster_base.ingest.num_shards = 4;
+    cluster_base.fsync_spool = false;
+    ShufflerFrontend key_holder(cluster_base);
+    const Encoder cluster_encoder = key_holder.MakeEncoder();
+    SecureRandom cluster_rng(ToBytes("bench-ingest-cluster-clients"));
+    auto cohort = cluster_encoder.BatchSealReports(inputs, cluster_rng);
+    if (!cohort.ok()) {
+      std::fprintf(stderr, "cluster stage: cohort seal failed\n");
+    } else {
+      for (size_t num_groups : {size_t{1}, size_t{2}, size_t{4}}) {
+        std::string root = (fs::temp_directory_path() /
+                            ("prochlo-bench-cluster-" + std::to_string(num_groups)))
+                               .string();
+        fs::remove_all(root);
+        std::vector<std::unique_ptr<ShardGroup>> owned;
+        std::vector<ShardGroup*> groups;
+        bool started = true;
+        for (size_t g = 1; g <= num_groups; ++g) {
+          ShardGroupConfig group_config;
+          group_config.group_id = g;
+          group_config.frontend = cluster_base;
+          group_config.frontend.spool_dir = root + "/group-" + std::to_string(g);
+          group_config.workers = WorkerPoolConfig{/*workers=*/2, /*ring_capacity=*/1024};
+          owned.push_back(std::make_unique<ShardGroup>(group_config));
+          groups.push_back(owned.back().get());
+          started = started && groups.back()->Start().ok();
+        }
+        if (!started) {
+          std::fprintf(stderr, "cluster stage: group start failed\n");
+          continue;
+        }
+        Router router(groups);
+        router.Start();
+        EpochCoordinator coordinator(groups);
+        coordinator.Start();
+        HistogramMerge cluster_merge(cluster_base.pipeline);
+
+        t0 = std::chrono::steady_clock::now();
+        ClusterClient client(
+            router.CurrentMap(),
+            [&groups](uint64_t group_id) -> Result<std::unique_ptr<ByteStream>> {
+              for (ShardGroup* group : groups) {
+                if (group->group_id() == group_id) {
+                  return group->Connect();
+                }
+              }
+              return Error{"bench: unknown group"};
+            });
+        client.Connect();
+        for (const auto& report : cohort.value()) {
+          client.SendReport(report);
+        }
+        bool acked = client.WaitForAllAcked(std::chrono::milliseconds(120000));
+        coordinator.CutEpochAll();
+        auto merged =
+            coordinator.MergeEpoch(0, cluster_merge, std::chrono::milliseconds(120000));
+        double cluster_seconds = SecondsSince(t0);
+        client.Close();
+        if (acked && merged.ok() && merged.value().complete()) {
+          std::string label = "cluster/groups=" + std::to_string(num_groups) +
+                              ",send-ack-merge";
+          table.AddRow({label, std::to_string(n), Seconds(cluster_seconds),
+                        PerReport(cluster_seconds, n)});
+          json.Add(label, n, 1e9 * cluster_seconds / static_cast<double>(n),
+                   static_cast<double>(n) / cluster_seconds, num_groups, /*workers=*/2);
+        } else {
+          std::fprintf(stderr, "cluster stage: groups=%zu did not converge\n", num_groups);
+        }
+        coordinator.Stop();
+        for (ShardGroup* group : groups) {
+          group->Stop();
+        }
+        owned.clear();
+        fs::remove_all(root);
+      }
+    }
   }
 
   // ---- drain: framed -> sharded spool -> epoch cut -> histogram ----

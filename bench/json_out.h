@@ -5,7 +5,13 @@
 // Schema:
 //   { "bench": "<name>",
 //     "results": [ {"op": "...", "n": <count>, "ns_per_op": <double>,
-//                   "ops_per_sec": <double>}, ... ] }
+//                   "ops_per_sec": <double>,
+//                   "groups": <count>, "workers": <count>}, ... ] }
+//
+// Every row carries its topology: how many shard groups served the stage
+// (1 = single-frontend) and how many ingest workers each ran (0 =
+// synchronous, no worker threads), so cross-PR trend lines never compare
+// numbers measured on different shapes.
 #ifndef PROCHLO_BENCH_JSON_OUT_H_
 #define PROCHLO_BENCH_JSON_OUT_H_
 
@@ -19,8 +25,9 @@ class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
 
-  void Add(const std::string& op, uint64_t n, double ns_per_op, double ops_per_sec) {
-    results_.push_back(Entry{op, n, ns_per_op, ops_per_sec});
+  void Add(const std::string& op, uint64_t n, double ns_per_op, double ops_per_sec,
+           uint64_t groups = 1, uint64_t workers = 0) {
+    results_.push_back(Entry{op, n, ns_per_op, ops_per_sec, groups, workers});
   }
 
   // Writes BENCH_<name>.json; returns false (and prints a warning) on I/O
@@ -37,9 +44,11 @@ class BenchJsonWriter {
       const Entry& e = results_[i];
       std::fprintf(f,
                    "    {\"op\": \"%s\", \"n\": %llu, \"ns_per_op\": %.1f, "
-                   "\"ops_per_sec\": %.1f}%s\n",
+                   "\"ops_per_sec\": %.1f, \"groups\": %llu, \"workers\": %llu}%s\n",
                    e.op.c_str(), static_cast<unsigned long long>(e.n), e.ns_per_op,
-                   e.ops_per_sec, i + 1 < results_.size() ? "," : "");
+                   e.ops_per_sec, static_cast<unsigned long long>(e.groups),
+                   static_cast<unsigned long long>(e.workers),
+                   i + 1 < results_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -53,6 +62,8 @@ class BenchJsonWriter {
     uint64_t n;
     double ns_per_op;
     double ops_per_sec;
+    uint64_t groups;
+    uint64_t workers;
   };
 
   std::string bench_name_;

@@ -39,7 +39,7 @@ if [[ -n "$SANITIZE" ]]; then
   for threads in 0 4; do
     echo "-- sanitized, PROCHLO_STASH_THREADS=$threads --"
     PROCHLO_STASH_THREADS="$threads" \
-      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|wire_format_test'
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|wire_format_test'
   done
   echo "== OK (sanitize: $SANITIZE) =="
   exit 0
@@ -51,7 +51,7 @@ echo "== service thread matrix =="
 for threads in 0 4; do
   echo "-- PROCHLO_STASH_THREADS=$threads --"
   PROCHLO_STASH_THREADS="$threads" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|wire_format_test'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|wire_format_test'
 done
 
 echo "== bench smoke =="
@@ -62,5 +62,8 @@ echo "== bench smoke =="
 test -s "$BUILD_DIR/BENCH_crypto.json"
 test -s "$BUILD_DIR/BENCH_stash_shuffle.json"
 test -s "$BUILD_DIR/BENCH_ingest.json"
+# The ingest bench must include the multi-group cluster stage (a silent
+# skip there would leave the cluster path unsmoked).
+grep -q '"op": "cluster/groups=4,send-ack-merge"' "$BUILD_DIR/BENCH_ingest.json"
 
 echo "== OK =="

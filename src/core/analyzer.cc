@@ -6,8 +6,8 @@
 
 namespace prochlo {
 
-std::vector<Bytes> Analyzer::DecryptBatch(const std::vector<Bytes>& inner_boxes,
-                                          ThreadPool* pool) {
+std::vector<std::optional<Bytes>> Analyzer::DecryptBatchSlots(
+    const std::vector<Bytes>& inner_boxes, ThreadPool* pool) {
   stats_.received += inner_boxes.size();
   std::vector<std::optional<Bytes>> slots(inner_boxes.size());
 
@@ -31,13 +31,22 @@ std::vector<Bytes> Analyzer::DecryptBatch(const std::vector<Bytes>& inner_boxes,
     }
   }
 
+  for (const auto& slot : slots) {
+    if (!slot.has_value()) {
+      stats_.undecryptable++;
+    }
+  }
+  return slots;
+}
+
+std::vector<Bytes> Analyzer::DecryptBatch(const std::vector<Bytes>& inner_boxes,
+                                          ThreadPool* pool) {
+  std::vector<std::optional<Bytes>> slots = DecryptBatchSlots(inner_boxes, pool);
   std::vector<Bytes> payloads;
   payloads.reserve(inner_boxes.size());
   for (auto& slot : slots) {
     if (slot.has_value()) {
       payloads.push_back(std::move(*slot));
-    } else {
-      stats_.undecryptable++;
     }
   }
   return payloads;

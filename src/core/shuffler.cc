@@ -118,38 +118,57 @@ Result<std::vector<Bytes>> Shuffler::ProcessStream(RecordStream& reports, Secure
       views.push_back(std::move(*view));
     }
   } else {
-    // Pull and open in bounded chunks: the opened views must all be resident
-    // for the in-memory Fisher-Yates anyway, but the raw sealed reports need
-    // never be held more than a chunk at a time.
-    constexpr size_t kOpenChunk = 4096;
-    std::vector<Bytes> raw;
-    std::vector<std::optional<ShufflerView>> slots;
-    size_t remaining = n;
-    while (remaining > 0) {
-      const size_t count = std::min(kOpenChunk, remaining);
-      raw.clear();
-      raw.reserve(count);
-      for (size_t i = 0; i < count; ++i) {
-        auto record = reports.Next();
-        if (!record.has_value()) {
-          return Error{"record stream ended before its declared size"};
-        }
-        raw.push_back(std::move(*record));
-      }
-      slots = BatchOpenReports(keys_, raw, pool);
-      for (auto& slot : slots) {
-        if (!slot.has_value()) {
-          stats_.malformed++;
-          continue;
-        }
-        views.push_back(std::move(*slot));
-      }
-      remaining -= count;
+    auto opened = OpenViewsChunked(reports, pool);
+    if (!opened.ok()) {
+      return opened.error();
     }
+    views = std::move(opened).value();
     rng.ShuffleVector(views);
   }
 
   return FinishViews(std::move(views), rng, noise_rng);
+}
+
+Result<std::vector<ShufflerView>> Shuffler::OpenViewsChunked(RecordStream& reports,
+                                                             ThreadPool* pool) {
+  // Pull and open in bounded chunks: the opened views must all be resident
+  // for the in-memory Fisher-Yates anyway, but the raw sealed reports need
+  // never be held more than a chunk at a time.
+  constexpr size_t kOpenChunk = 4096;
+  const size_t n = reports.size();
+  std::vector<ShufflerView> views;
+  views.reserve(n);
+  std::vector<Bytes> raw;
+  std::vector<std::optional<ShufflerView>> slots;
+  size_t remaining = n;
+  while (remaining > 0) {
+    const size_t count = std::min(kOpenChunk, remaining);
+    raw.clear();
+    raw.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      auto record = reports.Next();
+      if (!record.has_value()) {
+        return Error{"record stream ended before its declared size"};
+      }
+      raw.push_back(std::move(*record));
+    }
+    slots = BatchOpenReports(keys_, raw, pool);
+    for (auto& slot : slots) {
+      if (!slot.has_value()) {
+        stats_.malformed++;
+        continue;
+      }
+      views.push_back(std::move(*slot));
+    }
+    remaining -= count;
+  }
+  return views;
+}
+
+Result<std::vector<ShufflerView>> Shuffler::OpenStream(RecordStream& reports,
+                                                       ThreadPool* pool) {
+  stats_.received += reports.size();
+  return OpenViewsChunked(reports, pool);
 }
 
 Result<std::vector<Bytes>> Shuffler::FinishViews(std::vector<ShufflerView> views,

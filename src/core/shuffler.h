@@ -87,10 +87,20 @@ class Shuffler {
   Result<std::vector<Bytes>> ProcessStream(RecordStream& reports, SecureRandom& rng,
                                            Rng& noise_rng, ThreadPool* pool = nullptr);
 
+  // Opens every report's outer layer — no shuffle, no thresholding, no
+  // min-batch check — for the cluster's per-group partial drain, where
+  // those batch-global stages belong to the merge step.  Malformed reports
+  // are counted into stats() and skipped.
+  Result<std::vector<ShufflerView>> OpenStream(RecordStream& reports,
+                                               ThreadPool* pool = nullptr);
+
   const ShufflerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ShufflerStats{}; }
 
  private:
+  // Chunked pull + batched ECDH open shared by ProcessStream and
+  // OpenStream: raw sealed reports are resident one chunk at a time.
+  Result<std::vector<ShufflerView>> OpenViewsChunked(RecordStream& reports, ThreadPool* pool);
   // Shared thresholding logic over opened views, keyed by plain crowd hash.
   std::vector<Bytes> ThresholdAndStrip(std::vector<ShufflerView> views, Rng& noise_rng);
   // Thresholding + post-shuffle shared by the batch and stream paths.

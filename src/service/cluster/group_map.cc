@@ -1,0 +1,96 @@
+#include "src/service/cluster/group_map.h"
+
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialization.h"
+
+namespace prochlo {
+
+namespace {
+
+uint64_t First8LE(const Sha256Digest& digest) {
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h |= static_cast<uint64_t>(digest[i]) << (8 * i);
+  }
+  return h;
+}
+
+}  // namespace
+
+GroupMap::GroupMap(uint64_t version, std::vector<uint64_t> group_ids, size_t vnodes_per_group)
+    : version_(version),
+      group_ids_(std::move(group_ids)),
+      vnodes_per_group_(vnodes_per_group == 0 ? 1 : vnodes_per_group) {
+  BuildRing();
+}
+
+void GroupMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(group_ids_.size() * vnodes_per_group_);
+  for (uint64_t group : group_ids_) {
+    for (size_t vnode = 0; vnode < vnodes_per_group_; ++vnode) {
+      Writer w;
+      w.PutU64(group);
+      w.PutU64(vnode);
+      uint64_t point = First8LE(Sha256::TaggedHash("prochlo-cluster-ring", w.data()));
+      ring_.emplace_back(point, group);
+    }
+  }
+  // Sort by point; ties (astronomically unlikely) break by group id so every
+  // holder of the same (version, groups, vnodes) builds the identical ring.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint64_t GroupMap::KeyOfReport(ByteSpan sealed_report) {
+  return First8LE(Sha256::TaggedHash("prochlo-cluster-route", sealed_report));
+}
+
+uint64_t GroupMap::OwnerOfKey(uint64_t key) const {
+  // First vnode clockwise of the key, wrapping past the top of the ring.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(key, static_cast<uint64_t>(0)));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+Bytes GroupMap::Serialize() const {
+  Writer w;
+  w.PutU64(version_);
+  w.PutU32(static_cast<uint32_t>(vnodes_per_group_));
+  w.PutU32(static_cast<uint32_t>(group_ids_.size()));
+  for (uint64_t group : group_ids_) {
+    w.PutU64(group);
+  }
+  return w.Take();
+}
+
+std::optional<GroupMap> GroupMap::Deserialize(ByteSpan payload) {
+  Reader r(payload);
+  uint64_t version = 0;
+  uint32_t vnodes = 0;
+  uint32_t count = 0;
+  if (!r.GetU64(&version) || !r.GetU32(&vnodes) || !r.GetU32(&count)) {
+    return std::nullopt;
+  }
+  // 8 bytes per group id must fit what actually remains — a truncated or
+  // garbage count fails here instead of allocating count*8 on faith.
+  if (vnodes == 0 || static_cast<uint64_t>(count) * 8 != r.remaining()) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> group_ids;
+  group_ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t group = 0;
+    if (!r.GetU64(&group)) {
+      return std::nullopt;
+    }
+    group_ids.push_back(group);
+  }
+  return GroupMap(version, std::move(group_ids), vnodes);
+}
+
+}  // namespace prochlo

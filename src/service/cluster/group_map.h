@@ -1,0 +1,66 @@
+// The cluster's versioned routing table: a consistent-hash ring mapping
+// report ciphertext digests to shard-group ids.
+//
+// Every router, group, and client route the same way — hash the sealed
+// report's bytes (the frontend never inspects plaintext), walk the ring to
+// the first vnode at or after the point, wrap at the end — so a report has
+// exactly one owner per map version.  Virtual nodes (default 64 per group)
+// keep the assignment balanced and make a membership change remap only the
+// arcs adjacent to the changed group's vnodes, not the whole key space.
+//
+// Maps are immutable once built; topology changes publish a NEW map with a
+// strictly larger version.  The version travels in every kGroupMap frame
+// (wire.h) and in every kMisrouted redirect stamp, so a client can tell a
+// stale verdict from a current one.
+#ifndef PROCHLO_SRC_SERVICE_CLUSTER_GROUP_MAP_H_
+#define PROCHLO_SRC_SERVICE_CLUSTER_GROUP_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace prochlo {
+
+class GroupMap {
+ public:
+  // An empty map (version 0, no groups): routes nothing.
+  GroupMap() = default;
+  GroupMap(uint64_t version, std::vector<uint64_t> group_ids, size_t vnodes_per_group = 64);
+
+  uint64_t version() const { return version_; }
+  const std::vector<uint64_t>& group_ids() const { return group_ids_; }
+  size_t vnodes_per_group() const { return vnodes_per_group_; }
+  bool empty() const { return ring_.empty(); }
+
+  // The ring point of a sealed report: SHA-256 of the ciphertext under a
+  // routing-specific tag (distinct from the ingest-shard tag, so the
+  // group-level and shard-level partitions stay independent).
+  static uint64_t KeyOfReport(ByteSpan sealed_report);
+
+  // The owning group.  Must not be called on an empty map.
+  uint64_t OwnerOfKey(uint64_t key) const;
+  uint64_t OwnerOfReport(ByteSpan sealed_report) const {
+    return OwnerOfKey(KeyOfReport(sealed_report));
+  }
+
+  // Wire form (the kGroupMap frame payload): version, vnode count, and the
+  // group id list — receivers rebuild the ring deterministically, so the
+  // ring itself never travels.
+  Bytes Serialize() const;
+  static std::optional<GroupMap> Deserialize(ByteSpan payload);
+
+ private:
+  void BuildRing();
+
+  uint64_t version_ = 0;
+  std::vector<uint64_t> group_ids_;
+  size_t vnodes_per_group_ = 64;
+  std::vector<std::pair<uint64_t, uint64_t>> ring_;  // (point, group id), sorted by point
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_CLUSTER_GROUP_MAP_H_

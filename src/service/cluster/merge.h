@@ -1,0 +1,43 @@
+// HistogramMerge: combines per-group per-epoch partials into the one
+// analyzer-facing histogram — bit-identical to what a serial single
+// frontend would have produced for the same epoch membership.
+//
+// Why this works (and what it must NOT do): thresholding, noise, and the
+// minimum-batch decision are functions of the WHOLE epoch, so per-group
+// histograms cannot simply be summed — a crowd split 12/8 across two groups
+// passes a T=20 threshold globally but would die in both halves.  Groups
+// therefore ship pre-threshold per-crowd value counts (EpochPartial), and
+// the batch-global stages run exactly once here, with the same
+// (seed, epoch)-derived noise RNG the serial drain uses, over crowds in the
+// same ascending-hash order.  See Pipeline::MergePartials for the replay
+// contract and its determinism caveats.
+#ifndef PROCHLO_SRC_SERVICE_CLUSTER_MERGE_H_
+#define PROCHLO_SRC_SERVICE_CLUSTER_MERGE_H_
+
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/service/frontend.h"
+
+namespace prochlo {
+
+class HistogramMerge {
+ public:
+  // `config` must equal the groups' pipeline config (same seed → same
+  // analyzer/shuffler keys, same per-epoch RNG derivations).
+  explicit HistogramMerge(const PipelineConfig& config)
+      : config_(config), pipeline_(config) {}
+
+  // Merges one epoch's partials (one per contributing group; order
+  // irrelevant) into the final result.  The noise RNG is derived from
+  // (seed, epoch), exactly as the serial drain derives it.
+  Result<PipelineResult> Merge(uint64_t epoch, const std::vector<EpochPartial>& partials);
+
+ private:
+  PipelineConfig config_;
+  Pipeline pipeline_;
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_CLUSTER_MERGE_H_

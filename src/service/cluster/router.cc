@@ -1,0 +1,269 @@
+#include "src/service/cluster/router.h"
+
+#include <thread>
+
+namespace prochlo {
+
+// -------------------------------------------------------------------- Router
+
+Router::Router(std::vector<ShardGroup*> groups, size_t vnodes_per_group)
+    : groups_(std::move(groups)), vnodes_per_group_(vnodes_per_group) {}
+
+ShardGroup* Router::GroupById(uint64_t group_id) const {
+  for (ShardGroup* group : groups_) {
+    if (group->group_id() == group_id) {
+      return group;
+    }
+  }
+  return nullptr;
+}
+
+void Router::Start() {
+  for (ShardGroup* group : groups_) {
+    const uint64_t gid = group->group_id();
+    group->server().set_route_check(
+        [this, group, gid](ByteSpan report, uint64_t* target_group, uint64_t* map_version) {
+          std::shared_lock<std::shared_mutex> lock(map_mu_);
+          *map_version = map_.version();
+          if (map_.empty()) {
+            // No published map yet: every group owns what it receives
+            // (single-group compatibility; Start() publishes before clients
+            // connect in cluster deployments).
+            group->frontend().stats().routed.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          uint64_t owner = map_.OwnerOfReport(report);
+          if (owner == gid) {
+            group->frontend().stats().routed.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          *target_group = owner;
+          return false;
+        });
+    group->server().set_group_map_provider([this] {
+      std::shared_lock<std::shared_mutex> lock(map_mu_);
+      if (map_.empty()) {
+        return Bytes{};
+      }
+      Bytes payload = map_.Serialize();
+      return EncodeGroupMapFrame(map_.version(), payload);
+    });
+  }
+  std::vector<uint64_t> all_ids;
+  all_ids.reserve(groups_.size());
+  for (ShardGroup* group : groups_) {
+    all_ids.push_back(group->group_id());
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  map_ = GroupMap(1, std::move(all_ids), vnodes_per_group_);
+}
+
+GroupMap Router::CurrentMap() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return map_;
+}
+
+Status Router::PublishMap(const std::vector<uint64_t>& group_ids) {
+  if (group_ids.empty()) {
+    return Error{"router: a map must own at least one group"};
+  }
+  for (uint64_t group_id : group_ids) {
+    if (GroupById(group_id) == nullptr) {
+      return Error{"router: unknown group " + std::to_string(group_id)};
+    }
+  }
+  // Drain before handoff: every report admitted under the old map reaches
+  // its durable spool (or a counted failure) before the new map answers a
+  // single route check.  The old map keeps routing during the flush — the
+  // barrier orders ingestion against the version bump, it does not pause
+  // the service.
+  for (ShardGroup* group : groups_) {
+    Status status = group->pool().Flush();
+    if (status.ok()) {
+      continue;
+    }
+    // A group LEAVING the map may be crashed and unable to flush — that is
+    // the failover case this publish exists for.  Its unflushed reports
+    // were never acked, so their clients still own them; retries against
+    // the dead group's registry will claim kNew and be redirected under the
+    // new map.  A surviving (still-owning) group failing its flush is a
+    // real error: handing off with its ring un-drained could reorder a
+    // report's durable ingest across the version bump.
+    bool leaving = true;
+    for (uint64_t kept : group_ids) {
+      if (kept == group->group_id()) {
+        leaving = false;
+        break;
+      }
+    }
+    if (!leaving) {
+      return status;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  map_ = GroupMap(map_.version() + 1, group_ids, vnodes_per_group_);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- ClusterClient
+
+ClusterClient::ClusterClient(GroupMap map, Dialer dialer, ClusterClientConfig config)
+    : config_(config), dialer_(std::move(dialer)), map_(std::move(map)) {
+  const auto& ids = map_.group_ids();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    FrameClientConfig client_config;
+    client_config.session_id = config_.session_id_base + i;
+    client_config.nack_retry_delay = config_.nack_retry_delay;
+    client_config.nack_retry_max_delay = config_.nack_retry_max_delay;
+    client_config.nack_retry_jitter_seed = config_.nack_retry_jitter_seed + i;
+    // Reader-thread hooks; FrameClient invokes both outside its own locks.
+    client_config.redirect_handler = [this](Bytes report, uint64_t target_group,
+                                            uint64_t /*map_version*/) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.redirects_followed++;
+      }
+      FrameClient* owner = ClientFor(target_group);
+      if (owner == nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.redirect_failures++;
+        return;
+      }
+      // Ownership of the report passes to the target client here; even a
+      // failed write leaves it outstanding there for replay.
+      owner->SendReport(std::move(report));
+    };
+    client_config.on_group_map = [this](uint64_t version, Bytes payload) {
+      auto parsed = GroupMap::Deserialize(payload);
+      if (!parsed.has_value() || parsed->version() != version) {
+        return;  // malformed or mislabeled announcement: keep the map we trust
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (parsed->version() > map_.version()) {
+        map_ = std::move(*parsed);
+        stats_.group_maps_adopted++;
+      }
+    };
+    clients_.emplace(ids[i], std::make_unique<FrameClient>(client_config));
+  }
+}
+
+ClusterClient::~ClusterClient() = default;
+
+FrameClient* ClusterClient::ClientFor(uint64_t group_id) const {
+  auto it = clients_.find(group_id);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+Status ClusterClient::Connect() {
+  for (auto& [group_id, client] : clients_) {
+    auto stream = dialer_(group_id);
+    if (!stream.ok()) {
+      return stream.error();
+    }
+    Status status = client->Connect(std::move(stream).value());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ClusterClient::Reconnect() {
+  for (auto& [group_id, client] : clients_) {
+    if (client->connected()) {
+      continue;
+    }
+    auto stream = dialer_(group_id);
+    if (!stream.ok()) {
+      return stream.error();
+    }
+    Status status = client->Connect(std::move(stream).value());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ClusterClient::SendReport(Bytes sealed_report) {
+  uint64_t owner = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.empty()) {
+      return Error{"cluster client: no group map"};
+    }
+    owner = map_.OwnerOfReport(sealed_report);
+    stats_.routed++;
+  }
+  FrameClient* client = ClientFor(owner);
+  if (client == nullptr) {
+    return Error{"cluster client: map names group " + std::to_string(owner) +
+                 " but no connection to it exists"};
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  return client->SendReport(std::move(sealed_report));
+}
+
+uint64_t ClusterClient::acked_total() const {
+  uint64_t acked = 0;
+  for (const auto& [group_id, client] : clients_) {
+    acked += client->stats().acked;
+  }
+  return acked;
+}
+
+size_t ClusterClient::outstanding_total() const {
+  size_t outstanding = 0;
+  for (const auto& [group_id, client] : clients_) {
+    outstanding += client->outstanding();
+  }
+  return outstanding;
+}
+
+bool ClusterClient::WaitForAllAcked(std::chrono::milliseconds timeout) {
+  // acked_total is the authoritative signal: a mid-redirect report is
+  // outstanding NOWHERE for a moment (erased at the redirected client,
+  // not yet re-sent at the owner), but it is not acked either, so polling
+  // acks can never declare victory early.
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (acked_total() >= reports_sent() && outstanding_total() == 0) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ClusterClient::Close() {
+  for (auto& [group_id, client] : clients_) {
+    client->Close();
+  }
+}
+
+ClusterClientStats ClusterClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FrameClientStats ClusterClient::FoldedClientStats() const {
+  FrameClientStats folded;
+  for (const auto& [group_id, client] : clients_) {
+    FrameClientStats stats = client->stats();
+    folded.sent += stats.sent;
+    folded.retransmitted += stats.retransmitted;
+    folded.acked += stats.acked;
+    folded.nacked += stats.nacked;
+    folded.session_rotations += stats.session_rotations;
+    folded.goodbyes_sent += stats.goodbyes_sent;
+    folded.goodbyes_acked += stats.goodbyes_acked;
+    folded.redirected += stats.redirected;
+    folded.group_maps_received += stats.group_maps_received;
+  }
+  return folded;
+}
+
+}  // namespace prochlo

@@ -1,0 +1,144 @@
+// Report routing across shard groups: the server-side Router that enforces
+// ownership, and the ClusterClient that speaks to every group at once.
+//
+//   ClusterClient ──REPORT──► owning group (by GroupMap hash)
+//         ▲  │                    │ route check (after dedup claim)
+//         │  └──◄─NACK kMisrouted─┘   stale map: stamped with the owner +
+//         │            │              map version, claim released
+//         │            ▼
+//         └─re-send──► stamped owner's FrameClient (redirects_followed)
+//
+// The Router installs a RouteCheck and a GroupMapProvider on every group's
+// FrameServer.  The check runs only after the dedup claim returned kNew —
+// a replayed, already-durable report is re-ACKed, never redirected, so a
+// map change can never turn a retry into a duplicate ingest.  Map changes
+// are drain-before-handoff: every worker ring is flushed (each accepted
+// report durably spooled by its old owner) before the new version answers
+// a single route check.
+#ifndef PROCHLO_SRC_SERVICE_CLUSTER_ROUTER_H_
+#define PROCHLO_SRC_SERVICE_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/service/cluster/group_map.h"
+#include "src/service/cluster/shard_group.h"
+#include "src/service/connection.h"
+
+namespace prochlo {
+
+// Server-side ownership enforcement over a fixed set of ShardGroup
+// instances.  Owns the current GroupMap; the map's group id list may be any
+// subset of the managed groups (a drained-out group keeps serving redirects
+// for stragglers, it just owns no arcs).
+class Router {
+ public:
+  explicit Router(std::vector<ShardGroup*> groups, size_t vnodes_per_group = 64);
+
+  // Installs the route check + group map provider on every group's server
+  // and publishes version 1 over all managed groups.  Call after the
+  // groups' Start() and before serving clients.
+  void Start();
+
+  GroupMap CurrentMap() const;
+
+  // Publishes a new map (version + 1) owning only `group_ids` — each must
+  // be a managed group.  Drain-before-handoff: every group's worker ring
+  // is flushed first, so each report admitted under the old map reaches
+  // its durable spool before any route check answers with the new one.
+  Status PublishMap(const std::vector<uint64_t>& group_ids);
+
+ private:
+  ShardGroup* GroupById(uint64_t group_id) const;
+
+  std::vector<ShardGroup*> groups_;  // borrowed
+  size_t vnodes_per_group_;
+  mutable std::shared_mutex map_mu_;
+  GroupMap map_;
+};
+
+struct ClusterClientConfig {
+  // Per-group sessions: the group at index i of the map uses
+  // session_id_base + i, so one ClusterClient never collides with itself.
+  // Distinct ClusterClient instances must pick bases far enough apart.
+  uint64_t session_id_base = 1;
+  // Forwarded into each per-group FrameClient.
+  std::chrono::milliseconds nack_retry_delay{1};
+  std::chrono::milliseconds nack_retry_max_delay{64};
+  uint64_t nack_retry_jitter_seed = 1;
+};
+
+struct ClusterClientStats {
+  uint64_t routed = 0;              // reports sent to the group the map named
+  uint64_t redirects_followed = 0;  // server redirects re-sent to the stamped owner
+  uint64_t group_maps_adopted = 0;  // newer maps learned from kGroupMap frames
+  uint64_t redirect_failures = 0;   // redirect target had no connected client
+};
+
+// One logical client over N per-group FrameClients.  SendReport routes by
+// the client's current map; when that map is stale the owning group's NACK
+// redirect (handled on the reader thread, outside every client lock) hands
+// the report to the stamped owner's FrameClient, and kGroupMap
+// announcements refresh the map so later sends route correctly first try.
+// Exactly-once still holds end to end: each per-group session keeps its own
+// sequence space, and only the group that durably ingests a report ACKs it.
+class ClusterClient {
+ public:
+  using Dialer = std::function<Result<std::unique_ptr<ByteStream>>(uint64_t group_id)>;
+
+  ClusterClient(GroupMap map, Dialer dialer, ClusterClientConfig config = {});
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  // Dials and HELLOs every group in the map.
+  Status Connect();
+
+  // Re-dials every per-group client whose connection died; FrameClient's
+  // Connect replays that client's outstanding reports.  Clients that are
+  // still connected are left untouched.
+  Status Reconnect();
+
+  // Routes one sealed report to its owning group.  Same ownership contract
+  // as FrameClient::SendReport: call exactly once per report; a redirect
+  // or reconnect replay keeps it outstanding until exactly one group ACKs.
+  Status SendReport(Bytes sealed_report);
+
+  // True once every report handed to SendReport has been ACKed by exactly
+  // one group (redirected reports count at their final owner).
+  bool WaitForAllAcked(std::chrono::milliseconds timeout);
+
+  // Graceful goodbye on every group connection.
+  void Close();
+
+  uint64_t reports_sent() const { return sent_.load(std::memory_order_relaxed); }
+  uint64_t acked_total() const;
+  size_t outstanding_total() const;
+  ClusterClientStats stats() const;
+  // Every per-group FrameClient's books folded together.
+  FrameClientStats FoldedClientStats() const;
+
+ private:
+  FrameClient* ClientFor(uint64_t group_id) const;
+
+  ClusterClientConfig config_;
+  Dialer dialer_;
+  // clients_ is built in the constructor and structurally immutable after,
+  // so reader-thread redirect hops may look up targets without mu_.
+  std::map<uint64_t, std::unique_ptr<FrameClient>> clients_;
+  mutable std::mutex mu_;  // guards map_ + stats_
+  GroupMap map_;
+  ClusterClientStats stats_;
+  std::atomic<uint64_t> sent_{0};
+};
+
+}  // namespace prochlo
+
+#endif  // PROCHLO_SRC_SERVICE_CLUSTER_ROUTER_H_

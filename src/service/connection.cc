@@ -535,6 +535,26 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
     case AckRegistry::Claim::kNew:
       break;
   }
+  if (route_check_) {
+    // Ownership runs strictly AFTER dedup: only a kNew claim gets here, so
+    // a replayed report that is already durable somewhere in its retry
+    // history was re-ACKed above — redirecting it would make the client
+    // deliver it twice.
+    uint64_t target_group = 0;
+    uint64_t map_version = 0;
+    if (!route_check_(ByteSpan(frame.payload.data(), frame.payload.size()), &target_group,
+                      &map_version)) {
+      registry_->Release(session, seq);
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        book_.nacked++;
+        book_.redirects_sent++;
+      }
+      EnqueueResponse(EncodeMisroutedNackFrame(seq, target_group, map_version,
+                                               "misrouted; resend to the owning group"));
+      return;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     inflight_++;
@@ -581,6 +601,14 @@ Status FrameConnection::HandleFrame(Frame frame) {
       // reports while acking them.
       helloed_ = registry_ != nullptr && frame.seq != 0;
       session_id_ = frame.seq;
+      if (helloed_ && group_map_provider_) {
+        // Announce the topology up front so the client can route before it
+        // has made (and been redirected for) its first mistake.
+        Bytes map_frame = group_map_provider_();
+        if (!map_frame.empty()) {
+          EnqueueResponse(std::move(map_frame));
+        }
+      }
       return Status::Ok();
     case FrameType::kReport:
       if (helloed_) {
@@ -606,8 +634,10 @@ Status FrameConnection::HandleFrame(Frame frame) {
       return Status::Ok();
     case FrameType::kAck:
     case FrameType::kNack:
+    case FrameType::kGroupMap:
       // Client-bound frames arriving at a server: already counted in the
-      // framing books (frames_ack/frames_nack), nothing to do.
+      // framing books (frames_ack/frames_nack/frames_group_map), nothing
+      // to do.
       return Status::Ok();
   }
   return Status::Ok();
@@ -678,6 +708,16 @@ void FrameServer::BindFrontendStats(FrontendStats* stats) {
   frontend_stats_ = stats;
 }
 
+void FrameServer::set_route_check(FrameConnection::RouteCheck route_check) {
+  std::lock_guard<std::mutex> lock(mu_);
+  route_check_ = std::move(route_check);
+}
+
+void FrameServer::set_group_map_provider(FrameConnection::GroupMapProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  group_map_provider_ = std::move(provider);
+}
+
 std::unique_ptr<ByteStream> FrameServer::Connect(size_t capacity_bytes) {
   LoopbackPair pair = NewLoopbackPair(capacity_bytes);
   Serve(std::move(pair.server));
@@ -697,8 +737,18 @@ void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
   if (shut_down_) {
     return;
   }
-  raw->thread = std::thread([this, raw] {
+  // The hooks are copied under the same lock that registers the
+  // connection, so each connection keeps the hooks it started with even if
+  // the setters race later Serves.
+  raw->thread = std::thread([this, raw, route_check = route_check_,
+                             group_map_provider = group_map_provider_]() mutable {
     FrameConnection connection(raw->stream.get(), sink_, async_sink_, &registry_);
+    if (route_check) {
+      connection.set_route_check(std::move(route_check));
+    }
+    if (group_map_provider) {
+      connection.set_group_map_provider(std::move(group_map_provider));
+    }
     raw->status = connection.PumpUntilClosed();
     raw->stats = connection.stats();
     raw->book = connection.ack_book();
@@ -712,6 +762,13 @@ void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
         frontend_stats_->nacks_sent.fetch_add(raw->book.nacked, std::memory_order_relaxed);
         frontend_stats_->duplicates_suppressed.fetch_add(raw->book.duplicates_suppressed,
                                                          std::memory_order_relaxed);
+        // Every misrouted rejection sent exactly one redirect NACK, so the
+        // two cluster counters mirror the same book entry — the exact
+        // balance the cluster tests pin.
+        frontend_stats_->redirects_sent.fetch_add(raw->book.redirects_sent,
+                                                  std::memory_order_relaxed);
+        frontend_stats_->misrouted_rejected.fetch_add(raw->book.redirects_sent,
+                                                      std::memory_order_relaxed);
       }
     }
     // Release the transport as soon as pumping ends: if the pump bailed on
@@ -1116,6 +1173,16 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
   uint8_t buffer[4096];
   std::vector<Frame> frames;
   std::vector<uint64_t> nacked_seqs;
+  // Cluster frames whose handlers must run OUTSIDE every client lock: a
+  // redirect handler typically calls another FrameClient's SendReport, and
+  // an on_group_map callback may swap a routing table that senders read.
+  struct Redirect {
+    Bytes report;
+    uint64_t target_group = 0;
+    uint64_t map_version = 0;
+  };
+  std::vector<Redirect> redirects;
+  std::vector<std::pair<uint64_t, Bytes>> group_maps;  // (version, payload)
   for (;;) {
     auto n = stream->Read(std::span<uint8_t>(buffer, sizeof(buffer)));
     if (!n.ok() || n.value() == 0) {
@@ -1123,6 +1190,8 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
     }
     frames.clear();
     nacked_seqs.clear();
+    redirects.clear();
+    group_maps.clear();
     bool session_expired = false;
     bool ack_progress = false;
     decoder.Feed(ByteSpan(buffer, n.value()), frames);
@@ -1157,13 +1226,47 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
           if (info.session_id == 0 || info.session_id == config_.session_id) {
             session_expired = true;
           }
+        } else if (info.reason == NackReason::kMisrouted && config_.redirect_handler) {
+          // The report belongs to another shard group.  It stops being this
+          // client's responsibility right now — retrying here would only
+          // draw another redirect — and the handler (invoked below, outside
+          // the locks) re-sends it through the owning group's client.
+          auto it = outstanding_.find(frame.seq);
+          if (it != outstanding_.end()) {
+            redirects.push_back(
+                Redirect{std::move(it->second), info.redirect_group, info.map_version});
+            outstanding_.erase(it);
+            stats_.redirected++;
+            acked_cv_.notify_all();
+          }
         } else {
           // kRetryable and kInFlight both resend the same seq (after the
           // backoff below); the distinction only matters for diagnostics.
+          // kMisrouted with no redirect handler lands here too: retrying on
+          // this connection is lossless and converges if the server's map
+          // changes in this client's favor.
           nacked_seqs.push_back(frame.seq);
+        }
+      } else if (frame.type == FrameType::kGroupMap) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.group_maps_received++;
+        }
+        if (config_.on_group_map) {
+          group_maps.emplace_back(frame.seq, std::move(frame.payload));
         }
       }
       // Other frame types are server-bound: protocol noise, ignore.
+    }
+    // Cluster callbacks run before any rotation/backoff branch `continue`s
+    // this loop — a redirected report must reach its owner even when the
+    // same read batch also expired the session.
+    for (auto& [version, payload] : group_maps) {
+      config_.on_group_map(version, std::move(payload));
+    }
+    for (auto& redirect : redirects) {
+      config_.redirect_handler(std::move(redirect.report), redirect.target_group,
+                               redirect.map_version);
     }
     if (ack_progress) {
       std::lock_guard<std::mutex> lock(mu_);

@@ -213,6 +213,12 @@ struct ConnectionAckBook {
   // Of `nacked`, how many told the client its session state is gone
   // (kSessionExpired: evicted, terminated, or seq space saturated).
   uint64_t expired_nacked = 0;
+  // Of `nacked`, reports rejected as misrouted (cluster routing): the
+  // report belongs to another shard group, so it was NACKed kMisrouted
+  // with a redirect stamp instead of being ingested here.  The claim was
+  // released, never committed — the owning group's ingest is the one that
+  // ACKs.
+  uint64_t redirects_sent = 0;
   // kGoodbye frames acknowledged.  Kept outside the report balance: the
   // invariant frames_report == acked + nacked + duplicates_suppressed
   // still holds exactly.
@@ -227,6 +233,7 @@ struct ConnectionAckBook {
     nacked += other.nacked;
     duplicates_suppressed += other.duplicates_suppressed;
     expired_nacked += other.expired_nacked;
+    redirects_sent += other.redirects_sent;
     goodbyes_acked += other.goodbyes_acked;
     response_write_failures += other.response_write_failures;
   }
@@ -258,6 +265,18 @@ class FrameConnection {
   // Asynchronous hand-off: `done` must be invoked exactly once with the
   // report's final Accept outcome, possibly on another thread.
   using AsyncSink = std::function<void(Bytes, std::function<void(const Status&)>)>;
+  // Cluster ownership check, consulted only after the dedup claim comes
+  // back kNew — a replayed already-durable report is re-ACKed, never
+  // redirected, no matter what the current map says.  Returns true when
+  // this server's group owns the report; on false it fills the owning
+  // group id and the map version that says so, and the report is NACKed
+  // kMisrouted (claim released) so the client re-sends it to the owner.
+  using RouteCheck =
+      std::function<bool(ByteSpan report, uint64_t* target_group, uint64_t* map_version)>;
+  // Produces an encoded kGroupMap frame (empty = nothing to announce),
+  // pushed to the client right after its HELLO so it learns the topology
+  // before the first routing mistake rather than from it.
+  using GroupMapProvider = std::function<Bytes()>;
 
   FrameConnection(ByteStream* stream, ReportSink sink)
       : FrameConnection(stream, std::move(sink), nullptr, nullptr) {}
@@ -267,6 +286,12 @@ class FrameConnection {
         sink_(std::move(sink)),
         async_sink_(std::move(async_sink)),
         registry_(registry) {}
+
+  // Both cluster hooks must be installed before PumpUntilClosed.
+  void set_route_check(RouteCheck route_check) { route_check_ = std::move(route_check); }
+  void set_group_map_provider(GroupMapProvider provider) {
+    group_map_provider_ = std::move(provider);
+  }
 
   // Reads until EOF or a sink/transport error, cutting frames as they
   // complete.  Corrupt frames are skipped with stats kept, never fatal.
@@ -287,6 +312,8 @@ class FrameConnection {
   ReportSink sink_;
   AsyncSink async_sink_;
   AckRegistry* registry_;  // borrowed; null disables the ack protocol
+  RouteCheck route_check_;              // null = this server owns everything
+  GroupMapProvider group_map_provider_; // null = no topology announcements
   StreamingFrameDecoder decoder_;
 
   bool helloed_ = false;
@@ -328,8 +355,15 @@ class FrameServer {
   FrameServer& operator=(const FrameServer&) = delete;
 
   // Mirrors every finished connection's ack book into the frontend's
-  // acks_sent/nacks_sent/duplicates_suppressed counters.
+  // acks_sent/nacks_sent/duplicates_suppressed counters (and, for a
+  // cluster group, redirects_sent/misrouted_rejected).
   void BindFrontendStats(FrontendStats* stats);
+
+  // Cluster hooks, installed on every connection served from here on.
+  // Set both before the first Connect/Serve; connections already being
+  // pumped keep the hooks they started with.
+  void set_route_check(FrameConnection::RouteCheck route_check);
+  void set_group_map_provider(FrameConnection::GroupMapProvider provider);
 
   // Opens a loopback connection served on a new thread; returns the client
   // endpoint.  The client writes frames and CloseWrite()s when done.  After
@@ -366,6 +400,8 @@ class FrameServer {
 
   FrameConnection::ReportSink sink_;
   FrameConnection::AsyncSink async_sink_;
+  FrameConnection::RouteCheck route_check_;               // guarded by mu_
+  FrameConnection::GroupMapProvider group_map_provider_;  // guarded by mu_
   AckRegistry registry_;
   FrontendStats* frontend_stats_ = nullptr;  // borrowed
   mutable std::mutex mu_;
@@ -430,6 +466,20 @@ struct FrameClientConfig {
   // before giving up and closing anyway (the server's LRU eviction is the
   // backstop for lost goodbyes).
   std::chrono::milliseconds goodbye_timeout{250};
+  // Invoked — outside every client lock, on the reader thread — when the
+  // server NACKs a report kMisrouted.  The report has already been removed
+  // from this client's outstanding set (the redirect stamp names its real
+  // owner, so retrying here would only draw another redirect); the handler
+  // must deliver it to `target_group`, typically via that group's own
+  // FrameClient.  With no handler installed the report is instead retried
+  // on this connection like a retryable NACK — lossless, and convergent
+  // once the server's map changes in this client's favor.
+  std::function<void(Bytes report, uint64_t target_group, uint64_t map_version)>
+      redirect_handler;
+  // Invoked — outside every client lock, on the reader thread — with each
+  // kGroupMap frame's (version, payload), so a cluster-aware caller can
+  // refresh its routing table from the server's announcements.
+  std::function<void(uint64_t version, Bytes payload)> on_group_map;
 };
 
 struct FrameClientStats {
@@ -440,6 +490,10 @@ struct FrameClientStats {
   uint64_t session_rotations = 0;  // kSessionExpired re-hellos
   uint64_t goodbyes_sent = 0;      // graceful terminations offered
   uint64_t goodbyes_acked = 0;     // ...and confirmed by the server
+  // kMisrouted NACKs whose report went to the redirect handler (no longer
+  // outstanding here; also counted in `nacked`).
+  uint64_t redirected = 0;
+  uint64_t group_maps_received = 0;  // kGroupMap announcements seen
 };
 
 // The client half of the retry contract: assigns each report a sequence

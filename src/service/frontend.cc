@@ -150,30 +150,40 @@ Status ShufflerFrontend::AcceptRoutedReport(size_t shard_index, Bytes sealed_rep
 
 Status ShufflerFrontend::Tick() { return ingest_->Tick(); }
 
-Status ShufflerFrontend::CutEpoch() { return ingest_->CutEpoch(); }
+Status ShufflerFrontend::CutEpoch(bool seal_if_empty) {
+  return ingest_->CutEpoch(seal_if_empty);
+}
 
 Status ShufflerFrontend::SyncSpool() {
   return spool_ != nullptr ? spool_->SyncAll() : Status::Ok();
 }
 
-SecureRandom ShufflerFrontend::EpochRng(uint64_t epoch) const {
+SecureRandom DeriveEpochRng(const std::string& seed, uint64_t epoch) {
   Writer w;
-  w.PutString(config_.pipeline.seed);
+  w.PutString(seed);
   w.PutU64(epoch);
   Sha256Digest digest = Sha256::TaggedHash("prochlo-epoch-rng", w.data());
   return SecureRandom(ByteSpan(digest.data(), digest.size()));
 }
 
-Rng ShufflerFrontend::EpochNoiseRng(uint64_t epoch) const {
+Rng DeriveEpochNoiseRng(const std::string& seed, uint64_t epoch) {
   Writer w;
-  w.PutString(config_.pipeline.seed);
+  w.PutString(seed);
   w.PutU64(epoch);
   Sha256Digest digest = Sha256::TaggedHash("prochlo-epoch-noise", w.data());
-  uint64_t seed = 0;
+  uint64_t rng_seed = 0;
   for (int i = 0; i < 8; ++i) {
-    seed |= static_cast<uint64_t>(digest[i]) << (8 * i);
+    rng_seed |= static_cast<uint64_t>(digest[i]) << (8 * i);
   }
-  return Rng(seed);
+  return Rng(rng_seed);
+}
+
+SecureRandom ShufflerFrontend::EpochRng(uint64_t epoch) const {
+  return DeriveEpochRng(config_.pipeline.seed, epoch);
+}
+
+Rng ShufflerFrontend::EpochNoiseRng(uint64_t epoch) const {
+  return DeriveEpochNoiseRng(config_.pipeline.seed, epoch);
 }
 
 DrainReport ShufflerFrontend::DrainSealedEpochs() {
@@ -239,6 +249,58 @@ DrainReport ShufflerFrontend::DrainSealedEpochs() {
     report.results.push_back(std::move(epoch_result));
   }
   return report;
+}
+
+Result<std::optional<EpochPartialResult>> ShufflerFrontend::DrainNextEpochPartial() {
+  auto batch = ingest_->PopSealedEpoch();
+  if (!batch.has_value()) {
+    return std::optional<EpochPartialResult>(std::nullopt);
+  }
+  EpochPartialResult out;
+  out.epoch = batch->epoch;
+  out.reports = batch->total;
+
+  if (batch->total > 0) {
+    Result<EpochPartial> run = Error{"epoch not drained"};
+    if (spool_ != nullptr) {
+      auto stream = spool_->OpenEpochStream(batch->epoch);
+      run = pipeline_.RunReportsPartial(*stream);
+    } else {
+      // Borrow the batch (see DrainSealedEpochs): a failed run requeues it
+      // intact, and in-memory mode holds the only copy of its reports.
+      EpochBatchRecordStream stream(*batch);
+      run = pipeline_.RunReportsPartial(stream);
+    }
+    if (run.ok() && config_.inject_drain_failure.has_value() &&
+        config_.inject_drain_failure->epoch == batch->epoch &&
+        injected_drain_failures_ < config_.inject_drain_failure->times) {
+      injected_drain_failures_++;
+      run = Error{"injected drain failure (epoch " + std::to_string(batch->epoch) + ")"};
+    }
+    if (!run.ok()) {
+      Error error = run.error();
+      ingest_->RequeueSealedEpoch(std::move(*batch));
+      return error;
+    }
+    out.partial = std::move(run).value();
+  }
+
+  if (spool_ != nullptr && config_.remove_drained_epochs) {
+    // Same bounded-retry cleanup as the serial drain (an empty alignment
+    // epoch still leaves a marker + manifest to remove).
+    Status removed = spool_->RemoveEpoch(batch->epoch);
+    for (uint32_t attempt = 1; !removed.ok() && attempt < config_.remove_retry_attempts;
+         ++attempt) {
+      stats_.remove_retries++;
+      std::this_thread::sleep_for(config_.remove_retry_delay);
+      removed = spool_->RemoveEpoch(batch->epoch);
+    }
+    if (!removed.ok()) {
+      stats_.remove_failures++;
+    }
+  }
+  stats_.epochs_drained++;
+  return std::optional<EpochPartialResult>(std::move(out));
 }
 
 }  // namespace prochlo

@@ -106,6 +106,20 @@ struct FrontendStats {
   std::atomic<uint64_t> acks_sent{0};
   std::atomic<uint64_t> nacks_sent{0};
   std::atomic<uint64_t> duplicates_suppressed{0};
+  // Cluster routing books (src/service/cluster/).  On a group's frontend:
+  // routed counts reports this group accepted as owner; misrouted_rejected
+  // counts reports refused with a redirect NACK (mirrored into
+  // redirects_sent by the connection book, so the two track each other
+  // exactly — every rejection sent exactly one redirect).  On the merge
+  // side: merge_waits counts MergeEpoch calls that had to block for a
+  // missing group's seal, merge_shortfalls counts epochs merged after the
+  // barrier timed out with groups still missing (their late reports are
+  // accounted, never silently dropped).
+  std::atomic<uint64_t> routed{0};
+  std::atomic<uint64_t> redirects_sent{0};
+  std::atomic<uint64_t> misrouted_rejected{0};
+  std::atomic<uint64_t> merge_waits{0};
+  std::atomic<uint64_t> merge_shortfalls{0};
 };
 
 struct EpochResult {
@@ -113,6 +127,22 @@ struct EpochResult {
   size_t reports = 0;
   PipelineResult result;
 };
+
+// One epoch's pre-threshold contribution from this frontend (cluster mode):
+// per-crowd value counts, not a histogram — thresholding is global, so only
+// the merge step (HistogramMerge) may apply it.
+struct EpochPartialResult {
+  uint64_t epoch = 0;
+  size_t reports = 0;
+  EpochPartial partial;
+};
+
+// Per-epoch derived randomness, shared by the serial drain and the cluster
+// merge: for a fixed (seed, epoch) the shuffle permutation and threshold
+// noise are identical wherever they are replayed — the keystone of the
+// merged-histogram bit-identity guarantee.
+SecureRandom DeriveEpochRng(const std::string& seed, uint64_t epoch);
+Rng DeriveEpochNoiseRng(const std::string& seed, uint64_t epoch);
 
 // A drain failure: the pipeline run of `epoch` failed.  The epoch was
 // requeued intact (its reports are safe — in-memory batches keep their
@@ -174,8 +204,10 @@ class ShufflerFrontend {
   // failure is returned here (and counted in ingest_stats().seal_failures)
   // rather than silently swallowed; the epoch stays open for a later retry.
   Status Tick();
-  // Forces the current epoch to seal (operator flush).
-  Status CutEpoch();
+  // Forces the current epoch to seal (operator flush).  `seal_if_empty`
+  // seals and advances even a zero-report epoch — the cluster coordinator's
+  // epoch-alignment cut (see ShardedIngest::CutEpoch).
+  Status CutEpoch(bool seal_if_empty = false);
   // Durability point: fsyncs all in-progress spool segments.
   Status SyncSpool();
 
@@ -187,6 +219,14 @@ class ShufflerFrontend {
   // concurrently with Accept*/Tick/CutEpoch (drain of epoch e overlaps
   // accumulation of e+1), but not with itself: one drainer at a time.
   DrainReport DrainSealedEpochs();
+
+  // Cluster-mode drain: pops the oldest sealed epoch and runs only the
+  // pipeline's open/decrypt stages, returning the epoch's pre-threshold
+  // partial (per-crowd value counts) for HistogramMerge to combine across
+  // groups.  nullopt when no sealed epoch is queued; on failure the epoch
+  // is requeued intact, exactly like DrainSealedEpochs.  An empty sealed
+  // epoch (a seal_if_empty alignment cut) yields an empty partial.
+  Result<std::optional<EpochPartialResult>> DrainNextEpochPartial();
 
   // Fired after every successful epoch seal; owned by the drain scheduler
   // while it runs (see ShardedIngest::SetSealListener for the contract).

@@ -98,9 +98,9 @@ Status ShardedIngest::Tick() {
   return status;
 }
 
-Status ShardedIngest::CutEpoch() {
+Status ShardedIngest::CutEpoch(bool seal_if_empty) {
   std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
-  if (current_total_.load() == 0) {
+  if (current_total_.load() == 0 && !seal_if_empty) {
     return Status::Ok();  // nothing to seal
   }
   return SealCurrentLocked();

@@ -101,8 +101,12 @@ class ShardedIngest {
   // stats().seal_failures / last_seal_error).
   Status Tick();
 
-  // Force-seals the current epoch if it holds any reports.
-  Status CutEpoch();
+  // Force-seals the current epoch if it holds any reports.  With
+  // `seal_if_empty`, an empty epoch is sealed too (marker only, zero
+  // reports) and the epoch number still advances — the cluster's epoch
+  // coordinator uses this to keep every shard group's epoch clock aligned
+  // even when a group received nothing this epoch.
+  Status CutEpoch(bool seal_if_empty = false);
 
   // Oldest sealed epoch not yet handed out, if any.
   std::optional<EpochBatch> PopSealedEpoch();

@@ -79,6 +79,58 @@ std::string Spool::MarkerPath(uint64_t epoch) const {
   return config_.root + "/epoch-" + std::to_string(epoch) + ".sealed";
 }
 
+std::string Spool::ManifestPath(uint64_t epoch) const {
+  return config_.root + "/epoch-" + std::to_string(epoch) + ".manifest";
+}
+
+namespace {
+
+// Parsed manifest: shard -> (frames, bytes).  nullopt on any defect —
+// missing file, torn bytes, CRC mismatch, wrong epoch, trailing garbage —
+// in which case recovery falls back to the frame-by-frame scan.
+using ManifestEntries = std::map<uint64_t, std::pair<uint64_t, uint64_t>>;
+
+std::optional<ManifestEntries> ReadManifestFile(const std::string& path, uint64_t epoch) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  Bytes data;
+  uint8_t buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.insert(data.end(), buffer, buffer + got);
+  }
+  std::fclose(f);
+  auto payload = DecodeFrame(data);
+  if (!payload.ok() || data.size() != FrameWireSize(payload.value().size())) {
+    return std::nullopt;
+  }
+  Reader reader(payload.value());
+  uint64_t manifest_epoch = 0;
+  uint32_t count = 0;
+  if (!reader.GetU64(&manifest_epoch) || manifest_epoch != epoch ||
+      !reader.GetU32(&count)) {
+    return std::nullopt;
+  }
+  ManifestEntries entries;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t shard = 0;
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+    if (!reader.GetU64(&shard) || !reader.GetU64(&frames) || !reader.GetU64(&bytes)) {
+      return std::nullopt;
+    }
+    entries[shard] = {frames, bytes};
+  }
+  if (reader.remaining() != 0) {
+    return std::nullopt;
+  }
+  return entries;
+}
+
+}  // namespace
+
 Result<Spool::RecoveryReport> Spool::Open() {
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
@@ -88,31 +140,92 @@ Result<Spool::RecoveryReport> Spool::Open() {
   }
 
   RecoveryReport report;
+  struct PendingSegment {
+    size_t shard = 0;
+    uint64_t epoch = 0;
+    uintmax_t size = 0;
+    std::string path;
+    std::string name;
+  };
+  std::vector<PendingSegment> pending;
+  std::set<uint64_t> manifest_epochs;
   for (const auto& entry : fs::directory_iterator(config_.root, ec)) {
     std::string name = entry.path().filename().string();
     uint64_t epoch = 0;
-    if (std::sscanf(name.c_str(), "epoch-%lu.sealed", &epoch) == 1) {
-      report.sealed_epochs.insert(epoch);
-      continue;
+    // Match the suffix explicitly: sscanf("epoch-%lu.sealed") would return 1
+    // for "epoch-5.manifest" too (the conversion succeeds before the literal
+    // mismatch stops the scan), silently sealing the wrong epochs.
+    char suffix[16] = {0};
+    if (std::sscanf(name.c_str(), "epoch-%lu.%15s", &epoch, suffix) == 2) {
+      if (std::strcmp(suffix, "sealed") == 0) {
+        report.sealed_epochs.insert(epoch);
+        continue;
+      }
+      if (std::strcmp(suffix, "manifest") == 0) {
+        manifest_epochs.insert(epoch);
+        continue;
+      }
     }
     unsigned long shard = 0;
     if (std::sscanf(name.c_str(), "shard-%lu-epoch-%lu.seg", &shard, &epoch) != 2) {
       continue;  // foreign file; leave it alone
+    }
+    std::error_code size_ec;
+    uintmax_t file_size = fs::file_size(entry.path(), size_ec);
+    if (size_ec) {
+      return Error{"spool: cannot stat " + name};
+    }
+    pending.push_back({shard, epoch, file_size, entry.path().string(), name});
+  }
+
+  // One manifest read per sealed epoch replaces the per-segment scans below
+  // whenever the recorded byte size still matches the file exactly.
+  std::map<uint64_t, ManifestEntries> manifests;
+  for (uint64_t epoch : manifest_epochs) {
+    if (report.sealed_epochs.count(epoch) == 0) {
+      continue;  // no marker: the epoch is not sealed, scan its segments
+    }
+    auto entries = ReadManifestFile(ManifestPath(epoch), epoch);
+    if (entries.has_value()) {
+      manifests.emplace(epoch, std::move(*entries));
+    }
+  }
+
+  for (const PendingSegment& segment : pending) {
+    const std::string& name = segment.name;
+    uintmax_t file_size = segment.size;
+    if (report.sealed_epochs.count(segment.epoch) > 0) {
+      auto manifest = manifests.find(segment.epoch);
+      const std::pair<uint64_t, uint64_t>* recorded = nullptr;
+      if (manifest != manifests.end()) {
+        auto entry = manifest->second.find(segment.shard);
+        if (entry != manifest->second.end()) {
+          recorded = &entry->second;
+        }
+      }
+      if (recorded != nullptr && recorded->second == file_size) {
+        report.manifest_hits++;
+        SegmentInfo info;
+        info.shard = segment.shard;
+        info.epoch = segment.epoch;
+        info.frames = recorded->first;
+        info.bytes = file_size;
+        info.path = segment.path;
+        frame_counts_[{segment.epoch, segment.shard}] = recorded->first;
+        report.segments.push_back(std::move(info));
+        continue;
+      }
+      report.manifest_fallbacks++;
     }
 
     // Scan the segment's frames with a bounded buffer — one frame resident
     // at a time, so recovering a larger-than-RAM segment stays O(1) in
     // memory — and truncate at the clean prefix: the append-only discipline
     // means everything past the first tear is suspect.
-    std::error_code size_ec;
-    uintmax_t file_size = fs::file_size(entry.path(), size_ec);
-    if (size_ec) {
-      return Error{"spool: cannot stat " + name};
-    }
     uint64_t frames = 0;
     uintmax_t clean_end = 0;
     {
-      std::FILE* f = std::fopen(entry.path().c_str(), "rb");
+      std::FILE* f = std::fopen(segment.path.c_str(), "rb");
       if (f == nullptr) {
         return Error{"spool: cannot read " + name};
       }
@@ -173,19 +286,19 @@ Result<Spool::RecoveryReport> Spool::Open() {
     if (clean_end < file_size) {
       report.corrupt_frames++;  // at least one frame lost in the torn tail
       report.truncated_bytes += file_size - clean_end;
-      Status truncated = fs_->Truncate(entry.path().string(), clean_end);
+      Status truncated = fs_->Truncate(segment.path, clean_end);
       if (!truncated.ok()) {
         return Error{"spool: cannot truncate " + name + ": " + truncated.error().message};
       }
     }
 
     SegmentInfo info;
-    info.shard = shard;
-    info.epoch = epoch;
+    info.shard = segment.shard;
+    info.epoch = segment.epoch;
     info.frames = frames;
     info.bytes = clean_end;
-    info.path = entry.path().string();
-    frame_counts_[{epoch, shard}] = frames;
+    info.path = segment.path;
+    frame_counts_[{segment.epoch, segment.shard}] = frames;
     report.segments.push_back(std::move(info));
   }
 
@@ -248,6 +361,12 @@ Status Spool::SealEpoch(uint64_t epoch) {
     }
     it = writers_.erase(it);  // destructor closes the fd
   }
+  // ...then the manifest (recovery's one-read fast path; a crash that loses
+  // it merely falls back to the scan)...
+  Status manifest = WriteManifestLocked(epoch);
+  if (!manifest.ok()) {
+    return manifest;
+  }
   // ...then write the marker, so its presence implies complete segments.
   std::string marker = MarkerPath(epoch);
   auto fd = fs_->Open(marker, O_CREAT | O_WRONLY | O_TRUNC, 0644);
@@ -261,6 +380,60 @@ Status Spool::SealEpoch(uint64_t epoch) {
       // An unfsynced marker may vanish in a crash, silently unsealing the
       // epoch; surface the failure so the frontend retries the seal.
       result = Error{"spool: cannot fsync marker " + marker + ": " + result.error().message};
+    }
+  }
+  fs_->Close(fd.value());
+  return result;
+}
+
+Status Spool::WriteManifestLocked(uint64_t epoch) {
+  Writer w;
+  w.PutU64(epoch);
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;
+  for (auto it = frame_counts_.lower_bound({epoch, 0});
+       it != frame_counts_.end() && it->first.first == epoch; ++it) {
+    std::error_code size_ec;
+    uintmax_t size = fs::file_size(SegmentPath(it->first.second, epoch), size_ec);
+    if (size_ec) {
+      // The manifest is purely recovery's fast path: a sealed epoch without
+      // one falls back to the frame-by-frame scan.  An unstatable segment
+      // (e.g. the directory was wedged and recreated around still-open fds)
+      // must therefore skip the manifest, not fail the seal.
+      return Status::Ok();
+    }
+    entries.emplace_back(it->first.second, it->second, size);
+  }
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [shard, frames, bytes] : entries) {
+    w.PutU64(shard);
+    w.PutU64(frames);
+    w.PutU64(bytes);
+  }
+  // The manifest rides in an ordinary wire frame: the CRC that guards spool
+  // segments guards it too, and a torn write fails decode instead of being
+  // believed.
+  Bytes frame = EncodeFrame(w.Take());
+  std::string path = ManifestPath(epoch);
+  auto fd = fs_->Open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (!fd.ok()) {
+    return Error{"spool: cannot write manifest " + path + ": " + fd.error().message};
+  }
+  size_t done = 0;
+  while (done < frame.size()) {
+    auto n = fs_->Write(fd.value(), ByteSpan(frame).subspan(done));
+    if (!n.ok() || n.value() == 0) {
+      fs_->Close(fd.value());
+      return Error{"spool: write failed on manifest " + path +
+                   (n.ok() ? "" : ": " + n.error().message)};
+    }
+    done += n.value();
+  }
+  Status result = Status::Ok();
+  if (config_.fsync_on_seal) {
+    result = fs_->Sync(fd.value());
+    if (!result.ok()) {
+      result = Error{"spool: cannot fsync manifest " + path + ": " +
+                     result.error().message};
     }
   }
   fs_->Close(fd.value());
@@ -398,6 +571,11 @@ Status Spool::RemoveEpoch(uint64_t epoch) {
       continue;
     }
     it = frame_counts_.erase(it);
+  }
+  Status manifest_removed = fs_->Remove(ManifestPath(epoch));
+  if (!manifest_removed.ok() && result.ok()) {
+    result = Error{"spool: cannot remove manifest for epoch " + std::to_string(epoch) +
+                   ": " + manifest_removed.error().message};
   }
   Status removed = fs_->Remove(MarkerPath(epoch));
   if (!removed.ok() && result.ok()) {

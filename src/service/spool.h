@@ -9,13 +9,20 @@
 // rewritten in place.
 //
 //   <root>/shard-<s>-epoch-<e>.seg   frames (wire.h) of sealed reports
+//   <root>/epoch-<e>.manifest        frame counts + byte sizes per segment,
+//                                    one CRC-framed record (written at seal)
 //   <root>/epoch-<e>.sealed          marker: epoch e cut; segments complete
 //
-// Durability contract: SealEpoch fsyncs every segment of the epoch before
-// writing (and fsyncing) the marker, so a marker implies complete segments.
-// On reopen, Recover() scans each segment's frames and truncates the file at
-// the end of its clean prefix (clean_prefix_end), discarding a torn tail
-// from a crash mid-append; epochs without a marker resume accumulating.
+// Durability contract: SealEpoch fsyncs every segment of the epoch, then
+// writes (and fsyncs) the manifest, then the marker, so a marker implies
+// complete segments and a manifest at least as durable as itself.  On
+// reopen, Recover() trusts a sealed epoch's manifest when each entry's byte
+// size matches the segment file exactly — one small read per epoch instead
+// of an O(segments) frame-by-frame scan — and falls back to the scan when
+// the manifest is missing, fails CRC, or disagrees with the file size.
+// Scanned segments are truncated at the end of their clean prefix
+// (clean_prefix_end), discarding a torn tail from a crash mid-append;
+// epochs without a marker resume accumulating.
 #ifndef PROCHLO_SRC_SERVICE_SPOOL_H_
 #define PROCHLO_SRC_SERVICE_SPOOL_H_
 
@@ -88,6 +95,12 @@ class Spool {
     std::set<uint64_t> sealed_epochs;   // epochs with a seal marker
     uint64_t truncated_bytes = 0;       // torn tails removed
     uint64_t corrupt_frames = 0;        // segments with a torn tail (>= 1 frame lost each)
+    // Manifest fast path: segments of sealed epochs whose frame counts came
+    // from the epoch manifest (byte size verified against the file) vs.
+    // segments of sealed epochs that had to be scanned anyway (manifest
+    // missing, corrupt, entry absent, or size mismatch).
+    uint64_t manifest_hits = 0;
+    uint64_t manifest_fallbacks = 0;
   };
 
   // Creates the root directory (if needed) and replays existing segments:
@@ -122,6 +135,11 @@ class Spool {
  private:
   std::string SegmentPath(size_t shard, uint64_t epoch) const;
   std::string MarkerPath(uint64_t epoch) const;
+  std::string ManifestPath(uint64_t epoch) const;
+  // Writes <root>/epoch-<e>.manifest from the tracked frame counts and the
+  // segments' on-disk sizes; called under mu_ after the epoch's segments
+  // are synced and before the marker is written.
+  Status WriteManifestLocked(uint64_t epoch);
 
   SpoolConfig config_;
   Fs* fs_;  // borrowed (or the Real() singleton)

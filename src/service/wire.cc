@@ -145,7 +145,7 @@ NackInfo ParseNackPayload(ByteSpan payload) {
   }
   uint8_t reason = payload[0];
   if (reason >= static_cast<uint8_t>(NackReason::kRetryable) &&
-      reason <= static_cast<uint8_t>(NackReason::kSessionExpired)) {
+      reason <= static_cast<uint8_t>(NackReason::kMisrouted)) {
     info.reason = static_cast<NackReason>(reason);
     size_t message_start = 1;
     if (info.reason == NackReason::kSessionExpired && payload.size() >= 9) {
@@ -155,6 +155,14 @@ NackInfo ParseNackPayload(ByteSpan payload) {
         info.session_id |= static_cast<uint64_t>(payload[1 + i]) << (8 * i);
       }
       message_start = 9;
+    } else if (info.reason == NackReason::kMisrouted && payload.size() >= 17) {
+      // Owning group then map version, LE u64 each (see
+      // NackInfo::redirect_group); short payloads degrade to 0/0.
+      for (int i = 0; i < 8; ++i) {
+        info.redirect_group |= static_cast<uint64_t>(payload[1 + i]) << (8 * i);
+        info.map_version |= static_cast<uint64_t>(payload[9 + i]) << (8 * i);
+      }
+      message_start = 17;
     }
     info.message.assign(payload.begin() + message_start, payload.end());
   } else {
@@ -163,6 +171,31 @@ NackInfo ParseNackPayload(ByteSpan payload) {
     info.message.assign(payload.begin(), payload.end());
   }
   return info;
+}
+
+Bytes EncodeMisroutedNackFrame(uint64_t seq, uint64_t target_group,
+                               uint64_t map_version, const std::string& message) {
+  Bytes payload;
+  payload.reserve(17 + message.size());
+  payload.push_back(static_cast<uint8_t>(NackReason::kMisrouted));
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<uint8_t>(target_group >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<uint8_t>(map_version >> (8 * i)));
+  }
+  payload.insert(payload.end(), message.begin(), message.end());
+  Bytes out;
+  out.reserve(FrameWireSize(payload.size()));
+  AppendFrame(out, FrameType::kNack, seq, payload);
+  return out;
+}
+
+Bytes EncodeGroupMapFrame(uint64_t version, ByteSpan map_payload) {
+  Bytes out;
+  out.reserve(FrameWireSize(map_payload.size()));
+  AppendFrame(out, FrameType::kGroupMap, version, map_payload);
+  return out;
 }
 
 Bytes EncodeHelloFrame(uint64_t session_id) {

@@ -34,6 +34,13 @@
 //            state wholesale, and ACKs the goodbye (echoing its seq) —
 //            the fair-termination handshake that lets cooperative clients
 //            free server memory instead of waiting out LRU eviction.
+//   kGroupMap server -> client.  The cluster's shard-group topology: seq =
+//            the map's version (maps only ever grow in version; clients
+//            keep the highest they have seen), payload = the serialized
+//            GroupMap (src/service/cluster/group_map.h).  Sent after the
+//            HELLO ack on clustered servers, and re-sent when the map
+//            changes, so clients route reports to the owning group rather
+//            than discovering ownership one misrouted NACK at a time.
 //
 // The CRC covers every header field after the magic, so a corrupt type, seq,
 // or length cannot silently mis-frame or mis-route the stream.  The
@@ -66,13 +73,14 @@ enum class FrameType : uint8_t {
   kNack = 3,
   kHello = 4,
   kGoodbye = 5,
+  kGroupMap = 6,
 };
 
 // True for the types this version understands; anything else makes the
 // frame corrupt (counted, skipped, resynchronized past).
 constexpr bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kReport) &&
-         type <= static_cast<uint8_t>(FrameType::kGoodbye);
+         type <= static_cast<uint8_t>(FrameType::kGroupMap);
 }
 
 // Why a report was NACKed — the first payload byte of every kNack frame,
@@ -86,6 +94,8 @@ enum class NackReason : uint8_t {
   kRetryable = 1,       // not ingested (spool error, pool stopping): resend
   kInFlight = 2,        // an earlier send of this seq has not resolved yet
   kSessionExpired = 3,  // session state gone: re-hello with a fresh session
+  kMisrouted = 4,       // this group does not own the report: resend to the
+                        // stamped target group (redirect, never ingested)
 };
 
 // Decoded view of a kNack payload.  Parsing is tolerant: an empty payload
@@ -101,6 +111,14 @@ struct NackInfo {
   // ingest).  The stamp lets the client drop those stale verdicts.  0 =
   // unstamped (a peer too old to know): the client rotates conservatively.
   uint64_t session_id = 0;
+  // kMisrouted only: which shard group owns the report (LE u64 after the
+  // reason byte) and the map version the verdict was made under (LE u64
+  // after that).  The report was never ingested here — the client re-sends
+  // it to the target group; the version lets it discard redirects issued
+  // under a map older than one it already holds.  Short payloads degrade
+  // to target 0 / version 0 (an unstamped legacy redirect).
+  uint64_t redirect_group = 0;
+  uint64_t map_version = 0;
   std::string message;
 };
 NackInfo ParseNackPayload(ByteSpan payload);
@@ -162,6 +180,13 @@ Bytes EncodeNackFrame(uint64_t seq, NackReason reason, const std::string& messag
 // (see NackInfo::session_id).
 Bytes EncodeSessionExpiredNackFrame(uint64_t seq, uint64_t session_id,
                                     const std::string& message);
+// The kMisrouted NACK, stamped with the owning group and the map version
+// the routing decision was made under (see NackInfo::redirect_group).
+Bytes EncodeMisroutedNackFrame(uint64_t seq, uint64_t target_group,
+                               uint64_t map_version, const std::string& message);
+// The group-map broadcast: seq carries the map's version, payload the
+// serialized GroupMap.
+Bytes EncodeGroupMapFrame(uint64_t version, ByteSpan map_payload);
 Bytes EncodeHelloFrame(uint64_t session_id);
 // seq echoes back in the server's ACK so the client can await it.
 Bytes EncodeGoodbyeFrame(uint64_t seq);
@@ -189,6 +214,7 @@ struct FrameStreamStats {
   uint64_t frames_nack = 0;
   uint64_t frames_hello = 0;
   uint64_t frames_goodbye = 0;
+  uint64_t frames_group_map = 0;
 
   void CountType(FrameType type) {
     switch (type) {
@@ -197,6 +223,7 @@ struct FrameStreamStats {
       case FrameType::kNack: frames_nack++; break;
       case FrameType::kHello: frames_hello++; break;
       case FrameType::kGoodbye: frames_goodbye++; break;
+      case FrameType::kGroupMap: frames_group_map++; break;
     }
   }
   void Fold(const FrameStreamStats& other) {
@@ -208,6 +235,7 @@ struct FrameStreamStats {
     frames_nack += other.frames_nack;
     frames_hello += other.frames_hello;
     frames_goodbye += other.frames_goodbye;
+    frames_group_map += other.frames_group_map;
   }
 };
 

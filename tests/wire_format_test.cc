@@ -176,9 +176,43 @@ TEST(WireFormatTest, NackReasonsRoundTripAndDegradeTolerantly) {
   EXPECT_EQ(degraded.message.size(), unknown.size());
 }
 
+TEST(WireFormatTest, MisroutedNackRoundTripsOwnerAndMapVersion) {
+  Bytes frame = EncodeMisroutedNackFrame(/*seq=*/88, /*target_group=*/0xBEEFull,
+                                         /*map_version=*/17, "misrouted; resend");
+  auto decoded = DecodeTypedFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, FrameType::kNack);
+  EXPECT_EQ(decoded.value().seq, 88u);
+  NackInfo info = ParseNackPayload(decoded.value().payload);
+  EXPECT_EQ(info.reason, NackReason::kMisrouted);
+  EXPECT_EQ(info.redirect_group, 0xBEEFull);
+  EXPECT_EQ(info.map_version, 17u);
+  EXPECT_EQ(info.message, "misrouted; resend");
+  // An unstamped misrouted payload (version-skewed peer) degrades to group 0
+  // / version 0 rather than misparsing message bytes as the stamps.
+  Bytes legacy = {static_cast<uint8_t>(NackReason::kMisrouted), 'm'};
+  NackInfo unstamped = ParseNackPayload(legacy);
+  EXPECT_EQ(unstamped.reason, NackReason::kMisrouted);
+  EXPECT_EQ(unstamped.redirect_group, 0u);
+  EXPECT_EQ(unstamped.map_version, 0u);
+}
+
+TEST(WireFormatTest, GroupMapFrameRoundTripsVersionAndPayload) {
+  Rng rng(0x474d4150);
+  Bytes map_payload = RandomPayload(rng, 120);
+  Bytes frame = EncodeGroupMapFrame(/*version=*/9, map_payload);
+  auto decoded = DecodeTypedFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, FrameType::kGroupMap);
+  EXPECT_EQ(decoded.value().seq, 9u);  // seq carries the map version
+  EXPECT_EQ(decoded.value().payload, map_payload);
+}
+
 TEST(WireFormatTest, EveryTruncationOfControlFramesRejected) {
-  for (const Bytes& frame : {EncodeAckFrame(1234), EncodeNackFrame(99, "why"),
-                             EncodeHelloFrame(0xABCD), EncodeGoodbyeFrame(77)}) {
+  for (const Bytes& frame :
+       {EncodeAckFrame(1234), EncodeNackFrame(99, "why"), EncodeHelloFrame(0xABCD),
+        EncodeGoodbyeFrame(77), EncodeMisroutedNackFrame(5, 2, 3, "go"),
+        EncodeGroupMapFrame(4, ToBytes("map"))}) {
     for (size_t keep = 0; keep < frame.size(); ++keep) {
       auto decoded = DecodeTypedFrame(ByteSpan(frame.data(), keep));
       EXPECT_FALSE(decoded.ok()) << "truncation to " << keep << " bytes accepted";
@@ -190,8 +224,10 @@ TEST(WireFormatTest, EverySingleBitFlipOfControlFramesRejected) {
   // ACK/NACK frames steer the client's retry decisions, so a flipped seq or
   // type must never decode: the CRC covers every header field after the
   // magic (and a flipped magic makes the buffer garbage, not a frame).
-  for (const Bytes& frame : {EncodeAckFrame(0x123456789ABCDEFull),
-                             EncodeNackFrame(31337, "retry"), EncodeGoodbyeFrame(4242)}) {
+  for (const Bytes& frame :
+       {EncodeAckFrame(0x123456789ABCDEFull), EncodeNackFrame(31337, "retry"),
+        EncodeGoodbyeFrame(4242), EncodeMisroutedNackFrame(8, 1, 2, "owner"),
+        EncodeGroupMapFrame(11, ToBytes("topology"))}) {
     auto original = DecodeTypedFrame(frame);
     ASSERT_TRUE(original.ok());
     for (size_t byte = 0; byte < frame.size(); ++byte) {
@@ -509,11 +545,12 @@ void ExpectTypedDecoderMatchesReader(const Bytes& stream, size_t chunk_size) {
   EXPECT_EQ(decoder.stats().frames_nack, reader.stats().frames_nack);
   EXPECT_EQ(decoder.stats().frames_hello, reader.stats().frames_hello);
   EXPECT_EQ(decoder.stats().frames_goodbye, reader.stats().frames_goodbye);
+  EXPECT_EQ(decoder.stats().frames_group_map, reader.stats().frames_group_map);
   // The per-type counters partition frames_ok, and the balance invariant
   // carries over to typed streams.
   EXPECT_EQ(reader.stats().frames_report + reader.stats().frames_ack +
                 reader.stats().frames_nack + reader.stats().frames_hello +
-                reader.stats().frames_goodbye,
+                reader.stats().frames_goodbye + reader.stats().frames_group_map,
             reader.stats().frames_ok);
   size_t good_bytes = 0;
   for (const auto& frame : got) {
@@ -538,20 +575,30 @@ TEST(WireFormatTest, InterleavedTypedFramesFuzzedChunkingMatchesReader) {
           stream.insert(stream.end(), ack.begin(), ack.end());
           break;
         }
-        case 2: {  // nack with a reason payload
-          Bytes nack = EncodeNackFrame(rng.Next(), "nack-" + std::to_string(i));
+        case 2: {  // nack: plain retryable or a stamped misrouted redirect
+          Bytes nack = rng.NextBelow(2) == 0
+                           ? EncodeNackFrame(rng.Next(), "nack-" + std::to_string(i))
+                           : EncodeMisroutedNackFrame(rng.Next(), rng.Next(), rng.Next(),
+                                                      "owner-" + std::to_string(i));
           stream.insert(stream.end(), nack.begin(), nack.end());
           break;
         }
-        case 3: {  // hello or goodbye (the session-lifecycle bookends)
-          Bytes control = rng.NextBelow(2) == 0 ? EncodeHelloFrame(rng.Next())
-                                                : EncodeGoodbyeFrame(rng.Next());
+        case 3: {  // hello, goodbye, or a group-map announcement
+          Bytes control;
+          switch (rng.NextBelow(3)) {
+            case 0: control = EncodeHelloFrame(rng.Next()); break;
+            case 1: control = EncodeGoodbyeFrame(rng.Next()); break;
+            default:
+              control = EncodeGroupMapFrame(rng.Next(),
+                                            RandomPayload(rng, 8 + rng.NextBelow(64)));
+              break;
+          }
           stream.insert(stream.end(), control.begin(), control.end());
           break;
         }
         case 4: {  // corrupt frame of a random type (bit flip anywhere)
           size_t at = stream.size();
-          AppendFrame(stream, static_cast<FrameType>(1 + rng.NextBelow(4)), rng.Next(),
+          AppendFrame(stream, static_cast<FrameType>(1 + rng.NextBelow(6)), rng.Next(),
                       RandomPayload(rng, static_cast<size_t>(rng.NextBelow(60))));
           size_t idx = at + static_cast<size_t>(rng.NextBelow(stream.size() - at));
           stream[idx] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
@@ -560,8 +607,8 @@ TEST(WireFormatTest, InterleavedTypedFramesFuzzedChunkingMatchesReader) {
         case 5: {  // unknown frame type (header-corrupt, resynced past)
           size_t at = stream.size();
           AppendFrame(stream, FrameType::kReport, rng.Next(), RandomPayload(rng, 20));
-          // 6.. is past kGoodbye, the highest known type in this version.
-          stream[at + 5] = static_cast<uint8_t>(6 + rng.NextBelow(200));
+          // 7.. is past kGroupMap, the highest known type in this version.
+          stream[at + 5] = static_cast<uint8_t>(7 + rng.NextBelow(199));
           break;
         }
         case 6:  // garbage run
