@@ -37,7 +37,7 @@ void Run() {
   const Scenario scenarios[] = {
       {200, full ? 90'000u : 9'000u, 5, "0.9579", "0.9595"},
       {2'000, full ? 353'000u : 35'000u, 20, "0.9414", "0.9420"},
-      {17'770, full ? 480'000u : 48'000u, full ? 20 : 5, "0.9222", "0.9242"},
+      {17'770, full ? 480'000u : 48'000u, full ? 20.0 : 5.0, "0.9222", "0.9242"},
   };
 
   TablePrinter table({"#Movies", "#Users", "#Tuples", "RMSE no-priv", "RMSE PROCHLO", "Gap",

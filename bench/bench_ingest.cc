@@ -48,6 +48,21 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+// A bench that silently drops an error measures nothing: fail fast instead.
+void BenchCheck(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_ingest: %s: %s\n", what, status.error().message.c_str());
+    std::abort();
+  }
+}
+template <typename T>
+void BenchCheck(const Result<T>& result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_ingest: %s: %s\n", what, result.error().message.c_str());
+    std::abort();
+  }
+}
+
 std::string PerReport(double seconds, uint64_t n) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.2f us", 1e6 * seconds / static_cast<double>(n));
@@ -149,7 +164,7 @@ void Run() {
     ShardedIngest ingest(ingest_config, nullptr);
     t0 = std::chrono::steady_clock::now();
     for (const auto& report : reports) {
-      ingest.Accept(report);
+      BenchCheck(ingest.Accept(report), "ingest.Accept");
     }
     double ingest_seconds = SecondsSince(t0);
     std::string label = "ingest/shards=" + std::to_string(shards);
@@ -165,12 +180,12 @@ void Run() {
   fs::remove_all(spool_dir);
   {
     Spool spool(SpoolConfig{spool_dir, /*fsync_on_seal=*/false});
-    spool.Open();
+    BenchCheck(spool.Open(), "spool.Open");
     t0 = std::chrono::steady_clock::now();
     for (size_t i = 0; i < reports.size(); ++i) {
-      spool.Append(ShardedIngest::ShardOfReport(reports[i], 4), 0, reports[i]);
+      BenchCheck(spool.Append(ShardedIngest::ShardOfReport(reports[i], 4), 0, reports[i]), "spool.Append");
     }
-    spool.SealEpoch(0);
+    BenchCheck(spool.SealEpoch(0), "spool.SealEpoch");
     double append_seconds = SecondsSince(t0);
     table.AddRow({"spool/append", std::to_string(n),
                   Seconds(append_seconds),
@@ -221,11 +236,11 @@ void Run() {
     journal_config.compact_threshold_bytes = 0;  // keep every record: replay cost, not compaction
     {
       SessionJournal journal(journal_config);
-      journal.Open();
+      BenchCheck(journal.Open(), "journal.Open");
       for (uint64_t s = 1; s <= sessions; ++s) {
-        journal.AppendCommit(s, /*watermark_after=*/1, /*seq=*/0);
+        BenchCheck(journal.AppendCommit(s, /*watermark_after=*/1, /*seq=*/0), "journal.AppendCommit");
       }
-      journal.SyncUpTo(sessions);
+      BenchCheck(journal.SyncUpTo(sessions), "journal.SyncUpTo");
     }
     SessionJournal reopened(journal_config);
     t0 = std::chrono::steady_clock::now();
@@ -256,7 +271,7 @@ void Run() {
       pool_front_config.pipeline.seed = "bench-ingest-pool";
       pool_front_config.ingest.num_shards = 4;
       ShufflerFrontend pool_frontend(pool_front_config);
-      pool_frontend.Start();
+      BenchCheck(pool_frontend.Start(), "pool_frontend.Start");
       IngestWorkerPool pool(&pool_frontend, WorkerPoolConfig{workers, ring});
       pool.Start();
       constexpr size_t kProducers = 4;
@@ -265,14 +280,14 @@ void Run() {
       for (size_t p = 0; p < kProducers; ++p) {
         producers.emplace_back([&pool, &reports, p] {
           for (size_t i = p; i < reports.size(); i += kProducers) {
-            pool.Enqueue(Bytes(reports[i]));
+            BenchCheck(pool.Enqueue(Bytes(reports[i])), "pool.Enqueue");
           }
         });
       }
       for (auto& producer : producers) {
         producer.join();
       }
-      pool.Flush();
+      BenchCheck(pool.Flush(), "pool.Flush");
       double pool_seconds = SecondsSince(t0);
       pool.Stop();
       std::string label = "pool/workers=" + std::to_string(workers) +
@@ -296,7 +311,7 @@ void Run() {
     tcp_config.spool_dir = tcp_dir;
     tcp_config.fsync_spool = false;
     ShufflerFrontend frontend(tcp_config);
-    frontend.Start();
+    BenchCheck(frontend.Start(), "frontend.Start");
     IngestWorkerPool pool(&frontend, WorkerPoolConfig{/*workers=*/2, /*ring_capacity=*/1024});
     pool.Start();
     FrameServer server(
@@ -320,7 +335,7 @@ void Run() {
             return;
           }
           for (size_t i = c; i < reports.size(); i += kTcpClients) {
-            client.SendReport(reports[i]);
+            (void)client.SendReport(reports[i]);  // failed sends stay owned for replay; acked book is the check
           }
           client.WaitForAcks(std::chrono::milliseconds(120000));
           client.Close();
@@ -331,7 +346,7 @@ void Run() {
       }
       double tcp_seconds = SecondsSince(t0);
       listener.Stop();
-      server.Shutdown();
+      (void)server.Shutdown();  // teardown; per-connection errors already counted
       pool.Stop();
       ConnectionAckBook book = server.ack_book();
       std::string label = "tcp/clients=" + std::to_string(kTcpClients) + ",acked";
@@ -359,7 +374,7 @@ void Run() {
     overlap_config.spool_dir = overlap_dir;
     overlap_config.fsync_spool = false;
     ShufflerFrontend frontend(overlap_config);
-    frontend.Start();
+    BenchCheck(frontend.Start(), "frontend.Start");
     const Encoder overlap_encoder = frontend.MakeEncoder();
     SecureRandom overlap_rng(ToBytes("bench-ingest-overlap-clients"));
     auto cohort = overlap_encoder.BatchSealReports(inputs, overlap_rng);
@@ -373,7 +388,7 @@ void Run() {
     FrameServer server([&pool](Bytes report) { return pool.Enqueue(std::move(report)); });
     auto connection = server.Connect();
     for (size_t i = 0; i < half; ++i) {
-      connection->Write(EncodeFrame(cohort.value()[i]));
+      BenchCheck(connection->Write(EncodeFrame(cohort.value()[i])), "connection->Write");
     }
     // The pump thread may still be draining the loopback buffer; Flush only
     // barriers reports already enqueued.  Wait for the pump to hand over
@@ -381,16 +396,16 @@ void Run() {
     while (pool.stats().enqueued < half) {
       std::this_thread::yield();
     }
-    pool.Flush();
-    frontend.CutEpoch();
+    BenchCheck(pool.Flush(), "pool.Flush");
+    BenchCheck(frontend.CutEpoch(), "frontend.CutEpoch");
     drainer.RequestDrain();  // epoch 0 drains while epoch 1 accumulates
     for (size_t i = half; i < cohort.value().size(); ++i) {
-      connection->Write(EncodeFrame(cohort.value()[i]));
+      BenchCheck(connection->Write(EncodeFrame(cohort.value()[i])), "connection->Write");
     }
     connection->CloseWrite();
-    server.Shutdown();
-    pool.Flush();
-    frontend.CutEpoch();
+    (void)server.Shutdown();  // teardown; per-connection errors already counted
+    BenchCheck(pool.Flush(), "pool.Flush");
+    BenchCheck(frontend.CutEpoch(), "frontend.CutEpoch");
     drainer.RequestDrain();
     bool drained_both = drainer.WaitForDrainedEpochs(2, std::chrono::milliseconds(120000));
     double overlap_seconds = SecondsSince(t0);
@@ -465,12 +480,12 @@ void Run() {
               }
               return Error{"bench: unknown group"};
             });
-        client.Connect();
+        (void)client.Connect();  // a failed connect surfaces as acked=false below
         for (const auto& report : cohort.value()) {
-          client.SendReport(report);
+          (void)client.SendReport(report);  // failed sends stay owned; WaitForAllAcked is the check
         }
         bool acked = client.WaitForAllAcked(std::chrono::milliseconds(120000));
-        coordinator.CutEpochAll();
+        (void)coordinator.CutEpochAll();  // a failed cut surfaces as an incomplete merge below
         auto merged =
             coordinator.MergeEpoch(0, cluster_merge, std::chrono::milliseconds(120000));
         double cluster_seconds = SecondsSince(t0);
@@ -487,7 +502,7 @@ void Run() {
         }
         coordinator.Stop();
         for (ShardGroup* group : groups) {
-          group->Stop();
+          (void)group->Stop();  // teardown; errors were counted in group stats
         }
         owned.clear();
         fs::remove_all(root);
@@ -506,15 +521,15 @@ void Run() {
     frontend_config.spool_dir = drain_dir;
     frontend_config.fsync_spool = false;
     ShufflerFrontend frontend(frontend_config);
-    frontend.Start();
+    BenchCheck(frontend.Start(), "frontend.Start");
     const Encoder frontend_encoder = frontend.MakeEncoder();
     SecureRandom client_rng(ToBytes("bench-ingest-clients"));
     auto cohort = frontend_encoder.BatchSealReports(inputs, client_rng);
     t0 = std::chrono::steady_clock::now();
     for (const auto& report : cohort.value()) {
-      frontend.AcceptFrameStream(EncodeFrame(report));
+      BenchCheck(frontend.AcceptFrameStream(EncodeFrame(report)), "frontend.AcceptFrameStream");
     }
-    frontend.CutEpoch();
+    BenchCheck(frontend.CutEpoch(), "frontend.CutEpoch");
     auto drained = frontend.DrainSealedEpochs();
     double drain_seconds = SecondsSince(t0);
     if (drained.ok() && !drained.results.empty()) {

@@ -9,6 +9,12 @@
 #     — CHECK_SUITES (a ctest -R regex) restricts the run to the named
 #       suites; used by the TSan job, where the full crypto suites are slow
 #       and single-threaded anyway.
+#   CHECK_LINT=1 scripts/check.sh build-lint
+#     — static-analysis mode: runs scripts/lint.py, then (when clang /
+#       clang-tidy are installed) a clang build with -Werror=thread-safety
+#       and clang-tidy over src/.  No tests, no benches; CI's
+#       static-analysis job runs this with clang present, and locally it
+#       degrades to the lint plus a notice for the missing tools.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -16,6 +22,38 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SANITIZE="${CHECK_SANITIZE:-}"
 SUITES="${CHECK_SUITES:-}"
+LINT="${CHECK_LINT:-}"
+
+if [[ -n "$LINT" ]]; then
+  echo "== lint =="
+  python3 "$REPO_ROOT/scripts/lint.py" "$REPO_ROOT"
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Werror=thread-safety =="
+    # The annotations in src/util/thread_annotations.h only analyze under
+    # clang; this build is the gate that makes GUARDED_BY/REQUIRES real.
+    # -Wthread-safety-beta adds ACQUIRED_BEFORE/AFTER lock-order checking
+    # (warnings, not errors, until the analysis graduates).
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+      -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+  else
+    echo "-- clang++ not installed; skipping the thread-safety build" \
+         "(annotations compile as no-ops under GCC) --"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy =="
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find "$REPO_ROOT/src" -name '*.cc' -print0 |
+      xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$BUILD_DIR" --quiet
+  else
+    echo "-- clang-tidy not installed; skipping (CI's static-analysis job runs it) --"
+  fi
+
+  echo "== OK (lint) =="
+  exit 0
+fi
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DPROCHLO_SANITIZE="$SANITIZE"

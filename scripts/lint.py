@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Repo lint: fast, dependency-free checks of invariants the compiler can't see.
+
+Rules (each suppressible per line with a trailing `// lint:allow(<rule>)`):
+
+  raw-sync-primitive
+      No raw std::mutex / std::shared_mutex / std::condition_variable /
+      lock_guard / unique_lock / scoped_lock / shared_lock anywhere in src/
+      outside src/util/thread_annotations.h.  Everything must go through the
+      CAPABILITY-annotated Mutex/SharedMutex/CondVar wrappers so clang's
+      -Wthread-safety sees every acquisition.
+
+  crowd-plaintext-leak
+      No printing or logging of plaintext crowd identifiers outside
+      src/analysis/.  This is the paper's core invariant: the shuffler and
+      everything upstream of the analyzer only ever see ciphertext; a stray
+      debug printf of a crowd ID is a privacy hole, not a style problem.
+
+  fsync-before-rename
+      In the durability tier (src/service/spool.cc, session_journal.cc), a
+      Rename() that commits a rewrite must be preceded by a Sync() within the
+      same window of code, and a seal-marker create must follow the segment
+      Sync.  Rename-before-fsync turns the atomic-commit idiom into a
+      crash-window; this catches the ordering regressing by accident.
+
+Usage: scripts/lint.py [repo_root]   (exit 0 clean, 1 with findings)
+"""
+
+import os
+import re
+import sys
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b"
+)
+
+PRINT_CALL = re.compile(r"\b(printf|fprintf|snprintf|sprintf|puts|fputs)\s*\(|std::(cout|cerr|clog)\b")
+CROWD_ID = re.compile(r"\bcrowd\w*", re.IGNORECASE)
+
+RENAME_CALL = re.compile(r"->\s*Rename\s*\(")
+SYNC_CALL = re.compile(r"\bSync\s*\(")
+MARKER_CREATE = re.compile(r"Open\s*\(\s*marker")
+FSYNC_WINDOW = 40  # lines of lookback for the ordering idiom
+
+ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+# The one file allowed to hold raw primitives: it is the wrapper.
+PRIMITIVE_EXEMPT = {os.path.join("src", "util", "thread_annotations.h")}
+# The analyzer is the trust boundary where plaintext crowds legitimately exist.
+CROWD_EXEMPT_PREFIX = os.path.join("src", "analysis") + os.sep
+# Durability-tier files whose commit idioms are order-checked.
+DURABILITY_FILES = {
+    os.path.join("src", "service", "spool.cc"),
+    os.path.join("src", "service", "session_journal.cc"),
+}
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Returns (code-only text, code-with-string-contents, still-in-block).
+    Crude but fast and good enough: handles //, /* */, and double-quoted
+    strings per line.  The second form keeps string literal contents — a
+    plaintext leak often announces itself in the format string."""
+    out = []
+    out_with_strings = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), "".join(out_with_strings), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c == '"':
+            start = i
+            i += 1
+            while i < n and line[i] != '"':
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append('""')
+            out_with_strings.append(line[start:i])
+            continue
+        out.append(c)
+        out_with_strings.append(c)
+        i += 1
+    return "".join(out), "".join(out_with_strings), in_block_comment
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.readlines()
+    except OSError as e:
+        findings.append((rel, 0, "io", f"cannot read: {e}"))
+        return
+
+    in_block = False
+    code_lines = []
+    code_with_strings = []
+    for raw in raw_lines:
+        code, with_strings, in_block = strip_comments_and_strings(raw.rstrip("\n"), in_block)
+        code_lines.append(code)
+        code_with_strings.append(with_strings)
+
+    def allowed(lineno, rule):
+        return any(m == rule for m in ALLOW.findall(raw_lines[lineno - 1]))
+
+    if rel not in PRIMITIVE_EXEMPT:
+        for i, code in enumerate(code_lines, 1):
+            m = RAW_PRIMITIVE.search(code)
+            if m and not allowed(i, "raw-sync-primitive"):
+                findings.append((rel, i, "raw-sync-primitive",
+                                 f"raw {m.group(0)}; use the annotated wrappers in "
+                                 "src/util/thread_annotations.h"))
+
+    if not rel.startswith(CROWD_EXEMPT_PREFIX):
+        for i, code in enumerate(code_with_strings, 1):
+            if PRINT_CALL.search(code) and CROWD_ID.search(code):
+                if not allowed(i, "crowd-plaintext-leak"):
+                    findings.append((rel, i, "crowd-plaintext-leak",
+                                     "printing a crowd identifier outside src/analysis/ — "
+                                     "shufflers must only ever see ciphertext"))
+
+    if rel in DURABILITY_FILES:
+        for i, code in enumerate(code_lines, 1):
+            if RENAME_CALL.search(code) and not allowed(i, "fsync-before-rename"):
+                window = code_lines[max(0, i - 1 - FSYNC_WINDOW):i - 1]
+                if not any(SYNC_CALL.search(w) for w in window):
+                    findings.append((rel, i, "fsync-before-rename",
+                                     f"Rename with no Sync in the preceding {FSYNC_WINDOW} "
+                                     "lines — the atomic-commit idiom requires fsync first"))
+            if MARKER_CREATE.search(code) and not allowed(i, "fsync-before-rename"):
+                window = code_lines[max(0, i - 1 - FSYNC_WINDOW):i - 1]
+                if not any(SYNC_CALL.search(w) for w in window):
+                    findings.append((rel, i, "fsync-before-rename",
+                                     "seal-marker create with no segment Sync in the "
+                                     f"preceding {FSYNC_WINDOW} lines — a marker must imply "
+                                     "durable segments"))
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    scanned = 0
+    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            scanned += 1
+            lint_file(root, rel, findings)
+
+    if findings:
+        for rel, line, rule, msg in sorted(findings):
+            print(f"{rel}:{line}: [{rule}] {msg}")
+        print(f"\nlint: {len(findings)} finding(s) in {scanned} files "
+              "(suppress a deliberate exception with '// lint:allow(<rule>)')")
+        return 1
+    print(f"lint: OK ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,6 @@
 #include "src/crypto/p256.h"
 
 #include <cassert>
-#include <mutex>
 
 namespace prochlo {
 
@@ -440,7 +439,7 @@ uint64_t P256::TableKey(const EcPoint& base) {
 }
 
 const P256::FixedBaseTable* P256::FindTable(const EcPoint& base) const {
-  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  ReaderMutexLock lock(tables_mu_);
   auto it = tables_.find(TableKey(base));
   if (it == tables_.end()) {
     return nullptr;
@@ -462,7 +461,7 @@ void P256::RegisterFixedBase(const EcPoint& base) const {
   }
   // Build outside the lock: table construction is a few hundred point ops.
   auto table = std::make_unique<FixedBaseTable>(BuildFixedBaseTable(base));
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  WriterMutexLock lock(tables_mu_);
   auto& bucket = tables_[TableKey(base)];
   for (const auto& [point, existing] : bucket) {
     if (point == base) {

@@ -41,13 +41,13 @@
 #include <array>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/crypto/bignum.h"
 #include "src/util/bytes.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -180,10 +180,10 @@ class P256 {
   U256 one_mont_;      // 1 in Montgomery domain
   EcPoint generator_;
   FixedBaseTable gen_table_;
-  mutable std::shared_mutex tables_mu_;
+  mutable SharedMutex tables_mu_;
   mutable std::unordered_map<uint64_t,
                              std::vector<std::pair<EcPoint, std::unique_ptr<FixedBaseTable>>>>
-      tables_;
+      tables_ GUARDED_BY(tables_mu_);
 };
 
 }  // namespace prochlo

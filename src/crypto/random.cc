@@ -65,7 +65,7 @@ uint64_t SecureRandom::UniformBelow(uint64_t bound) {
     return 0;
   }
   // Rejection sampling from the smallest power-of-two superset.
-  uint64_t mask = ~0ull >> __builtin_clzll(bound - 1 | 1);
+  uint64_t mask = ~0ull >> __builtin_clzll((bound - 1) | 1);
   for (;;) {
     uint8_t raw[8];
     Fill(raw);

@@ -16,8 +16,8 @@ void EpochCoordinator::Start() {
     // Lock-light nudge: the seal path only flips a condition variable; the
     // actual drain happens on the merging thread.
     group->frontend().SetSealListener([this] {
-      std::lock_guard<std::mutex> lock(mu_);
-      seal_cv_.notify_all();
+      MutexLock lock(mu_);
+      seal_cv_.NotifyAll();
     });
   }
 }
@@ -72,7 +72,7 @@ Status EpochCoordinator::PumpPartials() {
         break;  // this group's sealed queue is empty
       }
       EpochPartialResult result = std::move(*drained.value());
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       partials_[result.epoch][group->group_id()] = std::move(result.partial);
     }
   }
@@ -85,10 +85,10 @@ Result<ClusterEpochResult> EpochCoordinator::MergeEpoch(uint64_t epoch, Histogra
   bool waited = false;
   std::vector<uint64_t> missing;
   for (;;) {
-    PumpPartials();  // drain errors retry on the next pass until the deadline
+    (void)PumpPartials();  // drain errors retry on the next pass until the deadline
     missing.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto& epoch_partials = partials_[epoch];
       for (ShardGroup* group : groups_) {
         if (epoch_partials.count(group->group_id()) != 0) {
@@ -111,7 +111,7 @@ Result<ClusterEpochResult> EpochCoordinator::MergeEpoch(uint64_t epoch, Histogra
         }
         // Seal listeners nudge this; the bounded wait also covers a nudge
         // racing in before the wait began.
-        seal_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        (void)seal_cv_.WaitFor(mu_, std::chrono::milliseconds(10));  // bounded poll; loop re-checks
         continue;
       }
     }
@@ -125,7 +125,7 @@ Result<ClusterEpochResult> EpochCoordinator::MergeEpoch(uint64_t epoch, Histogra
 
   std::map<uint64_t, EpochPartial> contributions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     contributions = std::move(partials_[epoch]);
     partials_.erase(epoch);
   }
@@ -141,7 +141,7 @@ Result<ClusterEpochResult> EpochCoordinator::MergeEpoch(uint64_t epoch, Histogra
     // e.g. the epoch union is below the minimum batch: put the partials
     // back so a later MergeEpoch (after more groups contribute, or with the
     // caller batching epochs) can retry without re-draining.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& epoch_partials = partials_[epoch];
     size_t i = 0;
     for (auto& [group_id, partial] : contributions) {

@@ -19,13 +19,12 @@
 #define PROCHLO_SRC_SERVICE_CLUSTER_COORDINATOR_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "src/service/cluster/merge.h"
 #include "src/service/cluster/shard_group.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -80,10 +79,10 @@ class EpochCoordinator {
   FrontendStats merge_stats_;
   bool started_ = false;
 
-  std::mutex mu_;
-  std::condition_variable seal_cv_;
+  Mutex mu_;
+  CondVar seal_cv_;
   // epoch -> (group id -> that group's partial for the epoch)
-  std::map<uint64_t, std::map<uint64_t, EpochPartial>> partials_;
+  std::map<uint64_t, std::map<uint64_t, EpochPartial>> partials_ GUARDED_BY(mu_);
 };
 
 }  // namespace prochlo

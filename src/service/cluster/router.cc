@@ -23,7 +23,7 @@ void Router::Start() {
     const uint64_t gid = group->group_id();
     group->server().set_route_check(
         [this, group, gid](ByteSpan report, uint64_t* target_group, uint64_t* map_version) {
-          std::shared_lock<std::shared_mutex> lock(map_mu_);
+          ReaderMutexLock lock(map_mu_);
           *map_version = map_.version();
           if (map_.empty()) {
             // No published map yet: every group owns what it receives
@@ -41,7 +41,7 @@ void Router::Start() {
           return false;
         });
     group->server().set_group_map_provider([this] {
-      std::shared_lock<std::shared_mutex> lock(map_mu_);
+      ReaderMutexLock lock(map_mu_);
       if (map_.empty()) {
         return Bytes{};
       }
@@ -54,12 +54,12 @@ void Router::Start() {
   for (ShardGroup* group : groups_) {
     all_ids.push_back(group->group_id());
   }
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  WriterMutexLock lock(map_mu_);
   map_ = GroupMap(1, std::move(all_ids), vnodes_per_group_);
 }
 
 GroupMap Router::CurrentMap() const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   return map_;
 }
 
@@ -100,7 +100,7 @@ Status Router::PublishMap(const std::vector<uint64_t>& group_ids) {
       return status;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  WriterMutexLock lock(map_mu_);
   map_ = GroupMap(map_.version() + 1, group_ids, vnodes_per_group_);
   return Status::Ok();
 }
@@ -120,25 +120,25 @@ ClusterClient::ClusterClient(GroupMap map, Dialer dialer, ClusterClientConfig co
     client_config.redirect_handler = [this](Bytes report, uint64_t target_group,
                                             uint64_t /*map_version*/) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.redirects_followed++;
       }
       FrameClient* owner = ClientFor(target_group);
       if (owner == nullptr) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.redirect_failures++;
         return;
       }
       // Ownership of the report passes to the target client here; even a
       // failed write leaves it outstanding there for replay.
-      owner->SendReport(std::move(report));
+      (void)owner->SendReport(std::move(report));
     };
     client_config.on_group_map = [this](uint64_t version, Bytes payload) {
       auto parsed = GroupMap::Deserialize(payload);
       if (!parsed.has_value() || parsed->version() != version) {
         return;  // malformed or mislabeled announcement: keep the map we trust
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (parsed->version() > map_.version()) {
         map_ = std::move(*parsed);
         stats_.group_maps_adopted++;
@@ -189,7 +189,7 @@ Status ClusterClient::Reconnect() {
 Status ClusterClient::SendReport(Bytes sealed_report) {
   uint64_t owner = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (map_.empty()) {
       return Error{"cluster client: no group map"};
     }
@@ -245,7 +245,7 @@ void ClusterClient::Close() {
 }
 
 ClusterClientStats ClusterClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

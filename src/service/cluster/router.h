@@ -23,13 +23,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "src/service/cluster/group_map.h"
 #include "src/service/cluster/shard_group.h"
 #include "src/service/connection.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -59,8 +58,8 @@ class Router {
 
   std::vector<ShardGroup*> groups_;  // borrowed
   size_t vnodes_per_group_;
-  mutable std::shared_mutex map_mu_;
-  GroupMap map_;
+  mutable SharedMutex map_mu_;
+  GroupMap map_ GUARDED_BY(map_mu_);
 };
 
 struct ClusterClientConfig {
@@ -133,9 +132,9 @@ class ClusterClient {
   // clients_ is built in the constructor and structurally immutable after,
   // so reader-thread redirect hops may look up targets without mu_.
   std::map<uint64_t, std::unique_ptr<FrameClient>> clients_;
-  mutable std::mutex mu_;  // guards map_ + stats_
-  GroupMap map_;
-  ClusterClientStats stats_;
+  mutable Mutex mu_;
+  GroupMap map_ GUARDED_BY(mu_);
+  ClusterClientStats stats_ GUARDED_BY(mu_);
   std::atomic<uint64_t> sent_{0};
 };
 

@@ -6,7 +6,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 
@@ -24,20 +23,22 @@ namespace {
 struct HalfPipe {
   explicit HalfPipe(size_t capacity) : capacity(capacity == 0 ? 1 : capacity) {}
 
-  std::mutex mu;
-  std::condition_variable readable;
-  std::condition_variable writable;
-  std::deque<Bytes> chunks;
-  size_t head = 0;   // consumed prefix of chunks.front()
-  size_t bytes = 0;  // total buffered
-  size_t capacity;
-  bool closed = false;
+  Mutex mu;
+  CondVar readable;
+  CondVar writable;
+  std::deque<Bytes> chunks GUARDED_BY(mu);
+  size_t head GUARDED_BY(mu) = 0;   // consumed prefix of chunks.front()
+  size_t bytes GUARDED_BY(mu) = 0;  // total buffered
+  const size_t capacity;
+  bool closed GUARDED_BY(mu) = false;
 
   Status Write(ByteSpan data) {
     size_t done = 0;
     while (done < data.size()) {
-      std::unique_lock<std::mutex> lock(mu);
-      writable.wait(lock, [&] { return bytes < capacity || closed; });
+      MutexLock lock(mu);
+      while (bytes >= capacity && !closed) {
+        writable.Wait(mu);
+      }
       if (closed) {
         return Error{"loopback: write after close"};
       }
@@ -45,7 +46,7 @@ struct HalfPipe {
       chunks.emplace_back(data.begin() + done, data.begin() + done + take);
       bytes += take;
       done += take;
-      readable.notify_one();
+      readable.NotifyOne();
     }
     return Status::Ok();
   }
@@ -54,8 +55,10 @@ struct HalfPipe {
     if (out.empty()) {
       return size_t{0};
     }
-    std::unique_lock<std::mutex> lock(mu);
-    readable.wait(lock, [&] { return bytes > 0 || closed; });
+    MutexLock lock(mu);
+    while (bytes == 0 && !closed) {
+      readable.Wait(mu);
+    }
     if (bytes == 0) {
       return size_t{0};  // EOF: writer closed and buffer drained
     }
@@ -72,15 +75,15 @@ struct HalfPipe {
         head = 0;
       }
     }
-    writable.notify_one();
+    writable.NotifyOne();
     return done;
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     closed = true;
-    readable.notify_all();
-    writable.notify_all();
+    readable.NotifyAll();
+    writable.NotifyAll();
   }
 };
 
@@ -216,14 +219,14 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint1
     ::close(fd);
     return Error{message};
   }
-  SetNoDelay(fd);  // best effort: acks are latency-bound, data still flows
+  (void)SetNoDelay(fd);  // best effort: acks are latency-bound, data still flows
   return std::unique_ptr<ByteStream>(std::make_unique<FdByteStream>(fd));
 }
 
 // ---------------------------------------------------------------- AckRegistry
 
 AckRegistry::Claim AckRegistry::TryClaim(uint64_t session_id, uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tombstones_.count(session_id) != 0) {
     // Evicted: the sparse state that could deduplicate this seq is gone.
     // Admitting the claim would risk silent re-ingestion, so the client is
@@ -318,7 +321,7 @@ void AckRegistry::MaybeCompact() {
   // updated memory before this point is inside the snapshot, and any append
   // racing the rewrite lands in the new log on top of it (replay is
   // idempotent), so no acknowledged state can fall between the two files.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (journal_->appended_bytes() < journal_->compact_threshold_bytes()) {
     return;  // another committer compacted while we waited
   }
@@ -340,7 +343,7 @@ void AckRegistry::MaybeCompact() {
 void AckRegistry::Commit(uint64_t session_id, uint64_t seq) {
   uint64_t watermark_after = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(session_id);
     if (it == sessions_.end()) {
       // The session vanished between the claim and the commit — a goodbye
@@ -369,7 +372,7 @@ void AckRegistry::Commit(uint64_t session_id, uint64_t seq) {
 }
 
 void AckRegistry::Release(uint64_t session_id, uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) {
     it->second.pending.erase(seq);
@@ -378,7 +381,7 @@ void AckRegistry::Release(uint64_t session_id, uint64_t seq) {
 
 void AckRegistry::Terminate(uint64_t session_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sessions_.erase(session_id);
     tombstones_.erase(session_id);
   }
@@ -391,17 +394,17 @@ void AckRegistry::Terminate(uint64_t session_id) {
 }
 
 void AckRegistry::set_max_sessions(size_t max_sessions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_sessions_ = max_sessions;
 }
 
 void AckRegistry::AttachJournal(SessionJournal* journal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   journal_ = journal;
 }
 
 void AckRegistry::RestoreFromRecovery(const JournalRecovery& recovery) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& snapshot : recovery.live) {
     SessionState session;
     session.contiguous = snapshot.watermark;
@@ -415,18 +418,18 @@ void AckRegistry::RestoreFromRecovery(const JournalRecovery& recovery) {
 }
 
 bool AckRegistry::IsDurable(uint64_t session_id, uint64_t seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   return it != sessions_.end() && it->second.Durable(seq);
 }
 
 size_t AckRegistry::sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
 size_t AckRegistry::tombstones() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tombstones_.size();
 }
 
@@ -441,7 +444,7 @@ uint64_t AckRegistry::journal_append_failures() const {
 // ------------------------------------------------------------ FrameConnection
 
 ConnectionAckBook FrameConnection::ack_book() const {
-  std::lock_guard<std::mutex> lock(out_mu_);
+  MutexLock lock(out_mu_);
   return book_;
 }
 
@@ -449,21 +452,23 @@ ConnectionAckBook FrameConnection::ack_book() const {
 // book under out_mu_ first, so the decision and its response can never be
 // observed half-recorded.
 void FrameConnection::EnqueueResponse(Bytes response_frame) {
-  std::lock_guard<std::mutex> lock(out_mu_);
+  MutexLock lock(out_mu_);
   outbox_.push_back(std::move(response_frame));
   if (!writer_started_) {
     writer_started_ = true;
     writer_ = std::thread([this] { WriterLoop(); });
   }
-  out_cv_.notify_one();
+  out_cv_.NotifyOne();
 }
 
 void FrameConnection::WriterLoop() {
   for (;;) {
     Bytes frame;
     {
-      std::unique_lock<std::mutex> lock(out_mu_);
-      out_cv_.wait(lock, [&] { return writer_stop_ || !outbox_.empty(); });
+      MutexLock lock(out_mu_);
+      while (!writer_stop_ && outbox_.empty()) {
+        out_cv_.Wait(out_mu_);
+      }
       if (outbox_.empty()) {
         return;  // stop requested and everything flushed
       }
@@ -476,7 +481,7 @@ void FrameConnection::WriterLoop() {
       // a new connection resolves correctly; just make the loss visible.
       // Keep draining — a dead transport fails fast, and every queued
       // response must be accounted.
-      std::lock_guard<std::mutex> lock(out_mu_);
+      MutexLock lock(out_mu_);
       book_.response_write_failures++;
     }
   }
@@ -484,12 +489,12 @@ void FrameConnection::WriterLoop() {
 
 void FrameConnection::StopWriter() {
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    MutexLock lock(out_mu_);
     if (!writer_started_) {
       return;
     }
     writer_stop_ = true;
-    out_cv_.notify_all();
+    out_cv_.NotifyAll();
   }
   writer_.join();  // drains the outbox first
 }
@@ -503,7 +508,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
       // Re-ack without re-ingesting — this is the exactly-once half of the
       // retry contract.
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.duplicates_suppressed++;
       }
       EnqueueResponse(EncodeAckFrame(seq));
@@ -513,7 +518,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
       // An earlier connection's ingest of this seq has not resolved yet;
       // the client retries after its nack delay, by which time it has.
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.nacked++;
       }
       EnqueueResponse(EncodeNackFrame(seq, NackReason::kInFlight, "report in flight; retry"));
@@ -524,7 +529,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
       // space is exhausted.  Retrying the same seq could re-ingest, so the
       // client is told to re-hello under a fresh session id instead.
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.nacked++;
         book_.expired_nacked++;
       }
@@ -546,7 +551,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
                       &map_version)) {
       registry_->Release(session, seq);
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.nacked++;
         book_.redirects_sent++;
       }
@@ -556,7 +561,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_++;
   }
   auto done = [this, session, seq](const Status& status) {
@@ -565,7 +570,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
       // must already observe the seq as durable.
       registry_->Commit(session, seq);
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.acked++;
       }
       EnqueueResponse(EncodeAckFrame(seq));
@@ -574,14 +579,14 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
       // as new, and tell it why.
       registry_->Release(session, seq);
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        MutexLock lock(out_mu_);
         book_.nacked++;
       }
       EnqueueResponse(EncodeNackFrame(seq, NackReason::kRetryable, status.error().message));
     }
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     if (--inflight_ == 0) {
-      inflight_cv_.notify_all();
+      inflight_cv_.NotifyAll();
     }
   };
   if (async_sink_) {
@@ -626,7 +631,7 @@ Status FrameConnection::HandleFrame(Frame frame) {
       if (helloed_) {
         registry_->Terminate(session_id_);
         {
-          std::lock_guard<std::mutex> lock(out_mu_);
+          MutexLock lock(out_mu_);
           book_.goodbyes_acked++;
         }
         EnqueueResponse(EncodeAckFrame(frame.seq));
@@ -644,8 +649,10 @@ Status FrameConnection::HandleFrame(Frame frame) {
 }
 
 void FrameConnection::WaitForInflight() {
-  std::unique_lock<std::mutex> lock(inflight_mu_);
-  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+  MutexLock lock(inflight_mu_);
+  while (inflight_ != 0) {
+    inflight_cv_.Wait(inflight_mu_);
+  }
 }
 
 Status FrameConnection::PumpUntilClosed() {
@@ -701,20 +708,22 @@ Status FrameConnection::PumpUntilClosed() {
 
 // --------------------------------------------------------------- FrameServer
 
-FrameServer::~FrameServer() { Shutdown(); }
+// Destructor teardown has no caller to report to; Shutdown is idempotent and
+// its status only restates per-connection errors already counted in stats_.
+FrameServer::~FrameServer() { (void)Shutdown(); }
 
 void FrameServer::BindFrontendStats(FrontendStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   frontend_stats_ = stats;
 }
 
 void FrameServer::set_route_check(FrameConnection::RouteCheck route_check) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   route_check_ = std::move(route_check);
 }
 
 void FrameServer::set_group_map_provider(FrameConnection::GroupMapProvider provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   group_map_provider_ = std::move(provider);
 }
 
@@ -733,7 +742,7 @@ void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
   // miss the connection entirely or join a half-constructed entry.  A
   // connection adopted after Shutdown is dropped on the floor — destroying
   // the transport closes it, so the peer's writes fail instead of hanging.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shut_down_) {
     return;
   }
@@ -756,7 +765,7 @@ void FrameServer::Serve(std::unique_ptr<ByteStream> stream) {
       // Mirror the finished connection's ack book into the frontend's
       // counters so operators see the protocol's books where the ingestion
       // books already live.
-      std::lock_guard<std::mutex> stats_lock(mu_);
+      MutexLock stats_lock(mu_);
       if (frontend_stats_ != nullptr) {
         frontend_stats_->acks_sent.fetch_add(raw->book.acked, std::memory_order_relaxed);
         frontend_stats_->nacks_sent.fetch_add(raw->book.nacked, std::memory_order_relaxed);
@@ -783,7 +792,7 @@ Status FrameServer::Shutdown() {
   // Idempotent: a second call finds served_ empty and joins nothing.
   std::vector<std::unique_ptr<Served>> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shut_down_ = true;
     to_join = std::move(served_);
     served_.clear();
@@ -797,7 +806,7 @@ Status FrameServer::Shutdown() {
       first_error = served->status;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& served : to_join) {
     stats_.Fold(served->stats);
     ack_book_.Fold(served->book);
@@ -807,17 +816,17 @@ Status FrameServer::Shutdown() {
 }
 
 FrameStreamStats FrameServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 ConnectionAckBook FrameServer::ack_book() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ack_book_;
 }
 
 size_t FrameServer::connections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return connections_ + served_.size();
 }
 
@@ -886,7 +895,7 @@ void TcpListener::AcceptLoop() {
       }
       return;  // listening socket broken (EBADF/EINVAL); accepting ends
     }
-    SetNoDelay(fd);  // best effort
+    (void)SetNoDelay(fd);  // best effort
     accepted_.fetch_add(1, std::memory_order_relaxed);
     server_->Serve(std::make_unique<FdByteStream>(fd));
   }
@@ -910,23 +919,23 @@ void TcpListener::Stop() {
 // --------------------------------------------------------------- FrameClient
 
 FrameClient::~FrameClient() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   StopReaderLocked();
 }
 
 void FrameClient::MarkDisconnected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   connected_ = false;
-  acked_cv_.notify_all();
+  acked_cv_.NotifyAll();
 }
 
 void FrameClient::StopReaderLocked() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stream_ != nullptr) {
       stream_->Abort();  // wakes a reader blocked in Read
       connected_ = false;
-      acked_cv_.notify_all();
+      acked_cv_.NotifyAll();
     }
   }
   if (reader_.joinable()) {
@@ -934,8 +943,8 @@ void FrameClient::StopReaderLocked() {
   }
   // With the reader joined and send_mu_ held, nobody else can be touching
   // the transport.
-  std::lock_guard<std::mutex> send(send_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock send(send_mu_);
+  MutexLock lock(mu_);
   stream_.reset();
 }
 
@@ -945,12 +954,12 @@ Status FrameClient::Connect(std::unique_ptr<ByteStream> stream) {
     // would silently suppress each other's reports as duplicates.
     return Error{"frame client: session_id must be non-zero"};
   }
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   StopReaderLocked();
   ByteStream* raw = stream.get();
   {
-    std::lock_guard<std::mutex> send(send_mu_);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock send(send_mu_);
+    MutexLock lock(mu_);
     stream_ = std::move(stream);
     connected_ = true;
   }
@@ -961,10 +970,10 @@ Status FrameClient::Connect(std::unique_ptr<ByteStream> stream) {
 
   std::vector<std::pair<uint64_t, Bytes>> replay;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     replay.assign(outstanding_.begin(), outstanding_.end());
   }
-  std::lock_guard<std::mutex> send(send_mu_);
+  MutexLock send(send_mu_);
   Status status = raw->Write(EncodeHelloFrame(config_.session_id));
   if (!status.ok()) {
     MarkDisconnected();
@@ -979,7 +988,7 @@ Status FrameClient::Connect(std::unique_ptr<ByteStream> stream) {
       MarkDisconnected();
       return status;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.retransmitted++;
   }
   return Status::Ok();
@@ -990,7 +999,7 @@ Status FrameClient::SendReport(Bytes sealed_report) {
   // rotation on the reader thread renumbers outstanding_ under send_mu_,
   // and a seq assigned on one side of that renumbering must not be written
   // to the wire on the other side of it.
-  std::lock_guard<std::mutex> send(send_mu_);
+  MutexLock send(send_mu_);
   uint64_t seq = 0;
   Bytes frame;
   ByteStream* stream = nullptr;
@@ -999,7 +1008,7 @@ Status FrameClient::SendReport(Bytes sealed_report) {
     // callers hand each report over exactly once, and the next Connect's
     // replay delivers whatever could not be written now.  (Encode first,
     // then move into the map — one copy, not two.)
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seq = next_seq_++;
     stats_.sent++;
     frame = EncodeReportFrame(seq, sealed_report);
@@ -1021,13 +1030,18 @@ Status FrameClient::SendReport(Bytes sealed_report) {
 }
 
 bool FrameClient::WaitForAcks(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  acked_cv_.wait_for(lock, timeout, [&] { return outstanding_.empty() || !connected_; });
+  MutexLock lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!outstanding_.empty() && connected_) {
+    if (!acked_cv_.WaitUntil(mu_, deadline)) {
+      break;  // timed out; report the final state below
+    }
+  }
   return outstanding_.empty();
 }
 
 void FrameClient::Close() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   // A cleanly finished session (connected, nothing outstanding) offers the
   // server a kGoodbye so it can drop this session's dedup state now rather
   // than waiting out LRU eviction.  The wait below is best-effort: a lost
@@ -1035,11 +1049,11 @@ void FrameClient::Close() {
   // eviction remains the backstop.
   bool sent_goodbye = false;
   {
-    std::lock_guard<std::mutex> send(send_mu_);
+    MutexLock send(send_mu_);
     Bytes frame;
     ByteStream* raw = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stream_ != nullptr && connected_ && outstanding_.empty()) {
         goodbye_pending_ = true;
         goodbye_acked_ = false;
@@ -1050,22 +1064,26 @@ void FrameClient::Close() {
     }
     if (raw != nullptr && raw->Write(frame).ok()) {
       sent_goodbye = true;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.goodbyes_sent++;
     }
   }
   if (sent_goodbye) {
-    std::unique_lock<std::mutex> lock(mu_);
-    acked_cv_.wait_for(lock, config_.goodbye_timeout,
-                       [&] { return goodbye_acked_ || !connected_; });
+    MutexLock lock(mu_);
+    auto deadline = std::chrono::steady_clock::now() + config_.goodbye_timeout;
+    while (!goodbye_acked_ && connected_) {
+      if (!acked_cv_.WaitUntil(mu_, deadline)) {
+        break;  // timed out; eviction is the backstop for a lost goodbye
+      }
+    }
     if (goodbye_acked_) {
       stats_.goodbyes_acked++;
     }
     goodbye_pending_ = false;
   }
   {
-    std::lock_guard<std::mutex> send(send_mu_);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock send(send_mu_);
+    MutexLock lock(mu_);
     if (stream_ != nullptr) {
       stream_->CloseWrite();
     }
@@ -1073,29 +1091,29 @@ void FrameClient::Close() {
   if (reader_.joinable()) {
     reader_.join();  // the server finishes responding, then closes its side
   }
-  std::lock_guard<std::mutex> send(send_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock send(send_mu_);
+  MutexLock lock(mu_);
   stream_.reset();
   connected_ = false;
 }
 
 bool FrameClient::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return connected_;
 }
 
 size_t FrameClient::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outstanding_.size();
 }
 
 FrameClientStats FrameClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 uint64_t FrameClient::session_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return config_.session_id;
 }
 
@@ -1122,12 +1140,12 @@ void FrameClient::RotateSession(ByteStream* stream) {
   // from the old session cannot mis-match the new seqs: server responses
   // are FIFO per connection, so every old-session response precedes the
   // expired NACK that got us here.
-  std::lock_guard<std::mutex> send(send_mu_);
+  MutexLock send(send_mu_);
   uint64_t new_session = 0;
   std::vector<std::pair<uint64_t, Bytes>> replay;
   ByteStream* current = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     uint64_t old_session = config_.session_id;
     new_session = config_.session_rotator ? config_.session_rotator(old_session)
                                           : SplitMix64(old_session);
@@ -1163,7 +1181,7 @@ void FrameClient::RotateSession(ByteStream* stream) {
       MarkDisconnected();
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.retransmitted++;
   }
 }
@@ -1200,20 +1218,20 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
     // arrived with it.
     for (auto& frame : frames) {
       if (frame.type == FrameType::kAck) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = outstanding_.find(frame.seq);
         if (it != outstanding_.end()) {
           outstanding_.erase(it);
           stats_.acked++;
           ack_progress = true;
-          acked_cv_.notify_all();
+          acked_cv_.NotifyAll();
         } else if (goodbye_pending_ && frame.seq == goodbye_seq_) {
           goodbye_acked_ = true;
-          acked_cv_.notify_all();
+          acked_cv_.NotifyAll();
         }
       } else if (frame.type == FrameType::kNack) {
         NackInfo info = ParseNackPayload(frame.payload);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.nacked++;
         if (info.reason == NackReason::kSessionExpired) {
           // Only a verdict about the CURRENT session triggers rotation.
@@ -1237,7 +1255,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
                 Redirect{std::move(it->second), info.redirect_group, info.map_version});
             outstanding_.erase(it);
             stats_.redirected++;
-            acked_cv_.notify_all();
+            acked_cv_.NotifyAll();
           }
         } else {
           // kRetryable and kInFlight both resend the same seq (after the
@@ -1249,7 +1267,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
         }
       } else if (frame.type == FrameType::kGroupMap) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           stats_.group_maps_received++;
         }
         if (config_.on_group_map) {
@@ -1269,7 +1287,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
                                redirect.map_version);
     }
     if (ack_progress) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       nack_backoff_exponent_ = 0;  // the server is making progress again
     }
     if (session_expired) {
@@ -1290,7 +1308,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
     // connection dead; the next Connect replays the reports anyway.
     std::chrono::milliseconds delay;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const uint64_t base = static_cast<uint64_t>(config_.nack_retry_delay.count());
       const uint64_t cap = static_cast<uint64_t>(config_.nack_retry_max_delay.count());
       uint64_t scaled = base << std::min<uint32_t>(nack_backoff_exponent_, 20);
@@ -1310,7 +1328,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
     for (uint64_t seq : nacked_seqs) {
       Bytes report;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = outstanding_.find(seq);
         if (it != outstanding_.end()) {
           report = it->second;  // copy: the entry stays until ACKed
@@ -1319,10 +1337,10 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
       if (report.empty()) {
         continue;  // already acked concurrently; nothing to retry
       }
-      std::lock_guard<std::mutex> send(send_mu_);
+      MutexLock send(send_mu_);
       ByteStream* current = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (connected_ && stream_.get() == stream) {
           current = stream_.get();
         }
@@ -1331,7 +1349,7 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
         break;
       }
       if (current->Write(EncodeReportFrame(seq, report)).ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_.retransmitted++;
       } else {
         MarkDisconnected();  // the next Connect replays the reports
@@ -1339,11 +1357,11 @@ void FrameClient::ReaderLoop(ByteStream* stream) {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stream_.get() == stream) {
     connected_ = false;
   }
-  acked_cv_.notify_all();
+  acked_cv_.NotifyAll();
 }
 
 }  // namespace prochlo

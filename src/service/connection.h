@@ -32,12 +32,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -50,6 +48,7 @@
 #include "src/service/wire.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -180,23 +179,26 @@ class AckRegistry {
     }
   };
 
-  // Requires mu_.  Evicts idle sessions (empty pending) in LRU order until
-  // the map fits the cap, journaling each eviction's watermark floor.
-  void EvictForAdmissionLocked();
+  // Evicts idle sessions (empty pending) in LRU order until the map fits
+  // the cap, journaling each eviction's watermark floor.
+  void EvictForAdmissionLocked() REQUIRES(mu_);
   // Journals + group-commits one record outside mu_; failures degrade into
   // journal_append_failures_.
-  void JournalCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq);
-  void MaybeCompact();
+  void JournalCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq)
+      EXCLUDES(mu_);
+  void MaybeCompact() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, SessionState> sessions_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, SessionState> sessions_ GUARDED_BY(mu_);
   // Evicted sessions: id -> checkpointed watermark floor.  Claims on these
   // answer kSessionExpired.  Entries are small (16 bytes) and dropped by a
   // goodbye; they are the price of never silently re-ingesting.
-  std::unordered_map<uint64_t, uint64_t> tombstones_;
-  size_t max_sessions_ = 0;  // 0 = unbounded
-  uint64_t lru_clock_ = 0;
-  SessionJournal* journal_ = nullptr;  // borrowed; null = memory-only dedup
+  std::unordered_map<uint64_t, uint64_t> tombstones_ GUARDED_BY(mu_);
+  size_t max_sessions_ GUARDED_BY(mu_) = 0;  // 0 = unbounded
+  uint64_t lru_clock_ GUARDED_BY(mu_) = 0;
+  // Borrowed; null = memory-only dedup.  Attached once before serving, then
+  // read from commit paths outside mu_ (the journal has its own locks).
+  SessionJournal* journal_ = nullptr;
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> journal_append_failures_{0};
 };
@@ -324,17 +326,19 @@ class FrameConnection {
   // threads — only enqueue here; the writer alone touches the stream's
   // write side, so a back-pressured client cannot wedge a worker.
   // out_mu_ also guards the book.
-  mutable std::mutex out_mu_;
-  std::condition_variable out_cv_;
-  std::deque<Bytes> outbox_;
+  mutable Mutex out_mu_;
+  CondVar out_cv_;
+  std::deque<Bytes> outbox_ GUARDED_BY(out_mu_);
+  // Started under out_mu_ exactly once; joined only by StopWriter after the
+  // writer_stop_ handshake, so the handle itself needs no lock.
   std::thread writer_;
-  bool writer_started_ = false;
-  bool writer_stop_ = false;
-  ConnectionAckBook book_;
+  bool writer_started_ GUARDED_BY(out_mu_) = false;
+  bool writer_stop_ GUARDED_BY(out_mu_) = false;
+  ConnectionAckBook book_ GUARDED_BY(out_mu_);
 
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  size_t inflight_ = 0;
+  Mutex inflight_mu_;
+  CondVar inflight_cv_;
+  size_t inflight_ GUARDED_BY(inflight_mu_) = 0;
 };
 
 // A listener: serves any number of connections, each pumped on its own
@@ -400,16 +404,16 @@ class FrameServer {
 
   FrameConnection::ReportSink sink_;
   FrameConnection::AsyncSink async_sink_;
-  FrameConnection::RouteCheck route_check_;               // guarded by mu_
-  FrameConnection::GroupMapProvider group_map_provider_;  // guarded by mu_
+  mutable Mutex mu_;
+  FrameConnection::RouteCheck route_check_ GUARDED_BY(mu_);
+  FrameConnection::GroupMapProvider group_map_provider_ GUARDED_BY(mu_);
   AckRegistry registry_;
-  FrontendStats* frontend_stats_ = nullptr;  // borrowed
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Served>> served_;  // still being pumped
-  FrameStreamStats stats_;                       // folded at Shutdown
-  ConnectionAckBook ack_book_;                   // folded at Shutdown
-  size_t connections_ = 0;                       // finished connections
-  bool shut_down_ = false;                       // Serve after Shutdown drops the stream
+  FrontendStats* frontend_stats_ GUARDED_BY(mu_) = nullptr;  // borrowed
+  std::vector<std::unique_ptr<Served>> served_ GUARDED_BY(mu_);  // being pumped
+  FrameStreamStats stats_ GUARDED_BY(mu_);      // folded at Shutdown
+  ConnectionAckBook ack_book_ GUARDED_BY(mu_);  // folded at Shutdown
+  size_t connections_ GUARDED_BY(mu_) = 0;      // finished connections
+  bool shut_down_ GUARDED_BY(mu_) = false;  // Serve after Shutdown drops the stream
 };
 
 // A real TCP accept loop feeding FrameServer::Serve: bind/listen on an
@@ -540,7 +544,7 @@ class FrameClient {
 
  private:
   void ReaderLoop(ByteStream* stream);
-  void StopReaderLocked();  // requires lifecycle_mu_
+  void StopReaderLocked() REQUIRES(lifecycle_mu_);
   void MarkDisconnected();
   // Handles a kSessionExpired NACK: adopts a fresh session id, renumbers
   // every outstanding report from seq 0, and re-HELLOs + replays on the
@@ -550,29 +554,31 @@ class FrameClient {
   FrameClientConfig config_;
 
   // Lock order: lifecycle_mu_ > send_mu_ > mu_ (each may acquire the ones
-  // after it, never before).  lifecycle_mu_ serializes Connect/Close (which
-  // join the reader — the reader itself never takes it); send_mu_
-  // serializes stream writes (sender thread vs the reader's NACK resend);
-  // mu_ guards the bookkeeping.  stream_ is replaced/destroyed only under
-  // send_mu_ with the reader joined, so a writer holding send_mu_ may use
-  // the pointer it fetched under mu_ without it dangling.
-  std::mutex lifecycle_mu_;
-  std::mutex send_mu_;
-  mutable std::mutex mu_;
-  std::condition_variable acked_cv_;
-  std::unique_ptr<ByteStream> stream_;
-  std::thread reader_;
-  bool connected_ = false;
-  uint64_t next_seq_ = 0;
-  std::map<uint64_t, Bytes> outstanding_;  // seq -> sealed report
-  FrameClientStats stats_;
+  // after it, never before; the ACQUIRED_AFTER annotations make a violation
+  // a clang -Wthread-safety-beta error).  lifecycle_mu_ serializes
+  // Connect/Close (which join the reader — the reader itself never takes
+  // it); send_mu_ serializes stream writes (sender thread vs the reader's
+  // NACK resend); mu_ guards the bookkeeping.  stream_ is replaced/
+  // destroyed only under send_mu_ with the reader joined, so a writer
+  // holding send_mu_ may use the pointer it fetched under mu_ without it
+  // dangling.
+  Mutex lifecycle_mu_;
+  Mutex send_mu_ ACQUIRED_AFTER(lifecycle_mu_);
+  mutable Mutex mu_ ACQUIRED_AFTER(send_mu_);
+  CondVar acked_cv_;
+  std::unique_ptr<ByteStream> stream_ GUARDED_BY(mu_);
+  std::thread reader_ GUARDED_BY(lifecycle_mu_);
+  bool connected_ GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, Bytes> outstanding_ GUARDED_BY(mu_);  // seq -> sealed report
+  FrameClientStats stats_ GUARDED_BY(mu_);
   // NACK backoff state (reader thread only touches these under mu_).
-  uint32_t nack_backoff_exponent_ = 0;
-  uint64_t jitter_state_ = 0;  // seeded xorshift; 0 = not yet seeded
+  uint32_t nack_backoff_exponent_ GUARDED_BY(mu_) = 0;
+  uint64_t jitter_state_ GUARDED_BY(mu_) = 0;  // seeded xorshift; 0 = unseeded
   // Goodbye handshake state for Close().
-  bool goodbye_pending_ = false;
-  uint64_t goodbye_seq_ = 0;
-  bool goodbye_acked_ = false;
+  bool goodbye_pending_ GUARDED_BY(mu_) = false;
+  uint64_t goodbye_seq_ GUARDED_BY(mu_) = 0;
+  bool goodbye_acked_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace prochlo

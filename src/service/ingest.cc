@@ -41,9 +41,9 @@ Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
   }
   bool size_trigger = false;
   {
-    std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+    ReaderMutexLock epoch_lock(epoch_mu_);
     Shard& shard = *shards_[shard_index];
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     if (spool_ != nullptr) {
       Status status = spool_->Append(shard_index, current_epoch_.load(), sealed_report);
       if (!status.ok()) {
@@ -59,11 +59,11 @@ Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
   if (size_trigger) {
     // Re-checked under the exclusive lock: a racing Accept may have already
     // cut, in which case the epoch is fresh and below the trigger again.
-    std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+    WriterMutexLock epoch_lock(epoch_mu_);
     if (config_.max_epoch_reports > 0 && current_total_.load() >= config_.max_epoch_reports) {
       Status status = SealCurrentLocked();
       if (status.ok()) {
-        std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
+        MutexLock sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
         stats_.size_cuts++;
       }
       // A failed seal is NOT this report's failure: the report was already
@@ -78,7 +78,7 @@ Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
 }
 
 Status ShardedIngest::Tick() {
-  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  WriterMutexLock epoch_lock(epoch_mu_);
   current_age_++;
   if (config_.max_epoch_age == 0 || current_age_ < config_.max_epoch_age) {
     return Status::Ok();
@@ -92,14 +92,14 @@ Status ShardedIngest::Tick() {
   // instead of the failure silently vanishing.
   Status status = SealCurrentLocked();
   if (status.ok()) {
-    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
+    MutexLock sealed_lock(sealed_mu_);  // stats_ is guarded by sealed_mu_
     stats_.age_cuts++;
   }
   return status;
 }
 
 Status ShardedIngest::CutEpoch(bool seal_if_empty) {
-  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  WriterMutexLock epoch_lock(epoch_mu_);
   if (current_total_.load() == 0 && !seal_if_empty) {
     return Status::Ok();  // nothing to seal
   }
@@ -121,7 +121,7 @@ Status ShardedIngest::SealCurrentLocked() {
   // Accept can slip in between the snapshot and the commit).
   for (size_t s = 0; s < config_.num_shards; ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     batch.shard_counts[s] = shard.count;
   }
   if (spool_ != nullptr) {
@@ -129,7 +129,7 @@ Status ShardedIngest::SealCurrentLocked() {
     if (!status.ok()) {
       // Account the failure before propagating it: every failed seal is
       // visible in stats even if the caller drops the Status.
-      std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+      MutexLock sealed_lock(sealed_mu_);
       stats_.seal_failures++;
       stats_.last_seal_error = status.error().message;
       return status;
@@ -138,7 +138,7 @@ Status ShardedIngest::SealCurrentLocked() {
   // Commit: the epoch is durably sealed (or in-memory); reset the shards.
   for (size_t s = 0; s < config_.num_shards; ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     shard.count = 0;
     if (spool_ == nullptr) {
       batch.shard_reports[s] = std::move(shard.reports);
@@ -146,7 +146,7 @@ Status ShardedIngest::SealCurrentLocked() {
     }
   }
   {
-    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    MutexLock sealed_lock(sealed_mu_);
     stats_.accepted += batch.total;
     stats_.epochs_sealed++;
     sealed_.push_back(std::move(batch));
@@ -165,12 +165,12 @@ Status ShardedIngest::SealCurrentLocked() {
 }
 
 void ShardedIngest::SetSealListener(std::function<void()> listener) {
-  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  WriterMutexLock epoch_lock(epoch_mu_);
   seal_listener_ = std::move(listener);
 }
 
 std::optional<EpochBatch> ShardedIngest::PopSealedEpoch() {
-  std::lock_guard<std::mutex> lock(sealed_mu_);
+  MutexLock lock(sealed_mu_);
   if (sealed_.empty()) {
     return std::nullopt;
   }
@@ -180,12 +180,12 @@ std::optional<EpochBatch> ShardedIngest::PopSealedEpoch() {
 }
 
 void ShardedIngest::RequeueSealedEpoch(EpochBatch batch) {
-  std::lock_guard<std::mutex> lock(sealed_mu_);
+  MutexLock lock(sealed_mu_);
   sealed_.push_front(std::move(batch));
 }
 
 void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
-  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  WriterMutexLock epoch_lock(epoch_mu_);
   // Group recovered segment counts by epoch.
   std::map<uint64_t, std::vector<size_t>> per_epoch;  // epoch -> shard counts
   for (const auto& segment : recovery.segments) {
@@ -220,6 +220,7 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
       // tail, truncated away): new reports must land here, never in an
       // older epoch whose seal marker already exists.
       for (size_t s = 0; s < config_.num_shards && s < counts.size(); ++s) {
+        MutexLock shard_lock(shards_[s]->mu);
         shards_[s]->count = counts[s];
       }
       current_epoch_.store(epoch);
@@ -242,12 +243,12 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
       // operators look for a wedged spool.
       Status sealed = spool_->SealEpoch(epoch);
       if (!sealed.ok()) {
-        std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+        MutexLock sealed_lock(sealed_mu_);
         stats_.seal_failures++;
         stats_.last_seal_error = sealed.error().message;
       }
     }
-    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    MutexLock sealed_lock(sealed_mu_);
     stats_.accepted += batch.total;
     stats_.epochs_sealed++;
     sealed_.push_back(std::move(batch));
@@ -259,7 +260,7 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
   }
   bool recovered_sealed = false;
   {
-    std::lock_guard<std::mutex> sealed_lock(sealed_mu_);
+    MutexLock sealed_lock(sealed_mu_);
     recovered_sealed = !sealed_.empty();
   }
   if (recovered_sealed && seal_listener_) {
@@ -268,7 +269,7 @@ void ShardedIngest::RestoreFromRecovery(const Spool::RecoveryReport& recovery) {
 }
 
 IngestStats ShardedIngest::stats() const {
-  std::lock_guard<std::mutex> lock(sealed_mu_);
+  MutexLock lock(sealed_mu_);
   IngestStats out = stats_;
   out.accepted += current_total_.load();
   return out;

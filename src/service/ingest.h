@@ -25,15 +25,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/service/spool.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -141,28 +140,29 @@ class ShardedIngest {
 
  private:
   struct Shard {
-    std::mutex mu;
-    size_t count = 0;                // reports in the current epoch
-    std::vector<Bytes> reports;      // in-memory mode only
+    Mutex mu;
+    size_t count GUARDED_BY(mu) = 0;            // reports in the current epoch
+    std::vector<Bytes> reports GUARDED_BY(mu);  // in-memory mode only
   };
 
   // Seals the current epoch; requires epoch_mu_ held exclusively.
-  Status SealCurrentLocked();
+  Status SealCurrentLocked() REQUIRES(epoch_mu_);
 
   IngestConfig config_;
   Spool* spool_;  // borrowed; may be null
 
   // Shared: Accept; exclusive: epoch transitions (cut, tick-cut, restore).
-  mutable std::shared_mutex epoch_mu_;
-  std::function<void()> seal_listener_;  // guarded by epoch_mu_ (exclusive)
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable SharedMutex epoch_mu_;
+  // Written only under exclusive epoch_mu_; invoked under the same.
+  std::function<void()> seal_listener_ GUARDED_BY(epoch_mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;  // sized in ctor, never resized
   std::atomic<uint64_t> current_epoch_{0};
   std::atomic<size_t> current_total_{0};
-  uint64_t current_age_ = 0;  // ticks since the epoch started
+  uint64_t current_age_ GUARDED_BY(epoch_mu_) = 0;  // ticks since epoch start
 
-  mutable std::mutex sealed_mu_;
-  std::deque<EpochBatch> sealed_;
-  IngestStats stats_;
+  mutable Mutex sealed_mu_;
+  std::deque<EpochBatch> sealed_ GUARDED_BY(sealed_mu_);
+  IngestStats stats_ GUARDED_BY(sealed_mu_);
 };
 
 }  // namespace prochlo

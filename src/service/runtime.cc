@@ -45,8 +45,8 @@ void IngestWorkerPool::Stop() {
       // Under the lock so a worker between its flag and its wait cannot
       // miss the stop notification entirely (the bounded wait would still
       // recover, but shutdown should not lean on the fallback).
-      std::lock_guard<std::mutex> lock(worker->wake_mu);
-      worker->wake_cv.notify_all();
+      MutexLock lock(worker->wake_mu);
+      worker->wake_cv.NotifyAll();
     }
     if (worker->thread.joinable()) {
       worker->thread.join();
@@ -84,7 +84,9 @@ Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
 }
 
 void IngestWorkerPool::EnqueueAsync(Bytes sealed_report, Completion done) {
-  EnqueueImpl(std::move(sealed_report), std::move(done));
+  // The return value is redundant here: `done` fires exactly once with the
+  // report's final outcome on every path, including enqueue-time failures.
+  (void)EnqueueImpl(std::move(sealed_report), std::move(done));
 }
 
 Status IngestWorkerPool::EnqueueImpl(Bytes sealed_report, Completion done) {
@@ -153,7 +155,7 @@ void IngestWorkerPool::RecordAccept(const Status& status) {
     return;
   }
   accept_failures_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   last_accept_error_ = status.error().message;
 }
 
@@ -198,7 +200,7 @@ WorkerPoolStats IngestWorkerPool::stats() const {
   out.frames_ok = frames_ok_.load(std::memory_order_relaxed);
   out.frames_corrupt = frames_corrupt_.load(std::memory_order_relaxed);
   out.bytes_skipped = bytes_skipped_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   out.last_accept_error = last_accept_error_;
   return out;
 }
@@ -229,16 +231,16 @@ void IngestWorkerPool::WorkerLoop(Worker& worker) {
     // The bounded wait is only a fallback for the narrow flag/publish races
     // (a missed notify costs one timeout, never a stall); the normal wake
     // is the producer's WakeIfAsleep.
-    std::unique_lock<std::mutex> lock(worker.wake_mu);
+    MutexLock lock(worker.wake_mu);
     worker.asleep.store(true);
     if (auto item = worker.ring.TryPop()) {
       worker.asleep.store(false);
-      lock.unlock();
+      lock.Unlock();
       process(std::move(*item));
       continue;
     }
     if (!stopping_.load()) {
-      worker.wake_cv.wait_for(lock, std::chrono::milliseconds(10));
+      worker.wake_cv.WaitFor(worker.wake_mu, std::chrono::milliseconds(10));
     }
     worker.asleep.store(false);
   }
@@ -272,10 +274,10 @@ void DrainScheduler::Stop() {
   // once it returns no seal can be mid-call into this object.
   frontend_->SetSealListener(nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -286,35 +288,45 @@ void DrainScheduler::Stop() {
 
 void DrainScheduler::RequestDrain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     drain_requested_ = true;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 std::vector<EpochResult> DrainScheduler::TakeResults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<EpochResult> out = std::move(results_);
   results_.clear();
   return out;
 }
 
 bool DrainScheduler::WaitForDrainedEpochs(size_t n, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return drained_cv_.wait_for(lock, timeout, [&] { return drained_total_ >= n; });
+  MutexLock lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (drained_total_ < n) {
+    if (!drained_cv_.WaitUntil(mu_, deadline)) {
+      break;  // timed out; report whether the target was reached anyway
+    }
+  }
+  return drained_total_ >= n;
 }
 
 DrainSchedulerStats DrainScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void DrainScheduler::DrainLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait_for(lock, config_.poll_interval,
-                        [&] { return stop_ || drain_requested_; });
+      MutexLock lock(mu_);
+      auto deadline = std::chrono::steady_clock::now() + config_.poll_interval;
+      while (!stop_ && !drain_requested_) {
+        if (!wake_cv_.WaitUntil(mu_, deadline)) {
+          break;  // fallback poll: run a pass even without a nudge
+        }
+      }
       drain_requested_ = false;
       if (stop_) {
         return;  // Stop() performs the final pass after the join
@@ -328,7 +340,7 @@ void DrainScheduler::DrainOnce() {
   // DrainSealedEpochs runs outside mu_: it is the expensive part and must
   // not block TakeResults/WaitForDrainedEpochs.
   DrainReport report = frontend_->DrainSealedEpochs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.drain_calls++;
   stats_.epochs_drained += report.results.size();
   drained_total_ += report.results.size();
@@ -340,7 +352,7 @@ void DrainScheduler::DrainOnce() {
     stats_.drain_failures++;
     stats_.last_drain_error = report.failure->error.message;
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 }  // namespace prochlo

@@ -31,16 +31,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/service/frontend.h"
 #include "src/util/mpsc_ring.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -131,14 +130,14 @@ class IngestWorkerPool {
     // producers take wake_mu and notify only when the flag is up, so the
     // hot enqueue path never touches the mutex and an idle pool costs a
     // handful of fallback wakeups per second instead of a 200 µs spin.
-    std::mutex wake_mu;
-    std::condition_variable wake_cv;
+    Mutex wake_mu;
+    CondVar wake_cv;
     std::atomic<bool> asleep{false};
 
     void WakeIfAsleep() {
       if (asleep.load(std::memory_order_relaxed)) {
-        std::lock_guard<std::mutex> lock(wake_mu);
-        wake_cv.notify_one();
+        MutexLock lock(wake_mu);
+        wake_cv.NotifyOne();
       }
     }
   };
@@ -157,7 +156,7 @@ class IngestWorkerPool {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex stats_mu_;  // guards the non-atomic stats fields
+  mutable Mutex stats_mu_;  // guards the non-atomic stats fields
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> accept_failures_{0};
@@ -165,7 +164,7 @@ class IngestWorkerPool {
   std::atomic<uint64_t> frames_ok_{0};
   std::atomic<uint64_t> frames_corrupt_{0};
   std::atomic<uint64_t> bytes_skipped_{0};
-  std::string last_accept_error_;
+  std::string last_accept_error_ GUARDED_BY(stats_mu_);
 };
 
 struct DrainSchedulerConfig {
@@ -220,17 +219,19 @@ class DrainScheduler {
 
   ShufflerFrontend* frontend_;  // borrowed
   DrainSchedulerConfig config_;
+  // Start/Stop run on one owning thread by contract; the handle and flag
+  // are never touched from the drain thread, so they need no lock.
   std::thread thread_;
   bool started_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_cv_;     // poll/nudge/stop
-  std::condition_variable drained_cv_;  // WaitForDrainedEpochs
-  bool stop_ = false;
-  bool drain_requested_ = false;
-  std::vector<EpochResult> results_;
-  size_t drained_total_ = 0;
-  DrainSchedulerStats stats_;
+  mutable Mutex mu_;
+  CondVar wake_cv_;     // poll/nudge/stop
+  CondVar drained_cv_;  // WaitForDrainedEpochs
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool drain_requested_ GUARDED_BY(mu_) = false;
+  std::vector<EpochResult> results_ GUARDED_BY(mu_);
+  size_t drained_total_ GUARDED_BY(mu_) = 0;
+  DrainSchedulerStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace prochlo

@@ -149,7 +149,7 @@ SessionJournal::SessionJournal(SessionJournalConfig config)
     : config_(std::move(config)), fs_(config_.fs != nullptr ? config_.fs : Fs::Real()) {}
 
 SessionJournal::~SessionJournal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ >= 0) {
     fs_->Close(fd_);
     fd_ = -1;
@@ -160,8 +160,8 @@ Result<JournalRecovery> SessionJournal::Open() {
   // Lock order is sync_mu_ > mu_ everywhere (SyncUpTo leader, Compact);
   // Open runs before any appender exists, but keeps the same order so the
   // lock graph stays acyclic.
-  std::lock_guard<std::mutex> sync_lock(sync_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock sync_lock(sync_mu_);
+  MutexLock lock(mu_);
   if (fd_ >= 0) {
     return Error{"session journal: already open"};
   }
@@ -238,7 +238,7 @@ Status SessionJournal::WriteAll(int fd, ByteSpan data) {
 }
 
 Result<uint64_t> SessionJournal::AppendRecord(ByteSpan payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fd_ < 0) {
     return Error{"session journal: not open"};
   }
@@ -278,7 +278,7 @@ Status SessionJournal::SyncUpTo(uint64_t lsn) {
   if (!config_.fsync_commits) {
     return Status::Ok();  // buffered-write durability (process-kill safe)
   }
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   for (;;) {
     if (synced_lsn_ >= lsn) {
       return Status::Ok();
@@ -290,24 +290,24 @@ Status SessionJournal::SyncUpTo(uint64_t lsn) {
       uint64_t target = 0;
       int fd = -1;
       {
-        std::lock_guard<std::mutex> append_lock(mu_);
+        MutexLock append_lock(mu_);
         target = next_lsn_ - 1;
         fd = fd_;
       }
-      lock.unlock();
+      lock.Unlock();
       Status synced = fd >= 0 ? fs_->Sync(fd) : Status(Error{"session journal: not open"});
-      lock.lock();
+      lock.Lock();
       sync_inflight_ = false;
       if (synced.ok()) {
         synced_lsn_ = std::max(synced_lsn_, target);
       }
-      sync_cv_.notify_all();
+      sync_cv_.NotifyAll();
       if (!synced.ok()) {
         return synced;
       }
       continue;  // re-check: our lsn is covered by the fsync we just led
     }
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(sync_mu_);
   }
 }
 
@@ -315,9 +315,11 @@ Status SessionJournal::Compact(const std::vector<SessionSnapshot>& live,
                                const std::vector<std::pair<uint64_t, uint64_t>>& evicted) {
   // Quiesce the group-commit machinery, then the appenders: lock order is
   // sync_mu_ > mu_, matching SyncUpTo's leader path.
-  std::unique_lock<std::mutex> sync_lock(sync_mu_);
-  sync_cv_.wait(sync_lock, [&] { return !sync_inflight_; });
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock sync_lock(sync_mu_);
+  while (sync_inflight_) {
+    sync_cv_.Wait(sync_mu_);
+  }
+  MutexLock lock(mu_);
   if (fd_ < 0) {
     return Error{"session journal: not open"};
   }
@@ -346,7 +348,7 @@ Status SessionJournal::Compact(const std::vector<SessionSnapshot>& live,
     result = fs_->Rename(tmp, config_.path);
   }
   if (!result.ok()) {
-    fs_->Remove(tmp);  // best effort; Open also clears stale temps
+    (void)fs_->Remove(tmp);  // best effort; Open also clears stale temps
     return result;
   }
 
@@ -365,7 +367,7 @@ Status SessionJournal::Compact(const std::vector<SessionSnapshot>& live,
 }
 
 uint64_t SessionJournal::appended_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 

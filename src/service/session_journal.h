@@ -34,15 +34,14 @@
 #ifndef PROCHLO_SRC_SERVICE_SESSION_JOURNAL_H_
 #define PROCHLO_SRC_SERVICE_SESSION_JOURNAL_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/service/fs.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -118,16 +117,21 @@ class SessionJournal {
   // mu_ serializes appends and guards the fd/byte counters; sync_mu_ runs
   // the group-commit handshake.  A leader fsyncs with neither held, so
   // appends keep landing while the device flushes.
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  bool broken_ = false;     // append failed and could not be rolled back
-  uint64_t bytes_ = 0;      // current log size
-  uint64_t next_lsn_ = 1;   // monotonic record counter (survives compaction)
+  //
+  // Lock order: sync_mu_ before mu_, everywhere (Open, the SyncUpTo leader,
+  // Compact).  PR 6's inversion — Open taking mu_ then sync_mu_ — is now a
+  // clang -Wthread-safety-beta compile error via ACQUIRED_AFTER, not just a
+  // TSan find.
+  mutable Mutex mu_ ACQUIRED_AFTER(sync_mu_);
+  int fd_ GUARDED_BY(mu_) = -1;
+  bool broken_ GUARDED_BY(mu_) = false;  // append failed, could not roll back
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;   // current log size
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;  // monotonic counter (survives compaction)
 
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  bool sync_inflight_ = false;
-  uint64_t synced_lsn_ = 0;
+  Mutex sync_mu_;
+  CondVar sync_cv_;
+  bool sync_inflight_ GUARDED_BY(sync_mu_) = false;
+  uint64_t synced_lsn_ GUARDED_BY(sync_mu_) = 0;
 };
 
 }  // namespace prochlo

@@ -132,7 +132,7 @@ std::optional<ManifestEntries> ReadManifestFile(const std::string& path, uint64_
 }  // namespace
 
 Result<Spool::RecoveryReport> Spool::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::error_code ec;
   fs::create_directories(config_.root, ec);
   if (ec) {
@@ -312,7 +312,7 @@ Result<Spool::RecoveryReport> Spool::Open() {
 Status Spool::Append(size_t shard, uint64_t epoch, ByteSpan report) {
   SegmentWriter* writer = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto key = std::make_pair(epoch, shard);
     auto it = writers_.find(key);
     if (it == writers_.end()) {
@@ -328,14 +328,14 @@ Status Spool::Append(size_t shard, uint64_t epoch, ByteSpan report) {
   // lock), so writing outside mu_ is safe and keeps shards independent.
   Status status = writer->Append(report);
   if (status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     frame_counts_[{epoch, shard}]++;
   }
   return status;
 }
 
 Status Spool::SyncAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, writer] : writers_) {
     Status status = writer->Sync();
     if (!status.ok()) {
@@ -346,7 +346,7 @@ Status Spool::SyncAll() {
 }
 
 Status Spool::SealEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Sync and close every segment of the epoch first...
   for (auto it = writers_.begin(); it != writers_.end();) {
     if (it->first.first != epoch) {
@@ -441,13 +441,13 @@ Status Spool::WriteManifestLocked(uint64_t epoch) {
 }
 
 uint64_t Spool::FrameCount(size_t shard, uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frame_counts_.find({epoch, shard});
   return it == frame_counts_.end() ? 0 : it->second;
 }
 
 uint64_t Spool::EpochFrameCount(uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (auto it = frame_counts_.lower_bound({epoch, 0});
        it != frame_counts_.end() && it->first.first == epoch; ++it) {
@@ -536,7 +536,7 @@ class SpoolEpochStream : public RecordStream {
 }  // namespace
 
 std::unique_ptr<RecordStream> Spool::OpenEpochStream(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> paths;
   size_t total = 0;
   for (auto it = frame_counts_.lower_bound({epoch, 0});
@@ -551,7 +551,7 @@ std::unique_ptr<RecordStream> Spool::OpenEpochStream(uint64_t epoch) {
 }
 
 Status Spool::RemoveEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status result = Status::Ok();
   for (auto it = frame_counts_.lower_bound({epoch, 0});
        it != frame_counts_.end() && it->first.first == epoch;) {

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "src/service/fs.h"
 #include "src/util/record_stream.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -139,15 +139,16 @@ class Spool {
   // Writes <root>/epoch-<e>.manifest from the tracked frame counts and the
   // segments' on-disk sizes; called under mu_ after the epoch's segments
   // are synced and before the marker is written.
-  Status WriteManifestLocked(uint64_t epoch);
+  Status WriteManifestLocked(uint64_t epoch) REQUIRES(mu_);
 
   SpoolConfig config_;
   Fs* fs_;  // borrowed (or the Real() singleton)
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Open writers for the in-progress epoch, keyed by (epoch, shard).
-  std::map<std::pair<uint64_t, size_t>, std::unique_ptr<SegmentWriter>> writers_;
+  std::map<std::pair<uint64_t, size_t>, std::unique_ptr<SegmentWriter>> writers_
+      GUARDED_BY(mu_);
   // Frame counts per (epoch, shard), surviving writer close.
-  std::map<std::pair<uint64_t, size_t>, uint64_t> frame_counts_;
+  std::map<std::pair<uint64_t, size_t>, uint64_t> frame_counts_ GUARDED_BY(mu_);
 };
 
 }  // namespace prochlo

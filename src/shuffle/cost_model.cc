@@ -44,7 +44,7 @@ ShuffleCost CascadeMixCost(uint64_t n, size_t item_bytes, size_t private_memory_
   return {"CascadeMix", rounds, ""};
 }
 
-ShuffleCost MelbourneCost(uint64_t n, size_t item_bytes, size_t private_memory_bytes) {
+ShuffleCost MelbourneCost(uint64_t n, size_t /*item_bytes*/, size_t private_memory_bytes) {
   // 32-bit permutation entries, and — as the paper puts it — "even if we
   // ignore storage space for actual data": the cap is private memory over 4
   // bytes, ~23M items on 92 MB ("a few dozen million items, at most").

@@ -24,8 +24,12 @@ struct Error {
 };
 
 // A value-or-error sum type.  `ok()` must be checked before `value()`.
+//
+// [[nodiscard]]: ignoring a Result silently drops an error (and the value).
+// Deliberate best-effort discards must be spelled `(void)expr;` with a
+// one-line justification comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Error error) : repr_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
@@ -63,7 +67,10 @@ class Result {
 };
 
 // Result<void> analogue.
-class Status {
+//
+// [[nodiscard]] on the class makes every Status-returning call a compile
+// error to ignore; `(void)` with a justification is the deliberate opt-out.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)

@@ -4,13 +4,13 @@
 #ifndef PROCHLO_SRC_UTIL_THREAD_POOL_H_
 #define PROCHLO_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace prochlo {
 
@@ -37,12 +37,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 // Null-tolerant dispatch: runs fn(i) for i in [0, n) on the pool when one is

@@ -72,7 +72,9 @@ class KillSwitchStream : public ByteStream {
       size_t partial = budget_;
       budget_ = 0;
       if (partial > 0) {
-        inner_->Write(ByteSpan(data.data(), partial));  // torn frame delivered
+        // Torn frame delivered; the inner write outcome is irrelevant — the
+        // kill below is the fault being injected.
+        (void)inner_->Write(ByteSpan(data.data(), partial));
       }
       AbortLocked();
       return Error{"killswitch: connection killed mid-write"};
@@ -575,7 +577,7 @@ TEST(ServiceClusterTest, SeededConnectionKillsStillConvergeToSerialHistograms) {
       ASSERT_TRUE(client.Connect().ok());
       // Failed sends stay owned by the per-group client; Reconnect replays.
       for (size_t i = static_cast<size_t>(c); i < sealed.size(); i += kClients) {
-        client.SendReport(sealed[i]);
+        (void)client.SendReport(sealed[i]);  // failed sends replay on Reconnect
       }
       auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
       while (!client.WaitForAllAcked(std::chrono::milliseconds(200))) {
@@ -584,7 +586,7 @@ TEST(ServiceClusterTest, SeededConnectionKillsStillConvergeToSerialHistograms) {
         // A reconnect may itself be killed mid-replay (the budget applies to
         // the new stream too); the reports stay owned and the next loop
         // iteration tries again.
-        client.Reconnect();
+        (void)client.Reconnect();  // may be killed mid-replay; loop retries
       }
       client.Close();
       std::lock_guard<std::mutex> lock(stats_mu);

@@ -245,7 +245,7 @@ struct DurabilityRig {
     }
     shut_down_ = true;
     listener.Stop();
-    server.Shutdown();
+    (void)server.Shutdown();  // harness teardown; fault-injected errors expected
     if (drainer != nullptr) {
       drainer->Stop();
     }
@@ -455,7 +455,7 @@ TEST(ServiceDurabilityTest, CrashAtSyscallKStaysExactlyOnce) {
                  " crash_after=" + std::to_string(crash_after));
     ScratchDir dir("durability-crash-" + std::to_string(schedule));
     FaultFs fault;
-    FrameClientConfig client_config{/*session_id=*/1000 + schedule};
+    FrameClientConfig client_config{/*session_id=*/1000 + static_cast<uint64_t>(schedule)};
     client_config.nack_retry_delay = std::chrono::milliseconds(1);
     client_config.nack_retry_max_delay = std::chrono::milliseconds(8);
     FrameClient client(client_config);

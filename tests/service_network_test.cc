@@ -83,7 +83,9 @@ class KillSwitchStream : public ByteStream {
       size_t partial = budget_;
       budget_ = 0;
       if (partial > 0) {
-        inner_->Write(ByteSpan(data.data(), partial));  // torn frame delivered
+        // Torn frame delivered; the inner write outcome is irrelevant — the
+        // kill below is the fault being injected.
+        (void)inner_->Write(ByteSpan(data.data(), partial));
       }
       AbortLocked();
       return Error{"killswitch: connection killed mid-write"};
@@ -152,7 +154,7 @@ struct NetworkRig {
     }
     shut_down_ = true;
     listener.Stop();
-    server.Shutdown();
+    (void)server.Shutdown();  // harness teardown; fault-injected errors expected
     if (drainer != nullptr) {
       drainer->Stop();
     }
@@ -589,12 +591,12 @@ TEST(ServiceNetworkTest, ConcurrentTcpClientsWithRandomKillsMatchSerialHistogram
               // next few KB — possibly mid-frame, possibly between frames,
               // possibly during the reconnect replay itself.
               size_t budget = 200 + static_cast<size_t>(rng.NextBelow(4000));
-              client.Connect(std::make_unique<KillSwitchStream>(
-                  std::move(stream).value(), budget));
+              (void)client.Connect(std::make_unique<KillSwitchStream>(
+                  std::move(stream).value(), budget));  // kill mid-handshake is fine
             } else {
               // Guarantee forward progress: after five kills the client
               // gets a healthy socket for the rest of the wave.
-              client.Connect(std::move(stream).value());
+              (void)client.Connect(std::move(stream).value());
             }
           }
         };
@@ -603,7 +605,7 @@ TEST(ServiceNetworkTest, ConcurrentTcpClientsWithRandomKillsMatchSerialHistogram
         // and are replayed by the next Connect).
         for (size_t i = static_cast<size_t>(c); i < sealed.size(); i += kClients) {
           ensure_connected();
-          client.SendReport(sealed[i]);
+          (void)client.SendReport(sealed[i]);  // failed sends replay on Connect
         }
         auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
         while (!client.WaitForAcks(std::chrono::milliseconds(200))) {

@@ -149,15 +149,15 @@ TEST(ServiceTest, AgeTriggerWaitsForAnonymityFloor) {
   for (uint64_t i = 0; i < 3; ++i) {
     ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
   }
-  ingest.Tick();
-  ingest.Tick();
-  ingest.Tick();
+  ASSERT_TRUE(ingest.Tick().ok());
+  ASSERT_TRUE(ingest.Tick().ok());
+  ASSERT_TRUE(ingest.Tick().ok());
   // Old but thin: the batch keeps waiting (§4.2's minimum-batch floor).
   EXPECT_EQ(ingest.stats().epochs_sealed, 0u);
   for (uint64_t i = 3; i < 5; ++i) {
     ASSERT_TRUE(ingest.Accept(NumberedReport(i)).ok());
   }
-  ingest.Tick();
+  ASSERT_TRUE(ingest.Tick().ok());
   EXPECT_EQ(ingest.stats().epochs_sealed, 1u);
   EXPECT_EQ(ingest.stats().age_cuts, 1u);
 }
@@ -602,7 +602,7 @@ TEST(ServiceTest, EndToEndMatchesOneShotPipelineAcrossThreads) {
         burst.insert(burst.end(), frames[i].begin(), frames[i].end());
       }
       ASSERT_TRUE(frontend.AcceptFrameStream(burst).ok());
-      frontend.Tick();
+      ASSERT_TRUE(frontend.Tick().ok());
     }
     EXPECT_EQ(frontend.stats().frames_ok, frames.size());
     EXPECT_EQ(frontend.stats().frames_corrupt, 0u);
@@ -761,7 +761,7 @@ TEST(ServiceTest, MultiEpochAgeCutsProduceIndependentResults) {
       ASSERT_TRUE(frontend.AcceptFrameStream(frame).ok());
     }
     total += frames.size();
-    frontend.Tick();  // age trigger seals each wave as its own epoch
+    ASSERT_TRUE(frontend.Tick().ok());  // age trigger seals each wave as its own epoch
   }
   auto drained = frontend.DrainSealedEpochs();
   ASSERT_TRUE(drained.ok()) << drained.failure->error.message;

@@ -1,0 +1,104 @@
+// Regression pin for the SessionJournal lock hierarchy: sync_mu_ before
+// mu_, everywhere.
+//
+// PR 6 shipped an inversion — Open() acquired mu_ and then sync_mu_, while
+// the SyncUpTo group-commit leader and Compact acquire sync_mu_ and then
+// mu_ — a latent deadlock that only a TSan run with the right interleaving
+// surfaced.  The fix documented the hierarchy; this suite makes sure it
+// stays fixed, two ways:
+//
+//   * Under TSan (CI's sanitize-thread job runs this suite), every
+//     acquisition path — Open, concurrent AppendCommit+SyncUpTo
+//     leaders/followers, Compact — runs in ONE process, so the lock-order
+//     graph contains every edge and any reintroduced inversion is reported
+//     as a potential deadlock even when it doesn't trigger.
+//   * Under clang (CI's static-analysis job), the ACQUIRED_AFTER(sync_mu_)
+//     annotation on mu_ turns the same inversion into a
+//     -Wthread-safety-beta finding at compile time, no interleaving needed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/session_journal.h"
+
+namespace prochlo {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path((stdfs::temp_directory_path() / ("prochlo-" + name)).string()) {
+    stdfs::remove_all(path);
+    stdfs::create_directories(path);
+  }
+  ~ScratchDir() { stdfs::remove_all(path); }
+  std::string path;
+};
+
+TEST(SessionLockOrderTest, OpenSyncAndCompactShareOneLockOrder) {
+  ScratchDir dir("lock-order");
+  SessionJournalConfig config;
+  config.path = dir.path + "/sessions.journal";
+  config.fsync_commits = true;  // the leader path must really unlock-fsync-relock
+  config.compact_threshold_bytes = 0;
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kCommitsPerThread = 32;
+
+  {
+    SessionJournal journal(config);
+    // Edge 1: Open takes sync_mu_ then mu_ (the PR 6 bug took them in the
+    // opposite order right here).
+    auto recovery = journal.Open();
+    ASSERT_TRUE(recovery.ok());
+
+    // Edge 2: concurrent committers race AppendCommit (mu_ alone) and
+    // SyncUpTo (sync_mu_, then mu_ on the leader's re-check); the losers
+    // wait as followers, so both leader and follower paths are exercised.
+    std::vector<std::thread> committers;
+    committers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      committers.emplace_back([&journal, t] {
+        const auto session = static_cast<uint64_t>(t) + 1;
+        for (uint64_t seq = 0; seq < kCommitsPerThread; ++seq) {
+          auto lsn = journal.AppendCommit(session, seq + 1, seq);
+          ASSERT_TRUE(lsn.ok());
+          ASSERT_TRUE(journal.SyncUpTo(lsn.value()).ok());
+        }
+      });
+    }
+    for (auto& thread : committers) {
+      thread.join();
+    }
+
+    // Edge 3: Compact drains in-flight syncs under sync_mu_, then rewrites
+    // under mu_ — the same order as the sync leader, by construction.
+    std::vector<SessionSnapshot> live;
+    for (int t = 0; t < kThreads; ++t) {
+      SessionSnapshot snapshot;
+      snapshot.session_id = static_cast<uint64_t>(t) + 1;
+      snapshot.watermark = kCommitsPerThread;
+      live.push_back(snapshot);
+    }
+    ASSERT_TRUE(journal.Compact(live, {}).ok());
+  }
+
+  // The journal survived the full Open -> append/sync storm -> Compact
+  // cycle; a reopen replays exactly the compacted state.
+  SessionJournal reopened(config);
+  auto recovery = reopened.Open();
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_EQ(recovery.value().live.size(), static_cast<size_t>(kThreads));
+  for (const auto& snapshot : recovery.value().live) {
+    EXPECT_EQ(snapshot.watermark, kCommitsPerThread);
+    EXPECT_TRUE(snapshot.sparse.empty());
+  }
+  EXPECT_EQ(recovery.value().truncated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace prochlo
