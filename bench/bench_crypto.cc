@@ -50,6 +50,22 @@ void BM_P256_ScalarMult(benchmark::State& state) {
 }
 BENCHMARK(BM_P256_ScalarMult);
 
+// The constant-time ladder for Secret<> scalars (fixed-window, full-scan
+// masked lookups): the long-term-key path.  The gap against
+// BM_P256_ScalarMult is the price of timing hygiene — paid per key
+// operation, never on the batch surfaces.
+void BM_P256_ScalarMultSecret(benchmark::State& state) {
+  SecureRandom rng(ToBytes("bench-ec-ct"));
+  const P256& curve = P256::Get();
+  Secret<U256> k = rng.RandomSecretScalar(curve.order());
+  EcPoint p = curve.generator();
+  for (auto _ : state) {
+    p = curve.ScalarMultSecret(p, k);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_P256_ScalarMultSecret);
+
 // The pre-wNAF reference ladder (plain double-and-add, one bit at a time):
 // the baseline the wNAF and batched paths are cross-checked against.
 void BM_P256_ScalarMult_DoubleAdd(benchmark::State& state) {
@@ -229,7 +245,7 @@ void BM_ElGamalBlind(benchmark::State& state) {
   SecureRandom rng(ToBytes("bench-eg-blind"));
   KeyPair recipient = KeyPair::Generate(rng);
   ElGamalCiphertext ct = ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng);
-  U256 alpha = rng.RandomScalar(P256::Get().order());
+  Secret<U256> alpha = rng.RandomSecretScalar(P256::Get().order());
   for (auto _ : state) {
     benchmark::DoNotOptimize(ElGamalBlind(ct, alpha));
   }
@@ -240,7 +256,7 @@ BENCHMARK(BM_ElGamalBlind);
 void BM_ElGamalBlindBatch256(benchmark::State& state) {
   SecureRandom rng(ToBytes("bench-eg-blind-batch"));
   KeyPair recipient = KeyPair::Generate(rng);
-  U256 alpha = rng.RandomScalar(P256::Get().order());
+  Secret<U256> alpha = rng.RandomSecretScalar(P256::Get().order());
   std::vector<ElGamalCiphertext> cts;
   for (int i = 0; i < 256; ++i) {
     cts.push_back(ElGamalEncrypt(recipient.public_key, HashToCurve(std::string("c")), rng));

@@ -25,6 +25,11 @@ SUITES="${CHECK_SUITES:-}"
 LINT="${CHECK_LINT:-}"
 
 if [[ -n "$LINT" ]]; then
+  echo "== lint self-test =="
+  # The taint rules are negative-tested first: injected violations must
+  # flag and lint:allow must suppress, or the lint run below proves nothing.
+  python3 "$REPO_ROOT/scripts/lint.py" --self-test
+
   echo "== lint =="
   python3 "$REPO_ROOT/scripts/lint.py" "$REPO_ROOT"
 
@@ -49,6 +54,24 @@ if [[ -n "$LINT" ]]; then
       xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$BUILD_DIR" --quiet
   else
     echo "-- clang-tidy not installed; skipping (CI's static-analysis job runs it) --"
+  fi
+
+  if command -v clang-query >/dev/null 2>&1; then
+    echo "== clang-query ct checks =="
+    # AST-shaped constant-time checks over the crypto tier (see
+    # scripts/ct_check.clang-query); zero matches expected.
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    ct_query_out="$(clang-query -p "$BUILD_DIR" \
+      -f "$REPO_ROOT/scripts/ct_check.clang-query" "$REPO_ROOT"/src/crypto/*.cc 2>&1)"
+    ct_matches="$(grep -c 'binds here' <<<"$ct_query_out" || true)"
+    if [[ "$ct_matches" -ne 0 ]]; then
+      echo "$ct_query_out"
+      echo "FAIL: $ct_matches constant-time AST violation(s) in src/crypto/"
+      exit 1
+    fi
+    echo "-- clang-query: 0 matches --"
+  else
+    echo "-- clang-query not installed; skipping AST ct checks --"
   fi
 
   echo "== OK (lint) =="
@@ -103,5 +126,10 @@ test -s "$BUILD_DIR/BENCH_ingest.json"
 # The ingest bench must include the multi-group cluster stage (a silent
 # skip there would leave the cluster path unsmoked).
 grep -q '"op": "cluster/groups=4,send-ack-merge"' "$BUILD_DIR/BENCH_ingest.json"
+
+echo "== ct harness smoke =="
+# Functional pass of the ctgrind scenarios (no shadow backend here; the CI
+# ct-verify job runs the same binary under valgrind).
+"$BUILD_DIR/ct_harness" all
 
 echo "== OK =="

@@ -7,7 +7,7 @@
 namespace prochlo {
 
 BlindShuffler1::BlindShuffler1(SecureRandom& rng)
-    : keys_(KeyPair::Generate(rng)), alpha_(rng.RandomScalar(P256::Get().order())) {}
+    : keys_(KeyPair::Generate(rng)), alpha_(rng.RandomSecretScalar(P256::Get().order())) {}
 
 Result<std::vector<BlindedItem>> BlindShuffler1::Process(const std::vector<Bytes>& reports,
                                                          SecureRandom& rng, ThreadPool* pool) {

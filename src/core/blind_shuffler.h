@@ -47,7 +47,10 @@ class BlindShuffler1 {
 
  private:
   KeyPair keys_;
-  U256 alpha_;
+  // The blinding exponent — this shuffler's defining secret (paper §4.3);
+  // Secret<> so it can only reach the ct lane or a documented batch
+  // declassification point.
+  Secret<U256> alpha_;
   ShufflerStats stats_;
 };
 

@@ -152,8 +152,9 @@ std::vector<Bytes> BatchSealReports(const std::vector<CrowdPart>& crowds,
 
     HybridBox inner;
     inner.ephemeral_public = curve.Encode(ephemerals[i]);
-    Bytes inner_key = DeriveSessionKey(shared_affine[i].x, ephemerals[i], analyzer_public,
-                                       kAnalyzerLayerContext, kAes128KeySize);
+    SecretBytes inner_key = DeriveSessionKey(Secret<U256>(shared_affine[i].x), ephemerals[i],
+                                             analyzer_public, kAnalyzerLayerContext,
+                                             kAes128KeySize);
     AesGcm inner_aead(inner_key);
     inner.nonce = rng.RandomNonce();
     inner.sealed = inner_aead.Seal(inner.nonce, padded_payloads[i], /*aad=*/{});
@@ -165,8 +166,9 @@ std::vector<Bytes> BatchSealReports(const std::vector<CrowdPart>& crowds,
 
     HybridBox outer;
     outer.ephemeral_public = curve.Encode(ephemerals[n + i]);
-    Bytes outer_key = DeriveSessionKey(shared_affine[n + i].x, ephemerals[n + i],
-                                       shuffler_public, kShufflerLayerContext, kAes128KeySize);
+    SecretBytes outer_key = DeriveSessionKey(Secret<U256>(shared_affine[n + i].x),
+                                             ephemerals[n + i], shuffler_public,
+                                             kShufflerLayerContext, kAes128KeySize);
     AesGcm outer_aead(outer_key);
     outer.nonce = rng.RandomNonce();
     outer.sealed = outer_aead.Seal(outer.nonce, shuffler_plaintext, /*aad=*/{});

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "src/crypto/ct.h"
+
 namespace prochlo {
 
 U256 U256::FromBytes(ByteSpan be32) {
@@ -92,6 +94,12 @@ constexpr uint64_t kP256Limbs[4] = {0xFFFFFFFFFFFFFFFFull, 0x00000000FFFFFFFFull
 // just the current low limb, and because p's limbs are 2^64-1, 2^32-1, 0,
 // and 2^64-2^32+1, the m*p partial products are shifts and subtractions the
 // compiler strength-reduces — no multiplications in the reduction at all.
+// kCt = true produces the constant-time variant: the carry after each
+// round's five fixed limbs propagates unconditionally across the remaining
+// limbs (the variable-time version stops as soon as the carry dies, which
+// leaks how far secret-dependent carries ran), and the final subtract is a
+// masked select instead of a branchy ternary.
+template <bool kCt>
 inline U256 MontRedcP256(uint64_t v[8]) {
   uint64_t top = 0;  // carries out of v[7]
   for (int i = 0; i < 4; ++i) {
@@ -117,10 +125,18 @@ inline U256 MontRedcP256(uint64_t v[8]) {
     t = static_cast<__uint128_t>(v[i + 4]) + static_cast<uint64_t>(q3 >> 64) + c;
     v[i + 4] = static_cast<uint64_t>(t);
     c = static_cast<uint64_t>(t >> 64);
-    for (int j = i + 5; j < 8 && c != 0; ++j) {
-      t = static_cast<__uint128_t>(v[j]) + c;
-      v[j] = static_cast<uint64_t>(t);
-      c = static_cast<uint64_t>(t >> 64);
+    if constexpr (kCt) {
+      for (int j = i + 5; j < 8; ++j) {
+        t = static_cast<__uint128_t>(v[j]) + c;
+        v[j] = static_cast<uint64_t>(t);
+        c = static_cast<uint64_t>(t >> 64);
+      }
+    } else {
+      for (int j = i + 5; j < 8 && c != 0; ++j) {
+        t = static_cast<__uint128_t>(v[j]) + c;
+        v[j] = static_cast<uint64_t>(t);
+        c = static_cast<uint64_t>(t >> 64);
+      }
     }
     top += c;  // nonzero only when the carry ran off v[7]
   }
@@ -128,11 +144,15 @@ inline U256 MontRedcP256(uint64_t v[8]) {
   const U256 p{{kP256Limbs[0], kP256Limbs[1], kP256Limbs[2], kP256Limbs[3]}};
   U256 reduced;
   uint64_t borrow = SubWithBorrow(result, p, &reduced);
-  uint64_t need = top | static_cast<uint64_t>(borrow == 0);
-  for (int i = 0; i < 4; ++i) {
-    result.limbs[i] = need ? reduced.limbs[i] : result.limbs[i];
+  if constexpr (kCt) {
+    return ct::CtSelect(ct::NonZeroMask(top | (borrow ^ 1)), reduced, result);
+  } else {
+    uint64_t need = top | static_cast<uint64_t>(borrow == 0);
+    for (int i = 0; i < 4; ++i) {
+      result.limbs[i] = need ? reduced.limbs[i] : result.limbs[i];
+    }
+    return result;
   }
-  return result;
 }
 
 // Full 512-bit square, column-wise (Comba): 10 limb products instead of
@@ -216,13 +236,16 @@ ModField::ModField(const U256& modulus) : modulus_(modulus) {
   r2_ = acc;
 }
 
-U256 ModField::MontMul(const U256& a, const U256& b) const {
-  if (p256_fast_) {
-    auto wide = MulWide(a, b);
-    return MontRedcP256(wide.data());
+namespace {
+// CIOS Montgomery multiplication core with 4 limbs, shared by the
+// variable-time and constant-time entry points: the loop body is already
+// branch-free with fixed trip counts, so only the final correction differs
+// between the two.  Leaves the (possibly >= modulus) accumulator in t[0..4].
+inline void MontMulCios(const U256& a, const U256& b, const U256& modulus, uint64_t n0_inv,
+                        uint64_t t[6]) {
+  for (int j = 0; j < 6; ++j) {
+    t[j] = 0;
   }
-  // CIOS Montgomery multiplication with 4 limbs.
-  uint64_t t[6] = {0, 0, 0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {
     // t += a[i] * b
     uint64_t carry = 0;
@@ -236,10 +259,10 @@ U256 ModField::MontMul(const U256& a, const U256& b) const {
     t[5] = static_cast<uint64_t>(acc >> 64);
 
     // m = t[0] * n0_inv mod 2^64; t += m * modulus; t >>= 64
-    uint64_t m = t[0] * n0_inv_;
+    uint64_t m = t[0] * n0_inv;
     carry = 0;
     for (int j = 0; j < 4; ++j) {
-      __uint128_t acc2 = static_cast<__uint128_t>(m) * modulus_.limbs[j] + t[j] + carry;
+      __uint128_t acc2 = static_cast<__uint128_t>(m) * modulus.limbs[j] + t[j] + carry;
       t[j] = static_cast<uint64_t>(acc2);
       carry = static_cast<uint64_t>(acc2 >> 64);
     }
@@ -253,7 +276,16 @@ U256 ModField::MontMul(const U256& a, const U256& b) const {
     }
     t[5] = 0;
   }
+}
+}  // namespace
 
+U256 ModField::MontMul(const U256& a, const U256& b) const {
+  if (p256_fast_) {
+    auto wide = MulWide(a, b);
+    return MontRedcP256<false>(wide.data());
+  }
+  uint64_t t[6];
+  MontMulCios(a, b, modulus_, n0_inv_, t);
   U256 result{{t[0], t[1], t[2], t[3]}};
   if (t[4] != 0 || result >= modulus_) {
     U256 reduced;
@@ -266,7 +298,7 @@ U256 ModField::MontMul(const U256& a, const U256& b) const {
 U256 ModField::MontSqr(const U256& a) const {
   if (p256_fast_) {
     auto wide = SqrWide(a);
-    return MontRedcP256(wide.data());
+    return MontRedcP256<false>(wide.data());
   }
   return MontMul(a, a);
 }
@@ -406,6 +438,81 @@ U256 ModField::Reduce(const U256& a) const {
   }
   std::array<uint64_t, 8> wide = {a.limbs[0], a.limbs[1], a.limbs[2], a.limbs[3], 0, 0, 0, 0};
   return ReduceWide(wide);
+}
+
+// ------------------------------------------------------- constant-time lane
+//
+// Same values as the entry points above, computed without secret-dependent
+// branches, cmovs, or data-dependent loop trips.  The `p256_fast_` branch is
+// fine: it depends on the (public) modulus, never on the operands.
+
+U256 ModField::AddCt(const U256& a, const U256& b) const {
+  U256 sum;
+  uint64_t carry = AddWithCarry(a, b, &sum);
+  U256 reduced;
+  uint64_t borrow = SubWithBorrow(sum, modulus_, &reduced);
+  // Keep the reduced value iff the add overflowed 2^256 or sum >= modulus.
+  return ct::CtSelect(ct::NonZeroMask(carry | (borrow ^ 1)), reduced, sum);
+}
+
+U256 ModField::SubCt(const U256& a, const U256& b) const {
+  U256 diff;
+  uint64_t borrow = SubWithBorrow(a, b, &diff);
+  U256 wrapped;
+  AddWithCarry(diff, modulus_, &wrapped);
+  return ct::CtSelect(ct::NonZeroMask(borrow), wrapped, diff);
+}
+
+U256 ModField::NegCt(const U256& a) const {
+  U256 out;
+  SubWithBorrow(modulus_, a, &out);
+  return ct::CtSelect(ct::IsZeroMask(a), a, out);
+}
+
+U256 ModField::MontMulCt(const U256& a, const U256& b) const {
+  if (p256_fast_) {
+    auto wide = MulWide(a, b);
+    return MontRedcP256<true>(wide.data());
+  }
+  uint64_t t[6];
+  MontMulCios(a, b, modulus_, n0_inv_, t);
+  U256 result{{t[0], t[1], t[2], t[3]}};
+  U256 reduced;
+  uint64_t borrow = SubWithBorrow(result, modulus_, &reduced);
+  return ct::CtSelect(ct::NonZeroMask(t[4] | (borrow ^ 1)), reduced, result);
+}
+
+U256 ModField::MontSqrCt(const U256& a) const {
+  if (p256_fast_) {
+    auto wide = SqrWide(a);
+    return MontRedcP256<true>(wide.data());
+  }
+  return MontMulCt(a, a);
+}
+
+U256 ModField::MontInvCt(const U256& a_mont) const {
+  // Fermat: a^(m-2).  The exponent is the (public) modulus minus two, so
+  // branching on its bits leaks nothing; the base is the secret, and every
+  // multiplication it flows through is constant-time.  Fixed 256-round
+  // ladder — no BitLength short-cut, even though it too would be public.
+  // 0 maps to 0, matching Inv's convention.
+  U256 e;
+  SubWithBorrow(modulus_, U256::FromU64(2), &e);
+  U256 result = ToMont(U256::One());
+  for (int i = 255; i >= 0; --i) {
+    result = MontSqrCt(result);
+    if (e.Bit(i)) {
+      result = MontMulCt(result, a_mont);
+    }
+  }
+  return result;
+}
+
+U256 ModField::ReduceOnceCt(const U256& a) const {
+  U256 reduced;
+  uint64_t borrow = SubWithBorrow(a, modulus_, &reduced);
+  // borrow means a < modulus: already reduced.
+  return ct::CtSelect(ct::NonZeroMask(borrow), a, reduced);
 }
 
 U256 ModField::ReduceWide(const std::array<uint64_t, 8>& wide) const {

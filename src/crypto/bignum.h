@@ -4,9 +4,13 @@
 // and for the prime-field Shamir secret sharing of §4.2.  `ModField`
 // implements Montgomery multiplication for any odd 256-bit modulus.
 //
-// NOTE: not constant-time.  The paper's deployment uses a vetted crypto
-// library; this from-scratch version reproduces functionality and cost shape
-// for the systems experiments (see DESIGN.md substitutions).
+// NOTE on timing: the default entry points (Add/Sub/Mul/MontMul/Inv/...) are
+// variable-time and serve the public- and ephemeral-scalar fast paths.  A
+// parallel constant-time lane (`AddCt`, `SubCt`, `NegCt`, `MontMulCt`,
+// `MontSqrCt`, `MontInvCt`, `ReduceOnceCt`) computes bit-identical results
+// with no secret-dependent branches or early exits; everything operating on
+// `Secret<U256>` data must stay on it.  See src/crypto/ct.h and
+// docs/constant-time.md for the policy.
 #ifndef PROCHLO_SRC_CRYPTO_BIGNUM_H_
 #define PROCHLO_SRC_CRYPTO_BIGNUM_H_
 
@@ -153,6 +157,27 @@ class ModField {
   U256 MontSqr(const U256& a) const;
   U256 ToMont(const U256& a) const { return MontMul(a, r2_); }
   U256 FromMont(const U256& a) const { return MontMul(a, U256::One()); }
+
+  // ------------------------------------------------- constant-time lane
+  //
+  // Bit-identical to the variable-time entry points above, but with no
+  // secret-dependent branches, conditional moves, early-exit carry loops, or
+  // data-dependent iteration counts: every select is an arithmetic mask
+  // (src/crypto/ct.h).  Out of line on purpose — the hot public paths keep
+  // the inline/branchy versions, so none of their codegen changes.
+  U256 AddCt(const U256& a, const U256& b) const;
+  U256 SubCt(const U256& a, const U256& b) const;
+  U256 NegCt(const U256& a) const;
+  U256 MontMulCt(const U256& a, const U256& b) const;
+  U256 MontSqrCt(const U256& a) const;
+  U256 ToMontCt(const U256& a) const { return MontMulCt(a, r2_); }
+  U256 FromMontCt(const U256& a) const { return MontMulCt(a, U256::One()); }
+  // Montgomery-domain inverse via the Fermat ladder (modulus must be prime):
+  // the exponent m-2 is public, so its bits may drive control flow; every
+  // multiplication on the secret base uses the Ct primitives.  0 maps to 0.
+  U256 MontInvCt(const U256& a_mont) const;
+  // Reduces a < 2m into [0, m) with one masked subtract.
+  U256 ReduceOnceCt(const U256& a) const;
 
  private:
   U256 modulus_;

@@ -1,0 +1,91 @@
+#include "src/crypto/ct.h"
+
+// Poisoning backend selection.  Valgrind's client-request header is pure
+// inline asm that is a no-op outside valgrind, so compiling it in when
+// present costs nothing; MSan's interface is only meaningful when the
+// sanitizer is active.  Neither is a build dependency: absence degrades the
+// hooks to no-ops and tools/ct_harness.cc reports the backend as inactive.
+#if defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#include <sanitizer/msan_interface.h>
+#define PROCHLO_CT_BACKEND_MSAN 1
+#endif
+#endif
+
+#if !defined(PROCHLO_CT_BACKEND_MSAN) && defined(__has_include)
+#if __has_include(<valgrind/memcheck.h>)
+#include <valgrind/memcheck.h>
+#define PROCHLO_CT_BACKEND_VALGRIND 1
+#endif
+#endif
+
+namespace prochlo {
+namespace ct {
+
+bool PoisonBackendActive() {
+#if defined(PROCHLO_CT_BACKEND_MSAN)
+  return true;
+#elif defined(PROCHLO_CT_BACKEND_VALGRIND)
+  return RUNNING_ON_VALGRIND != 0;
+#else
+  return false;
+#endif
+}
+
+void PoisonSecret(const void* data, size_t size) {
+#if defined(PROCHLO_CT_BACKEND_MSAN)
+  __msan_poison(data, size);
+#elif defined(PROCHLO_CT_BACKEND_VALGRIND)
+  VALGRIND_MAKE_MEM_UNDEFINED(data, size);
+#else
+  (void)data;
+  (void)size;
+#endif
+}
+
+void UnpoisonSecret(const void* data, size_t size) {
+#if defined(PROCHLO_CT_BACKEND_MSAN)
+  __msan_unpoison(data, size);
+#elif defined(PROCHLO_CT_BACKEND_VALGRIND)
+  VALGRIND_MAKE_MEM_DEFINED(data, size);
+#else
+  (void)data;
+  (void)size;
+#endif
+}
+
+uint64_t Declassify(uint64_t v) {
+  UnpoisonSecret(&v, sizeof(v));
+  return ValueBarrier(v);
+}
+
+bool DeclassifyBit(uint64_t mask) { return Declassify(mask) != 0; }
+
+bool CtEq(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {  // lengths are public
+    return false;
+  }
+  uint64_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint64_t>(a[i] ^ b[i]);
+  }
+  // The verdict is the one deliberately public bit of a tag compare: every
+  // caller branches on it immediately (accept/reject is observable protocol
+  // behavior either way).  WHERE the inputs differed stays secret — acc
+  // collapses all positions into one word before this point.
+  return DeclassifyBit(IsZeroMask(acc));
+}
+
+U256 CtTableLookup(const U256* table, size_t n, uint64_t index) {
+  U256 out = U256::Zero();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t mask = EqMask(static_cast<uint64_t>(i), index);
+    for (int j = 0; j < 4; ++j) {
+      out.limbs[j] |= mask & table[i].limbs[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace ct
+}  // namespace prochlo

@@ -36,30 +36,36 @@ U256 DeterministicNonce(const U256& private_key, const Sha256Digest& digest, con
     msg.push_back(counter++);
     Sha256Digest candidate_bytes = HmacSha256(ByteSpan(key_bytes.data(), key_bytes.size()), msg);
     U256 candidate = U256::FromBytes(ByteSpan(candidate_bytes.data(), candidate_bytes.size()));
-    if (!candidate.IsZero() && candidate < order) {
+    // Uniform rejection sampling: the accept/reject count is independent
+    // of the key (and ECDSA keys are declassified by policy anyway).
+    if (!candidate.IsZero() && candidate < order) {  // lint:allow(secret-branch)
       return candidate;
     }
   }
 }
 }  // namespace
 
-EcdsaSignature EcdsaSign(const U256& private_key, ByteSpan message) {
+EcdsaSignature EcdsaSign(const Secret<U256>& private_key, ByteSpan message) {
   const P256& curve = P256::Get();
   const ModField& fn = curve.scalar_field();
+  // Policy declassification (see header): simulated-attestation signing
+  // keys are not a Prochlo secrecy target, so the variable-time fast paths
+  // are acceptable here.
+  U256 priv = private_key.Declassify();  // ct:declassify(simulated SGX attestation keys are not a secrecy target by documented policy)
   Sha256Digest digest = Sha256::Hash(message);
   U256 e = fn.Reduce(U256::FromBytes(ByteSpan(digest.data(), digest.size())));
 
   for (uint8_t attempt = 0;; ++attempt) {
     Sha256Digest tweaked = digest;
     tweaked[0] ^= attempt;  // retry path for pathological r/s == 0
-    U256 k = DeterministicNonce(private_key, tweaked, curve.order());
+    U256 k = DeterministicNonce(priv, tweaked, curve.order());
     EcPoint kg = curve.BaseMult(k);
     U256 r = fn.Reduce(kg.x);
     if (r.IsZero()) {
       continue;
     }
     // s = k^-1 (e + r * priv)
-    U256 s = fn.Mul(fn.Inv(k), fn.Add(e, fn.Mul(r, private_key)));
+    U256 s = fn.Mul(fn.Inv(k), fn.Add(e, fn.Mul(r, priv)));
     if (s.IsZero()) {
       continue;
     }

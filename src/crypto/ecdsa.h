@@ -24,7 +24,14 @@ struct EcdsaSignature {
 };
 
 // Signs SHA-256(message) with a deterministic HMAC-derived nonce.
-EcdsaSignature EcdsaSign(const U256& private_key, ByteSpan message);
+//
+// Takes the key as Secret<> so attestation keys stay typed end to end, but
+// DECLASSIFIES it internally: the signing loop (BaseMult, xGCD inverse,
+// rejection retries) runs on the variable-time fast paths.  That is a
+// documented policy choice, not an oversight — these keys only ever sign
+// SIMULATED SGX attestation quotes over public data in this reproduction,
+// and are not a Prochlo secrecy target (docs/constant-time.md).
+EcdsaSignature EcdsaSign(const Secret<U256>& private_key, ByteSpan message);
 
 bool EcdsaVerify(const EcPoint& public_key, ByteSpan message, const EcdsaSignature& signature);
 

@@ -1,5 +1,7 @@
 #include "src/crypto/elgamal.h"
 
+#include "src/crypto/ct.h"
+
 namespace prochlo {
 
 Bytes ElGamalCiphertext::Serialize() const {
@@ -32,10 +34,15 @@ ElGamalCiphertext ElGamalEncrypt(const EcPoint& recipient_public, const EcPoint&
   return ElGamalCiphertext{c1, c2};
 }
 
-ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext, const U256& alpha) {
+ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext,
+                               const Secret<U256>& secret_alpha) {
   const P256& curve = P256::Get();
-  return ElGamalCiphertext{curve.ScalarMult(ciphertext.c1, alpha),
-                           curve.ScalarMult(ciphertext.c2, alpha)};
+  ElGamalCiphertext out{curve.ScalarMultSecret(ciphertext.c1, secret_alpha),
+                        curve.ScalarMultSecret(ciphertext.c2, secret_alpha)};
+  // The blinded ciphertext is forwarded to Shuffler 2 — public by protocol.
+  ct::UnpoisonObject(out.c1);  // ct:declassify(blinded ciphertext is forwarded on the wire)
+  ct::UnpoisonObject(out.c2);  // ct:declassify(blinded ciphertext is forwarded on the wire)
+  return out;
 }
 
 ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
@@ -46,10 +53,18 @@ ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
                            curve.Add(ciphertext.c2, curve.ScalarMult(recipient_public, s))};
 }
 
-EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphertext) {
+EcPoint ElGamalDecrypt(const Secret<U256>& private_key, const ElGamalCiphertext& ciphertext) {
   const P256& curve = P256::Get();
-  EcPoint shared = curve.ScalarMult(ciphertext.c1, private_key);
-  return curve.Add(ciphertext.c2, curve.Negate(shared));
+  // Entirely on the ct lane: ladder for x·c1, masked negation and addition,
+  // Fermat inverse for the affine conversion.  c1 is attacker-chosen input,
+  // so this path is what the poison harness drives.
+  P256::Jacobian shared = curve.JacScalarMultSecret(curve.ToJacobian(ciphertext.c1), private_key);
+  shared.y = curve.field().NegCt(shared.y);
+  EcPoint out = curve.FromJacobianCt(curve.JacAddCt(curve.ToJacobian(ciphertext.c2), shared));
+  // The decrypted point IS the protocol output (a blinded crowd ID that
+  // feeds public thresholding), so it leaves the taint domain here.
+  ct::UnpoisonObject(out);  // ct:declassify(decrypted point is the protocol output)
+  return out;
 }
 
 namespace {
@@ -81,8 +96,12 @@ void EmitChunk(const P256& curve, std::vector<P256::Jacobian>& jacs,
 }  // namespace
 
 std::vector<ElGamalCiphertext> ElGamalBlindBatch(const std::vector<ElGamalCiphertext>& cts,
-                                                 const U256& alpha, ThreadPool* pool) {
+                                                 const Secret<U256>& secret_alpha,
+                                                 ThreadPool* pool) {
   const P256& curve = P256::Get();
+  // Documented policy declassification (see header): the batched wNAF path
+  // carries the shuffler's Table 3 throughput and recodes variable-time.
+  U256 alpha = secret_alpha.Declassify();  // ct:declassify(batch blinding trades ct for bulk throughput by documented policy)
   std::vector<ElGamalCiphertext> out(cts.size());
   ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
     // Both legs of every ciphertext through the batched wNAF path: all the
@@ -125,11 +144,13 @@ std::vector<ElGamalCiphertext> ElGamalRerandomizeBatch(
   return out;
 }
 
-std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
+std::vector<EcPoint> ElGamalDecryptBatch(const Secret<U256>& private_key,
                                          const std::vector<ElGamalCiphertext>& cts,
                                          ThreadPool* pool) {
   const P256& curve = P256::Get();
   const ModField& f = curve.field();
+  // Documented policy declassification (see header), mirroring BlindBatch.
+  U256 priv = private_key.Declassify();  // ct:declassify(batch decrypt trades ct for bulk throughput by documented policy)
   std::vector<EcPoint> out(cts.size());
   ForEachChunk(cts.size(), pool, [&](size_t begin, size_t end) {
     // x*c1 for the whole chunk via the batched wNAF path (every c1 is a
@@ -140,7 +161,7 @@ std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
     for (size_t i = begin; i < end; ++i) {
       c1s.push_back(cts[i].c1);
     }
-    std::vector<U256> scalars(c1s.size(), private_key);
+    std::vector<U256> scalars(c1s.size(), priv);
     std::vector<P256::Jacobian> shared = curve.BatchScalarMultJac(c1s, scalars);
     std::vector<P256::Jacobian> jacs;
     jacs.reserve(end - begin);

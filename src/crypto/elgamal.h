@@ -39,17 +39,25 @@ struct ElGamalCiphertext {
 ElGamalCiphertext ElGamalEncrypt(const EcPoint& recipient_public, const EcPoint& message,
                                  SecureRandom& rng);
 
-// Multiplies both components by `alpha`:  Dec(Blind(ct, α)) = α·M.
-// Blinding commutes with decryption and preserves equality of plaintexts.
-ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext, const U256& alpha);
+// Multiplies both components by the blinding secret α:  Dec(Blind(ct, α)) =
+// α·M.  Blinding commutes with decryption and preserves equality of
+// plaintexts.  α is Shuffler 1's long-term secret — the whole point of the
+// split-shuffler design is that Shuffler 2 never learns it — so the
+// single-ciphertext path runs on the constant-time ladder; the blinded
+// output points are public by protocol (they are forwarded to Shuffler 2).
+ElGamalCiphertext ElGamalBlind(const ElGamalCiphertext& ciphertext,
+                               const Secret<U256>& secret_alpha);
 
 // Re-randomizes a ciphertext without changing the plaintext (adds an
 // encryption of the identity), hiding the link between input and output.
 ElGamalCiphertext ElGamalRerandomize(const ElGamalCiphertext& ciphertext,
                                      const EcPoint& recipient_public, SecureRandom& rng);
 
-// Decrypts to the (possibly blinded) message point: c2 - x·c1.
-EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphertext);
+// Decrypts to the (possibly blinded) message point: c2 - x·c1, on the
+// constant-time ladder (c1 is attacker-chosen; x is Shuffler 2's long-term
+// key).  The decrypted point is declassified on return — it is the protocol
+// output (a blinded crowd ID that feeds public counting).
+EcPoint ElGamalDecrypt(const Secret<U256>& private_key, const ElGamalCiphertext& ciphertext);
 
 // ------------------------------------------------------------ batch fast path
 //
@@ -62,9 +70,13 @@ EcPoint ElGamalDecrypt(const U256& private_key, const ElGamalCiphertext& ciphert
 // scalar versions in a loop with the same randomness, regardless of whether
 // a pool is supplied.
 
-// Blinds every ciphertext with the same secret `alpha` (Shuffler 1's pass).
+// Blinds every ciphertext with the same secret α (Shuffler 1's pass).
+// Policy declassification inside: the batched wNAF path recodes α variable-
+// time in exchange for the bulk throughput Table 3 reports — the same
+// documented trade as EcdhSharedSecretBatch (docs/constant-time.md).
 std::vector<ElGamalCiphertext> ElGamalBlindBatch(const std::vector<ElGamalCiphertext>& cts,
-                                                 const U256& alpha, ThreadPool* pool = nullptr);
+                                                 const Secret<U256>& secret_alpha,
+                                                 ThreadPool* pool = nullptr);
 
 // Re-randomizes every ciphertext under `recipient_public`.  Callers that own
 // a long-lived recipient key should P256::RegisterFixedBase it once so the
@@ -79,14 +91,15 @@ std::vector<ElGamalCiphertext> ElGamalRerandomizeBatch(
 // Decrypts every ciphertext (Shuffler 2's pass).  Every c1 is a distinct
 // ephemeral point, so this runs on P256::BatchScalarMult's batched wNAF
 // path: one shared inversion normalizes all the chunk's odd-multiple tables
-// and a second normalizes the results.
-std::vector<EcPoint> ElGamalDecryptBatch(const U256& private_key,
+// and a second normalizes the results.  Same documented policy
+// declassification of the private scalar as ElGamalBlindBatch.
+std::vector<EcPoint> ElGamalDecryptBatch(const Secret<U256>& private_key,
                                          const std::vector<ElGamalCiphertext>& cts,
                                          ThreadPool* pool = nullptr);
 
 // Protocol-named alias: the shuffler-side *open* of the El Gamal layer is
 // exactly the batched decrypt above.
-inline std::vector<EcPoint> ElGamalOpenBatch(const U256& private_key,
+inline std::vector<EcPoint> ElGamalOpenBatch(const Secret<U256>& private_key,
                                              const std::vector<ElGamalCiphertext>& cts,
                                              ThreadPool* pool = nullptr) {
   return ElGamalDecryptBatch(private_key, cts, pool);

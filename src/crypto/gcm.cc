@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/crypto/ct.h"
+
 namespace prochlo {
 
 namespace {
@@ -25,6 +27,18 @@ void StoreBe64(uint64_t v, uint8_t* p) {
   }
 }
 }  // namespace
+
+namespace {
+// The declassification point for symmetric session keys: AES is deliberately
+// not cache-constant-time here (key-schedule and S-box lookups index tables
+// with key bytes), so taint tracking stops at the AEAD boundary.
+ByteSpan DeclassifyAeadKey(const SecretBytes& key) {
+  ct::UnpoisonObject(key.Expose());  // ct:declassify(AES key schedule is table-driven; ct tracking ends at the AEAD boundary by design)
+  return ByteSpan(key.Expose());
+}
+}  // namespace
+
+AesGcm::AesGcm(const SecretBytes& key) : AesGcm(DeclassifyAeadKey(key)) {}
 
 AesGcm::AesGcm(ByteSpan key) : aes_(key) {
   // H = AES_K(0^128).
@@ -171,7 +185,12 @@ std::optional<Bytes> AesGcm::Open(const GcmNonce& nonce, ByteSpan sealed, ByteSp
   for (int i = 0; i < 16; ++i) {
     tag[i] ^= j0[i];
   }
-  if (!ConstantTimeEquals(ByteSpan(tag.data(), tag.size()), provided_tag)) {
+  // ct::CtEq rather than the plain util ConstantTimeEquals: same XOR-
+  // accumulate shape, but the single accept/reject verdict passes through
+  // the declassification barrier, so the poison harness (tools/ct_harness)
+  // can verify that a forged tag's FIRST DIFFERING BYTE never influences
+  // timing — only the final public verdict does.
+  if (!ct::CtEq(ByteSpan(tag.data(), tag.size()), provided_tag)) {
     return std::nullopt;
   }
 

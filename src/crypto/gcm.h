@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "src/crypto/aes.h"
+#include "src/crypto/ct.h"
 #include "src/util/bytes.h"
 
 namespace prochlo {
@@ -25,6 +26,14 @@ using GcmNonce = std::array<uint8_t, kGcmNonceSize>;
 class AesGcm {
  public:
   explicit AesGcm(ByteSpan key);
+
+  // Session keys arrive from the ECDH+HKDF schedule as SecretBytes.  The key
+  // is DECLASSIFIED at this boundary: the AES key schedule and S-box are
+  // table lookups indexed by key-derived bytes, i.e. deliberately not
+  // cache-constant-time (docs/constant-time.md discusses why that is
+  // accepted for this reproduction).  Constant-time tracking therefore ends
+  // here by design, not by accident.
+  explicit AesGcm(const SecretBytes& key);
 
   // Encrypts `plaintext` with `nonce` and additional data `aad`; returns
   // ciphertext || 16-byte tag.

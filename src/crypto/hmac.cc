@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/ct.h"
+
 namespace prochlo {
 
 Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
@@ -31,6 +33,11 @@ Sha256Digest HmacSha256(ByteSpan key, ByteSpan data) {
   outer.Update(ByteSpan(opad, 64));
   outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
   return outer.Finish();
+}
+
+bool HmacVerify(ByteSpan key, ByteSpan data, ByteSpan expected_mac) {
+  Sha256Digest mac = HmacSha256(key, data);
+  return ct::CtEq(ByteSpan(mac.data(), mac.size()), expected_mac);
 }
 
 Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm) {

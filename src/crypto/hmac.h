@@ -14,6 +14,12 @@ namespace prochlo {
 // HMAC-SHA256 over `data` with `key` (any key length).
 Sha256Digest HmacSha256(ByteSpan key, ByteSpan data);
 
+// Recomputes the MAC and compares against `expected_mac` without early exit
+// (ct::CtEq): the compare cost never depends on WHERE a forgery first
+// differs.  Only the accept/reject verdict is public.  Use this — never
+// operator== or memcmp — whenever the expected MAC comes from a peer.
+bool HmacVerify(ByteSpan key, ByteSpan data, ByteSpan expected_mac);
+
 // HKDF-Extract: PRK = HMAC(salt, ikm).
 Sha256Digest HkdfExtract(ByteSpan salt, ByteSpan ikm);
 

@@ -9,28 +9,38 @@ namespace prochlo {
 
 KeyPair KeyPair::Generate(SecureRandom& rng) {
   const P256& curve = P256::Get();
-  U256 priv = rng.RandomScalar(curve.order());
-  return KeyPair{priv, curve.BaseMult(priv)};
+  Secret<U256> priv = rng.RandomSecretScalar(curve.order());
+  // BaseMultSecret: the one-off ~3-4x ladder cost is irrelevant at key
+  // generation, and long-term keys never touch the variable-time paths.
+  return KeyPair{priv, curve.BaseMultSecret(priv)};
 }
 
-std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& peer_public) {
+std::optional<Secret<U256>> EcdhSharedSecret(const Secret<U256>& private_key,
+                                             const EcPoint& peer_public) {
   const P256& curve = P256::Get();
-  EcPoint shared = curve.ScalarMult(peer_public, private_key);
-  if (shared.infinity) {
+  EcPoint shared = curve.ScalarMultSecret(peer_public, private_key);
+  // The infinity flag is declassified by FromJacobianCt: it is public
+  // protocol state (an invalid peer key), not key-dependent data.
+  if (shared.infinity) {  // lint:allow(secret-branch)
     return std::nullopt;
   }
-  return shared.x;
+  return Secret<U256>(shared.x);
 }
 
-std::vector<std::optional<U256>> EcdhSharedSecretBatch(const U256& private_key,
-                                                       const std::vector<EcPoint>& peer_publics) {
+std::vector<std::optional<Secret<U256>>> EcdhSharedSecretBatch(
+    const Secret<U256>& private_key, const std::vector<EcPoint>& peer_publics) {
   const P256& curve = P256::Get();
-  std::vector<U256> scalars(peer_publics.size(), private_key);
+  // Documented policy declassification: the batched wNAF path recodes the
+  // scalar variable-time, in exchange for the shared-inversion throughput
+  // the shuffler's bulk opens need.  See the header and
+  // docs/constant-time.md before widening this.
+  U256 priv = private_key.Declassify();  // ct:declassify(batch ECDH trades ct for bulk throughput by documented policy)
+  std::vector<U256> scalars(peer_publics.size(), priv);
   std::vector<EcPoint> shared = curve.BatchScalarMult(peer_publics, scalars);
-  std::vector<std::optional<U256>> out(peer_publics.size());
+  std::vector<std::optional<Secret<U256>>> out(peer_publics.size());
   for (size_t i = 0; i < shared.size(); ++i) {
     if (!shared[i].infinity) {
-      out[i] = shared[i].x;
+      out[i] = Secret<U256>(shared[i].x);
     }
   }
   return out;
@@ -51,30 +61,35 @@ std::vector<std::optional<Bytes>> HybridOpenBatch(const KeyPair& recipient,
       decoded[i] = 1;
     }
   }
-  std::vector<std::optional<U256>> shared = EcdhSharedSecretBatch(recipient.private_key, ephemerals);
+  std::vector<std::optional<Secret<U256>>> shared =
+      EcdhSharedSecretBatch(recipient.private_key, ephemerals);
   std::vector<std::optional<Bytes>> out(boxes.size());
   for (size_t i = 0; i < boxes.size(); ++i) {
     if (decoded[i] == 0 || !shared[i].has_value()) {
       continue;
     }
-    Bytes key = DeriveSessionKey(*shared[i], ephemerals[i], recipient.public_key, context,
-                                 kAes128KeySize);
+    SecretBytes key = DeriveSessionKey(*shared[i], ephemerals[i], recipient.public_key, context,
+                                       kAes128KeySize);
     AesGcm aead(key);
     out[i] = aead.Open(boxes[i].nonce, boxes[i].sealed, /*aad=*/{});
   }
   return out;
 }
 
-Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
-                       const EcPoint& recipient_public, const std::string& context,
-                       size_t key_size) {
+SecretBytes DeriveSessionKey(const Secret<U256>& shared_x, const EcPoint& ephemeral_public,
+                             const EcPoint& recipient_public, const std::string& context,
+                             size_t key_size) {
   const P256& curve = P256::Get();
-  auto ikm = shared_x.ToBytes();
+  // SHA-256/HMAC are add/xor/rotate only — no secret-indexed tables, no
+  // secret-dependent branches — so Expose() (not Declassify) is correct
+  // here: the taint survives the KDF and the derived key comes back out
+  // wrapped.  The poison harness traces ECDH -> HKDF end to end on this.
+  auto ikm = shared_x.Expose().ToBytes();
   Writer info;
   info.PutString(context);
   info.PutLengthPrefixed(curve.Encode(ephemeral_public));
   info.PutLengthPrefixed(curve.Encode(recipient_public));
-  return Hkdf(/*salt=*/{}, ByteSpan(ikm.data(), ikm.size()), info.data(), key_size);
+  return SecretBytes(Hkdf(/*salt=*/{}, ByteSpan(ikm.data(), ikm.size()), info.data(), key_size));
 }
 
 Bytes HybridBox::Serialize() const {
@@ -100,16 +115,24 @@ std::optional<HybridBox> HybridBox::Deserialize(ByteSpan data) {
 HybridBox HybridSeal(const EcPoint& recipient_public, ByteSpan plaintext,
                      const std::string& context, SecureRandom& rng) {
   const P256& curve = P256::Get();
-  KeyPair ephemeral = KeyPair::Generate(rng);
-  auto shared = EcdhSharedSecret(ephemeral.private_key, recipient_public);
+  // The ephemeral scalar is one-shot: generated, used for a single ECDH,
+  // and destroyed before any attacker-controlled input is processed, so a
+  // timing probe has nothing to average over.  It therefore stays on the
+  // variable-time fast paths (fixed-base table for the public key, wNAF for
+  // the shared point) rather than KeyPair::Generate's ct ladder — report
+  // sealing is the client hot path and the ladder would cost ~3-4x per
+  // report (docs/constant-time.md, "ephemeral scalars").
+  U256 eph = rng.RandomScalar(curve.order());
+  EcPoint eph_public = curve.BaseMult(eph);
+  EcPoint shared = curve.ScalarMult(recipient_public, eph);
   // Honest recipients' public keys are valid group elements, so ECDH cannot
   // land on the identity; the assert documents the invariant.
-  assert(shared.has_value());
-  Bytes key = DeriveSessionKey(*shared, ephemeral.public_key, recipient_public, context,
-                               kAes128KeySize);
+  assert(!shared.infinity);
+  SecretBytes key = DeriveSessionKey(Secret<U256>(shared.x), eph_public, recipient_public,
+                                     context, kAes128KeySize);
   AesGcm aead(key);
   HybridBox box;
-  box.ephemeral_public = curve.Encode(ephemeral.public_key);
+  box.ephemeral_public = curve.Encode(eph_public);
   box.nonce = rng.RandomNonce();
   box.sealed = aead.Seal(box.nonce, plaintext, /*aad=*/{});
   return box;
@@ -123,11 +146,12 @@ std::optional<Bytes> HybridOpen(const KeyPair& recipient, const HybridBox& box,
     return std::nullopt;
   }
   auto shared = EcdhSharedSecret(recipient.private_key, *ephemeral_public);
-  if (!shared.has_value()) {
+  // Engagement mirrors the declassified point-at-infinity flag.
+  if (!shared.has_value()) {  // lint:allow(secret-branch)
     return std::nullopt;
   }
-  Bytes key = DeriveSessionKey(*shared, *ephemeral_public, recipient.public_key, context,
-                               kAes128KeySize);
+  SecretBytes key = DeriveSessionKey(*shared, *ephemeral_public, recipient.public_key, context,
+                                     kAes128KeySize);
   AesGcm aead(key);
   return aead.Open(box.nonce, box.sealed, /*aad=*/{});
 }

@@ -16,30 +16,46 @@
 
 namespace prochlo {
 
+// A long-term key pair.  The private scalar lives in the Secret<> wrapper
+// from birth: generation runs on the constant-time ladder, and every API
+// that consumes it either stays on the ct lane or declassifies at a
+// documented boundary (see docs/constant-time.md).
 struct KeyPair {
-  U256 private_key;
+  Secret<U256> private_key;
   EcPoint public_key;
 
   static KeyPair Generate(SecureRandom& rng);
 };
 
-// Raw ECDH: X coordinate of private * peer_public. Returns nullopt for the
-// identity result (never happens for honest keys).
-std::optional<U256> EcdhSharedSecret(const U256& private_key, const EcPoint& peer_public);
+// Raw ECDH: X coordinate of private * peer_public, computed on the
+// constant-time ladder (the peer point is attacker-chosen, so this is
+// exactly the surface a timing probe would target).  The shared X stays
+// Secret<> until it is consumed by the key schedule.  Returns nullopt for
+// the identity result (never happens for honest keys; the infinity flag is
+// the one declassified bit).
+std::optional<Secret<U256>> EcdhSharedSecret(const Secret<U256>& private_key,
+                                             const EcPoint& peer_public);
 
 // Batched ECDH against many peers with one private key — the shuffler's
 // outer-layer report opens, where every peer is a distinct ephemeral key
 // that cannot be precomputed.  Runs on P256::BatchScalarMult (shared-
-// inversion wNAF tables); slot i matches EcdhSharedSecret(private_key,
-// peer_publics[i]) exactly, including nullopt on the identity.
-std::vector<std::optional<U256>> EcdhSharedSecretBatch(const U256& private_key,
-                                                       const std::vector<EcPoint>& peer_publics);
+// inversion wNAF tables), which requires DECLASSIFYING the private scalar
+// internally: the batch surface processes millions of attacker-submitted
+// reports inside the (simulated) enclave, and the reproduction deliberately
+// trades per-scalar timing hygiene for the ~3-4x batch throughput there
+// (docs/constant-time.md, "batch surfaces").  Slot i matches
+// EcdhSharedSecret(private_key, peer_publics[i]) exactly, including nullopt
+// on the identity.
+std::vector<std::optional<Secret<U256>>> EcdhSharedSecretBatch(
+    const Secret<U256>& private_key, const std::vector<EcPoint>& peer_publics);
 
 // Derives a symmetric key of `key_size` bytes from an ECDH secret, binding
-// both parties' public keys and a context label into the KDF.
-Bytes DeriveSessionKey(const U256& shared_x, const EcPoint& ephemeral_public,
-                       const EcPoint& recipient_public, const std::string& context,
-                       size_t key_size);
+// both parties' public keys and a context label into the KDF.  HMAC/HKDF
+// are pure arithmetic (no key-indexed lookups), so the schedule keeps the
+// taint end-to-end; the result is declassified only at the AesGcm boundary.
+SecretBytes DeriveSessionKey(const Secret<U256>& shared_x, const EcPoint& ephemeral_public,
+                             const EcPoint& recipient_public, const std::string& context,
+                             size_t key_size);
 
 // One hybrid-encryption layer: ephemeral public key || nonce || AES-GCM box.
 struct HybridBox {

@@ -295,6 +295,204 @@ P256::Jacobian P256::JacScalarMultReference(const Jacobian& p, const U256& scala
   return acc;
 }
 
+// ---------------------------------------------------- constant-time lane
+
+namespace {
+// mask ? a : b per coordinate (mask all-ones or all-zeros).
+inline P256::Jacobian SelectJac(uint64_t mask, const P256::Jacobian& a, const P256::Jacobian& b) {
+  return P256::Jacobian{ct::CtSelect(mask, a.x, b.x), ct::CtSelect(mask, a.y, b.y),
+                        ct::CtSelect(mask, a.z, b.z)};
+}
+
+// Signed fixed-window recode, w = 4: k = sum_i digits[i] * 16^i with every
+// digit in [-7, 8].  65 digits cover 256 bits plus the final carry.  Unlike
+// wNAF (whose digit positions ARE the secret), the digit count, positions,
+// and recode control flow here are fixed; only the digit VALUES are secret,
+// and they flow exclusively into masked selects.
+constexpr int kCtDigits = 65;
+constexpr size_t kCtTableSize = 9;  // multiples 0..8 of the base point
+
+inline void CtRecode(const U256& k, int64_t digits[kCtDigits]) {
+  uint64_t carry = 0;
+  for (int i = 0; i < 64; ++i) {
+    uint64_t t = ((k.limbs[i / 16] >> (4 * (i % 16))) & 0xf) + carry;  // 0..16
+    // t >= 9 exactly when (t + 7) overflows into bit 4.
+    uint64_t ge9 = ct::NonZeroMask((t + 7) >> 4);
+    carry = ge9 & 1;
+    digits[i] = static_cast<int64_t>(t) - static_cast<int64_t>(ge9 & 16);
+  }
+  digits[64] = static_cast<int64_t>(carry);
+}
+
+// Full-scan masked read of a Jacobian table: every entry is touched, so the
+// access pattern is independent of `index`.
+inline P256::Jacobian CtTableLookupJac(const P256::Jacobian* table, size_t n, uint64_t index) {
+  P256::Jacobian out{U256::Zero(), U256::Zero(), U256::Zero()};
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t mask = ct::EqMask(static_cast<uint64_t>(i), index);
+    for (int j = 0; j < 4; ++j) {
+      out.x.limbs[j] |= mask & table[i].x.limbs[j];
+      out.y.limbs[j] |= mask & table[i].y.limbs[j];
+      out.z.limbs[j] |= mask & table[i].z.limbs[j];
+    }
+  }
+  return out;
+}
+}  // namespace
+
+P256::Jacobian P256::JacDoubleCt(const Jacobian& p) const {
+  // dbl-2001-b with JacDouble's early returns removed: for z == 0 the
+  // formula yields z3 = 2yz = 0, which encodes the identity again, and
+  // y == 0 cannot occur for a finite point (P-256's order is odd, so the
+  // curve has no 2-torsion).
+  const ModField& f = fp_;
+  U256 delta = f.MontSqrCt(p.z);
+  U256 gamma = f.MontSqrCt(p.y);
+  U256 beta = f.MontMulCt(p.x, gamma);
+  U256 inner = f.MontMulCt(f.SubCt(p.x, delta), f.AddCt(p.x, delta));
+  U256 alpha = f.AddCt(f.AddCt(inner, inner), inner);
+  U256 beta2 = f.AddCt(beta, beta);
+  U256 beta4 = f.AddCt(beta2, beta2);
+  U256 beta8 = f.AddCt(beta4, beta4);
+  U256 x3 = f.SubCt(f.MontSqrCt(alpha), beta8);
+  U256 z3 = f.MontMulCt(f.AddCt(p.y, p.y), p.z);
+  U256 gamma2 = f.MontSqrCt(gamma);
+  U256 gamma2_2 = f.AddCt(gamma2, gamma2);
+  U256 gamma2_4 = f.AddCt(gamma2_2, gamma2_2);
+  U256 gamma2_8 = f.AddCt(gamma2_4, gamma2_4);
+  U256 y3 = f.SubCt(f.MontMulCt(alpha, f.SubCt(beta4, x3)), gamma2_8);
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::JacAddCt(const Jacobian& p, const Jacobian& q) const {
+  // add-2007-bl computed unconditionally, with every exceptional case of
+  // JacAdd masked in afterwards instead of branched on:
+  //   * p or q at infinity       -> select the other operand;
+  //   * p == q (h == 0, r == 0)  -> select the unconditional doubling;
+  //   * p == -q (h == 0, r != 0) -> the formula already yields z3 = 0,
+  //     i.e. the identity, so no patch is needed.
+  const ModField& f = fp_;
+  U256 z1z1 = f.MontSqrCt(p.z);
+  U256 z2z2 = f.MontSqrCt(q.z);
+  U256 u1 = f.MontMulCt(p.x, z2z2);
+  U256 u2 = f.MontMulCt(q.x, z1z1);
+  U256 s1 = f.MontMulCt(p.y, f.MontMulCt(q.z, z2z2));
+  U256 s2 = f.MontMulCt(q.y, f.MontMulCt(p.z, z1z1));
+  U256 h = f.SubCt(u2, u1);
+  U256 r = f.SubCt(s2, s1);
+  U256 h2 = f.AddCt(h, h);
+  U256 i = f.MontSqrCt(h2);
+  U256 j = f.MontMulCt(h, i);
+  U256 r2 = f.AddCt(r, r);
+  U256 v = f.MontMulCt(u1, i);
+  U256 x3 = f.SubCt(f.SubCt(f.MontSqrCt(r2), j), f.AddCt(v, v));
+  U256 s1j2 = f.MontMulCt(s1, j);
+  s1j2 = f.AddCt(s1j2, s1j2);
+  U256 y3 = f.SubCt(f.MontMulCt(r2, f.SubCt(v, x3)), s1j2);
+  U256 z3 = f.MontMulCt(f.MontMulCt(f.AddCt(p.z, p.z), q.z), h);
+  Jacobian sum{x3, y3, z3};
+
+  Jacobian dbl = JacDoubleCt(p);
+  uint64_t p_inf = ct::IsZeroMask(p.z);
+  uint64_t q_inf = ct::IsZeroMask(q.z);
+  uint64_t is_double = ct::IsZeroMask(h) & ct::IsZeroMask(r) & ~p_inf & ~q_inf;
+  Jacobian out = SelectJac(is_double, dbl, sum);
+  out = SelectJac(q_inf, p, out);
+  out = SelectJac(p_inf, q, out);
+  return out;
+}
+
+P256::Jacobian P256::JacScalarMultSecret(const Jacobian& p, const Secret<U256>& secret_scalar) const {
+  // One masked subtract reduces any 256-bit scalar mod n (n > 2^255, so
+  // every U256 is below 2n) — no variable-time compare-and-Reduce.
+  U256 k = fn_.ReduceOnceCt(secret_scalar.Expose());
+
+  // Multiples 0..8 of p.  The POINT is public in every use (an El Gamal c1,
+  // a peer's ECDH key); only the scalar is secret, so the table may be
+  // built with the ordinary variable-time ops.  Entry 0 is the identity,
+  // which makes a zero digit just another masked lookup.
+  Jacobian table[kCtTableSize];
+  table[0] = Jacobian{U256::Zero(), one_mont_, U256::Zero()};
+  table[1] = p;
+  for (size_t d = 2; d < kCtTableSize; ++d) {
+    table[d] = JacAdd(table[d - 1], p);
+  }
+
+  int64_t digits[kCtDigits];
+  CtRecode(k, digits);
+
+  // Uniform main loop: 65 iterations of exactly 4 doublings, one full table
+  // scan, one conditional-by-mask negation, and one patched addition —
+  // regardless of the scalar.  (The p == q exceptional case inside JacAddCt
+  // cannot fire for reduced scalars — every partial value 16*acc + d stays
+  // below n — but the masked doubling patch covers it anyway.)
+  Jacobian acc = table[0];
+  for (int i = kCtDigits - 1; i >= 0; --i) {
+    for (int d = 0; d < 4; ++d) {
+      acc = JacDoubleCt(acc);
+    }
+    uint64_t dv = static_cast<uint64_t>(digits[i]);
+    uint64_t neg = ct::NonZeroMask(dv >> 63);
+    uint64_t mag = (dv ^ neg) - neg;  // two's-complement |digit|, branchless
+    Jacobian e = CtTableLookupJac(table, kCtTableSize, mag);
+    e.y = ct::CtSelect(neg, fp_.NegCt(e.y), e.y);
+    acc = JacAddCt(acc, e);
+  }
+  return acc;
+}
+
+P256::Jacobian P256::JacBaseMultSecret(const Secret<U256>& secret_scalar) const {
+  U256 k = fn_.ReduceOnceCt(secret_scalar.Expose());
+  Jacobian acc{U256::Zero(), one_mont_, U256::Zero()};
+  // The fixed-base table already stores d * 2^(4w) * G per window, so the
+  // ladder needs no doublings — but unlike JacFixedMult, every window scans
+  // all 15 entries and adds unconditionally (a zero nibble contributes the
+  // identity: zero coordinates with a masked-to-zero z).
+  for (size_t w = 0; w < 64; ++w) {
+    uint64_t d = ScalarNibble(k, w);
+    U256 ex = U256::Zero();
+    U256 ey = U256::Zero();
+    for (size_t j = 0; j < 15; ++j) {
+      uint64_t mask = ct::EqMask(static_cast<uint64_t>(j + 1), d);
+      for (int l = 0; l < 4; ++l) {
+        ex.limbs[l] |= mask & gen_table_.win[w][j].x.limbs[l];
+        ey.limbs[l] |= mask & gen_table_.win[w][j].y.limbs[l];
+      }
+    }
+    Jacobian e{ex, ey, ct::CtSelect(ct::IsZeroMask(d), U256::Zero(), one_mont_)};
+    acc = JacAddCt(acc, e);
+  }
+  return acc;
+}
+
+EcPoint P256::FromJacobianCt(const Jacobian& p) const {
+  // The infinity flag is public protocol state (an identity ECDH result is
+  // rejected out loud; an identity decrypt is a visible outcome), so it is
+  // the one bit declassified here.  The coordinates keep their taint: the
+  // inverse is the Fermat ladder, not the variable-time xGCD.
+  if (ct::DeclassifyBit(ct::IsZeroMask(p.z))) {  // ct:declassify(point-at-infinity flag is public protocol state)
+    return EcPoint::Infinity();
+  }
+  U256 zinv = fp_.MontInvCt(p.z);
+  U256 zinv2 = fp_.MontSqrCt(zinv);
+  U256 zinv3 = fp_.MontMulCt(zinv2, zinv);
+  U256 x = fp_.FromMontCt(fp_.MontMulCt(p.x, zinv2));
+  U256 y = fp_.FromMontCt(fp_.MontMulCt(p.y, zinv3));
+  return EcPoint{x, y, false};
+}
+
+EcPoint P256::ScalarMultSecret(const EcPoint& point, const Secret<U256>& secret_scalar) const {
+  return FromJacobianCt(JacScalarMultSecret(ToJacobian(point), secret_scalar));
+}
+
+EcPoint P256::BaseMultSecret(const Secret<U256>& secret_scalar) const {
+  EcPoint out = FromJacobianCt(JacBaseMultSecret(secret_scalar));
+  // A public key derived from a long-term secret is published by protocol.
+  ct::UnpoisonObject(out.x);  // ct:declassify(public key is published by protocol)
+  ct::UnpoisonObject(out.y);  // ct:declassify(public key is published by protocol)
+  return out;
+}
+
 std::vector<P256::Jacobian> P256::BatchScalarMultJac(const std::vector<EcPoint>& points,
                                                      const std::vector<U256>& scalars) const {
   assert(points.size() == scalars.size());

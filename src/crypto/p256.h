@@ -8,7 +8,18 @@
 //     two-shuffler private thresholding.
 //
 // Scalar multiplication uses Jacobian coordinates kept in the Montgomery
-// domain.  Not constant-time (see DESIGN.md).
+// domain.  Two timing regimes coexist, split by scalar lifetime
+// (docs/constant-time.md has the full policy):
+//
+//   * The fast paths below (fixed-base tables, width-5 wNAF, batch
+//     normalization) are variable-time and serve PUBLIC and EPHEMERAL
+//     scalars — per-report keys, re-randomizers, and the declassified batch
+//     surfaces.
+//
+//   * `JacScalarMultSecret` / `BaseMultSecret` / the `*Ct` point ops form a
+//     constant-time lane for `Secret<U256>` scalars (long-term private
+//     keys): fixed-window ladder, full-scan masked table reads, branchless
+//     conditional negation, no secret-dependent branches anywhere.
 //
 // Three fast paths serve the shuffler's bulk workloads (§4.1.4, Table 3),
 // where millions of scalar multiplications per pass dominate:
@@ -46,6 +57,7 @@
 #include <vector>
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/ct.h"
 #include "src/util/bytes.h"
 #include "src/util/thread_annotations.h"
 
@@ -139,6 +151,35 @@ class P256 {
   // El Gamal open, which still adds c2 before its own batch conversion).
   std::vector<Jacobian> BatchScalarMultJac(const std::vector<EcPoint>& points,
                                            const std::vector<U256>& scalars) const;
+
+  // --------------------------------------------- constant-time secret lane
+  //
+  // Scalar multiplication for `Secret<U256>` scalars: a signed fixed-window
+  // (w = 4) ladder whose control flow, memory addresses, and field-op
+  // sequence are all independent of the scalar.  Window digits are read via
+  // full-scan masked table lookups, negative digits negate branchlessly,
+  // and the point additions are the patched `JacAddCt`/`JacDoubleCt` below.
+  // Bit-identical to JacScalarMultReference for every scalar (cross-checked
+  // in tests/crypto_ct_test.cc); ~3-4x the cost of the wNAF path, paid only
+  // on long-term-key operations (see docs/constant-time.md).
+  Jacobian JacScalarMultSecret(const Jacobian& p, const Secret<U256>& secret_scalar) const;
+  // Fixed-base ladder over the generator table: same discipline (every
+  // window's 15 entries are scanned; a zero digit selects the identity via
+  // masks).  Used by long-term key generation.
+  Jacobian JacBaseMultSecret(const Secret<U256>& secret_scalar) const;
+  // Affine conveniences.  The point-at-infinity bit of the result is
+  // declassified (it is public protocol state); the coordinates keep their
+  // taint until a caller declassifies them.
+  EcPoint ScalarMultSecret(const EcPoint& point, const Secret<U256>& secret_scalar) const;
+  EcPoint BaseMultSecret(const Secret<U256>& secret_scalar) const;
+  // Affine conversion through the Fermat-ladder inverse (no variable-time
+  // xGCD on a secret-derived z); declassifies only the infinity bit.
+  EcPoint FromJacobianCt(const Jacobian& p) const;
+  // Branchless point ops: compute the generic formula unconditionally, then
+  // mask in the exceptional cases (identity operands, doubling).  Safe for
+  // secret-derived operands; roughly 2x the cost of JacAdd/JacDouble.
+  Jacobian JacAddCt(const Jacobian& p, const Jacobian& q) const;
+  Jacobian JacDoubleCt(const Jacobian& p) const;
 
   // Uncompressed SEC1 encoding: 0x04 || X || Y (65 bytes); the identity
   // encodes as a single 0x00 byte.

@@ -85,10 +85,21 @@ U256 SecureRandom::RandomScalar(const U256& order) {
     uint8_t raw[32];
     Fill(raw);
     U256 candidate = U256::FromBytes(ByteSpan(raw, 32));
-    if (!candidate.IsZero() && candidate < order) {
+    // Borrow-based range check: candidate < order iff the subtraction
+    // borrows.  Unlike operator<, this touches every limb regardless of
+    // where the first difference is, so an accepted secret candidate leaks
+    // nothing through the comparison.  The loop count itself is public —
+    // rejected candidates are discarded and independent of the result.
+    U256 scratch;
+    uint64_t below = SubWithBorrow(candidate, order, &scratch);
+    if (!candidate.IsZero() && below != 0) {
       return candidate;
     }
   }
+}
+
+Secret<U256> SecureRandom::RandomSecretScalar(const U256& order) {
+  return Secret<U256>(RandomScalar(order));
 }
 
 }  // namespace prochlo

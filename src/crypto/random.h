@@ -8,6 +8,7 @@
 #define PROCHLO_SRC_CRYPTO_RANDOM_H_
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/ct.h"
 #include "src/crypto/gcm.h"
 #include "src/crypto/sha256.h"
 #include "src/util/bytes.h"
@@ -26,9 +27,23 @@ class SecureRandom {
   GcmNonce RandomNonce();
 
   // Uniform scalar in [1, order-1] via rejection sampling.
+  //
+  // Timing note: the NUMBER of rejection rounds is public — each round
+  // consumes fresh DRBG output, so the loop count reveals only that some
+  // independent, discarded candidates fell outside the range, never anything
+  // about the returned scalar.  The accept/reject comparison itself is
+  // borrow-based rather than the early-exit operator<, so no partial-limb
+  // information about the accepted candidate leaks either.
   U256 RandomScalar(const U256& order);
 
-  // Uniform integer in [0, bound) via rejection sampling; bound > 0.
+  // RandomScalar wrapped for the constant-time lane: use this when the
+  // scalar is a long-term secret (private keys, the blinding exponent α), so
+  // the type system routes it through Secret<>-taking APIs from birth.
+  Secret<U256> RandomSecretScalar(const U256& order);
+
+  // Uniform integer in [0, bound) via rejection sampling; bound > 0.  Both
+  // the bound and the rejection count are public (see RandomScalar); the
+  // returned value's secrecy is up to the caller.
   uint64_t UniformBelow(uint64_t bound);
 
   // Fisher-Yates shuffle driven by this DRBG (for permutations that must be

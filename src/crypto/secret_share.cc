@@ -27,16 +27,23 @@ U256 Coefficient(ByteSpan message, uint32_t index) {
     }
     Sha256Digest out = HmacSha256(ByteSpan(prf_key.data(), prf_key.size()), ByteSpan(input, 8));
     U256 candidate = U256::FromBytes(ByteSpan(out.data(), out.size()));
-    if (candidate < ScalarField().modulus()) {
+    // Borrow-based range check (see SecureRandom::RandomScalar): rejected
+    // candidates are discarded PRF outputs, so the retry count is public;
+    // the accepted coefficient leaks nothing through the comparison.
+    U256 scratch;
+    if (SubWithBorrow(candidate, ScalarField().modulus(), &scratch) != 0) {
       return candidate;
     }
   }
 }
 
-// P(0) = km: the message-derived key as a field element.
+// P(0) = km: the message-derived key as a field element.  One masked
+// subtract suffices for the reduction (the scalar order exceeds 2^255, so
+// any 256-bit value is below twice it) — no variable-time compare on the
+// key material.
 U256 SecretConstant(ByteSpan message) {
   Sha256Digest km = MessageDerivedKey(message);
-  return ScalarField().Reduce(U256::FromBytes(ByteSpan(km.data(), km.size())));
+  return ScalarField().ReduceOnceCt(U256::FromBytes(ByteSpan(km.data(), km.size())));
 }
 }  // namespace
 
@@ -87,12 +94,18 @@ SecretSharer::SecretSharer(uint32_t threshold) : threshold_(threshold) {
 
 U256 SecretSharer::EvaluatePolynomial(ByteSpan message, const U256& x) const {
   const ModField& f = ScalarField();
-  // Horner evaluation from the top coefficient down to P(0) = km.
-  U256 acc = U256::Zero();
+  // Horner evaluation from the top coefficient down to P(0) = km, on the
+  // constant-time field ops: the coefficients and km derive from the secret
+  // message, so no branchy Add/Mul may touch them.  The abscissa x and the
+  // loop bound (the public threshold) are not secret.  The returned share
+  // ordinate is public BY PROTOCOL — it is sent to the server — and the
+  // share only helps an adversary once t-1 others join it.
+  U256 x_mont = f.ToMont(x);
+  U256 acc = U256::Zero();  // Montgomery-domain accumulator
   for (uint32_t i = threshold_ - 1; i >= 1; --i) {
-    acc = f.Mul(f.Add(acc, Coefficient(message, i)), x);
+    acc = f.MontMulCt(f.AddCt(acc, f.ToMontCt(Coefficient(message, i))), x_mont);
   }
-  return f.Add(acc, SecretConstant(message));
+  return f.FromMontCt(f.AddCt(acc, f.ToMontCt(SecretConstant(message))));
 }
 
 SecretShareEncoding SecretSharer::Encode(ByteSpan message, SecureRandom& rng) const {
@@ -104,6 +117,11 @@ SecretShareEncoding SecretSharer::Encode(ByteSpan message, SecureRandom& rng) co
 }
 
 U256 SecretSharer::InterpolateAtZero(const std::vector<SecretShare>& shares) {
+  // Deliberately variable-time: interpolation and Recover run on the
+  // ANALYZER, which is the party the threshold protects the key FROM until
+  // it legitimately holds t shares — at which point the key is its output,
+  // not a secret to hide from it.  Client-side secrecy lives entirely in
+  // EvaluatePolynomial above.
   const ModField& f = ScalarField();
   U256 secret = U256::Zero();
   for (size_t i = 0; i < shares.size(); ++i) {

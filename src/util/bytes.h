@@ -21,7 +21,10 @@ std::string HexEncode(ByteSpan data);
 Bytes HexDecode(const std::string& hex);
 
 // Constant-time equality over equal-length buffers; returns false on length
-// mismatch (length is assumed public).
+// mismatch (length is assumed public).  Crypto-tier tag/MAC verification
+// should prefer ct::CtEq (src/crypto/ct.h), which is the same XOR-accumulate
+// but routes the verdict through the declassification barrier the poison
+// harness checks.
 bool ConstantTimeEquals(ByteSpan a, ByteSpan b);
 
 // XORs `src` into `dst`; both must have the same size.

@@ -161,7 +161,7 @@ TEST(ElGamalBatchTest, BlindBatchMatchesSingle) {
   const P256& curve = P256::Get();
   SecureRandom rng(ToBytes("eg-batch-blind"));
   KeyPair recipient = KeyPair::Generate(rng);
-  U256 alpha = rng.RandomScalar(curve.order());
+  Secret<U256> alpha = rng.RandomSecretScalar(curve.order());
 
   std::vector<ElGamalCiphertext> cts;
   for (int i = 0; i < 150; ++i) {
@@ -220,7 +220,7 @@ TEST(ElGamalBatchTest, PooledAndSequentialOutputsAreIdentical) {
   }
 
   ThreadPool pool(4);
-  U256 alpha = key_rng.RandomScalar(P256::Get().order());
+  Secret<U256> alpha = key_rng.RandomSecretScalar(P256::Get().order());
   std::vector<ElGamalCiphertext> blind_seq = ElGamalBlindBatch(cts, alpha);
   std::vector<ElGamalCiphertext> blind_par = ElGamalBlindBatch(cts, alpha, &pool);
   for (size_t i = 0; i < cts.size(); ++i) {

@@ -35,8 +35,10 @@ std::vector<U256> EdgeScalars() {
   AddWithCarry(curve.order(), U256::One(), &n_plus_1);
   U256 two_255;
   two_255.limbs[3] = 1ull << 63;
+  U256 two_255_plus_1 = two_255;
+  two_255_plus_1.limbs[0] = 1;  // exercises top-window + bottom-digit carry
   return {U256::Zero(), U256::One(),  U256::FromU64(2), n_minus_1,
-          curve.order(), n_plus_1,    two_255};
+          curve.order(), n_plus_1,    two_255,          two_255_plus_1};
 }
 
 TEST(WnafScalarMultTest, EdgeScalarsMatchDoubleAdd) {
@@ -129,16 +131,20 @@ TEST(BatchScalarMultTest, JacVariantMatchesAffineVariant) {
 TEST(EcdhBatchTest, MatchesSingleEcdhIncludingIdentityPeer) {
   const P256& curve = P256::Get();
   SecureRandom rng(ToBytes("ecdh-batch"));
-  U256 priv = rng.RandomScalar(curve.order());
+  Secret<U256> priv = rng.RandomSecretScalar(curve.order());
   std::vector<EcPoint> peers;
   for (int i = 0; i < 40; ++i) {
     peers.push_back(curve.BaseMult(rng.RandomScalar(curve.order())));
   }
   peers.push_back(EcPoint::Infinity());  // identity peer -> nullopt
-  std::vector<std::optional<U256>> batch = EcdhSharedSecretBatch(priv, peers);
+  std::vector<std::optional<Secret<U256>>> batch = EcdhSharedSecretBatch(priv, peers);
   ASSERT_EQ(batch.size(), peers.size());
   for (size_t i = 0; i < peers.size(); ++i) {
-    EXPECT_EQ(batch[i], EcdhSharedSecret(priv, peers[i])) << "index " << i;
+    auto single = EcdhSharedSecret(priv, peers[i]);
+    ASSERT_EQ(batch[i].has_value(), single.has_value()) << "index " << i;
+    if (single.has_value()) {
+      EXPECT_EQ(batch[i]->Declassify(), single->Declassify()) << "index " << i;
+    }
   }
   EXPECT_FALSE(batch.back().has_value());
 }
