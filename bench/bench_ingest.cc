@@ -17,6 +17,8 @@
 // PROCHLO_INGEST_N scales the report count (default 2000; the paper's
 // shuffler handles millions — this tracks per-report cost, which is what
 // must stay flat).  Results land in BENCH_ingest.json.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +41,7 @@
 #include "src/service/runtime.h"
 #include "src/service/session_journal.h"
 #include "src/service/spool.h"
+#include "src/service/wal.h"
 #include "src/service/wire.h"
 
 namespace prochlo {
@@ -220,6 +223,78 @@ void Run() {
   }
   fs::remove_all(spool_dir);
 
+  // ---- wal: the unified report+commit group commit — the durability path
+  //      a production frontend actually runs, fsync ON.  Batch is how many
+  //      buffered appends share one barrier; group commit's whole point is
+  //      fsyncs-per-report < 1 once batches form (the wal_fsyncs rows pin
+  //      it: at batch >= 8 strictly fewer fsyncs than reports). ----
+  for (uint64_t batch : {uint64_t{1}, uint64_t{8}, uint64_t{64}}) {
+    std::string wal_dir =
+        (fs::temp_directory_path() / ("prochlo-bench-wal-" + std::to_string(batch))).string();
+    fs::remove_all(wal_dir);
+    FrontendConfig wal_config;
+    wal_config.pipeline.seed = "bench-ingest-wal";
+    wal_config.ingest.num_shards = 4;
+    wal_config.spool_dir = wal_dir;
+    wal_config.fsync_spool = true;  // group commit is an fsync bench
+    ShufflerFrontend frontend(wal_config);
+    BenchCheck(frontend.Start(), "wal frontend.Start");
+    const IngestWal::Stats before = frontend.wal()->stats();
+
+    std::atomic<uint64_t> committed{0};
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reports.size(); i += batch) {
+      size_t end = std::min(i + batch, reports.size());
+      for (size_t j = i; j < end; ++j) {
+        size_t shard = ShardedIngest::ShardOfReport(reports[j], 4);
+        BenchCheck(frontend.AcceptRoutedReportAsync(
+                       shard, reports[j], ReportContext{},
+                       [&committed](const Status& status) {
+                         if (status.ok()) {
+                           committed.fetch_add(1);
+                         }
+                       }),
+                   "wal AcceptRoutedReportAsync");
+      }
+      BenchCheck(frontend.BarrierIngest(), "wal BarrierIngest");
+    }
+    double commit_seconds = SecondsSince(t0);
+    const IngestWal::Stats after = frontend.wal()->stats();
+    if (committed.load() != reports.size()) {
+      std::fprintf(stderr, "wal stage: %llu of %zu reports committed\n",
+                   static_cast<unsigned long long>(committed.load()), reports.size());
+      std::abort();
+    }
+    uint64_t fsyncs = after.fsyncs - before.fsyncs;
+    std::string label = "wal/commit-batch=" + std::to_string(batch);
+    table.AddRow({label, std::to_string(n), Seconds(commit_seconds),
+                  PerReport(commit_seconds, n)});
+    json.Add("wal_commit_batch=" + std::to_string(batch), n,
+             1e9 * commit_seconds / static_cast<double>(n),
+             static_cast<double>(n) / commit_seconds);
+    // The fsync ledger for this batch size: n is the fsync COUNT, so
+    // fsyncs-per-report is this row's n over the commit row's n.
+    table.AddRow({"wal/fsyncs-batch=" + std::to_string(batch), std::to_string(fsyncs),
+                  Seconds(commit_seconds),
+                  fsyncs > 0 ? PerReport(commit_seconds, fsyncs) : "n/a"});
+    json.Add("wal_fsyncs_batch=" + std::to_string(batch), fsyncs,
+             fsyncs > 0 ? 1e9 * commit_seconds / static_cast<double>(fsyncs) : 0.0,
+             static_cast<double>(fsyncs) / commit_seconds);
+
+    if (batch == 64) {
+      // Checkpoint: drain the WAL backlog into per-epoch spool segments and
+      // truncate.  Per-report cost of making the WAL's claim permanent.
+      t0 = std::chrono::steady_clock::now();
+      BenchCheck(frontend.wal()->Checkpoint(), "wal Checkpoint");
+      double checkpoint_seconds = SecondsSince(t0);
+      table.AddRow({"wal/checkpoint", std::to_string(n), Seconds(checkpoint_seconds),
+                    PerReport(checkpoint_seconds, n)});
+      json.Add("wal_checkpoint", n, 1e9 * checkpoint_seconds / static_cast<double>(n),
+               static_cast<double>(n) / checkpoint_seconds);
+    }
+    fs::remove_all(wal_dir);
+  }
+
   // ---- recovery: session-journal replay vs. session count ----
   // What a restart pays before it can serve: replaying the commit log that
   // backs exactly-once dedup.  One commit per session models the worst
@@ -316,8 +391,8 @@ void Run() {
     pool.Start();
     FrameServer server(
         [&pool](Bytes report) { return pool.Enqueue(std::move(report)); },
-        [&pool](Bytes report, std::function<void(const Status&)> done) {
-          pool.EnqueueAsync(std::move(report), std::move(done));
+        [&pool](Bytes report, ReportContext ctx, std::function<void(const Status&)> done) {
+          pool.EnqueueAsync(std::move(report), ctx, std::move(done));
         });
     server.BindFrontendStats(&frontend.stats());
     TcpListener listener(&server);

@@ -100,7 +100,7 @@ if [[ -n "$SANITIZE" ]]; then
   for threads in 0 4; do
     echo "-- sanitized, PROCHLO_STASH_THREADS=$threads --"
     PROCHLO_STASH_THREADS="$threads" \
-      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|wire_format_test'
+      ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|service_wal_test|wire_format_test'
   done
   echo "== OK (sanitize: $SANITIZE) =="
   exit 0
@@ -112,7 +112,7 @@ echo "== service thread matrix =="
 for threads in 0 4; do
   echo "-- PROCHLO_STASH_THREADS=$threads --"
   PROCHLO_STASH_THREADS="$threads" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|wire_format_test'
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'service_test|service_runtime_test|service_network_test|service_durability_test|service_cluster_test|service_wal_test|wire_format_test'
 done
 
 echo "== bench smoke =="
@@ -126,6 +126,16 @@ test -s "$BUILD_DIR/BENCH_ingest.json"
 # The ingest bench must include the multi-group cluster stage (a silent
 # skip there would leave the cluster path unsmoked).
 grep -q '"op": "cluster/groups=4,send-ack-merge"' "$BUILD_DIR/BENCH_ingest.json"
+# The WAL durability stage: append/group-commit and checkpoint rows must be
+# present, and group commit must actually amortize — at batch >= 8 the
+# fsync count (the wal_fsyncs row's n) is strictly below the report count,
+# i.e. fsyncs-per-report < 1.  One fsync per report would mean the group
+# commit leader/follower protocol silently stopped batching.
+grep -q '"op": "wal_commit_batch=8"' "$BUILD_DIR/BENCH_ingest.json"
+grep -q '"op": "wal_checkpoint"' "$BUILD_DIR/BENCH_ingest.json"
+wal_fsyncs=$(sed -n 's/.*"op": "wal_fsyncs_batch=8", "n": \([0-9]*\),.*/\1/p' "$BUILD_DIR/BENCH_ingest.json")
+test -n "$wal_fsyncs"
+test "$wal_fsyncs" -lt 500  # PROCHLO_INGEST_N above
 
 echo "== ct harness smoke =="
 # Functional pass of the ctgrind scenarios (no shadow backend here; the CI

@@ -100,6 +100,7 @@ CROWD_EXEMPT_PREFIX = os.path.join("src", "analysis") + os.sep
 DURABILITY_FILES = {
     os.path.join("src", "service", "spool.cc"),
     os.path.join("src", "service", "session_journal.cc"),
+    os.path.join("src", "service", "wal.cc"),
 }
 # The ct primitive implementation: masks, selects, and the declassification
 # barrier itself live here, so the taint rules do not apply to it.

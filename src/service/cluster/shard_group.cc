@@ -10,8 +10,8 @@ ShardGroup::ShardGroup(ShardGroupConfig config)
       // dispatches through the worker pool and ACKs from its completion,
       // i.e. only after the durable spool append.
       server_([this](Bytes report) { return frontend_.AcceptReport(std::move(report)); },
-              [this](Bytes report, std::function<void(const Status&)> done) {
-                pool_.EnqueueAsync(std::move(report), std::move(done));
+              [this](Bytes report, ReportContext ctx, std::function<void(const Status&)> done) {
+                pool_.EnqueueAsync(std::move(report), ctx, std::move(done));
               }) {}
 
 // Destructor teardown has no caller to report to; Stop() errors were already

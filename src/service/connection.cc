@@ -284,7 +284,15 @@ void AckRegistry::EvictForAdmissionLocked() {
     tombstones_[victim_id] = floor;
     sessions_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    if (journal_ != nullptr) {
+    if (wal_ != nullptr) {
+      // Unified-WAL mode: the eviction rides the report log so it stays
+      // totally ordered with the commits it supersedes (a journal-side
+      // evict could otherwise be replayed before WAL commits that the log
+      // ordered after it).  Same no-fsync-barrier policy as below.
+      if (!wal_->AppendEvict(victim_id, floor).ok()) {
+        journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (journal_ != nullptr) {
       // Checkpoint the watermark in one record; the sparse set is dropped.
       // No fsync barrier here: if the record is lost in a crash, replay
       // reconstructs the session from its commit records as live — strictly
@@ -297,6 +305,14 @@ void AckRegistry::EvictForAdmissionLocked() {
 }
 
 void AckRegistry::JournalCommit(uint64_t session_id, uint64_t watermark_after, uint64_t seq) {
+  if (wal_ != nullptr) {
+    // Unified-WAL mode: the commit was part of the report's own WAL record
+    // and became durable in the group commit whose completion triggered
+    // this Commit — appending it again here would only duplicate it.  The
+    // journal copy is written by WAL checkpoints, which also drive
+    // compaction via CompactJournalIfNeeded.
+    return;
+  }
   if (journal_ == nullptr) {
     return;
   }
@@ -385,7 +401,15 @@ void AckRegistry::Terminate(uint64_t session_id) {
     sessions_.erase(session_id);
     tombstones_.erase(session_id);
   }
-  if (journal_ != nullptr) {
+  if (wal_ != nullptr) {
+    // The goodbye must be totally ordered after every commit this session's
+    // reports logged, which only the unified log can promise; the barrier
+    // mirrors the journal path's fsynced goodbye.
+    auto lsn = wal_->AppendGoodbye(session_id);
+    if (!lsn.ok() || !wal_->SyncUpTo(lsn.value()).ok()) {
+      journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (journal_ != nullptr) {
     auto lsn = journal_->AppendGoodbye(session_id);
     if (!lsn.ok() || !journal_->SyncUpTo(lsn.value()).ok()) {
       journal_append_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -402,6 +426,13 @@ void AckRegistry::AttachJournal(SessionJournal* journal) {
   MutexLock lock(mu_);
   journal_ = journal;
 }
+
+void AckRegistry::AttachWal(IngestWal* wal) {
+  MutexLock lock(mu_);
+  wal_ = wal;
+}
+
+void AckRegistry::CompactJournalIfNeeded() { MaybeCompact(); }
 
 void AckRegistry::RestoreFromRecovery(const JournalRecovery& recovery) {
   MutexLock lock(mu_);
@@ -590,7 +621,7 @@ void FrameConnection::DispatchAckedReport(Frame frame) {
     }
   };
   if (async_sink_) {
-    async_sink_(std::move(frame.payload), std::move(done));
+    async_sink_(std::move(frame.payload), ReportContext{session, seq}, std::move(done));
   } else {
     done(sink_(std::move(frame.payload)));
   }

@@ -53,6 +53,7 @@
 namespace prochlo {
 
 struct FrontendStats;
+class IngestWal;
 
 // A duplex byte-stream endpoint.  Reads block until data, EOF, or error;
 // writes block while the peer's buffer is full (back-pressure, never drop).
@@ -124,11 +125,30 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& address, uint1
 // With a SessionJournal attached, every state change that an ACK promises
 // (commit, evict, goodbye) is journaled — and Commit group-commit-fsyncs —
 // before the caller acknowledges, so a restarted server re-ACKs duplicates
-// instead of re-ingesting them.  A journal append failure degrades rather
+// instead of re-ingesting them.
+//
+// Journal-only mode (no WAL) has two honest weaknesses.  First, the spool
+// append and the commit append are separate syscalls, so a crash between
+// them leaves a durable report with no commit record and the client's
+// replay re-ingests it.  Second, a journal append failure degrades rather
 // than blocks: the commit stands in memory, the ACK still goes out (the
 // report IS durably spooled; NACKing it would guarantee a duplicate), and
 // journal_append_failures() records that cross-restart dedup for that seq
 // is no longer promised.
+//
+// With an IngestWal attached (AttachWal), both weaknesses vanish by
+// construction: the report and its (session, seq) commit are ONE record in
+// ONE log, appended and fsynced atomically by the WAL's group commit, and
+// the ACK fires from that commit's completion.  There is no residual
+// window — a crash either kept both or lost both, and replay resolves
+// either way without a duplicate.  And there is no degraded ack mode on
+// this path: a failed group commit rolls the report back along with its
+// commit, so the completion carries the error and the client is NACKed
+// kRetryable — "commit lost" now always implies "report lost", which is
+// exactly what makes the NACK safe to retry.  Commit() therefore skips the
+// per-commit journal append entirely (the journal copy is written by WAL
+// checkpoints); evictions and goodbyes also route through the WAL so every
+// session-state mutation stays totally ordered with the report stream.
 class AckRegistry {
  public:
   enum class Claim {
@@ -159,7 +179,18 @@ class AckRegistry {
   // RestoreFromRecovery seeds sessions and tombstones from a replayed
   // journal — call both before serving connections.
   void AttachJournal(SessionJournal* journal);
+  // Unified-WAL mode (see the class comment): commits ride the report's own
+  // WAL record, evictions/goodbyes append to the WAL instead of the
+  // journal.  Attach after AttachJournal, before serving connections.
+  void AttachWal(IngestWal* wal);
   void RestoreFromRecovery(const JournalRecovery& recovery);
+
+  // Compacts the session journal if its append backlog crossed the
+  // threshold.  Public for the WAL's post-checkpoint hook: in WAL mode the
+  // per-commit append path (which used to piggyback compaction) no longer
+  // touches the journal, so checkpoints — which DO write journal records —
+  // drive compaction instead.
+  void CompactJournalIfNeeded();
 
   bool IsDurable(uint64_t session_id, uint64_t seq) const;
   size_t sessions() const;
@@ -199,6 +230,9 @@ class AckRegistry {
   // Borrowed; null = memory-only dedup.  Attached once before serving, then
   // read from commit paths outside mu_ (the journal has its own locks).
   SessionJournal* journal_ = nullptr;
+  // Borrowed; non-null switches to unified-WAL mode (same attach-once
+  // discipline as journal_).
+  IngestWal* wal_ = nullptr;
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> journal_append_failures_{0};
 };
@@ -265,8 +299,12 @@ class FrameConnection {
   // (ack-less) path the pump stops and the connection surfaces the error.
   using ReportSink = std::function<Status(Bytes)>;
   // Asynchronous hand-off: `done` must be invoked exactly once with the
-  // report's final Accept outcome, possibly on another thread.
-  using AsyncSink = std::function<void(Bytes, std::function<void(const Status&)>)>;
+  // report's final Accept outcome, possibly on another thread.  The
+  // ReportContext carries the report's (session, seq) so a WAL-backed sink
+  // can fuse the ack commit into the report's own durable record;
+  // session_id 0 means ack-less (legacy path).
+  using AsyncSink =
+      std::function<void(Bytes, ReportContext, std::function<void(const Status&)>)>;
   // Cluster ownership check, consulted only after the dedup claim comes
   // back kNew — a replayed already-durable report is re-ACKed, never
   // redirected, no matter what the current map says.  Returns true when

@@ -69,7 +69,29 @@ Status ShufflerFrontend::Start() {
   if (started_) {
     return Status::Ok();
   }
+  std::vector<SessionOp> wal_session_ops;
   if (spool_ != nullptr) {
+    if (config_.use_wal) {
+      // WAL recovery phase 1 runs BEFORE the spool opens: it rolls unsealed
+      // segments back to their checkpointed sizes and replays the
+      // un-checkpointed generations' report records into the segment files,
+      // so the spool's own recovery below counts them like any other
+      // durable frame.
+      IngestWalConfig wal_config;
+      wal_config.dir = config_.spool_dir;
+      wal_config.fsync = config_.fsync_spool;
+      wal_config.checkpoint_threshold_bytes = config_.wal_checkpoint_threshold_bytes;
+      wal_config.fs = config_.fs;
+      wal_ = std::make_unique<IngestWal>(wal_config);
+      auto wal_recovery = wal_->RecoverBeforeSpoolOpen();
+      if (!wal_recovery.ok()) {
+        return wal_recovery.error();
+      }
+      wal_session_ops = std::move(wal_recovery.value().session_ops);
+      stats_.recovered_wal_reports += wal_recovery.value().replayed_reports;
+      stats_.recovered_wal_session_ops += wal_session_ops.size();
+      stats_.recovered_truncated_bytes += wal_recovery.value().truncated_bytes;
+    }
     auto recovery = spool_->Open();
     if (!recovery.ok()) {
       return recovery.error();
@@ -93,6 +115,49 @@ Status ShufflerFrontend::Start() {
       return replayed.error();
     }
     journal_recovery_ = std::move(replayed).value();
+
+    if (wal_ != nullptr) {
+      // Re-journal the replayed session ops so the journal alone once again
+      // reconstructs session state, then merge them into the recovery image
+      // the AckRegistry will be seeded from.  Only after they are durable
+      // may FinishRecovery delete the generations that carried them.
+      uint64_t last_lsn = 0;
+      for (const SessionOp& op : wal_session_ops) {
+        Result<uint64_t> lsn = Error{"unreached"};
+        switch (op.kind) {
+          case SessionOp::kCommit:
+            lsn = journal_->AppendCommit(op.session_id, 0, op.value);
+            break;
+          case SessionOp::kEvict:
+            lsn = journal_->AppendEvict(op.session_id, op.value);
+            break;
+          case SessionOp::kGoodbye:
+            lsn = journal_->AppendGoodbye(op.session_id);
+            break;
+        }
+        if (!lsn.ok()) {
+          return lsn.error();
+        }
+        last_lsn = lsn.value();
+      }
+      if (last_lsn != 0) {
+        Status synced = journal_->SyncUpTo(last_lsn);
+        if (!synced.ok()) {
+          return synced;
+        }
+      }
+      journal_recovery_ = ApplySessionOps(std::move(journal_recovery_), wal_session_ops);
+      Status finished = wal_->FinishRecovery();
+      if (!finished.ok()) {
+        return finished;
+      }
+      wal_->AttachTargets(spool_.get(), journal_.get());
+      wal_->set_rollback_callback([this](size_t shard, uint64_t epoch) {
+        ingest_->RollbackAccepted(shard, epoch);
+        stats_.reports_accepted--;
+      });
+      ingest_->SetWal(wal_.get());
+    }
     stats_.recovered_sessions += journal_recovery_.live.size();
     stats_.recovered_session_records += journal_recovery_.records;
   }
@@ -109,6 +174,14 @@ Status ShufflerFrontend::BindAckRegistry(AckRegistry* registry) {
     // Restore before attach: replayed records must not be re-journaled.
     registry->RestoreFromRecovery(journal_recovery_);
     registry->AttachJournal(journal_.get());
+    if (wal_ != nullptr) {
+      // Commits now ride the unified WAL record (the journal copy is
+      // written by checkpoints), and journal compaction piggybacks on the
+      // checkpoint cadence instead of the per-commit append path.
+      registry->AttachWal(wal_.get());
+      AckRegistry* bound = registry;
+      wal_->set_post_checkpoint_hook([bound] { bound->CompactJournalIfNeeded(); });
+    }
   }
   return Status::Ok();
 }
@@ -148,13 +221,52 @@ Status ShufflerFrontend::AcceptRoutedReport(size_t shard_index, Bytes sealed_rep
   return status;
 }
 
-Status ShufflerFrontend::Tick() { return ingest_->Tick(); }
+Status ShufflerFrontend::AcceptRoutedReportAsync(
+    size_t shard_index, Bytes sealed_report, ReportContext ctx,
+    std::function<void(const Status&)> done) {
+  Status status =
+      ingest_->AcceptToShard(shard_index, std::move(sealed_report), ctx, &done);
+  if (status.ok()) {
+    stats_.reports_accepted++;
+  }
+  if (done) {
+    // Not consumed by a WAL (non-WAL mode, or the append itself failed):
+    // the accept was synchronous and `status` is the durability verdict.
+    done(status);
+  }
+  return status;
+}
+
+Status ShufflerFrontend::BarrierIngest() {
+  return wal_ != nullptr ? wal_->Sync() : Status::Ok();
+}
+
+Status ShufflerFrontend::Tick() {
+  Status status = ingest_->Tick();
+  if (wal_ != nullptr) {
+    // Backlog-threshold checkpoint rides the scheduling cadence, so a busy
+    // epoch cannot grow the replay suffix without bound between seals.
+    Status checkpointed = wal_->MaybeCheckpoint();
+    if (status.ok() && !checkpointed.ok()) {
+      status = checkpointed;
+    }
+  }
+  return status;
+}
 
 Status ShufflerFrontend::CutEpoch(bool seal_if_empty) {
   return ingest_->CutEpoch(seal_if_empty);
 }
 
 Status ShufflerFrontend::SyncSpool() {
+  if (wal_ != nullptr) {
+    // Buffered reports live in the WAL until a checkpoint; the barrier makes
+    // them durable before the segment fsync below.
+    Status synced = wal_->Sync();
+    if (!synced.ok()) {
+      return synced;
+    }
+  }
   return spool_ != nullptr ? spool_->SyncAll() : Status::Ok();
 }
 

@@ -38,6 +38,7 @@
 #include "src/service/ingest.h"
 #include "src/service/session_journal.h"
 #include "src/service/spool.h"
+#include "src/service/wal.h"
 #include "src/service/wire.h"
 
 namespace prochlo {
@@ -50,6 +51,14 @@ struct FrontendConfig {
   // Directory for spool segments; empty = accumulate epochs in memory.
   std::string spool_dir;
   bool fsync_spool = true;
+  // Spooled mode only: route reports (and their ack commits) through the
+  // unified group-commit WAL (wal.h), making "report durable" and
+  // "(session, seq) committed" one atomic append.  Off = the pre-WAL
+  // spool-then-journal path, which leaves the documented one-syscall
+  // atomicity window between the two appends (kept for comparison tests).
+  bool use_wal = true;
+  // Checkpoint the WAL once its flushed-but-unapplied backlog exceeds this.
+  uint64_t wal_checkpoint_threshold_bytes = 1ull << 20;
   // Delete an epoch's segments once drained (keep for audit if false).
   bool remove_drained_epochs = true;
   // Bound on live AckRegistry sessions when BindAckRegistry wires one up
@@ -86,6 +95,11 @@ struct FrontendStats {
   std::atomic<uint64_t> epochs_drained{0};
   std::atomic<uint64_t> recovered_reports{0};   // replayed from the spool at Start()
   std::atomic<uint64_t> recovered_truncated_bytes{0};  // torn tails discarded
+  // WAL recovery: report records replayed from un-checkpointed generations
+  // into spool segments, and session ops (commit/evict/goodbye) re-journaled
+  // from the same suffix.  Both subsets of the totals above/below.
+  std::atomic<uint64_t> recovered_wal_reports{0};
+  std::atomic<uint64_t> recovered_wal_session_ops{0};
   // Post-drain spool cleanups (RemoveEpoch) that failed even after the
   // configured retries.  The epoch's reports are NOT lost — they were
   // already drained into a result — but its segments linger on disk and
@@ -184,6 +198,8 @@ class ShufflerFrontend {
 
   // The session journal, or null (in-memory mode / before Start).
   SessionJournal* session_journal() { return journal_.get(); }
+  // The ingest WAL, or null (in-memory mode / use_wal=false / before Start).
+  IngestWal* wal() { return wal_.get(); }
 
   // Encoder bound to this frontend's pipeline keys, for clients.
   Encoder MakeEncoder() const { return pipeline_.MakeEncoder(); }
@@ -198,6 +214,25 @@ class ShufflerFrontend {
   // worker thread skips re-hashing).  Same error contract as AcceptReport:
   // non-Ok means the report was not ingested and may be retried.
   Status AcceptRoutedReport(size_t shard_index, Bytes sealed_report);
+
+  // WAL-aware accept for the acked ingestion path.  With the WAL enabled
+  // the report (and, when ctx.session_id != 0, its ack commit) buffers as
+  // one record; `done` fires exactly once — Ok after a group commit makes
+  // the record durable, the flush error if a failed commit rolled it back
+  // (in which case the report was NOT ingested and the accounting has been
+  // undone, so the client may retry without duplicating).  Without a WAL
+  // this is synchronous AcceptRoutedReport and `done` fires inline with
+  // the returned status.  An Ok return only means "buffered/accepted"; the
+  // durability verdict is done's argument.
+  Status AcceptRoutedReportAsync(size_t shard_index, Bytes sealed_report,
+                                 ReportContext ctx,
+                                 std::function<void(const Status&)> done);
+
+  // Group-commit barrier: returns once every report buffered so far is
+  // durable (and its completion has fired) — one fsync amortized across
+  // every waiter, per IngestWal::SyncUpTo.  No-op without a WAL (accepts
+  // were synchronous).
+  Status BarrierIngest();
 
   // Advances the epoch-age clock (call on the service's scheduling cadence).
   // Reports the seal outcome when the tick age-cuts the epoch: a spool
@@ -250,6 +285,9 @@ class ShufflerFrontend {
   std::unique_ptr<Spool> spool_;          // null in in-memory mode
   std::unique_ptr<ShardedIngest> ingest_;
   std::unique_ptr<SessionJournal> journal_;  // null in in-memory mode
+  // Declared after journal_/spool_ so it is destroyed first: the WAL's
+  // destructor flushes its pending block, which may touch both.
+  std::unique_ptr<IngestWal> wal_;           // null unless spooled + use_wal
   JournalRecovery journal_recovery_;         // held for BindAckRegistry
   FrontendStats stats_;
   bool started_ = false;

@@ -72,9 +72,40 @@ class RealFs : public Fs {
     }
     return Status::Ok();
   }
+
+  Status SyncDir(const std::string& path) override {
+    int fd;
+    for (;;) {
+      fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+      if (fd >= 0) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return Error{"fs: cannot open dir " + path + ": " + std::strerror(errno)};
+    }
+    Status result = Status::Ok();
+    if (::fsync(fd) != 0) {
+      result = Error{"fs: dir fsync failed for " + path + ": " + std::strerror(errno)};
+    }
+    ::close(fd);
+    return result;
+  }
 };
 
 }  // namespace
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
 
 Fs* Fs::Real() {
   static RealFs instance;

@@ -42,10 +42,24 @@ class Fs {
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
   // rename(2): atomic replace, the journal-compaction commit point.
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  // fsync(2) of the directory itself: makes freshly created / renamed /
+  // removed *directory entries* durable.  Creating a file and fsyncing its
+  // fd persists the bytes but not necessarily the dirent — a crash can lose
+  // the name, and with it the seal marker or the compacted journal.  The
+  // default is a no-op so simple test doubles (in-memory wedges, counters)
+  // keep working; RealFs and the fault Fs override it.
+  virtual Status SyncDir(const std::string& path) {
+    (void)path;
+    return Status::Ok();
+  }
 
   // The process-wide passthrough instance.
   static Fs* Real();
 };
+
+// The directory component of `path` ("a/b/c" -> "a/b"; no slash -> ".").
+// Shared by every fsync-parent-after-rename call site.
+std::string DirnameOf(const std::string& path);
 
 }  // namespace prochlo
 

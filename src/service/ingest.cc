@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/crypto/sha256.h"
+#include "src/service/wal.h"
 
 namespace prochlo {
 
@@ -36,6 +37,12 @@ Status ShardedIngest::Accept(Bytes sealed_report) {
 }
 
 Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
+  return AcceptToShard(shard_index, std::move(sealed_report), ReportContext{}, nullptr);
+}
+
+Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report,
+                                    ReportContext ctx,
+                                    std::function<void(const Status&)>* done) {
   if (shard_index >= config_.num_shards) {
     return Error{"ingest: shard index out of range"};
   }
@@ -44,7 +51,18 @@ Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
     ReaderMutexLock epoch_lock(epoch_mu_);
     Shard& shard = *shards_[shard_index];
     MutexLock shard_lock(shard.mu);
-    if (spool_ != nullptr) {
+    if (wal_ != nullptr) {
+      // Unified durability: the report AND its ack commit become one WAL
+      // record, so there is no window where one is durable without the
+      // other.  The WAL consumes *done on success (it fires after the next
+      // group commit); a failed append leaves it with the caller.
+      Result<uint64_t> lsn = wal_->AppendReport(
+          shard_index, current_epoch_.load(), sealed_report, ctx.session_id,
+          ctx.seq, done);
+      if (!lsn.ok()) {
+        return lsn.error();  // not buffered: the client may retry
+      }
+    } else if (spool_ != nullptr) {
       Status status = spool_->Append(shard_index, current_epoch_.load(), sealed_report);
       if (!status.ok()) {
         return status;  // not ingested: the client may retry without duplicating
@@ -75,6 +93,33 @@ Status ShardedIngest::AcceptToShard(size_t shard_index, Bytes sealed_report) {
     }
   }
   return Status::Ok();
+}
+
+void ShardedIngest::RollbackAccepted(size_t shard_index, uint64_t epoch) {
+  (void)epoch;  // WAL records always belong to the still-current epoch; see wal.h
+  if (shard_index >= config_.num_shards) {
+    return;
+  }
+  // No epoch lock here on purpose: a seal-time checkpoint holds epoch_mu_
+  // exclusively while its flush (and thus this rollback) runs.  Shard counts
+  // have their own mutex, and the epoch cannot advance mid-rollback because
+  // advancing requires the same exclusive epoch_mu_ the checkpoint holds.
+  Shard& shard = *shards_[shard_index];
+  {
+    MutexLock shard_lock(shard.mu);
+    if (shard.count > 0) {
+      shard.count--;
+    }
+  }
+  size_t total = current_total_.load();
+  while (total > 0 &&
+         !current_total_.compare_exchange_weak(total, total - 1)) {
+  }
+}
+
+void ShardedIngest::SetWal(IngestWal* wal) {
+  WriterMutexLock epoch_lock(epoch_mu_);
+  wal_ = wal;
 }
 
 Status ShardedIngest::Tick() {
@@ -108,6 +153,21 @@ Status ShardedIngest::CutEpoch(bool seal_if_empty) {
 
 Status ShardedIngest::SealCurrentLocked() {
   uint64_t epoch = current_epoch_.load();
+  if (wal_ != nullptr) {
+    // Checkpoint BEFORE snapshotting the shard counts: the checkpoint's
+    // group-commit flush can fail and roll buffered reports back (which
+    // decrements the counts), and its write-through is what puts the
+    // epoch's buffered reports into the segments the manifest below will
+    // describe.  After a successful checkpoint the WAL holds nothing for
+    // this epoch, so the seal marker's claim is complete.
+    Status status = wal_->Checkpoint();
+    if (!status.ok()) {
+      MutexLock sealed_lock(sealed_mu_);
+      stats_.seal_failures++;
+      stats_.last_seal_error = status.error().message;
+      return status;
+    }
+  }
   EpochBatch batch;
   batch.epoch = epoch;
   batch.total = current_total_.load();
@@ -133,6 +193,9 @@ Status ShardedIngest::SealCurrentLocked() {
       stats_.seal_failures++;
       stats_.last_seal_error = status.error().message;
       return status;
+    }
+    if (wal_ != nullptr) {
+      wal_->NoteEpochSealed(epoch);
     }
   }
   // Commit: the epoch is durably sealed (or in-memory); reset the shards.

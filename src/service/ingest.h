@@ -31,10 +31,13 @@
 #include <vector>
 
 #include "src/service/spool.h"
+#include "src/service/wire.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 
 namespace prochlo {
+
+class IngestWal;
 
 struct IngestConfig {
   size_t num_shards = 4;
@@ -93,6 +96,28 @@ class ShardedIngest {
   // ShardOfReport(sealed_report, num_shards()).
   Status AcceptToShard(size_t shard_index, Bytes sealed_report);
 
+  // WAL-mode accept: the report (and, when ctx.session_id != 0, its ack
+  // commit) buffers into the WAL instead of writing the spool directly.  On
+  // success *done (may be null / empty) is consumed by the WAL and fires
+  // after the next group-commit barrier; on failure it is untouched and Ok
+  // means "accepted" exactly as in Accept.  Without an attached WAL this is
+  // plain AcceptToShard and *done stays with the caller.
+  Status AcceptToShard(size_t shard_index, Bytes sealed_report, ReportContext ctx,
+                       std::function<void(const Status&)>* done);
+
+  // Undo the accounting of one WAL-buffered report that a failed group
+  // commit dropped.  WAL records always belong to the still-current epoch
+  // (a seal checkpoints — and thereby resolves — every buffered record
+  // first), so this only touches the live shard counters.  Deliberately
+  // takes no epoch lock: the caller may already hold it exclusively (a
+  // seal-time checkpoint whose flush failed).
+  void RollbackAccepted(size_t shard_index, uint64_t epoch);
+
+  // Attaches the write-ahead log.  From then on accepts buffer into it, and
+  // every seal checkpoints it first (so segments + manifest are complete
+  // before the marker claims they are).  Call before any Accept traffic.
+  void SetWal(IngestWal* wal);
+
   // Advances the logical epoch clock (the frontend calls this on its
   // scheduling cadence); may seal the current epoch by age.  Returns the
   // seal outcome: Ok when no cut was due or the cut succeeded, the spool
@@ -150,6 +175,7 @@ class ShardedIngest {
 
   IngestConfig config_;
   Spool* spool_;  // borrowed; may be null
+  IngestWal* wal_ = nullptr;  // borrowed; null = direct spool writes
 
   // Shared: Accept; exclusive: epoch transitions (cut, tick-cut, restore).
   mutable SharedMutex epoch_mu_;

@@ -60,14 +60,23 @@ void IngestWorkerPool::Stop() {
   // a report Enqueue returns Ok for is never dropped by shutdown, and
   // pending reaches 0 so Flush cannot hang.
   for (auto& worker : workers_) {
+    Worker* straggler_worker = worker.get();
     while (worker->pending.load() != 0) {
       if (auto item = worker->ring.TryPop()) {
-        Status status = frontend_->AcceptRoutedReport(item->shard, std::move(item->report));
-        RecordAccept(status);
-        if (item->done) {
-          item->done(status);
-        }
-        worker->pending.fetch_sub(1, std::memory_order_release);
+        Completion done = std::move(item->done);
+        (void)frontend_->AcceptRoutedReportAsync(  // verdict arrives via the completion
+            item->shard, std::move(item->report), item->ctx,
+            [this, straggler_worker, done = std::move(done)](const Status& status) {
+              RecordAccept(status);
+              if (done) {
+                done(status);
+              }
+              straggler_worker->pending.fetch_sub(1, std::memory_order_release);
+            });
+        // One barrier per straggler is fine: this path only runs for the
+        // handful of items that raced Stop, and each completion (with its
+        // pending decrement) must fire before the loop re-reads pending.
+        (void)frontend_->BarrierIngest();  // per-record outcome already delivered
       } else {
         std::this_thread::yield();  // a producer is mid-push; its item is coming
       }
@@ -80,16 +89,20 @@ void IngestWorkerPool::Stop() {
 }
 
 Status IngestWorkerPool::Enqueue(Bytes sealed_report) {
-  return EnqueueImpl(std::move(sealed_report), nullptr);
+  return EnqueueImpl(std::move(sealed_report), ReportContext{}, nullptr);
 }
 
 void IngestWorkerPool::EnqueueAsync(Bytes sealed_report, Completion done) {
   // The return value is redundant here: `done` fires exactly once with the
   // report's final outcome on every path, including enqueue-time failures.
-  (void)EnqueueImpl(std::move(sealed_report), std::move(done));
+  (void)EnqueueImpl(std::move(sealed_report), ReportContext{}, std::move(done));
 }
 
-Status IngestWorkerPool::EnqueueImpl(Bytes sealed_report, Completion done) {
+void IngestWorkerPool::EnqueueAsync(Bytes sealed_report, ReportContext ctx, Completion done) {
+  (void)EnqueueImpl(std::move(sealed_report), ctx, std::move(done));
+}
+
+Status IngestWorkerPool::EnqueueImpl(Bytes sealed_report, ReportContext ctx, Completion done) {
   size_t shard = ShardedIngest::ShardOfReport(sealed_report, num_shards_);
   if (workers_.empty()) {
     if (stopping_.load()) {
@@ -100,17 +113,35 @@ Status IngestWorkerPool::EnqueueImpl(Bytes sealed_report, Completion done) {
       return status;
     }
     // Synchronous mode: ingest on the caller thread (workers == 0, or the
-    // pool was never started).
+    // pool was never started).  With a WAL the accept only buffers and the
+    // completion fires inside the barrier below — strictly before the
+    // barrier returns (IngestWal's ordering contract), so the stack
+    // captures cannot dangle.  Without a WAL it fires inline and the
+    // barrier is a no-op.
     enqueued_.fetch_add(1, std::memory_order_relaxed);
-    Status status = frontend_->AcceptRoutedReport(shard, std::move(sealed_report));
-    RecordAccept(status);
-    if (done) {
-      done(status);
+    Status final = Status::Ok();
+    bool resolved = false;
+    (void)frontend_->AcceptRoutedReportAsync(  // verdict arrives via the lambda
+        shard, std::move(sealed_report), ctx, [&final, &resolved](const Status& status) {
+          final = status;
+          resolved = true;
+        });
+    if (!resolved) {
+      Status barrier = frontend_->BarrierIngest();
+      if (!resolved) {
+        // The completion contract guarantees this cannot happen; fail loud
+        // rather than reporting an unresolved report as ingested.
+        final = barrier.ok() ? Status(Error{"ingest pool: completion lost"}) : barrier;
+      }
     }
-    return status;
+    RecordAccept(final);
+    if (done) {
+      done(final);
+    }
+    return final;
   }
   Worker& worker = *workers_[shard % workers_.size()];
-  Item item{shard, std::move(sealed_report), std::move(done)};
+  Item item{shard, std::move(sealed_report), ctx, std::move(done)};
   // pending is incremented before the stopping_ check and before the push
   // (both seq_cst): a concurrent Flush never observes the ring drained
   // while this item is in flight, and a concurrent Stop that this thread
@@ -206,23 +237,52 @@ WorkerPoolStats IngestWorkerPool::stats() const {
 }
 
 void IngestWorkerPool::WorkerLoop(Worker& worker) {
-  auto process = [&](Item&& item) {
-    Status status = frontend_->AcceptRoutedReport(item.shard, std::move(item.report));
-    RecordAccept(status);
-    if (item.done) {
-      // The ack path: this fires on the worker thread, after the durable
-      // spool append — the only point where "acked == report-safe" holds.
-      item.done(status);
+  // Reports accepted into the WAL since the last barrier.  Bounded so a
+  // firehose producer cannot defer completions (and their acks) without
+  // limit; one group-commit fsync covers the whole run.
+  size_t buffered = 0;
+  constexpr size_t kMaxRun = 64;
+  auto barrier = [&] {
+    if (buffered == 0) {
+      return;
     }
-    // Release the item only after the Accept's effects are complete, so a
-    // Flush observing pending == 0 observes the ingestion too.
-    worker.pending.fetch_sub(1, std::memory_order_release);
+    // Per-record outcomes were already delivered through each completion
+    // (Ok after the fsync, the flush error on rollback); the barrier's own
+    // status would only duplicate them.
+    (void)frontend_->BarrierIngest();
+    buffered = 0;
+  };
+  auto process = [&](Item&& item) {
+    Completion done = std::move(item.done);
+    // The ack path: with a WAL this fires on whichever thread leads the
+    // covering group commit, strictly after the fsync — still the only
+    // point where "acked == report-safe" holds.  Without a WAL it fires
+    // inline below on this worker thread, after the durable spool append.
+    // Either way the item is released only after the accept's effects are
+    // complete, so a Flush observing pending == 0 observes the ingestion
+    // (and the fired acks) too.
+    (void)frontend_->AcceptRoutedReportAsync(  // verdict arrives via the completion
+        item.shard, std::move(item.report), item.ctx,
+        [this, &worker, done = std::move(done)](const Status& status) {
+          RecordAccept(status);
+          if (done) {
+            done(status);
+          }
+          worker.pending.fetch_sub(1, std::memory_order_release);
+        });
+    buffered++;
   };
   for (;;) {
     if (auto item = worker.ring.TryPop()) {
       process(std::move(*item));
+      if (buffered >= kMaxRun) {
+        barrier();
+      }
       continue;
     }
+    // Ring drained: commit the run before idling so no ack waits on the
+    // next arrival.
+    barrier();
     if (stopping_.load() && worker.pending.load(std::memory_order_acquire) == 0) {
       return;
     }

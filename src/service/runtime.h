@@ -96,6 +96,12 @@ class IngestWorkerPool {
   // "durably spooled", never merely "handed to the runtime".
   using Completion = std::function<void(const Status&)>;
   void EnqueueAsync(Bytes sealed_report, Completion done);
+  // Ack-protocol variant: `ctx` carries the report's (session, seq) so the
+  // WAL-backed frontend can fuse the ack commit into the report's own
+  // durable record.  Workers batch a run of ring items into the WAL and pay
+  // one group-commit fsync for the whole run (BarrierIngest), after which
+  // every item's `done` has fired — N concurrent reports, one fsync.
+  void EnqueueAsync(Bytes sealed_report, ReportContext ctx, Completion done);
   // Decodes a buffer of wire frames on the caller thread (cheap: CRC only)
   // and enqueues each payload.  Corrupt frames are skipped with the books
   // kept in stats(), mirroring ShufflerFrontend::AcceptFrameStream.
@@ -113,7 +119,8 @@ class IngestWorkerPool {
   struct Item {
     size_t shard = 0;
     Bytes report;
-    Completion done;  // may be null (plain Enqueue)
+    ReportContext ctx;  // (session, seq) for the unified WAL record
+    Completion done;    // may be null (plain Enqueue)
   };
 
   struct Worker {
@@ -147,7 +154,7 @@ class IngestWorkerPool {
   // Shared body of Enqueue/EnqueueAsync: the return value is Enqueue's
   // contract ("handed to the runtime" / sync Accept status); `done`, when
   // set, fires exactly once with the report's final outcome on every path.
-  Status EnqueueImpl(Bytes sealed_report, Completion done);
+  Status EnqueueImpl(Bytes sealed_report, ReportContext ctx, Completion done);
 
   ShufflerFrontend* frontend_;  // borrowed
   WorkerPoolConfig config_;

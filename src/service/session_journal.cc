@@ -145,6 +145,60 @@ void ApplyRecord(ByteSpan payload, std::map<uint64_t, ReplaySession>& sessions,
 
 }  // namespace
 
+JournalRecovery ApplySessionOps(JournalRecovery base,
+                                const std::vector<SessionOp>& ops) {
+  if (ops.empty()) {
+    return base;
+  }
+  // Rebuild the replay map the recovery image came from, run each op through
+  // the same ApplyRecord sweep a journal record would take (re-encoding is
+  // cheap and keeps exactly one replay semantics), and re-derive the image.
+  std::map<uint64_t, ReplaySession> sessions;
+  for (const auto& snapshot : base.live) {
+    ReplaySession s;
+    s.watermark = snapshot.watermark;
+    s.sparse.insert(snapshot.sparse.begin(), snapshot.sparse.end());
+    sessions[snapshot.session_id] = std::move(s);
+  }
+  for (const auto& [session_id, floor] : base.evicted) {
+    ReplaySession s;
+    s.evicted = true;
+    s.floor = floor;
+    sessions[session_id] = std::move(s);
+  }
+  for (const SessionOp& op : ops) {
+    Bytes payload;
+    switch (op.kind) {
+      case SessionOp::kCommit:
+        // watermark_after = 0: the sweep reconstructs the watermark from
+        // the seq set, exactly as it does for journaled commits.
+        payload = EncodeCommitRecord(op.session_id, 0, op.value);
+        break;
+      case SessionOp::kEvict:
+        payload = EncodeEvictRecord(op.session_id, op.value);
+        break;
+      case SessionOp::kGoodbye:
+        payload = EncodeGoodbyeRecord(op.session_id);
+        break;
+    }
+    ApplyRecord(payload, sessions, &base.records);
+  }
+  base.live.clear();
+  base.evicted.clear();
+  for (auto& [session_id, s] : sessions) {
+    if (s.evicted) {
+      base.evicted.emplace_back(session_id, s.floor);
+    } else {
+      SessionSnapshot snapshot;
+      snapshot.session_id = session_id;
+      snapshot.watermark = s.watermark;
+      snapshot.sparse.assign(s.sparse.begin(), s.sparse.end());
+      base.live.push_back(std::move(snapshot));
+    }
+  }
+  return base;
+}
+
 SessionJournal::SessionJournal(SessionJournalConfig config)
     : config_(std::move(config)), fs_(config_.fs != nullptr ? config_.fs : Fs::Real()) {}
 
@@ -346,6 +400,11 @@ Status SessionJournal::Compact(const std::vector<SessionSnapshot>& live,
     // after it the snapshot is.  A crash in between leaves one or the
     // other, never a blend.
     result = fs_->Rename(tmp, config_.path);
+  }
+  if (result.ok() && config_.fsync_commits) {
+    // The rename only commits once the directory entry itself is durable; a
+    // crash that loses the dirent would resurrect the pre-compaction log.
+    result = fs_->SyncDir(DirnameOf(config_.path));
   }
   if (!result.ok()) {
     (void)fs_->Remove(tmp);  // best effort; Open also clears stale temps

@@ -71,6 +71,24 @@ struct JournalRecovery {
   uint64_t truncated_bytes = 0;  // torn tail removed at the end of the log
 };
 
+// One session-state mutation replayed from the ingest WAL.  The WAL carries
+// commit/evict/goodbye records interleaved (and totally ordered) with report
+// appends; recovery re-journals them here and folds them into the journal's
+// recovery image via ApplySessionOps.
+struct SessionOp {
+  enum Kind : uint8_t { kCommit = 1, kEvict = 2, kGoodbye = 3 };
+  Kind kind = kCommit;
+  uint64_t session_id = 0;
+  uint64_t value = 0;  // seq for kCommit, watermark floor for kEvict
+};
+
+// Applies an ordered list of session ops on top of a journal recovery,
+// exactly as if they had been journal records appended after the log's last
+// record.  Used at startup to merge the WAL's un-checkpointed session-state
+// suffix into the registry's restore image.
+JournalRecovery ApplySessionOps(JournalRecovery base,
+                                const std::vector<SessionOp>& ops);
+
 class SessionJournal {
  public:
   explicit SessionJournal(SessionJournalConfig config);

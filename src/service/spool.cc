@@ -70,17 +70,29 @@ Status SegmentWriter::Sync() {
 
 // -------------------------------------------------------------------- Spool
 
-std::string Spool::SegmentPath(size_t shard, uint64_t epoch) const {
-  return config_.root + "/shard-" + std::to_string(shard) + "-epoch-" + std::to_string(epoch) +
+std::string SpoolSegmentPath(const std::string& root, size_t shard, uint64_t epoch) {
+  return root + "/shard-" + std::to_string(shard) + "-epoch-" + std::to_string(epoch) +
          ".seg";
 }
 
+std::string SpoolMarkerPath(const std::string& root, uint64_t epoch) {
+  return root + "/epoch-" + std::to_string(epoch) + ".sealed";
+}
+
+std::string SpoolManifestPath(const std::string& root, uint64_t epoch) {
+  return root + "/epoch-" + std::to_string(epoch) + ".manifest";
+}
+
+std::string Spool::SegmentPath(size_t shard, uint64_t epoch) const {
+  return SpoolSegmentPath(config_.root, shard, epoch);
+}
+
 std::string Spool::MarkerPath(uint64_t epoch) const {
-  return config_.root + "/epoch-" + std::to_string(epoch) + ".sealed";
+  return SpoolMarkerPath(config_.root, epoch);
 }
 
 std::string Spool::ManifestPath(uint64_t epoch) const {
-  return config_.root + "/epoch-" + std::to_string(epoch) + ".manifest";
+  return SpoolManifestPath(config_.root, epoch);
 }
 
 namespace {
@@ -383,7 +395,32 @@ Status Spool::SealEpoch(uint64_t epoch) {
     }
   }
   fs_->Close(fd.value());
+  if (result.ok() && config_.fsync_on_seal) {
+    // fsync(marker fd) persisted the marker's bytes, not its *name*: the
+    // dirent for a freshly created file lives in the directory, and losing
+    // it in a crash silently unseals the epoch.  One directory fsync covers
+    // the marker and the manifest created just above.
+    result = fs_->SyncDir(config_.root);
+  }
   return result;
+}
+
+Status Spool::TruncateSegmentTo(size_t shard, uint64_t epoch, uint64_t target_bytes,
+                                uint64_t frames_removed) {
+  MutexLock lock(mu_);
+  // Close any open writer first: its fd position and byte counter are stale
+  // once the file shrinks under it, and the next Append reopens at the
+  // (truncated) end via O_APPEND.
+  writers_.erase({epoch, shard});
+  Status truncated = fs_->Truncate(SegmentPath(shard, epoch), target_bytes);
+  if (!truncated.ok()) {
+    return truncated;
+  }
+  auto it = frame_counts_.find({epoch, shard});
+  if (it != frame_counts_.end()) {
+    it->second = it->second >= frames_removed ? it->second - frames_removed : 0;
+  }
+  return Status::Ok();
 }
 
 Status Spool::WriteManifestLocked(uint64_t epoch) {

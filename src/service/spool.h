@@ -40,6 +40,12 @@
 
 namespace prochlo {
 
+// Spool file-layout helpers, shared with the ingest WAL (whose recovery
+// truncates / replays segment files before the Spool object exists).
+std::string SpoolSegmentPath(const std::string& root, size_t shard, uint64_t epoch);
+std::string SpoolMarkerPath(const std::string& root, uint64_t epoch);
+std::string SpoolManifestPath(const std::string& root, uint64_t epoch);
+
 struct SpoolConfig {
   std::string root;          // directory; created if absent
   bool fsync_on_seal = true; // fsync segments + marker at epoch seal
@@ -125,6 +131,13 @@ class Spool {
 
   // Deletes an epoch's segments and marker after a successful drain.
   Status RemoveEpoch(uint64_t epoch);
+
+  // Rolls the (shard, epoch) segment back to `target_bytes`, closing any
+  // open writer first, and forgets `frames_removed` tracked frames.  The
+  // WAL checkpoint uses this to undo a partially-applied write-through when
+  // a later append in the same checkpoint fails.
+  Status TruncateSegmentTo(size_t shard, uint64_t epoch, uint64_t target_bytes,
+                           uint64_t frames_removed);
 
   // Tracked frame count for (shard, epoch) — recovery plus appends.
   uint64_t FrameCount(size_t shard, uint64_t epoch) const;

@@ -83,6 +83,16 @@ constexpr bool IsKnownFrameType(uint8_t type) {
          type <= static_cast<uint8_t>(FrameType::kGroupMap);
 }
 
+// The ack identity a report carries while it travels through the ingest
+// pipeline (connection -> worker pool -> frontend -> WAL): which session's
+// which sequence number this report settles.  session_id == 0 means
+// "ack-less" — the legacy synchronous sink and spool-internal replays,
+// which carry no commit record.
+struct ReportContext {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;
+};
+
 // Why a report was NACKed — the first payload byte of every kNack frame,
 // followed by a human-readable message.  The client's retry policy branches
 // on it: kRetryable and kInFlight resend the same seq (with backoff);

@@ -735,7 +735,10 @@ TEST(ServiceClusterTest, MergeTimeoutAccountsShortfallPerMissingGroup) {
   }
   ASSERT_TRUE(g1->frontend().CutEpoch().ok());
 
-  auto merged = coordinator.MergeEpoch(0, merge, std::chrono::milliseconds(50));
+  // Generous enough that draining group 1's partial (WAL checkpoint fsyncs
+  // included) finishes inside the window even on a loaded box, so the
+  // barrier demonstrably WAITS for group 2 before timing out.
+  auto merged = coordinator.MergeEpoch(0, merge, std::chrono::milliseconds(500));
   ASSERT_TRUE(merged.ok()) << merged.error().message;
   EXPECT_FALSE(merged.value().complete());
   EXPECT_EQ(merged.value().missing_groups, std::vector<uint64_t>{2});

@@ -11,6 +11,9 @@
 // a failing crash schedule.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -70,6 +73,17 @@ struct ScratchDir {
 //   * ArmCrash(k): the k-th subsequent syscall and everything after it
 //     fails — the process dying at syscall k.  If the k-th op is a write,
 //     it lands a half-frame first, so the survivor finds a torn tail.
+//   * ArmCrashExactly(k): ONLY the k-th subsequent syscall fails; later
+//     ones succeed.  Pairs with tearing down the whole stack right after:
+//     the process died between two specific syscalls, and the reopening
+//     stack (same FaultFs) finds a healthy disk.  This is the scalpel that
+//     lands a crash exactly inside the spool-append/journal-commit window.
+//   * TrackDirents()/DropUnsyncedDirents(): records file creates and
+//     renames per parent directory and forgets them when that directory is
+//     fsynced; DropUnsyncedDirents() then undoes whatever was never made
+//     durable — the dirent the crash lost because nobody fsynced the
+//     parent.  A missing SyncDir in the production code shows up here as a
+//     vanished seal marker or checkpoint manifest.
 // Close always forwards (a dying process still releases fds), and reads
 // never fault: recovery reads whatever bytes actually landed.
 class FaultFs : public Fs {
@@ -79,10 +93,17 @@ class FaultFs : public Fs {
   FaultFs() : real_(Fs::Real()) {}
 
   Result<int> Open(const std::string& path, int flags, int mode) override {
-    if (NextOp() >= crash_at_.load()) {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (open)"};
     }
-    return real_->Open(path, flags, mode);
+    const bool fresh = track_dirents_.load() && (flags & O_CREAT) != 0 &&
+                       !stdfs::exists(path);
+    auto fd = real_->Open(path, flags, mode);
+    if (fd.ok() && fresh) {
+      RecordDirent(DirentOp::kCreate, path, "");
+    }
+    return fd;
   }
 
   Result<size_t> Write(int fd, ByteSpan data) override {
@@ -94,7 +115,7 @@ class FaultFs : public Fs {
       // attempt fails — exactly how a torn tail forms.
       return real_->Write(fd, ByteSpan(data.data(), data.size() / 2));
     }
-    if (op >= crash_at) {
+    if (op >= crash_at || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (write)"};
     }
     if (fail_writes_.load()) {
@@ -105,7 +126,8 @@ class FaultFs : public Fs {
   }
 
   Status Sync(int fd) override {
-    if (NextOp() >= crash_at_.load()) {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (fsync)"};
     }
     if (fail_syncs_.load()) {
@@ -118,7 +140,8 @@ class FaultFs : public Fs {
   void Close(int fd) override { real_->Close(fd); }
 
   Status Remove(const std::string& path) override {
-    if (NextOp() >= crash_at_.load()) {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (remove)"};
     }
     if (remove_faults_.fetch_sub(1) > 0) {
@@ -129,17 +152,45 @@ class FaultFs : public Fs {
   }
 
   Status Truncate(const std::string& path, uint64_t size) override {
-    if (NextOp() >= crash_at_.load()) {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (truncate)"};
     }
     return real_->Truncate(path, size);
   }
 
   Status Rename(const std::string& from, const std::string& to) override {
-    if (NextOp() >= crash_at_.load()) {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
       return Error{"faultfs: crashed (rename)"};
     }
-    return real_->Rename(from, to);
+    Status renamed = real_->Rename(from, to);
+    if (renamed.ok() && track_dirents_.load()) {
+      RecordDirent(DirentOp::kRename, from, to);
+    }
+    return renamed;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    uint64_t op = NextOp();
+    if (op >= crash_at_.load() || op == fail_exactly_.load()) {
+      return Error{"faultfs: crashed (fsync dir)"};
+    }
+    if (fail_syncs_.load()) {
+      sync_faults_.fetch_add(1);
+      return Error{"faultfs: injected EIO on dir fsync"};
+    }
+    Status synced = real_->SyncDir(path);
+    if (synced.ok()) {
+      syncdirs_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(dirent_mu_);
+      const std::string dir = stdfs::path(path).lexically_normal().string();
+      pending_dirents_.erase(
+          std::remove_if(pending_dirents_.begin(), pending_dirents_.end(),
+                         [&](const PendingDirent& d) { return d.dir == dir; }),
+          pending_dirents_.end());
+    }
+    return synced;
   }
 
   // The k-th write-side syscall from now on (1-based) and everything after
@@ -147,25 +198,86 @@ class FaultFs : public Fs {
   void ArmCrash(uint64_t after_ops) { crash_at_.store(ops_.load() + after_ops); }
   bool crashed() const { return ops_.load() >= crash_at_.load(); }
 
+  // ONLY the k-th syscall from now on (1-based) fails; everything after it
+  // succeeds again — the exact-window crash probe.
+  void ArmCrashExactly(uint64_t after_ops) {
+    fail_exactly_.store(ops_.load() + after_ops);
+  }
+  bool crash_exactly_fired() const { return ops_.load() >= fail_exactly_.load(); }
+
   void FailWrites(bool on) { fail_writes_.store(on); }
   void FailSyncs(bool on) { fail_syncs_.store(on); }
   void FailRemoves(int64_t next_n) { remove_faults_.store(next_n); }
 
+  void TrackDirents(bool on) { track_dirents_.store(on); }
+
+  // The crash's metadata casualty: every create and rename whose parent
+  // directory was never fsynced afterwards is rolled back (newest first) —
+  // created files vanish, renamed files snap back to their old names.
+  // Returns how many dirents were lost.
+  size_t DropUnsyncedDirents() {
+    std::vector<PendingDirent> doomed;
+    {
+      std::lock_guard<std::mutex> lock(dirent_mu_);
+      doomed.swap(pending_dirents_);
+    }
+    for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
+      if (it->op == DirentOp::kCreate) {
+        (void)real_->Remove(it->a);
+      } else {
+        (void)real_->Rename(it->b, it->a);
+      }
+    }
+    return doomed.size();
+  }
+
+  size_t unsynced_dirents() const {
+    std::lock_guard<std::mutex> lock(dirent_mu_);
+    return pending_dirents_.size();
+  }
+
   uint64_t ops() const { return ops_.load(); }
   uint64_t write_faults() const { return write_faults_.load(); }
   uint64_t sync_faults() const { return sync_faults_.load(); }
+  uint64_t syncdirs() const { return syncdirs_.load(); }
 
  private:
+  enum class DirentOp { kCreate, kRename };
+  struct PendingDirent {
+    DirentOp op;
+    std::string dir;  // parent directory whose fsync would make it durable
+    std::string a;    // created path / rename source
+    std::string b;    // rename destination
+  };
+
   uint64_t NextOp() { return ops_.fetch_add(1) + 1; }
+
+  void RecordDirent(DirentOp op, const std::string& a, const std::string& b) {
+    PendingDirent d;
+    d.op = op;
+    d.dir = stdfs::path(op == DirentOp::kRename ? b : a)
+                .parent_path()
+                .lexically_normal()
+                .string();
+    d.a = a;
+    d.b = b;
+    std::lock_guard<std::mutex> lock(dirent_mu_);
+    pending_dirents_.push_back(std::move(d));
+  }
 
   Fs* real_;
   std::atomic<uint64_t> ops_{0};
   std::atomic<uint64_t> crash_at_{kNever};
+  std::atomic<uint64_t> fail_exactly_{kNever};
   std::atomic<bool> fail_writes_{false};
   std::atomic<bool> fail_syncs_{false};
+  std::atomic<bool> track_dirents_{false};
   std::atomic<int64_t> remove_faults_{0};
   std::atomic<uint64_t> write_faults_{0};
   std::atomic<uint64_t> sync_faults_{0};
+  std::atomic<uint64_t> syncdirs_{0};
+  mutable std::mutex dirent_mu_;
+  std::vector<PendingDirent> pending_dirents_;  // guarded by dirent_mu_
 };
 
 // Client-side transport wrapper for the restart drills: optionally
@@ -222,8 +334,8 @@ struct DurabilityRig {
       : frontend(std::move(config)),
         pool(&frontend, WorkerPoolConfig{workers, ring}),
         server([this](Bytes report) { return pool.Enqueue(std::move(report)); },
-               [this](Bytes report, std::function<void(const Status&)> done) {
-                 pool.EnqueueAsync(std::move(report), std::move(done));
+               [this](Bytes report, ReportContext ctx, std::function<void(const Status&)> done) {
+                 pool.EnqueueAsync(std::move(report), ctx, std::move(done));
                }),
         listener(&server) {}
 
@@ -588,6 +700,10 @@ TEST(ServiceDurabilityTest, JournalFsyncFailureDegradesToCountedAcks) {
   FaultFs fault;
   FrontendConfig config = DurabilityFrontendConfig(dir.path);
   config.fs = &fault;
+  // Degraded acks are a JOURNAL-ONLY mode: with the unified WAL a failed
+  // commit append IS a failed report append, so the report NACKs instead of
+  // acking on a weaker promise (see ServiceWalTest coupling tests).
+  config.use_wal = false;
   DurabilityRig rig(config);
   rig.Start();
 
@@ -611,6 +727,178 @@ TEST(ServiceDurabilityTest, JournalFsyncFailureDegradesToCountedAcks) {
   client.Close();
   ASSERT_TRUE(rig.server.Shutdown().ok());
   ExpectAckBooksBalance(rig, kReports);
+}
+
+// -------------------- the spool↔journal atomicity window, probed exactly
+
+// One report through a server whose process dies at EXACTLY syscall k (the
+// response — ack or NACK — dies with it), then a healthy stack reopens the
+// directory and the client replays its unconfirmed report.  Returns how
+// many copies of that report the drained epoch holds: 1 is exactly-once,
+// 2 is the window — a crash that landed between the spool append and the
+// journal commit made the report durable without its (session, seq), so
+// the replay re-ingested it.
+uint64_t ReportCopiesAfterExactCrash(FrontendConfig base, const std::string& tag,
+                                     uint64_t k) {
+  ScratchDir dir("durability-window-" + tag + "-" + std::to_string(k));
+  base.spool_dir = dir.path;
+  FrameClientConfig client_config{/*session_id=*/0xD00Dull};
+  client_config.nack_retry_delay = std::chrono::milliseconds(1);
+  client_config.nack_retry_max_delay = std::chrono::milliseconds(8);
+  FrameClient client(client_config);
+  FaultFs fault;
+  {
+    FrontendConfig config = base;
+    config.fs = &fault;
+    DurabilityRig rig(config);
+    rig.Start();
+    auto stream = rig.Dial();
+    EXPECT_TRUE(stream.ok());
+    if (!stream.ok()) {
+      return 0;
+    }
+    auto flaky = std::make_unique<FlakyStream>(std::move(stream).value(),
+                                               /*blackhole_reads=*/true);
+    FlakyStream* kill = flaky.get();
+    EXPECT_TRUE(client.Connect(std::move(flaky)).ok());
+    fault.ArmCrashExactly(k);
+    EXPECT_TRUE(client.SendReport(SyntheticReport(9, 1)).ok());
+    // Quiesce: the ingest pool has resolved the report (accepted or failed;
+    // the response went into the blackhole either way).  A k beyond the
+    // report's syscall footprint resolves normally and merely probes
+    // nothing.  (The server's ack book only folds at connection close, so
+    // the pool's books are the live signal here.)
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      WorkerPoolStats pool_stats = rig.pool.stats();
+      if (pool_stats.accepted + pool_stats.accept_failures >= 1) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    (void)rig.pool.Flush();  // harness quiesce; a faulted flush is expected
+    kill->Abort();
+  }  // the PROCESS dies; bytes already written survive (page-cache crash model)
+
+  DurabilityRig rig(base);  // a healthy disk, the same directory
+  rig.Start();
+  auto stream = rig.Dial();
+  EXPECT_TRUE(stream.ok());
+  if (!stream.ok()) {
+    return 0;
+  }
+  EXPECT_TRUE(client.Connect(std::move(stream).value()).ok());
+  EXPECT_TRUE(client.WaitForAcks(std::chrono::milliseconds(30000)));
+  client.Close();
+  EXPECT_TRUE(rig.pool.Flush().ok());
+  EXPECT_TRUE(rig.frontend.CutEpoch().ok());
+  EXPECT_TRUE(rig.drainer->WaitForDrainedEpochs(1, std::chrono::milliseconds(30000)));
+  EXPECT_TRUE(rig.server.Shutdown().ok());
+  rig.drainer->Stop();
+  auto results = rig.drainer->TakeResults();
+  if (results.size() != 1) {
+    return 0;
+  }
+  return results[0].reports;
+}
+
+// The regression the WAL exists for: with the unified record, EVERY exact
+// crash point k yields exactly one copy — "report durable" and "(session,
+// seq) committed" can no longer come apart.  Run this against the
+// journal-only path (use_wal = false) and it fails at the k that lands
+// between the spool append and the journal commit (the companion test
+// below pins that failure mode as the documented pre-WAL behavior).
+TEST(ServiceDurabilityTest, WalClosesTheSpoolJournalAtomicityWindowAtEveryCrashPoint) {
+  FrontendConfig base = DurabilityFrontendConfig("");
+  for (uint64_t k = 1; k <= 12; ++k) {
+    SCOPED_TRACE("crash exactly at syscall k=" + std::to_string(k));
+    EXPECT_EQ(ReportCopiesAfterExactCrash(base, "wal", k), 1u);
+  }
+}
+
+// The pre-WAL window, pinned: in journal-only mode there IS a k where the
+// spool append survived the crash but the journal commit did not, and the
+// client's replay re-ingests the report — two copies in the histogram.
+// This test documents the bug the WAL fixes; if it ever starts seeing
+// exactly-once at every k, the journal-only path grew its own fix and the
+// two modes should be re-compared.
+TEST(ServiceDurabilityTest, JournalOnlyModeReingestsOnTheExactWindowCrash) {
+  FrontendConfig base = DurabilityFrontendConfig("");
+  base.use_wal = false;
+  uint64_t worst = 0;
+  for (uint64_t k = 1; k <= 12; ++k) {
+    SCOPED_TRACE("crash exactly at syscall k=" + std::to_string(k));
+    uint64_t copies = ReportCopiesAfterExactCrash(base, "journal-only", k);
+    EXPECT_GE(copies, 1u);  // whatever else, the report is never LOST
+    worst = std::max(worst, copies);
+  }
+  EXPECT_EQ(worst, 2u) << "the atomicity window did not reproduce; if the "
+                          "journal-only path became atomic, update the "
+                          "recovery matrix in docs/service.md";
+}
+
+// ----------------------- lost dirents: the durable-rename discipline, pinned
+
+// A crash may lose any dirent whose parent directory was never fsynced —
+// a freshly created file or a just-renamed marker silently reverts.  The
+// production discipline is that every recovery-critical metadata step
+// (spool seal markers, WAL checkpoint write-through and marker rename,
+// journal compaction) is followed by a parent-dir fsync.  This test pins
+// it: every create/rename NOT followed by a SyncDir is revoked at the
+// crash, and recovery must still come back bit-identical.  Remove any of
+// the production SyncDirs and the corresponding marker/segment vanishes
+// here — sealed epochs unseal, checkpoints un-happen, replay duplicates.
+TEST(ServiceDurabilityTest, SealedAndCheckpointedMetadataSurvivesLostDirents) {
+  FrontendConfig base = DurabilityFrontendConfig("");
+  const std::vector<Bytes> sealed = SealCohort(base);
+  ASSERT_GE(sealed.size(), 8u);
+  const auto expected = SerialHistograms(base, sealed);  // epoch 0 reference
+  const size_t half = sealed.size() / 2;
+
+  ScratchDir dir("durability-dirents");
+  FaultFs fault;
+  fault.TrackDirents(true);
+  {
+    FrontendConfig config = base;
+    config.spool_dir = dir.path;
+    config.fs = &fault;
+    ShufflerFrontend frontend(config);
+    ASSERT_TRUE(frontend.Start().ok());
+    for (const auto& report : sealed) {
+      ASSERT_TRUE(frontend.AcceptReport(report).ok());
+    }
+    // Seal epoch 0: the WAL checkpoint (segment write-through + marker
+    // rename) followed by the spool's sealed marker, each dir-fsynced.
+    ASSERT_TRUE(frontend.CutEpoch().ok());
+    // Epoch 1 accumulates un-checkpointed reports in the live WAL gen.
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(frontend.AcceptReport(sealed[i]).ok());
+    }
+    ASSERT_TRUE(frontend.SyncSpool().ok());
+    EXPECT_GT(fault.syncdirs(), 0u);
+  }  // crash
+
+  // The crash's metadata toll: whatever was never dir-fsynced vanishes.
+  // The discipline means nothing recovery depends on is in that set.
+  (void)fault.DropUnsyncedDirents();
+
+  FrontendConfig config = base;
+  config.spool_dir = dir.path;
+  ShufflerFrontend after(config);
+  ASSERT_TRUE(after.Start().ok());
+  EXPECT_EQ(after.current_epoch(), 1u);          // the seal marker survived
+  EXPECT_EQ(after.current_epoch_size(), half);   // the WAL replay is intact
+  auto drained = after.DrainSealedEpochs();      // sealed epoch 0, still whole
+  ASSERT_TRUE(drained.ok()) << drained.failure->error.message;
+  ASSERT_EQ(drained.results.size(), 1u);
+  EXPECT_EQ(drained.results[0].epoch, 0u);
+  EXPECT_EQ(drained.results[0].reports, sealed.size());
+  auto it = expected.find(0);
+  ASSERT_NE(it, expected.end());
+  EXPECT_EQ(drained.results[0].result.histogram, it->second);
 }
 
 // ------------------------------------- post-drain cleanup retries, bounded

@@ -132,8 +132,8 @@ struct NetworkRig {
       : frontend(std::move(config)),
         pool(&frontend, WorkerPoolConfig{workers, ring}),
         server([this](Bytes report) { return pool.Enqueue(std::move(report)); },
-               [this](Bytes report, std::function<void(const Status&)> done) {
-                 pool.EnqueueAsync(std::move(report), std::move(done));
+               [this](Bytes report, ReportContext ctx, std::function<void(const Status&)> done) {
+                 pool.EnqueueAsync(std::move(report), ctx, std::move(done));
                }),
         listener(&server) {}
 
@@ -415,12 +415,12 @@ TEST(ServiceNetworkTest, NackedReportIsRetriedToSuccess) {
   std::atomic<int> failures_left{3};
   FrameServer server(
       [&pool](Bytes report) { return pool.Enqueue(std::move(report)); },
-      [&](Bytes report, std::function<void(const Status&)> done) {
+      [&](Bytes report, ReportContext ctx, std::function<void(const Status&)> done) {
         if (failures_left.fetch_sub(1) > 0) {
           done(Error{"injected ingest failure"});
           return;
         }
-        pool.EnqueueAsync(std::move(report), std::move(done));
+        pool.EnqueueAsync(std::move(report), ctx, std::move(done));
       });
   server.BindFrontendStats(&frontend.stats());
   TcpListener listener(&server);

@@ -274,12 +274,17 @@ void RunConcurrentE2E(size_t workers, size_t ring_capacity, bool crash_mid_epoch
       size_t resume_size = frontend->current_epoch_size();
       frontend.reset();
       {
+        // Epoch 1's reports have not been checkpointed yet, so they sit in
+        // the newest WAL generation — tear its tail as a crashed group
+        // commit would.
         std::string victim;
+        unsigned long best_gen = 0;
         for (const auto& entry : fs::directory_iterator(concurrent_dir.path)) {
-          if (entry.path().extension() == ".seg" &&
-              entry.path().filename().string().find("epoch-1") != std::string::npos) {
+          const std::string name = entry.path().filename().string();
+          unsigned long gen = 0;
+          if (std::sscanf(name.c_str(), "ingest-%lu.wal", &gen) == 1 && gen >= best_gen) {
+            best_gen = gen;
             victim = entry.path().string();
-            break;
           }
         }
         ASSERT_FALSE(victim.empty());

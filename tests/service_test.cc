@@ -644,13 +644,18 @@ TEST(ServiceTest, EndToEndSurvivesCrashAndReopenMidEpoch) {
       ASSERT_TRUE(before.SyncSpool().ok());  // the durability point
       // Crash: `before` is dropped mid-epoch, no seal, no drain.
     }
-    // A torn half-frame from a write in flight at crash time.
+    // A torn half-frame from a group commit in flight at crash time.  Before
+    // a checkpoint the reports live in the newest WAL generation, so that is
+    // where a crashed append tears.
     {
       std::string victim;
+      unsigned long best_gen = 0;
       for (const auto& entry : fs::directory_iterator(dir.path)) {
-        if (entry.path().extension() == ".seg") {
+        const std::string name = entry.path().filename().string();
+        unsigned long gen = 0;
+        if (std::sscanf(name.c_str(), "ingest-%lu.wal", &gen) == 1 && gen >= best_gen) {
+          best_gen = gen;
           victim = entry.path().string();
-          break;
         }
       }
       ASSERT_FALSE(victim.empty());
